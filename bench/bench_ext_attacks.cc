@@ -1,0 +1,136 @@
+// Extension experiments (paper Sec. VIII future work, implemented here):
+// the inference attacks GEPETO's clustering feeds —
+//   * POI extraction: precision/recall against the generator's ground
+//     truth, plus home/work identification (Golle & Partridge style);
+//   * Mobility Markov Chains: next-place prediction accuracy and the
+//     de-anonymization (linking) attack ("Show me how you move and I will
+//     tell you who you are", cited as [11]).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "gepeto/mmc.h"
+#include "gepeto/poi.h"
+#include "gepeto/social.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+geo::SyntheticDataset attack_world() {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = paper_scale() ? 30 : 6;
+  cfg.duration_days = 30;
+  cfg.trajectories_per_user_min = 100;
+  cfg.trajectories_per_user_max = 140;
+  cfg.friends_per_user = 1;  // ground truth for the social-link attack
+  cfg.seed = 4242;
+  return geo::generate_dataset(cfg);
+}
+
+void reproduce_attacks() {
+  print_banner("Extensions — inference attacks on extracted POIs (Sec. VIII)",
+               "POIs reveal home/work; MMCs predict future locations and "
+               "de-anonymize users");
+  const auto world = attack_world();
+  describe_dataset("attack corpus", world.data);
+
+  core::DjClusterConfig attack;
+  attack.radius_m = 60;
+  attack.min_pts = 10;
+
+  // --- POI extraction ----------------------------------------------------
+  const auto report = core::run_poi_attack(world.data, world.profiles, attack);
+  Table poi("POI-extraction attack (vs ground truth, 150 m match radius)");
+  poi.header({"metric", "value"});
+  poi.row({"users attacked", std::to_string(world.profiles.size())});
+  poi.row({"avg precision", format_double(report.avg_precision, 3)});
+  poi.row({"avg recall", format_double(report.avg_recall, 3)});
+  poi.row({"avg F1", format_double(report.avg_f1, 3)});
+  poi.row({"home identified", format_double(
+                                  100 * report.home_identification_rate, 0) +
+                                  "%"});
+  poi.row({"work identified", format_double(
+                                  100 * report.work_identification_rate, 0) +
+                                  "%"});
+  poi.print(std::cout);
+
+  // --- MMC prediction ------------------------------------------------------
+  core::MmcConfig mmc_config;
+  mmc_config.clustering = attack;
+  double pred_total = 0;
+  int pred_users = 0;
+  for (const auto& profile : world.profiles) {
+    const double acc = core::prediction_accuracy(
+        world.data.trail(profile.user_id), mmc_config);
+    if (acc >= 0) {
+      pred_total += acc;
+      ++pred_users;
+    }
+  }
+
+  // --- De-anonymization -----------------------------------------------------
+  std::vector<core::MobilityMarkovChain> gallery, probes;
+  std::vector<int> truth;
+  for (const auto& profile : world.profiles) {
+    const auto& trail = world.data.trail(profile.user_id);
+    const std::size_t half = trail.size() / 2;
+    geo::Trail first(trail.begin(),
+                     trail.begin() + static_cast<std::ptrdiff_t>(half));
+    geo::Trail second(trail.begin() + static_cast<std::ptrdiff_t>(half),
+                      trail.end());
+    gallery.push_back(core::learn_mmc(first, mmc_config));
+    probes.push_back(core::learn_mmc(second, mmc_config));
+    truth.push_back(static_cast<int>(truth.size()));
+  }
+  const auto deanon = core::deanonymization_attack(gallery, probes, truth);
+
+  // --- social-link discovery ------------------------------------------------
+  core::CoLocationConfig social;
+  social.radius_m = 60;
+  social.min_meetings = 2;
+  social.min_contact_s = 1200;
+  const auto edges = core::discover_social_links(world.data, social);
+  const auto social_score = core::score_social_attack(edges, world.friendships);
+
+  Table mmc("Mobility-Markov-Chain & co-location attacks");
+  mmc.header({"attack", "result"});
+  mmc.row({"next-place prediction (avg accuracy, 70/30 split)",
+           pred_users > 0 ? format_double(pred_total / pred_users, 3) : "n/a"});
+  mmc.row({"de-anonymization (split-trail linking)",
+           format_double(100 * deanon.accuracy, 0) + "% of " +
+               std::to_string(probes.size()) + " users re-identified"});
+  mmc.row({"social-link discovery (co-location)",
+           "precision " + format_double(social_score.precision, 2) +
+               ", recall " + format_double(social_score.recall, 2) + " over " +
+               std::to_string(world.friendships.size()) + " friendships"});
+  mmc.print(std::cout);
+  std::cout << "shape: POIs are recovered with high precision; prediction "
+               "beats chance by a wide margin; most users are re-identified "
+               "from half a trail — anonymization alone is not protection "
+               "(the paper's Sec. II argument).\n";
+}
+
+void BM_ExtractPois(benchmark::State& state) {
+  const auto world = attack_world();
+  const auto uid = world.data.users().front();
+  core::DjClusterConfig attack;
+  attack.radius_m = 60;
+  attack.min_pts = 10;
+  for (auto _ : state) {
+    auto pois = core::extract_pois(world.data.trail(uid), attack);
+    benchmark::DoNotOptimize(pois);
+  }
+}
+BENCHMARK(BM_ExtractPois)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce_attacks();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces Figures 2 and 3: the two representative-selection techniques
+// of the down-sampling operation — closest to the *upper limit* of the time
+// window (Fig. 2) versus closest to the *middle* (Fig. 3).
+//
+// Both techniques keep exactly one representative per non-empty (user,
+// window) group, so they output the same number of traces; they differ in
+// *which* trace represents the window. This bench quantifies that: identical
+// counts, the fraction of windows whose representative differs, and the mean
+// offset of the representative from the window reference point.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "geo/geolife.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/dfs.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+void reproduce_fig23() {
+  print_banner("Figures 2-3 — upper-limit vs middle representative selection",
+               "both techniques summarize each window by one trace; they "
+               "pick different representatives");
+  const auto& world = world90();
+  auto cluster = parapluie(7);
+
+  Table table("Figs. 2-3 (window = 60 s / 300 s / 600 s)");
+  table.header({"window", "windows (upper)", "windows (middle)",
+                "differing representatives", "mean |ts-ref| upper",
+                "mean |ts-ref| middle", "upper job sim", "middle job sim"});
+
+  for (int window : {60, 300, 600}) {
+    mr::Dfs dfs(cluster);
+    geo::dataset_to_dfs(dfs, "/in", world.data, 4);
+    const auto upper_job = core::run_sampling_job(
+        dfs, cluster, "/in/", "/upper",
+        {window, core::SamplingTechnique::kUpperLimit});
+    const auto middle_job = core::run_sampling_job(
+        dfs, cluster, "/in/", "/middle",
+        {window, core::SamplingTechnique::kMiddle});
+
+    const auto upper = geo::dataset_from_dfs(dfs, "/upper/");
+    const auto middle = geo::dataset_from_dfs(dfs, "/middle/");
+
+    // Compare representatives per (user, window).
+    std::map<std::pair<std::int32_t, std::int64_t>, std::int64_t> upper_rep;
+    for (const auto& [uid, trail] : upper)
+      for (const auto& t : trail)
+        upper_rep[{uid, t.timestamp / window}] = t.timestamp;
+    std::uint64_t differing = 0, compared = 0;
+    double upper_off = 0, middle_off = 0;
+    for (const auto& [uid, trail] : middle) {
+      for (const auto& t : trail) {
+        const auto it = upper_rep.find({uid, t.timestamp / window});
+        if (it == upper_rep.end()) continue;
+        ++compared;
+        differing += (it->second != t.timestamp);
+        const std::int64_t w = t.timestamp / window;
+        upper_off += std::llabs(it->second - (w + 1) * window);
+        middle_off += std::llabs(t.timestamp - (w * window + window / 2));
+      }
+    }
+    table.row({std::to_string(window) + " s",
+               format_count(upper.num_traces()),
+               format_count(middle.num_traces()),
+               format_double(100.0 * static_cast<double>(differing) /
+                                 static_cast<double>(std::max<std::uint64_t>(
+                                     compared, 1)),
+                             1) +
+                   "%",
+               format_double(upper_off / static_cast<double>(compared), 1) +
+                   " s",
+               format_double(middle_off / static_cast<double>(compared), 1) +
+                   " s",
+               format_seconds(upper_job.sim_seconds),
+               format_seconds(middle_job.sim_seconds)});
+  }
+  table.print(std::cout);
+  std::cout << "shape: equal window counts; the middle technique sits closer "
+               "to its reference (it can be at most window/2 away).\n";
+}
+
+void BM_WindowReference(benchmark::State& state) {
+  const core::SamplingConfig config{
+      60, static_cast<core::SamplingTechnique>(state.range(0))};
+  std::int64_t acc = 0, w = 0;
+  for (auto _ : state) acc += core::window_reference(config, ++w);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_WindowReference)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce_fig23();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Reproduces the paper's headline scaling claims (Sections I, V, VIII):
+// "the MapReduced versions of the algorithms can efficiently handle millions
+// of mobility traces", and the Section V data point: a 60 s sampling of the
+// whole dataset completes in 1 min 24 s with ~124 map tasks on 30 nodes.
+//
+// The bench sweeps the worker-node count on the simulated cluster clock for
+// the sampling job and for one k-means iteration, reporting makespan and
+// speedup — the curve a Hadoop deployment would show.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/dfs.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+void reproduce_scaling() {
+  print_banner("Scalability — node-count sweep (Sec. V claim)",
+               "sampling the whole dataset with a 60 s window: 1 min 24 s on "
+               "30 nodes; ~124 map tasks");
+  const auto& world = world178();
+
+  Table table("sampling job + one k-means iteration vs cluster size");
+  table.header({"worker nodes", "map tasks", "sampling sim", "sampling speedup",
+                "kmeans iter sim", "kmeans speedup", "data-local maps"});
+
+  // Use chunks sized to produce a task count in the spirit of the paper's
+  // deployment (many more tasks than slots at small node counts).
+  const std::size_t chunk =
+      paper_scale() ? 8 * mr::kMiB : 64 * mr::kKiB;
+
+  double sampling_base = 0.0, kmeans_base = 0.0;
+  for (int nodes : {1, 2, 4, 7, 15, 30}) {
+    auto cluster = parapluie(nodes, chunk);
+    mr::Dfs dfs(cluster);
+    geo::dataset_to_dfs(dfs, "/geolife", world.data, 8);
+
+    const auto sampling = core::run_sampling_job(
+        dfs, cluster, "/geolife/", "/sampled",
+        {60, core::SamplingTechnique::kUpperLimit});
+
+    core::KMeansConfig km;
+    km.k = 10;
+    km.seed = 3;
+    km.max_iterations = 1;
+    km.convergence_delta_m = 0.0;
+    const auto kmr =
+        core::kmeans_mapreduce(dfs, cluster, "/sampled/", "/clusters", km);
+    const double kmeans_iter = kmr.per_iteration.front().sim_seconds;
+
+    if (nodes == 1) {
+      sampling_base = sampling.sim_seconds;
+      kmeans_base = kmeans_iter;
+    }
+    table.row({std::to_string(nodes), std::to_string(sampling.num_map_tasks),
+               format_seconds(sampling.sim_seconds),
+               format_double(sampling_base / sampling.sim_seconds, 2) + "x",
+               format_seconds(kmeans_iter),
+               format_double(kmeans_base / kmeans_iter, 2) + "x",
+               format_double(100.0 *
+                                 static_cast<double>(sampling.data_local_maps) /
+                                 static_cast<double>(sampling.num_map_tasks),
+                             0) +
+                   "%"});
+  }
+  table.print(std::cout);
+  std::cout << "shape: near-linear speedup while tasks outnumber slots, "
+               "flattening once the cluster has more slots than tasks "
+               "(startup + stragglers dominate).\n";
+}
+
+void BM_DatasetLineParse(benchmark::State& state) {
+  const std::string line = geo::dataset_line(
+      {42, 39.906631, 116.385564, 492, 1'224'816'570});
+  geo::MobilityTrace t;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::parse_dataset_line(line, t));
+  }
+}
+BENCHMARK(BM_DatasetLineParse);
+
+void BM_DatasetLineFormat(benchmark::State& state) {
+  const geo::MobilityTrace t{42, 39.906631, 116.385564, 492, 1'224'816'570};
+  for (auto _ : state) {
+    auto line = geo::dataset_line(t);
+    benchmark::DoNotOptimize(line);
+  }
+}
+BENCHMARK(BM_DatasetLineFormat);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce_scaling();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Reproduces Table III: "Results of the MapReduced k-means experimentations"
+// — iteration time for {66 MB / 1.05 M traces, 128 MB / 2.03 M traces} x
+// {Haversine, squared Euclidean} x {chunk 32 MB, 64 MB} on the 7-node
+// Parapluie deployment, plus Table II (the runtime arguments).
+//
+// Expected shape (who wins): squared Euclidean beats Haversine at equal
+// chunk size; 32 MB chunks beat 64 MB chunks (more mappers in parallel);
+// the 128 MB dataset costs more than the 66 MB one.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "mapreduce/dfs.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+struct PaperRow {
+  const char* data;
+  std::uint64_t paper_traces;
+  geo::DistanceKind distance;
+  int chunk_mb;
+  int paper_iter_seconds;
+  int paper_iterations;
+};
+
+// The eight rows of Table III.
+constexpr PaperRow kPaperRows[] = {
+    {"66 MB", 1'050'000, geo::DistanceKind::kHaversine, 64, 57, 73},
+    {"66 MB", 1'050'000, geo::DistanceKind::kSquaredEuclidean, 64, 48, 72},
+    {"66 MB", 1'050'000, geo::DistanceKind::kSquaredEuclidean, 32, 41, 70},
+    {"66 MB", 1'050'000, geo::DistanceKind::kHaversine, 32, 45, 73},
+    {"128 MB", 2'033'686, geo::DistanceKind::kSquaredEuclidean, 64, 51, 85},
+    {"128 MB", 2'033'686, geo::DistanceKind::kSquaredEuclidean, 32, 45, 83},
+    {"128 MB", 2'033'686, geo::DistanceKind::kHaversine, 32, 48, 89},
+    {"128 MB", 2'033'686, geo::DistanceKind::kHaversine, 64, 60, 93},
+};
+
+void print_table2() {
+  Table t("Table II — k-means runtime arguments");
+  t.header({"argument", "role"});
+  t.row({"input path", "directory containing the input files"});
+  t.row({"output path", "directory the output is written to"});
+  t.row({"input file", "file the initial centroids are generated from"});
+  t.row({"clusters path", "directory storing the current centroids"});
+  t.row({"k", "number of clusters outputted by the algorithm"});
+  t.row({"distanceMeasure", "name of the metric used for measuring distance"});
+  t.row({"convergencedelta", "convergence test applied after each iteration"});
+  t.row({"maxIter", "maximum number of iterations"});
+  t.print(std::cout);
+}
+
+void reproduce_table3() {
+  print_banner("Table III — MapReduced k-means iteration time",
+               "66 MB: 41-57 s/iter; 128 MB: 45-60 s/iter; sq. Euclidean < "
+               "Haversine; 32 MB chunks < 64 MB chunks");
+  print_table2();
+
+  const int measured_iterations = paper_scale() ? 3 : 2;
+  Table table("Table III (paper vs measured, 7 worker nodes)");
+  table.header({"data", "traces", "distance", "chunk", "paper iter time",
+                "sim iter time", "real iter time", "map tasks",
+                "paper #iter"});
+
+  for (const auto& row : kPaperRows) {
+    const auto& world =
+        row.paper_traces > 1'500'000 ? world178() : world90();
+    // Scale the chunk size with the dataset so the map-task count tracks the
+    // paper's chunk-count ratio even at smoke scale.
+    const std::size_t chunk =
+        paper_scale() ? static_cast<std::size_t>(row.chunk_mb) * mr::kMiB
+                      : static_cast<std::size_t>(row.chunk_mb) * 16 * mr::kKiB;
+    auto cluster = parapluie(7, chunk);
+    mr::Dfs dfs(cluster);
+    geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+
+    core::KMeansConfig config;
+    config.k = 10;
+    config.distance = row.distance;
+    config.seed = 11;
+    config.max_iterations = measured_iterations;
+    config.convergence_delta_m = 0.0;  // run exactly measured_iterations
+    const auto result =
+        core::kmeans_mapreduce(dfs, cluster, "/in/", "/clusters", config);
+
+    double sim = 0.0, real = 0.0;
+    for (const auto& it : result.per_iteration) {
+      sim += it.sim_seconds;
+      real += it.real_seconds;
+    }
+    sim /= static_cast<double>(result.per_iteration.size());
+    real /= static_cast<double>(result.per_iteration.size());
+
+    table.row({row.data, format_count(geo::count_dfs_records(dfs, "/in/")),
+               std::string(geo::distance_name(row.distance)),
+               std::to_string(row.chunk_mb) + " MB",
+               std::to_string(row.paper_iter_seconds) + " s",
+               format_seconds(sim), format_seconds(real),
+               std::to_string(result.totals.num_map_tasks /
+                              result.iterations),
+               std::to_string(row.paper_iterations)});
+  }
+  table.print(std::cout);
+  std::cout << "shape checks: sq. Euclidean faster than Haversine at equal "
+               "config; 32 MB chunks faster than 64 MB; 128 MB slower than "
+               "66 MB.\n";
+}
+
+// Micro-benchmark: the per-point cost of the two Table III metrics.
+void BM_DistanceOp(benchmark::State& state) {
+  const auto kind = static_cast<geo::DistanceKind>(state.range(0));
+  double lat = 39.9, lon = 116.4;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += geo::distance(kind, lat, lon, 39.95, 116.5);
+    lat += 1e-9;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_DistanceOp)
+    ->Arg(static_cast<int>(geo::DistanceKind::kSquaredEuclidean))
+    ->Arg(static_cast<int>(geo::DistanceKind::kHaversine))
+    ->Arg(static_cast<int>(geo::DistanceKind::kManhattan));
+
+void BM_NearestCentroid(benchmark::State& state) {
+  std::vector<core::Centroid> centroids;
+  for (int i = 0; i < state.range(0); ++i)
+    centroids.push_back({39.8 + 0.01 * i, 116.3 + 0.02 * i});
+  double lat = 39.9;
+  std::size_t acc = 0;
+  for (auto _ : state) {
+    acc += core::nearest_centroid(centroids,
+                                  geo::DistanceKind::kSquaredEuclidean, lat,
+                                  116.45);
+    lat += 1e-9;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NearestCentroid)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce_table3();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

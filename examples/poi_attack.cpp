@@ -1,0 +1,83 @@
+// Inference-attack scenario: what an adversary learns from a trail.
+//
+// For one synthetic user, runs the DJ-Cluster POI-extraction attack, labels
+// home and work by time-of-day heuristics, learns a Mobility Markov Chain,
+// and compares everything against the generator's ground truth — then
+// demonstrates the de-anonymization attack across all users.
+//
+//   $ ./poi_attack
+#include <iostream>
+
+#include "geo/distance.h"
+#include "geo/generator.h"
+#include "gepeto/mmc.h"
+#include "gepeto/poi.h"
+
+int main() {
+  using namespace gepeto;
+
+  geo::GeneratorConfig gen;
+  gen.num_users = 8;
+  gen.duration_days = 30;
+  gen.trajectories_per_user_min = 100;
+  gen.trajectories_per_user_max = 140;
+  gen.seed = 7;
+  const auto world = geo::generate_dataset(gen);
+
+  core::DjClusterConfig attack;
+  attack.radius_m = 60;
+  attack.min_pts = 10;
+
+  // --- attack one user -------------------------------------------------------
+  const auto& victim = world.profiles[0];
+  const auto extracted = core::extract_pois(world.data.trail(0), attack);
+  std::cout << "user 0: " << extracted.pois.size()
+            << " POIs extracted from " << world.data.trail(0).size()
+            << " traces (ground truth has " << victim.pois.size() << ")\n";
+  for (std::size_t i = 0; i < extracted.pois.size(); ++i) {
+    const auto& p = extracted.pois[i];
+    std::cout << "  POI " << i << " at (" << p.latitude << ", " << p.longitude
+              << "), " << p.num_traces << " traces, " << p.night_traces
+              << " at night, " << p.office_traces << " in office hours";
+    if (static_cast<int>(i) == extracted.home_index) std::cout << "  <- HOME?";
+    if (static_cast<int>(i) == extracted.work_index) std::cout << "  <- WORK?";
+    std::cout << "\n";
+  }
+  const auto score = core::score_poi_attack(extracted, victim);
+  std::cout << "vs ground truth: precision " << score.precision << ", recall "
+            << score.recall << "; home guess off by " << score.home_error_m
+            << " m (" << (score.home_identified ? "IDENTIFIED" : "missed")
+            << "), work off by " << score.work_error_m << " m ("
+            << (score.work_identified ? "IDENTIFIED" : "missed") << ")\n\n";
+
+  // --- mobility model + prediction -------------------------------------------
+  core::MmcConfig mmc_config;
+  mmc_config.clustering = attack;
+  const auto mmc = core::learn_mmc(world.data.trail(0), mmc_config);
+  std::cout << "Mobility Markov Chain: " << mmc.states.size()
+            << " states; stationary distribution:";
+  for (double p : mmc.stationary) std::cout << ' ' << p;
+  const double acc = core::prediction_accuracy(world.data.trail(0), mmc_config);
+  std::cout << "\nnext-place prediction accuracy (70/30 split): " << acc
+            << "\n\n";
+
+  // --- de-anonymization across the whole dataset ------------------------------
+  std::vector<core::MobilityMarkovChain> gallery, probes;
+  std::vector<int> truth;
+  for (const auto& profile : world.profiles) {
+    const auto& trail = world.data.trail(profile.user_id);
+    const auto half = static_cast<std::ptrdiff_t>(trail.size() / 2);
+    gallery.push_back(core::learn_mmc(
+        geo::Trail(trail.begin(), trail.begin() + half), mmc_config));
+    probes.push_back(core::learn_mmc(
+        geo::Trail(trail.begin() + half, trail.end()), mmc_config));
+    truth.push_back(static_cast<int>(truth.size()));
+  }
+  const auto deanon = core::deanonymization_attack(gallery, probes, truth);
+  std::cout << "de-anonymization: re-identified " << deanon.correct << " of "
+            << probes.size() << " anonymized half-trails ("
+            << 100.0 * deanon.accuracy << "%)\n"
+            << "-> pseudonymization alone is not protection: movement "
+               "patterns are a quasi-identifier.\n";
+  return 0;
+}

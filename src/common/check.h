@@ -1,0 +1,53 @@
+// Lightweight contract-checking macros (Core Guidelines I.6/I.8 style).
+//
+// GEPETO_CHECK is always on (cheap invariants on hot-but-not-inner paths);
+// GEPETO_DCHECK compiles away in NDEBUG builds (inner-loop assertions).
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gepeto {
+
+/// Thrown when a GEPETO_CHECK fires. Carries the failing expression and
+/// the file:line where the invariant was violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace gepeto
+
+#define GEPETO_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::gepeto::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define GEPETO_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      std::ostringstream gepeto_check_os_;                              \
+      gepeto_check_os_ << msg;                                          \
+      ::gepeto::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                     gepeto_check_os_.str());           \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define GEPETO_DCHECK(expr) ((void)0)
+#else
+#define GEPETO_DCHECK(expr) GEPETO_CHECK(expr)
+#endif

@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace gepeto {
+namespace logging {
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("GEPETO_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(initial_level())};
+std::mutex g_emit_mu;
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void emit(LogLevel lvl, const std::string& message) {
+  std::lock_guard<std::mutex> lk(g_emit_mu);
+  std::cerr << "[gepeto " << level_name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace logging
+}  // namespace gepeto

@@ -1,0 +1,34 @@
+// Minimal thread-safe leveled logging. Off by default at DEBUG; the level is
+// controlled programmatically or via the GEPETO_LOG environment variable
+// (error|warn|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gepeto {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+namespace logging {
+
+/// Current global level (default: from $GEPETO_LOG, else warn).
+LogLevel level();
+void set_level(LogLevel lvl);
+
+/// Emit one line (thread safe). Used by the GEPETO_LOG() macro below.
+void emit(LogLevel lvl, const std::string& message);
+
+}  // namespace logging
+}  // namespace gepeto
+
+#define GEPETO_LOG(lvl, expr)                                      \
+  do {                                                             \
+    if (static_cast<int>(::gepeto::LogLevel::lvl) <=               \
+        static_cast<int>(::gepeto::logging::level())) {            \
+      std::ostringstream gepeto_log_os_;                           \
+      gepeto_log_os_ << expr;                                      \
+      ::gepeto::logging::emit(::gepeto::LogLevel::lvl,             \
+                              gepeto_log_os_.str());               \
+    }                                                              \
+  } while (0)

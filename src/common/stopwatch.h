@@ -1,0 +1,48 @@
+// Wall-clock and CPU-clock stopwatches used for real-time measurements.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace gepeto {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (used to calibrate the simulated cluster
+/// clock from actually executed task work).
+class CpuStopwatch {
+ public:
+  CpuStopwatch() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+  double start_;
+};
+
+}  // namespace gepeto

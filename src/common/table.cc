@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace gepeto {
+
+void Table::header(std::vector<std::string> cols) {
+  GEPETO_CHECK(rows_.empty());
+  header_ = std::move(cols);
+}
+
+void Table::row(std::vector<std::string> cols) {
+  GEPETO_CHECK_MSG(cols.size() == header_.size(),
+                   "row width " << cols.size() << " != header width "
+                                << header_.size());
+  rows_.push_back(std::move(cols));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << r[c];
+      if (c + 1 < r.size()) os << " | ";
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << std::string(widths[c], '-');
+    if (c + 1 < widths.size()) os << "-+-";
+  }
+  os << '\n';
+  for (const auto& r : rows_) print_row(r);
+  os << '\n';
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  if (bytes >= (1ULL << 30))
+    os << static_cast<double>(bytes) / double(1ULL << 30) << " GiB";
+  else if (bytes >= (1ULL << 20))
+    os << static_cast<double>(bytes) / double(1ULL << 20) << " MiB";
+  else if (bytes >= (1ULL << 10))
+    os << static_cast<double>(bytes) / double(1ULL << 10) << " KiB";
+  else
+    os << bytes << " B";
+  return os.str();
+}
+
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (s < 1e-3)
+    os << std::setprecision(1) << s * 1e6 << " us";
+  else if (s < 1.0)
+    os << std::setprecision(2) << s * 1e3 << " ms";
+  else if (s < 120.0)
+    os << std::setprecision(2) << s << " s";
+  else
+    os << static_cast<int>(s) / 60 << " min " << std::setprecision(0)
+       << static_cast<int>(s) % 60 << " s";
+  return os.str();
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int c = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (c != 0 && c % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++c;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace gepeto

@@ -1,0 +1,42 @@
+// Console table printer used by the benchmark harness to print paper-style
+// tables (Table I, III, IV, ...) with aligned columns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gepeto {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void header(std::vector<std::string> cols);
+
+  /// Append a data row; must match the header width.
+  void row(std::vector<std::string> cols);
+
+  /// Render with ASCII rules, e.g.
+  ///   == title ==
+  ///   col-a | col-b
+  ///   ------+------
+  ///   1     | 2
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string format_bytes(std::uint64_t bytes);
+std::string format_seconds(double s);
+std::string format_count(std::uint64_t n);  // thousands separators
+std::string format_double(double v, int precision);
+
+}  // namespace gepeto

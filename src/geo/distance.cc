@@ -1,0 +1,82 @@
+#include "geo/distance.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace gepeto::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+}
+
+double haversine_meters(double lat1, double lon1, double lat2, double lon2) {
+  const double phi1 = lat1 * kDegToRad;
+  const double phi2 = lat2 * kDegToRad;
+  const double dphi = (lat2 - lat1) * kDegToRad;
+  const double dlambda = (lon2 - lon1) * kDegToRad;
+  const double sdphi = std::sin(dphi / 2.0);
+  const double sdlambda = std::sin(dlambda / 2.0);
+  const double a =
+      sdphi * sdphi + std::cos(phi1) * std::cos(phi2) * sdlambda * sdlambda;
+  return 2.0 * kEarthRadiusMeters *
+         std::atan2(std::sqrt(a), std::sqrt(1.0 - a));
+}
+
+double squared_euclidean_deg(double lat1, double lon1, double lat2,
+                             double lon2) {
+  const double dlat = lat2 - lat1;
+  const double dlon = lon2 - lon1;
+  return dlat * dlat + dlon * dlon;
+}
+
+double euclidean_deg(double lat1, double lon1, double lat2, double lon2) {
+  return std::sqrt(squared_euclidean_deg(lat1, lon1, lat2, lon2));
+}
+
+double manhattan_deg(double lat1, double lon1, double lat2, double lon2) {
+  return std::fabs(lat2 - lat1) + std::fabs(lon2 - lon1);
+}
+
+double equirectangular_meters(double lat1, double lon1, double lat2,
+                              double lon2) {
+  const double x = (lon2 - lon1) * kDegToRad * std::cos(lat1 * kDegToRad);
+  const double y = (lat2 - lat1) * kDegToRad;
+  return std::sqrt(x * x + y * y) * kEarthRadiusMeters;
+}
+
+double distance(DistanceKind kind, double lat1, double lon1, double lat2,
+                double lon2) {
+  switch (kind) {
+    case DistanceKind::kSquaredEuclidean:
+      return squared_euclidean_deg(lat1, lon1, lat2, lon2);
+    case DistanceKind::kEuclidean:
+      return euclidean_deg(lat1, lon1, lat2, lon2);
+    case DistanceKind::kManhattan:
+      return manhattan_deg(lat1, lon1, lat2, lon2);
+    case DistanceKind::kHaversine:
+      return haversine_meters(lat1, lon1, lat2, lon2);
+  }
+  GEPETO_CHECK_MSG(false, "unknown DistanceKind");
+}
+
+std::string_view distance_name(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kSquaredEuclidean: return "SquaredEuclidean";
+    case DistanceKind::kEuclidean: return "Euclidean";
+    case DistanceKind::kManhattan: return "Manhattan";
+    case DistanceKind::kHaversine: return "Haversine";
+  }
+  return "?";
+}
+
+DistanceKind distance_from_name(std::string_view name) {
+  if (name == "SquaredEuclidean") return DistanceKind::kSquaredEuclidean;
+  if (name == "Euclidean") return DistanceKind::kEuclidean;
+  if (name == "Manhattan") return DistanceKind::kManhattan;
+  if (name == "Haversine") return DistanceKind::kHaversine;
+  GEPETO_CHECK_MSG(false, "unknown distance measure: " << name);
+}
+
+}  // namespace gepeto::geo

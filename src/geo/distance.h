@@ -1,0 +1,54 @@
+// Distance metrics over spatial coordinates (paper Section VI).
+//
+// The paper's k-means experiments compare the *squared Euclidean* distance
+// (over raw decimal degrees, cheaper, order-preserving with Euclidean) with
+// the *Haversine* great-circle distance (takes the shape of the earth into
+// account, more expensive per evaluation). Manhattan and plain Euclidean are
+// also provided, as GEPETO lets the analyst choose the metric.
+#pragma once
+
+#include <string_view>
+
+namespace gepeto::geo {
+
+inline constexpr double kEarthRadiusMeters = 6371000.8;
+
+/// Great-circle distance in meters (Sinnott's haversine formulation).
+double haversine_meters(double lat1, double lon1, double lat2, double lon2);
+
+/// Squared Euclidean distance over decimal degrees (dimension-by-dimension,
+/// no square root — faster, preserves the order relation of Euclidean).
+double squared_euclidean_deg(double lat1, double lon1, double lat2, double lon2);
+
+/// Euclidean distance over decimal degrees.
+double euclidean_deg(double lat1, double lon1, double lat2, double lon2);
+
+/// Manhattan (L1) distance over decimal degrees.
+double manhattan_deg(double lat1, double lon1, double lat2, double lon2);
+
+/// Fast local approximation of metric distance (equirectangular projection
+/// around the first point); used where meters matter but full haversine
+/// would dominate (speed filtering, neighborhood radii at city scale).
+double equirectangular_meters(double lat1, double lon1, double lat2,
+                              double lon2);
+
+/// The metric selector exposed in GEPETO job arguments ("distanceMeasure").
+enum class DistanceKind {
+  kSquaredEuclidean,
+  kEuclidean,
+  kManhattan,
+  kHaversine,
+};
+
+/// Evaluate the selected metric. Haversine returns meters; the degree-based
+/// metrics return degree-space values — callers compare like with like.
+double distance(DistanceKind kind, double lat1, double lon1, double lat2,
+                double lon2);
+
+/// Name used in runtime arguments and bench tables.
+std::string_view distance_name(DistanceKind kind);
+
+/// Parse a runtime-argument name; throws CheckFailure on unknown names.
+DistanceKind distance_from_name(std::string_view name);
+
+}  // namespace gepeto::geo

@@ -1,0 +1,409 @@
+#include "geo/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geo/distance.h"
+#include "geo/time.h"
+
+namespace gepeto::geo {
+
+namespace {
+
+constexpr double kMetersPerDegLat = 111320.0;
+
+double meters_to_deg_lat(double m) { return m / kMetersPerDegLat; }
+
+double meters_to_deg_lon(double m, double at_lat) {
+  return m / (kMetersPerDegLat *
+              std::cos(at_lat * std::numbers::pi / 180.0));
+}
+
+/// Uniform point in a disk of `radius_km` around the city center.
+Poi random_poi(Rng& rng, const GeneratorConfig& cfg, PoiKind kind) {
+  const double r_m = cfg.city_radius_km * 1000.0 * std::sqrt(rng.uniform());
+  const double theta = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  Poi p;
+  p.kind = kind;
+  p.latitude = cfg.city_latitude + meters_to_deg_lat(r_m * std::sin(theta));
+  p.longitude =
+      cfg.city_longitude + meters_to_deg_lon(r_m * std::cos(theta),
+                                             cfg.city_latitude);
+  return p;
+}
+
+/// Ground-truth MMC rows: home <-> work dominate, leisure in between.
+std::vector<std::vector<double>> make_transitions(std::size_t num_pois) {
+  GEPETO_CHECK(num_pois >= 2);
+  const std::size_t leisure = num_pois - 2;
+  std::vector<std::vector<double>> m(num_pois,
+                                     std::vector<double>(num_pois, 0.0));
+  // Row 0: home.
+  m[0][1] = leisure > 0 ? 0.55 : 1.0;
+  for (std::size_t j = 2; j < num_pois; ++j)
+    m[0][j] = 0.45 / static_cast<double>(leisure);
+  // Row 1: work.
+  m[1][0] = leisure > 0 ? 0.60 : 1.0;
+  for (std::size_t j = 2; j < num_pois; ++j)
+    m[1][j] = 0.40 / static_cast<double>(leisure);
+  // Leisure rows.
+  for (std::size_t i = 2; i < num_pois; ++i) {
+    if (leisure > 1) {
+      m[i][0] = 0.50;
+      m[i][1] = 0.20;
+      for (std::size_t j = 2; j < num_pois; ++j)
+        if (j != i) m[i][j] = 0.30 / static_cast<double>(leisure - 1);
+    } else {
+      m[i][0] = 0.70;
+      m[i][1] = 0.30;
+    }
+  }
+  return m;
+}
+
+/// Non-overlapping trajectory windows over the observation period. Like the
+/// real GeoLife logs, trajectories cluster into *active days*: a user logs
+/// several trajectories in a day, separated by gaps of tens of minutes to a
+/// couple of hours (commute legs, errands). Those short gaps matter: after
+/// coarse down-sampling, the speed filter sees the km-scale displacement
+/// between two nearby-in-time trajectories and classifies the boundary
+/// traces as moving — the effect behind Table IV's 5/10-minute rows.
+std::vector<std::pair<std::int64_t, std::int64_t>> plan_trajectories(
+    Rng& rng, const GeneratorConfig& cfg, int count) {
+  constexpr int kTrajectoriesPerActiveDay = 3;
+  const int active_days =
+      std::min(cfg.duration_days,
+               (count + kTrajectoriesPerActiveDay - 1) /
+                   kTrajectoriesPerActiveDay);
+
+  // Distinct active days (partial Fisher-Yates), sorted.
+  std::vector<int> days(static_cast<std::size_t>(cfg.duration_days));
+  for (int i = 0; i < cfg.duration_days; ++i)
+    days[static_cast<std::size_t>(i)] = i;
+  for (int i = 0; i < active_days; ++i) {
+    const auto j =
+        static_cast<std::size_t>(rng.uniform_int(i, cfg.duration_days - 1));
+    std::swap(days[static_cast<std::size_t>(i)], days[j]);
+  }
+  days.resize(static_cast<std::size_t>(active_days));
+  std::sort(days.begin(), days.end());
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> plan;  // (start, end)
+  plan.reserve(static_cast<std::size_t>(count));
+  int remaining = count;
+  for (std::size_t d = 0; d < days.size() && remaining > 0; ++d) {
+    // Spread the remaining quota over the remaining days.
+    const int today = std::min(
+        remaining,
+        static_cast<int>(rng.uniform_int(kTrajectoriesPerActiveDay - 1,
+                                         kTrajectoriesPerActiveDay + 1)));
+    // First trajectory of the day anywhere between early morning and late
+    // evening; chains may spill past midnight (night logging is what lets
+    // the home-identification attack see people at home).
+    std::int64_t t = cfg.start_time +
+                     static_cast<std::int64_t>(days[d]) * 86400 +
+                     rng.uniform_int(7 * 3600, 22 * 3600);
+    const std::int64_t day_end =
+        cfg.start_time + static_cast<std::int64_t>(days[d]) * 86400 +
+        26 * 3600;
+    for (int i = 0; i < today && t < day_end; ++i) {
+      const double minutes =
+          rng.uniform(cfg.trajectory_minutes_min, cfg.trajectory_minutes_max);
+      const std::int64_t end = t + static_cast<std::int64_t>(minutes * 60.0);
+      plan.emplace_back(t, end);
+      --remaining;
+      // Next trajectory after a short off-logger gap.
+      t = end + cfg.trajectory_gap_s +
+          static_cast<std::int64_t>(rng.exponential(2400.0));
+    }
+  }
+  return plan;
+}
+
+struct NoiseState {
+  double lat_m = 0.0;
+  double lon_m = 0.0;
+};
+
+void emit_sample(Trail& trail, Rng& rng, const GeneratorConfig& cfg,
+                 std::int32_t uid, double lat, double lon, std::int64_t ts,
+                 NoiseState& noise) {
+  // GPS noise is strongly autocorrelated between consecutive fixes: an
+  // AR(1) drift per axis (stationary std = gps_noise_m), so a dwelling
+  // receiver wanders slowly instead of jumping by the full amplitude.
+  constexpr double kNoisePhi = 0.95;
+  const double step =
+      cfg.gps_noise_m * std::sqrt(1.0 - kNoisePhi * kNoisePhi);
+  noise.lat_m = kNoisePhi * noise.lat_m + rng.gaussian(0.0, step);
+  noise.lon_m = kNoisePhi * noise.lon_m + rng.gaussian(0.0, step);
+  MobilityTrace t;
+  t.user_id = uid;
+  t.latitude = lat + meters_to_deg_lat(noise.lat_m);
+  t.longitude = lon + meters_to_deg_lon(noise.lon_m, cfg.city_latitude);
+  t.altitude_ft = 150.0 + rng.gaussian(0.0, 8.0);  // plain-city altitude
+  t.timestamp = ts;
+  trail.push_back(t);
+}
+
+/// POI a trajectory starts from, chosen by time of day (people are home at
+/// night, at work during weekday office hours).
+std::size_t initial_poi(Rng& rng, std::int64_t start, std::size_t num_pois) {
+  const int sod = seconds_of_day(start);
+  const int dow = day_of_week(start);
+  const bool night = sod < 8 * 3600 || sod >= 21 * 3600;
+  const bool office = dow < 5 && sod >= 9 * 3600 && sod < 17 * 3600;
+  if (night) return 0;
+  if (office && rng.chance(0.7)) return 1;
+  if (rng.chance(0.4)) return 0;
+  if (num_pois > 2 && rng.chance(0.5))
+    return 2 + rng.uniform_u64(num_pois - 2);
+  return 1;
+}
+
+}  // namespace
+
+namespace {
+
+/// A scheduled co-visit of two friends at their shared POI.
+struct Meeting {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Build the friendship graph (ring topology over user ids), shared POIs
+/// and meeting schedules, all from a dedicated deterministic stream.
+struct SocialPlan {
+  std::vector<std::pair<std::int32_t, std::int32_t>> friendships;
+  std::vector<Poi> shared_poi_of_user;             // flattened per-user extras
+  std::vector<std::vector<Poi>> extra_pois;        // per user
+  std::vector<std::vector<Meeting>> meetings;      // per user, time-sorted
+};
+
+SocialPlan plan_social(Rng& master, const GeneratorConfig& cfg) {
+  SocialPlan plan;
+  plan.extra_pois.resize(static_cast<std::size_t>(cfg.num_users));
+  plan.meetings.resize(static_cast<std::size_t>(cfg.num_users));
+  if (cfg.friends_per_user <= 0 || cfg.num_users < 2) return plan;
+
+  Rng rng = master.fork(0x50C1A1);
+  const int hops = std::min(cfg.friends_per_user, cfg.num_users - 1);
+  for (std::int32_t u = 0; u < cfg.num_users; ++u) {
+    for (int h = 1; h <= hops; ++h) {
+      const std::int32_t v =
+          static_cast<std::int32_t>((u + h) % cfg.num_users);
+      const auto a = std::min(u, v);
+      const auto b = std::max(u, v);
+      if (std::find(plan.friendships.begin(), plan.friendships.end(),
+                    std::make_pair(a, b)) != plan.friendships.end())
+        continue;
+      plan.friendships.emplace_back(a, b);
+
+      const Poi shared = random_poi(rng, cfg, PoiKind::kLeisure);
+      plan.extra_pois[static_cast<std::size_t>(a)].push_back(shared);
+      plan.extra_pois[static_cast<std::size_t>(b)].push_back(shared);
+
+      // Meetings: both users present over the same window.
+      const int count = static_cast<int>(rng.uniform_int(3, 7));
+      for (int m = 0; m < count; ++m) {
+        Meeting meet;
+        const auto day = rng.uniform_int(0, cfg.duration_days - 1);
+        const auto sod = rng.uniform_int(10 * 3600, 21 * 3600);
+        meet.start = cfg.start_time + day * 86400 + sod;
+        meet.end = meet.start + rng.uniform_int(20 * 60, 60 * 60);
+        meet.latitude = shared.latitude;
+        meet.longitude = shared.longitude;
+        plan.meetings[static_cast<std::size_t>(a)].push_back(meet);
+        plan.meetings[static_cast<std::size_t>(b)].push_back(meet);
+      }
+    }
+  }
+  for (auto& m : plan.meetings)
+    std::sort(m.begin(), m.end(), [](const Meeting& x, const Meeting& y) {
+      return x.start < y.start;
+    });
+  return plan;
+}
+
+/// Drop windows that overlap any meeting of the user (meetings win).
+std::vector<std::pair<std::int64_t, std::int64_t>> drop_overlapping(
+    std::vector<std::pair<std::int64_t, std::int64_t>> windows,
+    const std::vector<Meeting>& meetings) {
+  if (meetings.empty()) return windows;
+  std::erase_if(windows, [&](const auto& w) {
+    for (const auto& m : meetings)
+      if (w.first < m.end && m.start < w.second) return true;
+    return false;
+  });
+  return windows;
+}
+
+}  // namespace
+
+SyntheticDataset generate_dataset(const GeneratorConfig& cfg) {
+  GEPETO_CHECK(cfg.num_users > 0);
+  GEPETO_CHECK(cfg.duration_days > 0);
+  GEPETO_CHECK(cfg.sample_period_min_s >= 1);
+  GEPETO_CHECK(cfg.sample_period_max_s >= cfg.sample_period_min_s);
+  GEPETO_CHECK(cfg.trajectory_minutes_min > 0 &&
+               cfg.trajectory_minutes_max >= cfg.trajectory_minutes_min);
+  GEPETO_CHECK(cfg.trajectories_per_user_min >= 1 &&
+               cfg.trajectories_per_user_max >= cfg.trajectories_per_user_min);
+  GEPETO_CHECK(cfg.travel_start_prob >= 0.0 && cfg.travel_start_prob <= 1.0);
+
+  SyntheticDataset out;
+  out.profiles.reserve(static_cast<std::size_t>(cfg.num_users));
+  Rng master(cfg.seed);
+  SocialPlan social = plan_social(master, cfg);
+  out.friendships = social.friendships;
+
+  for (std::int32_t uid = 0; uid < cfg.num_users; ++uid) {
+    Rng rng = master.fork(static_cast<std::uint64_t>(uid) + 1);
+
+    UserProfile profile;
+    profile.user_id = uid;
+    profile.pois.push_back(random_poi(rng, cfg, PoiKind::kHome));
+    // Keep home and work a sensible commute apart (>= 1.5 km).
+    for (;;) {
+      Poi work = random_poi(rng, cfg, PoiKind::kWork);
+      if (haversine_meters(profile.pois[0].latitude, profile.pois[0].longitude,
+                           work.latitude, work.longitude) >= 1500.0) {
+        profile.pois.push_back(work);
+        break;
+      }
+    }
+    const int leisure = static_cast<int>(
+        rng.uniform_int(cfg.leisure_pois_min, cfg.leisure_pois_max));
+    for (int i = 0; i < leisure; ++i)
+      profile.pois.push_back(random_poi(rng, cfg, PoiKind::kLeisure));
+    // Shared POIs from the social plan become regular leisure POIs of this
+    // user (ground truth includes them).
+    for (const auto& shared : social.extra_pois[static_cast<std::size_t>(uid)])
+      profile.pois.push_back(shared);
+    profile.transitions = make_transitions(profile.pois.size());
+
+    Trail trail;
+    // A user's meetings (from different friendships) may collide; keep the
+    // earlier one of each overlapping pair so time segments stay disjoint.
+    std::vector<Meeting> my_meetings;
+    for (const auto& meet : social.meetings[static_cast<std::size_t>(uid)]) {
+      if (my_meetings.empty() || meet.start >= my_meetings.back().end)
+        my_meetings.push_back(meet);
+    }
+    // Meetings: both friends dwell at the shared POI over the same window.
+    for (const auto& meet : my_meetings) {
+      const int period = static_cast<int>(rng.uniform_int(
+          cfg.sample_period_min_s, cfg.sample_period_max_s));
+      NoiseState noise;
+      for (std::int64_t now = meet.start; now < meet.end; now += period)
+        emit_sample(trail, rng, cfg, uid, meet.latitude, meet.longitude, now,
+                    noise);
+    }
+
+    const int trajectories = static_cast<int>(rng.uniform_int(
+        cfg.trajectories_per_user_min, cfg.trajectories_per_user_max));
+    for (const auto& [start, end] :
+         drop_overlapping(plan_trajectories(rng, cfg, trajectories),
+                          my_meetings)) {
+      const int period = static_cast<int>(rng.uniform_int(
+          cfg.sample_period_min_s, cfg.sample_period_max_s));
+      NoiseState noise;
+      std::int64_t now = start;
+      std::size_t here = initial_poi(rng, start, profile.pois.size());
+
+      // Optionally start the log in the middle of a trip.
+      bool mid_travel = rng.chance(cfg.travel_start_prob);
+      double travel_frac0 = mid_travel ? rng.uniform(0.1, 0.7) : 0.0;
+
+      while (now < end) {
+        if (!mid_travel) {
+          // Dwell at the current POI.
+          const double dwell_min =
+              rng.uniform(cfg.dwell_minutes_min, cfg.dwell_minutes_max);
+          const std::int64_t dwell_end =
+              now + static_cast<std::int64_t>(dwell_min * 60.0);
+          const Poi& poi = profile.pois[here];
+          while (now < dwell_end && now < end) {
+            emit_sample(trail, rng, cfg, uid, poi.latitude, poi.longitude,
+                        now, noise);
+            now += period;
+          }
+          if (now >= end) break;
+        }
+
+        // Travel to the next POI (MMC transition).
+        const auto& row = profile.transitions[here];
+        const std::size_t next = rng.weighted_pick(row.data(), row.size());
+        const Poi& from = profile.pois[here];
+        const Poi& to = profile.pois[next];
+        const double dist_m =
+            haversine_meters(from.latitude, from.longitude, to.latitude,
+                             to.longitude);
+        const double speed_ms =
+            rng.uniform(cfg.speed_kmh_min, cfg.speed_kmh_max) / 3.6;
+        const double leg_seconds = std::max(1.0, dist_m / speed_ms);
+        // A mid-travel start skips the first part of the leg.
+        double frac = mid_travel ? travel_frac0 : 0.0;
+        mid_travel = false;
+        const double frac_per_step =
+            static_cast<double>(period) / leg_seconds;
+        while (frac < 1.0 && now < end) {
+          const double lat =
+              from.latitude + frac * (to.latitude - from.latitude);
+          const double lon =
+              from.longitude + frac * (to.longitude - from.longitude);
+          emit_sample(trail, rng, cfg, uid, lat, lon, now, noise);
+          now += period;
+          frac += frac_per_step;
+        }
+        here = next;
+      }
+    }
+    // Meetings were emitted first; restore global time order (all segments
+    // are disjoint in time, so the order is strict).
+    std::sort(trail.begin(), trail.end(),
+              [](const MobilityTrace& a, const MobilityTrace& b) {
+                return a.timestamp < b.timestamp;
+              });
+    out.data.add_trail(uid, std::move(trail));
+    out.profiles.push_back(std::move(profile));
+  }
+  return out;
+}
+
+GeneratorConfig scaled_config(int num_users, std::uint64_t target_traces,
+                              std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.num_users = num_users;
+  cfg.seed = seed;
+
+  // Expected traces/user with the current knobs: trajectories x minutes x
+  // 60 x E[1/period].
+  const double avg_trajectories =
+      0.5 * (cfg.trajectories_per_user_min + cfg.trajectories_per_user_max);
+  const double avg_minutes =
+      0.5 * (cfg.trajectory_minutes_min + cfg.trajectory_minutes_max);
+  double inv_period = 0.0;
+  for (int p = cfg.sample_period_min_s; p <= cfg.sample_period_max_s; ++p)
+    inv_period += 1.0 / static_cast<double>(p);
+  inv_period /= static_cast<double>(cfg.sample_period_max_s -
+                                    cfg.sample_period_min_s + 1);
+  const double expected = static_cast<double>(num_users) * avg_trajectories *
+                          avg_minutes * 60.0 * inv_period;
+  const double scale = static_cast<double>(target_traces) / expected;
+
+  // Scale the trajectory count; lengths and behaviour stay GeoLife-like.
+  cfg.trajectories_per_user_min = std::max(
+      1, static_cast<int>(cfg.trajectories_per_user_min * scale));
+  cfg.trajectories_per_user_max = std::max(
+      cfg.trajectories_per_user_min,
+      static_cast<int>(cfg.trajectories_per_user_max * scale));
+  return cfg;
+}
+
+}  // namespace gepeto::geo

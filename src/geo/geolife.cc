@@ -1,0 +1,340 @@
+#include "geo/geolife.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "geo/time.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/seqfile.h"
+
+namespace gepeto::geo {
+
+namespace {
+
+/// Split `line` at commas into at most `max_fields` views. Returns the number
+/// of fields found, or -1 if there are more than `max_fields`.
+int split_csv(std::string_view line, std::string_view* fields,
+              int max_fields) {
+  int n = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == ',') {
+      if (n == max_fields) return -1;
+      fields[n++] = line.substr(start, i - start);
+      start = i + 1;
+    }
+  }
+  return n;
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool parse_i32(std::string_view s, std::int32_t& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+/// Shared tail of plt/dataset parsing: fields[0..6] are the 7 PLT fields.
+bool parse_plt_fields(const std::string_view* f, std::int32_t user_id,
+                      MobilityTrace& out) {
+  MobilityTrace t;
+  t.user_id = user_id;
+  if (!parse_double(f[0], t.latitude)) return false;
+  if (!parse_double(f[1], t.longitude)) return false;
+  double unused = 0.0;
+  if (!parse_double(f[2], unused)) return false;
+  if (!parse_double(f[3], t.altitude_ft)) return false;
+  double days = 0.0;
+  if (!parse_double(f[4], days)) return false;
+  // The string date/time is authoritative (exact to the second); the day
+  // number is redundant. Fall back to the day number only if date/time are
+  // malformed, as some GeoLife logs have been seen with mangled tails.
+  CivilTime ct;
+  if (parse_date(f[5], ct) && parse_time(f[6], ct)) {
+    t.timestamp = to_unix_seconds(ct);
+  } else {
+    t.timestamp = from_geolife_days(days);
+  }
+  if (t.latitude < -90.0 || t.latitude > 90.0) return false;
+  if (t.longitude < -180.0 || t.longitude > 180.0) return false;
+  out = t;
+  return true;
+}
+
+void append_plt_fields(std::string& out, const MobilityTrace& t) {
+  char buf[128];
+  const CivilTime ct = from_unix_seconds(t.timestamp);
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f,0,%.0f,%.10f,", t.latitude,
+                t.longitude, t.altitude_ft, to_geolife_days(t.timestamp));
+  out += buf;
+  out += format_date(ct);
+  out += ',';
+  out += format_time(ct);
+}
+
+}  // namespace
+
+std::string plt_header() {
+  return
+      "Geolife trajectory\n"
+      "WGS 84\n"
+      "Altitude is in Feet\n"
+      "Reserved 3\n"
+      "0,2,255,My Track,0,0,2,8421376\n"
+      "0\n";
+}
+
+std::string plt_line(const MobilityTrace& trace) {
+  std::string out;
+  out.reserve(80);
+  append_plt_fields(out, trace);
+  return out;
+}
+
+bool parse_plt_line(std::string_view line, std::int32_t user_id,
+                    MobilityTrace& out) {
+  std::string_view f[7];
+  if (split_csv(line, f, 7) != 7) return false;
+  return parse_plt_fields(f, user_id, out);
+}
+
+std::string dataset_line(const MobilityTrace& trace) {
+  std::string out;
+  out.reserve(90);
+  out += std::to_string(trace.user_id);
+  out += ',';
+  append_plt_fields(out, trace);
+  return out;
+}
+
+bool parse_dataset_line(std::string_view line, MobilityTrace& out) {
+  std::string_view f[8];
+  if (split_csv(line, f, 8) != 8) return false;
+  std::int32_t uid = 0;
+  if (!parse_i32(f[0], uid)) return false;
+  return parse_plt_fields(f + 1, uid, out);
+}
+
+std::string trail_to_lines(const Trail& trail) {
+  std::string out;
+  out.reserve(trail.size() * 90);
+  for (const auto& t : trail) {
+    out += dataset_line(t);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void dataset_to_dfs(mr::Dfs& dfs, const std::string& prefix,
+                    const GeolocatedDataset& dataset, int num_files) {
+  GEPETO_CHECK(num_files > 0);
+  const auto users = dataset.users();
+  const int files =
+      std::min<int>(num_files, std::max<int>(1, static_cast<int>(users.size())));
+  const std::size_t per_file =
+      (users.size() + static_cast<std::size_t>(files) - 1) /
+      static_cast<std::size_t>(files);
+
+  std::size_t u = 0;
+  for (int fidx = 0; fidx < files && u < users.size(); ++fidx) {
+    std::string contents;
+    for (std::size_t i = 0; i < per_file && u < users.size(); ++i, ++u)
+      contents += trail_to_lines(dataset.trail(users[u]));
+    char name[32];
+    std::snprintf(name, sizeof(name), "/points-%05d", fidx);
+    dfs.put(prefix + name, std::move(contents));
+  }
+}
+
+GeolocatedDataset dataset_from_dfs(const mr::Dfs& dfs,
+                                   const std::string& prefix) {
+  GeolocatedDataset out;
+  for (const auto& path : dfs.list(prefix)) {
+    const std::string_view data = dfs.read(path);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (!line.empty()) {
+        MobilityTrace t;
+        GEPETO_CHECK_MSG(parse_dataset_line(line, t),
+                         "malformed dataset line in " << path << ": " << line);
+        out.add(t);
+      }
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+std::uint64_t count_dfs_records(const mr::Dfs& dfs,
+                                const std::string& prefix) {
+  std::uint64_t n = 0;
+  for (const auto& path : dfs.list(prefix)) {
+    const std::string_view data = dfs.read(path);
+    for (char c : data) n += (c == '\n');
+  }
+  return n;
+}
+
+void dataset_to_dfs_binary(mr::Dfs& dfs, const std::string& prefix,
+                           const GeolocatedDataset& dataset, int num_files) {
+  GEPETO_CHECK(num_files > 0);
+  const auto users = dataset.users();
+  const int files = std::min<int>(
+      num_files, std::max<int>(1, static_cast<int>(users.size())));
+  const std::size_t per_file =
+      (users.size() + static_cast<std::size_t>(files) - 1) /
+      static_cast<std::size_t>(files);
+
+  std::size_t u = 0;
+  for (int fidx = 0; fidx < files && u < users.size(); ++fidx) {
+    mr::SeqFileWriter writer(dfs.config().seed ^ static_cast<std::uint64_t>(fidx));
+    std::string record;
+    for (std::size_t i = 0; i < per_file && u < users.size(); ++i, ++u) {
+      for (const auto& t : dataset.trail(users[u])) {
+        record.clear();
+        append_binary_trace(record, t);
+        writer.append(record);
+      }
+    }
+    char name[32];
+    std::snprintf(name, sizeof(name), "/points-%05d", fidx);
+    dfs.put(prefix + name, std::move(writer.contents()));
+  }
+}
+
+void append_binary_trace(std::string& out, const MobilityTrace& t) {
+  char buf[kBinaryTraceSize];
+  const float alt = static_cast<float>(t.altitude_ft);
+  std::memcpy(buf, &t.user_id, 4);
+  std::memcpy(buf + 4, &t.latitude, 8);
+  std::memcpy(buf + 12, &t.longitude, 8);
+  std::memcpy(buf + 20, &alt, 4);
+  std::memcpy(buf + 24, &t.timestamp, 8);
+  out.append(buf, kBinaryTraceSize);
+}
+
+std::string trace_to_binary(const MobilityTrace& t) {
+  std::string out;
+  out.reserve(kBinaryTraceSize);
+  append_binary_trace(out, t);
+  return out;
+}
+
+bool trace_from_binary(std::string_view bytes, MobilityTrace& out) {
+  if (bytes.size() != kBinaryTraceSize) return false;
+  MobilityTrace t;
+  float alt = 0;
+  std::memcpy(&t.user_id, bytes.data(), 4);
+  std::memcpy(&t.latitude, bytes.data() + 4, 8);
+  std::memcpy(&t.longitude, bytes.data() + 12, 8);
+  std::memcpy(&alt, bytes.data() + 20, 4);
+  std::memcpy(&t.timestamp, bytes.data() + 24, 8);
+  t.altitude_ft = alt;
+  if (!(t.latitude >= -90.0 && t.latitude <= 90.0)) return false;
+  if (!(t.longitude >= -180.0 && t.longitude <= 180.0)) return false;
+  out = t;
+  return true;
+}
+
+std::size_t write_geolife_directory(const GeolocatedDataset& dataset,
+                                    const std::string& root,
+                                    int trajectory_gap_s) {
+  namespace fs = std::filesystem;
+  std::size_t files = 0;
+  for (const auto& [uid, trail] : dataset) {
+    char dirname[32];
+    std::snprintf(dirname, sizeof(dirname), "%03d", uid);
+    const fs::path dir = fs::path(root) / "Data" / dirname / "Trajectory";
+    fs::create_directories(dir);
+
+    std::size_t start = 0;
+    while (start < trail.size()) {
+      std::size_t end = start + 1;
+      while (end < trail.size() &&
+             trail[end].timestamp - trail[end - 1].timestamp <=
+                 trajectory_gap_s)
+        ++end;
+      // File named after the first trace's timestamp, GeoLife style
+      // (YYYYMMDDHHMMSS.plt).
+      const CivilTime ct = from_unix_seconds(trail[start].timestamp);
+      char fname[40];
+      std::snprintf(fname, sizeof(fname), "%04d%02d%02d%02d%02d%02d.plt",
+                    ct.year, ct.month, ct.day, ct.hour, ct.minute, ct.second);
+      std::string contents = plt_header();
+      for (std::size_t i = start; i < end; ++i) {
+        contents += plt_line(trail[i]);
+        contents.push_back('\n');
+      }
+      std::ofstream out(dir / fname, std::ios::binary);
+      GEPETO_CHECK_MSG(out.good(), "cannot create " << (dir / fname));
+      out << contents;
+      ++files;
+      start = end;
+    }
+  }
+  return files;
+}
+
+GeolocatedDataset read_geolife_directory(const std::string& root) {
+  namespace fs = std::filesystem;
+  GeolocatedDataset out;
+  const fs::path data_dir = fs::path(root) / "Data";
+  GEPETO_CHECK_MSG(fs::is_directory(data_dir),
+                   "not a GeoLife tree (no Data/): " << root);
+
+  // Deterministic order: sort user directories, then files.
+  std::vector<fs::path> user_dirs;
+  for (const auto& entry : fs::directory_iterator(data_dir))
+    if (entry.is_directory()) user_dirs.push_back(entry.path());
+  std::sort(user_dirs.begin(), user_dirs.end());
+
+  for (const auto& user_dir : user_dirs) {
+    std::int32_t uid = 0;
+    const std::string name = user_dir.filename().string();
+    const char* first = name.data();
+    auto [ptr, ec] = std::from_chars(first, first + name.size(), uid);
+    if (ec != std::errc() || ptr != first + name.size()) continue;
+
+    const fs::path traj = user_dir / "Trajectory";
+    if (!fs::is_directory(traj)) continue;
+    std::vector<fs::path> plt_files;
+    for (const auto& entry : fs::directory_iterator(traj))
+      if (entry.path().extension() == ".plt") plt_files.push_back(entry.path());
+    std::sort(plt_files.begin(), plt_files.end());
+
+    Trail trail;
+    for (const auto& file : plt_files) {
+      std::ifstream in(file, std::ios::binary);
+      GEPETO_CHECK_MSG(in.good(), "cannot open " << file);
+      std::string line;
+      int line_no = 0;
+      while (std::getline(in, line)) {
+        ++line_no;
+        if (line_no <= 6) continue;  // the fixed header
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        MobilityTrace t;
+        if (parse_plt_line(line, uid, t)) trail.push_back(t);
+        // Unparsable lines are skipped, as in the real dataset.
+      }
+    }
+    out.add_trail(uid, std::move(trail));
+  }
+  return out;
+}
+
+}  // namespace gepeto::geo

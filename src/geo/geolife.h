@@ -1,0 +1,106 @@
+// GeoLife file-format support (paper Section IV, Fig. 1).
+//
+// A GeoLife PLT line is
+//   latitude,longitude,0,altitude_ft,days_since_1899,date,time
+// e.g.
+//   39.906631,116.385564,0,492,39745.1174768519,2008-10-24,02:49:30
+// where field 3 is unused ("has no meaning for this particular dataset"),
+// field 5 is the OLE day number, and the last two fields are the string
+// date/time acting as the timestamp.
+//
+// In the real dataset, one PLT file holds one trajectory and lives in a
+// directory named after the user. When a dataset is loaded into the DFS for
+// MapReduce processing we prepend the user identifier, giving the flat
+// *dataset line*:
+//   user_id,latitude,longitude,0,altitude_ft,days_since_1899,date,time
+// so that any chunk of any file is self-describing.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "geo/trace.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::geo {
+
+/// The 6 header lines present in every real PLT file.
+std::string plt_header();
+
+/// Format one trace as a PLT line (without user id, no trailing newline).
+std::string plt_line(const MobilityTrace& trace);
+
+/// Parse a PLT line; `user_id` is taken from the caller (directory name in
+/// the real dataset). Returns false on malformed input.
+bool parse_plt_line(std::string_view line, std::int32_t user_id,
+                    MobilityTrace& out);
+
+/// Format one trace as a flat dataset line (with user id, no newline).
+std::string dataset_line(const MobilityTrace& trace);
+
+/// Parse a flat dataset line. Returns false on malformed input.
+bool parse_dataset_line(std::string_view line, MobilityTrace& out);
+
+/// Serialize a whole trail as consecutive dataset lines.
+std::string trail_to_lines(const Trail& trail);
+
+/// Write a dataset into the DFS under `prefix`, as `num_files` files of
+/// consecutive users (`prefix/points-NNNNN`). Lines are (user, time) ordered
+/// within each file, as produced by concatenating per-user logs.
+void dataset_to_dfs(mr::Dfs& dfs, const std::string& prefix,
+                    const GeolocatedDataset& dataset, int num_files = 4);
+
+/// Read every file under `prefix` back into a dataset (inverse of
+/// dataset_to_dfs; also reads MapReduce job outputs made of dataset lines).
+GeolocatedDataset dataset_from_dfs(const mr::Dfs& dfs,
+                                   const std::string& prefix);
+
+/// Count dataset lines under a DFS prefix without materializing traces.
+std::uint64_t count_dfs_records(const mr::Dfs& dfs, const std::string& prefix);
+
+/// Write a dataset as SequenceFile-style binary files (`prefix/points-NNNNN`,
+/// one 32-byte record per trace) — the storage format Mahout-style jobs
+/// consume; readable by mr::run_binary_map_only_job.
+void dataset_to_dfs_binary(mr::Dfs& dfs, const std::string& prefix,
+                           const GeolocatedDataset& dataset,
+                           int num_files = 4);
+
+// --- binary record encoding (for SequenceFile-style storage) ----------------
+//
+// Mahout-style jobs consume binary SequenceFiles rather than text (paper,
+// related work). This fixed 32-byte little-endian encoding is the record
+// payload used with mr::SeqFileWriter/SeqFileReader: roughly 3x smaller
+// than a dataset line and parsed with a memcpy instead of a float parse.
+
+inline constexpr std::size_t kBinaryTraceSize = 32;
+
+/// Encode as 32 bytes: i32 user, f64 lat, f64 lon, f32 alt_ft, i64 ts.
+std::string trace_to_binary(const MobilityTrace& trace);
+void append_binary_trace(std::string& out, const MobilityTrace& trace);
+
+/// Decode; returns false if the size is wrong or coordinates are invalid.
+bool trace_from_binary(std::string_view bytes, MobilityTrace& out);
+
+// --- real GeoLife directory layout on the local filesystem -----------------
+//
+// The distributed dataset ships as Data/<user-id>/Trajectory/<stamp>.plt,
+// one PLT file per trajectory, each starting with the 6 header lines. These
+// helpers read/write that exact layout, so the toolkit can ingest the real
+// dataset when available (and our writer round-trips through our reader).
+
+/// Write `dataset` under `root` in the GeoLife directory layout, splitting
+/// each user's trail into trajectory files at gaps larger than
+/// `trajectory_gap_s`. Returns the number of PLT files written.
+std::size_t write_geolife_directory(const GeolocatedDataset& dataset,
+                                    const std::string& root,
+                                    int trajectory_gap_s = 600);
+
+/// Read a GeoLife directory tree rooted at `root` ("Data/<uid>/Trajectory/
+/// *.plt"); user ids come from the directory names. Unparsable lines are
+/// skipped (the real dataset has a few).
+GeolocatedDataset read_geolife_directory(const std::string& root);
+
+}  // namespace gepeto::geo

@@ -1,0 +1,76 @@
+#include "geo/stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/table.h"
+#include "geo/distance.h"
+#include "geo/time.h"
+
+namespace gepeto::geo {
+
+DatasetStats compute_stats(const GeolocatedDataset& dataset) {
+  DatasetStats s;
+  s.num_users = dataset.num_users();
+  s.num_traces = dataset.num_traces();
+  if (s.num_traces == 0) return s;
+  s.avg_traces_per_user =
+      static_cast<double>(s.num_traces) / static_cast<double>(s.num_users);
+
+  s.earliest = std::numeric_limits<std::int64_t>::max();
+  s.latest = std::numeric_limits<std::int64_t>::min();
+  s.min_latitude = s.min_longitude = std::numeric_limits<double>::max();
+  s.max_latitude = s.max_longitude = std::numeric_limits<double>::lowest();
+
+  std::vector<double> gaps;
+  for (const auto& [uid, trail] : dataset) {
+    for (std::size_t i = 0; i < trail.size(); ++i) {
+      const auto& t = trail[i];
+      s.earliest = std::min(s.earliest, t.timestamp);
+      s.latest = std::max(s.latest, t.timestamp);
+      s.min_latitude = std::min(s.min_latitude, t.latitude);
+      s.max_latitude = std::max(s.max_latitude, t.latitude);
+      s.min_longitude = std::min(s.min_longitude, t.longitude);
+      s.max_longitude = std::max(s.max_longitude, t.longitude);
+      if (i > 0) {
+        const auto& p = trail[i - 1];
+        const double gap = static_cast<double>(t.timestamp - p.timestamp);
+        if (gap > 0 && gap <= 600.0) gaps.push_back(gap);
+        s.total_distance_km +=
+            haversine_meters(p.latitude, p.longitude, t.latitude,
+                             t.longitude) /
+            1000.0;
+      }
+    }
+  }
+  if (!gaps.empty()) {
+    auto mid = gaps.begin() + static_cast<std::ptrdiff_t>(gaps.size() / 2);
+    std::nth_element(gaps.begin(), mid, gaps.end());
+    s.median_sample_period_s = *mid;
+  }
+  return s;
+}
+
+std::string describe(const DatasetStats& s) {
+  std::ostringstream os;
+  os << "users: " << s.num_users << ", traces: "
+     << gepeto::format_count(s.num_traces) << " (avg "
+     << gepeto::format_double(s.avg_traces_per_user, 0) << "/user)\n";
+  if (s.num_traces != 0) {
+    os << "period: " << format_date(from_unix_seconds(s.earliest)) << " .. "
+       << format_date(from_unix_seconds(s.latest)) << "\n";
+    os << "bbox: lat [" << gepeto::format_double(s.min_latitude, 4) << ", "
+       << gepeto::format_double(s.max_latitude, 4) << "], lon ["
+       << gepeto::format_double(s.min_longitude, 4) << ", "
+       << gepeto::format_double(s.max_longitude, 4) << "]\n";
+    os << "median sampling period: "
+       << gepeto::format_double(s.median_sample_period_s, 1)
+       << " s, total distance: "
+       << gepeto::format_double(s.total_distance_km, 0) << " km\n";
+  }
+  return os.str();
+}
+
+}  // namespace gepeto::geo

@@ -1,0 +1,33 @@
+// Descriptive statistics over geolocated datasets — GEPETO's "measure the
+// utility of a particular geolocated dataset" entry point, and the numbers
+// quoted in bench headers (trace counts, densities, spans).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geo/trace.h"
+
+namespace gepeto::geo {
+
+struct DatasetStats {
+  std::size_t num_users = 0;
+  std::uint64_t num_traces = 0;
+  double avg_traces_per_user = 0.0;
+  std::int64_t earliest = 0;
+  std::int64_t latest = 0;
+  double min_latitude = 0.0, max_latitude = 0.0;
+  double min_longitude = 0.0, max_longitude = 0.0;
+  /// Median inter-sample gap (seconds) within trails, ignoring gaps over
+  /// 10 minutes (session boundaries) — GeoLife's is 1-5 s.
+  double median_sample_period_s = 0.0;
+  /// Total distance travelled (sum of consecutive-trace hops), km.
+  double total_distance_km = 0.0;
+};
+
+DatasetStats compute_stats(const GeolocatedDataset& dataset);
+
+/// Multi-line human-readable rendering for README/bench headers.
+std::string describe(const DatasetStats& stats);
+
+}  // namespace gepeto::geo

@@ -1,0 +1,138 @@
+#include "geo/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace gepeto::geo {
+
+namespace {
+/// Days between 1899-12-30 (the OLE epoch GeoLife uses) and 1970-01-01.
+constexpr std::int64_t kOleToUnixDays = 25569;
+}  // namespace
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  // Howard Hinnant's algorithm (public domain), exact for the proleptic
+  // Gregorian calendar.
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& year, int& month, int& day) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);           // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;              // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);           // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                        // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                             // [1, 12]
+  year = static_cast<int>(y + (m <= 2));
+  month = static_cast<int>(m);
+  day = static_cast<int>(d);
+}
+
+std::int64_t to_unix_seconds(const CivilTime& ct) {
+  return days_from_civil(ct.year, ct.month, ct.day) * 86400 +
+         ct.hour * 3600 + ct.minute * 60 + ct.second;
+}
+
+CivilTime from_unix_seconds(std::int64_t ts) {
+  std::int64_t days = ts / 86400;
+  std::int64_t rem = ts % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(rem / 3600);
+  ct.minute = static_cast<int>((rem % 3600) / 60);
+  ct.second = static_cast<int>(rem % 60);
+  return ct;
+}
+
+double to_geolife_days(std::int64_t ts) {
+  return static_cast<double>(ts) / 86400.0 + static_cast<double>(kOleToUnixDays);
+}
+
+std::int64_t from_geolife_days(double days) {
+  return static_cast<std::int64_t>(
+      std::llround((days - static_cast<double>(kOleToUnixDays)) * 86400.0));
+}
+
+std::string format_date(const CivilTime& ct) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ct.year, ct.month, ct.day);
+  return buf;
+}
+
+std::string format_time(const CivilTime& ct) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", ct.hour, ct.minute,
+                ct.second);
+  return buf;
+}
+
+namespace {
+bool parse_2_or_4_digits(std::string_view s, std::size_t pos, std::size_t len,
+                         int& out) {
+  int v = 0;
+  if (pos + len > s.size()) return false;
+  for (std::size_t i = pos; i < pos + len; ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  out = v;
+  return true;
+}
+}  // namespace
+
+bool parse_date(std::string_view s, CivilTime& ct) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') return false;
+  int y, m, d;
+  if (!parse_2_or_4_digits(s, 0, 4, y) || !parse_2_or_4_digits(s, 5, 2, m) ||
+      !parse_2_or_4_digits(s, 8, 2, d))
+    return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  ct.year = y;
+  ct.month = m;
+  ct.day = d;
+  return true;
+}
+
+bool parse_time(std::string_view s, CivilTime& ct) {
+  if (s.size() != 8 || s[2] != ':' || s[5] != ':') return false;
+  int h, m, sec;
+  if (!parse_2_or_4_digits(s, 0, 2, h) || !parse_2_or_4_digits(s, 3, 2, m) ||
+      !parse_2_or_4_digits(s, 6, 2, sec))
+    return false;
+  if (h > 23 || m > 59 || sec > 60) return false;
+  ct.hour = h;
+  ct.minute = m;
+  ct.second = sec;
+  return true;
+}
+
+int day_of_week(std::int64_t ts) {
+  std::int64_t days = ts / 86400;
+  if (ts % 86400 < 0) --days;
+  // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+  return static_cast<int>(((days % 7) + 7 + 3) % 7);
+}
+
+int seconds_of_day(std::int64_t ts) {
+  std::int64_t rem = ts % 86400;
+  if (rem < 0) rem += 86400;
+  return static_cast<int>(rem);
+}
+
+}  // namespace gepeto::geo

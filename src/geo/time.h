@@ -1,0 +1,58 @@
+// Civil-time <-> Unix-time <-> GeoLife day-number conversions.
+//
+// GeoLife's fifth field is "the date as the number of days elapsed since
+// 12/30/1899" (an OLE Automation date), with the time of day as the
+// fractional part. These conversions are exact for the integral parts and
+// round-tripped to the second for fractional day numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gepeto::geo {
+
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+/// Days from 1970-01-01 to the given civil date (proleptic Gregorian).
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+void civil_from_days(std::int64_t days, int& year, int& month, int& day);
+
+/// Civil date-time (UTC) -> Unix seconds.
+std::int64_t to_unix_seconds(const CivilTime& ct);
+
+/// Unix seconds -> civil date-time (UTC).
+CivilTime from_unix_seconds(std::int64_t ts);
+
+/// Unix seconds -> GeoLife day number (days since 1899-12-30, fractional).
+double to_geolife_days(std::int64_t ts);
+
+/// GeoLife day number -> Unix seconds (rounded to the nearest second).
+std::int64_t from_geolife_days(double days);
+
+/// "YYYY-MM-DD" / "HH:MM:SS" formatting used by GeoLife logs.
+std::string format_date(const CivilTime& ct);
+std::string format_time(const CivilTime& ct);
+
+/// Parse "YYYY-MM-DD" and "HH:MM:SS" into `ct`; returns false on malformed
+/// input.
+bool parse_date(std::string_view s, CivilTime& ct);
+bool parse_time(std::string_view s, CivilTime& ct);
+
+/// Day of week for a Unix timestamp: 0 = Monday ... 6 = Sunday.
+int day_of_week(std::int64_t ts);
+
+/// Seconds since local midnight (UTC-based; the synthetic city keeps UTC).
+int seconds_of_day(std::int64_t ts);
+
+}  // namespace gepeto::geo

@@ -1,0 +1,79 @@
+// Core mobility-data types (paper Section II).
+//
+// A *mobility trace* is (identifier, spatial coordinate, timestamp, and
+// optional additional information — here the altitude, as in GeoLife). A
+// *trail of traces* is the time-ordered collection of one individual's
+// traces; a *geolocated dataset* is a set of trails from different
+// individuals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gepeto::geo {
+
+/// One GPS observation of one user.
+struct MobilityTrace {
+  std::int32_t user_id = 0;
+  double latitude = 0.0;    ///< decimal degrees, positive north
+  double longitude = 0.0;   ///< decimal degrees, positive east
+  double altitude_ft = 0.0; ///< feet, as stored by GeoLife (-777 = missing)
+  std::int64_t timestamp = 0;  ///< seconds since the Unix epoch (UTC)
+
+  friend bool operator==(const MobilityTrace&, const MobilityTrace&) = default;
+};
+
+/// Time-ordered traces of a single user.
+using Trail = std::vector<MobilityTrace>;
+
+/// A set of trails keyed by user identifier.
+class GeolocatedDataset {
+ public:
+  GeolocatedDataset() = default;
+
+  /// Append one trace to its user's trail (caller keeps traces time-ordered
+  /// per user, as the generator and parsers do).
+  void add(const MobilityTrace& trace) { trails_[trace.user_id].push_back(trace); }
+
+  void add_trail(std::int32_t user_id, Trail trail) {
+    trails_[user_id] = std::move(trail);
+  }
+
+  bool has_user(std::int32_t user_id) const { return trails_.count(user_id) != 0; }
+
+  const Trail& trail(std::int32_t user_id) const { return trails_.at(user_id); }
+
+  /// User ids in ascending order (map keys).
+  std::vector<std::int32_t> users() const {
+    std::vector<std::int32_t> out;
+    out.reserve(trails_.size());
+    for (const auto& [uid, trail] : trails_) out.push_back(uid);
+    return out;
+  }
+
+  std::size_t num_users() const { return trails_.size(); }
+
+  std::size_t num_traces() const {
+    std::size_t n = 0;
+    for (const auto& [uid, trail] : trails_) n += trail.size();
+    return n;
+  }
+
+  /// Every trace, in (user, time) order.
+  std::vector<MobilityTrace> all_traces() const {
+    std::vector<MobilityTrace> out;
+    out.reserve(num_traces());
+    for (const auto& [uid, trail] : trails_)
+      out.insert(out.end(), trail.begin(), trail.end());
+    return out;
+  }
+
+  auto begin() const { return trails_.begin(); }
+  auto end() const { return trails_.end(); }
+
+ private:
+  std::map<std::int32_t, Trail> trails_;  // ordered: deterministic iteration
+};
+
+}  // namespace gepeto::geo

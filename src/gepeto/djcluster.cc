@@ -1,0 +1,560 @@
+#include "gepeto/djcluster.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "index/rtree.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto::core {
+
+namespace {
+
+constexpr int kTimestampBits = 40;
+
+/// Speed of `cur` given optional neighbors (paper: distance between the
+/// previous and next traces over the time difference; one-sided at trail
+/// ends; isolated traces are stationary).
+double trace_speed_ms(const geo::MobilityTrace* prev,
+                      const geo::MobilityTrace& cur,
+                      const geo::MobilityTrace* next) {
+  const geo::MobilityTrace* a = prev ? prev : &cur;
+  const geo::MobilityTrace* b = next ? next : &cur;
+  if (a == b) return 0.0;  // isolated trace: stationary by definition
+  const double dist = geo::equirectangular_meters(a->latitude, a->longitude,
+                                                  b->latitude, b->longitude);
+  const double dt = static_cast<double>(b->timestamp - a->timestamp);
+  if (dt <= 0.0) {
+    // Co-timestamped traces that moved are instantaneous teleports: treat as
+    // (infinitely) moving so they are filtered out.
+    return dist == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return dist / dt;
+}
+
+/// Streaming stationary filter shared by the sequential path and the mapper:
+/// feed (user, time)-ordered traces; emits kept traces via the sink.
+class SpeedFilterFolder {
+ public:
+  explicit SpeedFilterFolder(double threshold) : threshold_(threshold) {}
+
+  template <typename Sink>
+  void feed(const geo::MobilityTrace& next, Sink&& sink) {
+    if (have_cur_ && next.user_id != cur_.user_id) {
+      finalize(nullptr, sink);  // last trace of the previous user
+      have_cur_ = false;
+      have_prev_ = false;
+    }
+    if (!have_cur_) {
+      cur_ = next;
+      have_cur_ = true;
+      return;
+    }
+    finalize(&next, sink);
+    prev_ = cur_;
+    have_prev_ = true;
+    cur_ = next;
+  }
+
+  template <typename Sink>
+  void flush(Sink&& sink) {
+    if (have_cur_) finalize(nullptr, sink);
+    have_cur_ = have_prev_ = false;
+  }
+
+ private:
+  template <typename Sink>
+  void finalize(const geo::MobilityTrace* next, Sink&& sink) {
+    const double v =
+        trace_speed_ms(have_prev_ ? &prev_ : nullptr, cur_, next);
+    if (v < threshold_) sink(cur_);
+  }
+
+  double threshold_;
+  geo::MobilityTrace prev_{}, cur_{};
+  bool have_prev_ = false, have_cur_ = false;
+};
+
+/// Streaming duplicate remover: keeps the first trace of each redundant run.
+class DedupFolder {
+ public:
+  explicit DedupFolder(double radius_m) : radius_m_(radius_m) {}
+
+  template <typename Sink>
+  void feed(const geo::MobilityTrace& t, Sink&& sink) {
+    if (have_ && t.user_id == last_kept_.user_id &&
+        geo::equirectangular_meters(last_kept_.latitude, last_kept_.longitude,
+                                    t.latitude, t.longitude) < radius_m_) {
+      return;  // redundant with the last kept trace
+    }
+    last_kept_ = t;
+    have_ = true;
+    sink(t);
+  }
+
+ private:
+  double radius_m_;
+  geo::MobilityTrace last_kept_{};
+  bool have_ = false;
+};
+
+// --- MapReduce mappers ---------------------------------------------------------
+
+struct FilterMovingMapper {
+  double threshold_ms;
+  SpeedFilterFolder folder{threshold_ms};
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("dj.malformed_lines");
+      return;
+    }
+    folder.feed(t, [&](const geo::MobilityTrace& kept) {
+      ctx.write(geo::dataset_line(kept));
+    });
+  }
+
+  void cleanup(mr::MapOnlyContext& ctx) {
+    folder.flush([&](const geo::MobilityTrace& kept) {
+      ctx.write(geo::dataset_line(kept));
+    });
+  }
+};
+
+struct DedupMapper {
+  double radius_m;
+  DedupFolder folder{radius_m};
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("dj.malformed_lines");
+      return;
+    }
+    folder.feed(t, [&](const geo::MobilityTrace& kept) {
+      ctx.write(geo::dataset_line(kept));
+    });
+  }
+};
+
+/// The value shuffled from the neighborhood mappers to the single reducer:
+/// one core trace's neighborhood, as packed trace ids (coordinates are
+/// recovered from the distributed-cache entries file, which keeps the
+/// shuffle small — ids only, not points).
+struct IdList {
+  std::vector<std::uint64_t> ids;
+  std::uint64_t serialized_size() const { return 8 * ids.size() + 8; }
+};
+
+/// Entries-file line: "id,lat,lon".
+std::string entries_to_lines(const std::vector<index::RTreeEntry>& entries) {
+  std::string out;
+  out.reserve(entries.size() * 48);
+  char buf[96];
+  for (const auto& e : entries) {
+    std::snprintf(buf, sizeof(buf), "%llu,%.10f,%.10f\n",
+                  static_cast<unsigned long long>(e.id), e.lat, e.lon);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<index::RTreeEntry> entries_from_lines(std::string_view data) {
+  std::vector<index::RTreeEntry> out;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    const std::string_view line = data.substr(start, end - start);
+    if (!line.empty()) {
+      index::RTreeEntry e;
+      const char* p = line.data();
+      const char* ed = line.data() + line.size();
+      auto r1 = std::from_chars(p, ed, e.id);
+      GEPETO_CHECK_MSG(r1.ec == std::errc() && r1.ptr != ed && *r1.ptr == ',',
+                       "bad entries line: " << line);
+      auto r2 = std::from_chars(r1.ptr + 1, ed, e.lat);
+      GEPETO_CHECK_MSG(r2.ec == std::errc() && r2.ptr != ed && *r2.ptr == ',',
+                       "bad entries line: " << line);
+      auto r3 = std::from_chars(r2.ptr + 1, ed, e.lon);
+      GEPETO_CHECK_MSG(r3.ec == std::errc() && r3.ptr == ed,
+                       "bad entries line: " << line);
+      out.push_back(e);
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+struct NeighborhoodMapper {
+  using OutKey = std::int32_t;  // constant: all pairs go to one reducer
+  using OutValue = IdList;
+
+  std::string entries_file;
+  double radius_m;
+  int min_pts;
+  index::RTree tree{16};
+
+  void setup(mr::TaskContext& ctx) {
+    // "a mapper first loads the R-Tree from the distributed cache while
+    // executing its setup method"
+    const auto entries = entries_from_lines(ctx.cache_file(entries_file));
+    tree.bulk_load_str(entries);
+  }
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("dj.malformed_lines");
+      return;
+    }
+    const auto neighborhood =
+        tree.radius_search_meters(t.latitude, t.longitude, radius_m);
+    if (neighborhood.size() < static_cast<std::size_t>(min_pts)) {
+      ctx.increment("dj.noise_candidates");
+      return;  // markAsNoise
+    }
+    IdList list;
+    list.ids.reserve(neighborhood.size());
+    for (const auto& e : neighborhood) list.ids.push_back(e.id);
+    std::sort(list.ids.begin(), list.ids.end());
+    ctx.emit(0, std::move(list));
+    ctx.increment("dj.core_traces");
+  }
+};
+
+/// Union-find over packed trace ids.
+class UnionFind {
+ public:
+  std::uint64_t find(std::uint64_t x) {
+    auto it = parent_.find(x);
+    if (it == parent_.end()) {
+      parent_.emplace(x, x);
+      return x;
+    }
+    // Path compression (iterative).
+    std::uint64_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const std::uint64_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  void unite(std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t ra = find(a), rb = find(b);
+    if (ra == rb) return;
+    // Deterministic: smaller id becomes the root.
+    if (ra < rb)
+      parent_[rb] = ra;
+    else
+      parent_[ra] = rb;
+  }
+
+  const std::unordered_map<std::uint64_t, std::uint64_t>& raw() const {
+    return parent_;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_;
+};
+
+/// Shared by the sequential implementation and the reducer: merge
+/// neighborhoods into clusters and compute centroids. `coords` maps packed
+/// id -> (lat, lon); `total` is the number of preprocessed traces.
+DjClusterResult merge_neighborhoods(
+    const std::vector<std::vector<std::uint64_t>>& neighborhoods,
+    const std::unordered_map<std::uint64_t, std::pair<double, double>>& coords,
+    std::uint64_t total) {
+  UnionFind uf;
+  for (const auto& n : neighborhoods) {
+    GEPETO_DCHECK(!n.empty());
+    for (std::size_t i = 1; i < n.size(); ++i) uf.unite(n[0], n[i]);
+    uf.find(n[0]);  // ensure singleton neighborhoods are registered
+  }
+
+  // Group members by root, deterministically (ids in ascending order).
+  std::map<std::uint64_t, std::vector<std::uint64_t>> groups;
+  {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(uf.raw().size());
+    for (const auto& [id, p] : uf.raw()) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (std::uint64_t id : ids) groups[uf.find(id)].push_back(id);
+  }
+
+  DjClusterResult result;
+  for (auto& [root, members] : groups) {
+    std::sort(members.begin(), members.end());
+    DjCluster c;
+    double lat = 0, lon = 0;
+    for (std::uint64_t id : members) {
+      const auto it = coords.find(id);
+      GEPETO_CHECK_MSG(it != coords.end(), "unknown trace id in cluster");
+      lat += it->second.first;
+      lon += it->second.second;
+    }
+    c.centroid_lat = lat / static_cast<double>(members.size());
+    c.centroid_lon = lon / static_cast<double>(members.size());
+    c.members = std::move(members);
+    result.clustered += c.members.size();
+    result.clusters.push_back(std::move(c));
+  }
+  // groups is ordered by root = smallest member id: already sorted.
+  GEPETO_CHECK(total >= result.clustered);
+  result.noise = total - result.clustered;
+  return result;
+}
+
+struct MergeReducer {
+  std::string entries_file;
+
+  std::unordered_map<std::uint64_t, std::pair<double, double>> coords;
+  std::uint64_t total = 0;
+
+  void setup(mr::TaskContext& ctx) {
+    for (const auto& e : entries_from_lines(ctx.cache_file(entries_file))) {
+      coords.emplace(e.id, std::make_pair(e.lat, e.lon));
+      ++total;
+    }
+  }
+
+  void reduce(const std::int32_t&, std::span<const IdList> values,
+              mr::ReduceContext& ctx) {
+    std::vector<std::vector<std::uint64_t>> neighborhoods;
+    neighborhoods.reserve(values.size());
+    for (const auto& v : values) neighborhoods.push_back(v.ids);
+    // Deterministic merge order regardless of shuffle arrival order.
+    std::sort(neighborhoods.begin(), neighborhoods.end());
+    const auto result = merge_neighborhoods(neighborhoods, coords, total);
+
+    char buf[128];
+    for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+      const auto& c = result.clusters[i];
+      std::snprintf(buf, sizeof(buf), "cluster,%zu,%zu,%.10f,%.10f,", i,
+                    c.members.size(), c.centroid_lat, c.centroid_lon);
+      std::string line = buf;
+      for (std::size_t m = 0; m < c.members.size(); ++m) {
+        if (m) line.push_back(' ');
+        line += std::to_string(c.members[m]);
+      }
+      ctx.write(line);
+    }
+    std::snprintf(buf, sizeof(buf), "noise,%llu",
+                  static_cast<unsigned long long>(result.noise));
+    ctx.write(buf);
+    ctx.increment("dj.clusters",
+                  static_cast<std::int64_t>(result.clusters.size()));
+  }
+};
+
+}  // namespace
+
+std::uint64_t pack_trace_id(std::int32_t user_id, std::int64_t timestamp) {
+  GEPETO_DCHECK(user_id >= 0);
+  GEPETO_DCHECK(timestamp >= 0 && timestamp < (std::int64_t{1} << kTimestampBits));
+  return (static_cast<std::uint64_t>(user_id) << kTimestampBits) |
+         static_cast<std::uint64_t>(timestamp);
+}
+
+void unpack_trace_id(std::uint64_t id, std::int32_t& user_id,
+                     std::int64_t& timestamp) {
+  user_id = static_cast<std::int32_t>(id >> kTimestampBits);
+  timestamp =
+      static_cast<std::int64_t>(id & ((std::uint64_t{1} << kTimestampBits) - 1));
+}
+
+geo::Trail filter_moving(const geo::Trail& trail, double speed_threshold_ms) {
+  SpeedFilterFolder folder(speed_threshold_ms);
+  geo::Trail out;
+  for (const auto& t : trail)
+    folder.feed(t, [&](const geo::MobilityTrace& k) { out.push_back(k); });
+  folder.flush([&](const geo::MobilityTrace& k) { out.push_back(k); });
+  return out;
+}
+
+geo::Trail remove_duplicates(const geo::Trail& trail,
+                             double duplicate_radius_m) {
+  DedupFolder folder(duplicate_radius_m);
+  geo::Trail out;
+  for (const auto& t : trail)
+    folder.feed(t, [&](const geo::MobilityTrace& k) { out.push_back(k); });
+  return out;
+}
+
+geo::GeolocatedDataset preprocess(const geo::GeolocatedDataset& dataset,
+                                  const DjClusterConfig& config) {
+  geo::GeolocatedDataset out;
+  for (const auto& [uid, trail] : dataset) {
+    out.add_trail(uid,
+                  remove_duplicates(
+                      filter_moving(trail, config.speed_threshold_ms),
+                      config.duplicate_radius_m));
+  }
+  return out;
+}
+
+DjClusterResult dj_cluster(const geo::GeolocatedDataset& preprocessed,
+                           const DjClusterConfig& config) {
+  // Build the R-Tree over every preprocessed trace.
+  std::vector<index::RTreeEntry> entries;
+  std::unordered_map<std::uint64_t, std::pair<double, double>> coords;
+  entries.reserve(preprocessed.num_traces());
+  for (const auto& [uid, trail] : preprocessed) {
+    for (const auto& t : trail) {
+      const auto id = pack_trace_id(t.user_id, t.timestamp);
+      entries.push_back({t.latitude, t.longitude, id});
+      coords.emplace(id, std::make_pair(t.latitude, t.longitude));
+    }
+  }
+  index::RTree tree(16);
+  tree.bulk_load_str(entries);
+
+  std::vector<std::vector<std::uint64_t>> neighborhoods;
+  for (const auto& e : entries) {
+    const auto n = tree.radius_search_meters(e.lat, e.lon, config.radius_m);
+    if (n.size() < static_cast<std::size_t>(config.min_pts)) continue;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(n.size());
+    for (const auto& x : n) ids.push_back(x.id);
+    std::sort(ids.begin(), ids.end());
+    neighborhoods.push_back(std::move(ids));
+  }
+  std::sort(neighborhoods.begin(), neighborhoods.end());
+  return merge_neighborhoods(neighborhoods, coords, entries.size());
+}
+
+DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
+                                      const mr::ClusterConfig& cluster,
+                                      const std::string& input,
+                                      const std::string& work_prefix,
+                                      const DjClusterConfig& config) {
+  DjPreprocessStats stats;
+  stats.input_traces = geo::count_dfs_records(dfs, input);
+
+  mr::JobConfig filter;
+  filter.name = "dj-filter-moving";
+  filter.input = input;
+  filter.output = work_prefix + "/filtered";
+  const double threshold = config.speed_threshold_ms;
+  stats.filter_job = mr::run_map_only_job(
+      dfs, cluster, filter,
+      [threshold] { return FilterMovingMapper{threshold}; });
+  stats.after_filter = stats.filter_job.output_records;
+
+  mr::JobConfig dedup;
+  dedup.name = "dj-remove-duplicates";
+  dedup.input = work_prefix + "/filtered";
+  dedup.output = work_prefix + "/preprocessed";
+  const double radius = config.duplicate_radius_m;
+  stats.dedup_job = mr::run_map_only_job(
+      dfs, cluster, dedup, [radius] { return DedupMapper{radius}; });
+  stats.after_dedup = stats.dedup_job.output_records;
+  return stats;
+}
+
+DjMapReduceResult run_djcluster_jobs(mr::Dfs& dfs,
+                                     const mr::ClusterConfig& cluster,
+                                     const std::string& input,
+                                     const std::string& work_prefix,
+                                     const DjClusterConfig& config) {
+  DjMapReduceResult result;
+  result.preprocess =
+      run_preprocess_jobs(dfs, cluster, input, work_prefix, config);
+
+  // The driver serializes the preprocessed traces as R-Tree entries into the
+  // distributed cache; every mapper bulk-loads its own R-Tree from it
+  // (construction of the tree itself via MapReduce is exercised separately
+  // in rtree_mr).
+  const auto preprocessed =
+      geo::dataset_from_dfs(dfs, work_prefix + "/preprocessed/");
+  std::vector<index::RTreeEntry> entries;
+  entries.reserve(preprocessed.num_traces());
+  for (const auto& [uid, trail] : preprocessed)
+    for (const auto& t : trail)
+      entries.push_back(
+          {t.latitude, t.longitude, pack_trace_id(t.user_id, t.timestamp)});
+  const std::string entries_file = work_prefix + "/rtree-entries";
+  dfs.put(entries_file, entries_to_lines(entries));
+
+  mr::JobConfig job;
+  job.name = "dj-cluster";
+  job.input = work_prefix + "/preprocessed";
+  job.output = work_prefix + "/clusters";
+  job.num_reducers = 1;  // "a single reducer implements the last phase"
+  job.cache_files = {entries_file};
+  const double radius = config.radius_m;
+  const int min_pts = config.min_pts;
+  result.cluster_job = mr::run_mapreduce_job(
+      dfs, cluster, job,
+      [entries_file, radius, min_pts] {
+        return NeighborhoodMapper{entries_file, radius, min_pts,
+                                  index::RTree(16)};
+      },
+      [entries_file] { return MergeReducer{entries_file, {}, 0}; });
+
+  // Parse the reducer output back into a DjClusterResult.
+  for (const auto& part : dfs.list(job.output + "/")) {
+    const std::string_view data = dfs.read(part);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (line.rfind("cluster,", 0) == 0) {
+        DjCluster c;
+        // cluster,<idx>,<size>,<lat>,<lon>,<ids...>
+        std::size_t field = 0, pos = 8;
+        std::size_t size_field = 0;
+        while (field < 4) {
+          const std::size_t comma = line.find(',', pos);
+          GEPETO_CHECK(comma != std::string_view::npos);
+          const std::string_view f = line.substr(pos, comma - pos);
+          const char* fp = f.data();
+          if (field == 1) {
+            std::from_chars(fp, fp + f.size(), size_field);
+          } else if (field == 2) {
+            std::from_chars(fp, fp + f.size(), c.centroid_lat);
+          } else if (field == 3) {
+            std::from_chars(fp, fp + f.size(), c.centroid_lon);
+          }
+          pos = comma + 1;
+          ++field;
+        }
+        // Remaining: space-separated member ids.
+        while (pos < line.size()) {
+          std::size_t space = line.find(' ', pos);
+          if (space == std::string_view::npos) space = line.size();
+          std::uint64_t id = 0;
+          const std::string_view f = line.substr(pos, space - pos);
+          std::from_chars(f.data(), f.data() + f.size(), id);
+          c.members.push_back(id);
+          pos = space + 1;
+        }
+        GEPETO_CHECK(c.members.size() == size_field);
+        result.clusters.clustered += c.members.size();
+        result.clusters.clusters.push_back(std::move(c));
+      } else if (line.rfind("noise,", 0) == 0) {
+        std::uint64_t n = 0;
+        const std::string_view f = line.substr(6);
+        std::from_chars(f.data(), f.data() + f.size(), n);
+        result.clusters.noise = n;
+      }
+      start = end + 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,122 @@
+// DJ-Cluster — Density-Joinable Clustering (paper Section VII, Fig. 5,
+// Table IV, Algorithms 4-5).
+//
+// Three phases, each expressible in MapReduce:
+//  1. *Preprocessing*: two pipelined map-only jobs. The first keeps only
+//     stationary traces (speed below a threshold epsilon); the second
+//     removes redundant consecutive traces (almost the same coordinate,
+//     different timestamps), keeping the first of each redundant run.
+//  2. *Neighborhood identification* (map): for each trace, the set of traces
+//     within distance r, computed against an R-Tree shipped through the
+//     distributed cache; traces with fewer than MinPts neighbors are noise.
+//  3. *Merging* (single reducer): all neighborhoods sharing at least one
+//     trace are joined into one cluster; every trace ends up in exactly one
+//     cluster or marked as noise, clusters are non-overlapping and contain
+//     at least MinPts traces.
+//
+// Speed of a trace: "the distance traveled between the previous and the next
+// traces divided by the corresponding time difference" — a symmetric
+// difference; the first/last trace of a trail fall back to the one-sided
+// difference, and an isolated trace has speed 0 (kept). In the map-only
+// realization each mapper only sees its own chunk, so the handful of traces
+// at chunk boundaries use one-sided speeds — identical to the sequential
+// reference when a file is a single chunk, and off by at most 2 traces per
+// chunk otherwise (quantified in the tests).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/trace.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+struct DjClusterConfig {
+  /// Preprocessing speed threshold epsilon (m/s). The paper uses a value
+  /// equivalent to 7.2 km/h = 2 m/s.
+  double speed_threshold_ms = 2.0;
+  /// Two consecutive traces closer than this are redundant (meters).
+  double duplicate_radius_m = 1.0;
+  /// Neighborhood radius r (meters).
+  double radius_m = 100.0;
+  /// Minimum neighborhood size MinPts (the point itself counts).
+  int min_pts = 8;
+};
+
+/// A stable identifier for a trace: (user id, timestamp) packed into 64
+/// bits. Timestamps are strictly increasing per user after preprocessing, so
+/// this is unique within a dataset.
+std::uint64_t pack_trace_id(std::int32_t user_id, std::int64_t timestamp);
+void unpack_trace_id(std::uint64_t id, std::int32_t& user_id,
+                     std::int64_t& timestamp);
+
+struct DjCluster {
+  std::vector<std::uint64_t> members;  ///< packed trace ids, sorted
+  double centroid_lat = 0.0;
+  double centroid_lon = 0.0;
+};
+
+struct DjClusterResult {
+  std::vector<DjCluster> clusters;     ///< sorted by smallest member id
+  std::uint64_t noise = 0;             ///< traces assigned to no cluster
+  std::uint64_t clustered = 0;
+};
+
+// --- sequential reference ----------------------------------------------------
+
+/// Phase 1a: keep stationary traces of one trail.
+geo::Trail filter_moving(const geo::Trail& trail, double speed_threshold_ms);
+
+/// Phase 1b: drop redundant consecutive traces of one trail.
+geo::Trail remove_duplicates(const geo::Trail& trail,
+                             double duplicate_radius_m);
+
+/// Full preprocessing over a dataset.
+geo::GeolocatedDataset preprocess(const geo::GeolocatedDataset& dataset,
+                                  const DjClusterConfig& config);
+
+/// Phases 2+3 over an already-preprocessed dataset.
+DjClusterResult dj_cluster(const geo::GeolocatedDataset& preprocessed,
+                           const DjClusterConfig& config);
+
+// --- MapReduce realization -----------------------------------------------------
+
+struct DjPreprocessStats {
+  mr::JobResult filter_job;
+  mr::JobResult dedup_job;
+  std::uint64_t input_traces = 0;
+  std::uint64_t after_filter = 0;
+  std::uint64_t after_dedup = 0;
+};
+
+/// Phase 1 as two pipelined map-only jobs (Fig. 5):
+/// input -> `work_prefix`/filtered -> `work_prefix`/preprocessed.
+DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
+                                      const mr::ClusterConfig& cluster,
+                                      const std::string& input,
+                                      const std::string& work_prefix,
+                                      const DjClusterConfig& config);
+
+struct DjMapReduceResult {
+  DjClusterResult clusters;
+  DjPreprocessStats preprocess;
+  mr::JobResult cluster_job;  ///< the neighborhood+merge job
+};
+
+/// The full pipeline: preprocessing jobs, R-Tree distribution via the
+/// distributed cache, then the neighborhood (map) + merging (single reduce)
+/// job. Cluster lines are written to `work_prefix`/clusters.
+DjMapReduceResult run_djcluster_jobs(mr::Dfs& dfs,
+                                     const mr::ClusterConfig& cluster,
+                                     const std::string& input,
+                                     const std::string& work_prefix,
+                                     const DjClusterConfig& config);
+
+}  // namespace gepeto::core

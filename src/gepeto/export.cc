@@ -1,0 +1,212 @@
+#include "gepeto/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace gepeto::core {
+
+namespace {
+
+void append_coord(std::string& out, double lon, double lat) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.6f,%.6f]", lon, lat);
+  out += buf;
+}
+
+/// Open/close a FeatureCollection around a comma-joined feature list.
+std::string collection(std::string features) {
+  return "{\"type\":\"FeatureCollection\",\"features\":[" +
+         std::move(features) + "]}";
+}
+
+std::string point_feature(double lat, double lon,
+                          const std::string& properties) {
+  std::string out = "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+                    "\"coordinates\":";
+  append_coord(out, lon, lat);
+  out += "},\"properties\":{" + properties + "}}";
+  return out;
+}
+
+}  // namespace
+
+std::string dataset_to_geojson(const geo::GeolocatedDataset& dataset,
+                               const GeoJsonOptions& options) {
+  std::string features;
+  bool first_user = true;
+  for (const auto& [uid, trail] : dataset) {
+    if (!first_user) features += ",";
+    first_user = false;
+    features +=
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"MultiLineString\","
+        "\"coordinates\":[";
+    bool first_segment = true;
+    std::size_t start = 0;
+    while (start < trail.size()) {
+      std::size_t end = start + 1;
+      while (end < trail.size() &&
+             trail[end].timestamp - trail[end - 1].timestamp <=
+                 options.trajectory_gap_s)
+        ++end;
+      if (!first_segment) features += ",";
+      first_segment = false;
+      features += "[";
+      const std::size_t count = end - start;
+      const std::size_t limit = options.max_points_per_segment;
+      const std::size_t step =
+          (limit == 0 || count <= limit) ? 1 : (count + limit - 1) / limit;
+      bool first_pt = true;
+      for (std::size_t i = start; i < end; i += step) {
+        if (!first_pt) features += ",";
+        first_pt = false;
+        append_coord(features, trail[i].longitude, trail[i].latitude);
+      }
+      // A LineString needs at least two positions: repeat lone points.
+      if (count == 1 || (step >= count && count > 0)) {
+        features += ",";
+        append_coord(features, trail[start].longitude, trail[start].latitude);
+      }
+      features += "]";
+      start = end;
+    }
+    features += "]},\"properties\":{\"user\":" + std::to_string(uid) + "}}";
+  }
+  return collection(std::move(features));
+}
+
+std::string clusters_to_geojson(const DjClusterResult& clusters) {
+  std::string features;
+  for (std::size_t i = 0; i < clusters.clusters.size(); ++i) {
+    const auto& c = clusters.clusters[i];
+    if (i) features += ",";
+    features += point_feature(
+        c.centroid_lat, c.centroid_lon,
+        "\"cluster\":" + std::to_string(i) +
+            ",\"size\":" + std::to_string(c.members.size()));
+  }
+  return collection(std::move(features));
+}
+
+std::string pois_to_geojson(const ExtractedPois& pois) {
+  std::string features;
+  for (std::size_t i = 0; i < pois.pois.size(); ++i) {
+    const auto& p = pois.pois[i];
+    if (i) features += ",";
+    std::string role = "poi";
+    if (static_cast<int>(i) == pois.home_index) role = "home";
+    if (static_cast<int>(i) == pois.work_index) role = "work";
+    features += point_feature(
+        p.latitude, p.longitude,
+        "\"role\":\"" + role +
+            "\",\"traces\":" + std::to_string(p.num_traces) +
+            ",\"night\":" + std::to_string(p.night_traces) +
+            ",\"office\":" + std::to_string(p.office_traces));
+  }
+  return collection(std::move(features));
+}
+
+std::string ground_truth_to_geojson(
+    const std::vector<geo::UserProfile>& profiles) {
+  std::string features;
+  bool first = true;
+  for (const auto& profile : profiles) {
+    for (const auto& p : profile.pois) {
+      if (!first) features += ",";
+      first = false;
+      const char* kind = p.kind == geo::PoiKind::kHome     ? "home"
+                         : p.kind == geo::PoiKind::kWork   ? "work"
+                                                           : "leisure";
+      features += point_feature(
+          p.latitude, p.longitude,
+          "\"user\":" + std::to_string(profile.user_id) + ",\"kind\":\"" +
+              kind + "\"");
+    }
+  }
+  return collection(std::move(features));
+}
+
+std::string zones_to_geojson(const std::vector<MixZone>& zones) {
+  std::string features;
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    if (z) features += ",";
+    const auto& zone = zones[z];
+    features += "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Polygon\","
+                "\"coordinates\":[[";
+    constexpr int kSides = 24;
+    const double dlat = zone.radius_m / 111320.0;
+    const double dlon =
+        zone.radius_m /
+        (111320.0 * std::cos(zone.latitude * std::numbers::pi / 180.0));
+    for (int i = 0; i <= kSides; ++i) {  // closed ring: repeat first vertex
+      if (i) features += ",";
+      const double a =
+          2.0 * std::numbers::pi * static_cast<double>(i % kSides) / kSides;
+      append_coord(features, zone.longitude + dlon * std::cos(a),
+                   zone.latitude + dlat * std::sin(a));
+    }
+    features += "]]},\"properties\":{\"radius_m\":" +
+                std::to_string(zone.radius_m) + "}}";
+  }
+  return collection(std::move(features));
+}
+
+std::string social_links_to_geojson(
+    const std::vector<SocialEdge>& edges,
+    const std::vector<geo::UserProfile>& profiles) {
+  auto anchor = [&](std::int32_t uid) -> const geo::Poi* {
+    for (const auto& p : profiles)
+      if (p.user_id == uid && !p.pois.empty()) return &p.pois.front();
+    return nullptr;
+  };
+  std::string features;
+  bool first = true;
+  for (const auto& e : edges) {
+    const geo::Poi* a = anchor(e.a);
+    const geo::Poi* b = anchor(e.b);
+    if (a == nullptr || b == nullptr) continue;
+    if (!first) features += ",";
+    first = false;
+    features += "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+                "\"coordinates\":[";
+    append_coord(features, a->longitude, a->latitude);
+    features += ",";
+    append_coord(features, b->longitude, b->latitude);
+    features += "]},\"properties\":{\"a\":" + std::to_string(e.a) +
+                ",\"b\":" + std::to_string(e.b) +
+                ",\"meetings\":" + std::to_string(e.meetings) + "}}";
+  }
+  return collection(std::move(features));
+}
+
+std::string heatmap_csv(const geo::GeolocatedDataset& dataset, double cell_m) {
+  GEPETO_CHECK(cell_m > 0.0);
+  const double dlat = cell_m / 111320.0;
+  std::map<std::pair<std::int64_t, std::int64_t>, std::uint64_t> cells;
+  for (const auto& [uid, trail] : dataset) {
+    for (const auto& t : trail) {
+      const double dlon =
+          cell_m /
+          (111320.0 * std::cos(t.latitude * std::numbers::pi / 180.0));
+      cells[{static_cast<std::int64_t>(std::floor(t.latitude / dlat)),
+             static_cast<std::int64_t>(std::floor(t.longitude / dlon))}]++;
+    }
+  }
+  std::string out = "lat,lon,count\n";
+  char buf[96];
+  for (const auto& [cell, count] : cells) {
+    const double lat = (static_cast<double>(cell.first) + 0.5) * dlat;
+    const double dlon =
+        cell_m / (111320.0 * std::cos(lat * std::numbers::pi / 180.0));
+    const double lon = (static_cast<double>(cell.second) + 0.5) * dlon;
+    std::snprintf(buf, sizeof(buf), "%.6f,%.6f,%llu\n", lat, lon,
+                  static_cast<unsigned long long>(count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,54 @@
+// Visualization exports — GEPETO is "a flexible software that can be used
+// to *visualize*, sanitize, perform inference attacks and measure the
+// utility of a particular geolocated dataset". This module renders every
+// analysis artifact as GeoJSON (drop it on geojson.io / QGIS / Leaflet) and
+// as a grid-density CSV for heatmap plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/generator.h"
+#include "geo/trace.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/poi.h"
+#include "gepeto/sanitize.h"
+#include "gepeto/social.h"
+
+namespace gepeto::core {
+
+struct GeoJsonOptions {
+  /// Split a trail into LineString segments at time gaps above this.
+  int trajectory_gap_s = 600;
+  /// Keep at most this many coordinates per LineString (uniform thinning;
+  /// 0 = no limit). Viewers choke on millions of points.
+  std::size_t max_points_per_segment = 500;
+};
+
+/// Trails as one MultiLineString feature per user.
+std::string dataset_to_geojson(const geo::GeolocatedDataset& dataset,
+                               const GeoJsonOptions& options = {});
+
+/// DJ-Cluster output as one Point feature per cluster (property: size).
+std::string clusters_to_geojson(const DjClusterResult& clusters);
+
+/// Extracted POIs as Point features with visit statistics; the labeled home
+/// and work POIs carry a "role" property.
+std::string pois_to_geojson(const ExtractedPois& pois);
+
+/// Ground-truth POIs of user profiles (kind as property).
+std::string ground_truth_to_geojson(const std::vector<geo::UserProfile>& profiles);
+
+/// Mix zones as circle-approximating Polygon features.
+std::string zones_to_geojson(const std::vector<MixZone>& zones);
+
+/// Social links as LineString features between the two users' top POIs.
+std::string social_links_to_geojson(
+    const std::vector<SocialEdge>& edges,
+    const std::vector<geo::UserProfile>& profiles);
+
+/// Grid-density heatmap: "lat,lon,count" per non-empty cell of side
+/// `cell_m`, header included. Feed to any plotting tool.
+std::string heatmap_csv(const geo::GeolocatedDataset& dataset, double cell_m);
+
+}  // namespace gepeto::core

@@ -1,0 +1,54 @@
+#include "gepeto/gepeto.h"
+
+#include "geo/geolife.h"
+
+namespace gepeto::core {
+
+void Gepeto::load_dataset(const geo::GeolocatedDataset& dataset,
+                          const std::string& path, int num_files) {
+  geo::dataset_to_dfs(*dfs_, path, dataset, num_files);
+}
+
+geo::GeolocatedDataset Gepeto::read_dataset(const std::string& prefix) const {
+  return geo::dataset_from_dfs(*dfs_, prefix);
+}
+
+std::uint64_t Gepeto::count_records(const std::string& prefix) const {
+  return geo::count_dfs_records(*dfs_, prefix);
+}
+
+mr::JobResult Gepeto::sample(const std::string& input,
+                             const std::string& output,
+                             const SamplingConfig& config) {
+  return run_sampling_job(*dfs_, cluster_, input, output, config);
+}
+
+KMeansResult Gepeto::kmeans(const std::string& input,
+                            const std::string& clusters_path,
+                            const KMeansConfig& config) {
+  return kmeans_mapreduce(*dfs_, cluster_, input, clusters_path, config);
+}
+
+DjMapReduceResult Gepeto::djcluster(const std::string& input,
+                                    const std::string& work_prefix,
+                                    const DjClusterConfig& config) {
+  return run_djcluster_jobs(*dfs_, cluster_, input, work_prefix, config);
+}
+
+RTreeMrResult Gepeto::build_rtree(const std::string& input,
+                                  const std::string& work_prefix,
+                                  const RTreeMrConfig& config) {
+  return build_rtree_mapreduce(*dfs_, cluster_, input, work_prefix, config);
+}
+
+mr::JobResult Gepeto::mask(const std::string& input, const std::string& output,
+                           double sigma_m, std::uint64_t seed) {
+  return run_gaussian_mask_job(*dfs_, cluster_, input, output, sigma_m, seed);
+}
+
+mr::JobResult Gepeto::round(const std::string& input,
+                            const std::string& output, double cell_m) {
+  return run_rounding_job(*dfs_, cluster_, input, output, cell_m);
+}
+
+}  // namespace gepeto::core

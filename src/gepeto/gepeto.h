@@ -1,0 +1,68 @@
+// The GEPETO facade: one object owning the simulated cluster (DFS + config)
+// with the toolkit's operations as methods. This is the public entry point
+// the examples and benches use; each method forwards to the module that
+// implements it (sampling.h, kmeans.h, djcluster.h, rtree_mr.h, sanitize.h).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "geo/trace.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/kmeans.h"
+#include "gepeto/rtree_mr.h"
+#include "gepeto/sampling.h"
+#include "gepeto/sanitize.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+
+class Gepeto {
+ public:
+  explicit Gepeto(const mr::ClusterConfig& cluster)
+      : cluster_(cluster), dfs_(std::make_unique<mr::Dfs>(cluster)) {
+    cluster_.validate();
+  }
+
+  mr::Dfs& dfs() { return *dfs_; }
+  const mr::ClusterConfig& cluster() const { return cluster_; }
+
+  /// Load a dataset into the DFS under `path` as `num_files` files.
+  void load_dataset(const geo::GeolocatedDataset& dataset,
+                    const std::string& path, int num_files = 4);
+
+  /// Read back a dataset (or any job output of dataset lines).
+  geo::GeolocatedDataset read_dataset(const std::string& prefix) const;
+
+  std::uint64_t count_records(const std::string& prefix) const;
+
+  // --- the MapReduced GEPETO operations -----------------------------------
+
+  mr::JobResult sample(const std::string& input, const std::string& output,
+                       const SamplingConfig& config);
+
+  KMeansResult kmeans(const std::string& input,
+                      const std::string& clusters_path,
+                      const KMeansConfig& config);
+
+  DjMapReduceResult djcluster(const std::string& input,
+                              const std::string& work_prefix,
+                              const DjClusterConfig& config);
+
+  RTreeMrResult build_rtree(const std::string& input,
+                            const std::string& work_prefix,
+                            const RTreeMrConfig& config);
+
+  mr::JobResult mask(const std::string& input, const std::string& output,
+                     double sigma_m, std::uint64_t seed);
+
+  mr::JobResult round(const std::string& input, const std::string& output,
+                      double cell_m);
+
+ private:
+  mr::ClusterConfig cluster_;
+  std::unique_ptr<mr::Dfs> dfs_;
+};
+
+}  // namespace gepeto::core

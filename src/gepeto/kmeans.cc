@@ -1,0 +1,404 @@
+#include "gepeto/kmeans.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "geo/geolife.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto::core {
+
+namespace {
+
+/// Partial sum of points assigned to one cluster (the combiner/reducer
+/// value).
+struct PointSum {
+  double lat_sum = 0.0;
+  double lon_sum = 0.0;
+  std::int64_t count = 0;
+
+  std::uint64_t serialized_size() const { return 24; }
+};
+
+struct KMeansMapper {
+  using OutKey = std::int32_t;
+  using OutValue = PointSum;
+
+  std::string clusters_file;
+  geo::DistanceKind kind{};
+  std::vector<Centroid> centroids;
+
+  void setup(mr::TaskContext& ctx) {
+    centroids =
+        centroids_from_lines(ctx.cache_file(clusters_file));
+    GEPETO_CHECK(!centroids.empty());
+  }
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("kmeans.malformed_lines");
+      return;
+    }
+    const auto c = nearest_centroid(centroids, kind, t.latitude, t.longitude);
+    ctx.emit(static_cast<std::int32_t>(c), {t.latitude, t.longitude, 1});
+  }
+};
+
+struct KMeansCombiner {
+  void combine(const std::int32_t& key, std::span<const PointSum> values,
+               mr::MapContext<std::int32_t, PointSum>& ctx) {
+    PointSum total;
+    for (const auto& v : values) {
+      total.lat_sum += v.lat_sum;
+      total.lon_sum += v.lon_sum;
+      total.count += v.count;
+    }
+    ctx.emit(key, total);
+  }
+};
+
+struct KMeansReducer {
+  void reduce(const std::int32_t& key, std::span<const PointSum> values,
+              mr::ReduceContext& ctx) {
+    PointSum total;
+    for (const auto& v : values) {
+      total.lat_sum += v.lat_sum;
+      total.lon_sum += v.lon_sum;
+      total.count += v.count;
+    }
+    GEPETO_DCHECK(total.count > 0);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d,%.10f,%.10f,%lld", key,
+                  total.lat_sum / static_cast<double>(total.count),
+                  total.lon_sum / static_cast<double>(total.count),
+                  static_cast<long long>(total.count));
+    ctx.write(buf);
+  }
+};
+
+double centroid_move_m(const Centroid& a, const Centroid& b) {
+  return geo::haversine_meters(a.latitude, a.longitude, b.latitude,
+                               b.longitude);
+}
+
+/// Parse a reducer output line "index,lat,lon,count".
+bool parse_cluster_line(std::string_view line, std::int32_t& idx, Centroid& c,
+                        std::uint64_t& count) {
+  const char* p = line.data();
+  const char* end = line.data() + line.size();
+  auto r1 = std::from_chars(p, end, idx);
+  if (r1.ec != std::errc() || r1.ptr == end || *r1.ptr != ',') return false;
+  auto r2 = std::from_chars(r1.ptr + 1, end, c.latitude);
+  if (r2.ec != std::errc() || r2.ptr == end || *r2.ptr != ',') return false;
+  auto r3 = std::from_chars(r2.ptr + 1, end, c.longitude);
+  if (r3.ec != std::errc() || r3.ptr == end || *r3.ptr != ',') return false;
+  auto r4 = std::from_chars(r3.ptr + 1, end, count);
+  return r4.ec == std::errc() && r4.ptr == end;
+}
+
+}  // namespace
+
+std::vector<Centroid> initial_centroids(const geo::GeolocatedDataset& dataset,
+                                        int k, std::uint64_t seed) {
+  GEPETO_CHECK(k > 0);
+  GEPETO_CHECK_MSG(dataset.num_traces() >= static_cast<std::size_t>(k),
+                   "fewer traces than clusters");
+  // Reservoir sampling in (user, time) order — deterministic and identical
+  // to the order of dataset lines in the DFS.
+  std::vector<Centroid> reservoir;
+  reservoir.reserve(static_cast<std::size_t>(k));
+  Rng rng(seed ^ 0xC3A5'7E1Dull);
+  std::uint64_t seen = 0;
+  for (const auto& [uid, trail] : dataset) {
+    for (const auto& t : trail) {
+      ++seen;
+      if (reservoir.size() < static_cast<std::size_t>(k)) {
+        reservoir.push_back({t.latitude, t.longitude});
+      } else {
+        const std::uint64_t j = rng.uniform_u64(seen);
+        if (j < static_cast<std::uint64_t>(k))
+          reservoir[j] = {t.latitude, t.longitude};
+      }
+    }
+  }
+  return reservoir;
+}
+
+std::vector<Centroid> kmeanspp_centroids(const geo::GeolocatedDataset& dataset,
+                                         int k, std::uint64_t seed) {
+  GEPETO_CHECK(k > 0);
+  const auto traces = dataset.all_traces();
+  GEPETO_CHECK_MSG(traces.size() >= static_cast<std::size_t>(k),
+                   "fewer traces than clusters");
+  Rng rng(seed ^ 0x5EED'11EEull);
+  std::vector<Centroid> centers;
+  centers.push_back({traces[rng.uniform_u64(traces.size())].latitude,
+                     traces[rng.uniform_u64(traces.size())].longitude});
+  std::vector<double> d2(traces.size(),
+                         std::numeric_limits<double>::max());
+  while (centers.size() < static_cast<std::size_t>(k)) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const double d = geo::squared_euclidean_deg(
+          traces[i].latitude, traces[i].longitude, centers.back().latitude,
+          centers.back().longitude);
+      d2[i] = std::min(d2[i], d);
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centers: fill uniformly.
+      centers.push_back({traces[rng.uniform_u64(traces.size())].latitude,
+                         traces[rng.uniform_u64(traces.size())].longitude});
+      continue;
+    }
+    double x = rng.uniform() * total;
+    std::size_t pick = traces.size() - 1;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      x -= d2[i];
+      if (x < 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back({traces[pick].latitude, traces[pick].longitude});
+  }
+  return centers;
+}
+
+std::size_t nearest_centroid(const std::vector<Centroid>& centroids,
+                             geo::DistanceKind kind, double lat, double lon) {
+  GEPETO_DCHECK(!centroids.empty());
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    const double d = geo::distance(kind, lat, lon, centroids[i].latitude,
+                                   centroids[i].longitude);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::string centroids_to_lines(const std::vector<Centroid>& centroids) {
+  std::string out;
+  out.reserve(centroids.size() * 48);
+  char buf[96];
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%zu,%.10f,%.10f\n", i,
+                  centroids[i].latitude, centroids[i].longitude);
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<Centroid> centroids_from_lines(std::string_view lines) {
+  std::vector<Centroid> out;
+  std::size_t start = 0;
+  while (start < lines.size()) {
+    std::size_t end = lines.find('\n', start);
+    if (end == std::string_view::npos) end = lines.size();
+    const std::string_view line = lines.substr(start, end - start);
+    if (!line.empty()) {
+      std::size_t idx = 0;
+      Centroid c;
+      const char* p = line.data();
+      const char* e = line.data() + line.size();
+      auto r1 = std::from_chars(p, e, idx);
+      GEPETO_CHECK_MSG(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',',
+                       "bad centroid line: " << line);
+      auto r2 = std::from_chars(r1.ptr + 1, e, c.latitude);
+      GEPETO_CHECK_MSG(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',',
+                       "bad centroid line: " << line);
+      auto r3 = std::from_chars(r2.ptr + 1, e, c.longitude);
+      GEPETO_CHECK_MSG(r3.ec == std::errc() && r3.ptr == e,
+                       "bad centroid line: " << line);
+      if (out.size() <= idx) out.resize(idx + 1);
+      out[idx] = c;
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
+                               const KMeansConfig& config) {
+  GEPETO_CHECK(config.k > 0 && config.max_iterations > 0);
+  KMeansResult result;
+  result.centroids =
+      config.kmeanspp_init
+          ? kmeanspp_centroids(dataset, config.k, config.seed)
+          : initial_centroids(dataset, config.k, config.seed);
+
+  const auto traces = dataset.all_traces();
+  std::vector<double> lat_sum(static_cast<std::size_t>(config.k));
+  std::vector<double> lon_sum(static_cast<std::size_t>(config.k));
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(config.k));
+
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::fill(lat_sum.begin(), lat_sum.end(), 0.0);
+    std::fill(lon_sum.begin(), lon_sum.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (const auto& t : traces) {
+      const auto c = nearest_centroid(result.centroids, config.distance,
+                                      t.latitude, t.longitude);
+      lat_sum[c] += t.latitude;
+      lon_sum[c] += t.longitude;
+      ++counts[c];
+    }
+    double max_move = 0.0;
+    for (std::size_t c = 0; c < result.centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      const Centroid next{lat_sum[c] / static_cast<double>(counts[c]),
+                          lon_sum[c] / static_cast<double>(counts[c])};
+      max_move = std::max(max_move, centroid_move_m(result.centroids[c], next));
+      result.centroids[c] = next;
+    }
+    ++result.iterations;
+    if (max_move < config.convergence_delta_m) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final assignment for sizes and SSE.
+  result.cluster_sizes.assign(static_cast<std::size_t>(config.k), 0);
+  for (const auto& t : traces) {
+    const auto c = nearest_centroid(result.centroids, config.distance,
+                                    t.latitude, t.longitude);
+    ++result.cluster_sizes[c];
+    result.sse += geo::squared_euclidean_deg(t.latitude, t.longitude,
+                                             result.centroids[c].latitude,
+                                             result.centroids[c].longitude);
+  }
+  return result;
+}
+
+KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                              const std::string& input,
+                              const std::string& clusters_path,
+                              const KMeansConfig& config) {
+  GEPETO_CHECK(config.k > 0 && config.max_iterations > 0);
+
+  // Initialization phase: "randomly picks k mobility traces as initial
+  // centroids ... performed by a single node" — the driver reads the input
+  // and reservoir-samples, then writes the iteration-0 clusters file.
+  KMeansResult result;
+  {
+    const auto dataset = geo::dataset_from_dfs(dfs, input);
+    result.centroids =
+        config.kmeanspp_init
+            ? kmeanspp_centroids(dataset, config.k, config.seed)
+            : initial_centroids(dataset, config.k, config.seed);
+  }
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(), 0);
+  dfs.put(name, centroids_to_lines(result.centroids));
+
+  bool first_job = true;
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
+                  iter);
+    const std::string clusters_file = name;
+
+    mr::JobConfig job;
+    job.name = "kmeans-iter";
+    job.input = input;
+    std::snprintf(name, sizeof(name), "%s/out-%03d", clusters_path.c_str(),
+                  iter);
+    job.output = name;
+    job.num_reducers = std::min(config.k, cluster.total_reduce_slots());
+    job.use_combiner = config.use_combiner;
+    job.cache_files = {clusters_file};
+
+    const geo::DistanceKind kind = config.distance;
+    const auto jr = mr::run_mapreduce_job(
+        dfs, cluster, job,
+        [clusters_file, kind] {
+          return KMeansMapper{clusters_file, kind, {}};
+        },
+        [] { return KMeansReducer{}; }, [] { return KMeansCombiner{}; });
+
+    // Collect the new centroids from the reducer output.
+    std::vector<Centroid> next = result.centroids;
+    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(config.k), 0);
+    for (const auto& part : dfs.list(job.output + "/")) {
+      const std::string_view data = dfs.read(part);
+      std::size_t start = 0;
+      while (start < data.size()) {
+        std::size_t end = data.find('\n', start);
+        if (end == std::string_view::npos) end = data.size();
+        const std::string_view line = data.substr(start, end - start);
+        if (!line.empty()) {
+          std::int32_t idx = 0;
+          Centroid c;
+          std::uint64_t count = 0;
+          GEPETO_CHECK_MSG(parse_cluster_line(line, idx, c, count),
+                           "bad cluster line: " << line);
+          GEPETO_CHECK(idx >= 0 && idx < config.k);
+          next[static_cast<std::size_t>(idx)] = c;
+          sizes[static_cast<std::size_t>(idx)] = count;
+        }
+        start = end + 1;
+      }
+    }
+
+    double max_move = 0.0;
+    for (int c = 0; c < config.k; ++c)
+      max_move =
+          std::max(max_move, centroid_move_m(result.centroids[static_cast<std::size_t>(c)],
+                                             next[static_cast<std::size_t>(c)]));
+    result.centroids = std::move(next);
+    result.cluster_sizes = std::move(sizes);
+    ++result.iterations;
+
+    IterationStats is;
+    is.real_seconds = jr.real_seconds;
+    is.sim_seconds = jr.sim_seconds;
+    is.sim_map_seconds = jr.sim_map_seconds;
+    is.sim_reduce_seconds = jr.sim_reduce_seconds;
+    is.shuffle_bytes = jr.shuffle_bytes;
+    is.max_centroid_move_m = max_move;
+    result.per_iteration.push_back(is);
+    if (first_job) {
+      result.totals = jr;
+      first_job = false;
+    } else {
+      result.totals.absorb(jr);
+    }
+
+    std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
+                  iter + 1);
+    dfs.put(name, centroids_to_lines(result.centroids));
+
+    if (max_move < config.convergence_delta_m) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // SSE from a final read of the input against the final centroids.
+  {
+    const auto dataset = geo::dataset_from_dfs(dfs, input);
+    for (const auto& [uid, trail] : dataset) {
+      for (const auto& t : trail) {
+        const auto c = nearest_centroid(result.centroids, config.distance,
+                                        t.latitude, t.longitude);
+        result.sse += geo::squared_euclidean_deg(
+            t.latitude, t.longitude, result.centroids[c].latitude,
+            result.centroids[c].longitude);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gepeto::core

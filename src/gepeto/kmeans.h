@@ -1,0 +1,102 @@
+// k-means clustering (paper Section VI, Fig. 4, Tables II-III).
+//
+// The MapReduce realization follows the paper exactly: the initialization
+// phase randomly picks k traces as centroids on a single node (the driver);
+// each iteration is one MapReduce job whose map phase assigns every trace to
+// the closest centroid (centroids read from the current clusters file via
+// the distributed cache) and whose reduce phase averages each cluster's
+// points into the new centroid. An optional combiner pre-sums points per map
+// task (the Zhao/Ma/He optimization discussed in the paper's related work),
+// collapsing shuffle traffic from one record per trace to one record per
+// (map task, cluster).
+//
+// Runtime arguments mirror Table II: input path, output/clusters path, k,
+// distanceMeasure, convergencedelta, maxIter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/distance.h"
+#include "geo/trace.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+struct Centroid {
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+struct KMeansConfig {
+  int k = 10;                                 ///< number of clusters
+  geo::DistanceKind distance = geo::DistanceKind::kSquaredEuclidean;
+  /// Converged when every centroid moved less than this many meters between
+  /// iterations (Table II's "convergencedelta", expressed in meters so it is
+  /// metric-independent).
+  double convergence_delta_m = 10.0;
+  int max_iterations = 150;                   ///< Table II's "maxIter"
+  std::uint64_t seed = 1;                     ///< initial-centroid selection
+  bool use_combiner = false;
+  bool kmeanspp_init = false;                 ///< k-means++ instead of uniform
+};
+
+struct IterationStats {
+  double real_seconds = 0.0;        ///< wall time of this iteration's job
+  double sim_seconds = 0.0;         ///< simulated cluster time
+  double sim_map_seconds = 0.0;
+  double sim_reduce_seconds = 0.0;
+  std::uint64_t shuffle_bytes = 0;
+  double max_centroid_move_m = 0.0;
+};
+
+struct KMeansResult {
+  std::vector<Centroid> centroids;
+  std::vector<std::uint64_t> cluster_sizes;
+  int iterations = 0;
+  bool converged = false;
+  double sse = 0.0;  ///< sum of squared (degree-space) distances to centroids
+  std::vector<IterationStats> per_iteration;  ///< MapReduce runs only
+  mr::JobResult totals;                       ///< MapReduce runs only
+};
+
+/// Deterministic initial centroids: reservoir-sample k traces from the
+/// dataset in (user, time) order — the same traces the DFS files hold, so
+/// the sequential and MapReduce paths start identically.
+std::vector<Centroid> initial_centroids(const geo::GeolocatedDataset& dataset,
+                                        int k, std::uint64_t seed);
+
+/// k-means++ seeding over the in-memory dataset (extension; the paper uses
+/// uniform random initialization).
+std::vector<Centroid> kmeanspp_centroids(const geo::GeolocatedDataset& dataset,
+                                         int k, std::uint64_t seed);
+
+/// Index of the centroid closest to (lat, lon) under `kind`; ties resolve to
+/// the lowest index (shared by both implementations).
+std::size_t nearest_centroid(const std::vector<Centroid>& centroids,
+                             geo::DistanceKind kind, double lat, double lon);
+
+/// Sequential reference implementation.
+KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
+                               const KMeansConfig& config);
+
+/// MapReduce implementation: input is a DFS prefix of dataset lines;
+/// `clusters_path` receives one centroids file per iteration
+/// (clusters_path + "/iter-NNN"), mirroring the paper's "outputting a new
+/// directory clusters-i containing the clusters files for the i-th
+/// iteration".
+KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                              const std::string& input,
+                              const std::string& clusters_path,
+                              const KMeansConfig& config);
+
+/// Serialize / parse a centroids file ("index,lat,lon" per line).
+std::string centroids_to_lines(const std::vector<Centroid>& centroids);
+std::vector<Centroid> centroids_from_lines(std::string_view lines);
+
+}  // namespace gepeto::core

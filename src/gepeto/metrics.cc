@@ -1,0 +1,64 @@
+#include "gepeto/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/distance.h"
+#include "gepeto/poi.h"
+
+namespace gepeto::core {
+
+UtilityMetrics location_error(const geo::GeolocatedDataset& original,
+                              const geo::GeolocatedDataset& sanitized) {
+  UtilityMetrics m;
+  // Index sanitized traces by (uid, ts).
+  std::unordered_map<std::uint64_t, const geo::MobilityTrace*> index;
+  for (const auto& [uid, trail] : sanitized)
+    for (const auto& t : trail)
+      index.emplace(pack_trace_id(t.user_id, t.timestamp), &t);
+
+  std::vector<double> errors;
+  std::uint64_t original_count = 0;
+  for (const auto& [uid, trail] : original) {
+    for (const auto& t : trail) {
+      ++original_count;
+      const auto it = index.find(pack_trace_id(t.user_id, t.timestamp));
+      if (it == index.end()) {
+        ++m.dropped_traces;
+        continue;
+      }
+      errors.push_back(geo::haversine_meters(t.latitude, t.longitude,
+                                             it->second->latitude,
+                                             it->second->longitude));
+    }
+  }
+  m.paired_traces = errors.size();
+  m.retention = original_count == 0
+                    ? 0.0
+                    : static_cast<double>(m.paired_traces) /
+                          static_cast<double>(original_count);
+  if (!errors.empty()) {
+    double sum = 0.0;
+    for (double e : errors) {
+      sum += e;
+      m.max_error_m = std::max(m.max_error_m, e);
+    }
+    m.mean_error_m = sum / static_cast<double>(errors.size());
+    std::sort(errors.begin(), errors.end());
+    m.median_error_m = errors[errors.size() / 2];
+    m.p95_error_m = errors[static_cast<std::size_t>(
+        0.95 * static_cast<double>(errors.size() - 1))];
+  }
+  return m;
+}
+
+double poi_preservation(const geo::GeolocatedDataset& sanitized,
+                        const std::vector<geo::UserProfile>& truth,
+                        const DjClusterConfig& config,
+                        double match_radius_m) {
+  const auto report = run_poi_attack(sanitized, truth, config, match_radius_m);
+  return report.avg_recall;
+}
+
+}  // namespace gepeto::core

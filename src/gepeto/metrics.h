@@ -1,0 +1,38 @@
+// Privacy and utility metrics — GEPETO's purpose is to let a data curator
+// "evaluate the resulting trade-off between privacy and utility". Utility is
+// measured as the spatial error a sanitization mechanism introduces; privacy
+// as the degradation it causes to inference attacks (POI extraction,
+// de-anonymization — see poi.h / mmc.h).
+#pragma once
+
+#include <cstdint>
+
+#include "geo/generator.h"
+#include "geo/trace.h"
+#include "gepeto/djcluster.h"
+
+namespace gepeto::core {
+
+struct UtilityMetrics {
+  std::uint64_t paired_traces = 0;     ///< traces present in both datasets
+  std::uint64_t dropped_traces = 0;    ///< present in original only
+  double retention = 0.0;              ///< paired / original
+  double mean_error_m = 0.0;
+  double median_error_m = 0.0;
+  double p95_error_m = 0.0;
+  double max_error_m = 0.0;
+};
+
+/// Pair traces by (user id, timestamp) and measure displacement. Sanitized
+/// traces with no counterpart (e.g. pseudonym changes) count as dropped.
+UtilityMetrics location_error(const geo::GeolocatedDataset& original,
+                              const geo::GeolocatedDataset& sanitized);
+
+/// Fraction of ground-truth POIs still recoverable from the sanitized data
+/// by the DJ-Cluster POI attack (averaged recall over users).
+double poi_preservation(const geo::GeolocatedDataset& sanitized,
+                        const std::vector<geo::UserProfile>& truth,
+                        const DjClusterConfig& config,
+                        double match_radius_m = 150.0);
+
+}  // namespace gepeto::core

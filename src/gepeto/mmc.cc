@@ -1,0 +1,208 @@
+#include "gepeto/mmc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "geo/distance.h"
+
+namespace gepeto::core {
+
+namespace {
+
+/// Stationary distribution by power iteration on the *lazy* chain
+/// (I + M) / 2 — same stationary distribution, but convergent even when M
+/// is (nearly) periodic, which home<->work commuting chains are.
+std::vector<double> stationary_distribution(
+    const std::vector<std::vector<double>>& m) {
+  const std::size_t n = m.size();
+  std::vector<double> pi(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) next[j] += pi[i] * m[i][j];
+    double delta = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      next[j] = 0.5 * (next[j] + pi[j]);  // lazy step
+      delta += std::fabs(next[j] - pi[j]);
+    }
+    pi.swap(next);
+    if (delta < 1e-13) break;
+  }
+  return pi;
+}
+
+}  // namespace
+
+std::vector<int> visit_sequence(const geo::Trail& trail,
+                                const std::vector<PoiCandidate>& states,
+                                double attach_radius_m) {
+  std::vector<int> visits;
+  int prev = -1;
+  for (const auto& t : trail) {
+    int best = -1;
+    double best_d = attach_radius_m;
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      const double d = geo::haversine_meters(
+          t.latitude, t.longitude, states[s].latitude, states[s].longitude);
+      if (d <= best_d) {
+        best_d = d;
+        best = static_cast<int>(s);
+      }
+    }
+    if (best < 0) continue;          // between POIs
+    if (best == prev) continue;      // still at the same POI
+    visits.push_back(best);
+    prev = best;
+  }
+  return visits;
+}
+
+MobilityMarkovChain learn_mmc(const geo::Trail& trail,
+                              const MmcConfig& config) {
+  MobilityMarkovChain mmc;
+  const auto extracted = extract_pois(trail, config.clustering);
+  mmc.states = extracted.pois;
+  const std::size_t n = mmc.states.size();
+  if (n == 0) return mmc;
+
+  mmc.transitions.assign(n, std::vector<double>(n, config.smoothing));
+  // No self transitions (visits collapse consecutive duplicates).
+  for (std::size_t i = 0; i < n; ++i) mmc.transitions[i][i] = 0.0;
+
+  const auto visits =
+      visit_sequence(trail, mmc.states, config.attach_radius_m);
+  for (std::size_t v = 1; v < visits.size(); ++v)
+    mmc.transitions[static_cast<std::size_t>(visits[v - 1])]
+                   [static_cast<std::size_t>(visits[v])] += 1.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& row = mmc.transitions[i];
+    double sum = 0.0;
+    for (double x : row) sum += x;
+    if (sum <= 0.0) {
+      // Isolated state (n == 1, or smoothing disabled with no transitions):
+      // uniform over the other states, or a degenerate self-loop if alone.
+      if (n == 1) {
+        row[0] = 1.0;
+      } else {
+        for (std::size_t j = 0; j < n; ++j)
+          row[j] = (j == i) ? 0.0 : 1.0 / static_cast<double>(n - 1);
+      }
+      continue;
+    }
+    for (double& x : row) x /= sum;
+  }
+  mmc.stationary = stationary_distribution(mmc.transitions);
+  return mmc;
+}
+
+int predict_next(const MobilityMarkovChain& mmc, int state) {
+  if (state < 0 ||
+      static_cast<std::size_t>(state) >= mmc.transitions.size())
+    return -1;
+  const auto& row = mmc.transitions[static_cast<std::size_t>(state)];
+  int best = -1;
+  double best_p = -1.0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j] > best_p) {
+      best_p = row[j];
+      best = static_cast<int>(j);
+    }
+  }
+  return best;
+}
+
+double prediction_accuracy(const geo::Trail& trail, const MmcConfig& config,
+                           double train_fraction) {
+  GEPETO_CHECK(train_fraction > 0.0 && train_fraction < 1.0);
+  // Learn states from the full trail (the attacker's cluster model), but
+  // count transitions only on the training prefix.
+  const auto extracted = extract_pois(trail, config.clustering);
+  if (extracted.pois.empty()) return -1.0;
+  const auto visits =
+      visit_sequence(trail, extracted.pois, config.attach_radius_m);
+  if (visits.size() < 6) return -1.0;
+  const std::size_t split =
+      static_cast<std::size_t>(static_cast<double>(visits.size()) *
+                               train_fraction);
+  if (split < 2 || visits.size() - split < 3) return -1.0;
+
+  const std::size_t n = extracted.pois.size();
+  MobilityMarkovChain mmc;
+  mmc.states = extracted.pois;
+  mmc.transitions.assign(n, std::vector<double>(n, config.smoothing));
+  for (std::size_t i = 0; i < n; ++i) mmc.transitions[i][i] = 0.0;
+  for (std::size_t v = 1; v < split; ++v)
+    mmc.transitions[static_cast<std::size_t>(visits[v - 1])]
+                   [static_cast<std::size_t>(visits[v])] += 1.0;
+  for (auto& row : mmc.transitions) {
+    double sum = 0.0;
+    for (double x : row) sum += x;
+    if (sum > 0)
+      for (double& x : row) x /= sum;
+  }
+
+  std::size_t correct = 0, total = 0;
+  for (std::size_t v = split; v < visits.size(); ++v) {
+    const int predicted = predict_next(mmc, visits[v - 1]);
+    ++total;
+    correct += (predicted == visits[v]);
+  }
+  return total == 0 ? -1.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double mmc_distance(const MobilityMarkovChain& a,
+                    const MobilityMarkovChain& b) {
+  if (a.states.empty() || b.states.empty())
+    return std::numeric_limits<double>::max();
+  // Stationary-weighted cost of explaining each of a's states with b's
+  // nearest state, symmetrized. Distances in meters.
+  auto one_way = [](const MobilityMarkovChain& x,
+                    const MobilityMarkovChain& y) {
+    double cost = 0.0;
+    for (std::size_t i = 0; i < x.states.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& s : y.states) {
+        best = std::min(best, geo::haversine_meters(
+                                  x.states[i].latitude, x.states[i].longitude,
+                                  s.latitude, s.longitude));
+      }
+      cost += x.stationary[i] * best;
+    }
+    return cost;
+  };
+  return one_way(a, b) + one_way(b, a);
+}
+
+DeanonymizationResult deanonymization_attack(
+    const std::vector<MobilityMarkovChain>& gallery,
+    const std::vector<MobilityMarkovChain>& probes,
+    const std::vector<int>& truth) {
+  GEPETO_CHECK(probes.size() == truth.size());
+  DeanonymizationResult result;
+  result.predicted.reserve(probes.size());
+  for (std::size_t p = 0; p < probes.size(); ++p) {
+    int best = -1;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t g = 0; g < gallery.size(); ++g) {
+      const double d = mmc_distance(probes[p], gallery[g]);
+      if (d < best_d) {
+        best_d = d;
+        best = static_cast<int>(g);
+      }
+    }
+    result.predicted.push_back(best);
+    if (best == truth[p]) ++result.correct;
+  }
+  result.accuracy = probes.empty()
+                        ? 0.0
+                        : static_cast<double>(result.correct) /
+                              static_cast<double>(probes.size());
+  return result;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,75 @@
+// Mobility Markov Chains (MMC) — the paper's announced extension
+// (Section VIII): "a MMC represents in a compact way the mobility behavior
+// of an individual and can be used to predict his future locations or even
+// to perform de-anonymization attacks".
+//
+// States are the POIs extracted by DJ-Cluster; transition probabilities are
+// learned from the sequence of POI visits in the trail. The de-anonymization
+// (linking) attack matches each anonymized MMC against a gallery of known
+// MMCs by a mobility-fingerprint distance, reproducing the "show me how you
+// move and I will tell you who you are" attack of Gambs et al. that this
+// paper cites as future work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/trace.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/poi.h"
+
+namespace gepeto::core {
+
+struct MobilityMarkovChain {
+  std::vector<PoiCandidate> states;              ///< extracted POIs
+  std::vector<std::vector<double>> transitions;  ///< row-stochastic
+  std::vector<double> stationary;                ///< stationary distribution
+};
+
+struct MmcConfig {
+  DjClusterConfig clustering;
+  /// A trace belongs to a state if within this distance of its centroid.
+  double attach_radius_m = 150.0;
+  /// Laplace smoothing added to every transition count.
+  double smoothing = 0.05;
+};
+
+/// Learn the MMC of one user from their trail.
+MobilityMarkovChain learn_mmc(const geo::Trail& trail, const MmcConfig& config);
+
+/// Sequence of state visits (consecutive duplicates collapsed) — the data
+/// the transition counts come from. Exposed for testing and prediction
+/// evaluation.
+std::vector<int> visit_sequence(const geo::Trail& trail,
+                                const std::vector<PoiCandidate>& states,
+                                double attach_radius_m);
+
+/// Most probable next state from `state` (-1 if the MMC is empty).
+int predict_next(const MobilityMarkovChain& mmc, int state);
+
+/// Next-place prediction accuracy: learn on the first `train_fraction` of
+/// the trail's visits, test on the rest. Returns -1 when fewer than 3 test
+/// transitions exist.
+double prediction_accuracy(const geo::Trail& trail, const MmcConfig& config,
+                           double train_fraction = 0.7);
+
+/// Distance between two mobility fingerprints: stationary-weighted earth-
+/// mover-style cost of matching the states of `a` onto `b`, symmetrized.
+/// Small when the two MMCs describe the same person's mobility.
+double mmc_distance(const MobilityMarkovChain& a,
+                    const MobilityMarkovChain& b);
+
+struct DeanonymizationResult {
+  std::vector<int> predicted;  ///< index into the gallery for each probe
+  std::size_t correct = 0;
+  double accuracy = 0.0;
+};
+
+/// Link each anonymized probe MMC to the closest gallery MMC. `truth[i]`
+/// is the gallery index that probe i actually belongs to.
+DeanonymizationResult deanonymization_attack(
+    const std::vector<MobilityMarkovChain>& gallery,
+    const std::vector<MobilityMarkovChain>& probes,
+    const std::vector<int>& truth);
+
+}  // namespace gepeto::core

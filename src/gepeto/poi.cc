@@ -1,0 +1,171 @@
+#include "gepeto/poi.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/time.h"
+
+namespace gepeto::core {
+
+namespace {
+
+bool is_night(std::int64_t ts) {
+  const int h = geo::seconds_of_day(ts) / 3600;
+  return h >= 22 || h < 7;
+}
+
+bool is_office_hours(std::int64_t ts) {
+  const int h = geo::seconds_of_day(ts) / 3600;
+  return geo::day_of_week(ts) < 5 && h >= 9 && h < 17;
+}
+
+}  // namespace
+
+ExtractedPois extract_pois(const geo::Trail& trail,
+                           const DjClusterConfig& config) {
+  ExtractedPois out;
+  if (trail.empty()) return out;
+
+  // DJ-Cluster over this single trail.
+  geo::GeolocatedDataset one;
+  one.add_trail(trail.front().user_id, trail);
+  const auto pre = preprocess(one, config);
+  const auto clusters = dj_cluster(pre, config);
+
+  // Index the preprocessed traces by packed id to recover timestamps.
+  std::unordered_map<std::uint64_t, const geo::MobilityTrace*> by_id;
+  for (const auto& [uid, t] : pre)
+    for (const auto& trace : t)
+      by_id.emplace(pack_trace_id(trace.user_id, trace.timestamp), &trace);
+
+  for (const auto& c : clusters.clusters) {
+    PoiCandidate poi;
+    poi.latitude = c.centroid_lat;
+    poi.longitude = c.centroid_lon;
+    poi.num_traces = c.members.size();
+    for (const auto id : c.members) {
+      const auto it = by_id.find(id);
+      GEPETO_DCHECK(it != by_id.end());
+      const std::int64_t ts = it->second->timestamp;
+      ++poi.hour_histogram[static_cast<std::size_t>(
+          geo::seconds_of_day(ts) / 3600)];
+      if (is_night(ts)) ++poi.night_traces;
+      if (is_office_hours(ts)) ++poi.office_traces;
+    }
+    out.pois.push_back(std::move(poi));
+  }
+  std::sort(out.pois.begin(), out.pois.end(),
+            [](const PoiCandidate& a, const PoiCandidate& b) {
+              return a.num_traces > b.num_traces;
+            });
+
+  // Home: the POI with the most night-time traces (ties: more traces).
+  std::uint32_t best_night = 0;
+  for (std::size_t i = 0; i < out.pois.size(); ++i) {
+    if (out.pois[i].night_traces > best_night) {
+      best_night = out.pois[i].night_traces;
+      out.home_index = static_cast<int>(i);
+    }
+  }
+  // Work: most weekday-office traces among the remaining POIs.
+  std::uint32_t best_office = 0;
+  for (std::size_t i = 0; i < out.pois.size(); ++i) {
+    if (static_cast<int>(i) == out.home_index) continue;
+    if (out.pois[i].office_traces > best_office) {
+      best_office = out.pois[i].office_traces;
+      out.work_index = static_cast<int>(i);
+    }
+  }
+  return out;
+}
+
+PoiAttackScore score_poi_attack(const ExtractedPois& extracted,
+                                const geo::UserProfile& truth,
+                                double match_radius_m) {
+  PoiAttackScore score;
+  const auto& pois = extracted.pois;
+  const auto& true_pois = truth.pois;
+
+  // Greedy nearest matching between extracted and true POIs.
+  std::vector<bool> true_used(true_pois.size(), false);
+  std::size_t matched = 0;
+  for (const auto& p : pois) {
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_j = true_pois.size();
+    for (std::size_t j = 0; j < true_pois.size(); ++j) {
+      if (true_used[j]) continue;
+      const double d = geo::haversine_meters(p.latitude, p.longitude,
+                                             true_pois[j].latitude,
+                                             true_pois[j].longitude);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    if (best_j < true_pois.size() && best <= match_radius_m) {
+      true_used[best_j] = true;
+      ++matched;
+    }
+  }
+  if (!pois.empty())
+    score.precision = static_cast<double>(matched) /
+                      static_cast<double>(pois.size());
+  if (!true_pois.empty())
+    score.recall = static_cast<double>(matched) /
+                   static_cast<double>(true_pois.size());
+  if (score.precision + score.recall > 0)
+    score.f1 = 2 * score.precision * score.recall /
+               (score.precision + score.recall);
+
+  if (extracted.home_index >= 0 && !true_pois.empty()) {
+    const auto& home = pois[static_cast<std::size_t>(extracted.home_index)];
+    score.home_error_m = geo::haversine_meters(
+        home.latitude, home.longitude, true_pois[0].latitude,
+        true_pois[0].longitude);
+    score.home_identified = score.home_error_m <= match_radius_m;
+  }
+  if (extracted.work_index >= 0 && true_pois.size() >= 2) {
+    const auto& work = pois[static_cast<std::size_t>(extracted.work_index)];
+    score.work_error_m = geo::haversine_meters(
+        work.latitude, work.longitude, true_pois[1].latitude,
+        true_pois[1].longitude);
+    score.work_identified = score.work_error_m <= match_radius_m;
+  }
+  return score;
+}
+
+PoiAttackReport run_poi_attack(const geo::GeolocatedDataset& dataset,
+                               const std::vector<geo::UserProfile>& truth,
+                               const DjClusterConfig& config,
+                               double match_radius_m) {
+  PoiAttackReport report;
+  std::size_t homes = 0, works = 0;
+  for (const auto& profile : truth) {
+    if (!dataset.has_user(profile.user_id)) {
+      report.per_user.push_back({});
+      continue;
+    }
+    const auto extracted = extract_pois(dataset.trail(profile.user_id), config);
+    auto score = score_poi_attack(extracted, profile, match_radius_m);
+    report.avg_precision += score.precision;
+    report.avg_recall += score.recall;
+    report.avg_f1 += score.f1;
+    homes += score.home_identified;
+    works += score.work_identified;
+    report.per_user.push_back(std::move(score));
+  }
+  const auto n = static_cast<double>(truth.size());
+  if (n > 0) {
+    report.avg_precision /= n;
+    report.avg_recall /= n;
+    report.avg_f1 /= n;
+    report.home_identification_rate = static_cast<double>(homes) / n;
+    report.work_identification_rate = static_cast<double>(works) / n;
+  }
+  return report;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,79 @@
+// POI-extraction inference attack.
+//
+// "The clustering algorithms that we have implemented can be used primarily
+// to extract the POIs of an individual from his trail of mobility traces,
+// which correspond only to one possible type of inference attack"
+// (Section VIII). This module runs DJ-Cluster on one user's trail and
+// interprets the clusters as POIs, then applies time-of-day heuristics to
+// label the home (most visited at night) and workplace (most visited during
+// weekday office hours) — the classic home/work identification attack the
+// paper cites (Golle & Partridge).
+//
+// Because the synthetic generator keeps ground truth, the attack can be
+// *scored*: precision/recall of extracted POIs and home/work identification
+// accuracy, which is how the privacy metrics of GEPETO quantify risk.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "geo/generator.h"
+#include "geo/trace.h"
+#include "gepeto/djcluster.h"
+
+namespace gepeto::core {
+
+/// One extracted POI: a DJ-Cluster of a user's (preprocessed) traces plus
+/// visit-time statistics.
+struct PoiCandidate {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  std::size_t num_traces = 0;
+  std::array<std::uint32_t, 24> hour_histogram{};
+  std::uint32_t night_traces = 0;    ///< 22:00-07:00
+  std::uint32_t office_traces = 0;   ///< weekday 09:00-17:00
+};
+
+struct ExtractedPois {
+  std::vector<PoiCandidate> pois;  ///< ordered by num_traces descending
+  int home_index = -1;             ///< -1 when nothing qualifies
+  int work_index = -1;
+};
+
+/// Run the attack on one trail (preprocessing + DJ-Cluster + labeling).
+ExtractedPois extract_pois(const geo::Trail& trail,
+                           const DjClusterConfig& config);
+
+/// Score one user's extraction against ground truth: an extracted POI
+/// matches a true POI if within `match_radius_m` (greedy nearest matching,
+/// each side used at most once).
+struct PoiAttackScore {
+  double precision = 0.0;  ///< matched extracted / extracted
+  double recall = 0.0;     ///< matched true / true
+  double f1 = 0.0;
+  bool home_identified = false;  ///< labeled home within radius of true home
+  bool work_identified = false;
+  double home_error_m = -1.0;    ///< distance of labeled home to true home
+  double work_error_m = -1.0;
+};
+
+PoiAttackScore score_poi_attack(const ExtractedPois& extracted,
+                                const geo::UserProfile& truth,
+                                double match_radius_m = 150.0);
+
+/// Dataset-level attack: extract + score every user.
+struct PoiAttackReport {
+  double avg_precision = 0.0;
+  double avg_recall = 0.0;
+  double avg_f1 = 0.0;
+  double home_identification_rate = 0.0;
+  double work_identification_rate = 0.0;
+  std::vector<PoiAttackScore> per_user;
+};
+
+PoiAttackReport run_poi_attack(const geo::GeolocatedDataset& dataset,
+                               const std::vector<geo::UserProfile>& truth,
+                               const DjClusterConfig& config,
+                               double match_radius_m = 150.0);
+
+}  // namespace gepeto::core

@@ -1,0 +1,284 @@
+#include "gepeto/rtree_mr.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "geo/geolife.h"
+#include "gepeto/djcluster.h"  // pack_trace_id
+#include "mapreduce/engine.h"
+
+namespace gepeto::core {
+
+namespace {
+
+struct ScalarValue {
+  std::uint64_t scalar = 0;
+  std::uint64_t serialized_size() const { return 8; }
+};
+
+/// Algorithm 6: sample objects from the chunk and emit their curve scalars.
+struct SampleMapper {
+  using OutKey = std::int32_t;
+  using OutValue = ScalarValue;
+
+  index::ScalarMapper curve;
+  int samples_per_chunk;
+  std::uint64_t seed;
+
+  Rng rng{seed};
+  std::vector<std::uint64_t> reservoir;
+  std::uint64_t seen = 0;
+
+  void setup(mr::TaskContext& ctx) {
+    // Independent deterministic stream per task.
+    rng.reseed(seed ^ (static_cast<std::uint64_t>(ctx.task_index()) + 1) *
+                          0x9e3779b97f4a7c15ULL);
+  }
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("rtree.malformed_lines");
+      return;
+    }
+    const std::uint64_t s = curve.scalar(t.latitude, t.longitude);
+    ++seen;
+    if (reservoir.size() < static_cast<std::size_t>(samples_per_chunk)) {
+      reservoir.push_back(s);
+    } else {
+      const std::uint64_t j = rng.uniform_u64(seen);
+      if (j < static_cast<std::uint64_t>(samples_per_chunk)) reservoir[j] = s;
+    }
+  }
+
+  void cleanup(mr::MapContext<OutKey, OutValue>& ctx) {
+    for (std::uint64_t s : reservoir) ctx.emit(0, {s});
+  }
+};
+
+/// Algorithm 7: order the sampled scalars and emit the partition points.
+struct BoundaryReducer {
+  int num_partitions;
+
+  void reduce(const std::int32_t&, std::span<const ScalarValue> values,
+              mr::ReduceContext& ctx) {
+    std::vector<std::uint64_t> scalars;
+    scalars.reserve(values.size());
+    for (const auto& v : values) scalars.push_back(v.scalar);
+    std::sort(scalars.begin(), scalars.end());
+    // k-1 partition points at the sample quantiles.
+    for (int p = 1; p < num_partitions; ++p) {
+      const std::size_t idx =
+          scalars.size() * static_cast<std::size_t>(p) /
+          static_cast<std::size_t>(num_partitions);
+      ctx.write(std::to_string(scalars[std::min(idx, scalars.size() - 1)]));
+    }
+  }
+};
+
+struct EntryValue {
+  index::RTreeEntry entry;
+  std::uint64_t serialized_size() const { return 24; }
+};
+
+/// Algorithm 8: assign each object to a partition via the curve scalar and
+/// the phase-1 partition points (from the distributed cache).
+struct PartitionMapper {
+  using OutKey = std::int32_t;
+  using OutValue = EntryValue;
+
+  index::ScalarMapper curve;
+  std::string boundaries_file;
+  std::vector<std::uint64_t> boundaries;
+
+  void setup(mr::TaskContext& ctx) {
+    const std::string_view data = ctx.cache_file(boundaries_file);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (!line.empty()) {
+        std::uint64_t b = 0;
+        std::from_chars(line.data(), line.data() + line.size(), b);
+        boundaries.push_back(b);
+      }
+      start = end + 1;
+    }
+    GEPETO_CHECK(std::is_sorted(boundaries.begin(), boundaries.end()));
+  }
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("rtree.malformed_lines");
+      return;
+    }
+    const std::uint64_t s = curve.scalar(t.latitude, t.longitude);
+    const auto p = partition_of_scalar(s, boundaries);
+    ctx.emit(static_cast<std::int32_t>(p),
+             {{t.latitude, t.longitude, pack_trace_id(t.user_id, t.timestamp)}});
+  }
+};
+
+/// Algorithm 9: build the R-Tree of one partition and emit it serialized
+/// (newlines folded into ';' so the tree travels as one output record).
+struct BuildReducer {
+  int max_entries;
+
+  void reduce(const std::int32_t& partition,
+              std::span<const EntryValue> values, mr::ReduceContext& ctx) {
+    std::vector<index::RTreeEntry> entries;
+    entries.reserve(values.size());
+    for (const auto& v : values) entries.push_back(v.entry);
+    index::RTree tree(max_entries);
+    tree.bulk_load_str(entries);
+    std::string payload = tree.serialize();
+    std::replace(payload.begin(), payload.end(), '\n', ';');
+    std::string line = "tree," + std::to_string(partition) + "," +
+                       std::to_string(entries.size()) + ",";
+    line += payload;
+    ctx.write(line);
+    ctx.increment("rtree.partition_trees");
+  }
+};
+
+}  // namespace
+
+std::size_t partition_of_scalar(std::uint64_t scalar,
+                                const std::vector<std::uint64_t>& boundaries) {
+  return static_cast<std::size_t>(
+      std::upper_bound(boundaries.begin(), boundaries.end(), scalar) -
+      boundaries.begin());
+}
+
+RTreeMrResult build_rtree_mapreduce(mr::Dfs& dfs,
+                                    const mr::ClusterConfig& cluster,
+                                    const std::string& input,
+                                    const std::string& work_prefix,
+                                    const RTreeMrConfig& config) {
+  GEPETO_CHECK(config.num_partitions >= 1);
+  GEPETO_CHECK(config.samples_per_chunk >= config.num_partitions);
+  RTreeMrResult result;
+  result.tree = index::RTree(config.rtree_max_entries);
+
+  // The curve needs the data bounds; the driver derives them with one cheap
+  // scan (in a Hadoop deployment this is a known property of the dataset or
+  // one counting job).
+  index::Rect bounds;
+  for (const auto& path : dfs.list(input)) {
+    const std::string_view data = dfs.read(path);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      geo::MobilityTrace t;
+      if (geo::parse_dataset_line(data.substr(start, end - start), t))
+        bounds.expand(index::Rect::point(t.latitude, t.longitude));
+      start = end + 1;
+    }
+  }
+  GEPETO_CHECK_MSG(bounds.valid(), "no parsable traces under " << input);
+  result.bounds = bounds;
+  const index::ScalarMapper curve(config.curve, bounds, config.sfc_order);
+
+  // --- Phase 1: sample + partition points ---------------------------------
+  mr::JobConfig p1;
+  p1.name = "rtree-phase1-sample";
+  p1.input = input;
+  p1.output = work_prefix + "/partition-points";
+  p1.num_reducers = 1;
+  {
+    const int samples = config.samples_per_chunk;
+    const std::uint64_t seed = config.seed;
+    const int partitions = config.num_partitions;
+    result.phase1 = mr::run_mapreduce_job(
+        dfs, cluster, p1,
+        [curve, samples, seed] {
+          return SampleMapper{curve, samples, seed, Rng(seed), {}, 0};
+        },
+        [partitions] { return BoundaryReducer{partitions}; });
+  }
+
+  // Consolidate the reducer's part file into a single cache file.
+  std::string boundary_lines;
+  for (const auto& part : dfs.list(p1.output + "/"))
+    boundary_lines += dfs.read(part);
+  const std::string boundaries_file = work_prefix + "/boundaries";
+  dfs.put(boundaries_file, boundary_lines);
+  {
+    std::size_t start = 0;
+    const std::string_view data = boundary_lines;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (!line.empty()) {
+        std::uint64_t b = 0;
+        std::from_chars(line.data(), line.data() + line.size(), b);
+        result.boundaries.push_back(b);
+      }
+      start = end + 1;
+    }
+  }
+
+  // --- Phase 2: partition + per-partition builds ---------------------------
+  mr::JobConfig p2;
+  p2.name = "rtree-phase2-build";
+  p2.input = input;
+  p2.output = work_prefix + "/small-trees";
+  p2.num_reducers = config.num_partitions;
+  p2.cache_files = {boundaries_file};
+  {
+    const int max_entries = config.rtree_max_entries;
+    result.phase2 = mr::run_mapreduce_job(
+        dfs, cluster, p2,
+        [curve, boundaries_file] {
+          return PartitionMapper{curve, boundaries_file, {}};
+        },
+        [max_entries] { return BuildReducer{max_entries}; });
+  }
+
+  // --- Phase 3: sequential merge -------------------------------------------
+  Stopwatch merge_watch;
+  result.partition_sizes.assign(
+      static_cast<std::size_t>(config.num_partitions), 0);
+  for (const auto& part : dfs.list(p2.output + "/")) {
+    const std::string_view data = dfs.read(part);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (line.rfind("tree,", 0) == 0) {
+        // tree,<partition>,<count>,<payload-with-;-newlines>
+        std::size_t c1 = line.find(',', 5);
+        std::size_t c2 = line.find(',', c1 + 1);
+        GEPETO_CHECK(c1 != std::string_view::npos &&
+                     c2 != std::string_view::npos);
+        std::int32_t partition = 0;
+        std::uint64_t count = 0;
+        std::from_chars(line.data() + 5, line.data() + c1, partition);
+        std::from_chars(line.data() + c1 + 1, line.data() + c2, count);
+        std::string payload(line.substr(c2 + 1));
+        std::replace(payload.begin(), payload.end(), ';', '\n');
+        const index::RTree small = index::RTree::deserialize(payload);
+        GEPETO_CHECK(small.size() == count);
+        GEPETO_CHECK(partition >= 0 &&
+                     partition < config.num_partitions);
+        result.partition_sizes[static_cast<std::size_t>(partition)] = count;
+        result.tree.merge(small);
+      }
+      start = end + 1;
+    }
+  }
+  result.phase3_real_seconds = merge_watch.seconds();
+  return result;
+}
+
+}  // namespace gepeto::core

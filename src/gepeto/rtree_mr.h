@@ -1,0 +1,64 @@
+// MapReduce construction of an R-Tree (paper Section VII-C, Fig. 6,
+// Algorithms 6-9).
+//
+// Three phases:
+//  1. *Partitioning function* — mappers sample a predefined number of
+//     objects per chunk and emit their space-filling-curve scalars
+//     (Algorithm 6); a single reducer sorts the sample and derives the
+//     partition boundary points (Algorithm 7). Both curves of the paper are
+//     supported: Z-order and Hilbert.
+//  2. *Per-partition build* — mappers assign every object to a partition by
+//     its scalar (Algorithm 8); reducer p bulk-loads (STR) the R-Tree of
+//     partition p and emits it, serialized (Algorithm 9).
+//  3. *Merge* — the small R-Trees are merged into one tree indexing the
+//     whole dataset, "executed sequentially by a single node due to its low
+//     computational complexity".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index/rtree.h"
+#include "index/sfc.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+struct RTreeMrConfig {
+  index::CurveKind curve = index::CurveKind::kHilbert;
+  int sfc_order = 12;          ///< curve grid is 2^order x 2^order
+  int num_partitions = 8;      ///< also the phase-2 reducer count
+  int samples_per_chunk = 256; ///< phase-1 per-mapper sample size
+  int rtree_max_entries = 16;
+  std::uint64_t seed = 42;
+};
+
+struct RTreeMrResult {
+  index::RTree tree{16};
+  mr::JobResult phase1;            ///< sampling / partition-point job
+  mr::JobResult phase2;            ///< partition + per-partition build job
+  double phase3_real_seconds = 0;  ///< sequential merge
+  std::vector<std::uint64_t> partition_sizes;
+  std::vector<std::uint64_t> boundaries;  ///< scalar partition points
+  index::Rect bounds;              ///< dataset bounds used by the curve
+};
+
+/// Build an R-Tree over every trace under `input` (dataset lines).
+/// Intermediate files live under `work_prefix`.
+RTreeMrResult build_rtree_mapreduce(mr::Dfs& dfs,
+                                    const mr::ClusterConfig& cluster,
+                                    const std::string& input,
+                                    const std::string& work_prefix,
+                                    const RTreeMrConfig& config);
+
+/// Partition id of a scalar given sorted boundary points: the number of
+/// boundaries <= scalar (so boundaries.size() + 1 partitions).
+std::size_t partition_of_scalar(std::uint64_t scalar,
+                                const std::vector<std::uint64_t>& boundaries);
+
+}  // namespace gepeto::core

@@ -1,0 +1,249 @@
+#include "gepeto/sampling.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "geo/geolife.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto::core {
+
+namespace {
+
+std::int64_t window_of(std::int64_t ts, int window_s) {
+  // Floor division (timestamps in our datasets are positive, but be safe).
+  std::int64_t w = ts / window_s;
+  if (ts % window_s < 0) --w;
+  return w;
+}
+
+/// |ts - reference| for the representative choice.
+std::int64_t reference_distance(const SamplingConfig& config, std::int64_t ts) {
+  const std::int64_t ref =
+      window_reference(config, window_of(ts, config.window_s));
+  return std::llabs(ts - ref);
+}
+
+/// Streaming representative picker shared by the sequential implementation
+/// and the map-only mapper: feed (user, time)-ordered traces, it emits the
+/// representative of each completed (user, window) group.
+class WindowFolder {
+ public:
+  explicit WindowFolder(const SamplingConfig& config) : config_(config) {}
+
+  template <typename Sink>
+  void feed(const geo::MobilityTrace& t, Sink&& sink) {
+    const std::int64_t w = window_of(t.timestamp, config_.window_s);
+    if (!have_ || t.user_id != best_.user_id || w != window_) {
+      flush(sink);
+      best_ = t;
+      best_dist_ = reference_distance(config_, t.timestamp);
+      window_ = w;
+      have_ = true;
+      return;
+    }
+    const std::int64_t d = reference_distance(config_, t.timestamp);
+    if (d < best_dist_) {  // strict: ties keep the earliest trace
+      best_ = t;
+      best_dist_ = d;
+    }
+  }
+
+  template <typename Sink>
+  void flush(Sink&& sink) {
+    if (have_) sink(best_);
+    have_ = false;
+  }
+
+ private:
+  SamplingConfig config_;
+  bool have_ = false;
+  geo::MobilityTrace best_{};
+  std::int64_t best_dist_ = 0;
+  std::int64_t window_ = 0;
+};
+
+struct SamplingMapper {
+  SamplingConfig config;
+  WindowFolder folder{config};
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("sampling.malformed_lines");
+      return;
+    }
+    folder.feed(t, [&](const geo::MobilityTrace& rep) {
+      ctx.write(geo::dataset_line(rep));
+      ctx.increment("sampling.windows");
+    });
+  }
+
+  void cleanup(mr::MapOnlyContext& ctx) {
+    folder.flush([&](const geo::MobilityTrace& rep) {
+      ctx.write(geo::dataset_line(rep));
+      ctx.increment("sampling.windows");
+    });
+  }
+};
+
+/// Binary-input twin of SamplingMapper: records are 32-byte binary traces.
+struct BinarySamplingMapper {
+  SamplingConfig config;
+  WindowFolder folder{config};
+
+  void map(std::int64_t, std::string_view record, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::trace_from_binary(record, t)) {
+      ctx.increment("sampling.malformed_records");
+      return;
+    }
+    folder.feed(t, [&](const geo::MobilityTrace& rep) {
+      ctx.write(geo::dataset_line(rep));
+      ctx.increment("sampling.windows");
+    });
+  }
+
+  void cleanup(mr::MapOnlyContext& ctx) {
+    folder.flush([&](const geo::MobilityTrace& rep) {
+      ctx.write(geo::dataset_line(rep));
+      ctx.increment("sampling.windows");
+    });
+  }
+};
+
+/// Key for the exact variant: one (user, window) group.
+struct UserWindowKey {
+  std::int32_t user_id = 0;
+  std::int64_t window = 0;
+
+  friend auto operator<=>(const UserWindowKey&, const UserWindowKey&) = default;
+  std::uint64_t partition_hash() const {
+    return static_cast<std::uint64_t>(user_id) * 0x9e3779b97f4a7c15ULL +
+           static_cast<std::uint64_t>(window);
+  }
+  std::uint64_t serialized_size() const { return 12; }
+};
+
+struct TraceValue {
+  geo::MobilityTrace trace;
+  std::uint64_t serialized_size() const { return 36; }
+};
+
+struct ExactSamplingMapper {
+  using OutKey = UserWindowKey;
+  using OutValue = TraceValue;
+  SamplingConfig config;
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("sampling.malformed_lines");
+      return;
+    }
+    ctx.emit({t.user_id, window_of(t.timestamp, config.window_s)}, {t});
+  }
+};
+
+struct ExactSamplingReducer {
+  SamplingConfig config;
+
+  void reduce(const UserWindowKey&, std::span<const TraceValue> values,
+              mr::ReduceContext& ctx) {
+    GEPETO_DCHECK(!values.empty());
+    const geo::MobilityTrace* best = &values.front().trace;
+    std::int64_t best_dist = reference_distance(config, best->timestamp);
+    for (const auto& v : values.subspan(1)) {
+      const std::int64_t d = reference_distance(config, v.trace.timestamp);
+      // Ties keep the earliest trace; values arrive in emission order, which
+      // is time order within a (user, window) group.
+      if (d < best_dist ||
+          (d == best_dist && v.trace.timestamp < best->timestamp)) {
+        best = &v.trace;
+        best_dist = d;
+      }
+    }
+    ctx.write(geo::dataset_line(*best));
+  }
+};
+
+}  // namespace
+
+std::int64_t window_reference(const SamplingConfig& config,
+                              std::int64_t window_index) {
+  GEPETO_CHECK(config.window_s > 0);
+  switch (config.technique) {
+    case SamplingTechnique::kUpperLimit:
+      return (window_index + 1) * config.window_s;
+    case SamplingTechnique::kMiddle:
+      return window_index * config.window_s + config.window_s / 2;
+  }
+  GEPETO_CHECK_MSG(false, "unknown SamplingTechnique");
+}
+
+geo::GeolocatedDataset downsample(const geo::GeolocatedDataset& dataset,
+                                  const SamplingConfig& config) {
+  GEPETO_CHECK(config.window_s > 0);
+  geo::GeolocatedDataset out;
+  for (const auto& [uid, trail] : dataset) {
+    WindowFolder folder(config);
+    geo::Trail sampled;
+    for (const auto& t : trail)
+      folder.feed(t, [&](const geo::MobilityTrace& rep) {
+        sampled.push_back(rep);
+      });
+    folder.flush([&](const geo::MobilityTrace& rep) { sampled.push_back(rep); });
+    out.add_trail(uid, std::move(sampled));
+  }
+  return out;
+}
+
+mr::JobResult run_sampling_job(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                               const std::string& input,
+                               const std::string& output,
+                               const SamplingConfig& config,
+                               const mr::FailurePolicy& failures) {
+  GEPETO_CHECK(config.window_s > 0);
+  mr::JobConfig job;
+  job.name = "sampling";
+  job.input = input;
+  job.output = output;
+  job.failures = failures;
+  return mr::run_map_only_job(dfs, cluster, job,
+                              [config] { return SamplingMapper{config}; });
+}
+
+mr::JobResult run_sampling_job_binary(mr::Dfs& dfs,
+                                      const mr::ClusterConfig& cluster,
+                                      const std::string& input,
+                                      const std::string& output,
+                                      const SamplingConfig& config) {
+  GEPETO_CHECK(config.window_s > 0);
+  mr::JobConfig job;
+  job.name = "sampling-binary";
+  job.input = input;
+  job.output = output;
+  return mr::run_binary_map_only_job(
+      dfs, cluster, job, [config] { return BinarySamplingMapper{config}; });
+}
+
+mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
+                                     const mr::ClusterConfig& cluster,
+                                     const std::string& input,
+                                     const std::string& output,
+                                     const SamplingConfig& config,
+                                     int num_reducers) {
+  GEPETO_CHECK(config.window_s > 0);
+  mr::JobConfig job;
+  job.name = "sampling-exact";
+  job.input = input;
+  job.output = output;
+  job.num_reducers = num_reducers;
+  return mr::run_mapreduce_job(
+      dfs, cluster, job, [config] { return ExactSamplingMapper{config}; },
+      [config] { return ExactSamplingReducer{config}; });
+}
+
+}  // namespace gepeto::core

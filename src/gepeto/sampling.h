@@ -1,0 +1,80 @@
+// Down-sampling (paper Section V, Figs. 2-3, Table I).
+//
+// Temporal aggregation: all mobility traces of a user that fall in the same
+// time window are summarized by a single *representative* trace. Two
+// representative-selection techniques, as in the paper:
+//   * kUpperLimit — the trace closest to the upper limit of the window
+//     (Fig. 2);
+//   * kMiddle — the trace closest to the middle of the window (Fig. 3).
+//
+// Windows are aligned to absolute time (window w covers
+// [w * window_s, (w+1) * window_s)), per user.
+//
+// Two MapReduce realizations are provided:
+//   * run_sampling_job — map-only, exactly the paper's design ("consisting
+//     only of map phases. The reduce phase is not necessary"). Like the
+//     paper's version, a window whose traces straddle a chunk boundary is
+//     represented once per chunk (the mapper cannot see across its split);
+//     with GeoLife-density data this affects a negligible fraction of
+//     windows (bounded by #chunks per file).
+//   * run_sampling_job_exact — map + reduce variant (key = user/window) that
+//     is exact; used to quantify the boundary effect and as a correctness
+//     oracle.
+#pragma once
+
+#include <string>
+
+#include "geo/trace.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+enum class SamplingTechnique { kUpperLimit, kMiddle };
+
+struct SamplingConfig {
+  int window_s = 60;
+  SamplingTechnique technique = SamplingTechnique::kUpperLimit;
+};
+
+/// Reference timestamp of a window under the chosen technique.
+std::int64_t window_reference(const SamplingConfig& config,
+                              std::int64_t window_index);
+
+/// Sequential reference implementation over an in-memory dataset.
+geo::GeolocatedDataset downsample(const geo::GeolocatedDataset& dataset,
+                                  const SamplingConfig& config);
+
+/// Map-only MapReduce job over dataset lines (input: DFS prefix of files of
+/// dataset lines sorted by (user, time); output: dataset lines). `failures`
+/// optionally injects per-attempt task failures (re-executed by the
+/// jobtracker; the output is unaffected).
+mr::JobResult run_sampling_job(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                               const std::string& input,
+                               const std::string& output,
+                               const SamplingConfig& config,
+                               const mr::FailurePolicy& failures = {});
+
+/// Map-only sampling over SequenceFile-style *binary* inputs
+/// (geo::dataset_to_dfs_binary); output is dataset lines, so this job also
+/// acts as the binary-to-text conversion step of a pipeline (the Mahout
+/// SequenceFile workflow the paper's related work describes, in reverse).
+mr::JobResult run_sampling_job_binary(mr::Dfs& dfs,
+                                      const mr::ClusterConfig& cluster,
+                                      const std::string& input,
+                                      const std::string& output,
+                                      const SamplingConfig& config);
+
+/// Exact map+reduce variant (shuffles one record per kept trace).
+mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
+                                     const mr::ClusterConfig& cluster,
+                                     const std::string& input,
+                                     const std::string& output,
+                                     const SamplingConfig& config,
+                                     int num_reducers = 4);
+
+}  // namespace gepeto::core

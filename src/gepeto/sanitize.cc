@@ -1,0 +1,433 @@
+#include "gepeto/sanitize.h"
+
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numbers>
+#include <set>
+#include <tuple>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto::core {
+
+namespace {
+
+constexpr double kMetersPerDegLat = 111320.0;
+
+double deg_lat(double m) { return m / kMetersPerDegLat; }
+double deg_lon(double m, double at_lat) {
+  return m / (kMetersPerDegLat *
+              std::cos(at_lat * std::numbers::pi / 180.0));
+}
+
+/// Per-trace deterministic Gaussian noise shared by the sequential and MR
+/// paths.
+geo::MobilityTrace masked_trace(const geo::MobilityTrace& t, double sigma_m,
+                                std::uint64_t seed) {
+  Rng rng(seed ^ (static_cast<std::uint64_t>(t.user_id) * 0x9E3779B97F4A7C15ULL) ^
+          (static_cast<std::uint64_t>(t.timestamp) * 0xA24BAED4963EE407ULL));
+  geo::MobilityTrace out = t;
+  out.latitude += deg_lat(rng.gaussian(0.0, sigma_m));
+  out.longitude += deg_lon(rng.gaussian(0.0, sigma_m), t.latitude);
+  return out;
+}
+
+/// Grid-cell identifier at a given cell size.
+std::pair<std::int64_t, std::int64_t> cell_of(double lat, double lon,
+                                              double cell_m) {
+  const double dlat = deg_lat(cell_m);
+  const double dlon = deg_lon(cell_m, lat);
+  return {static_cast<std::int64_t>(std::floor(lat / dlat)),
+          static_cast<std::int64_t>(std::floor(lon / dlon))};
+}
+
+geo::MobilityTrace rounded_trace(const geo::MobilityTrace& t, double cell_m) {
+  const double dlat = deg_lat(cell_m);
+  const double dlon = deg_lon(cell_m, t.latitude);
+  geo::MobilityTrace out = t;
+  out.latitude = (std::floor(t.latitude / dlat) + 0.5) * dlat;
+  out.longitude = (std::floor(t.longitude / dlon) + 0.5) * dlon;
+  return out;
+}
+
+struct GaussianMaskMapper {
+  double sigma_m;
+  std::uint64_t seed;
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("sanitize.malformed_lines");
+      return;
+    }
+    ctx.write(geo::dataset_line(masked_trace(t, sigma_m, seed)));
+  }
+};
+
+struct RoundingMapper {
+  double cell_m;
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("sanitize.malformed_lines");
+      return;
+    }
+    ctx.write(geo::dataset_line(rounded_trace(t, cell_m)));
+  }
+};
+
+/// Census key: one grid cell at one doubling level.
+struct CellKey {
+  std::int32_t level = 0;
+  std::int64_t cx = 0;
+  std::int64_t cy = 0;
+
+  friend auto operator<=>(const CellKey&, const CellKey&) = default;
+  std::uint64_t partition_hash() const {
+    std::uint64_t h = static_cast<std::uint64_t>(level) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(cx) * 0xA24BAED4963EE407ULL;
+    h ^= static_cast<std::uint64_t>(cy) * 0x9FB21C651E98DF25ULL;
+    return h;
+  }
+  std::uint64_t serialized_size() const { return 20; }
+};
+
+struct UserIdValue {
+  std::int32_t user = 0;
+  std::uint64_t serialized_size() const { return 4; }
+};
+
+struct CensusMapper {
+  using OutKey = CellKey;
+  using OutValue = UserIdValue;
+
+  double base_cell_m;
+  int max_doublings;
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("cloak.malformed_lines");
+      return;
+    }
+    double cell = base_cell_m;
+    for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
+      const auto [cx, cy] = cell_of(t.latitude, t.longitude, cell);
+      ctx.emit(CellKey{l, cx, cy}, UserIdValue{t.user_id});
+    }
+  }
+};
+
+/// Local dedup: one record per (cell, user) leaves each map task.
+struct CensusCombiner {
+  void combine(const CellKey& key, std::span<const UserIdValue> values,
+               mr::MapContext<CellKey, UserIdValue>& ctx) {
+    std::set<std::int32_t> users;
+    for (const auto& v : values) users.insert(v.user);
+    for (std::int32_t u : users) ctx.emit(key, UserIdValue{u});
+  }
+};
+
+struct CensusReducer {
+  void reduce(const CellKey& key, std::span<const UserIdValue> values,
+              mr::ReduceContext& ctx) {
+    std::set<std::int32_t> users;
+    for (const auto& v : values) users.insert(v.user);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d,%lld,%lld,%zu", key.level,
+                  static_cast<long long>(key.cx),
+                  static_cast<long long>(key.cy), users.size());
+    ctx.write(buf);
+  }
+};
+
+struct ApplyCloakingMapper {
+  std::string census_file;
+  int k;
+  double base_cell_m;
+  int max_doublings;
+
+  /// (level, cx, cy) -> distinct user count, loaded from the census.
+  std::map<std::tuple<int, std::int64_t, std::int64_t>, std::size_t> census;
+
+  void setup(mr::TaskContext& ctx) {
+    const std::string_view data = ctx.cache_file(census_file);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (!line.empty()) {
+        int level = 0;
+        std::int64_t cx = 0, cy = 0;
+        std::size_t count = 0;
+        const char* p = line.data();
+        const char* e = line.data() + line.size();
+        auto r1 = std::from_chars(p, e, level);
+        GEPETO_CHECK(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',');
+        auto r2 = std::from_chars(r1.ptr + 1, e, cx);
+        GEPETO_CHECK(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',');
+        auto r3 = std::from_chars(r2.ptr + 1, e, cy);
+        GEPETO_CHECK(r3.ec == std::errc() && r3.ptr != e && *r3.ptr == ',');
+        auto r4 = std::from_chars(r3.ptr + 1, e, count);
+        GEPETO_CHECK(r4.ec == std::errc() && r4.ptr == e);
+        census.emplace(std::make_tuple(level, cx, cy), count);
+      }
+      start = end + 1;
+    }
+  }
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("cloak.malformed_lines");
+      return;
+    }
+    double cell = base_cell_m;
+    for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
+      const auto [cx, cy] = cell_of(t.latitude, t.longitude, cell);
+      const auto it = census.find(std::make_tuple(l, cx, cy));
+      GEPETO_CHECK_MSG(it != census.end(), "census miss: stale cache?");
+      if (static_cast<int>(it->second) >= k) {
+        ctx.write(geo::dataset_line(rounded_trace(t, cell)));
+        return;
+      }
+    }
+    ctx.increment("cloak.suppressed");
+  }
+};
+
+}  // namespace
+
+geo::GeolocatedDataset gaussian_mask(const geo::GeolocatedDataset& dataset,
+                                     double sigma_m, std::uint64_t seed) {
+  GEPETO_CHECK(sigma_m >= 0.0);
+  geo::GeolocatedDataset out;
+  for (const auto& [uid, trail] : dataset) {
+    geo::Trail masked;
+    masked.reserve(trail.size());
+    for (const auto& t : trail) masked.push_back(masked_trace(t, sigma_m, seed));
+    out.add_trail(uid, std::move(masked));
+  }
+  return out;
+}
+
+geo::GeolocatedDataset spatial_rounding(const geo::GeolocatedDataset& dataset,
+                                        double cell_m) {
+  GEPETO_CHECK(cell_m > 0.0);
+  geo::GeolocatedDataset out;
+  for (const auto& [uid, trail] : dataset) {
+    geo::Trail rounded;
+    rounded.reserve(trail.size());
+    for (const auto& t : trail) rounded.push_back(rounded_trace(t, cell_m));
+    out.add_trail(uid, std::move(rounded));
+  }
+  return out;
+}
+
+CloakingResult spatial_cloaking(const geo::GeolocatedDataset& dataset, int k,
+                                double base_cell_m, int max_doublings) {
+  GEPETO_CHECK(k >= 1 && base_cell_m > 0.0 && max_doublings >= 0);
+  // Distinct-user counts per cell at each level.
+  std::vector<std::map<std::pair<std::int64_t, std::int64_t>,
+                       std::set<std::int32_t>>>
+      levels(static_cast<std::size_t>(max_doublings) + 1);
+  for (const auto& [uid, trail] : dataset) {
+    for (const auto& t : trail) {
+      double cell = base_cell_m;
+      for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
+        levels[static_cast<std::size_t>(l)][cell_of(t.latitude, t.longitude,
+                                                    cell)]
+            .insert(uid);
+      }
+    }
+  }
+
+  CloakingResult result;
+  double cell_sum = 0.0;
+  std::uint64_t kept = 0;
+  for (const auto& [uid, trail] : dataset) {
+    geo::Trail cloaked;
+    for (const auto& t : trail) {
+      double cell = base_cell_m;
+      bool placed = false;
+      for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
+        const auto& users = levels[static_cast<std::size_t>(l)].at(
+            cell_of(t.latitude, t.longitude, cell));
+        if (static_cast<int>(users.size()) >= k) {
+          cloaked.push_back(rounded_trace(t, cell));
+          cell_sum += cell;
+          ++kept;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) ++result.suppressed;
+    }
+    result.data.add_trail(uid, std::move(cloaked));
+  }
+  result.avg_cell_m = kept > 0 ? cell_sum / static_cast<double>(kept) : 0.0;
+  return result;
+}
+
+MixZoneResult apply_mix_zones(const geo::GeolocatedDataset& dataset,
+                              const std::vector<MixZone>& zones) {
+  MixZoneResult result;
+  // Fresh pseudonyms start above every existing id.
+  std::int32_t next_pseudonym = 0;
+  for (const auto& [uid, trail] : dataset)
+    next_pseudonym = std::max(next_pseudonym, uid + 1);
+
+  auto in_zone = [&](const geo::MobilityTrace& t) {
+    for (const auto& z : zones) {
+      if (geo::haversine_meters(t.latitude, t.longitude, z.latitude,
+                                z.longitude) <= z.radius_m)
+        return true;
+    }
+    return false;
+  };
+
+  for (const auto& [uid, trail] : dataset) {
+    std::int32_t current_id = uid;
+    bool inside = false;
+    geo::Trail out;
+    result.pseudonym_owner.emplace_back(uid, uid);
+    for (const auto& t : trail) {
+      if (in_zone(t)) {
+        inside = true;
+        ++result.suppressed_traces;
+        continue;
+      }
+      if (inside) {
+        // Exiting a zone: continue under a fresh pseudonym.
+        current_id = next_pseudonym++;
+        ++result.pseudonym_changes;
+        result.pseudonym_owner.emplace_back(current_id, uid);
+        inside = false;
+      }
+      geo::MobilityTrace copy = t;
+      copy.user_id = current_id;
+      out.push_back(copy);
+    }
+    // Split the trail by pseudonym into separate trails.
+    for (const auto& t : out) result.data.add(t);
+  }
+  return result;
+}
+
+std::vector<MixZone> pick_mix_zones(const geo::GeolocatedDataset& dataset,
+                                    int count, double radius_m) {
+  GEPETO_CHECK(count >= 0 && radius_m > 0);
+  // Busiest cells (side = 2 * radius) by distinct users.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::set<std::int32_t>>
+      cells;
+  for (const auto& [uid, trail] : dataset)
+    for (const auto& t : trail)
+      cells[cell_of(t.latitude, t.longitude, 2 * radius_m)].insert(uid);
+
+  std::vector<std::pair<std::size_t, std::pair<std::int64_t, std::int64_t>>>
+      ranked;
+  for (const auto& [cell, users] : cells) ranked.push_back({users.size(), cell});
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic tie-break
+  });
+
+  std::vector<MixZone> zones;
+  const double dlat = deg_lat(2 * radius_m);
+  for (int i = 0; i < count && i < static_cast<int>(ranked.size()); ++i) {
+    const auto& cell = ranked[static_cast<std::size_t>(i)].second;
+    MixZone z;
+    z.latitude = (static_cast<double>(cell.first) + 0.5) * dlat;
+    const double dlon = deg_lon(2 * radius_m, z.latitude);
+    z.longitude = (static_cast<double>(cell.second) + 0.5) * dlon;
+    z.radius_m = radius_m;
+    zones.push_back(z);
+  }
+  return zones;
+}
+
+mr::JobResult run_gaussian_mask_job(mr::Dfs& dfs,
+                                    const mr::ClusterConfig& cluster,
+                                    const std::string& input,
+                                    const std::string& output, double sigma_m,
+                                    std::uint64_t seed) {
+  GEPETO_CHECK(sigma_m >= 0.0);
+  mr::JobConfig job;
+  job.name = "gaussian-mask";
+  job.input = input;
+  job.output = output;
+  return mr::run_map_only_job(dfs, cluster, job, [sigma_m, seed] {
+    return GaussianMaskMapper{sigma_m, seed};
+  });
+}
+
+mr::JobResult run_rounding_job(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                               const std::string& input,
+                               const std::string& output, double cell_m) {
+  GEPETO_CHECK(cell_m > 0.0);
+  mr::JobConfig job;
+  job.name = "spatial-rounding";
+  job.input = input;
+  job.output = output;
+  return mr::run_map_only_job(dfs, cluster, job,
+                              [cell_m] { return RoundingMapper{cell_m}; });
+}
+
+CloakingMrResult run_cloaking_jobs(mr::Dfs& dfs,
+                                   const mr::ClusterConfig& cluster,
+                                   const std::string& input,
+                                   const std::string& work_prefix, int k,
+                                   double base_cell_m, int max_doublings) {
+  GEPETO_CHECK(k >= 1 && base_cell_m > 0.0 && max_doublings >= 0);
+  CloakingMrResult result;
+
+  // Job 1: the distinct-user census per (level, cell).
+  mr::JobConfig census;
+  census.name = "cloaking-census";
+  census.input = input;
+  census.output = work_prefix + "/census";
+  census.num_reducers = std::max(1, cluster.total_reduce_slots() / 2);
+  census.use_combiner = true;
+  result.census_job = mr::run_mapreduce_job(
+      dfs, cluster, census,
+      [base_cell_m, max_doublings] {
+        return CensusMapper{base_cell_m, max_doublings};
+      },
+      [] { return CensusReducer{}; }, [] { return CensusCombiner{}; });
+
+  // Consolidate the census parts into one distributed-cache file.
+  std::string census_lines;
+  for (const auto& part : dfs.list(census.output + "/"))
+    census_lines += dfs.read(part);
+  const std::string census_file = work_prefix + "/census-cache";
+  dfs.put(census_file, std::move(census_lines));
+
+  // Job 2: apply the generalization (map-only).
+  mr::JobConfig apply;
+  apply.name = "cloaking-apply";
+  apply.input = input;
+  apply.output = work_prefix + "/cloaked";
+  apply.cache_files = {census_file};
+  result.apply_job = mr::run_map_only_job(
+      dfs, cluster, apply, [census_file, k, base_cell_m, max_doublings] {
+        return ApplyCloakingMapper{census_file, k, base_cell_m, max_doublings,
+                                   {}};
+      });
+  const auto it = result.apply_job.counters.find("cloak.suppressed");
+  result.suppressed = it == result.apply_job.counters.end()
+                          ? 0
+                          : static_cast<std::uint64_t>(it->second);
+  return result;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,114 @@
+// Geo-sanitization mechanisms — the paper's announced extensions
+// (Section VIII): "geographical masks that modify the spatial coordinate of
+// a mobility trace by adding some random noise or aggregate several mobility
+// traces into a single spatial coordinate. More sophisticated geo-
+// sanitization methods ... such as spatial cloaking techniques and mix
+// zones".
+//
+// Four mechanisms:
+//   * gaussian_mask     — perturb each trace by N(0, sigma) meters;
+//   * spatial_rounding  — snap coordinates to a grid (aggregation);
+//   * spatial_cloaking  — enlarge each trace's cell until at least k users
+//                         share it (k-anonymity-style generalization);
+//   * mix zones         — suppress traces inside the zones and change the
+//                         pseudonym of every user crossing one.
+//
+// The first two are also provided as map-only MapReduce jobs (per-line
+// deterministic noise), following the paper's plan to "design MapReduced
+// versions of geo-sanitization mechanisms".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/trace.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+/// Gaussian geographical mask (deterministic: the noise of a trace depends
+/// only on seed, user id and timestamp, so the MR and sequential paths
+/// produce identical output).
+geo::GeolocatedDataset gaussian_mask(const geo::GeolocatedDataset& dataset,
+                                     double sigma_m, std::uint64_t seed);
+
+/// Snap every coordinate to the center of a square grid cell of side
+/// `cell_m` meters (spatial aggregation).
+geo::GeolocatedDataset spatial_rounding(const geo::GeolocatedDataset& dataset,
+                                        double cell_m);
+
+struct CloakingResult {
+  geo::GeolocatedDataset data;
+  double avg_cell_m = 0.0;      ///< average cell size traces ended up in
+  std::uint64_t suppressed = 0; ///< traces that never reached k users
+};
+
+/// Spatial cloaking: per trace, grow the cell (doubling from `base_cell_m`,
+/// at most `max_doublings` times) until at least `k` distinct users have
+/// traces in it; the trace is reported at the cell center. Traces that never
+/// reach k users are suppressed.
+CloakingResult spatial_cloaking(const geo::GeolocatedDataset& dataset, int k,
+                                double base_cell_m, int max_doublings = 6);
+
+struct MixZone {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double radius_m = 0.0;
+};
+
+struct MixZoneResult {
+  geo::GeolocatedDataset data;
+  std::uint64_t suppressed_traces = 0;
+  std::uint64_t pseudonym_changes = 0;
+  /// For evaluation only: new pseudonym -> original user id.
+  std::vector<std::pair<std::int32_t, std::int32_t>> pseudonym_owner;
+};
+
+/// Apply mix zones: traces inside any zone are suppressed; each time a user
+/// exits a zone they continue under a fresh pseudonym.
+MixZoneResult apply_mix_zones(const geo::GeolocatedDataset& dataset,
+                              const std::vector<MixZone>& zones);
+
+/// Pick the `count` busiest grid cells (by distinct users) as mix zones —
+/// a simple automatic placement.
+std::vector<MixZone> pick_mix_zones(const geo::GeolocatedDataset& dataset,
+                                    int count, double radius_m);
+
+/// Map-only MapReduce jobs over dataset lines.
+mr::JobResult run_gaussian_mask_job(mr::Dfs& dfs,
+                                    const mr::ClusterConfig& cluster,
+                                    const std::string& input,
+                                    const std::string& output, double sigma_m,
+                                    std::uint64_t seed);
+
+mr::JobResult run_rounding_job(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                               const std::string& input,
+                               const std::string& output, double cell_m);
+
+/// Spatial cloaking as a two-job MapReduce pipeline:
+///   job 1 (census): mappers emit (level, cell) -> user per trace; a
+///   combiner dedupes locally; reducers count distinct users per cell and
+///   write the census;
+///   job 2 (apply, map-only): mappers load the census from the distributed
+///   cache and generalize each trace to the smallest cell with >= k users
+///   (suppressing traces that never reach k).
+/// Semantically identical to spatial_cloaking() (tested).
+struct CloakingMrResult {
+  mr::JobResult census_job;
+  mr::JobResult apply_job;
+  std::uint64_t suppressed = 0;
+};
+
+CloakingMrResult run_cloaking_jobs(mr::Dfs& dfs,
+                                   const mr::ClusterConfig& cluster,
+                                   const std::string& input,
+                                   const std::string& work_prefix, int k,
+                                   double base_cell_m, int max_doublings = 6);
+
+}  // namespace gepeto::core

@@ -1,0 +1,301 @@
+#include "gepeto/social.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <set>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto::core {
+
+namespace {
+
+constexpr double kMetersPerDegLat = 111320.0;
+/// Reference latitude anchoring the longitude grid (city scale; exact
+/// distance checks make the grid geometry non-critical).
+constexpr double kReferenceLatitude = 40.0;
+/// Envelope safety margin for the radius -> degrees conversion.
+constexpr double kEnvelopeMargin = 1.1;
+
+struct GridGeometry {
+  double cell_deg_lat;
+  double cell_deg_lon;
+  double radius_deg_lat;
+  double radius_deg_lon;
+
+  explicit GridGeometry(double radius_m) {
+    const double cos_ref =
+        std::cos(kReferenceLatitude * std::numbers::pi / 180.0);
+    cell_deg_lat = 2.0 * radius_m / kMetersPerDegLat;
+    cell_deg_lon = 2.0 * radius_m / (kMetersPerDegLat * cos_ref);
+    radius_deg_lat = kEnvelopeMargin * radius_m / kMetersPerDegLat;
+    radius_deg_lon =
+        kEnvelopeMargin * radius_m / (kMetersPerDegLat * cos_ref);
+  }
+
+  std::int64_t cx(double lon) const {
+    return static_cast<std::int64_t>(std::floor(lon / cell_deg_lon));
+  }
+  std::int64_t cy(double lat) const {
+    return static_cast<std::int64_t>(std::floor(lat / cell_deg_lat));
+  }
+};
+
+/// Intermediate key: one spatial cell in one time bucket.
+struct CellBucketKey {
+  std::int64_t cx = 0;
+  std::int64_t cy = 0;
+  std::int64_t bucket = 0;
+
+  friend auto operator<=>(const CellBucketKey&, const CellBucketKey&) = default;
+  std::uint64_t partition_hash() const {
+    std::uint64_t h = static_cast<std::uint64_t>(cx) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(cy) * 0xA24BAED4963EE407ULL;
+    h ^= static_cast<std::uint64_t>(bucket) * 0x9FB21C651E98DF25ULL;
+    return h;
+  }
+  std::uint64_t serialized_size() const { return 24; }
+};
+
+/// Intermediate value: one user's presence point; `home` marks the copy
+/// emitted to the point's own cell (the others are envelope copies, so each
+/// co-located pair is discoverable from at least one side's home cell).
+struct UserPoint {
+  std::int32_t user = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+  bool home = false;
+  std::uint64_t serialized_size() const { return 21; }
+};
+
+/// Emit one presence point to its home cell and to every cell its contact
+/// disk touches. `sink(key, home)` is called once per target cell.
+template <typename Sink>
+void emit_envelope(const GridGeometry& grid, const geo::MobilityTrace& t,
+                   std::int64_t bucket, Sink&& sink) {
+  const std::int64_t home_cx = grid.cx(t.longitude);
+  const std::int64_t home_cy = grid.cy(t.latitude);
+  const std::int64_t x0 = grid.cx(t.longitude - grid.radius_deg_lon);
+  const std::int64_t x1 = grid.cx(t.longitude + grid.radius_deg_lon);
+  const std::int64_t y0 = grid.cy(t.latitude - grid.radius_deg_lat);
+  const std::int64_t y1 = grid.cy(t.latitude + grid.radius_deg_lat);
+  for (std::int64_t x = x0; x <= x1; ++x)
+    for (std::int64_t y = y0; y <= y1; ++y)
+      sink(CellBucketKey{x, y, bucket}, x == home_cx && y == home_cy);
+}
+
+/// Co-located pairs within one (cell, bucket) group: (home point, any other
+/// user's point) within the radius. Returns deduplicated user pairs.
+std::set<std::pair<std::int32_t, std::int32_t>> pairs_in_group(
+    std::span<const UserPoint> points, double radius_m) {
+  std::set<std::pair<std::int32_t, std::int32_t>> pairs;
+  for (const auto& p : points) {
+    if (!p.home) continue;
+    for (const auto& q : points) {
+      if (q.user == p.user) continue;
+      if (geo::haversine_meters(p.lat, p.lon, q.lat, q.lon) <= radius_m) {
+        pairs.emplace(std::min(p.user, q.user), std::max(p.user, q.user));
+      }
+    }
+  }
+  return pairs;
+}
+
+/// Aggregate (pair, bucket) observations into edges: consecutive buckets
+/// form one meeting; contact time = #buckets x bucket seconds.
+std::vector<SocialEdge> aggregate_pairs(
+    const std::set<std::tuple<std::int32_t, std::int32_t, std::int64_t>>&
+        observations,
+    const CoLocationConfig& config) {
+  std::map<std::pair<std::int32_t, std::int32_t>, std::vector<std::int64_t>>
+      buckets_of;
+  for (const auto& [a, b, bucket] : observations)
+    buckets_of[{a, b}].push_back(bucket);
+
+  std::vector<SocialEdge> edges;
+  for (auto& [pair, buckets] : buckets_of) {
+    std::sort(buckets.begin(), buckets.end());
+    SocialEdge e;
+    e.a = pair.first;
+    e.b = pair.second;
+    e.contact_seconds =
+        static_cast<double>(buckets.size()) * config.time_bucket_s;
+    e.meetings = 1;
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+      if (buckets[i] != buckets[i - 1] + 1) ++e.meetings;
+    if (static_cast<int>(e.meetings) >= config.min_meetings &&
+        e.contact_seconds >= config.min_contact_s) {
+      edges.push_back(e);
+    }
+  }
+  return edges;  // map order: sorted by (a, b)
+}
+
+// --- MapReduce job ----------------------------------------------------------
+
+struct ColocationMapper {
+  using OutKey = CellBucketKey;
+  using OutValue = UserPoint;
+
+  double radius_m;
+  int time_bucket_s;
+
+  // Dedupe per (user, bucket): dense trails emit each visited cell once.
+  std::int32_t cur_user = -1;
+  std::int64_t cur_bucket = -1;
+  std::set<std::pair<std::int64_t, std::int64_t>> emitted_cells;
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("social.malformed_lines");
+      return;
+    }
+    const GridGeometry grid(radius_m);
+    const std::int64_t bucket = t.timestamp / time_bucket_s;
+    if (t.user_id != cur_user || bucket != cur_bucket) {
+      cur_user = t.user_id;
+      cur_bucket = bucket;
+      emitted_cells.clear();
+    }
+    const auto home_cell = std::make_pair(grid.cx(t.longitude),
+                                          grid.cy(t.latitude));
+    if (!emitted_cells.insert(home_cell).second) return;  // cell already sent
+    emit_envelope(grid, t, bucket, [&](const CellBucketKey& key, bool home) {
+      ctx.emit(key, UserPoint{t.user_id, t.latitude, t.longitude, home});
+    });
+  }
+};
+
+struct ColocationReducer {
+  double radius_m;
+
+  void reduce(const CellBucketKey& key, std::span<const UserPoint> values,
+              mr::ReduceContext& ctx) {
+    for (const auto& [a, b] : pairs_in_group(values, radius_m)) {
+      ctx.write(std::to_string(a) + "," + std::to_string(b) + "," +
+                std::to_string(key.bucket));
+      ctx.increment("social.colocated_pairs");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<SocialEdge> discover_social_links(
+    const geo::GeolocatedDataset& dataset, const CoLocationConfig& config) {
+  GEPETO_CHECK(config.radius_m > 0 && config.time_bucket_s > 0);
+  const GridGeometry grid(config.radius_m);
+
+  // Same plan as the MapReduce job, executed in memory: group presence
+  // points by (cell, bucket) with per-(user, bucket) cell dedup.
+  std::map<CellBucketKey, std::vector<UserPoint>> groups;
+  for (const auto& [uid, trail] : dataset) {
+    std::int64_t cur_bucket = -1;
+    std::set<std::pair<std::int64_t, std::int64_t>> emitted_cells;
+    for (const auto& t : trail) {
+      const std::int64_t bucket = t.timestamp / config.time_bucket_s;
+      if (bucket != cur_bucket) {
+        cur_bucket = bucket;
+        emitted_cells.clear();
+      }
+      const auto home_cell = std::make_pair(grid.cx(t.longitude),
+                                            grid.cy(t.latitude));
+      if (!emitted_cells.insert(home_cell).second) continue;
+      emit_envelope(grid, t, bucket,
+                    [&](const CellBucketKey& key, bool home) {
+                      groups[key].push_back(
+                          UserPoint{t.user_id, t.latitude, t.longitude, home});
+                    });
+    }
+  }
+
+  std::set<std::tuple<std::int32_t, std::int32_t, std::int64_t>> observations;
+  for (const auto& [key, points] : groups) {
+    for (const auto& [a, b] :
+         pairs_in_group(std::span<const UserPoint>(points), config.radius_m))
+      observations.emplace(a, b, key.bucket);
+  }
+  return aggregate_pairs(observations, config);
+}
+
+SocialAttackScore score_social_attack(
+    const std::vector<SocialEdge>& edges,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& truth) {
+  SocialAttackScore score;
+  score.predicted = edges.size();
+  score.truth = truth.size();
+  std::set<std::pair<std::int32_t, std::int32_t>> truth_set(truth.begin(),
+                                                            truth.end());
+  for (const auto& e : edges)
+    score.correct += truth_set.count({e.a, e.b});
+  if (score.predicted > 0)
+    score.precision = static_cast<double>(score.correct) /
+                      static_cast<double>(score.predicted);
+  if (score.truth > 0)
+    score.recall = static_cast<double>(score.correct) /
+                   static_cast<double>(score.truth);
+  if (score.precision + score.recall > 0)
+    score.f1 = 2 * score.precision * score.recall /
+               (score.precision + score.recall);
+  return score;
+}
+
+SocialMrResult run_colocation_job(mr::Dfs& dfs,
+                                  const mr::ClusterConfig& cluster,
+                                  const std::string& input,
+                                  const std::string& output,
+                                  const CoLocationConfig& config) {
+  GEPETO_CHECK(config.radius_m > 0 && config.time_bucket_s > 0);
+  SocialMrResult result;
+  mr::JobConfig job;
+  job.name = "social-colocation";
+  job.input = input;
+  job.output = output;
+  job.num_reducers = std::max(1, cluster.total_reduce_slots());
+  const double radius = config.radius_m;
+  const int bucket_s = config.time_bucket_s;
+  result.job = mr::run_mapreduce_job(
+      dfs, cluster, job,
+      [radius, bucket_s] {
+        return ColocationMapper{radius, bucket_s, -1, -1, {}};
+      },
+      [radius] { return ColocationReducer{radius}; });
+
+  // Driver: merge per-bucket pair observations into social edges.
+  std::set<std::tuple<std::int32_t, std::int32_t, std::int64_t>> observations;
+  for (const auto& part : dfs.list(output + "/")) {
+    const std::string_view data = dfs.read(part);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      if (!line.empty()) {
+        std::int32_t a = 0, b = 0;
+        std::int64_t bucket = 0;
+        const char* p = line.data();
+        const char* e = line.data() + line.size();
+        auto r1 = std::from_chars(p, e, a);
+        GEPETO_CHECK(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',');
+        auto r2 = std::from_chars(r1.ptr + 1, e, b);
+        GEPETO_CHECK(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',');
+        auto r3 = std::from_chars(r2.ptr + 1, e, bucket);
+        GEPETO_CHECK(r3.ec == std::errc() && r3.ptr == e);
+        observations.emplace(a, b, bucket);
+      }
+      start = end + 1;
+    }
+  }
+  result.edges = aggregate_pairs(observations, config);
+  return result;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,78 @@
+// Social-link discovery — one of the inference-attack goals the paper lists
+// (Section II): "Discover social relations between individuals, by
+// considering that two individuals that are in contact during a
+// non-negligible amount of time share some kind of social link (false
+// positive may happen)".
+//
+// The attack finds co-locations: pairs of users with traces within
+// `radius_m` of each other inside the same time bucket. Consecutive
+// co-located buckets merge into one *meeting*; a pair becomes a predicted
+// social link once it accumulates enough meetings and enough total contact
+// time. A MapReduce realization is provided alongside the sequential one:
+// mappers key traces by (grid cell, time bucket), reducers emit the
+// co-located pairs per bucket, and the driver aggregates pairs into links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/trace.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+struct CoLocationConfig {
+  double radius_m = 50.0;     ///< two traces this close are "in contact"
+  int time_bucket_s = 300;    ///< temporal resolution of co-location
+  int min_meetings = 3;       ///< distinct meetings required for a link
+  double min_contact_s = 900; ///< total contact time required ("non-negligible")
+};
+
+struct SocialEdge {
+  std::int32_t a = 0;  ///< a < b
+  std::int32_t b = 0;
+  std::uint32_t meetings = 0;
+  double contact_seconds = 0.0;
+
+  friend bool operator==(const SocialEdge&, const SocialEdge&) = default;
+};
+
+/// Sequential attack. Edges sorted by (a, b).
+std::vector<SocialEdge> discover_social_links(
+    const geo::GeolocatedDataset& dataset, const CoLocationConfig& config);
+
+/// Evaluation against ground-truth friendships (pairs with a < b).
+struct SocialAttackScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  std::size_t predicted = 0;
+  std::size_t truth = 0;
+  std::size_t correct = 0;
+};
+
+SocialAttackScore score_social_attack(
+    const std::vector<SocialEdge>& edges,
+    const std::vector<std::pair<std::int32_t, std::int32_t>>& truth);
+
+/// MapReduce realization over dataset lines: map keys each trace by
+/// (cell, bucket), reducers emit co-located pairs per bucket, the driver
+/// merges buckets into meetings. Output lines: "a,b,meetings,contact_s".
+struct SocialMrResult {
+  std::vector<SocialEdge> edges;
+  mr::JobResult job;
+};
+
+SocialMrResult run_colocation_job(mr::Dfs& dfs,
+                                  const mr::ClusterConfig& cluster,
+                                  const std::string& input,
+                                  const std::string& output,
+                                  const CoLocationConfig& config);
+
+}  // namespace gepeto::core

@@ -1,0 +1,77 @@
+// Axis-aligned bounding rectangles over (latitude, longitude), the building
+// block of the R-Tree (paper Section VII-C: "R-Trees group datapoints ...
+// and represent them through their minimum bounding rectangle").
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace gepeto::index {
+
+struct Rect {
+  double min_lat = std::numeric_limits<double>::max();
+  double min_lon = std::numeric_limits<double>::max();
+  double max_lat = std::numeric_limits<double>::lowest();
+  double max_lon = std::numeric_limits<double>::lowest();
+
+  static Rect point(double lat, double lon) { return {lat, lon, lat, lon}; }
+
+  static Rect of(double min_lat, double min_lon, double max_lat,
+                 double max_lon) {
+    return {min_lat, min_lon, max_lat, max_lon};
+  }
+
+  bool valid() const { return min_lat <= max_lat && min_lon <= max_lon; }
+
+  void expand(const Rect& o) {
+    min_lat = std::min(min_lat, o.min_lat);
+    min_lon = std::min(min_lon, o.min_lon);
+    max_lat = std::max(max_lat, o.max_lat);
+    max_lon = std::max(max_lon, o.max_lon);
+  }
+
+  Rect expanded(const Rect& o) const {
+    Rect r = *this;
+    r.expand(o);
+    return r;
+  }
+
+  bool intersects(const Rect& o) const {
+    return min_lat <= o.max_lat && o.min_lat <= max_lat &&
+           min_lon <= o.max_lon && o.min_lon <= max_lon;
+  }
+
+  bool contains(double lat, double lon) const {
+    return lat >= min_lat && lat <= max_lat && lon >= min_lon &&
+           lon <= max_lon;
+  }
+
+  bool contains(const Rect& o) const {
+    return o.min_lat >= min_lat && o.max_lat <= max_lat &&
+           o.min_lon >= min_lon && o.max_lon <= max_lon;
+  }
+
+  double area() const {
+    return valid() ? (max_lat - min_lat) * (max_lon - min_lon) : 0.0;
+  }
+
+  /// Area increase needed to also cover `o` (Guttman's insertion heuristic).
+  double enlargement(const Rect& o) const { return expanded(o).area() - area(); }
+
+  double center_lat() const { return 0.5 * (min_lat + max_lat); }
+  double center_lon() const { return 0.5 * (min_lon + max_lon); }
+
+  /// Squared distance (degree space) from a point to this rectangle; zero if
+  /// inside. Used by best-first kNN.
+  double min_dist2(double lat, double lon) const {
+    const double dlat =
+        lat < min_lat ? min_lat - lat : (lat > max_lat ? lat - max_lat : 0.0);
+    const double dlon =
+        lon < min_lon ? min_lon - lon : (lon > max_lon ? lon - max_lon : 0.0);
+    return dlat * dlat + dlon * dlon;
+  }
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+}  // namespace gepeto::index

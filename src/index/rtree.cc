@@ -1,0 +1,624 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <queue>
+#include <string>
+
+#include "common/check.h"
+#include "geo/distance.h"
+
+namespace gepeto::index {
+
+RTree::RTree(int max_entries)
+    : max_entries_(max_entries),
+      min_entries_(std::max(2, max_entries * 2 / 5)) {
+  GEPETO_CHECK(max_entries_ >= 4);
+}
+
+std::int32_t RTree::new_node(bool leaf) {
+  nodes_.push_back(Node{});
+  nodes_.back().leaf = leaf;
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+Rect RTree::entry_box(const Node& node, std::size_t i) const {
+  if (node.leaf) return Rect::point(node.points[i].lat, node.points[i].lon);
+  return nodes_[static_cast<std::size_t>(node.children[i])].box;
+}
+
+void RTree::recompute_box(std::int32_t n) {
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  Rect box;
+  const std::size_t count =
+      node.leaf ? node.points.size() : node.children.size();
+  for (std::size_t i = 0; i < count; ++i) box.expand(entry_box(node, i));
+  node.box = box;
+}
+
+namespace {
+/// Quadratic-split seed selection: the pair whose combined rectangle wastes
+/// the most area (Guttman's PickSeeds).
+std::pair<std::size_t, std::size_t> pick_seeds(
+    const std::vector<Rect>& boxes) {
+  std::size_t best_a = 0, best_b = 1;
+  double worst = -1.0;
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    for (std::size_t j = i + 1; j < boxes.size(); ++j) {
+      const double dead =
+          boxes[i].expanded(boxes[j]).area() - boxes[i].area() -
+          boxes[j].area();
+      if (dead > worst) {
+        worst = dead;
+        best_a = i;
+        best_b = j;
+      }
+    }
+  }
+  return {best_a, best_b};
+}
+}  // namespace
+
+std::int32_t RTree::split(std::int32_t n) {
+  const bool leaf = nodes_[static_cast<std::size_t>(n)].leaf;
+  const std::int32_t sib = new_node(leaf);
+  Node& node = nodes_[static_cast<std::size_t>(n)];   // revalidate after push
+  Node& sibling = nodes_[static_cast<std::size_t>(sib)];
+
+  const std::size_t count =
+      leaf ? node.points.size() : node.children.size();
+  std::vector<Rect> boxes(count);
+  for (std::size_t i = 0; i < count; ++i) boxes[i] = entry_box(node, i);
+
+  const auto [seed_a, seed_b] = pick_seeds(boxes);
+
+  std::vector<bool> to_sibling(count, false);
+  std::vector<bool> placed(count, false);
+  placed[seed_a] = placed[seed_b] = true;
+  to_sibling[seed_b] = true;
+  Rect box_a = boxes[seed_a];
+  Rect box_b = boxes[seed_b];
+  std::size_t count_a = 1, count_b = 1;
+  std::size_t remaining = count - 2;
+
+  while (remaining > 0) {
+    // If one group must take all the rest to reach the minimum, do so.
+    if (count_a + remaining == static_cast<std::size_t>(min_entries_)) {
+      for (std::size_t i = 0; i < count; ++i)
+        if (!placed[i]) {
+          placed[i] = true;
+          box_a.expand(boxes[i]);
+          ++count_a;
+        }
+      remaining = 0;
+      break;
+    }
+    if (count_b + remaining == static_cast<std::size_t>(min_entries_)) {
+      for (std::size_t i = 0; i < count; ++i)
+        if (!placed[i]) {
+          placed[i] = true;
+          to_sibling[i] = true;
+          box_b.expand(boxes[i]);
+          ++count_b;
+        }
+      remaining = 0;
+      break;
+    }
+    // PickNext: the entry with the greatest preference for one group.
+    std::size_t best = count;
+    double best_diff = -1.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (placed[i]) continue;
+      const double diff = std::fabs(box_a.enlargement(boxes[i]) -
+                                    box_b.enlargement(boxes[i]));
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+      }
+    }
+    const double grow_a = box_a.enlargement(boxes[best]);
+    const double grow_b = box_b.enlargement(boxes[best]);
+    bool pick_b = grow_b < grow_a;
+    if (grow_a == grow_b) {
+      pick_b = box_b.area() < box_a.area();
+      if (box_a.area() == box_b.area()) pick_b = count_b < count_a;
+    }
+    placed[best] = true;
+    if (pick_b) {
+      to_sibling[best] = true;
+      box_b.expand(boxes[best]);
+      ++count_b;
+    } else {
+      box_a.expand(boxes[best]);
+      ++count_a;
+    }
+    --remaining;
+  }
+
+  // Move the sibling's share out of `node`.
+  if (leaf) {
+    std::vector<RTreeEntry> keep;
+    keep.reserve(count_a);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (to_sibling[i])
+        sibling.points.push_back(node.points[i]);
+      else
+        keep.push_back(node.points[i]);
+    }
+    node.points = std::move(keep);
+  } else {
+    std::vector<std::int32_t> keep;
+    keep.reserve(count_a);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (to_sibling[i])
+        sibling.children.push_back(node.children[i]);
+      else
+        keep.push_back(node.children[i]);
+    }
+    node.children = std::move(keep);
+  }
+  recompute_box(n);
+  recompute_box(sib);
+  return sib;
+}
+
+void RTree::insert(double lat, double lon, std::uint64_t id) {
+  const Rect r = Rect::point(lat, lon);
+  if (root_ < 0) {
+    root_ = new_node(true);
+    nodes_[static_cast<std::size_t>(root_)].points.push_back({lat, lon, id});
+    nodes_[static_cast<std::size_t>(root_)].box = r;
+    size_ = 1;
+    return;
+  }
+
+  // Descend to a leaf, tracking the path (ChooseLeaf).
+  std::vector<std::int32_t> path;
+  std::int32_t cur = root_;
+  for (;;) {
+    path.push_back(cur);
+    Node& node = nodes_[static_cast<std::size_t>(cur)];
+    node.box.expand(r);
+    if (node.leaf) break;
+    std::size_t best = 0;
+    double best_growth = std::numeric_limits<double>::max();
+    double best_area = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+      const Rect& cb =
+          nodes_[static_cast<std::size_t>(node.children[i])].box;
+      const double growth = cb.enlargement(r);
+      const double area = cb.area();
+      if (growth < best_growth ||
+          (growth == best_growth && area < best_area)) {
+        best_growth = growth;
+        best_area = area;
+        best = i;
+      }
+    }
+    cur = node.children[best];
+  }
+
+  nodes_[static_cast<std::size_t>(cur)].points.push_back({lat, lon, id});
+  ++size_;
+
+  // Handle overflows bottom-up.
+  for (std::size_t depth = path.size(); depth-- > 0;) {
+    const std::int32_t n = path[depth];
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    const std::size_t count =
+        node.leaf ? node.points.size() : node.children.size();
+    if (count <= static_cast<std::size_t>(max_entries_)) break;
+    const std::int32_t sib = split(n);
+    if (depth == 0) {
+      const std::int32_t new_root = new_node(false);
+      Node& rn = nodes_[static_cast<std::size_t>(new_root)];
+      rn.children = {n, sib};
+      recompute_box(new_root);
+      root_ = new_root;
+    } else {
+      const std::int32_t parent = path[depth - 1];
+      nodes_[static_cast<std::size_t>(parent)].children.push_back(sib);
+      // Parent box already covers both halves; count is checked next loop.
+    }
+  }
+}
+
+void RTree::bulk_load_str(std::span<const RTreeEntry> entries) {
+  GEPETO_CHECK_MSG(empty(), "bulk_load_str requires an empty tree");
+  if (entries.empty()) return;
+
+  // Build the leaf level: sort by longitude into vertical slabs, then by
+  // latitude within each slab, packing max_entries_ per leaf (STR).
+  std::vector<RTreeEntry> pts(entries.begin(), entries.end());
+  const std::size_t M = static_cast<std::size_t>(max_entries_);
+  const std::size_t num_leaves = (pts.size() + M - 1) / M;
+  const std::size_t slabs = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t per_slab = slabs * M;
+
+  std::sort(pts.begin(), pts.end(), [](const auto& a, const auto& b) {
+    if (a.lon != b.lon) return a.lon < b.lon;
+    if (a.lat != b.lat) return a.lat < b.lat;
+    return a.id < b.id;
+  });
+
+  std::vector<std::int32_t> level;
+  for (std::size_t s = 0; s * per_slab < pts.size(); ++s) {
+    const std::size_t lo = s * per_slab;
+    const std::size_t hi = std::min(pts.size(), lo + per_slab);
+    std::sort(pts.begin() + static_cast<std::ptrdiff_t>(lo),
+              pts.begin() + static_cast<std::ptrdiff_t>(hi),
+              [](const auto& a, const auto& b) {
+                if (a.lat != b.lat) return a.lat < b.lat;
+                if (a.lon != b.lon) return a.lon < b.lon;
+                return a.id < b.id;
+              });
+    for (std::size_t i = lo; i < hi; i += M) {
+      const std::int32_t leaf = new_node(true);
+      Node& ln = nodes_[static_cast<std::size_t>(leaf)];
+      const std::size_t end = std::min(hi, i + M);
+      ln.points.assign(pts.begin() + static_cast<std::ptrdiff_t>(i),
+                       pts.begin() + static_cast<std::ptrdiff_t>(end));
+      recompute_box(leaf);
+      level.push_back(leaf);
+    }
+  }
+
+  // Pack upper levels the same way over node centers.
+  while (level.size() > 1) {
+    std::vector<std::int32_t> next;
+    const std::size_t num_parents = (level.size() + M - 1) / M;
+    const std::size_t pslabs = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(num_parents))));
+    const std::size_t pper_slab = pslabs * M;
+    std::sort(level.begin(), level.end(), [&](std::int32_t a, std::int32_t b) {
+      const Rect& ra = nodes_[static_cast<std::size_t>(a)].box;
+      const Rect& rb = nodes_[static_cast<std::size_t>(b)].box;
+      if (ra.center_lon() != rb.center_lon())
+        return ra.center_lon() < rb.center_lon();
+      return ra.center_lat() < rb.center_lat();
+    });
+    for (std::size_t s = 0; s * pper_slab < level.size(); ++s) {
+      const std::size_t lo = s * pper_slab;
+      const std::size_t hi = std::min(level.size(), lo + pper_slab);
+      std::sort(level.begin() + static_cast<std::ptrdiff_t>(lo),
+                level.begin() + static_cast<std::ptrdiff_t>(hi),
+                [&](std::int32_t a, std::int32_t b) {
+                  const Rect& ra = nodes_[static_cast<std::size_t>(a)].box;
+                  const Rect& rb = nodes_[static_cast<std::size_t>(b)].box;
+                  if (ra.center_lat() != rb.center_lat())
+                    return ra.center_lat() < rb.center_lat();
+                  return ra.center_lon() < rb.center_lon();
+                });
+      for (std::size_t i = lo; i < hi; i += M) {
+        const std::int32_t parent = new_node(false);
+        Node& pn = nodes_[static_cast<std::size_t>(parent)];
+        const std::size_t end = std::min(hi, i + M);
+        pn.children.assign(level.begin() + static_cast<std::ptrdiff_t>(i),
+                           level.begin() + static_cast<std::ptrdiff_t>(end));
+        recompute_box(parent);
+        next.push_back(parent);
+      }
+    }
+    // A trailing parent can end up with a single child (e.g. 17 leaves with
+    // M=16); internal nodes need >= 2 children, so steal one from the
+    // previous parent.
+    if (next.size() >= 2) {
+      Node& last = nodes_[static_cast<std::size_t>(next.back())];
+      if (last.children.size() < 2) {
+        Node& prev = nodes_[static_cast<std::size_t>(next[next.size() - 2])];
+        last.children.push_back(prev.children.back());
+        prev.children.pop_back();
+        recompute_box(next.back());
+        recompute_box(next[next.size() - 2]);
+      }
+    }
+    level = std::move(next);
+  }
+
+  root_ = level.front();
+  size_ = pts.size();
+}
+
+int RTree::node_height(std::int32_t n) const {
+  int h = 1;
+  const Node* node = &nodes_[static_cast<std::size_t>(n)];
+  while (!node->leaf) {
+    ++h;
+    node = &nodes_[static_cast<std::size_t>(node->children.front())];
+  }
+  return h;
+}
+
+int RTree::height() const { return root_ < 0 ? 0 : node_height(root_); }
+
+void RTree::merge(const RTree& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (height() == other.height() && max_entries_ == other.max_entries_) {
+    // Graft: copy the other arena in (offsetting node ids) and join the two
+    // roots under a fresh root — the cheap sequential merge of phase 3.
+    const auto offset = static_cast<std::int32_t>(nodes_.size());
+    for (const Node& n : other.nodes_) {
+      Node copy = n;
+      for (auto& c : copy.children) c += offset;
+      nodes_.push_back(std::move(copy));
+    }
+    const std::int32_t other_root = other.root_ + offset;
+    const std::int32_t new_root = new_node(false);
+    nodes_[static_cast<std::size_t>(new_root)].children = {root_, other_root};
+    recompute_box(new_root);
+    root_ = new_root;
+    size_ += other.size_;
+    return;
+  }
+  // Heights differ: fall back to reinsertion of the smaller tree's entries.
+  if (other.size() > size()) {
+    RTree bigger = other;
+    for (const auto& e : entries()) bigger.insert(e.lat, e.lon, e.id);
+    *this = std::move(bigger);
+  } else {
+    for (const auto& e : other.entries()) insert(e.lat, e.lon, e.id);
+  }
+}
+
+std::vector<RTreeEntry> RTree::search(const Rect& rect) const {
+  std::vector<RTreeEntry> out;
+  if (root_ < 0) return out;
+  std::vector<std::int32_t> stack{root_};
+  while (!stack.empty()) {
+    const std::int32_t n = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(n)];
+    if (!node.box.intersects(rect)) continue;
+    if (node.leaf) {
+      for (const auto& p : node.points)
+        if (rect.contains(p.lat, p.lon)) out.push_back(p);
+    } else {
+      for (std::int32_t c : node.children)
+        if (nodes_[static_cast<std::size_t>(c)].box.intersects(rect))
+          stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<RTreeEntry> RTree::radius_search_meters(double lat, double lon,
+                                                    double radius_m) const {
+  // Degree-space prefilter box around the query point.
+  const double dlat = radius_m / 111320.0;
+  const double coslat =
+      std::max(0.01, std::cos(lat * std::numbers::pi / 180.0));
+  const double dlon = radius_m / (111320.0 * coslat);
+  const Rect box =
+      Rect::of(lat - dlat, lon - dlon, lat + dlat, lon + dlon);
+  std::vector<RTreeEntry> out;
+  for (const auto& e : search(box)) {
+    if (geo::haversine_meters(lat, lon, e.lat, e.lon) <= radius_m)
+      out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<RTreeEntry> RTree::knn(double lat, double lon,
+                                   std::size_t k) const {
+  std::vector<RTreeEntry> out;
+  if (root_ < 0 || k == 0) return out;
+
+  struct Item {
+    double dist2;
+    std::int32_t node;    ///< -1 when this is a concrete entry
+    RTreeEntry entry;
+    bool operator>(const Item& o) const { return dist2 > o.dist2; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.push({nodes_[static_cast<std::size_t>(root_)].box.min_dist2(lat, lon),
+             root_,
+             {}});
+  while (!heap.empty() && out.size() < k) {
+    const Item top = heap.top();
+    heap.pop();
+    if (top.node < 0) {
+      out.push_back(top.entry);
+      continue;
+    }
+    const Node& node = nodes_[static_cast<std::size_t>(top.node)];
+    if (node.leaf) {
+      for (const auto& p : node.points) {
+        const double dlat = p.lat - lat;
+        const double dlon = p.lon - lon;
+        heap.push({dlat * dlat + dlon * dlon, -1, p});
+      }
+    } else {
+      for (std::int32_t c : node.children) {
+        heap.push({nodes_[static_cast<std::size_t>(c)].box.min_dist2(lat, lon),
+                   c,
+                   {}});
+      }
+    }
+  }
+  return out;
+}
+
+Rect RTree::bounds() const {
+  return root_ < 0 ? Rect{} : nodes_[static_cast<std::size_t>(root_)].box;
+}
+
+void RTree::collect(std::int32_t n, std::vector<RTreeEntry>& out) const {
+  const Node& node = nodes_[static_cast<std::size_t>(n)];
+  if (node.leaf) {
+    out.insert(out.end(), node.points.begin(), node.points.end());
+  } else {
+    for (std::int32_t c : node.children) collect(c, out);
+  }
+}
+
+std::vector<RTreeEntry> RTree::entries() const {
+  std::vector<RTreeEntry> out;
+  out.reserve(size_);
+  if (root_ >= 0) collect(root_, out);
+  return out;
+}
+
+void RTree::check_node(std::int32_t n, int depth, int leaf_depth) const {
+  const Node& node = nodes_[static_cast<std::size_t>(n)];
+  const std::size_t count =
+      node.leaf ? node.points.size() : node.children.size();
+  GEPETO_CHECK_MSG(count <= static_cast<std::size_t>(max_entries_),
+                   "node overflow: " << count);
+  if (n != root_) {
+    // Grafted merges may leave nodes above the Guttman minimum fill of a
+    // pure insertion build; still require non-emptiness plus >= 2 children
+    // for internal nodes (structural sanity).
+    GEPETO_CHECK(count >= 1);
+    if (!node.leaf) GEPETO_CHECK(count >= 2);
+  }
+  if (node.leaf) {
+    GEPETO_CHECK_MSG(depth == leaf_depth, "leaves at unequal depth");
+    for (const auto& p : node.points)
+      GEPETO_CHECK(node.box.contains(p.lat, p.lon));
+  } else {
+    Rect box;
+    for (std::int32_t c : node.children) {
+      box.expand(nodes_[static_cast<std::size_t>(c)].box);
+      check_node(c, depth + 1, leaf_depth);
+    }
+    GEPETO_CHECK_MSG(box == node.box, "stale bounding box");
+  }
+}
+
+std::string RTree::serialize() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "R %d %zu %d %zu\n", max_entries_, size_,
+                root_, nodes_.size());
+  out += buf;
+  for (const Node& n : nodes_) {
+    out += n.leaf ? "L" : "I";
+    if (n.leaf) {
+      for (const auto& p : n.points) {
+        std::snprintf(buf, sizeof(buf), " %.17g %.17g %llu", p.lat, p.lon,
+                      static_cast<unsigned long long>(p.id));
+        out += buf;
+      }
+    } else {
+      for (std::int32_t c : n.children) {
+        std::snprintf(buf, sizeof(buf), " %d", c);
+        out += buf;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+namespace {
+const char* skip_ws(const char* p, const char* end) {
+  while (p != end && *p == ' ') ++p;
+  return p;
+}
+}  // namespace
+
+RTree RTree::deserialize(std::string_view data) {
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::string_view {
+    GEPETO_CHECK_MSG(pos < data.size(), "truncated R-Tree serialization");
+    std::size_t end = data.find('\n', pos);
+    if (end == std::string_view::npos) end = data.size();
+    const std::string_view line = data.substr(pos, end - pos);
+    pos = end + 1;
+    return line;
+  };
+
+  const std::string_view header = next_line();
+  GEPETO_CHECK_MSG(header.size() > 2 && header[0] == 'R',
+                   "bad R-Tree header");
+  int max_entries = 0;
+  std::size_t size = 0, num_nodes = 0;
+  std::int32_t root = -1;
+  {
+    const char* p = header.data() + 1;
+    const char* end = header.data() + header.size();
+    p = skip_ws(p, end);
+    p = std::from_chars(p, end, max_entries).ptr;
+    p = skip_ws(p, end);
+    p = std::from_chars(p, end, size).ptr;
+    p = skip_ws(p, end);
+    p = std::from_chars(p, end, root).ptr;
+    p = skip_ws(p, end);
+    p = std::from_chars(p, end, num_nodes).ptr;
+  }
+  RTree tree(max_entries);
+  tree.size_ = size;
+  tree.root_ = num_nodes == 0 ? -1 : root;
+  tree.nodes_.resize(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    const std::string_view line = next_line();
+    GEPETO_CHECK_MSG(!line.empty() && (line[0] == 'L' || line[0] == 'I'),
+                     "bad R-Tree node line");
+    Node& n = tree.nodes_[i];
+    n.leaf = line[0] == 'L';
+    const char* p = line.data() + 1;
+    const char* end = line.data() + line.size();
+    while (skip_ws(p, end) != end) {
+      p = skip_ws(p, end);
+      if (n.leaf) {
+        RTreeEntry e;
+        p = std::from_chars(p, end, e.lat).ptr;
+        p = skip_ws(p, end);
+        p = std::from_chars(p, end, e.lon).ptr;
+        p = skip_ws(p, end);
+        p = std::from_chars(p, end, e.id).ptr;
+        n.points.push_back(e);
+      } else {
+        std::int32_t c = -1;
+        p = std::from_chars(p, end, c).ptr;
+        GEPETO_CHECK_MSG(
+            c >= 0 && static_cast<std::size_t>(c) < num_nodes,
+            "child id out of range");
+        n.children.push_back(c);
+      }
+    }
+  }
+  // Rebuild bounding boxes bottom-up.
+  if (tree.root_ >= 0) {
+    // Post-order traversal with an explicit stack.
+    std::vector<std::pair<std::int32_t, bool>> stack{{tree.root_, false}};
+    while (!stack.empty()) {
+      auto [n, expanded] = stack.back();
+      stack.pop_back();
+      Node& node = tree.nodes_[static_cast<std::size_t>(n)];
+      if (node.leaf || expanded) {
+        tree.recompute_box(n);
+      } else {
+        stack.push_back({n, true});
+        for (std::int32_t c : node.children) stack.push_back({c, false});
+      }
+    }
+  }
+  return tree;
+}
+
+void RTree::check_invariants() const {
+  if (root_ < 0) {
+    GEPETO_CHECK(size_ == 0);
+    return;
+  }
+  // Locate leaf depth by walking leftmost path.
+  int leaf_depth = 0;
+  std::int32_t cur = root_;
+  while (!nodes_[static_cast<std::size_t>(cur)].leaf) {
+    cur = nodes_[static_cast<std::size_t>(cur)].children.front();
+    ++leaf_depth;
+  }
+  check_node(root_, 0, leaf_depth);
+  GEPETO_CHECK(entries().size() == size_);
+}
+
+}  // namespace gepeto::index

@@ -1,0 +1,113 @@
+// A 2D R-Tree over (latitude, longitude) points (Guttman 1984), used by
+// DJ-Cluster's neighborhood-identification phase: "computing the
+// neighborhood of a point with such a structure can be done in O(log n)".
+//
+// Supported construction paths mirror the paper:
+//   * dynamic insertion (Guttman quadratic split) — the classic algorithm;
+//   * STR bulk loading (sort-tile-recursive) — used for per-partition builds
+//     in the MapReduce R-Tree construction (Section VII-C phase 2);
+//   * merge() of several trees into one — phase 3 of the MapReduce build.
+//
+// Queries: rectangle search, radius search in meters, and best-first kNN.
+// Node storage is an index-based arena (no per-node allocations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/bbox.h"
+
+namespace gepeto::index {
+
+/// A point payload: position plus a caller-provided identifier.
+struct RTreeEntry {
+  double lat = 0.0;
+  double lon = 0.0;
+  std::uint64_t id = 0;
+};
+
+class RTree {
+ public:
+  /// `max_entries` is Guttman's M; min entries m = M * 2 / 5 (clamped >= 2).
+  explicit RTree(int max_entries = 16);
+
+  /// Insert one point (Guttman: ChooseLeaf + quadratic split on overflow).
+  void insert(double lat, double lon, std::uint64_t id);
+
+  /// Bulk-load with Sort-Tile-Recursive packing. The tree must be empty.
+  void bulk_load_str(std::span<const RTreeEntry> entries);
+
+  /// Append every entry of `other` into this tree. If both trees are
+  /// non-empty and of equal height their roots are joined under a new root
+  /// when that keeps the tree balanced; otherwise entries are reinserted.
+  void merge(const RTree& other);
+
+  /// All entries inside `rect` (inclusive), in unspecified order.
+  std::vector<RTreeEntry> search(const Rect& rect) const;
+
+  /// All entries within `radius_m` meters of (lat, lon) by haversine
+  /// distance. Uses a degree-space bounding box prefilter.
+  std::vector<RTreeEntry> radius_search_meters(double lat, double lon,
+                                               double radius_m) const;
+
+  /// The k nearest entries to (lat, lon) by degree-space Euclidean distance,
+  /// nearest first (best-first traversal).
+  std::vector<RTreeEntry> knn(double lat, double lon, std::size_t k) const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (0 when empty, 1 for a single leaf root).
+  int height() const;
+
+  /// Bounding box of everything stored (invalid Rect when empty).
+  Rect bounds() const;
+
+  /// Every stored entry (walks the leaves).
+  std::vector<RTreeEntry> entries() const;
+
+  int max_entries() const { return max_entries_; }
+
+  /// Structural invariants, asserted by tests: entry counts within [m, M]
+  /// (root excepted), parent boxes cover children, leaves at equal depth.
+  /// Throws CheckFailure if violated.
+  void check_invariants() const;
+
+  /// Text serialization (exact round-trip, including structure); used by the
+  /// MapReduce construction to ship per-partition trees from the phase-2
+  /// reducers to the phase-3 merger. One line per node.
+  std::string serialize() const;
+  static RTree deserialize(std::string_view data);
+
+ private:
+  struct Node {
+    Rect box;
+    bool leaf = true;
+    std::vector<std::int32_t> children;   ///< node ids (internal nodes)
+    std::vector<RTreeEntry> points;       ///< payload (leaf nodes)
+  };
+
+  std::int32_t new_node(bool leaf);
+  void recompute_box(std::int32_t n);
+  Rect entry_box(const Node& node, std::size_t i) const;
+  std::int32_t choose_leaf(std::int32_t n, const Rect& r, int target_level,
+                           int level, std::vector<std::int32_t>& path);
+  /// Split node `n` (overflowing); returns the new sibling node id.
+  std::int32_t split(std::int32_t n);
+  void insert_impl(const Rect& r, const RTreeEntry* point,
+                   std::int32_t subtree, int target_level);
+  int node_height(std::int32_t n) const;
+  void collect(std::int32_t n, std::vector<RTreeEntry>& out) const;
+  void check_node(std::int32_t n, int depth, int leaf_depth) const;
+
+  int max_entries_;
+  int min_entries_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gepeto::index

@@ -1,0 +1,126 @@
+#include "index/sfc.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace gepeto::index {
+
+namespace {
+
+/// Spread the low 32 bits of v into the even bit positions of a 64-bit word.
+std::uint64_t spread_bits(std::uint32_t v) {
+  std::uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+std::uint32_t compact_bits(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+void hilbert_rotate(std::uint32_t n, std::uint32_t& x, std::uint32_t& y,
+                    std::uint32_t rx, std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      x = n - 1 - x;
+      y = n - 1 - y;
+    }
+    std::swap(x, y);
+  }
+}
+
+}  // namespace
+
+std::uint64_t zorder_encode(std::uint32_t x, std::uint32_t y, int order) {
+  GEPETO_CHECK(order >= 1 && order <= 32);
+  if (order < 32) {
+    const std::uint32_t mask = (order == 32) ? ~0u : ((1u << order) - 1u);
+    x &= mask;
+    y &= mask;
+  }
+  return spread_bits(x) | (spread_bits(y) << 1);
+}
+
+void zorder_decode(std::uint64_t z, std::uint32_t& x, std::uint32_t& y,
+                   int order) {
+  GEPETO_CHECK(order >= 1 && order <= 32);
+  x = compact_bits(z);
+  y = compact_bits(z >> 1);
+}
+
+std::uint64_t hilbert_encode(std::uint32_t x, std::uint32_t y, int order) {
+  GEPETO_CHECK(order >= 1 && order <= 31);
+  const std::uint32_t n = 1u << order;
+  GEPETO_CHECK_MSG(x < n && y < n, "coordinates exceed the curve order");
+  std::uint64_t d = 0;
+  for (std::uint32_t s = n / 2; s > 0; s /= 2) {
+    const std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    hilbert_rotate(n, x, y, rx, ry);
+  }
+  return d;
+}
+
+void hilbert_decode(std::uint64_t d, std::uint32_t& x, std::uint32_t& y,
+                    int order) {
+  GEPETO_CHECK(order >= 1 && order <= 31);
+  const std::uint32_t n = 1u << order;
+  std::uint32_t rx, ry;
+  std::uint64_t t = d;
+  x = y = 0;
+  for (std::uint32_t s = 1; s < n; s *= 2) {
+    rx = 1 & static_cast<std::uint32_t>(t / 2);
+    ry = 1 & static_cast<std::uint32_t>(t ^ rx);
+    hilbert_rotate(s, x, y, rx, ry);
+    x += s * rx;
+    y += s * ry;
+    t /= 4;
+  }
+}
+
+std::string_view curve_name(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kZOrder: return "Z-order";
+    case CurveKind::kHilbert: return "Hilbert";
+  }
+  return "?";
+}
+
+ScalarMapper::ScalarMapper(CurveKind kind, const Rect& bounds, int order)
+    : kind_(kind), bounds_(bounds), order_(order),
+      cells_(1u << order) {
+  GEPETO_CHECK(order >= 1 && order <= 16);
+  GEPETO_CHECK_MSG(bounds.valid(), "invalid ScalarMapper bounds");
+}
+
+std::uint32_t ScalarMapper::grid(double v, double lo, double hi) const {
+  if (hi <= lo) return 0;  // degenerate axis: everything in cell 0
+  const double f = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  const auto cell =
+      static_cast<std::uint32_t>(f * static_cast<double>(cells_));
+  return std::min(cell, cells_ - 1);
+}
+
+std::uint64_t ScalarMapper::scalar(double lat, double lon) const {
+  const std::uint32_t x = grid(lon, bounds_.min_lon, bounds_.max_lon);
+  const std::uint32_t y = grid(lat, bounds_.min_lat, bounds_.max_lat);
+  switch (kind_) {
+    case CurveKind::kZOrder: return zorder_encode(x, y, order_);
+    case CurveKind::kHilbert: return hilbert_encode(x, y, order_);
+  }
+  GEPETO_CHECK_MSG(false, "unknown CurveKind");
+}
+
+}  // namespace gepeto::index

@@ -1,0 +1,57 @@
+// Space-filling curves (paper Section VII-C): map 2D points to one
+// dimension while preserving locality, used as the partitioning function of
+// the MapReduce R-Tree construction. Both curves evaluated in the paper are
+// implemented: Z-order (Morton) and Hilbert.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "index/bbox.h"
+
+namespace gepeto::index {
+
+/// Interleave the bits of x and y (x in even positions): the Z-order curve.
+/// Inputs use the low `order` bits (order <= 32).
+std::uint64_t zorder_encode(std::uint32_t x, std::uint32_t y, int order = 32);
+
+/// Inverse of zorder_encode.
+void zorder_decode(std::uint64_t z, std::uint32_t& x, std::uint32_t& y,
+                   int order = 32);
+
+/// Distance along the Hilbert curve of order `order` (grid 2^order x
+/// 2^order) for cell (x, y). Classic rotate-and-flip formulation.
+std::uint64_t hilbert_encode(std::uint32_t x, std::uint32_t y, int order = 16);
+
+/// Inverse of hilbert_encode.
+void hilbert_decode(std::uint64_t d, std::uint32_t& x, std::uint32_t& y,
+                    int order = 16);
+
+enum class CurveKind { kZOrder, kHilbert };
+
+std::string_view curve_name(CurveKind kind);
+
+/// Maps (lat, lon) within a fixed bounding box to a scalar curve position.
+/// The box and curve are fixed at construction so every mapper/reducer in a
+/// job assigns identical scalars.
+class ScalarMapper {
+ public:
+  ScalarMapper(CurveKind kind, const Rect& bounds, int order = 16);
+
+  /// Scalar position of a point (clamped into the bounds).
+  std::uint64_t scalar(double lat, double lon) const;
+
+  CurveKind kind() const { return kind_; }
+  int order() const { return order_; }
+  const Rect& bounds() const { return bounds_; }
+
+ private:
+  std::uint32_t grid(double v, double lo, double hi) const;
+
+  CurveKind kind_;
+  Rect bounds_;
+  int order_;
+  std::uint32_t cells_;  ///< 2^order
+};
+
+}  // namespace gepeto::index

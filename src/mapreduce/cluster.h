@@ -1,0 +1,116 @@
+// Cluster topology and cost model.
+//
+// The paper evaluates on a Hadoop deployment over the Grid'5000 Parapluie
+// cluster: one dedicated namenode, one dedicated jobtracker, and N worker
+// nodes each acting as datanode + tasktracker. We reproduce that topology.
+//
+// Tasks execute for real on host threads (for correctness and real-time
+// measurements), and the engine additionally charges a deterministic
+// *simulated cluster clock*: per-task cost = task startup + disk read +
+// network transfer for non-local reads + CPU time scaled to a modeled node.
+// The simulated clock is what reproduces cluster-shaped results (speedup vs
+// nodes, chunk-size effects, shuffle costs) independent of host parallelism.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gepeto::mr {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * 1024;
+
+struct ClusterConfig {
+  /// Worker nodes (each is a datanode + tasktracker). The namenode and
+  /// jobtracker are dedicated machines, as in the paper's deployment.
+  int num_worker_nodes = 7;
+
+  /// Nodes per rack; rack id of node n is n / nodes_per_rack.
+  int nodes_per_rack = 8;
+
+  int map_slots_per_node = 2;
+  int reduce_slots_per_node = 2;
+
+  /// HDFS replication factor (default 3, rack-aware placement).
+  int replication = 3;
+
+  /// DFS chunk ("block") size. The paper uses 32 MB and 64 MB.
+  std::size_t chunk_size = 64 * kMiB;
+
+  // --- simulated cost model (2013-era commodity cluster) -----------------
+  double disk_bandwidth_Bps = 90.0 * 1e6;    ///< sequential read/write
+  double intra_rack_Bps = 110.0 * 1e6;       ///< ~1 GbE within a rack
+  double inter_rack_Bps = 45.0 * 1e6;        ///< oversubscribed cross-rack
+  double task_startup_seconds = 0.8;         ///< JVM + task setup per attempt
+  double job_startup_seconds = 3.0;          ///< job submission / scheduling
+  /// Simulated node compute time = measured host CPU seconds * this factor.
+  /// >1 models a 2013 node slower than the host per-core.
+  double compute_scale = 1.0;
+
+  /// When false, the virtual jobtracker assigns map tasks to free slots
+  /// ignoring where the data lives (ablation of Hadoop's locality-aware
+  /// scheduling; transfer costs still apply).
+  bool locality_aware_scheduling = true;
+
+  /// Hadoop's speculative execution: once no map tasks are pending, idle
+  /// slots launch backup copies of the slowest running attempts; the task
+  /// finishes when either copy does.
+  bool speculative_execution = false;
+
+  /// Per-node slowdown factors (empty = homogeneous cluster). A value of
+  /// 2.0 makes every attempt on that node take twice as long — the
+  /// straggler model speculative execution exists to fight.
+  std::vector<double> node_speed_factor;
+
+  double speed_of(int node) const {
+    if (node_speed_factor.empty()) return 1.0;
+    GEPETO_DCHECK(node >= 0 &&
+                  static_cast<std::size_t>(node) < node_speed_factor.size());
+    return node_speed_factor[static_cast<std::size_t>(node)];
+  }
+
+  // --- real execution ------------------------------------------------------
+  /// Host threads used to actually execute tasks (0 = hardware concurrency).
+  unsigned execution_threads = 0;
+
+  std::uint64_t seed = 0xC0FFEE;
+
+  int total_map_slots() const { return num_worker_nodes * map_slots_per_node; }
+  int total_reduce_slots() const {
+    return num_worker_nodes * reduce_slots_per_node;
+  }
+  int rack_of(int node) const {
+    GEPETO_DCHECK(node >= 0 && node < num_worker_nodes);
+    return node / nodes_per_rack;
+  }
+  int num_racks() const {
+    return (num_worker_nodes + nodes_per_rack - 1) / nodes_per_rack;
+  }
+  unsigned resolved_execution_threads() const {
+    if (execution_threads != 0) return execution_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1u : hw;
+  }
+
+  void validate() const {
+    GEPETO_CHECK(num_worker_nodes > 0);
+    GEPETO_CHECK(nodes_per_rack > 0);
+    GEPETO_CHECK(map_slots_per_node > 0);
+    GEPETO_CHECK(reduce_slots_per_node > 0);
+    GEPETO_CHECK(replication > 0);
+    GEPETO_CHECK(chunk_size > 0);
+    GEPETO_CHECK(disk_bandwidth_Bps > 0 && intra_rack_Bps > 0 &&
+                 inter_rack_Bps > 0);
+    GEPETO_CHECK_MSG(node_speed_factor.empty() ||
+                         node_speed_factor.size() ==
+                             static_cast<std::size_t>(num_worker_nodes),
+                     "node_speed_factor must have one entry per worker node");
+    for (double f : node_speed_factor) GEPETO_CHECK(f > 0.0);
+  }
+};
+
+}  // namespace gepeto::mr

@@ -1,0 +1,239 @@
+#include "mapreduce/dfs.h"
+
+#include <algorithm>
+
+namespace gepeto::mr {
+
+Dfs::Dfs(const ClusterConfig& config)
+    : config_(config),
+      node_alive_(static_cast<std::size_t>(config.num_worker_nodes), true),
+      node_bytes_(static_cast<std::size_t>(config.num_worker_nodes), 0),
+      rng_(config.seed ^ 0xD15F'5EED) {
+  config_.validate();
+}
+
+std::vector<int> Dfs::place_replicas(int writer_node) {
+  // HDFS rack-aware policy: replica 1 on the writer node (or a random live
+  // node for external clients), replica 2 on another node in the same rack,
+  // replica 3 on a node in a different rack. Extra replicas go to the least
+  // loaded remaining live nodes.
+  std::vector<int> live;
+  for (int n = 0; n < config_.num_worker_nodes; ++n)
+    if (node_alive_[static_cast<std::size_t>(n)]) live.push_back(n);
+  GEPETO_CHECK_MSG(!live.empty(), "no live datanodes");
+
+  const int want = std::min<int>(config_.replication,
+                                 static_cast<int>(live.size()));
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(want));
+
+  int first = writer_node;
+  if (first < 0 || first >= config_.num_worker_nodes ||
+      !node_alive_[static_cast<std::size_t>(first)]) {
+    first = live[rng_.uniform_u64(live.size())];
+  }
+  out.push_back(first);
+
+  auto taken = [&](int n) {
+    return std::find(out.begin(), out.end(), n) != out.end();
+  };
+  auto pick = [&](auto&& pred) -> std::optional<int> {
+    // Least-loaded live node satisfying pred, random tie-break via scan order.
+    std::optional<int> best;
+    for (int n : live) {
+      if (taken(n) || !pred(n)) continue;
+      if (!best || node_bytes_[static_cast<std::size_t>(n)] <
+                       node_bytes_[static_cast<std::size_t>(*best)]) {
+        best = n;
+      }
+    }
+    return best;
+  };
+
+  if (static_cast<int>(out.size()) < want) {
+    const int rack = config_.rack_of(first);
+    auto same_rack = pick([&](int n) { return config_.rack_of(n) == rack; });
+    if (!same_rack) same_rack = pick([](int) { return true; });
+    if (same_rack) out.push_back(*same_rack);
+  }
+  if (static_cast<int>(out.size()) < want) {
+    const int rack = config_.rack_of(first);
+    auto other_rack = pick([&](int n) { return config_.rack_of(n) != rack; });
+    if (!other_rack) other_rack = pick([](int) { return true; });
+    if (other_rack) out.push_back(*other_rack);
+  }
+  while (static_cast<int>(out.size()) < want) {
+    auto any = pick([](int) { return true; });
+    if (!any) break;
+    out.push_back(*any);
+  }
+  return out;
+}
+
+void Dfs::put(const std::string& path, std::string contents, int writer_node) {
+  remove(path);  // release the old file's replicas before placing new ones
+  File file;
+  file.data = std::move(contents);
+  const std::uint64_t size = file.data.size();
+  const std::uint64_t chunk = config_.chunk_size;
+
+  for (std::uint64_t off = 0; off < size || (size == 0 && off == 0);
+       off += chunk) {
+    ChunkInfo ci;
+    ci.offset = off;
+    ci.size = std::min<std::uint64_t>(chunk, size - off);
+    ci.replicas = place_replicas(writer_node);
+    for (int n : ci.replicas)
+      node_bytes_[static_cast<std::size_t>(n)] += ci.size;
+    file.chunks.push_back(std::move(ci));
+    if (size == 0) break;  // empty file still gets one (empty) chunk entry
+  }
+
+  // Modeled ingest time: the HDFS write pipeline streams each chunk through
+  // its replica chain; the client-side bottleneck is one disk write per byte
+  // plus the pipeline network hop, with a per-chunk setup cost.
+  const double bytes = static_cast<double>(size);
+  sim_ingest_seconds_ += bytes / config_.disk_bandwidth_Bps +
+                         bytes / config_.intra_rack_Bps +
+                         0.05 * static_cast<double>(file.chunks.size());
+
+  files_.emplace(path, std::move(file));
+}
+
+bool Dfs::exists(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+void Dfs::remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return;
+  for (const auto& ci : it->second.chunks)
+    for (int n : ci.replicas)
+      node_bytes_[static_cast<std::size_t>(n)] -= ci.size;
+  files_.erase(it);
+}
+
+void Dfs::remove_prefix(const std::string& prefix) {
+  for (const auto& p : list(prefix)) remove(p);
+}
+
+std::vector<std::string> Dfs::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+const Dfs::File& Dfs::file_or_die(const std::string& path) const {
+  auto it = files_.find(path);
+  GEPETO_CHECK_MSG(it != files_.end(), "no such DFS file: " << path);
+  return it->second;
+}
+
+std::string_view Dfs::read(const std::string& path) const {
+  return file_or_die(path).data;
+}
+
+std::uint64_t Dfs::file_size(const std::string& path) const {
+  return file_or_die(path).data.size();
+}
+
+const std::vector<ChunkInfo>& Dfs::chunks(const std::string& path) const {
+  return file_or_die(path).chunks;
+}
+
+std::string_view Dfs::chunk_data(const std::string& path,
+                                 std::size_t index) const {
+  const File& f = file_or_die(path);
+  GEPETO_CHECK(index < f.chunks.size());
+  const ChunkInfo& ci = f.chunks[index];
+  return std::string_view(f.data).substr(ci.offset, ci.size);
+}
+
+std::uint64_t Dfs::total_size(const std::string& prefix) const {
+  std::uint64_t total = 0;
+  for (const auto& p : list(prefix)) total += file_size(p);
+  return total;
+}
+
+void Dfs::kill_node(int node) {
+  GEPETO_CHECK(node >= 0 && node < config_.num_worker_nodes);
+  if (!node_alive_[static_cast<std::size_t>(node)]) return;
+  node_alive_[static_cast<std::size_t>(node)] = false;
+  node_bytes_[static_cast<std::size_t>(node)] = 0;
+  for (auto& [path, file] : files_) {
+    for (auto& ci : file.chunks) {
+      std::erase(ci.replicas, node);
+    }
+  }
+}
+
+void Dfs::revive_node(int node) {
+  GEPETO_CHECK(node >= 0 && node < config_.num_worker_nodes);
+  node_alive_[static_cast<std::size_t>(node)] = true;
+}
+
+std::size_t Dfs::re_replicate() {
+  std::size_t created = 0;
+  for (auto& [path, file] : files_) {
+    for (auto& ci : file.chunks) {
+      GEPETO_CHECK_MSG(!ci.replicas.empty(),
+                       "data loss: chunk of " << path
+                                              << " has no surviving replica");
+      while (static_cast<int>(ci.replicas.size()) < config_.replication) {
+        // Place a new replica on the least-loaded live node not yet holding
+        // one (HDFS's NameNode does the same from its replication queue).
+        std::optional<int> best;
+        for (int n = 0; n < config_.num_worker_nodes; ++n) {
+          if (!node_alive_[static_cast<std::size_t>(n)]) continue;
+          if (std::find(ci.replicas.begin(), ci.replicas.end(), n) !=
+              ci.replicas.end())
+            continue;
+          if (!best || node_bytes_[static_cast<std::size_t>(n)] <
+                           node_bytes_[static_cast<std::size_t>(*best)]) {
+            best = n;
+          }
+        }
+        if (!best) break;  // not enough live nodes to reach the target factor
+        ci.replicas.push_back(*best);
+        node_bytes_[static_cast<std::size_t>(*best)] += ci.size;
+        ++created;
+      }
+    }
+  }
+  return created;
+}
+
+std::size_t Dfs::under_replicated_chunks() const {
+  int live = 0;
+  for (bool alive : node_alive_)
+    if (alive) ++live;
+  const int target = std::min(config_.replication, live);
+  std::size_t n = 0;
+  for (const auto& [path, file] : files_)
+    for (const auto& ci : file.chunks)
+      if (static_cast<int>(ci.replicas.size()) < target) ++n;
+  return n;
+}
+
+bool Dfs::node_alive(int node) const {
+  GEPETO_CHECK(node >= 0 && node < config_.num_worker_nodes);
+  return node_alive_[static_cast<std::size_t>(node)];
+}
+
+DfsStats Dfs::stats() const {
+  DfsStats s;
+  s.files = files_.size();
+  s.sim_ingest_seconds = sim_ingest_seconds_;
+  for (const auto& [path, file] : files_) {
+    s.logical_bytes += file.data.size();
+    s.chunks += file.chunks.size();
+    for (const auto& ci : file.chunks)
+      s.stored_bytes += ci.size * ci.replicas.size();
+  }
+  return s;
+}
+
+}  // namespace gepeto::mr

@@ -1,0 +1,117 @@
+// An in-memory distributed file system modeled after HDFS.
+//
+// Files are split into fixed-size chunks. The namenode metadata records, for
+// each chunk, the set of datanodes holding a replica; placement follows the
+// HDFS rack-aware policy described in the paper (Section III): first replica
+// on the writer's node, second on a different node in the same rack, third on
+// a node in a different rack chosen at random. Node failures drop replicas;
+// re_replicate() restores the replication factor from surviving copies.
+//
+// Contents are held in host memory (one contiguous buffer per file) — the
+// simulated ingest/read costs are charged through the cluster cost model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/cluster.h"
+
+namespace gepeto::mr {
+
+/// Metadata for one chunk of a file.
+struct ChunkInfo {
+  std::uint64_t offset = 0;       ///< byte offset within the file
+  std::uint64_t size = 0;         ///< byte length (<= chunk_size)
+  std::vector<int> replicas;      ///< datanodes holding a copy (live ones)
+};
+
+/// Aggregate DFS statistics.
+struct DfsStats {
+  std::uint64_t files = 0;
+  std::uint64_t logical_bytes = 0;   ///< sum of file sizes
+  std::uint64_t stored_bytes = 0;    ///< logical_bytes * live replicas
+  std::uint64_t chunks = 0;
+  double sim_ingest_seconds = 0.0;   ///< modeled time spent writing data in
+};
+
+class Dfs {
+ public:
+  explicit Dfs(const ClusterConfig& config);
+
+  // Non-copyable: the DFS is the single source of truth for a cluster run.
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  /// Write a file (replaces any existing file at `path`). The writer node
+  /// determines first-replica placement; pass -1 for an external client
+  /// (placement starts at a random node, as when loading data into HDFS).
+  void put(const std::string& path, std::string contents, int writer_node = -1);
+
+  bool exists(const std::string& path) const;
+  void remove(const std::string& path);
+  /// Remove every file whose path starts with `prefix`.
+  void remove_prefix(const std::string& prefix);
+
+  /// All file paths with the given prefix, in lexicographic order.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  /// Whole-file read (view is valid until the file is removed/replaced).
+  std::string_view read(const std::string& path) const;
+
+  std::uint64_t file_size(const std::string& path) const;
+
+  const std::vector<ChunkInfo>& chunks(const std::string& path) const;
+
+  /// Zero-copy view of one chunk's bytes.
+  std::string_view chunk_data(const std::string& path, std::size_t index) const;
+
+  /// Sum of sizes of all files under a prefix.
+  std::uint64_t total_size(const std::string& prefix) const;
+
+  // --- failure handling ----------------------------------------------------
+
+  /// Mark a datanode dead: all its replicas vanish. Chunks whose last replica
+  /// lived there become under-replicated but the data is still recoverable
+  /// here only if another replica survives (as in HDFS).
+  void kill_node(int node);
+
+  /// Bring a node back empty (it rejoins with no chunks, as a fresh datanode).
+  void revive_node(int node);
+
+  /// Restore the replication factor for all under-replicated chunks from
+  /// surviving replicas. Returns the number of new replicas created.
+  /// Throws CheckFailure if some chunk has lost all replicas (data loss).
+  std::size_t re_replicate();
+
+  /// Number of chunks having fewer live replicas than the target factor.
+  std::size_t under_replicated_chunks() const;
+
+  bool node_alive(int node) const;
+
+  DfsStats stats() const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  struct File {
+    std::string data;
+    std::vector<ChunkInfo> chunks;
+  };
+
+  const File& file_or_die(const std::string& path) const;
+  std::vector<int> place_replicas(int writer_node);
+
+  ClusterConfig config_;
+  std::map<std::string, File> files_;  // ordered: deterministic listing
+  std::vector<bool> node_alive_;
+  std::vector<std::uint64_t> node_bytes_;  // load-balancing hint
+  Rng rng_;
+  double sim_ingest_seconds_ = 0.0;
+};
+
+}  // namespace gepeto::mr

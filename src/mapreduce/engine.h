@@ -1,0 +1,644 @@
+// The MapReduce execution engine.
+//
+// Jobs are expressed as Hadoop-style Mapper / Reducer / Combiner classes,
+// but typed and checked at compile time:
+//
+//   struct MyMapper {
+//     using OutKey = int;                 // intermediate key type
+//     using OutValue = double;            // intermediate value type
+//     void setup(TaskContext& ctx);       // optional
+//     void map(std::int64_t offset, std::string_view line,
+//              MapContext<OutKey, OutValue>& ctx);
+//     void cleanup(MapContext<OutKey, OutValue>& ctx);  // optional
+//   };
+//
+//   struct MyReducer {
+//     void setup(TaskContext& ctx);       // optional
+//     void reduce(const int& key, std::span<const double> values,
+//                 ReduceContext& ctx);    // ctx.write(line) -> DFS text
+//   };
+//
+//   struct MyCombiner {                   // optional, same shape as reduce
+//     void combine(const int& key, std::span<const double> values,
+//                  MapContext<int, double>& ctx);
+//   };
+//
+// run_mapreduce_job() executes one job: one map task per DFS chunk of the
+// input, executed for real on host threads; intermediate pairs are hash-
+// partitioned, sorted by key, optionally combined, shuffled (with byte
+// accounting), reduced, and the reduce output written back to the DFS as
+// text, exactly as the Hadoop pipeline in the paper. run_map_only_job()
+// covers the paper's map-only jobs (sampling, DJ-Cluster preprocessing)
+// where mappers write output lines directly.
+//
+// Every job also produces a simulated cluster-clock profile via the virtual
+// jobtracker in scheduler.h.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/record_io.h"
+#include "mapreduce/scheduler.h"
+#include "mapreduce/seqfile.h"
+
+namespace gepeto::mr {
+
+/// Per-task services available to mappers and reducers: the DFS (for the
+/// distributed cache), the job configuration, and task-local counters.
+class TaskContext {
+ public:
+  TaskContext(const Dfs& dfs, const JobConfig& job, int task_index)
+      : dfs_(dfs), job_(job), task_index_(task_index) {}
+
+  const Dfs& dfs() const { return dfs_; }
+  const JobConfig& job() const { return job_; }
+  int task_index() const { return task_index_; }
+
+  /// Read a distributed-cache file (must be listed in job.cache_files).
+  std::string_view cache_file(const std::string& path) const {
+    GEPETO_CHECK_MSG(std::find(job_.cache_files.begin(),
+                               job_.cache_files.end(),
+                               path) != job_.cache_files.end(),
+                     "file not in the distributed cache: " << path);
+    return dfs_.read(path);
+  }
+
+  void increment(const std::string& counter, std::int64_t by = 1) {
+    counters_[counter] += by;
+  }
+
+  const Counters& counters() const { return counters_; }
+
+ private:
+  const Dfs& dfs_;
+  const JobConfig& job_;
+  int task_index_;
+  Counters counters_;
+};
+
+/// Context handed to map-only mappers: output lines go straight to the
+/// task's DFS output part file.
+class MapOnlyContext : public TaskContext {
+ public:
+  using TaskContext::TaskContext;
+
+  /// Emit one output record (a line; '\n' is appended).
+  void write(std::string_view line) {
+    out_.append(line);
+    out_.push_back('\n');
+    ++records_;
+  }
+
+  std::string& output() { return out_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  std::string out_;
+  std::uint64_t records_ = 0;
+};
+
+/// Context handed to mappers (and combiners) of full map-reduce jobs.
+template <typename K, typename V>
+class MapContext : public TaskContext {
+ public:
+  using TaskContext::TaskContext;
+
+  void emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// Context handed to reducers; output lines form the job's DFS output.
+class ReduceContext : public TaskContext {
+ public:
+  using TaskContext::TaskContext;
+
+  void write(std::string_view line) {
+    out_.append(line);
+    out_.push_back('\n');
+    ++records_;
+  }
+
+  std::string& output() { return out_; }
+  std::uint64_t records() const { return records_; }
+
+ private:
+  std::string out_;
+  std::uint64_t records_ = 0;
+};
+
+namespace detail {
+
+/// One map task = one chunk of one input file.
+struct SplitDesc {
+  std::string path;
+  std::size_t chunk_index;
+};
+
+inline std::vector<SplitDesc> gather_splits(const Dfs& dfs,
+                                            const std::string& input) {
+  std::vector<SplitDesc> splits;
+  const auto paths = dfs.list(input);
+  GEPETO_CHECK_MSG(!paths.empty(), "no input files under '" << input << "'");
+  for (const auto& p : paths) {
+    const auto& chunks = dfs.chunks(p);
+    for (std::size_t c = 0; c < chunks.size(); ++c) splits.push_back({p, c});
+  }
+  return splits;
+}
+
+/// Deterministic injected-failure count for task `index` of a job.
+inline int injected_failures(const JobConfig& job, std::uint64_t seed,
+                             std::uint64_t phase, std::uint64_t index) {
+  if (job.failures.task_failure_prob <= 0.0) return 0;
+  Rng rng(seed ^ (phase * 0x9e3779b97f4a7c15ULL) ^
+          std::hash<std::string>{}(job.name) ^ (index * 0xA24BAED4963EE407ULL));
+  int failures = 0;
+  while (failures < job.failures.max_attempts - 1 &&
+         rng.chance(job.failures.task_failure_prob)) {
+    ++failures;
+  }
+  GEPETO_CHECK_MSG(failures < job.failures.max_attempts,
+                   "task exceeded max attempts");
+  return failures;
+}
+
+template <typename K>
+std::uint64_t partition_of(const K& key, int num_reducers) {
+  std::uint64_t h;
+  if constexpr (requires(const K& k) { k.partition_hash(); }) {
+    h = key.partition_hash();
+  } else {
+    h = static_cast<std::uint64_t>(std::hash<K>{}(key));
+  }
+  // Mix: std::hash of integers is often identity; avoid modulo bias patterns.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h % static_cast<std::uint64_t>(num_reducers);
+}
+
+template <typename K, typename V>
+std::uint64_t pairs_bytes(const std::vector<std::pair<K, V>>& pairs) {
+  std::uint64_t b = 0;
+  for (const auto& [k, v] : pairs) b += approx_bytes(k) + approx_bytes(v);
+  return b;
+}
+
+/// Sort pairs by key (stable so equal-key value order stays deterministic:
+/// map task order, then emission order — mirrors Hadoop's merge of sorted
+/// spills).
+template <typename K, typename V>
+void sort_pairs(std::vector<std::pair<K, V>>& pairs) {
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+/// Invoke `fn(key, span_of_values)` for each run of equal keys in sorted
+/// pairs. Values are moved into a scratch vector to present a contiguous
+/// span, as Hadoop presents an iterator per key group.
+template <typename K, typename V, typename Fn>
+void for_each_group(std::vector<std::pair<K, V>>& sorted, Fn&& fn) {
+  std::vector<V> values;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j < sorted.size() && sorted[j].first == sorted[i].first) ++j;
+    values.clear();
+    values.reserve(j - i);
+    for (std::size_t t = i; t < j; ++t) values.push_back(std::move(sorted[t].second));
+    fn(sorted[i].first, std::span<const V>(values.data(), values.size()));
+    i = j;
+  }
+}
+
+template <typename Task, typename Ctx>
+void maybe_setup(Task& task, Ctx& ctx) {
+  if constexpr (requires { task.setup(ctx); }) task.setup(ctx);
+}
+
+template <typename Task, typename Ctx>
+void maybe_cleanup(Task& task, Ctx& ctx) {
+  if constexpr (requires { task.cleanup(ctx); }) task.cleanup(ctx);
+}
+
+inline std::string part_name(const std::string& dir, const char* kind, int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/part-%s-%05d", kind, i);
+  return dir + buf;
+}
+
+/// Simulated time to seed the distributed cache onto every worker node: the
+/// replicas serve the file to the cluster in parallel waves.
+inline double cache_distribution_seconds(const Dfs& dfs,
+                                         const ClusterConfig& config,
+                                         const JobConfig& job) {
+  double total = 0.0;
+  for (const auto& path : job.cache_files) {
+    const double bytes = static_cast<double>(dfs.file_size(path));
+    const int waves =
+        (config.num_worker_nodes + config.replication - 1) /
+        std::max(1, config.replication);
+    total += bytes / config.intra_rack_Bps * static_cast<double>(waves);
+  }
+  return total;
+}
+
+/// Reader policies: adapt the text and binary record readers to one
+/// (key, value, overread) interface for the shared map-only driver.
+struct TextRecords {
+  LineRecordReader reader;
+  TextRecords(std::string_view file, std::uint64_t off, std::uint64_t len)
+      : reader(file, off, len) {}
+  bool next() { return reader.next(); }
+  std::int64_t key() const { return reader.key(); }
+  std::string_view value() const { return reader.value(); }
+  std::uint64_t overread_bytes() const { return reader.overread_bytes(); }
+};
+
+struct BinaryRecords {
+  SeqFileReader reader;
+  std::int64_t index = -1;
+  BinaryRecords(std::string_view file, std::uint64_t off, std::uint64_t len)
+      : reader(file, off, len) {}
+  bool next() {
+    if (!reader.next()) return false;
+    ++index;
+    return true;
+  }
+  std::int64_t key() const { return index; }  ///< record index within split
+  std::string_view value() const { return reader.record(); }
+  std::uint64_t overread_bytes() const { return 0; }
+};
+
+template <typename Records, typename MapperFactory>
+JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
+                                const JobConfig& job,
+                                MapperFactory make_mapper);
+
+}  // namespace detail
+
+/// Run a map-only job (num_reducers is ignored; no shuffle happens). Each
+/// map task writes its output lines to `output/part-m-NNNNN`.
+///
+/// `make_mapper` is invoked once per map task and must return a fresh mapper.
+template <typename MapperFactory>
+JobResult run_map_only_job(Dfs& dfs, const ClusterConfig& config,
+                           const JobConfig& job, MapperFactory make_mapper) {
+  return detail::run_map_only_job_impl<detail::TextRecords>(dfs, config, job,
+                                                            make_mapper);
+}
+
+/// Map-only job over SequenceFile-style binary inputs (mr::SeqFileWriter
+/// files in the DFS). The mapper receives (record index within the split,
+/// record bytes) — the binary analogue of (line offset, line).
+template <typename MapperFactory>
+JobResult run_binary_map_only_job(Dfs& dfs, const ClusterConfig& config,
+                                  const JobConfig& job,
+                                  MapperFactory make_mapper) {
+  return detail::run_map_only_job_impl<detail::BinaryRecords>(dfs, config, job,
+                                                              make_mapper);
+}
+
+namespace detail {
+
+template <typename Records, typename MapperFactory>
+JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
+                                const JobConfig& job,
+                                MapperFactory make_mapper) {
+  config.validate();
+  Stopwatch wall;
+  JobResult result;
+  result.job_name = job.name;
+
+  const auto splits = detail::gather_splits(dfs, job.input);
+  result.num_map_tasks = static_cast<int>(splits.size());
+  dfs.remove_prefix(job.output + "/");
+
+  struct TaskOut {
+    std::string output;
+    std::uint64_t records = 0;
+    std::uint64_t input_records = 0;
+    std::uint64_t input_bytes = 0;
+    double cpu_seconds = 0.0;
+    Counters counters;
+  };
+  std::vector<TaskOut> outs(splits.size());
+
+  {
+    ThreadPool pool(config.resolved_execution_threads());
+    std::vector<std::future<void>> futs;
+    futs.reserve(splits.size());
+    for (std::size_t t = 0; t < splits.size(); ++t) {
+      futs.push_back(pool.submit([&, t] {
+        CpuStopwatch cpu;
+        auto mapper = make_mapper();
+        MapOnlyContext ctx(dfs, job, static_cast<int>(t));
+        detail::maybe_setup(mapper, ctx);
+        const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+        Records reader(dfs.read(splits[t].path), ci.offset, ci.size);
+        std::uint64_t records = 0;
+        while (reader.next()) {
+          mapper.map(reader.key(), reader.value(), ctx);
+          ++records;
+        }
+        detail::maybe_cleanup(mapper, ctx);
+        outs[t].output = std::move(ctx.output());
+        outs[t].records = ctx.records();
+        outs[t].input_records = records;
+        outs[t].input_bytes = ci.size + reader.overread_bytes();
+        outs[t].cpu_seconds = cpu.seconds();
+        outs[t].counters = ctx.counters();
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  // Virtual-time schedule.
+  std::vector<MapTaskCost> costs(splits.size());
+  for (std::size_t t = 0; t < splits.size(); ++t) {
+    costs[t].input_bytes = outs[t].input_bytes;
+    costs[t].output_bytes = outs[t].output.size();
+    costs[t].cpu_seconds = outs[t].cpu_seconds;
+    costs[t].replica_nodes =
+        dfs.chunks(splits[t].path)[splits[t].chunk_index].replicas;
+    costs[t].failed_attempts =
+        detail::injected_failures(job, config.seed, /*phase=*/1, t);
+    result.failed_task_attempts += costs[t].failed_attempts;
+  }
+  const MapSchedule sched = schedule_map_phase(config, costs);
+
+  // Write part files with first replica on the node that ran the task.
+  for (std::size_t t = 0; t < splits.size(); ++t) {
+    result.map_input_records += outs[t].input_records;
+    result.input_bytes += outs[t].input_bytes;
+    result.output_records += outs[t].records;
+    result.output_bytes += outs[t].output.size();
+    for (const auto& [k, v] : outs[t].counters) result.counters[k] += v;
+    dfs.put(detail::part_name(job.output, "m", static_cast<int>(t)),
+            std::move(outs[t].output), sched.assigned_node[t]);
+  }
+  result.map_output_records = result.output_records;
+  result.combine_output_records = result.output_records;
+
+  result.data_local_maps = sched.data_local;
+  result.rack_local_maps = sched.rack_local;
+  result.remote_maps = sched.remote;
+  result.speculative_copies = sched.speculative_copies;
+  result.speculative_wins = sched.speculative_wins;
+  result.sim_startup_seconds = config.job_startup_seconds +
+                               detail::cache_distribution_seconds(dfs, config, job);
+  result.sim_map_seconds = sched.makespan;
+  result.sim_seconds = result.sim_startup_seconds + sched.makespan;
+  result.real_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace detail
+
+struct NoCombiner {};
+
+/// Run a full map-reduce job. See the file header for the Mapper / Reducer /
+/// Combiner shapes. `make_mapper` / `make_reducer` / `make_combiner` are
+/// invoked once per task.
+template <typename MapperFactory, typename ReducerFactory,
+          typename CombinerFactory = NoCombiner>
+JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
+                            const JobConfig& job, MapperFactory make_mapper,
+                            ReducerFactory make_reducer,
+                            CombinerFactory make_combiner = {}) {
+  using Mapper = decltype(make_mapper());
+  using K = typename Mapper::OutKey;
+  using V = typename Mapper::OutValue;
+  constexpr bool kHasCombiner = !std::is_same_v<CombinerFactory, NoCombiner>;
+
+  config.validate();
+  GEPETO_CHECK(job.num_reducers > 0);
+  GEPETO_CHECK_MSG(!job.use_combiner || kHasCombiner,
+                   "job.use_combiner set but no combiner factory given");
+  Stopwatch wall;
+  JobResult result;
+  result.job_name = job.name;
+
+  const auto splits = detail::gather_splits(dfs, job.input);
+  result.num_map_tasks = static_cast<int>(splits.size());
+  result.num_reduce_tasks = job.num_reducers;
+  dfs.remove_prefix(job.output + "/");
+
+  const int R = job.num_reducers;
+
+  struct MapOut {
+    // One bucket of sorted (combined) pairs per reducer partition.
+    std::vector<std::vector<std::pair<K, V>>> buckets;
+    std::vector<std::uint64_t> bucket_bytes;
+    std::uint64_t raw_records = 0;       // before combine
+    std::uint64_t combined_records = 0;  // after combine
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t input_records = 0;
+    std::uint64_t input_bytes = 0;
+    double cpu_seconds = 0.0;
+    Counters counters;
+  };
+  std::vector<MapOut> mouts(splits.size());
+
+  {
+    ThreadPool pool(config.resolved_execution_threads());
+    std::vector<std::future<void>> futs;
+    futs.reserve(splits.size());
+    for (std::size_t t = 0; t < splits.size(); ++t) {
+      futs.push_back(pool.submit([&, t] {
+        CpuStopwatch cpu;
+        auto mapper = make_mapper();
+        MapContext<K, V> ctx(dfs, job, static_cast<int>(t));
+        detail::maybe_setup(mapper, ctx);
+        const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+        LineRecordReader reader(dfs.read(splits[t].path), ci.offset, ci.size);
+        std::uint64_t records = 0;
+        while (reader.next()) {
+          mapper.map(reader.key(), reader.value(), ctx);
+          ++records;
+        }
+        detail::maybe_cleanup(mapper, ctx);
+
+        MapOut& out = mouts[t];
+        out.input_records = records;
+        out.input_bytes = ci.size + reader.overread_bytes();
+        out.raw_records = ctx.pairs().size();
+        out.raw_bytes = detail::pairs_bytes(ctx.pairs());
+
+        // Partition, sort, and (optionally) combine — per partition, like
+        // Hadoop's sort-and-spill with a combiner pass.
+        out.buckets.resize(static_cast<std::size_t>(R));
+        out.bucket_bytes.assign(static_cast<std::size_t>(R), 0);
+        for (auto& kv : ctx.pairs()) {
+          const auto p = detail::partition_of(kv.first, R);
+          out.buckets[p].push_back(std::move(kv));
+        }
+        for (int r = 0; r < R; ++r) {
+          auto& bucket = out.buckets[static_cast<std::size_t>(r)];
+          detail::sort_pairs(bucket);
+          if constexpr (kHasCombiner) {
+            if (job.use_combiner) {
+              auto combiner = make_combiner();
+              MapContext<K, V> cctx(dfs, job, static_cast<int>(t));
+              detail::for_each_group(
+                  bucket, [&](const K& key, std::span<const V> values) {
+                    combiner.combine(key, values, cctx);
+                  });
+              bucket = std::move(cctx.pairs());
+              detail::sort_pairs(bucket);
+            }
+          }
+          out.combined_records += bucket.size();
+          out.bucket_bytes[static_cast<std::size_t>(r)] =
+              detail::pairs_bytes(bucket);
+        }
+        out.cpu_seconds = cpu.seconds();
+        out.counters = ctx.counters();
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  // Virtual-time map schedule.
+  std::vector<MapTaskCost> mcosts(splits.size());
+  for (std::size_t t = 0; t < splits.size(); ++t) {
+    std::uint64_t spill = 0;
+    for (auto b : mouts[t].bucket_bytes) spill += b;
+    mcosts[t].input_bytes = mouts[t].input_bytes;
+    mcosts[t].output_bytes = spill;
+    mcosts[t].cpu_seconds = mouts[t].cpu_seconds;
+    mcosts[t].replica_nodes =
+        dfs.chunks(splits[t].path)[splits[t].chunk_index].replicas;
+    mcosts[t].failed_attempts =
+        detail::injected_failures(job, config.seed, /*phase=*/1, t);
+    result.failed_task_attempts += mcosts[t].failed_attempts;
+  }
+  const MapSchedule msched = schedule_map_phase(config, mcosts);
+
+  for (std::size_t t = 0; t < splits.size(); ++t) {
+    result.map_input_records += mouts[t].input_records;
+    result.input_bytes += mouts[t].input_bytes;
+    result.map_output_records += mouts[t].raw_records;
+    result.map_output_bytes += mouts[t].raw_bytes;
+    result.combine_output_records += mouts[t].combined_records;
+    for (const auto& [k, v] : mouts[t].counters) result.counters[k] += v;
+  }
+
+  // --- shuffle + reduce (real execution) -----------------------------------
+  struct ReduceOut {
+    std::string output;
+    std::uint64_t records = 0;
+    std::uint64_t groups = 0;
+    double cpu_seconds = 0.0;
+    Counters counters;
+  };
+  std::vector<ReduceOut> routs(static_cast<std::size_t>(R));
+  std::vector<ReduceTaskCost> rcosts(static_cast<std::size_t>(R));
+
+  // Shuffle accounting: bytes each reducer pulls from each map task, tagged
+  // with the node the map task ran on in the virtual schedule.
+  for (int r = 0; r < R; ++r) {
+    auto& rc = rcosts[static_cast<std::size_t>(r)];
+    for (std::size_t t = 0; t < splits.size(); ++t) {
+      const std::uint64_t b = mouts[t].bucket_bytes[static_cast<std::size_t>(r)];
+      if (b > 0) rc.shuffle_from.emplace_back(msched.assigned_node[t], b);
+      result.shuffle_bytes += b;
+    }
+  }
+
+  {
+    ThreadPool pool(config.resolved_execution_threads());
+    std::vector<std::future<void>> futs;
+    futs.reserve(static_cast<std::size_t>(R));
+    for (int r = 0; r < R; ++r) {
+      futs.push_back(pool.submit([&, r] {
+        CpuStopwatch cpu;
+        // Merge this partition's buckets from every map task. Map-task order
+        // then emission order keeps grouping deterministic (stable sort).
+        std::vector<std::pair<K, V>> merged;
+        std::size_t total = 0;
+        for (const auto& m : mouts)
+          total += m.buckets[static_cast<std::size_t>(r)].size();
+        merged.reserve(total);
+        for (auto& m : mouts) {
+          auto& b = m.buckets[static_cast<std::size_t>(r)];
+          std::move(b.begin(), b.end(), std::back_inserter(merged));
+        }
+        detail::sort_pairs(merged);
+
+        auto reducer = make_reducer();
+        ReduceContext ctx(dfs, job, r);
+        detail::maybe_setup(reducer, ctx);
+        std::uint64_t groups = 0;
+        detail::for_each_group(merged,
+                               [&](const K& key, std::span<const V> values) {
+                                 reducer.reduce(key, values, ctx);
+                                 ++groups;
+                               });
+        detail::maybe_cleanup(reducer, ctx);
+        auto& out = routs[static_cast<std::size_t>(r)];
+        out.output = std::move(ctx.output());
+        out.records = ctx.records();
+        out.groups = groups;
+        out.cpu_seconds = cpu.seconds();
+        out.counters = ctx.counters();
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  for (int r = 0; r < R; ++r) {
+    auto& rc = rcosts[static_cast<std::size_t>(r)];
+    rc.cpu_seconds = routs[static_cast<std::size_t>(r)].cpu_seconds;
+    rc.output_bytes = routs[static_cast<std::size_t>(r)].output.size();
+    rc.failed_attempts = detail::injected_failures(
+        job, config.seed, /*phase=*/2, static_cast<std::uint64_t>(r));
+    result.failed_task_attempts += rc.failed_attempts;
+  }
+  const ReduceSchedule rsched = schedule_reduce_phase(config, rcosts);
+
+  for (int r = 0; r < R; ++r) {
+    auto& out = routs[static_cast<std::size_t>(r)];
+    result.reduce_input_groups += out.groups;
+    result.output_records += out.records;
+    result.output_bytes += out.output.size();
+    for (const auto& [k, v] : out.counters) result.counters[k] += v;
+    dfs.put(detail::part_name(job.output, "r", r), std::move(out.output),
+            rsched.assigned_node[static_cast<std::size_t>(r)]);
+  }
+
+  result.data_local_maps = msched.data_local;
+  result.rack_local_maps = msched.rack_local;
+  result.remote_maps = msched.remote;
+  result.speculative_copies = msched.speculative_copies;
+  result.speculative_wins = msched.speculative_wins;
+  result.sim_startup_seconds = config.job_startup_seconds +
+                               detail::cache_distribution_seconds(dfs, config, job);
+  result.sim_map_seconds = msched.makespan;
+  result.sim_reduce_seconds = rsched.makespan;
+  result.sim_seconds =
+      result.sim_startup_seconds + msched.makespan + rsched.makespan;
+  result.real_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace gepeto::mr

@@ -1,0 +1,31 @@
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+
+void JobResult::absorb(const JobResult& next) {
+  num_map_tasks += next.num_map_tasks;
+  num_reduce_tasks += next.num_reduce_tasks;
+  input_bytes += next.input_bytes;
+  map_input_records += next.map_input_records;
+  map_output_records += next.map_output_records;
+  map_output_bytes += next.map_output_bytes;
+  combine_output_records += next.combine_output_records;
+  shuffle_bytes += next.shuffle_bytes;
+  reduce_input_groups += next.reduce_input_groups;
+  output_records = next.output_records;  // pipeline: last job's output counts
+  output_bytes = next.output_bytes;
+  data_local_maps += next.data_local_maps;
+  rack_local_maps += next.rack_local_maps;
+  remote_maps += next.remote_maps;
+  failed_task_attempts += next.failed_task_attempts;
+  speculative_copies += next.speculative_copies;
+  speculative_wins += next.speculative_wins;
+  real_seconds += next.real_seconds;
+  sim_startup_seconds += next.sim_startup_seconds;
+  sim_map_seconds += next.sim_map_seconds;
+  sim_reduce_seconds += next.sim_reduce_seconds;
+  sim_seconds += next.sim_seconds;
+  for (const auto& [k, v] : next.counters) counters[k] += v;
+}
+
+}  // namespace gepeto::mr

@@ -1,0 +1,103 @@
+// Job-level types shared by the engine: configuration, counters, results,
+// failure injection policy, and the byte-size trait used for shuffle
+// accounting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gepeto::mr {
+
+/// Failure injection: each task attempt fails independently with
+/// `task_failure_prob`; the jobtracker re-executes it (on a different node in
+/// the simulated schedule) up to `max_attempts` times, as Hadoop does.
+struct FailurePolicy {
+  double task_failure_prob = 0.0;
+  int max_attempts = 4;
+};
+
+struct JobConfig {
+  std::string name = "job";
+  /// DFS path prefix: every file under it is an input (like an HDFS input
+  /// directory). Each chunk of each input file becomes one map task.
+  std::string input;
+  /// DFS output directory; task t writes `output + "/part-..."`.
+  std::string output;
+  int num_reducers = 1;  ///< 0 is invalid here; use run_map_only_job instead
+  bool use_combiner = false;
+  /// DFS files broadcast to every task (Hadoop distributed cache).
+  std::vector<std::string> cache_files;
+  FailurePolicy failures;
+};
+
+/// Per-job counters, merged from all tasks (deterministic given the seed).
+using Counters = std::map<std::string, std::int64_t>;
+
+/// How a map task's input chunk was placed relative to the node that ran it
+/// in the simulated schedule.
+enum class Locality { kDataLocal, kRackLocal, kRemote };
+
+struct JobResult {
+  std::string job_name;
+
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+
+  std::uint64_t input_bytes = 0;
+  std::uint64_t map_input_records = 0;
+  std::uint64_t map_output_records = 0;
+  std::uint64_t map_output_bytes = 0;       ///< before the combiner
+  std::uint64_t combine_output_records = 0; ///< == map_output_records if none
+  std::uint64_t shuffle_bytes = 0;          ///< bytes crossing mapper->reducer
+  std::uint64_t reduce_input_groups = 0;
+  std::uint64_t output_records = 0;
+  std::uint64_t output_bytes = 0;
+
+  // Simulated-schedule locality of map tasks.
+  int data_local_maps = 0;
+  int rack_local_maps = 0;
+  int remote_maps = 0;
+
+  int failed_task_attempts = 0;
+  int speculative_copies = 0;  ///< backup map attempts (speculation enabled)
+  int speculative_wins = 0;    ///< backups that beat the original attempt
+
+  // Real execution on host threads.
+  double real_seconds = 0.0;
+
+  // Simulated cluster clock (deterministic).
+  double sim_startup_seconds = 0.0;
+  double sim_map_seconds = 0.0;      ///< map phase makespan
+  double sim_reduce_seconds = 0.0;   ///< shuffle + sort + reduce makespan
+  double sim_seconds = 0.0;          ///< total = startup + map + reduce
+
+  Counters counters;
+
+  /// Merge a follow-up job of a pipeline into this result (sums volumes and
+  /// times; locality counters accumulate).
+  void absorb(const JobResult& next);
+};
+
+/// Approximate serialized size of a key or value, used for map-output and
+/// shuffle byte accounting (what Hadoop would move between nodes).
+template <typename T>
+std::uint64_t approx_bytes(const T& v) {
+  if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+    (void)v;
+    return sizeof(T);
+  } else if constexpr (requires { v.serialized_size(); }) {
+    return v.serialized_size();
+  } else if constexpr (requires { v.size(); v.data(); }) {
+    return v.size();  // string-like
+  } else {
+    static_assert(sizeof(T) == 0,
+                  "provide serialized_size() for shuffle accounting");
+  }
+}
+
+}  // namespace gepeto::mr

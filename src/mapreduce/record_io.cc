@@ -1,0 +1,48 @@
+#include "mapreduce/record_io.h"
+
+#include "common/check.h"
+
+namespace gepeto::mr {
+
+LineRecordReader::LineRecordReader(std::string_view file,
+                                   std::uint64_t split_start,
+                                   std::uint64_t split_len)
+    : file_(file) {
+  GEPETO_CHECK(split_start <= file.size());
+  GEPETO_CHECK(split_start + split_len <= file.size());
+  pos_ = split_start;
+  split_end_ = split_start + split_len;
+  nominal_end_ = split_end_;
+
+  if (split_start != 0) {
+    // Skip the partial first line: it is owned by the previous split. Note
+    // that if byte split_start-1 is '\n', the line starting exactly at
+    // split_start is a complete line and is ours — Hadoop implements this by
+    // unconditionally reading-and-discarding one line starting at
+    // split_start - 1 ... we get the same effect by checking the previous
+    // byte directly.
+    if (file_[split_start - 1] != '\n') {
+      while (pos_ < file_.size() && file_[pos_] != '\n') ++pos_;
+      if (pos_ < file_.size()) ++pos_;  // step over the '\n'
+    }
+  }
+}
+
+bool LineRecordReader::next() {
+  if (done_ || pos_ >= file_.size() || pos_ >= split_end_) {
+    done_ = true;
+    return false;
+  }
+  line_start_ = pos_;
+  std::uint64_t end = pos_;
+  while (end < file_.size() && file_[end] != '\n') ++end;
+  line_ = file_.substr(line_start_, end - line_start_);
+  pos_ = end < file_.size() ? end + 1 : end;
+  return true;
+}
+
+std::uint64_t LineRecordReader::overread_bytes() const {
+  return pos_ > nominal_end_ ? pos_ - nominal_end_ : 0;
+}
+
+}  // namespace gepeto::mr

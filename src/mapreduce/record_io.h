@@ -1,0 +1,50 @@
+// Text record I/O with Hadoop split semantics.
+//
+// A map task processes one DFS chunk ("input split"), but text lines do not
+// align with chunk boundaries. Hadoop's LineRecordReader rule, reproduced
+// here exactly:
+//   * a split that does not start at file offset 0 discards the (possibly
+//     partial) first line — it belongs to the previous split;
+//   * a split keeps reading past its end to finish the last line that
+//     *started* inside it.
+// Under this rule every line of the file is processed by exactly one split,
+// which the tests verify for arbitrary chunk sizes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace gepeto::mr {
+
+/// Iterates the records of one input split of a text file.
+class LineRecordReader {
+ public:
+  /// `file` is the whole file's bytes; the split is [split_start,
+  /// split_start + split_len) within it.
+  LineRecordReader(std::string_view file, std::uint64_t split_start,
+                   std::uint64_t split_len);
+
+  /// Advance to the next record. Returns false at end of split.
+  /// After a true return, key() is the byte offset of the line within the
+  /// file (Hadoop's TextInputFormat key) and value() the line content
+  /// without the trailing '\n'.
+  bool next();
+
+  std::int64_t key() const { return static_cast<std::int64_t>(line_start_); }
+  std::string_view value() const { return line_; }
+
+  /// Bytes this reader consumed beyond the nominal split length (the tail of
+  /// the last record) — charged to the task's I/O accounting.
+  std::uint64_t overread_bytes() const;
+
+ private:
+  std::string_view file_;
+  std::uint64_t pos_ = 0;         ///< next byte to examine
+  std::uint64_t split_end_ = 0;   ///< records starting at >= this are not ours
+  std::uint64_t line_start_ = 0;
+  std::string_view line_;
+  std::uint64_t nominal_end_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace gepeto::mr

@@ -1,0 +1,272 @@
+#include "mapreduce/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace gepeto::mr {
+
+namespace {
+
+/// A free task slot becoming available at virtual time `when` on `node`.
+struct SlotEvent {
+  double when;
+  int node;
+  int slot;
+  bool operator>(const SlotEvent& o) const {
+    if (when != o.when) return when > o.when;
+    if (node != o.node) return node > o.node;  // deterministic tie-break
+    return slot > o.slot;
+  }
+};
+
+using SlotQueue =
+    std::priority_queue<SlotEvent, std::vector<SlotEvent>, std::greater<>>;
+
+SlotQueue make_slots(const ClusterConfig& config, int slots_per_node) {
+  SlotQueue q;
+  for (int n = 0; n < config.num_worker_nodes; ++n)
+    for (int s = 0; s < slots_per_node; ++s) q.push({0.0, n, s});
+  return q;
+}
+
+/// Fraction of the attempt duration consumed before an injected failure is
+/// detected (a crashed task occupied its slot for part of its runtime).
+constexpr double kFailedAttemptFraction = 0.5;
+
+}  // namespace
+
+Locality locality_of(const ClusterConfig& config,
+                     const std::vector<int>& replicas, int node) {
+  for (int r : replicas)
+    if (r == node) return Locality::kDataLocal;
+  for (int r : replicas)
+    if (config.rack_of(r) == config.rack_of(node)) return Locality::kRackLocal;
+  return Locality::kRemote;
+}
+
+double map_attempt_seconds(const ClusterConfig& config, const MapTaskCost& t,
+                           int node) {
+  const double bytes = static_cast<double>(t.input_bytes);
+  double io = bytes / config.disk_bandwidth_Bps;  // the replica's disk
+  switch (locality_of(config, t.replica_nodes, node)) {
+    case Locality::kDataLocal:
+      break;
+    case Locality::kRackLocal:
+      io += bytes / config.intra_rack_Bps;
+      break;
+    case Locality::kRemote:
+      io += bytes / config.inter_rack_Bps;
+      break;
+  }
+  // Map output spills to the local disk (fetched later by reducers).
+  io += static_cast<double>(t.output_bytes) / config.disk_bandwidth_Bps;
+  return (config.task_startup_seconds + io +
+          t.cpu_seconds * config.compute_scale) *
+         config.speed_of(node);
+}
+
+double reduce_attempt_seconds(const ClusterConfig& config,
+                              const ReduceTaskCost& t, int node) {
+  double io = 0.0;
+  for (const auto& [map_node, bytes] : t.shuffle_from) {
+    const double b = static_cast<double>(bytes);
+    io += b / config.disk_bandwidth_Bps;  // read the map spill
+    if (map_node == node) {
+      // local fetch: no network hop
+    } else if (config.rack_of(map_node) == config.rack_of(node)) {
+      io += b / config.intra_rack_Bps;
+    } else {
+      io += b / config.inter_rack_Bps;
+    }
+  }
+  // Output is written back to the DFS through the replica pipeline.
+  const double out = static_cast<double>(t.output_bytes);
+  io += out / config.disk_bandwidth_Bps + out / config.intra_rack_Bps;
+  return (config.task_startup_seconds + io +
+          t.cpu_seconds * config.compute_scale) *
+         config.speed_of(node);
+}
+
+MapSchedule schedule_map_phase(const ClusterConfig& config,
+                               const std::vector<MapTaskCost>& tasks) {
+  config.validate();
+  MapSchedule out;
+  out.assigned_node.assign(tasks.size(), -1);
+  if (tasks.empty()) return out;
+
+  // Remaining injected failures per task.
+  std::vector<int> failures_left(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    failures_left[i] = tasks[i].failed_attempts;
+
+  std::vector<bool> done(tasks.size(), false);
+  std::vector<double> task_finish(tasks.size(), 0.0);
+  std::size_t remaining = tasks.size();
+
+  SlotQueue slots = make_slots(config, config.map_slots_per_node);
+  double makespan = 0.0;
+
+  auto rank_of = [&](std::size_t task, int node) {
+    if (!config.locality_aware_scheduling) return 0;  // ablation: blind
+    switch (locality_of(config, tasks[task].replica_nodes, node)) {
+      case Locality::kDataLocal: return 0;
+      case Locality::kRackLocal: return 1;
+      default: return 2;
+    }
+  };
+
+  while (remaining > 0) {
+    // Drain every slot that frees at the same instant, then match tasks to
+    // slots greedily by locality across the whole batch — this is what the
+    // jobtracker effectively does when several tasktrackers heartbeat with
+    // free slots (and at t=0, when all slots are free at once).
+    GEPETO_CHECK(!slots.empty());
+    const double now = slots.top().when;
+    std::vector<SlotEvent> free_slots;
+    while (!slots.empty() && slots.top().when == now) {
+      free_slots.push_back(slots.top());
+      slots.pop();
+    }
+
+    std::vector<bool> slot_used(free_slots.size(), false);
+    std::size_t slots_left = free_slots.size();
+    while (slots_left > 0 && remaining > 0) {
+      // Best (task, slot) pair by locality rank; ties broken by lowest task
+      // index then lowest node id — deterministic.
+      int best_rank = 4;
+      std::size_t best_task = 0, best_slot = 0;
+      for (std::size_t i = 0; i < tasks.size() && best_rank > 0; ++i) {
+        if (done[i]) continue;
+        for (std::size_t s = 0; s < free_slots.size(); ++s) {
+          if (slot_used[s]) continue;
+          const int r = rank_of(i, free_slots[s].node);
+          if (r < best_rank) {
+            best_rank = r;
+            best_task = i;
+            best_slot = s;
+            if (r == 0) break;
+          }
+        }
+      }
+      GEPETO_CHECK(best_rank < 4);
+      slot_used[best_slot] = true;
+      --slots_left;
+      const SlotEvent ev = free_slots[best_slot];
+      const double duration =
+          map_attempt_seconds(config, tasks[best_task], ev.node);
+      if (failures_left[best_task] > 0) {
+        // The attempt crashes partway through; the slot frees early and the
+        // task goes back to the pending pool (Hadoop re-schedules it, often
+        // on a different node since this slot now trails others in time).
+        --failures_left[best_task];
+        slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
+                    ev.slot});
+        continue;
+      }
+      done[best_task] = true;
+      --remaining;
+      out.assigned_node[best_task] = ev.node;
+      switch (locality_of(config, tasks[best_task].replica_nodes, ev.node)) {
+        case Locality::kDataLocal: ++out.data_local; break;
+        case Locality::kRackLocal: ++out.rack_local; break;
+        case Locality::kRemote: ++out.remote; break;
+      }
+      const double finish = ev.when + duration;
+      task_finish[best_task] = finish;
+      makespan = std::max(makespan, finish);
+      slots.push({finish, ev.node, ev.slot});
+    }
+    // Unused slots from this instant rejoin the pool at the next event time
+    // (they idle until more tasks or the phase ends).
+    if (remaining > 0 && slots_left > 0) {
+      GEPETO_CHECK(!slots.empty());
+      const double next = slots.top().when;
+      for (std::size_t s = 0; s < free_slots.size(); ++s)
+        if (!slot_used[s]) slots.push({next, free_slots[s].node,
+                                       free_slots[s].slot});
+    }
+  }
+
+  // --- speculative execution (Hadoop backup tasks) -------------------------
+  // With no pending work left, slots that free before the phase ends launch
+  // backup copies of the slowest still-running attempts; a task completes
+  // when either attempt does (the loser is killed).
+  if (config.speculative_execution && !tasks.empty()) {
+    std::vector<bool> speculated(tasks.size(), false);
+    while (!slots.empty()) {
+      const SlotEvent ev = slots.top();
+      slots.pop();
+      // The slowest still-running, not-yet-backed-up task at this instant.
+      std::size_t best = tasks.size();
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (speculated[i] || task_finish[i] <= ev.when) continue;
+        if (best == tasks.size() || task_finish[i] > task_finish[best])
+          best = i;
+      }
+      if (best == tasks.size()) continue;  // nothing left worth backing up
+      speculated[best] = true;
+      ++out.speculative_copies;
+      const double copy_finish =
+          ev.when + map_attempt_seconds(config, tasks[best], ev.node);
+      if (copy_finish < task_finish[best]) {
+        ++out.speculative_wins;
+        task_finish[best] = copy_finish;
+      }
+      // The slot frees when the task completes (the losing copy is killed).
+      slots.push({task_finish[best], ev.node, ev.slot});
+    }
+    makespan = 0.0;
+    for (double f : task_finish) makespan = std::max(makespan, f);
+  }
+
+  out.makespan = makespan;
+  return out;
+}
+
+ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
+                                     const std::vector<ReduceTaskCost>& tasks) {
+  config.validate();
+  ReduceSchedule out;
+  out.assigned_node.assign(tasks.size(), -1);
+  if (tasks.empty()) return out;
+
+  std::vector<int> failures_left(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    failures_left[i] = tasks[i].failed_attempts;
+
+  SlotQueue slots = make_slots(config, config.reduce_slots_per_node);
+  double makespan = 0.0;
+  std::size_t next_task = 0;
+  std::vector<std::size_t> retry;  // failed tasks awaiting re-execution
+
+  while (next_task < tasks.size() || !retry.empty()) {
+    SlotEvent ev = slots.top();
+    slots.pop();
+
+    std::size_t ti;
+    if (!retry.empty()) {
+      ti = retry.back();
+      retry.pop_back();
+    } else {
+      ti = next_task++;
+    }
+
+    const double duration = reduce_attempt_seconds(config, tasks[ti], ev.node);
+    if (failures_left[ti] > 0) {
+      --failures_left[ti];
+      retry.push_back(ti);
+      slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
+                  ev.slot});
+      continue;
+    }
+    out.assigned_node[ti] = ev.node;
+    const double finish = ev.when + duration;
+    makespan = std::max(makespan, finish);
+    slots.push({finish, ev.node, ev.slot});
+  }
+
+  out.makespan = makespan;
+  return out;
+}
+
+}  // namespace gepeto::mr

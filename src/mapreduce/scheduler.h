@@ -1,0 +1,76 @@
+// The virtual-time jobtracker.
+//
+// Tasks are executed for real on host threads (engine.h); this scheduler then
+// replays them against the modeled cluster in *virtual time*: per-node task
+// slots, Hadoop-heartbeat-style assignment with locality preference
+// (node-local > rack-local > remote, Section III of the paper), modeled disk
+// and network costs, and re-execution of failure-injected attempts. The
+// result is a deterministic makespan + locality profile for the configured
+// cluster, independent of how many host cores actually ran the tasks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+
+struct MapTaskCost {
+  std::uint64_t input_bytes = 0;     ///< chunk bytes read
+  std::uint64_t output_bytes = 0;    ///< spilled locally after combine
+  double cpu_seconds = 0.0;          ///< measured host CPU time
+  std::vector<int> replica_nodes;    ///< where the chunk's replicas live
+  int failed_attempts = 0;           ///< injected failures before success
+};
+
+struct ReduceTaskCost {
+  /// Bytes pulled from each map task, paired with the node that ran that map
+  /// task in the map-phase schedule.
+  std::vector<std::pair<int, std::uint64_t>> shuffle_from;
+  double cpu_seconds = 0.0;
+  std::uint64_t output_bytes = 0;
+  int failed_attempts = 0;
+};
+
+struct MapSchedule {
+  double makespan = 0.0;             ///< virtual seconds for the map phase
+  std::vector<int> assigned_node;    ///< node of each task's successful attempt
+  int data_local = 0;
+  int rack_local = 0;
+  int remote = 0;
+  /// Backup attempts launched when speculative execution is enabled.
+  int speculative_copies = 0;
+  /// Tasks whose backup copy beat the original attempt.
+  int speculative_wins = 0;
+};
+
+struct ReduceSchedule {
+  double makespan = 0.0;
+  std::vector<int> assigned_node;
+};
+
+/// Schedule the map phase on the modeled cluster.
+MapSchedule schedule_map_phase(const ClusterConfig& config,
+                               const std::vector<MapTaskCost>& tasks);
+
+/// Schedule the reduce phase; starts (virtually) after the map barrier, as in
+/// the paper ("the reducers have to wait for the completion of the map
+/// phase").
+ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
+                                     const std::vector<ReduceTaskCost>& tasks);
+
+/// Modeled seconds for one map attempt running on `node`.
+double map_attempt_seconds(const ClusterConfig& config, const MapTaskCost& t,
+                           int node);
+
+/// Modeled seconds for one reduce attempt running on `node`.
+double reduce_attempt_seconds(const ClusterConfig& config,
+                              const ReduceTaskCost& t, int node);
+
+/// Locality of running a task for data with the given replicas on `node`.
+Locality locality_of(const ClusterConfig& config,
+                     const std::vector<int>& replicas, int node);
+
+}  // namespace gepeto::mr

@@ -1,0 +1,124 @@
+#include "mapreduce/seqfile.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace gepeto::mr {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 4 + kSeqSyncSize;
+
+std::array<unsigned char, kSeqSyncSize> make_sync(std::uint64_t seed) {
+  SplitMix64 sm(seed ^ 0x5EC5'11ECULL);
+  std::array<unsigned char, kSeqSyncSize> sync{};
+  for (std::size_t i = 0; i < kSeqSyncSize; i += 8) {
+    const std::uint64_t v = sm.next();
+    std::memcpy(sync.data() + i, &v, 8);
+  }
+  return sync;
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+std::uint32_t read_u32(std::string_view file, std::uint64_t pos) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, file.data() + pos, 4);
+  return v;
+}
+
+}  // namespace
+
+SeqFileWriter::SeqFileWriter(std::uint64_t sync_seed,
+                             std::size_t sync_interval)
+    : sync_(make_sync(sync_seed)), sync_interval_(sync_interval) {
+  GEPETO_CHECK(sync_interval_ > 0);
+  out_ = "SEQ1";
+  out_.append(reinterpret_cast<const char*>(sync_.data()), kSeqSyncSize);
+}
+
+void SeqFileWriter::write_sync() {
+  append_u32(out_, kSeqSyncEscape);
+  out_.append(reinterpret_cast<const char*>(sync_.data()), kSeqSyncSize);
+  bytes_since_sync_ = 0;
+}
+
+void SeqFileWriter::append(std::string_view record) {
+  GEPETO_CHECK_MSG(record.size() < kSeqSyncEscape, "record too large");
+  if (bytes_since_sync_ >= sync_interval_) write_sync();
+  append_u32(out_, static_cast<std::uint32_t>(record.size()));
+  out_.append(record);
+  bytes_since_sync_ += 4 + record.size();
+  ++records_;
+}
+
+SeqFileReader::SeqFileReader(std::string_view file, std::uint64_t split_start,
+                             std::uint64_t split_len)
+    : file_(file) {
+  GEPETO_CHECK(split_start + split_len <= file.size());
+  GEPETO_CHECK_MSG(file.size() >= kHeaderSize &&
+                       file.substr(0, 4) == "SEQ1",
+                   "not a seq file");
+  std::memcpy(sync_.data(), file.data() + 4, kSeqSyncSize);
+  split_end_ = split_start + split_len;
+
+  const std::string_view marker(
+      reinterpret_cast<const char*>(sync_.data()), kSeqSyncSize);
+  if (split_start == 0) {
+    // The first split owns the group right after the header.
+    if (kHeaderSize <= split_end_) {
+      pos_ = kHeaderSize;
+    } else {
+      done_ = true;
+    }
+    return;
+  }
+  // Find the first sync marker whose END lies in (start, end].
+  std::size_t p = file_.find(
+      marker, split_start >= kSeqSyncSize - 1 ? split_start - (kSeqSyncSize - 1)
+                                              : 0);
+  while (p != std::string_view::npos && p + kSeqSyncSize <= split_start)
+    p = file_.find(marker, p + 1);
+  if (p == std::string_view::npos || p + kSeqSyncSize > split_end_) {
+    done_ = true;
+    return;
+  }
+  pos_ = p + kSeqSyncSize;
+}
+
+bool SeqFileReader::next() {
+  while (!done_) {
+    if (pos_ + 4 > file_.size()) {
+      done_ = true;
+      return false;
+    }
+    const std::uint32_t len = read_u32(file_, pos_);
+    if (len == kSeqSyncEscape) {
+      const std::uint64_t group_start = pos_ + 4 + kSeqSyncSize;
+      if (group_start > split_end_) {
+        done_ = true;  // the next group belongs to the next split
+        return false;
+      }
+      GEPETO_CHECK_MSG(group_start <= file_.size(), "truncated sync marker");
+      pos_ = group_start;
+      continue;
+    }
+    GEPETO_CHECK_MSG(pos_ + 4 + len <= file_.size(), "truncated record");
+    record_ = file_.substr(pos_ + 4, len);
+    pos_ += 4 + len;
+    return true;
+  }
+  return false;
+}
+
+bool SeqFileReader::at_sync() const {
+  return pos_ + 4 <= file_.size() && read_u32(file_, pos_) == kSeqSyncEscape;
+}
+
+}  // namespace gepeto::mr

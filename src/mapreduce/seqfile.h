@@ -1,0 +1,79 @@
+// A SequenceFile-like binary record format with sync markers.
+//
+// The paper's related-work section notes that Mahout's clustering jobs
+// require the input "converted to a specific Hadoop file format, the
+// SequenceFile format". This module implements the analogous format for
+// this engine: length-prefixed binary records with periodic 16-byte *sync
+// markers*, which is what makes a binary file splittable — a reader handed
+// an arbitrary byte range scans to the next marker and starts there, and
+// every record is consumed by exactly one split (property-tested, like the
+// text reader's rule).
+//
+// Layout:
+//   header  := "SEQ1" + sync(16 bytes)
+//   entry   := u32 length (LE) + payload        (length != kSyncEscape)
+//            | u32 kSyncEscape + sync(16 bytes)
+// A marker is emitted roughly every `sync_interval` payload bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gepeto::mr {
+
+inline constexpr std::uint32_t kSeqSyncEscape = 0xFFFFFFFFu;
+inline constexpr std::size_t kSeqSyncSize = 16;
+
+/// Appends records to an in-memory file (which then goes into the DFS).
+class SeqFileWriter {
+ public:
+  /// `sync_seed` determines the file's sync marker (any value; files with
+  /// different seeds simply have different markers).
+  explicit SeqFileWriter(std::uint64_t sync_seed = 0x5EC0'11EC,
+                         std::size_t sync_interval = 2000);
+
+  void append(std::string_view record);
+
+  /// The finished file contents (move out when done).
+  std::string& contents() { return out_; }
+  const std::string& contents() const { return out_; }
+
+  std::size_t records_written() const { return records_; }
+
+ private:
+  void write_sync();
+
+  std::array<unsigned char, kSeqSyncSize> sync_{};
+  std::string out_;
+  std::size_t sync_interval_;
+  std::size_t bytes_since_sync_ = 0;
+  std::size_t records_ = 0;
+};
+
+/// Reads the records of one split of a seq file, Hadoop-style: a split owns
+/// every record group whose sync marker *ends* inside (start, start+len]
+/// (the first split also owns the group right after the header).
+class SeqFileReader {
+ public:
+  SeqFileReader(std::string_view file, std::uint64_t split_start,
+                std::uint64_t split_len);
+
+  /// Advance to the next record; false at end of split.
+  bool next();
+
+  std::string_view record() const { return record_; }
+
+ private:
+  bool at_sync() const;
+
+  std::string_view file_;
+  std::array<unsigned char, kSeqSyncSize> sync_{};
+  std::uint64_t pos_ = 0;
+  std::uint64_t split_end_ = 0;  ///< groups starting after this are not ours
+  std::string_view record_;
+  bool done_ = false;
+};
+
+}  // namespace gepeto::mr

@@ -1,0 +1,233 @@
+// Tests for the inference-attack layer: POI extraction + home/work
+// identification, Mobility Markov Chains (learning, prediction,
+// de-anonymization) — the paper's Section VIII extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/generator.h"
+#include "gepeto/mmc.h"
+#include "gepeto/poi.h"
+
+namespace gepeto::core {
+namespace {
+
+geo::SyntheticDataset make_world(int users = 5, std::uint64_t seed = 201) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = users;
+  cfg.duration_days = 25;
+  cfg.trajectories_per_user_min = 90;
+  cfg.trajectories_per_user_max = 130;
+  cfg.seed = seed;
+  return geo::generate_dataset(cfg);
+}
+
+DjClusterConfig attack_config() {
+  DjClusterConfig config;
+  config.radius_m = 60;
+  config.min_pts = 10;
+  return config;
+}
+
+TEST(PoiExtraction, FindsVisitedPois) {
+  const auto world = make_world();
+  const auto& profile = world.profiles[0];
+  const auto extracted =
+      extract_pois(world.data.trail(0), attack_config());
+  ASSERT_FALSE(extracted.pois.empty());
+  // Most extracted POIs should sit on true POIs.
+  std::size_t near = 0;
+  for (const auto& p : extracted.pois) {
+    for (const auto& t : profile.pois) {
+      if (geo::haversine_meters(p.latitude, p.longitude, t.latitude,
+                                t.longitude) < 100) {
+        ++near;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(near * 2, extracted.pois.size());
+}
+
+TEST(PoiExtraction, EmptyTrail) {
+  const auto extracted = extract_pois({}, attack_config());
+  EXPECT_TRUE(extracted.pois.empty());
+  EXPECT_EQ(extracted.home_index, -1);
+  EXPECT_EQ(extracted.work_index, -1);
+}
+
+TEST(PoiExtraction, PoisOrderedBySupport) {
+  const auto world = make_world();
+  const auto extracted = extract_pois(world.data.trail(1), attack_config());
+  for (std::size_t i = 1; i < extracted.pois.size(); ++i)
+    EXPECT_GE(extracted.pois[i - 1].num_traces, extracted.pois[i].num_traces);
+}
+
+TEST(PoiExtraction, HourHistogramSumsToTraces) {
+  const auto world = make_world();
+  const auto extracted = extract_pois(world.data.trail(2), attack_config());
+  for (const auto& p : extracted.pois) {
+    std::uint64_t sum = 0;
+    for (auto h : p.hour_histogram) sum += h;
+    EXPECT_EQ(sum, p.num_traces);
+  }
+}
+
+TEST(PoiAttack, ReportAggregatesAcrossUsers) {
+  const auto world = make_world(4, 202);
+  const auto report =
+      run_poi_attack(world.data, world.profiles, attack_config());
+  EXPECT_EQ(report.per_user.size(), 4u);
+  EXPECT_GT(report.avg_recall, 0.3);     // finds a good share of true POIs
+  EXPECT_GT(report.avg_precision, 0.5);  // few spurious POIs
+  EXPECT_GE(report.home_identification_rate, 0.0);
+  EXPECT_LE(report.home_identification_rate, 1.0);
+}
+
+TEST(PoiAttack, ScoreIsPerfectOnIdealInput) {
+  // Synthesize a trail that dwells exactly at two POIs.
+  geo::UserProfile truth;
+  truth.user_id = 0;
+  truth.pois.push_back({39.90, 116.40, geo::PoiKind::kHome});
+  truth.pois.push_back({39.95, 116.50, geo::PoiKind::kWork});
+  geo::Trail trail;
+  std::int64_t night = 1'222'819'200;                    // 2008-10-01 00:00 UTC
+  std::int64_t office = 1'222'819'200 + 7 * 86400 + 10 * 3600;  // Wed 10:00
+  for (int i = 0; i < 30; ++i) {
+    trail.push_back({0, 39.90, 116.40, 150, night + i * 60});
+    trail.push_back({0, 39.95, 116.50, 150, office + i * 60});
+  }
+  std::sort(trail.begin(), trail.end(),
+            [](const auto& a, const auto& b) { return a.timestamp < b.timestamp; });
+  DjClusterConfig config;
+  config.radius_m = 40;
+  config.min_pts = 5;
+  config.duplicate_radius_m = 0.0;  // identical points must survive dedup
+  const auto extracted = extract_pois(trail, config);
+  const auto score = score_poi_attack(extracted, truth);
+  EXPECT_DOUBLE_EQ(score.recall, 1.0);
+  EXPECT_DOUBLE_EQ(score.precision, 1.0);
+  EXPECT_TRUE(score.home_identified);
+  EXPECT_TRUE(score.work_identified);
+  EXPECT_LT(score.home_error_m, 10.0);
+}
+
+// --- MMC ---------------------------------------------------------------------
+
+TEST(Mmc, TransitionsAreRowStochastic) {
+  const auto world = make_world();
+  MmcConfig config;
+  config.clustering = attack_config();
+  const auto mmc = learn_mmc(world.data.trail(0), config);
+  ASSERT_FALSE(mmc.states.empty());
+  for (std::size_t i = 0; i < mmc.transitions.size(); ++i) {
+    double sum = 0;
+    for (double p : mmc.transitions[i]) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(mmc.transitions[i][i], 0.0);
+  }
+}
+
+TEST(Mmc, StationaryDistributionSumsToOne) {
+  const auto world = make_world();
+  MmcConfig config;
+  config.clustering = attack_config();
+  const auto mmc = learn_mmc(world.data.trail(1), config);
+  double sum = 0;
+  for (double p : mmc.stationary) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mmc, VisitSequenceCollapsesConsecutiveDuplicates) {
+  std::vector<PoiCandidate> states(2);
+  states[0].latitude = 39.90;
+  states[0].longitude = 116.40;
+  states[1].latitude = 39.95;
+  states[1].longitude = 116.50;
+  geo::Trail trail;
+  // Dwell at state 0 (3 traces), then state 1 (2 traces), then state 0.
+  for (int i = 0; i < 3; ++i) trail.push_back({0, 39.90, 116.40, 0, i});
+  for (int i = 3; i < 5; ++i) trail.push_back({0, 39.95, 116.50, 0, i});
+  trail.push_back({0, 39.90, 116.40, 0, 6});
+  // A far-away point attaches to nothing.
+  trail.push_back({0, 45.0, 100.0, 0, 7});
+  const auto visits = visit_sequence(trail, states, 100.0);
+  EXPECT_EQ(visits, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(Mmc, PredictNextReturnsArgmaxRow) {
+  MobilityMarkovChain mmc;
+  mmc.states.resize(3);
+  mmc.transitions = {{0.0, 0.7, 0.3}, {0.9, 0.0, 0.1}, {0.5, 0.5, 0.0}};
+  EXPECT_EQ(predict_next(mmc, 0), 1);
+  EXPECT_EQ(predict_next(mmc, 1), 0);
+  EXPECT_EQ(predict_next(mmc, 2), 0);  // tie -> lowest index
+  EXPECT_EQ(predict_next(mmc, -1), -1);
+  EXPECT_EQ(predict_next(mmc, 3), -1);
+}
+
+TEST(Mmc, PredictionBeatsChanceOnSyntheticUsers) {
+  const auto world = make_world(4, 203);
+  MmcConfig config;
+  config.clustering = attack_config();
+  int evaluated = 0;
+  double total = 0;
+  for (std::int32_t u = 0; u < 4; ++u) {
+    const double acc = prediction_accuracy(world.data.trail(u), config);
+    if (acc < 0) continue;
+    ++evaluated;
+    total += acc;
+  }
+  ASSERT_GT(evaluated, 0);
+  // Users have 4-8 POIs; uniform guessing would score ~1/(k-1) < 0.35. The
+  // generator's MMC is strongly structured (home<->work dominate).
+  EXPECT_GT(total / evaluated, 0.35);
+}
+
+TEST(Mmc, DistanceIsSymmetricAndSmallForSelf) {
+  const auto world = make_world(3, 204);
+  MmcConfig config;
+  config.clustering = attack_config();
+  const auto a = learn_mmc(world.data.trail(0), config);
+  const auto b = learn_mmc(world.data.trail(1), config);
+  EXPECT_NEAR(mmc_distance(a, b), mmc_distance(b, a), 1e-9);
+  EXPECT_LT(mmc_distance(a, a), 1.0);
+  EXPECT_GT(mmc_distance(a, b), mmc_distance(a, a));
+}
+
+TEST(Mmc, DeanonymizationLinksSplitTrails) {
+  // Split each user's trail in half: learn gallery MMCs from the first
+  // halves (identities known) and probe MMCs from the second halves
+  // (anonymized). The attack should re-identify most users.
+  const auto world = make_world(6, 205);
+  MmcConfig config;
+  config.clustering = attack_config();
+
+  std::vector<MobilityMarkovChain> gallery, probes;
+  std::vector<int> truth;
+  for (std::int32_t u = 0; u < 6; ++u) {
+    const auto& trail = world.data.trail(u);
+    const std::size_t half = trail.size() / 2;
+    geo::Trail first(trail.begin(), trail.begin() + static_cast<std::ptrdiff_t>(half));
+    geo::Trail second(trail.begin() + static_cast<std::ptrdiff_t>(half), trail.end());
+    gallery.push_back(learn_mmc(first, config));
+    probes.push_back(learn_mmc(second, config));
+    truth.push_back(u);
+  }
+  const auto result = deanonymization_attack(gallery, probes, truth);
+  EXPECT_EQ(result.predicted.size(), 6u);
+  EXPECT_GE(result.accuracy, 5.0 / 6.0);
+}
+
+TEST(Mmc, DeanonymizationValidatesInput) {
+  EXPECT_THROW(deanonymization_attack({}, {MobilityMarkovChain{}}, {}),
+               gepeto::CheckFailure);
+}
+
+}  // namespace
+}  // namespace gepeto::core

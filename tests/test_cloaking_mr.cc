@@ -1,0 +1,107 @@
+// Tests for the MapReduce spatial-cloaking pipeline: census correctness and
+// semantic agreement with the sequential spatial_cloaking().
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/sanitize.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+mr::ClusterConfig small_cluster() {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = 1 << 15;
+  c.execution_threads = 2;
+  return c;
+}
+
+geo::SyntheticDataset make_world(std::uint64_t seed) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 5;
+  cfg.duration_days = 12;
+  cfg.trajectories_per_user_min = 20;
+  cfg.trajectories_per_user_max = 30;
+  cfg.seed = seed;
+  return geo::generate_dataset(cfg);
+}
+
+TEST(CloakingMr, MatchesSequentialCloaking) {
+  const auto world = make_world(701);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 3);
+  const auto round_tripped = geo::dataset_from_dfs(dfs, "/in/");
+
+  const int k = 2;
+  const double base = 200.0;
+  const int doublings = 5;
+  const auto seq = spatial_cloaking(round_tripped, k, base, doublings);
+  const auto mr_result =
+      run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak", k, base,
+                        doublings);
+
+  EXPECT_EQ(mr_result.suppressed, seq.suppressed);
+  auto got = geo::dataset_from_dfs(dfs, "/cloak/cloaked/");
+  ASSERT_EQ(got.num_traces(), seq.data.num_traces());
+  for (auto uid : seq.data.users()) {
+    const auto& w = seq.data.trail(uid);
+    auto g = got.trail(uid);
+    std::sort(g.begin(), g.end(), [](const auto& a, const auto& b) {
+      return a.timestamp < b.timestamp;
+    });
+    ASSERT_EQ(g.size(), w.size()) << "user " << uid;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      EXPECT_EQ(g[i].timestamp, w[i].timestamp);
+      EXPECT_NEAR(g[i].latitude, w[i].latitude, 1e-6);
+      EXPECT_NEAR(g[i].longitude, w[i].longitude, 1e-6);
+    }
+  }
+}
+
+TEST(CloakingMr, CombinerShrinksCensusShuffle) {
+  const auto world = make_world(702);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 3);
+  const auto r =
+      run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak", 2, 200.0, 4);
+  // Raw map output = traces x levels; the combiner collapses it to
+  // (cell, user) pairs, far fewer on dwell-heavy data.
+  EXPECT_LT(r.census_job.combine_output_records,
+            r.census_job.map_output_records / 2);
+}
+
+TEST(CloakingMr, KOneKeepsEverything) {
+  const auto world = make_world(703);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+  const auto r =
+      run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak", 1, 300.0, 3);
+  EXPECT_EQ(r.suppressed, 0u);
+  EXPECT_EQ(geo::count_dfs_records(dfs, "/cloak/cloaked/"),
+            world.data.num_traces());
+}
+
+TEST(CloakingMr, ImpossibleKSuppressesEverything) {
+  const auto world = make_world(704);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+  const auto r = run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak",
+                                   /*k=*/99, 200.0, 2);
+  EXPECT_EQ(r.suppressed, world.data.num_traces());
+  EXPECT_EQ(geo::count_dfs_records(dfs, "/cloak/cloaked/"), 0u);
+}
+
+TEST(CloakingMr, RejectsBadArguments) {
+  mr::Dfs dfs(small_cluster());
+  EXPECT_THROW(run_cloaking_jobs(dfs, small_cluster(), "/in/", "/c", 0, 100.0),
+               gepeto::CheckFailure);
+}
+
+}  // namespace
+}  // namespace gepeto::core

@@ -1,0 +1,252 @@
+// Tests for src/common: RNG determinism and statistics, check macros,
+// thread pool, table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace gepeto {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(5);
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 90000; ++i) counts[rng.uniform_u64(3)]++;
+  for (int c : counts) EXPECT_NEAR(c, 30000, 1000);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianShifted) {
+  Rng rng(8);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(10);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits, 25000, 800);
+}
+
+TEST(Rng, WeightedPickFollowsWeights) {
+  Rng rng(11);
+  const double w[3] = {1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 100000; ++i) counts[rng.weighted_pick(w, 3)]++;
+  EXPECT_NEAR(counts[0], 10000, 700);
+  EXPECT_NEAR(counts[1], 20000, 900);
+  EXPECT_NEAR(counts[2], 70000, 1000);
+}
+
+TEST(Rng, WeightedPickZeroWeightNeverChosen) {
+  Rng rng(12);
+  const double w[3] = {0.0, 1.0, 1.0};
+  for (int i = 0; i < 10000; ++i) ASSERT_NE(rng.weighted_pick(w, 3), 0u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(13);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng p1(14), p2(14);
+  Rng a = p1.fork(9);
+  Rng b = p2.fork(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(GEPETO_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    GEPETO_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("test_common.cc"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    GEPETO_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&] { count.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t("demo");
+  t.header({"a", "long-column"});
+  t.row({"1", "2"});
+  t.row({"333", "4"});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("long-column"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t("demo");
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), CheckFailure);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(64ull << 20), "64.0 MiB");
+  EXPECT_EQ(format_bytes(3ull << 30), "3.0 GiB");
+}
+
+TEST(Format, Seconds) {
+  EXPECT_EQ(format_seconds(0.5), "500.00 ms");
+  EXPECT_EQ(format_seconds(2.0), "2.00 s");
+  EXPECT_EQ(format_seconds(84.0), "84.00 s");
+  EXPECT_EQ(format_seconds(150.0), "2 min 30 s");
+}
+
+TEST(Format, CountThousandsSeparators) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(2033686), "2,033,686");
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  // Burn a little CPU deterministically.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1.0;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace gepeto

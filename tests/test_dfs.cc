@@ -1,0 +1,259 @@
+// Tests for the HDFS-like DFS: chunking, rack-aware replica placement,
+// listing, failure handling and re-replication invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig small_cluster(int nodes = 8, std::size_t chunk = 16) {
+  ClusterConfig c;
+  c.num_worker_nodes = nodes;
+  c.nodes_per_rack = 4;
+  c.chunk_size = chunk;
+  c.replication = 3;
+  c.seed = 1234;
+  return c;
+}
+
+TEST(Dfs, PutAndReadRoundTrip) {
+  Dfs dfs(small_cluster());
+  dfs.put("/a", "hello world");
+  EXPECT_TRUE(dfs.exists("/a"));
+  EXPECT_EQ(dfs.read("/a"), "hello world");
+  EXPECT_EQ(dfs.file_size("/a"), 11u);
+}
+
+TEST(Dfs, MissingFileThrows) {
+  Dfs dfs(small_cluster());
+  EXPECT_THROW(dfs.read("/nope"), CheckFailure);
+  EXPECT_THROW(dfs.file_size("/nope"), CheckFailure);
+  EXPECT_THROW((void)dfs.chunks("/nope"), CheckFailure);
+}
+
+TEST(Dfs, ChunkingCoversFileExactly) {
+  Dfs dfs(small_cluster(8, 16));
+  const std::string data(100, 'x');
+  dfs.put("/f", data);
+  const auto& chunks = dfs.chunks("/f");
+  EXPECT_EQ(chunks.size(), 7u);  // ceil(100/16)
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].offset, covered);
+    covered += chunks[i].size;
+    EXPECT_LE(chunks[i].size, 16u);
+  }
+  EXPECT_EQ(covered, 100u);
+  EXPECT_EQ(chunks.back().size, 100u % 16u);
+}
+
+TEST(Dfs, ChunkDataMatchesSlices) {
+  Dfs dfs(small_cluster(8, 10));
+  std::string data;
+  for (int i = 0; i < 45; ++i) data.push_back(static_cast<char>('a' + i % 26));
+  dfs.put("/f", data);
+  const auto& chunks = dfs.chunks("/f");
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(dfs.chunk_data("/f", i),
+              std::string_view(data).substr(chunks[i].offset, chunks[i].size));
+  }
+}
+
+TEST(Dfs, EveryChunkHasReplicationFactorReplicas) {
+  Dfs dfs(small_cluster(8, 8));
+  dfs.put("/f", std::string(100, 'y'));
+  for (const auto& ci : dfs.chunks("/f")) {
+    EXPECT_EQ(ci.replicas.size(), 3u);
+    std::set<int> uniq(ci.replicas.begin(), ci.replicas.end());
+    EXPECT_EQ(uniq.size(), 3u) << "replicas must be distinct nodes";
+  }
+}
+
+TEST(Dfs, RackAwarePlacementSpansTwoRacks) {
+  // 8 nodes in 2 racks: each chunk must have replicas in >= 2 racks
+  // (first+second replica same rack, third in another — HDFS policy).
+  auto config = small_cluster(8, 8);
+  Dfs dfs(config);
+  dfs.put("/f", std::string(200, 'z'));
+  for (const auto& ci : dfs.chunks("/f")) {
+    std::set<int> racks;
+    for (int n : ci.replicas) racks.insert(config.rack_of(n));
+    EXPECT_GE(racks.size(), 2u);
+    EXPECT_LE(racks.size(), 2u);  // exactly the HDFS 2-rack layout for r=3
+  }
+}
+
+TEST(Dfs, WriterNodeGetsFirstReplica) {
+  Dfs dfs(small_cluster());
+  dfs.put("/f", std::string(30, 'a'), /*writer_node=*/5);
+  for (const auto& ci : dfs.chunks("/f")) EXPECT_EQ(ci.replicas[0], 5);
+}
+
+TEST(Dfs, ReplicationCappedByClusterSize) {
+  auto config = small_cluster(2, 8);
+  Dfs dfs(config);
+  dfs.put("/f", std::string(10, 'b'));
+  for (const auto& ci : dfs.chunks("/f")) EXPECT_EQ(ci.replicas.size(), 2u);
+}
+
+TEST(Dfs, ListReturnsPrefixMatchesSorted) {
+  Dfs dfs(small_cluster());
+  dfs.put("/out/part-00002", "c");
+  dfs.put("/out/part-00000", "a");
+  dfs.put("/out/part-00001", "b");
+  dfs.put("/other", "x");
+  const auto files = dfs.list("/out/");
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "/out/part-00000");
+  EXPECT_EQ(files[1], "/out/part-00001");
+  EXPECT_EQ(files[2], "/out/part-00002");
+}
+
+TEST(Dfs, ListPrefixIsNotConfusedBySiblings) {
+  Dfs dfs(small_cluster());
+  dfs.put("/out", "x");
+  dfs.put("/out2/a", "y");
+  const auto files = dfs.list("/out2/");
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(files[0], "/out2/a");
+}
+
+TEST(Dfs, RemoveAndRemovePrefix) {
+  Dfs dfs(small_cluster());
+  dfs.put("/d/a", "1");
+  dfs.put("/d/b", "2");
+  dfs.put("/e", "3");
+  dfs.remove("/e");
+  EXPECT_FALSE(dfs.exists("/e"));
+  dfs.remove_prefix("/d/");
+  EXPECT_TRUE(dfs.list("/d/").empty());
+}
+
+TEST(Dfs, PutReplacesExistingFile) {
+  Dfs dfs(small_cluster());
+  dfs.put("/f", "old-contents");
+  dfs.put("/f", "new");
+  EXPECT_EQ(dfs.read("/f"), "new");
+  EXPECT_EQ(dfs.stats().files, 1u);
+}
+
+TEST(Dfs, TotalSizeSumsPrefix) {
+  Dfs dfs(small_cluster());
+  dfs.put("/in/a", std::string(10, 'a'));
+  dfs.put("/in/b", std::string(20, 'b'));
+  dfs.put("/out/c", std::string(100, 'c'));
+  EXPECT_EQ(dfs.total_size("/in/"), 30u);
+}
+
+TEST(Dfs, StatsAccounting) {
+  Dfs dfs(small_cluster(8, 16));
+  dfs.put("/f", std::string(100, 'q'));
+  const auto s = dfs.stats();
+  EXPECT_EQ(s.files, 1u);
+  EXPECT_EQ(s.logical_bytes, 100u);
+  EXPECT_EQ(s.chunks, 7u);
+  EXPECT_EQ(s.stored_bytes, 300u);  // 3 replicas
+  EXPECT_GT(s.sim_ingest_seconds, 0.0);
+}
+
+TEST(Dfs, EmptyFileIsStorable) {
+  Dfs dfs(small_cluster());
+  dfs.put("/empty", "");
+  EXPECT_TRUE(dfs.exists("/empty"));
+  EXPECT_EQ(dfs.read("/empty"), "");
+  EXPECT_EQ(dfs.file_size("/empty"), 0u);
+}
+
+TEST(Dfs, KillNodeDropsItsReplicas) {
+  Dfs dfs(small_cluster(8, 8));
+  dfs.put("/f", std::string(400, 'r'));
+  dfs.kill_node(0);
+  EXPECT_FALSE(dfs.node_alive(0));
+  for (const auto& ci : dfs.chunks("/f"))
+    for (int n : ci.replicas) EXPECT_NE(n, 0);
+  // Data still readable from surviving replicas.
+  EXPECT_EQ(dfs.read("/f").size(), 400u);
+}
+
+TEST(Dfs, ReReplicateRestoresFactor) {
+  Dfs dfs(small_cluster(8, 8));
+  dfs.put("/f", std::string(400, 'r'));
+  dfs.kill_node(1);
+  dfs.kill_node(2);
+  EXPECT_GT(dfs.under_replicated_chunks(), 0u);
+  const auto created = dfs.re_replicate();
+  EXPECT_GT(created, 0u);
+  EXPECT_EQ(dfs.under_replicated_chunks(), 0u);
+  for (const auto& ci : dfs.chunks("/f")) {
+    EXPECT_EQ(ci.replicas.size(), 3u);
+    for (int n : ci.replicas) EXPECT_TRUE(dfs.node_alive(n));
+  }
+}
+
+TEST(Dfs, ReReplicationSurvivesSequentialFailuresUpToFactorMinusOne) {
+  // Kill one node at a time with re-replication in between: no data loss.
+  Dfs dfs(small_cluster(8, 8));
+  const std::string payload(500, 'k');
+  dfs.put("/f", payload);
+  for (int n = 0; n < 5; ++n) {
+    dfs.kill_node(n);
+    dfs.re_replicate();
+    ASSERT_EQ(dfs.read("/f"), payload);
+    ASSERT_EQ(dfs.under_replicated_chunks(), 0u);
+  }
+}
+
+TEST(Dfs, KillingAllReplicaHoldersAtOnceIsDataLoss) {
+  auto config = small_cluster(4, 1024);
+  config.replication = 2;
+  Dfs dfs(config);
+  dfs.put("/f", "precious");
+  const auto replicas = dfs.chunks("/f")[0].replicas;
+  ASSERT_EQ(replicas.size(), 2u);
+  for (int n : replicas) dfs.kill_node(n);
+  EXPECT_THROW(dfs.re_replicate(), CheckFailure);
+}
+
+TEST(Dfs, RevivedNodeReceivesNewReplicas) {
+  Dfs dfs(small_cluster(4, 8));
+  dfs.kill_node(3);
+  dfs.put("/f", std::string(64, 'v'));
+  for (const auto& ci : dfs.chunks("/f"))
+    for (int n : ci.replicas) ASSERT_NE(n, 3);
+  dfs.revive_node(3);
+  dfs.put("/g", std::string(4096, 'w'));  // node 3 is now the least loaded
+  bool used = false;
+  for (const auto& ci : dfs.chunks("/g"))
+    for (int n : ci.replicas) used |= (n == 3);
+  EXPECT_TRUE(used);
+}
+
+TEST(Dfs, PlacementIsDeterministicForSameSeed) {
+  auto run = [] {
+    Dfs dfs(small_cluster(8, 8));
+    dfs.put("/f", std::string(128, 'd'));
+    std::vector<std::vector<int>> placement;
+    for (const auto& ci : dfs.chunks("/f")) placement.push_back(ci.replicas);
+    return placement;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Dfs, LoadBalancesAcrossNodes) {
+  // Many chunks: every node should hold at least one replica.
+  Dfs dfs(small_cluster(8, 4));
+  dfs.put("/big", std::string(4000, 'L'));
+  std::set<int> used;
+  for (const auto& ci : dfs.chunks("/big"))
+    for (int n : ci.replicas) used.insert(n);
+  EXPECT_EQ(used.size(), 8u);
+}
+
+}  // namespace
+}  // namespace gepeto::mr

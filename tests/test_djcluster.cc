@@ -1,0 +1,327 @@
+// Tests for DJ-Cluster (paper Section VII): preprocessing filters,
+// neighborhood/merge semantics, sequential vs MapReduce agreement, and the
+// Table-IV-style behaviour on sampled synthetic data.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geo/distance.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+using geo::GeolocatedDataset;
+using geo::MobilityTrace;
+using geo::Trail;
+
+mr::ClusterConfig small_cluster(std::size_t chunk = 1 << 26) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  return c;
+}
+
+MobilityTrace at(std::int32_t uid, std::int64_t ts, double lat, double lon) {
+  return {uid, lat, lon, 150.0, ts};
+}
+
+/// Offset a base point by meters (approximate, city scale).
+MobilityTrace near(std::int32_t uid, std::int64_t ts, double north_m,
+                   double east_m) {
+  const double lat = 39.9 + north_m / 111320.0;
+  const double lon = 116.4 + east_m / (111320.0 * std::cos(39.9 * M_PI / 180));
+  return at(uid, ts, lat, lon);
+}
+
+TEST(PackTraceId, RoundTrip) {
+  for (std::int32_t uid : {0, 1, 177, 100000}) {
+    for (std::int64_t ts : {std::int64_t{0}, std::int64_t{1'222'819'200},
+                            (std::int64_t{1} << 40) - 1}) {
+      std::int32_t u;
+      std::int64_t t;
+      unpack_trace_id(pack_trace_id(uid, ts), u, t);
+      EXPECT_EQ(u, uid);
+      EXPECT_EQ(t, ts);
+    }
+  }
+}
+
+TEST(FilterMoving, KeepsStationaryDropsMoving) {
+  // Stationary at origin for 3 samples, then a fast leg, then stationary.
+  Trail trail{near(1, 0, 0, 0),    near(1, 60, 1, 0),  near(1, 120, 0, 1),
+              near(1, 180, 600, 0),  // 10 m/s leg midpointish
+              near(1, 240, 1200, 0), near(1, 300, 1201, 0),
+              near(1, 360, 1200, 1)};
+  const auto kept = filter_moving(trail, 2.0);
+  // Traces 0-2 are stationary; 3 and 4 are moving (symmetric difference spans
+  // the fast leg); 5-6 stationary again.
+  std::set<std::int64_t> ts;
+  for (const auto& t : kept) ts.insert(t.timestamp);
+  EXPECT_TRUE(ts.count(0));
+  EXPECT_TRUE(ts.count(60));
+  EXPECT_FALSE(ts.count(180));
+  EXPECT_FALSE(ts.count(240));
+  EXPECT_TRUE(ts.count(360));
+}
+
+TEST(FilterMoving, SingleTraceIsStationary) {
+  Trail trail{near(1, 0, 0, 0)};
+  EXPECT_EQ(filter_moving(trail, 2.0).size(), 1u);
+}
+
+TEST(FilterMoving, EmptyTrail) {
+  EXPECT_TRUE(filter_moving({}, 2.0).empty());
+}
+
+TEST(FilterMoving, AllMovingGivesEmpty) {
+  Trail trail;
+  for (int i = 0; i < 10; ++i)
+    trail.push_back(near(1, i * 10, i * 100.0, 0));  // 10 m/s constantly
+  EXPECT_TRUE(filter_moving(trail, 2.0).empty());
+}
+
+TEST(FilterMoving, ZeroTimeGapWithDisplacementIsDiscarded) {
+  Trail trail{near(1, 0, 0, 0), near(1, 0, 500, 0)};
+  const auto kept = filter_moving(trail, 2.0);
+  // Both traces see an infinite-speed symmetric difference.
+  EXPECT_TRUE(kept.empty());
+}
+
+TEST(RemoveDuplicates, KeepsFirstOfRedundantRun) {
+  Trail trail{near(1, 0, 0, 0), near(1, 60, 0.2, 0.2), near(1, 120, 0.1, 0.3),
+              near(1, 180, 50, 0), near(1, 240, 50.3, 0.2)};
+  const auto kept = remove_duplicates(trail, 1.0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].timestamp, 0);
+  EXPECT_EQ(kept[1].timestamp, 180);
+}
+
+TEST(RemoveDuplicates, DistantTracesAllKept) {
+  Trail trail{near(1, 0, 0, 0), near(1, 60, 10, 0), near(1, 120, 20, 0)};
+  EXPECT_EQ(remove_duplicates(trail, 1.0).size(), 3u);
+}
+
+TEST(RemoveDuplicates, ComparesAgainstLastKeptNotLastSeen) {
+  // Slow drift: each step 0.6 m from the last kept; after two steps the
+  // drift exceeds the radius from the first kept trace.
+  Trail trail{near(1, 0, 0, 0), near(1, 60, 0.6, 0), near(1, 120, 1.2, 0)};
+  const auto kept = remove_duplicates(trail, 1.0);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[1].timestamp, 120);
+}
+
+TEST(Preprocess, PipelineAppliesBothFilters) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {near(1, 0, 0, 0), near(1, 60, 0.3, 0),  // duplicate pair
+                   near(1, 120, 600, 0),                   // moving
+                   near(1, 180, 1200, 0)});
+  const auto out = preprocess(ds, DjClusterConfig{});
+  EXPECT_LT(out.trail(1).size(), 4u);
+}
+
+// --- clustering ---------------------------------------------------------------
+
+/// Two dense sites 1 km apart plus isolated noise points.
+GeolocatedDataset two_sites(int per_site, int noise,
+                            std::uint64_t seed = 91) {
+  gepeto::Rng rng(seed);
+  GeolocatedDataset ds;
+  Trail trail;
+  std::int64_t ts = 1000;
+  for (int i = 0; i < per_site; ++i)
+    trail.push_back(near(1, ts += 60, rng.gaussian(0, 8), rng.gaussian(0, 8)));
+  for (int i = 0; i < per_site; ++i)
+    trail.push_back(
+        near(1, ts += 60, 1000 + rng.gaussian(0, 8), rng.gaussian(0, 8)));
+  for (int i = 0; i < noise; ++i)
+    trail.push_back(near(1, ts += 60, 5000 + i * 900.0, 5000 + i * 700.0));
+  ds.add_trail(1, std::move(trail));
+  return ds;
+}
+
+TEST(DjCluster, FindsTwoDenseSites) {
+  const auto ds = two_sites(30, 5);
+  DjClusterConfig config;
+  config.radius_m = 50;
+  config.min_pts = 8;
+  const auto r = dj_cluster(ds, config);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_EQ(r.clusters[0].members.size(), 30u);
+  EXPECT_EQ(r.clusters[1].members.size(), 30u);
+  EXPECT_EQ(r.noise, 5u);
+  EXPECT_EQ(r.clustered, 60u);
+}
+
+TEST(DjCluster, ClustersAreDisjointAndCoverClustered) {
+  const auto ds = two_sites(25, 7, 92);
+  DjClusterConfig config;
+  config.radius_m = 50;
+  config.min_pts = 5;
+  const auto r = dj_cluster(ds, config);
+  std::set<std::uint64_t> seen;
+  std::uint64_t total = 0;
+  for (const auto& c : r.clusters) {
+    for (auto id : c.members) EXPECT_TRUE(seen.insert(id).second);
+    total += c.members.size();
+    EXPECT_GE(c.members.size(), static_cast<std::size_t>(config.min_pts));
+  }
+  EXPECT_EQ(total, r.clustered);
+  EXPECT_EQ(r.clustered + r.noise, ds.num_traces());
+}
+
+TEST(DjCluster, MinPtsGovernsNoise) {
+  const auto ds = two_sites(10, 0, 93);
+  DjClusterConfig strict;
+  strict.radius_m = 50;
+  strict.min_pts = 11;  // neighborhoods have at most 10 members
+  const auto r = dj_cluster(ds, strict);
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_EQ(r.noise, ds.num_traces());
+}
+
+TEST(DjCluster, ChainOfNeighborhoodsMergesIntoOneCluster) {
+  // Points every 30 m in a line: with r=50 each point's neighborhood chains
+  // into the next, so joinable neighborhoods must merge into one cluster.
+  GeolocatedDataset ds;
+  Trail trail;
+  for (int i = 0; i < 20; ++i) trail.push_back(near(1, 1000 + i, i * 30.0, 0));
+  ds.add_trail(1, std::move(trail));
+  DjClusterConfig config;
+  config.radius_m = 50;
+  config.min_pts = 2;
+  const auto r = dj_cluster(ds, config);
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].members.size(), 20u);
+}
+
+TEST(DjCluster, CentroidNearSiteCenter) {
+  const auto ds = two_sites(40, 0, 94);
+  DjClusterConfig config;
+  config.radius_m = 60;
+  config.min_pts = 10;
+  const auto r = dj_cluster(ds, config);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  // Site A is centered at (39.9, 116.4).
+  const double d = geo::haversine_meters(r.clusters[0].centroid_lat,
+                                         r.clusters[0].centroid_lon, 39.9,
+                                         116.4);
+  EXPECT_LT(d, 30.0);
+}
+
+TEST(DjCluster, EmptyDataset) {
+  const auto r = dj_cluster(GeolocatedDataset{}, DjClusterConfig{});
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_EQ(r.noise, 0u);
+}
+
+// --- MapReduce pipeline ---------------------------------------------------------
+
+TEST(DjMapReduce, PreprocessJobsMatchSequentialWithWholeFileChunks) {
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 3;
+    cfg.duration_days = 8;
+    cfg.seed = 95;
+    return cfg;
+  }());
+  // 1-minute sampling first (Table IV preprocesses the sampled datasets).
+  const auto sampled =
+      downsample(synthetic.data, {60, SamplingTechnique::kUpperLimit});
+
+  DjClusterConfig config;
+
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", sampled, 2);
+  // Reference runs on the same text representation the jobs read (dataset
+  // lines round coordinates to 1e-6 degrees).
+  const auto want = preprocess(geo::dataset_from_dfs(dfs, "/in/"), config);
+  const auto stats =
+      run_preprocess_jobs(dfs, small_cluster(), "/in/", "/dj", config);
+
+  EXPECT_EQ(stats.input_traces, sampled.num_traces());
+  EXPECT_EQ(stats.after_dedup, want.num_traces());
+  const auto got = geo::dataset_from_dfs(dfs, "/dj/preprocessed/");
+  for (auto uid : want.users()) EXPECT_EQ(got.trail(uid), want.trail(uid));
+  // Filters only remove traces.
+  EXPECT_LE(stats.after_filter, stats.input_traces);
+  EXPECT_LE(stats.after_dedup, stats.after_filter);
+}
+
+TEST(DjMapReduce, FullPipelineMatchesSequential) {
+  const auto ds = two_sites(25, 6, 96);
+  DjClusterConfig config;
+  config.radius_m = 50;
+  config.min_pts = 5;
+  // two_sites data is all stationary-ish (60 s apart): preprocessing keeps
+  // nearly everything; compare MR pipeline vs sequential pipeline, both over
+  // the text representation the jobs read.
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto seq_pre = preprocess(geo::dataset_from_dfs(dfs, "/in/"), config);
+  const auto want = dj_cluster(seq_pre, config);
+  const auto got =
+      run_djcluster_jobs(dfs, small_cluster(), "/in/", "/dj", config);
+
+  ASSERT_EQ(got.clusters.clusters.size(), want.clusters.size());
+  for (std::size_t i = 0; i < want.clusters.size(); ++i) {
+    EXPECT_EQ(got.clusters.clusters[i].members, want.clusters[i].members);
+    EXPECT_NEAR(got.clusters.clusters[i].centroid_lat,
+                want.clusters[i].centroid_lat, 1e-9);
+    EXPECT_NEAR(got.clusters.clusters[i].centroid_lon,
+                want.clusters[i].centroid_lon, 1e-9);
+  }
+  EXPECT_EQ(got.clusters.noise, want.noise);
+  EXPECT_EQ(got.clusters.clustered, want.clustered);
+}
+
+TEST(DjMapReduce, SingleReducerIsUsed) {
+  const auto ds = two_sites(20, 2, 97);
+  DjClusterConfig config;
+  config.radius_m = 50;
+  config.min_pts = 5;
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto got =
+      run_djcluster_jobs(dfs, small_cluster(), "/in/", "/dj", config);
+  EXPECT_EQ(got.cluster_job.num_reduce_tasks, 1);
+  EXPECT_GT(got.cluster_job.counters.at("dj.core_traces"), 0);
+}
+
+TEST(DjMapReduce, TableIvShapeOnSyntheticGeoLife) {
+  // Table IV (1-min sampling): moving-trace filter removes ~44% of traces;
+  // duplicate removal then removes under 5%.
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 6;
+    cfg.duration_days = 12;
+    cfg.seed = 98;
+    return cfg;
+  }());
+  const auto sampled =
+      downsample(synthetic.data, {60, SamplingTechnique::kUpperLimit});
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", sampled, 2);
+  const auto stats = run_preprocess_jobs(dfs, small_cluster(), "/in/", "/dj",
+                                         DjClusterConfig{});
+  const double kept = static_cast<double>(stats.after_filter) /
+                      static_cast<double>(stats.input_traces);
+  EXPECT_GT(kept, 0.35);
+  EXPECT_LT(kept, 0.80);
+  const double dedup_removed =
+      1.0 - static_cast<double>(stats.after_dedup) /
+                static_cast<double>(stats.after_filter);
+  EXPECT_LT(dedup_removed, 0.10);
+}
+
+}  // namespace
+}  // namespace gepeto::core

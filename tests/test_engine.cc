@@ -1,0 +1,454 @@
+// End-to-end tests of the MapReduce engine: map-only jobs, full map-reduce
+// jobs (the canonical word count), combiners, partitioning, distributed
+// cache, counters, failure injection, and determinism.
+#include <gtest/gtest.h>
+
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "mapreduce/engine.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig test_cluster(std::size_t chunk = 64) {
+  ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 99;
+  return c;
+}
+
+// --- toy jobs ---------------------------------------------------------------
+
+/// Map-only: keep lines containing the letter 'x'.
+struct KeepXMapper {
+  void map(std::int64_t, std::string_view line, MapOnlyContext& ctx) {
+    if (line.find('x') != std::string_view::npos) {
+      ctx.write(line);
+      ctx.increment("kept");
+    }
+  }
+};
+
+/// Word count mapper/reducer/combiner.
+struct WcMapper {
+  using OutKey = std::string;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view line, MapContext<OutKey, OutValue>& ctx) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) ctx.emit(std::string(line.substr(i, j - i)), 1);
+      i = j;
+    }
+  }
+};
+
+struct WcReducer {
+  void reduce(const std::string& key, std::span<const std::int64_t> values,
+              ReduceContext& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(key + "\t" + std::to_string(sum));
+  }
+};
+
+struct WcCombiner {
+  void combine(const std::string& key, std::span<const std::int64_t> values,
+               MapContext<std::string, std::int64_t>& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.emit(key, sum);
+  }
+};
+
+std::map<std::string, std::int64_t> parse_wordcount(const Dfs& dfs,
+                                                    const std::string& dir) {
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& part : dfs.list(dir + "/")) {
+    std::istringstream in{std::string(dfs.read(part))};
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      counts[line.substr(0, tab)] += std::stoll(line.substr(tab + 1));
+    }
+  }
+  return counts;
+}
+
+const char* kCorpus =
+    "the quick brown fox\n"
+    "jumps over the lazy dog\n"
+    "the dog barks\n"
+    "fox and dog\n";
+
+// --- map-only ---------------------------------------------------------------
+
+TEST(MapOnlyJob, FiltersLinesAcrossChunks) {
+  Dfs dfs(test_cluster(/*chunk=*/8));  // tiny chunks: many map tasks
+  dfs.put("/in/data", "axe\nbob\nxen\nyyy\nmax\n");
+  JobConfig job;
+  job.name = "keepx";
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, test_cluster(8), job,
+                                  [] { return KeepXMapper{}; });
+  // Concatenate the part files in order.
+  std::string all;
+  for (const auto& p : dfs.list("/out/")) all += dfs.read(p);
+  EXPECT_EQ(all, "axe\nxen\nmax\n");
+  EXPECT_EQ(r.map_input_records, 5u);
+  EXPECT_EQ(r.output_records, 3u);
+  EXPECT_EQ(r.counters.at("kept"), 3);
+  EXPECT_GT(r.num_map_tasks, 1);
+}
+
+TEST(MapOnlyJob, OnePartFilePerMapTask) {
+  Dfs dfs(test_cluster(8));
+  dfs.put("/in/data", "axe\nbob\nxen\nyyy\nmax\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, test_cluster(8), job,
+                                  [] { return KeepXMapper{}; });
+  EXPECT_EQ(dfs.list("/out/").size(),
+            static_cast<std::size_t>(r.num_map_tasks));
+}
+
+TEST(MapOnlyJob, MultipleInputFiles) {
+  Dfs dfs(test_cluster(64));
+  dfs.put("/in/a", "x1\n");
+  dfs.put("/in/b", "no\n");
+  dfs.put("/in/c", "x2\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, test_cluster(64), job,
+                                  [] { return KeepXMapper{}; });
+  EXPECT_EQ(r.num_map_tasks, 3);
+  std::string all;
+  for (const auto& p : dfs.list("/out/")) all += dfs.read(p);
+  EXPECT_EQ(all, "x1\nx2\n");
+}
+
+TEST(MapOnlyJob, MissingInputThrows) {
+  Dfs dfs(test_cluster());
+  JobConfig job;
+  job.input = "/does-not-exist";
+  job.output = "/out";
+  EXPECT_THROW(run_map_only_job(dfs, test_cluster(), job,
+                                [] { return KeepXMapper{}; }),
+               gepeto::CheckFailure);
+}
+
+TEST(MapOnlyJob, ReportsSimAndRealTime) {
+  Dfs dfs(test_cluster(8));
+  dfs.put("/in/data", "x\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, test_cluster(8), job,
+                                  [] { return KeepXMapper{}; });
+  EXPECT_GT(r.sim_seconds, 0.0);
+  EXPECT_GE(r.real_seconds, 0.0);
+  EXPECT_EQ(r.sim_seconds,
+            r.sim_startup_seconds + r.sim_map_seconds + r.sim_reduce_seconds);
+}
+
+TEST(MapOnlyJob, OutputDirectoryIsReplaced) {
+  Dfs dfs(test_cluster());
+  dfs.put("/in/data", "x\n");
+  dfs.put("/out/stale", "old stuff");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  run_map_only_job(dfs, test_cluster(), job, [] { return KeepXMapper{}; });
+  EXPECT_FALSE(dfs.exists("/out/stale"));
+}
+
+// --- full map-reduce ---------------------------------------------------------
+
+TEST(MapReduceJob, WordCountSingleReducer) {
+  Dfs dfs(test_cluster(16));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.name = "wc";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 1;
+  const auto r = run_mapreduce_job(dfs, test_cluster(16), job,
+                                   [] { return WcMapper{}; },
+                                   [] { return WcReducer{}; });
+  const auto counts = parse_wordcount(dfs, "/out");
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("dog"), 3);
+  EXPECT_EQ(counts.at("fox"), 2);
+  EXPECT_EQ(counts.at("barks"), 1);
+  EXPECT_EQ(r.num_reduce_tasks, 1);
+  EXPECT_EQ(r.reduce_input_groups, counts.size());
+}
+
+TEST(MapReduceJob, ResultsIdenticalForAnyReducerCount) {
+  for (int reducers : {1, 2, 3, 7}) {
+    Dfs dfs(test_cluster(16));
+    dfs.put("/in/corpus", kCorpus);
+    JobConfig job;
+    job.input = "/in";
+    job.output = "/out";
+    job.num_reducers = reducers;
+    run_mapreduce_job(dfs, test_cluster(16), job, [] { return WcMapper{}; },
+                      [] { return WcReducer{}; });
+    const auto counts = parse_wordcount(dfs, "/out");
+    EXPECT_EQ(counts.at("the"), 3) << reducers;
+    EXPECT_EQ(counts.size(), 10u) << reducers;
+  }
+}
+
+TEST(MapReduceJob, ResultsIdenticalForAnyChunkSize) {
+  std::map<std::string, std::int64_t> reference;
+  for (std::size_t chunk : {4, 9, 16, 1024}) {
+    Dfs dfs(test_cluster(chunk));
+    dfs.put("/in/corpus", kCorpus);
+    JobConfig job;
+    job.input = "/in";
+    job.output = "/out";
+    job.num_reducers = 2;
+    run_mapreduce_job(dfs, test_cluster(chunk), job, [] { return WcMapper{}; },
+                      [] { return WcReducer{}; });
+    const auto counts = parse_wordcount(dfs, "/out");
+    if (reference.empty()) reference = counts;
+    EXPECT_EQ(counts, reference) << "chunk=" << chunk;
+  }
+}
+
+TEST(MapReduceJob, CombinerPreservesResultAndShrinksShuffle) {
+  auto run = [&](bool combine) {
+    Dfs dfs(test_cluster(8));
+    dfs.put("/in/corpus", kCorpus);
+    JobConfig job;
+    job.input = "/in";
+    job.output = "/out";
+    job.num_reducers = 2;
+    job.use_combiner = combine;
+    const auto r = run_mapreduce_job(dfs, test_cluster(8), job,
+                                     [] { return WcMapper{}; },
+                                     [] { return WcReducer{}; },
+                                     [] { return WcCombiner{}; });
+    return std::make_pair(parse_wordcount(dfs, "/out"), r);
+  };
+  const auto [plain_counts, plain] = run(false);
+  const auto [comb_counts, comb] = run(true);
+  EXPECT_EQ(plain_counts, comb_counts);
+  EXPECT_LE(comb.combine_output_records, plain.combine_output_records);
+  EXPECT_LE(comb.shuffle_bytes, plain.shuffle_bytes);
+  EXPECT_EQ(comb.map_output_records, plain.map_output_records);
+}
+
+TEST(MapReduceJob, CountersMergeAcrossPhases) {
+  struct CountingMapper : WcMapper {
+    void map(std::int64_t off, std::string_view line,
+             MapContext<std::string, std::int64_t>& ctx) {
+      ctx.increment("map.lines");
+      WcMapper::map(off, line, ctx);
+    }
+  };
+  struct CountingReducer : WcReducer {
+    void reduce(const std::string& key, std::span<const std::int64_t> values,
+                ReduceContext& ctx) {
+      ctx.increment("reduce.groups");
+      WcReducer::reduce(key, values, ctx);
+    }
+  };
+  Dfs dfs(test_cluster(16));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  const auto r = run_mapreduce_job(dfs, test_cluster(16), job,
+                                   [] { return CountingMapper{}; },
+                                   [] { return CountingReducer{}; });
+  EXPECT_EQ(r.counters.at("map.lines"), 4);
+  EXPECT_EQ(r.counters.at("reduce.groups"),
+            static_cast<std::int64_t>(r.reduce_input_groups));
+}
+
+TEST(MapReduceJob, DistributedCacheIsReadable) {
+  struct CacheMapper {
+    using OutKey = std::string;
+    using OutValue = std::int64_t;
+    std::string prefix;
+    void setup(TaskContext& ctx) {
+      prefix = std::string(ctx.cache_file("/cache/prefix"));
+    }
+    void map(std::int64_t, std::string_view line,
+             MapContext<OutKey, OutValue>& ctx) {
+      ctx.emit(prefix + std::string(line), 1);
+    }
+  };
+  Dfs dfs(test_cluster());
+  dfs.put("/in/data", "a\nb\n");
+  dfs.put("/cache/prefix", ">>");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.cache_files = {"/cache/prefix"};
+  run_mapreduce_job(dfs, test_cluster(), job, [] { return CacheMapper{}; },
+                    [] { return WcReducer{}; });
+  const auto counts = parse_wordcount(dfs, "/out");
+  EXPECT_EQ(counts.at(">>a"), 1);
+  EXPECT_EQ(counts.at(">>b"), 1);
+}
+
+TEST(MapReduceJob, CacheFileNotDeclaredThrows) {
+  struct BadMapper {
+    using OutKey = std::string;
+    using OutValue = std::int64_t;
+    void setup(TaskContext& ctx) { (void)ctx.cache_file("/cache/undeclared"); }
+    void map(std::int64_t, std::string_view, MapContext<OutKey, OutValue>&) {}
+  };
+  Dfs dfs(test_cluster());
+  dfs.put("/in/data", "a\n");
+  dfs.put("/cache/undeclared", "x");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  EXPECT_THROW(run_mapreduce_job(dfs, test_cluster(), job,
+                                 [] { return BadMapper{}; },
+                                 [] { return WcReducer{}; }),
+               gepeto::CheckFailure);
+}
+
+TEST(MapReduceJob, FailureInjectionRecordsAttemptsButPreservesOutput) {
+  Dfs dfs(test_cluster(8));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  job.failures.task_failure_prob = 0.5;
+  const auto r = run_mapreduce_job(dfs, test_cluster(8), job,
+                                   [] { return WcMapper{}; },
+                                   [] { return WcReducer{}; });
+  EXPECT_GT(r.failed_task_attempts, 0);
+  const auto counts = parse_wordcount(dfs, "/out");
+  EXPECT_EQ(counts.at("the"), 3);
+}
+
+TEST(MapReduceJob, FailureInjectionIsDeterministic) {
+  auto run = [&] {
+    Dfs dfs(test_cluster(8));
+    dfs.put("/in/corpus", kCorpus);
+    JobConfig job;
+    job.input = "/in";
+    job.output = "/out";
+    job.failures.task_failure_prob = 0.3;
+    return run_mapreduce_job(dfs, test_cluster(8), job,
+                             [] { return WcMapper{}; },
+                             [] { return WcReducer{}; })
+        .failed_task_attempts;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(MapReduceJob, LocalityCountersCoverAllMapTasks) {
+  Dfs dfs(test_cluster(8));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_mapreduce_job(dfs, test_cluster(8), job,
+                                   [] { return WcMapper{}; },
+                                   [] { return WcReducer{}; });
+  EXPECT_EQ(r.data_local_maps + r.rack_local_maps + r.remote_maps,
+            r.num_map_tasks);
+}
+
+TEST(MapReduceJob, UseCombinerWithoutFactoryThrows) {
+  Dfs dfs(test_cluster());
+  dfs.put("/in/data", "a\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.use_combiner = true;
+  EXPECT_THROW(run_mapreduce_job(dfs, test_cluster(), job,
+                                 [] { return WcMapper{}; },
+                                 [] { return WcReducer{}; }),
+               gepeto::CheckFailure);
+}
+
+TEST(MapReduceJob, PipelinedJobsChainThroughDfs) {
+  // Job 1: word count; job 2: filter counts >= 2 (map-only over job 1 output).
+  struct FilterMapper {
+    void map(std::int64_t, std::string_view line, MapOnlyContext& ctx) {
+      const auto tab = line.find('\t');
+      std::int64_t n = 0;
+      const auto* first = line.data() + tab + 1;
+      std::from_chars(first, line.data() + line.size(), n);
+      if (n >= 2) ctx.write(line);
+    }
+  };
+  Dfs dfs(test_cluster(16));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig j1;
+  j1.input = "/in";
+  j1.output = "/wc";
+  auto r1 = run_mapreduce_job(dfs, test_cluster(16), j1,
+                              [] { return WcMapper{}; },
+                              [] { return WcReducer{}; });
+  JobConfig j2;
+  j2.input = "/wc";
+  j2.output = "/filtered";
+  auto r2 = run_map_only_job(dfs, test_cluster(16), j2,
+                             [] { return FilterMapper{}; });
+  r1.absorb(r2);
+  // The two groupings sum the same terms in different order; allow for
+  // floating-point non-associativity.
+  EXPECT_NEAR(r1.sim_seconds,
+              r1.sim_startup_seconds + r1.sim_map_seconds +
+                  r1.sim_reduce_seconds,
+              1e-9);
+
+  const auto counts = parse_wordcount(dfs, "/filtered");
+  EXPECT_EQ(counts.size(), 3u);  // the, dog, fox
+  EXPECT_EQ(counts.at("the"), 3);
+}
+
+TEST(MapReduceJob, TypedNumericKeysSortNumerically) {
+  // Keys are ints: reduce order must be numeric (2 before 10), proving we do
+  // not stringify keys for the sort.
+  struct IntKeyMapper {
+    using OutKey = int;
+    using OutValue = int;
+    void map(std::int64_t, std::string_view line,
+             MapContext<int, int>& ctx) {
+      ctx.emit(static_cast<int>(std::stoi(std::string(line))), 1);
+    }
+  };
+  struct OrderRecordingReducer {
+    void reduce(const int& key, std::span<const int> values,
+                ReduceContext& ctx) {
+      (void)values;
+      ctx.write(std::to_string(key));
+    }
+  };
+  Dfs dfs(test_cluster());
+  dfs.put("/in/nums", "10\n2\n33\n2\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 1;
+  run_mapreduce_job(dfs, test_cluster(), job, [] { return IntKeyMapper{}; },
+                    [] { return OrderRecordingReducer{}; });
+  EXPECT_EQ(dfs.read("/out/part-r-00000"), "2\n10\n33\n");
+}
+
+}  // namespace
+}  // namespace gepeto::mr

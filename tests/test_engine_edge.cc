@@ -1,0 +1,150 @@
+// Engine edge cases: empty files, empty map outputs, single-record inputs,
+// reducer counts exceeding keys, and speculation flowing through a real job.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mapreduce/engine.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig tiny() {
+  ClusterConfig c;
+  c.num_worker_nodes = 3;
+  c.nodes_per_rack = 2;
+  c.chunk_size = 64;
+  c.execution_threads = 2;
+  return c;
+}
+
+struct NullMapper {
+  void map(std::int64_t, std::string_view, MapOnlyContext&) {}
+};
+
+struct CountMapper {
+  using OutKey = int;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view, MapContext<int, std::int64_t>& ctx) {
+    ctx.emit(0, 1);
+  }
+};
+
+struct SumReducer {
+  void reduce(const int&, std::span<const std::int64_t> values,
+              ReduceContext& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(std::to_string(sum));
+  }
+};
+
+TEST(EngineEdge, EmptyInputFileProducesEmptyOutput) {
+  Dfs dfs(tiny());
+  dfs.put("/in/empty", "");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, tiny(), job, [] { return NullMapper{}; });
+  EXPECT_EQ(r.map_input_records, 0u);
+  EXPECT_EQ(r.output_records, 0u);
+  EXPECT_EQ(r.num_map_tasks, 1);  // the empty chunk still becomes a task
+}
+
+TEST(EngineEdge, MapperEmittingNothingStillWritesEmptyParts) {
+  Dfs dfs(tiny());
+  dfs.put("/in/data", "a\nb\nc\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, tiny(), job, [] { return NullMapper{}; });
+  EXPECT_EQ(r.map_input_records, 3u);
+  EXPECT_EQ(r.output_records, 0u);
+  EXPECT_FALSE(dfs.list("/out/").empty());
+}
+
+TEST(EngineEdge, ReduceJobWithNoMapOutput) {
+  Dfs dfs(tiny());
+  dfs.put("/in/data", "\n\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  struct SilentMapper {
+    using OutKey = int;
+    using OutValue = int;
+    void map(std::int64_t, std::string_view, MapContext<int, int>&) {}
+  };
+  struct NeverReducer {
+    void reduce(const int&, std::span<const int>, ReduceContext& ctx) {
+      ctx.write("should not happen");
+    }
+  };
+  const auto r = run_mapreduce_job(dfs, tiny(), job,
+                                   [] { return SilentMapper{}; },
+                                   [] { return NeverReducer{}; });
+  EXPECT_EQ(r.reduce_input_groups, 0u);
+  EXPECT_EQ(r.output_records, 0u);
+  EXPECT_EQ(r.shuffle_bytes, 0u);
+}
+
+TEST(EngineEdge, MoreReducersThanKeys) {
+  Dfs dfs(tiny());
+  dfs.put("/in/data", "x\ny\nz\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 8;  // only one key exists
+  const auto r = run_mapreduce_job(dfs, tiny(), job,
+                                   [] { return CountMapper{}; },
+                                   [] { return SumReducer{}; });
+  EXPECT_EQ(r.reduce_input_groups, 1u);
+  std::string all;
+  for (const auto& p : dfs.list("/out/")) all += dfs.read(p);
+  EXPECT_EQ(all, "3\n");
+}
+
+TEST(EngineEdge, SingleByteChunksStillExact) {
+  auto c = tiny();
+  c.chunk_size = 1;
+  Dfs dfs(c);
+  dfs.put("/in/data", "q\nr\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_mapreduce_job(dfs, c, job, [] { return CountMapper{}; },
+                                   [] { return SumReducer{}; });
+  EXPECT_EQ(r.map_input_records, 2u);
+  std::string all;
+  for (const auto& p : dfs.list("/out/")) all += dfs.read(p);
+  EXPECT_EQ(all, "2\n");
+}
+
+TEST(EngineEdge, SpeculationFlowsThroughJobResult) {
+  auto c = tiny();
+  c.chunk_size = 2;
+  c.speculative_execution = true;
+  c.node_speed_factor = {5.0, 1.0, 1.0};
+  Dfs dfs(c);
+  dfs.put("/in/data", "a\nb\nc\nd\ne\nf\n");
+  JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, c, job, [] { return NullMapper{}; });
+  EXPECT_GE(r.speculative_copies, 0);
+  EXPECT_EQ(r.map_input_records, 6u);
+}
+
+TEST(EngineEdge, JobNamePropagates) {
+  Dfs dfs(tiny());
+  dfs.put("/in/data", "a\n");
+  JobConfig job;
+  job.name = "my-job";
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = run_map_only_job(dfs, tiny(), job, [] { return NullMapper{}; });
+  EXPECT_EQ(r.job_name, "my-job");
+}
+
+}  // namespace
+}  // namespace gepeto::mr

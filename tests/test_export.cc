@@ -1,0 +1,160 @@
+// Tests for the GeoJSON / heatmap exports: structural validity (balanced
+// JSON, expected feature counts) and content checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "gepeto/export.h"
+
+namespace gepeto::core {
+namespace {
+
+/// A tiny structural JSON check: balanced braces/brackets, no trailing
+/// commas before closers.
+void expect_balanced_json(const std::string& s) {
+  int braces = 0, brackets = 0;
+  char prev = 0;
+  for (char c : s) {
+    if (c == '{') ++braces;
+    if (c == '}') {
+      --braces;
+      EXPECT_NE(prev, ',') << "trailing comma before }";
+    }
+    if (c == '[') ++brackets;
+    if (c == ']') {
+      --brackets;
+      EXPECT_NE(prev, ',') << "trailing comma before ]";
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+    prev = c;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+std::size_t count_occurrences(const std::string& s, const std::string& sub) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = s.find(sub, pos)) != std::string::npos) {
+    ++n;
+    pos += sub.size();
+  }
+  return n;
+}
+
+geo::SyntheticDataset world() {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 3;
+  cfg.duration_days = 8;
+  cfg.trajectories_per_user_min = 8;
+  cfg.trajectories_per_user_max = 12;
+  cfg.seed = 801;
+  return geo::generate_dataset(cfg);
+}
+
+TEST(Export, DatasetGeoJsonHasOneFeaturePerUser) {
+  const auto w = world();
+  const auto json = dataset_to_geojson(w.data);
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "\"type\":\"Feature\""), 3u);
+  EXPECT_EQ(count_occurrences(json, "MultiLineString"), 3u);
+  EXPECT_NE(json.find("\"user\":0"), std::string::npos);
+}
+
+TEST(Export, DatasetGeoJsonThinsLongSegments) {
+  const auto w = world();
+  GeoJsonOptions opts;
+  opts.max_points_per_segment = 10;
+  const auto thin = dataset_to_geojson(w.data, opts);
+  opts.max_points_per_segment = 0;
+  const auto full = dataset_to_geojson(w.data, opts);
+  expect_balanced_json(thin);
+  EXPECT_LT(thin.size(), full.size() / 3);
+}
+
+TEST(Export, EmptyDataset) {
+  const auto json = dataset_to_geojson(geo::GeolocatedDataset{});
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "Feature\""), 0u);
+}
+
+TEST(Export, ClustersGeoJson) {
+  DjClusterResult r;
+  DjCluster c;
+  c.centroid_lat = 39.9;
+  c.centroid_lon = 116.4;
+  c.members = {1, 2, 3};
+  r.clusters.push_back(c);
+  r.clusters.push_back(c);
+  const auto json = clusters_to_geojson(r);
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "\"type\":\"Point\""), 2u);
+  EXPECT_NE(json.find("\"size\":3"), std::string::npos);
+}
+
+TEST(Export, PoisGeoJsonMarksHomeAndWork) {
+  ExtractedPois pois;
+  PoiCandidate p;
+  p.latitude = 39.9;
+  p.longitude = 116.4;
+  p.num_traces = 10;
+  pois.pois = {p, p, p};
+  pois.home_index = 0;
+  pois.work_index = 2;
+  const auto json = pois_to_geojson(pois);
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "\"role\":\"home\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"role\":\"work\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"role\":\"poi\""), 1u);
+}
+
+TEST(Export, GroundTruthGeoJson) {
+  const auto w = world();
+  const auto json = ground_truth_to_geojson(w.profiles);
+  expect_balanced_json(json);
+  std::size_t pois = 0;
+  for (const auto& p : w.profiles) pois += p.pois.size();
+  EXPECT_EQ(count_occurrences(json, "\"type\":\"Point\""), pois);
+  EXPECT_EQ(count_occurrences(json, "\"kind\":\"home\""), 3u);
+}
+
+TEST(Export, ZonesGeoJsonAreClosedPolygons) {
+  const auto json = zones_to_geojson({{39.9, 116.4, 300.0}});
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "Polygon"), 1u);
+  // 24 sides + closing vertex.
+  EXPECT_EQ(count_occurrences(json, "["), 2u + 1u + 25u);
+}
+
+TEST(Export, SocialLinksGeoJson) {
+  const auto w = world();
+  std::vector<SocialEdge> edges{{0, 1, 4, 3600}, {1, 2, 3, 1800}};
+  const auto json = social_links_to_geojson(edges, w.profiles);
+  expect_balanced_json(json);
+  EXPECT_EQ(count_occurrences(json, "LineString"), 2u);
+  EXPECT_NE(json.find("\"meetings\":4"), std::string::npos);
+}
+
+TEST(Export, HeatmapCsv) {
+  const auto w = world();
+  const auto csv = heatmap_csv(w.data, 500.0);
+  EXPECT_EQ(csv.rfind("lat,lon,count\n", 0), 0u);
+  const auto lines = count_occurrences(csv, "\n");
+  EXPECT_GT(lines, 5u);
+  EXPECT_LT(lines, w.data.num_traces());
+  // Total counts across cells must equal the trace count.
+  std::uint64_t total = 0;
+  std::size_t pos = csv.find('\n') + 1;
+  while (pos < csv.size()) {
+    const auto c2 = csv.rfind(',', csv.find('\n', pos));
+    total += std::stoull(csv.substr(c2 + 1));
+    pos = csv.find('\n', pos) + 1;
+  }
+  EXPECT_EQ(total, w.data.num_traces());
+  EXPECT_THROW(heatmap_csv(w.data, 0.0), gepeto::CheckFailure);
+}
+
+}  // namespace
+}  // namespace gepeto::core

@@ -1,0 +1,231 @@
+// Tests for the synthetic GeoLife generator: determinism, structural
+// properties the paper's experiments rely on (many short dense trajectories,
+// stationary/moving mix, POI structure), and the scaling helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/generator.h"
+#include "geo/stats.h"
+#include "geo/time.h"
+
+namespace gepeto::geo {
+namespace {
+
+GeneratorConfig tiny_config(std::uint64_t seed = 7) {
+  GeneratorConfig cfg;
+  cfg.num_users = 6;
+  cfg.duration_days = 20;
+  cfg.trajectories_per_user_min = 20;
+  cfg.trajectories_per_user_max = 30;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Generator, ProducesRequestedUsers) {
+  const auto ds = generate_dataset(tiny_config());
+  EXPECT_EQ(ds.data.num_users(), 6u);
+  EXPECT_EQ(ds.profiles.size(), 6u);
+  for (std::int32_t u = 0; u < 6; ++u) {
+    EXPECT_TRUE(ds.data.has_user(u));
+    EXPECT_FALSE(ds.data.trail(u).empty());
+  }
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const auto a = generate_dataset(tiny_config(5));
+  const auto b = generate_dataset(tiny_config(5));
+  ASSERT_EQ(a.data.num_traces(), b.data.num_traces());
+  for (std::int32_t u = 0; u < 6; ++u) {
+    ASSERT_EQ(a.data.trail(u).size(), b.data.trail(u).size());
+    EXPECT_EQ(a.data.trail(u), b.data.trail(u));
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_dataset(tiny_config(5));
+  const auto b = generate_dataset(tiny_config(6));
+  EXPECT_NE(a.data.trail(0), b.data.trail(0));
+}
+
+TEST(Generator, TimestampsStrictlyIncreasingPerUser) {
+  const auto ds = generate_dataset(tiny_config());
+  for (const auto& [uid, trail] : ds.data) {
+    for (std::size_t i = 1; i < trail.size(); ++i)
+      ASSERT_GT(trail[i].timestamp, trail[i - 1].timestamp)
+          << "user " << uid << " index " << i;
+  }
+}
+
+TEST(Generator, InTrajectorySamplingPeriodWithinConfiguredRange) {
+  const auto cfg = tiny_config();
+  const auto ds = generate_dataset(cfg);
+  const auto stats = compute_stats(ds.data);
+  EXPECT_GE(stats.median_sample_period_s, cfg.sample_period_min_s);
+  EXPECT_LE(stats.median_sample_period_s, cfg.sample_period_max_s);
+}
+
+TEST(Generator, TrajectoriesAreShortDenseBursts) {
+  // GeoLife-like structure: trajectories last minutes, separated by gaps of
+  // at least trajectory_gap_s.
+  const auto cfg = tiny_config();
+  const auto ds = generate_dataset(cfg);
+  for (const auto& [uid, trail] : ds.data) {
+    std::int64_t traj_start = trail.front().timestamp;
+    for (std::size_t i = 1; i <= trail.size(); ++i) {
+      const bool boundary =
+          i == trail.size() ||
+          trail[i].timestamp - trail[i - 1].timestamp > cfg.sample_period_max_s * 2;
+      if (boundary) {
+        const std::int64_t len = trail[i - 1].timestamp - traj_start;
+        EXPECT_LE(len, static_cast<std::int64_t>(
+                           cfg.trajectory_minutes_max * 60.0) +
+                           cfg.sample_period_max_s)
+            << "user " << uid;
+        if (i < trail.size()) {
+          EXPECT_GE(trail[i].timestamp - trail[i - 1].timestamp,
+                    cfg.trajectory_gap_s);
+          traj_start = trail[i].timestamp;
+        }
+      }
+    }
+  }
+}
+
+TEST(Generator, TraceCountPerTrajectoryIsGeoLifeLike) {
+  // GeoLife averages ~110 traces per trajectory.
+  const auto cfg = tiny_config();
+  const auto ds = generate_dataset(cfg);
+  std::size_t trajectories = 0;
+  for (const auto& [uid, trail] : ds.data) {
+    for (std::size_t i = 0; i < trail.size(); ++i) {
+      if (i == 0 ||
+          trail[i].timestamp - trail[i - 1].timestamp > cfg.sample_period_max_s * 2)
+        ++trajectories;
+    }
+  }
+  const double per_traj = static_cast<double>(ds.data.num_traces()) /
+                          static_cast<double>(trajectories);
+  EXPECT_GT(per_traj, 40.0);
+  EXPECT_LT(per_traj, 250.0);
+}
+
+TEST(Generator, TracesStayNearTheCity) {
+  auto cfg = tiny_config();
+  const auto ds = generate_dataset(cfg);
+  for (const auto& [uid, trail] : ds.data) {
+    for (const auto& t : trail) {
+      const double d = haversine_meters(cfg.city_latitude, cfg.city_longitude,
+                                        t.latitude, t.longitude);
+      ASSERT_LE(d, cfg.city_radius_km * 1000.0 * 1.2)
+          << "trace strayed " << d << " m from the city";
+    }
+  }
+}
+
+TEST(Generator, ProfilesHaveHomeWorkAndLeisure) {
+  auto cfg = tiny_config();
+  const auto ds = generate_dataset(cfg);
+  for (const auto& p : ds.profiles) {
+    ASSERT_GE(p.pois.size(), 2u);
+    EXPECT_EQ(p.pois[0].kind, PoiKind::kHome);
+    EXPECT_EQ(p.pois[1].kind, PoiKind::kWork);
+    for (std::size_t i = 2; i < p.pois.size(); ++i)
+      EXPECT_EQ(p.pois[i].kind, PoiKind::kLeisure);
+    EXPECT_GE(static_cast<int>(p.pois.size()) - 2, cfg.leisure_pois_min);
+    EXPECT_LE(static_cast<int>(p.pois.size()) - 2, cfg.leisure_pois_max);
+    // Home and work are a commute apart.
+    EXPECT_GE(haversine_meters(p.pois[0].latitude, p.pois[0].longitude,
+                               p.pois[1].latitude, p.pois[1].longitude),
+              1500.0);
+  }
+}
+
+TEST(Generator, TransitionsAreRowStochastic) {
+  const auto ds = generate_dataset(tiny_config());
+  for (const auto& p : ds.profiles) {
+    ASSERT_EQ(p.transitions.size(), p.pois.size());
+    for (std::size_t i = 0; i < p.transitions.size(); ++i) {
+      double row = 0.0;
+      for (std::size_t j = 0; j < p.transitions[i].size(); ++j) {
+        EXPECT_GE(p.transitions[i][j], 0.0);
+        row += p.transitions[i][j];
+      }
+      EXPECT_NEAR(row, 1.0, 1e-9);
+      EXPECT_DOUBLE_EQ(p.transitions[i][i], 0.0) << "no self transitions";
+    }
+  }
+}
+
+TEST(Generator, ManyTracesNearAGroundTruthPoi) {
+  // Dwell phases put a large share of traces within GPS noise of some POI —
+  // the property DJ-Cluster exploits to extract POIs.
+  const auto ds = generate_dataset(tiny_config());
+  std::size_t near = 0, total = 0;
+  for (const auto& [uid, trail] : ds.data) {
+    const auto& pois = ds.profiles[static_cast<std::size_t>(uid)].pois;
+    for (const auto& t : trail) {
+      ++total;
+      for (const auto& p : pois) {
+        if (haversine_meters(t.latitude, t.longitude, p.latitude,
+                             p.longitude) < 50.0) {
+          ++near;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(near) / static_cast<double>(total), 0.35);
+}
+
+TEST(Generator, StationaryShareMatchesGeoLifeRegime) {
+  // Table IV: ~56% of the (1-minute-sampled) traces are stationary. The
+  // full-density dwell share should be in the same band.
+  const auto ds = generate_dataset(tiny_config());
+  std::size_t slow = 0, total = 0;
+  for (const auto& [uid, trail] : ds.data) {
+    for (std::size_t i = 1; i < trail.size(); ++i) {
+      const auto& a = trail[i - 1];
+      const auto& b = trail[i];
+      const double dt = static_cast<double>(b.timestamp - a.timestamp);
+      if (dt > 60) continue;  // trajectory boundary
+      const double v = equirectangular_meters(a.latitude, a.longitude,
+                                              b.latitude, b.longitude) / dt;
+      ++total;
+      if (v < 2.0) ++slow;
+    }
+  }
+  const double share = static_cast<double>(slow) / static_cast<double>(total);
+  EXPECT_GT(share, 0.35);
+  EXPECT_LT(share, 0.80);
+}
+
+TEST(Generator, ScaledConfigHitsTargetWithin25Percent) {
+  const auto cfg = scaled_config(/*num_users=*/10, /*target_traces=*/60000,
+                                 /*seed=*/11);
+  const auto ds = generate_dataset(cfg);
+  const auto n = static_cast<double>(ds.data.num_traces());
+  EXPECT_GT(n, 0.75 * 60000);
+  EXPECT_LT(n, 1.25 * 60000);
+}
+
+TEST(Generator, RejectsInvalidConfig) {
+  auto cfg = tiny_config();
+  cfg.num_users = 0;
+  EXPECT_THROW(generate_dataset(cfg), gepeto::CheckFailure);
+  cfg = tiny_config();
+  cfg.sample_period_min_s = 0;
+  EXPECT_THROW(generate_dataset(cfg), gepeto::CheckFailure);
+  cfg = tiny_config();
+  cfg.trajectory_minutes_max = cfg.trajectory_minutes_min / 2;
+  EXPECT_THROW(generate_dataset(cfg), gepeto::CheckFailure);
+  cfg = tiny_config();
+  cfg.travel_start_prob = 1.5;
+  EXPECT_THROW(generate_dataset(cfg), gepeto::CheckFailure);
+}
+
+}  // namespace
+}  // namespace gepeto::geo

@@ -1,0 +1,275 @@
+// Tests for distances, dataset containers, the GeoLife format, and dataset
+// statistics.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "geo/stats.h"
+#include "geo/time.h"
+#include "geo/trace.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::geo {
+namespace {
+
+// --- distances ---------------------------------------------------------------
+
+TEST(Distance, HaversineZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(haversine_meters(39.9, 116.4, 39.9, 116.4), 0.0);
+}
+
+TEST(Distance, HaversineKnownValues) {
+  // One degree of latitude is ~111.2 km.
+  EXPECT_NEAR(haversine_meters(0, 0, 1, 0), 111195, 200);
+  // Paris (48.8566, 2.3522) to London (51.5074, -0.1278): ~343.5 km.
+  EXPECT_NEAR(haversine_meters(48.8566, 2.3522, 51.5074, -0.1278), 343500,
+              1500);
+}
+
+TEST(Distance, HaversineSymmetric) {
+  gepeto::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-80, 80), b = rng.uniform(-179, 179);
+    const double c = rng.uniform(-80, 80), d = rng.uniform(-179, 179);
+    EXPECT_DOUBLE_EQ(haversine_meters(a, b, c, d), haversine_meters(c, d, a, b));
+  }
+}
+
+TEST(Distance, HaversineTriangleInequality) {
+  gepeto::Rng rng(32);
+  for (int i = 0; i < 200; ++i) {
+    const double alat = rng.uniform(39, 41), alon = rng.uniform(115, 118);
+    const double blat = rng.uniform(39, 41), blon = rng.uniform(115, 118);
+    const double clat = rng.uniform(39, 41), clon = rng.uniform(115, 118);
+    const double ab = haversine_meters(alat, alon, blat, blon);
+    const double bc = haversine_meters(blat, blon, clat, clon);
+    const double ac = haversine_meters(alat, alon, clat, clon);
+    EXPECT_LE(ac, ab + bc + 1e-6);
+  }
+}
+
+TEST(Distance, SquaredEuclideanPreservesEuclideanOrder) {
+  gepeto::Rng rng(33);
+  for (int i = 0; i < 500; ++i) {
+    const double q[2] = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double a[2] = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const double b[2] = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    const bool closer_sq = squared_euclidean_deg(q[0], q[1], a[0], a[1]) <
+                           squared_euclidean_deg(q[0], q[1], b[0], b[1]);
+    const bool closer_eu = euclidean_deg(q[0], q[1], a[0], a[1]) <
+                           euclidean_deg(q[0], q[1], b[0], b[1]);
+    EXPECT_EQ(closer_sq, closer_eu);
+  }
+}
+
+TEST(Distance, ManhattanDominatesEuclidean) {
+  gepeto::Rng rng(34);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-5, 5), b = rng.uniform(-5, 5);
+    const double c = rng.uniform(-5, 5), d = rng.uniform(-5, 5);
+    EXPECT_GE(manhattan_deg(a, b, c, d) + 1e-12, euclidean_deg(a, b, c, d));
+  }
+}
+
+TEST(Distance, EquirectangularMatchesHaversineAtCityScale) {
+  gepeto::Rng rng(35);
+  for (int i = 0; i < 200; ++i) {
+    const double lat = rng.uniform(39.8, 40.0), lon = rng.uniform(116.3, 116.5);
+    const double lat2 = lat + rng.uniform(-0.02, 0.02);
+    const double lon2 = lon + rng.uniform(-0.02, 0.02);
+    const double h = haversine_meters(lat, lon, lat2, lon2);
+    const double e = equirectangular_meters(lat, lon, lat2, lon2);
+    EXPECT_NEAR(e, h, std::max(1.0, 0.005 * h));
+  }
+}
+
+TEST(Distance, DispatchAndNames) {
+  for (auto kind :
+       {DistanceKind::kSquaredEuclidean, DistanceKind::kEuclidean,
+        DistanceKind::kManhattan, DistanceKind::kHaversine}) {
+    EXPECT_EQ(distance_from_name(distance_name(kind)), kind);
+    EXPECT_GE(distance(kind, 0, 0, 1, 1), 0.0);
+  }
+  EXPECT_THROW(distance_from_name("Chebyshev"), gepeto::CheckFailure);
+}
+
+// --- dataset container --------------------------------------------------------
+
+TEST(GeolocatedDataset, AddAndQuery) {
+  GeolocatedDataset ds;
+  ds.add({7, 39.9, 116.4, 100, 1000});
+  ds.add({7, 39.91, 116.41, 100, 1010});
+  ds.add({3, 40.0, 116.0, 100, 500});
+  EXPECT_EQ(ds.num_users(), 2u);
+  EXPECT_EQ(ds.num_traces(), 3u);
+  EXPECT_TRUE(ds.has_user(7));
+  EXPECT_FALSE(ds.has_user(8));
+  EXPECT_EQ(ds.trail(7).size(), 2u);
+  EXPECT_EQ(ds.users(), (std::vector<std::int32_t>{3, 7}));
+  EXPECT_EQ(ds.all_traces().front().user_id, 3);
+}
+
+// --- GeoLife format ------------------------------------------------------------
+
+MobilityTrace sample_trace() {
+  MobilityTrace t;
+  t.user_id = 42;
+  t.latitude = 39.906631;
+  t.longitude = 116.385564;
+  t.altitude_ft = 492;
+  t.timestamp = to_unix_seconds({2008, 10, 24, 2, 49, 30});
+  return t;
+}
+
+TEST(Geolife, PltLineMatchesPaperExample) {
+  // Fig. 1 of the paper shows lat,lon,0,alt,daynumber,date,time.
+  const std::string line = plt_line(sample_trace());
+  EXPECT_EQ(line.substr(0, 29), "39.906631,116.385564,0,492,39");
+  EXPECT_NE(line.find("2008-10-24,02:49:30"), std::string::npos);
+}
+
+TEST(Geolife, PltParseRoundTrip) {
+  const auto t = sample_trace();
+  MobilityTrace back;
+  ASSERT_TRUE(parse_plt_line(plt_line(t), t.user_id, back));
+  EXPECT_EQ(back.user_id, 42);
+  EXPECT_NEAR(back.latitude, t.latitude, 1e-6);
+  EXPECT_NEAR(back.longitude, t.longitude, 1e-6);
+  EXPECT_EQ(back.timestamp, t.timestamp);
+  EXPECT_DOUBLE_EQ(back.altitude_ft, 492);
+}
+
+TEST(Geolife, PltPrintParsePrintIsIdempotent) {
+  gepeto::Rng rng(41);
+  for (int i = 0; i < 300; ++i) {
+    MobilityTrace t;
+    t.user_id = 1;
+    t.latitude = rng.uniform(-80, 80);
+    t.longitude = rng.uniform(-179, 179);
+    t.altitude_ft = std::floor(rng.uniform(-200, 10000));
+    t.timestamp = rng.uniform_int(1'100'000'000, 1'400'000'000);
+    const std::string once = plt_line(t);
+    MobilityTrace p;
+    ASSERT_TRUE(parse_plt_line(once, 1, p));
+    EXPECT_EQ(plt_line(p), once);
+  }
+}
+
+TEST(Geolife, DatasetLineRoundTrip) {
+  const auto t = sample_trace();
+  MobilityTrace back;
+  ASSERT_TRUE(parse_dataset_line(dataset_line(t), back));
+  EXPECT_EQ(back.user_id, 42);
+  EXPECT_EQ(back.timestamp, t.timestamp);
+  EXPECT_NEAR(back.latitude, t.latitude, 1e-6);
+}
+
+TEST(Geolife, ParseRejectsMalformedLines) {
+  MobilityTrace t;
+  EXPECT_FALSE(parse_plt_line("", 1, t));
+  EXPECT_FALSE(parse_plt_line("39.9,116.4,0,492", 1, t));  // too few fields
+  EXPECT_FALSE(parse_plt_line("39.9,116.4,0,492,39745.1,2008-10-24,02:49:30,extra",
+                              1, t));
+  EXPECT_FALSE(parse_plt_line("abc,116.4,0,492,39745.1,2008-10-24,02:49:30", 1, t));
+  EXPECT_FALSE(parse_plt_line("99.9,116.4,0,492,39745.1,2008-10-24,02:49:30", 1,
+                              t));  // latitude out of range
+  EXPECT_FALSE(parse_dataset_line("x,39.9,116.4,0,492,39745.1,2008-10-24,02:49:30",
+                                  t));
+}
+
+TEST(Geolife, MalformedDateFallsBackToDayNumber) {
+  MobilityTrace t;
+  ASSERT_TRUE(
+      parse_plt_line("39.9,116.4,0,492,39745.1174768519,garbage,junk!!!", 1, t));
+  EXPECT_EQ(t.timestamp, from_geolife_days(39745.1174768519));
+}
+
+TEST(Geolife, HeaderHasSixLines) {
+  const std::string h = plt_header();
+  EXPECT_EQ(std::count(h.begin(), h.end(), '\n'), 6);
+  EXPECT_NE(h.find("Geolife trajectory"), std::string::npos);
+}
+
+TEST(Geolife, DfsRoundTrip) {
+  mr::ClusterConfig cc;
+  cc.num_worker_nodes = 4;
+  cc.chunk_size = 256;  // force multiple chunks
+  mr::Dfs dfs(cc);
+
+  GeolocatedDataset ds;
+  gepeto::Rng rng(42);
+  for (std::int32_t uid = 0; uid < 5; ++uid) {
+    Trail trail;
+    std::int64_t ts = 1'222'819'200 + uid * 1000;
+    for (int i = 0; i < 20; ++i) {
+      MobilityTrace t;
+      t.user_id = uid;
+      t.latitude = 39.9 + rng.uniform(-0.1, 0.1);
+      t.longitude = 116.4 + rng.uniform(-0.1, 0.1);
+      t.altitude_ft = 150;
+      t.timestamp = ts;
+      ts += rng.uniform_int(1, 5);
+      trail.push_back(t);
+    }
+    ds.add_trail(uid, std::move(trail));
+  }
+
+  dataset_to_dfs(dfs, "/geolife", ds, /*num_files=*/3);
+  EXPECT_EQ(dfs.list("/geolife/").size(), 3u);
+  EXPECT_EQ(count_dfs_records(dfs, "/geolife/"), 100u);
+
+  const auto back = dataset_from_dfs(dfs, "/geolife/");
+  EXPECT_EQ(back.num_users(), 5u);
+  EXPECT_EQ(back.num_traces(), 100u);
+  for (std::int32_t uid = 0; uid < 5; ++uid) {
+    const auto& a = ds.trail(uid);
+    const auto& b = back.trail(uid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+      EXPECT_NEAR(a[i].latitude, b[i].latitude, 1e-6);
+      EXPECT_NEAR(a[i].longitude, b[i].longitude, 1e-6);
+    }
+  }
+}
+
+TEST(Geolife, DfsWriteWithMoreFilesThanUsers) {
+  mr::ClusterConfig cc;
+  cc.num_worker_nodes = 2;
+  mr::Dfs dfs(cc);
+  GeolocatedDataset ds;
+  ds.add({0, 39.9, 116.4, 100, 1000});
+  dataset_to_dfs(dfs, "/g", ds, /*num_files=*/8);
+  EXPECT_EQ(dfs.list("/g/").size(), 1u);
+  EXPECT_EQ(dataset_from_dfs(dfs, "/g/").num_traces(), 1u);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(Stats, EmptyDataset) {
+  const auto s = compute_stats(GeolocatedDataset{});
+  EXPECT_EQ(s.num_traces, 0u);
+  EXPECT_EQ(s.num_users, 0u);
+}
+
+TEST(Stats, BasicAggregates) {
+  GeolocatedDataset ds;
+  ds.add({1, 39.0, 116.0, 0, 1000});
+  ds.add({1, 39.5, 116.2, 0, 1002});
+  ds.add({2, 40.0, 117.0, 0, 900});
+  const auto s = compute_stats(ds);
+  EXPECT_EQ(s.num_users, 2u);
+  EXPECT_EQ(s.num_traces, 3u);
+  EXPECT_EQ(s.earliest, 900);
+  EXPECT_EQ(s.latest, 1002);
+  EXPECT_DOUBLE_EQ(s.min_latitude, 39.0);
+  EXPECT_DOUBLE_EQ(s.max_longitude, 117.0);
+  EXPECT_DOUBLE_EQ(s.median_sample_period_s, 2.0);
+  EXPECT_GT(s.total_distance_km, 50.0);  // 0.5 deg lat hop is ~58 km
+  EXPECT_FALSE(describe(s).empty());
+}
+
+}  // namespace
+}  // namespace gepeto::geo

@@ -1,0 +1,121 @@
+// Tests for civil/Unix/GeoLife time conversions.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geo/time.h"
+
+namespace gepeto::geo {
+namespace {
+
+TEST(CivilTime, EpochIsZero) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(to_unix_seconds({1970, 1, 1, 0, 0, 0}), 0);
+}
+
+TEST(CivilTime, KnownDates) {
+  EXPECT_EQ(days_from_civil(2000, 3, 1), 11017);
+  EXPECT_EQ(days_from_civil(1899, 12, 30), -25569);  // the OLE epoch
+  // GeoLife's own example: 2008-10-24 02:49:30 has day number 39745.1177...
+  const std::int64_t ts = to_unix_seconds({2008, 10, 24, 2, 49, 30});
+  EXPECT_NEAR(to_geolife_days(ts), 39745.1177, 0.0005);
+}
+
+TEST(CivilTime, RoundTripDays) {
+  for (std::int64_t d : {-25569, -1, 0, 1, 10000, 14000, 20000}) {
+    int y, m, day;
+    civil_from_days(d, y, m, day);
+    EXPECT_EQ(days_from_civil(y, m, day), d);
+  }
+}
+
+TEST(CivilTime, LeapYearHandling) {
+  EXPECT_EQ(days_from_civil(2008, 2, 29) + 1, days_from_civil(2008, 3, 1));
+  EXPECT_EQ(days_from_civil(2000, 2, 29) + 1, days_from_civil(2000, 3, 1));
+  // 1900 was not a leap year.
+  EXPECT_EQ(days_from_civil(1900, 2, 28) + 1, days_from_civil(1900, 3, 1));
+}
+
+TEST(CivilTime, UnixRoundTripRandom) {
+  gepeto::Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t ts = rng.uniform_int(0, 2'000'000'000);
+    EXPECT_EQ(to_unix_seconds(from_unix_seconds(ts)), ts);
+  }
+}
+
+TEST(CivilTime, NegativeTimestamps) {
+  const CivilTime ct = from_unix_seconds(-1);
+  EXPECT_EQ(ct.year, 1969);
+  EXPECT_EQ(ct.month, 12);
+  EXPECT_EQ(ct.day, 31);
+  EXPECT_EQ(ct.second, 59);
+}
+
+TEST(GeolifeDays, RoundTripToTheSecond) {
+  gepeto::Rng rng(22);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t ts = rng.uniform_int(1'100'000'000, 1'400'000'000);
+    EXPECT_EQ(from_geolife_days(to_geolife_days(ts)), ts);
+  }
+}
+
+TEST(Format, DateAndTime) {
+  const CivilTime ct{2008, 10, 24, 2, 49, 30};
+  EXPECT_EQ(format_date(ct), "2008-10-24");
+  EXPECT_EQ(format_time(ct), "02:49:30");
+}
+
+TEST(Parse, ValidDateAndTime) {
+  CivilTime ct;
+  EXPECT_TRUE(parse_date("2008-10-24", ct));
+  EXPECT_TRUE(parse_time("02:49:30", ct));
+  EXPECT_EQ(ct, (CivilTime{2008, 10, 24, 2, 49, 30}));
+}
+
+TEST(Parse, RejectsMalformedInput) {
+  CivilTime ct;
+  EXPECT_FALSE(parse_date("2008/10/24", ct));
+  EXPECT_FALSE(parse_date("2008-13-01", ct));
+  EXPECT_FALSE(parse_date("2008-00-01", ct));
+  EXPECT_FALSE(parse_date("08-10-24", ct));
+  EXPECT_FALSE(parse_date("", ct));
+  EXPECT_FALSE(parse_time("2:49:30", ct));
+  EXPECT_FALSE(parse_time("25:00:00", ct));
+  EXPECT_FALSE(parse_time("02-49-30", ct));
+  EXPECT_FALSE(parse_time("02:61:30", ct));
+}
+
+TEST(Parse, FormatParseRoundTrip) {
+  gepeto::Rng rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const auto ct = from_unix_seconds(rng.uniform_int(0, 2'000'000'000));
+    CivilTime back_d, back_t;
+    ASSERT_TRUE(parse_date(format_date(ct), back_d));
+    ASSERT_TRUE(parse_time(format_time(ct), back_t));
+    EXPECT_EQ(back_d.year, ct.year);
+    EXPECT_EQ(back_d.month, ct.month);
+    EXPECT_EQ(back_d.day, ct.day);
+    EXPECT_EQ(back_t.hour, ct.hour);
+    EXPECT_EQ(back_t.minute, ct.minute);
+    EXPECT_EQ(back_t.second, ct.second);
+  }
+}
+
+TEST(DayOfWeek, KnownDays) {
+  // 1970-01-01 was a Thursday (Monday = 0 -> 3).
+  EXPECT_EQ(day_of_week(0), 3);
+  // 2008-10-24 was a Friday.
+  EXPECT_EQ(day_of_week(to_unix_seconds({2008, 10, 24, 12, 0, 0})), 4);
+  // 2026-07-05 is a Sunday.
+  EXPECT_EQ(day_of_week(to_unix_seconds({2026, 7, 5, 0, 0, 0})), 6);
+}
+
+TEST(SecondsOfDay, WrapsCorrectly) {
+  EXPECT_EQ(seconds_of_day(0), 0);
+  EXPECT_EQ(seconds_of_day(86399), 86399);
+  EXPECT_EQ(seconds_of_day(86400), 0);
+  EXPECT_EQ(seconds_of_day(-1), 86399);
+}
+
+}  // namespace
+}  // namespace gepeto::geo

@@ -1,0 +1,97 @@
+// Integration tests of the Gepeto facade: the full toolkit driven through
+// the public API, chaining sampling -> preprocessing -> clustering ->
+// sanitization on one simulated cluster.
+#include <gtest/gtest.h>
+
+#include "geo/generator.h"
+#include "gepeto/gepeto.h"
+#include "gepeto/metrics.h"
+
+namespace gepeto::core {
+namespace {
+
+mr::ClusterConfig paper_cluster() {
+  // The paper's deployment: 7 worker nodes (plus dedicated namenode and
+  // jobtracker, which are implicit in the engine).
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 7;
+  c.chunk_size = 1 << 16;
+  c.execution_threads = 2;
+  return c;
+}
+
+TEST(GepetoFacade, EndToEndPipeline) {
+  const auto world = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 4;
+    cfg.duration_days = 10;
+    cfg.seed = 401;
+    return cfg;
+  }());
+
+  Gepeto gepeto(paper_cluster());
+  gepeto.load_dataset(world.data, "/geolife", 3);
+  const auto initial = gepeto.count_records("/geolife/");
+  EXPECT_EQ(initial, world.data.num_traces());
+
+  // 1-minute down-sampling.
+  const auto sample_job = gepeto.sample("/geolife/", "/sampled",
+                                        {60, SamplingTechnique::kUpperLimit});
+  EXPECT_LT(sample_job.output_records, initial / 5);
+
+  // DJ-Cluster over the sampled data.
+  DjClusterConfig dj;
+  dj.radius_m = 60;
+  dj.min_pts = 5;
+  const auto dj_result = gepeto.djcluster("/sampled/", "/dj", dj);
+  EXPECT_GT(dj_result.clusters.clusters.size(), 0u);
+  EXPECT_LE(dj_result.preprocess.after_dedup,
+            dj_result.preprocess.input_traces);
+
+  // k-means over the sampled data.
+  KMeansConfig km;
+  km.k = 5;
+  km.max_iterations = 10;
+  km.seed = 2;
+  const auto km_result = gepeto.kmeans("/sampled/", "/kmeans", km);
+  EXPECT_EQ(km_result.centroids.size(), 5u);
+  EXPECT_GT(km_result.iterations, 0);
+
+  // R-Tree over the preprocessed data.
+  RTreeMrConfig rt;
+  rt.num_partitions = 4;
+  const auto rt_result =
+      gepeto.build_rtree("/dj/preprocessed/", "/rtree", rt);
+  EXPECT_EQ(rt_result.tree.size(), dj_result.preprocess.after_dedup);
+
+  // Sanitize and measure utility.
+  gepeto.mask("/sampled/", "/masked", 100.0, 3);
+  const auto masked = gepeto.read_dataset("/masked/");
+  const auto sampled = gepeto.read_dataset("/sampled/");
+  const auto util = location_error(sampled, masked);
+  EXPECT_EQ(util.dropped_traces, 0u);
+  EXPECT_GT(util.mean_error_m, 50.0);
+
+  gepeto.round("/sampled/", "/rounded", 500.0);
+  EXPECT_EQ(gepeto.count_records("/rounded/"),
+            sample_job.output_records);
+}
+
+TEST(GepetoFacade, DfsIsSharedAcrossOperations) {
+  const auto world = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 2;
+    cfg.duration_days = 5;
+    cfg.seed = 402;
+    return cfg;
+  }());
+  Gepeto gepeto(paper_cluster());
+  gepeto.load_dataset(world.data, "/a", 1);
+  gepeto.sample("/a/", "/b", {300, SamplingTechnique::kMiddle});
+  gepeto.sample("/b/", "/c", {600, SamplingTechnique::kMiddle});
+  EXPECT_LE(gepeto.count_records("/c/"), gepeto.count_records("/b/"));
+  EXPECT_GT(gepeto.dfs().stats().files, 3u);
+}
+
+}  // namespace
+}  // namespace gepeto::core

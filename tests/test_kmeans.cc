@@ -1,0 +1,271 @@
+// Tests for k-means (paper Section VI): initialization, assignment, the
+// sequential/MapReduce agreement, combiner behaviour, distance metrics, and
+// convergence properties (SSE non-increasing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+using geo::GeolocatedDataset;
+
+mr::ClusterConfig small_cluster(std::size_t chunk = 1 << 16) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  return c;
+}
+
+/// Three well-separated blobs of points.
+GeolocatedDataset blob_dataset(int per_blob = 50, std::uint64_t seed = 5) {
+  gepeto::Rng rng(seed);
+  const double centers[3][2] = {{39.90, 116.40}, {39.95, 116.50}, {40.00, 116.30}};
+  GeolocatedDataset ds;
+  std::int64_t ts = 1'222'819'200;
+  geo::Trail trail;
+  for (int b = 0; b < 3; ++b)
+    for (int i = 0; i < per_blob; ++i)
+      trail.push_back({0, centers[b][0] + rng.gaussian(0, 0.001),
+                       centers[b][1] + rng.gaussian(0, 0.001), 150.0, ts++});
+  ds.add_trail(0, std::move(trail));
+  return ds;
+}
+
+TEST(InitialCentroids, DeterministicAndWithinData) {
+  const auto ds = blob_dataset();
+  const auto a = initial_centroids(ds, 5, 1);
+  const auto b = initial_centroids(ds, 5, 1);
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a[i].latitude, b[i].latitude);
+    EXPECT_DOUBLE_EQ(a[i].longitude, b[i].longitude);
+    EXPECT_GE(a[i].latitude, 39.8);
+    EXPECT_LE(a[i].latitude, 40.1);
+  }
+  const auto c = initial_centroids(ds, 5, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 5; ++i)
+    any_diff |= (a[i].latitude != c[i].latitude);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(InitialCentroids, RequiresEnoughTraces) {
+  GeolocatedDataset ds;
+  ds.add({0, 39.9, 116.4, 0, 1});
+  EXPECT_THROW(initial_centroids(ds, 2, 1), gepeto::CheckFailure);
+}
+
+TEST(NearestCentroid, TiesGoToLowestIndex) {
+  const std::vector<Centroid> cs{{0.0, 0.0}, {0.0, 2.0}};
+  // Point equidistant from both.
+  EXPECT_EQ(nearest_centroid(cs, geo::DistanceKind::kSquaredEuclidean, 0.0,
+                             1.0),
+            0u);
+}
+
+TEST(NearestCentroid, RespectsMetric) {
+  // Manhattan and Euclidean can disagree: point (0.9, 0.9) vs centroids
+  // (1.5, 0) and (1.1, 1.1).
+  const std::vector<Centroid> cs{{1.5, 0.0}, {1.1, 1.1}};
+  EXPECT_EQ(nearest_centroid(cs, geo::DistanceKind::kEuclidean, 0.9, 0.9), 1u);
+  EXPECT_EQ(nearest_centroid(cs, geo::DistanceKind::kSquaredEuclidean, 0.9,
+                             0.9),
+            1u);
+}
+
+TEST(CentroidLines, RoundTrip) {
+  const std::vector<Centroid> cs{{39.9, 116.4}, {40.0, 116.5}};
+  const auto back = centroids_from_lines(centroids_to_lines(cs));
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back[1].longitude, 116.5);
+  EXPECT_THROW(centroids_from_lines("not,a,centroid,line,x"),
+               gepeto::CheckFailure);
+}
+
+TEST(KMeansSequential, RecoversWellSeparatedBlobs) {
+  const auto ds = blob_dataset(80);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 3;
+  config.kmeanspp_init = true;  // uniform init can collapse two blobs
+  config.max_iterations = 50;
+  const auto r = kmeans_sequential(ds, config);
+  EXPECT_TRUE(r.converged);
+  // Every blob center should be within ~300 m of some centroid.
+  for (const auto& center :
+       {std::pair{39.90, 116.40}, {39.95, 116.50}, {40.00, 116.30}}) {
+    double best = 1e18;
+    for (const auto& c : r.centroids)
+      best = std::min(best, geo::haversine_meters(center.first, center.second,
+                                                  c.latitude, c.longitude));
+    EXPECT_LT(best, 300.0);
+  }
+  std::uint64_t total = 0;
+  for (auto s : r.cluster_sizes) total += s;
+  EXPECT_EQ(total, ds.num_traces());
+}
+
+TEST(KMeansSequential, SseNonIncreasingWithIterations) {
+  const auto ds = blob_dataset(60, 9);
+  double prev_sse = 1e18;
+  for (int iters = 1; iters <= 6; ++iters) {
+    KMeansConfig config;
+    config.k = 3;
+    config.seed = 4;
+    config.max_iterations = iters;
+    config.convergence_delta_m = 0.0;  // never early-stop
+    const auto r = kmeans_sequential(ds, config);
+    EXPECT_LE(r.sse, prev_sse * (1 + 1e-9)) << "at iteration " << iters;
+    prev_sse = r.sse;
+  }
+}
+
+TEST(KMeansSequential, KmeansPpInitConverges) {
+  const auto ds = blob_dataset(60, 10);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 5;
+  config.kmeanspp_init = true;
+  const auto r = kmeans_sequential(ds, config);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(KMeansSequential, KEqualsOneAveragesEverything) {
+  const auto ds = blob_dataset(20, 11);
+  KMeansConfig config;
+  config.k = 1;
+  config.max_iterations = 10;
+  const auto r = kmeans_sequential(ds, config);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.cluster_sizes[0], ds.num_traces());
+}
+
+TEST(KMeansMapReduce, MatchesSequentialTrajectory) {
+  const auto ds = blob_dataset(60, 12);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 6;
+  config.max_iterations = 8;
+  config.convergence_delta_m = 0.0;  // run all 8 iterations in both paths
+
+  const auto seq = kmeans_sequential(ds, config);
+
+  mr::Dfs dfs(small_cluster(4096));
+  geo::dataset_to_dfs(dfs, "/in", ds, 2);
+  const auto mr_r = kmeans_mapreduce(dfs, small_cluster(4096), "/in/",
+                                     "/clusters", config);
+
+  EXPECT_EQ(mr_r.iterations, seq.iterations);
+  ASSERT_EQ(mr_r.centroids.size(), seq.centroids.size());
+  for (std::size_t i = 0; i < seq.centroids.size(); ++i) {
+    EXPECT_NEAR(mr_r.centroids[i].latitude, seq.centroids[i].latitude, 1e-7);
+    EXPECT_NEAR(mr_r.centroids[i].longitude, seq.centroids[i].longitude, 1e-7);
+  }
+  EXPECT_NEAR(mr_r.sse, seq.sse, seq.sse * 1e-6 + 1e-12);
+}
+
+TEST(KMeansMapReduce, CombinerDoesNotChangeResultButShrinksShuffle) {
+  const auto ds = blob_dataset(60, 13);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 7;
+  config.max_iterations = 4;
+  config.convergence_delta_m = 0.0;
+
+  mr::Dfs dfs1(small_cluster(4096));
+  geo::dataset_to_dfs(dfs1, "/in", ds, 2);
+  const auto plain = kmeans_mapreduce(dfs1, small_cluster(4096), "/in/",
+                                      "/clusters", config);
+
+  config.use_combiner = true;
+  mr::Dfs dfs2(small_cluster(4096));
+  geo::dataset_to_dfs(dfs2, "/in", ds, 2);
+  const auto combined = kmeans_mapreduce(dfs2, small_cluster(4096), "/in/",
+                                         "/clusters", config);
+
+  ASSERT_EQ(plain.centroids.size(), combined.centroids.size());
+  for (std::size_t i = 0; i < plain.centroids.size(); ++i) {
+    EXPECT_NEAR(plain.centroids[i].latitude, combined.centroids[i].latitude,
+                1e-9);
+    EXPECT_NEAR(plain.centroids[i].longitude, combined.centroids[i].longitude,
+                1e-9);
+  }
+  EXPECT_LT(combined.totals.shuffle_bytes, plain.totals.shuffle_bytes / 4);
+}
+
+TEST(KMeansMapReduce, HaversineAndEuclideanBothCluster) {
+  const auto ds = blob_dataset(40, 14);
+  for (auto kind : {geo::DistanceKind::kSquaredEuclidean,
+                    geo::DistanceKind::kHaversine}) {
+    KMeansConfig config;
+    config.k = 3;
+    config.seed = 8;
+    config.distance = kind;
+    config.max_iterations = 20;
+    mr::Dfs dfs(small_cluster());
+    geo::dataset_to_dfs(dfs, "/in", ds, 1);
+    const auto r =
+        kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", config);
+    std::uint64_t total = 0;
+    for (auto s : r.cluster_sizes) total += s;
+    EXPECT_EQ(total, ds.num_traces()) << geo::distance_name(kind);
+  }
+}
+
+TEST(KMeansMapReduce, PerIterationStatsRecorded) {
+  const auto ds = blob_dataset(30, 15);
+  KMeansConfig config;
+  config.k = 2;
+  config.seed = 9;
+  config.max_iterations = 3;
+  config.convergence_delta_m = 0.0;
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto r =
+      kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", config);
+  ASSERT_EQ(r.per_iteration.size(), 3u);
+  for (const auto& it : r.per_iteration) {
+    EXPECT_GT(it.sim_seconds, 0.0);
+    EXPECT_GT(it.shuffle_bytes, 0u);
+  }
+  // Clusters files written per iteration: iter-000 .. iter-003.
+  EXPECT_EQ(dfs.list("/clusters/iter-").size(), 4u);
+}
+
+TEST(KMeansMapReduce, ConvergenceStopsEarly) {
+  const auto ds = blob_dataset(50, 16);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 10;
+  config.max_iterations = 100;
+  config.convergence_delta_m = 50.0;  // generous: converges quickly
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto r =
+      kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", config);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.iterations, 100);
+}
+
+TEST(KMeansConfigValidation, RejectsBadArguments) {
+  const auto ds = blob_dataset(10, 17);
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_THROW(kmeans_sequential(ds, config), gepeto::CheckFailure);
+  config.k = 2;
+  config.max_iterations = 0;
+  EXPECT_THROW(kmeans_sequential(ds, config), gepeto::CheckFailure);
+}
+
+}  // namespace
+}  // namespace gepeto::core

@@ -1,0 +1,157 @@
+// Tests for LineRecordReader, including the exactly-once property over
+// arbitrary chunkings (the Hadoop split-boundary rule).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "mapreduce/record_io.h"
+
+namespace gepeto::mr {
+namespace {
+
+std::vector<std::string> read_split(std::string_view file, std::uint64_t start,
+                                    std::uint64_t len) {
+  LineRecordReader r(file, start, len);
+  std::vector<std::string> lines;
+  while (r.next()) lines.emplace_back(r.value());
+  return lines;
+}
+
+TEST(LineRecordReader, WholeFileSingleSplit) {
+  const std::string file = "one\ntwo\nthree\n";
+  const auto lines = read_split(file, 0, file.size());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[1], "two");
+  EXPECT_EQ(lines[2], "three");
+}
+
+TEST(LineRecordReader, MissingTrailingNewline) {
+  const std::string file = "a\nb";
+  const auto lines = read_split(file, 0, file.size());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(LineRecordReader, EmptyFileYieldsNothing) {
+  EXPECT_TRUE(read_split("", 0, 0).empty());
+}
+
+TEST(LineRecordReader, EmptyLinesArePreserved) {
+  const std::string file = "a\n\nb\n";
+  const auto lines = read_split(file, 0, file.size());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "");
+}
+
+TEST(LineRecordReader, KeyIsByteOffsetOfLine) {
+  const std::string file = "aa\nbbb\nc\n";
+  LineRecordReader r(file, 0, file.size());
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.key(), 0);
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.key(), 3);
+  ASSERT_TRUE(r.next());
+  EXPECT_EQ(r.key(), 7);
+  EXPECT_FALSE(r.next());
+}
+
+TEST(LineRecordReader, SplitNotAtZeroSkipsPartialFirstLine) {
+  const std::string file = "aaaa\nbbbb\ncccc\n";
+  // Split starting mid-"aaaa": the partial line belongs to split 0.
+  const auto lines = read_split(file, 2, file.size() - 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "bbbb");
+}
+
+TEST(LineRecordReader, SplitStartingExactlyAtLineBoundaryKeepsThatLine) {
+  const std::string file = "aaaa\nbbbb\n";
+  // Split starts at offset 5 = start of "bbbb"; previous byte is '\n'.
+  const auto lines = read_split(file, 5, file.size() - 5);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "bbbb");
+}
+
+TEST(LineRecordReader, SplitReadsPastEndToFinishLastLine) {
+  const std::string file = "aaaa\nbbbbbbbb\n";
+  // Split [0, 7): line "bbbbbbbb" starts at 5 (inside) and must be fully read.
+  const auto lines = read_split(file, 0, 7);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "bbbbbbbb");
+  LineRecordReader r(file, 0, 7);
+  while (r.next()) {
+  }
+  EXPECT_EQ(r.overread_bytes(), file.size() - 7);
+}
+
+TEST(LineRecordReader, LineStartingAtSplitEndBelongsToNextSplit) {
+  const std::string file = "aaaa\nbbbb\n";
+  // Split [0,5): owns only "aaaa". Split [5,10): owns "bbbb".
+  EXPECT_EQ(read_split(file, 0, 5).size(), 1u);
+  EXPECT_EQ(read_split(file, 5, 5).size(), 1u);
+}
+
+TEST(LineRecordReader, ZeroLengthSplitInsideLineYieldsNothing) {
+  const std::string file = "abcdef\n";
+  EXPECT_TRUE(read_split(file, 3, 0).empty());
+}
+
+// ---- property: any chunking yields each line exactly once, in order -------
+
+struct ChunkingCase {
+  std::uint64_t seed;
+  std::size_t chunk_size;
+};
+
+class ChunkingProperty : public ::testing::TestWithParam<ChunkingCase> {};
+
+TEST_P(ChunkingProperty, EveryLineExactlyOnce) {
+  const auto param = GetParam();
+  gepeto::Rng rng(param.seed);
+
+  // Random file: lines of random length (possibly empty), last line possibly
+  // without trailing newline.
+  std::vector<std::string> expected;
+  std::string file;
+  const int num_lines = static_cast<int>(rng.uniform_int(1, 200));
+  for (int i = 0; i < num_lines; ++i) {
+    std::string line;
+    const int len = static_cast<int>(rng.uniform_int(0, 30));
+    for (int c = 0; c < len; ++c)
+      line.push_back(static_cast<char>('a' + rng.uniform_u64(26)));
+    expected.push_back(line);
+    file += line;
+    if (i + 1 < num_lines || rng.chance(0.7)) file.push_back('\n');
+  }
+
+  // Cut into fixed-size chunks and read each split independently.
+  std::vector<std::string> got;
+  for (std::uint64_t off = 0; off < file.size(); off += param.chunk_size) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(param.chunk_size, file.size() - off);
+    for (auto& l : read_split(file, off, len)) got.push_back(std::move(l));
+  }
+  EXPECT_EQ(got, expected) << "chunk_size=" << param.chunk_size
+                           << " seed=" << param.seed;
+}
+
+std::vector<ChunkingCase> chunking_cases() {
+  std::vector<ChunkingCase> cases;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    for (std::size_t chunk : {1, 2, 3, 5, 7, 16, 64, 1024})
+      cases.push_back({seed, chunk});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllChunkings, ChunkingProperty,
+                         ::testing::ValuesIn(chunking_cases()),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed) +
+                                  "_chunk" +
+                                  std::to_string(info.param.chunk_size);
+                         });
+
+}  // namespace
+}  // namespace gepeto::mr

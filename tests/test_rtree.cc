@@ -1,0 +1,337 @@
+// Tests for the R-Tree: insertion, STR bulk load, merging, queries checked
+// against brute force, and structural invariants across random workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geo/distance.h"
+#include "index/rtree.h"
+
+namespace gepeto::index {
+namespace {
+
+std::vector<RTreeEntry> random_points(gepeto::Rng& rng, std::size_t n,
+                                      double lat0 = 39.8, double lat1 = 40.0,
+                                      double lon0 = 116.2,
+                                      double lon1 = 116.6) {
+  std::vector<RTreeEntry> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.push_back({rng.uniform(lat0, lat1), rng.uniform(lon0, lon1), i});
+  return pts;
+}
+
+std::vector<std::uint64_t> ids_of(std::vector<RTreeEntry> v) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(v.size());
+  for (const auto& e : v) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<std::uint64_t> brute_force_rect(
+    const std::vector<RTreeEntry>& pts, const Rect& r) {
+  std::vector<std::uint64_t> ids;
+  for (const auto& p : pts)
+    if (r.contains(p.lat, p.lon)) ids.push_back(p.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(Rect, BasicOperations) {
+  Rect r = Rect::of(0, 0, 2, 3);
+  EXPECT_TRUE(r.valid());
+  EXPECT_DOUBLE_EQ(r.area(), 6.0);
+  EXPECT_TRUE(r.contains(1, 1));
+  EXPECT_FALSE(r.contains(3, 1));
+  EXPECT_TRUE(r.intersects(Rect::of(1, 1, 5, 5)));
+  EXPECT_FALSE(r.intersects(Rect::of(3, 4, 5, 5)));
+  EXPECT_DOUBLE_EQ(r.enlargement(Rect::point(4, 0)), 6.0);  // 4x3 - 2x3
+  EXPECT_DOUBLE_EQ(r.min_dist2(0, 5), 4.0);
+  EXPECT_DOUBLE_EQ(r.min_dist2(1, 1), 0.0);
+}
+
+TEST(Rect, DefaultIsInvalidAndExpandFixesIt) {
+  Rect r;
+  EXPECT_FALSE(r.valid());
+  r.expand(Rect::point(1, 2));
+  EXPECT_TRUE(r.valid());
+  EXPECT_DOUBLE_EQ(r.area(), 0.0);
+}
+
+TEST(RTree, EmptyTree) {
+  RTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 0);
+  EXPECT_TRUE(t.search(Rect::of(-90, -180, 90, 180)).empty());
+  EXPECT_TRUE(t.knn(0, 0, 5).empty());
+  t.check_invariants();
+}
+
+TEST(RTree, SingleInsert) {
+  RTree t;
+  t.insert(39.9, 116.4, 7);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.height(), 1);
+  const auto hits = t.search(Rect::of(39, 116, 40, 117));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 7u);
+  t.check_invariants();
+}
+
+TEST(RTree, InsertBeyondCapacitySplits) {
+  RTree t(4);
+  gepeto::Rng rng(51);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    t.insert(rng.uniform(0, 1), rng.uniform(0, 1), i);
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_GT(t.height(), 1);
+  t.check_invariants();
+}
+
+TEST(RTree, SearchMatchesBruteForceAfterInserts) {
+  gepeto::Rng rng(52);
+  const auto pts = random_points(rng, 500);
+  RTree t(8);
+  for (const auto& p : pts) t.insert(p.lat, p.lon, p.id);
+  t.check_invariants();
+  for (int q = 0; q < 50; ++q) {
+    const double lat = rng.uniform(39.8, 40.0);
+    const double lon = rng.uniform(116.2, 116.6);
+    const Rect r = Rect::of(lat, lon, lat + rng.uniform(0, 0.1),
+                            lon + rng.uniform(0, 0.1));
+    EXPECT_EQ(ids_of(t.search(r)), brute_force_rect(pts, r));
+  }
+}
+
+TEST(RTree, DuplicatePointsAllRetrievable) {
+  RTree t(4);
+  for (std::uint64_t i = 0; i < 20; ++i) t.insert(1.0, 2.0, i);
+  EXPECT_EQ(t.size(), 20u);
+  EXPECT_EQ(t.search(Rect::point(1.0, 2.0)).size(), 20u);
+  t.check_invariants();
+}
+
+TEST(RTree, BulkLoadStrMatchesBruteForce) {
+  gepeto::Rng rng(53);
+  const auto pts = random_points(rng, 700);
+  RTree t(16);
+  t.bulk_load_str(pts);
+  EXPECT_EQ(t.size(), 700u);
+  t.check_invariants();
+  for (int q = 0; q < 50; ++q) {
+    const double lat = rng.uniform(39.8, 40.0);
+    const double lon = rng.uniform(116.2, 116.6);
+    const Rect r = Rect::of(lat, lon, lat + rng.uniform(0, 0.05),
+                            lon + rng.uniform(0, 0.05));
+    EXPECT_EQ(ids_of(t.search(r)), brute_force_rect(pts, r));
+  }
+}
+
+TEST(RTree, BulkLoadRequiresEmptyTree) {
+  RTree t;
+  t.insert(0, 0, 1);
+  std::vector<RTreeEntry> pts{{1, 1, 2}};
+  EXPECT_THROW(t.bulk_load_str(pts), gepeto::CheckFailure);
+}
+
+TEST(RTree, BulkLoadEmptyInputIsNoop) {
+  RTree t;
+  t.bulk_load_str({});
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(RTree, BulkLoadAwkwardSizes) {
+  // Sizes around node-capacity boundaries (incl. the 17-leaves case that
+  // would otherwise produce a single-child parent).
+  for (std::size_t n : {1u, 2u, 15u, 16u, 17u, 255u, 256u, 257u, 272u, 273u}) {
+    gepeto::Rng rng(54 + n);
+    const auto pts = random_points(rng, n);
+    RTree t(16);
+    t.bulk_load_str(pts);
+    EXPECT_EQ(t.size(), n);
+    t.check_invariants();
+    EXPECT_EQ(ids_of(t.entries()), ids_of(pts));
+  }
+}
+
+TEST(RTree, KnnMatchesBruteForce) {
+  gepeto::Rng rng(55);
+  const auto pts = random_points(rng, 400);
+  RTree t(8);
+  for (const auto& p : pts) t.insert(p.lat, p.lon, p.id);
+  for (int q = 0; q < 30; ++q) {
+    const double lat = rng.uniform(39.8, 40.0);
+    const double lon = rng.uniform(116.2, 116.6);
+    const std::size_t k = 1 + rng.uniform_u64(20);
+    const auto got = t.knn(lat, lon, k);
+    ASSERT_EQ(got.size(), k);
+    // Brute force distances.
+    std::vector<double> d2;
+    for (const auto& p : pts) {
+      const double a = p.lat - lat, b = p.lon - lon;
+      d2.push_back(a * a + b * b);
+    }
+    std::sort(d2.begin(), d2.end());
+    for (std::size_t i = 0; i < k; ++i) {
+      const double a = got[i].lat - lat, b = got[i].lon - lon;
+      EXPECT_NEAR(a * a + b * b, d2[i], 1e-15);
+    }
+    // Nearest-first ordering.
+    for (std::size_t i = 1; i < k; ++i) {
+      const double a0 = got[i - 1].lat - lat, b0 = got[i - 1].lon - lon;
+      const double a1 = got[i].lat - lat, b1 = got[i].lon - lon;
+      EXPECT_LE(a0 * a0 + b0 * b0, a1 * a1 + b1 * b1 + 1e-15);
+    }
+  }
+}
+
+TEST(RTree, KnnWithKLargerThanSize) {
+  RTree t;
+  t.insert(0, 0, 1);
+  t.insert(1, 1, 2);
+  EXPECT_EQ(t.knn(0, 0, 10).size(), 2u);
+}
+
+TEST(RTree, RadiusSearchMetersMatchesHaversineBruteForce) {
+  gepeto::Rng rng(56);
+  const auto pts = random_points(rng, 300);
+  RTree t(8);
+  t.bulk_load_str(pts);
+  for (int q = 0; q < 20; ++q) {
+    const double lat = rng.uniform(39.85, 39.95);
+    const double lon = rng.uniform(116.3, 116.5);
+    const double radius = rng.uniform(50, 2000);
+    std::vector<std::uint64_t> expected;
+    for (const auto& p : pts)
+      if (geo::haversine_meters(lat, lon, p.lat, p.lon) <= radius)
+        expected.push_back(p.id);
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(ids_of(t.radius_search_meters(lat, lon, radius)), expected);
+  }
+}
+
+TEST(RTree, MergeEqualHeightGrafts) {
+  gepeto::Rng rng(57);
+  auto a_pts = random_points(rng, 200);
+  auto b_pts = random_points(rng, 200);
+  for (auto& p : b_pts) p.id += 1000;
+  RTree a(16), b(16);
+  a.bulk_load_str(a_pts);
+  b.bulk_load_str(b_pts);
+  ASSERT_EQ(a.height(), b.height());
+  a.merge(b);
+  EXPECT_EQ(a.size(), 400u);
+  a.check_invariants();
+  auto all = a_pts;
+  all.insert(all.end(), b_pts.begin(), b_pts.end());
+  EXPECT_EQ(ids_of(a.entries()), ids_of(all));
+}
+
+TEST(RTree, MergeUnequalHeightsReinserts) {
+  gepeto::Rng rng(58);
+  auto big_pts = random_points(rng, 600);
+  auto small_pts = random_points(rng, 5);
+  for (auto& p : small_pts) p.id += 10000;
+  RTree big(8), small(8);
+  big.bulk_load_str(big_pts);
+  small.bulk_load_str(small_pts);
+  ASSERT_NE(big.height(), small.height());
+  big.merge(small);
+  EXPECT_EQ(big.size(), 605u);
+  big.check_invariants();
+
+  // Also merge big INTO small (the adopt-the-bigger path).
+  RTree small2(8);
+  small2.bulk_load_str(small_pts);
+  small2.merge(big);
+  EXPECT_EQ(small2.size(), 610u);  // 5 of its own + 605 now in `big`
+  small2.check_invariants();
+}
+
+TEST(RTree, MergeWithEmptySides) {
+  RTree a, b;
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  b.insert(1, 1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 1u);
+  RTree c;
+  a.merge(c);
+  EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(RTree, MergedTreeAnswersQueries) {
+  gepeto::Rng rng(59);
+  const auto pts = random_points(rng, 300);
+  RTree parts[3]{RTree(8), RTree(8), RTree(8)};
+  std::vector<RTreeEntry> chunk[3];
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    chunk[i % 3].push_back(pts[i]);
+  for (int i = 0; i < 3; ++i) parts[i].bulk_load_str(chunk[i]);
+  RTree merged = parts[0];
+  merged.merge(parts[1]);
+  merged.merge(parts[2]);
+  EXPECT_EQ(merged.size(), 300u);
+  merged.check_invariants();
+  const Rect r = Rect::of(39.85, 116.3, 39.95, 116.5);
+  EXPECT_EQ(ids_of(merged.search(r)), brute_force_rect(pts, r));
+}
+
+TEST(RTree, BoundsCoverEverything) {
+  gepeto::Rng rng(60);
+  const auto pts = random_points(rng, 100);
+  RTree t;
+  for (const auto& p : pts) t.insert(p.lat, p.lon, p.id);
+  const Rect b = t.bounds();
+  for (const auto& p : pts) EXPECT_TRUE(b.contains(p.lat, p.lon));
+}
+
+TEST(RTree, HeightGrowsLogarithmically) {
+  RTree t(8);
+  gepeto::Rng rng(61);
+  for (std::uint64_t i = 0; i < 2000; ++i)
+    t.insert(rng.uniform(0, 1), rng.uniform(0, 1), i);
+  // With M=8, 2000 points should need no more than ~6 levels.
+  EXPECT_LE(t.height(), 7);
+  t.check_invariants();
+}
+
+struct RTreeWorkload {
+  std::uint64_t seed;
+  int max_entries;
+  std::size_t n;
+};
+
+class RTreeProperty : public ::testing::TestWithParam<RTreeWorkload> {};
+
+TEST_P(RTreeProperty, InvariantsAndQueriesHoldOnRandomWorkloads) {
+  const auto p = GetParam();
+  gepeto::Rng rng(p.seed);
+  const auto pts = random_points(rng, p.n);
+  RTree t(p.max_entries);
+  for (const auto& e : pts) t.insert(e.lat, e.lon, e.id);
+  t.check_invariants();
+  EXPECT_EQ(t.size(), p.n);
+  EXPECT_EQ(ids_of(t.entries()), ids_of(pts));
+  const Rect r = Rect::of(39.85, 116.25, 39.95, 116.45);
+  EXPECT_EQ(ids_of(t.search(r)), brute_force_rect(pts, r));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RTreeProperty,
+    ::testing::Values(RTreeWorkload{1, 4, 10}, RTreeWorkload{2, 4, 100},
+                      RTreeWorkload{3, 4, 1000}, RTreeWorkload{4, 8, 333},
+                      RTreeWorkload{5, 16, 1000}, RTreeWorkload{6, 32, 2000},
+                      RTreeWorkload{7, 8, 1}, RTreeWorkload{8, 8, 2}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_M" +
+             std::to_string(info.param.max_entries) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace gepeto::index

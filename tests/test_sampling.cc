@@ -1,0 +1,275 @@
+// Tests for down-sampling (paper Section V): both representative-selection
+// techniques, sequential vs MapReduce equivalence, and the Table-I-style
+// reduction behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+using geo::GeolocatedDataset;
+using geo::MobilityTrace;
+using geo::Trail;
+
+MobilityTrace at(std::int32_t uid, std::int64_t ts, double lat = 39.9,
+                 double lon = 116.4) {
+  return {uid, lat, lon, 150.0, ts};
+}
+
+mr::ClusterConfig small_cluster(std::size_t chunk = 4096) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  return c;
+}
+
+TEST(WindowReference, UpperLimitAndMiddle) {
+  SamplingConfig upper{60, SamplingTechnique::kUpperLimit};
+  SamplingConfig middle{60, SamplingTechnique::kMiddle};
+  EXPECT_EQ(window_reference(upper, 0), 60);
+  EXPECT_EQ(window_reference(upper, 3), 240);
+  EXPECT_EQ(window_reference(middle, 0), 30);
+  EXPECT_EQ(window_reference(middle, 3), 210);
+}
+
+TEST(Downsample, OneTracePerWindow) {
+  GeolocatedDataset ds;
+  // Windows [0,60): ts 10, 50; [60,120): ts 70; [180,240): ts 200.
+  ds.add_trail(1, {at(1, 10), at(1, 50), at(1, 70), at(1, 200)});
+  const auto out =
+      downsample(ds, {60, SamplingTechnique::kUpperLimit});
+  const auto& trail = out.trail(1);
+  ASSERT_EQ(trail.size(), 3u);
+  EXPECT_EQ(trail[0].timestamp, 50);   // closest to 60
+  EXPECT_EQ(trail[1].timestamp, 70);
+  EXPECT_EQ(trail[2].timestamp, 200);
+}
+
+TEST(Downsample, UpperLimitPicksClosestToWindowEnd) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {at(1, 0), at(1, 20), at(1, 59)});
+  const auto out = downsample(ds, {60, SamplingTechnique::kUpperLimit});
+  ASSERT_EQ(out.trail(1).size(), 1u);
+  EXPECT_EQ(out.trail(1)[0].timestamp, 59);
+}
+
+TEST(Downsample, MiddlePicksClosestToWindowCenter) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {at(1, 0), at(1, 28), at(1, 59)});
+  const auto out = downsample(ds, {60, SamplingTechnique::kMiddle});
+  ASSERT_EQ(out.trail(1).size(), 1u);
+  EXPECT_EQ(out.trail(1)[0].timestamp, 28);  // closest to 30
+}
+
+TEST(Downsample, TechniquesDifferOnSkewedWindows) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {at(1, 5), at(1, 31), at(1, 58)});
+  const auto upper = downsample(ds, {60, SamplingTechnique::kUpperLimit});
+  const auto middle = downsample(ds, {60, SamplingTechnique::kMiddle});
+  EXPECT_EQ(upper.trail(1)[0].timestamp, 58);
+  EXPECT_EQ(middle.trail(1)[0].timestamp, 31);
+}
+
+TEST(Downsample, TiesKeepEarliestTrace) {
+  GeolocatedDataset ds;
+  // Both 25 and 35 are 5 s from the middle reference 30.
+  ds.add_trail(1, {at(1, 25), at(1, 35)});
+  const auto out = downsample(ds, {60, SamplingTechnique::kMiddle});
+  ASSERT_EQ(out.trail(1).size(), 1u);
+  EXPECT_EQ(out.trail(1)[0].timestamp, 25);
+}
+
+TEST(Downsample, UsersAreIndependent) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {at(1, 10), at(1, 50)});
+  ds.add_trail(2, {at(2, 10), at(2, 50)});
+  const auto out = downsample(ds, {60, SamplingTechnique::kUpperLimit});
+  EXPECT_EQ(out.trail(1).size(), 1u);
+  EXPECT_EQ(out.trail(2).size(), 1u);
+}
+
+TEST(Downsample, WindowLargerThanTrailKeepsOne) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {at(1, 0), at(1, 100), at(1, 200)});
+  const auto out = downsample(ds, {100000, SamplingTechnique::kUpperLimit});
+  EXPECT_EQ(out.trail(1).size(), 1u);
+}
+
+TEST(Downsample, InvalidWindowThrows) {
+  GeolocatedDataset ds;
+  EXPECT_THROW(downsample(ds, {0, SamplingTechnique::kUpperLimit}),
+               gepeto::CheckFailure);
+}
+
+TEST(Downsample, CountNonIncreasingInWindow) {
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 4;
+    cfg.duration_days = 10;
+    cfg.seed = 77;
+    return cfg;
+  }());
+  std::size_t prev = synthetic.data.num_traces();
+  for (int window : {60, 300, 600, 3600}) {
+    const auto out =
+        downsample(synthetic.data, {window, SamplingTechnique::kUpperLimit});
+    EXPECT_LE(out.num_traces(), prev) << "window " << window;
+    prev = out.num_traces();
+  }
+}
+
+TEST(Downsample, DrasticReductionOnDenseData) {
+  // GeoLife-density data (1-5 s sampling): 1-minute sampling divides the
+  // trace count by an order of magnitude (Table I's 2,033,686 -> 155,260).
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 6;
+    cfg.duration_days = 15;
+    cfg.seed = 78;
+    return cfg;
+  }());
+  const auto out =
+      downsample(synthetic.data, {60, SamplingTechnique::kUpperLimit});
+  const double factor = static_cast<double>(synthetic.data.num_traces()) /
+                        static_cast<double>(out.num_traces());
+  EXPECT_GT(factor, 8.0);
+  EXPECT_LT(factor, 40.0);
+}
+
+// --- MapReduce vs sequential -----------------------------------------------
+
+struct SamplingMrCase {
+  int window_s;
+  SamplingTechnique technique;
+  std::size_t chunk;
+};
+
+class SamplingMr : public ::testing::TestWithParam<SamplingMrCase> {};
+
+TEST_P(SamplingMr, MapOnlyJobMatchesSequentialWithWholeFileChunks) {
+  const auto p = GetParam();
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 3;
+    cfg.duration_days = 8;
+    cfg.seed = 79;
+    return cfg;
+  }());
+
+  // Chunk large enough that every file is one chunk: the mapper sees whole
+  // trails and must match the sequential result exactly.
+  mr::Dfs dfs(small_cluster(1 << 26));
+  geo::dataset_to_dfs(dfs, "/in", synthetic.data, 2);
+  const SamplingConfig config{p.window_s, p.technique};
+  run_sampling_job(dfs, small_cluster(1 << 26), "/in/", "/out", config);
+
+  const auto got = geo::dataset_from_dfs(dfs, "/out/");
+  // The reference runs on the same text representation the job read
+  // (dataset lines round coordinates to 1e-6 degrees).
+  const auto want = downsample(geo::dataset_from_dfs(dfs, "/in/"), config);
+  ASSERT_EQ(got.num_traces(), want.num_traces());
+  for (auto uid : want.users()) EXPECT_EQ(got.trail(uid), want.trail(uid));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplingMr,
+    ::testing::Values(SamplingMrCase{60, SamplingTechnique::kUpperLimit, 0},
+                      SamplingMrCase{60, SamplingTechnique::kMiddle, 0},
+                      SamplingMrCase{300, SamplingTechnique::kUpperLimit, 0},
+                      SamplingMrCase{300, SamplingTechnique::kMiddle, 0},
+                      SamplingMrCase{600, SamplingTechnique::kUpperLimit, 0},
+                      SamplingMrCase{600, SamplingTechnique::kMiddle, 0}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.window_s) +
+             (info.param.technique == SamplingTechnique::kUpperLimit ? "_upper"
+                                                                     : "_mid");
+    });
+
+TEST(SamplingMrBoundary, SmallChunksDivergeByAtMostOnePerChunk) {
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 3;
+    cfg.duration_days = 8;
+    cfg.seed = 80;
+    return cfg;
+  }());
+  const SamplingConfig config{60, SamplingTechnique::kUpperLimit};
+
+  mr::Dfs dfs(small_cluster(8192));  // many chunks per file
+  geo::dataset_to_dfs(dfs, "/in", synthetic.data, 2);
+  const auto want = downsample(geo::dataset_from_dfs(dfs, "/in/"), config);
+  const auto jr =
+      run_sampling_job(dfs, small_cluster(8192), "/in/", "/out", config);
+  const auto got_count = geo::count_dfs_records(dfs, "/out/");
+
+  // Each chunk boundary can split one window group in two.
+  EXPECT_GE(got_count, want.num_traces());
+  EXPECT_LE(got_count,
+            want.num_traces() + static_cast<std::uint64_t>(jr.num_map_tasks));
+}
+
+TEST(SamplingMrExact, MatchesSequentialForAnyChunking) {
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 3;
+    cfg.duration_days = 8;
+    cfg.seed = 81;
+    return cfg;
+  }());
+  const SamplingConfig config{300, SamplingTechnique::kMiddle};
+
+  for (std::size_t chunk : {4096u, 65536u, 1u << 26}) {
+    mr::Dfs dfs(small_cluster(chunk));
+    geo::dataset_to_dfs(dfs, "/in", synthetic.data, 3);
+    const auto want = downsample(geo::dataset_from_dfs(dfs, "/in/"), config);
+    run_sampling_job_exact(dfs, small_cluster(chunk), "/in/", "/out", config,
+                           3);
+    auto got = geo::dataset_from_dfs(dfs, "/out/");
+    ASSERT_EQ(got.num_traces(), want.num_traces()) << "chunk " << chunk;
+    for (auto uid : want.users()) {
+      // Reducer outputs arrive in key-hash order, not time order: sort
+      // before comparing.
+      auto trail = got.trail(uid);
+      std::sort(trail.begin(), trail.end(),
+                [](const auto& a, const auto& b) {
+                  return a.timestamp < b.timestamp;
+                });
+      EXPECT_EQ(trail, want.trail(uid)) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(SamplingMr, CountersReportWindows) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {at(1, 10), at(1, 50), at(1, 70)});
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto jr = run_sampling_job(dfs, small_cluster(), "/in/", "/out",
+                                   {60, SamplingTechnique::kUpperLimit});
+  EXPECT_EQ(jr.counters.at("sampling.windows"), 2);
+  EXPECT_EQ(jr.output_records, 2u);
+  EXPECT_EQ(jr.map_input_records, 3u);
+}
+
+TEST(SamplingMr, MalformedLinesAreCountedNotFatal) {
+  mr::Dfs dfs(small_cluster());
+  dfs.put("/in/data",
+          geo::dataset_line(at(1, 10)) + "\ngarbage line\n" +
+              geo::dataset_line(at(1, 70)) + "\n");
+  const auto jr = run_sampling_job(dfs, small_cluster(), "/in/", "/out",
+                                   {60, SamplingTechnique::kUpperLimit});
+  EXPECT_EQ(jr.counters.at("sampling.malformed_lines"), 1);
+  EXPECT_EQ(jr.output_records, 2u);
+}
+
+}  // namespace
+}  // namespace gepeto::core

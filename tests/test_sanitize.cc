@@ -1,0 +1,242 @@
+// Tests for the geo-sanitization mechanisms and the privacy/utility
+// metrics: Gaussian masks, spatial rounding, cloaking, mix zones, and the
+// privacy-vs-utility trade-off they create against the POI attack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/metrics.h"
+#include "gepeto/poi.h"
+#include "gepeto/sanitize.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+geo::SyntheticDataset make_world(int users = 4, std::uint64_t seed = 301) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = users;
+  cfg.duration_days = 20;
+  cfg.trajectories_per_user_min = 60;
+  cfg.trajectories_per_user_max = 90;
+  cfg.seed = seed;
+  return geo::generate_dataset(cfg);
+}
+
+TEST(GaussianMask, PerturbsByRoughlySigma) {
+  const auto world = make_world();
+  const auto masked = gaussian_mask(world.data, 50.0, 7);
+  const auto m = location_error(world.data, masked);
+  EXPECT_EQ(m.dropped_traces, 0u);
+  // Mean 2D displacement of N(0, sigma) per axis is sigma * sqrt(pi/2).
+  EXPECT_NEAR(m.mean_error_m, 50.0 * std::sqrt(M_PI / 2.0), 8.0);
+}
+
+TEST(GaussianMask, DeterministicPerSeed) {
+  const auto world = make_world(2, 302);
+  const auto a = gaussian_mask(world.data, 30.0, 7);
+  const auto b = gaussian_mask(world.data, 30.0, 7);
+  const auto c = gaussian_mask(world.data, 30.0, 8);
+  EXPECT_EQ(a.trail(0), b.trail(0));
+  EXPECT_NE(a.trail(0), c.trail(0));
+}
+
+TEST(GaussianMask, ZeroSigmaIsIdentity) {
+  const auto world = make_world(2, 303);
+  const auto masked = gaussian_mask(world.data, 0.0, 7);
+  EXPECT_EQ(masked.trail(0), world.data.trail(0));
+}
+
+TEST(GaussianMask, MrJobMatchesSequential) {
+  const auto world = make_world(2, 304);
+  mr::ClusterConfig cc;
+  cc.num_worker_nodes = 4;
+  cc.chunk_size = 1 << 15;
+  cc.execution_threads = 2;
+  mr::Dfs dfs(cc);
+  geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+  run_gaussian_mask_job(dfs, cc, "/in/", "/out", 40.0, 9);
+  const auto got = geo::dataset_from_dfs(dfs, "/out/");
+  const auto want = gaussian_mask(geo::dataset_from_dfs(dfs, "/in/"), 40.0, 9);
+  ASSERT_EQ(got.num_traces(), want.num_traces());
+  // Compare to line precision (the job writes dataset lines).
+  for (auto uid : want.users()) {
+    const auto& g = got.trail(uid);
+    const auto& w = want.trail(uid);
+    ASSERT_EQ(g.size(), w.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      EXPECT_EQ(g[i].timestamp, w[i].timestamp);
+      EXPECT_NEAR(g[i].latitude, w[i].latitude, 1e-6);
+      EXPECT_NEAR(g[i].longitude, w[i].longitude, 1e-6);
+    }
+  }
+}
+
+TEST(SpatialRounding, SnapsToCellCenters) {
+  const auto world = make_world(2, 305);
+  const auto rounded = spatial_rounding(world.data, 500.0);
+  // All rounded positions live on a coarse lattice: distinct latitudes are
+  // far fewer than traces.
+  std::set<double> lats;
+  for (const auto& [uid, trail] : rounded)
+    for (const auto& t : trail) lats.insert(t.latitude);
+  EXPECT_LT(lats.size(), rounded.num_traces() / 10);
+  const auto m = location_error(world.data, rounded);
+  EXPECT_LT(m.max_error_m, 500.0);  // within half a cell diagonal-ish
+  EXPECT_GT(m.mean_error_m, 50.0);
+}
+
+TEST(SpatialRounding, MrJobMatchesSequential) {
+  const auto world = make_world(2, 306);
+  mr::ClusterConfig cc;
+  cc.num_worker_nodes = 2;
+  cc.execution_threads = 2;
+  mr::Dfs dfs(cc);
+  geo::dataset_to_dfs(dfs, "/in", world.data, 1);
+  run_rounding_job(dfs, cc, "/in/", "/out", 250.0);
+  const auto got = geo::dataset_from_dfs(dfs, "/out/");
+  const auto want =
+      spatial_rounding(geo::dataset_from_dfs(dfs, "/in/"), 250.0);
+  ASSERT_EQ(got.num_traces(), want.num_traces());
+  for (auto uid : want.users()) {
+    const auto& g = got.trail(uid);
+    const auto& w = want.trail(uid);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      EXPECT_NEAR(g[i].latitude, w[i].latitude, 1e-6);
+      EXPECT_NEAR(g[i].longitude, w[i].longitude, 1e-6);
+    }
+  }
+}
+
+TEST(SpatialCloaking, EveryOutputCellHasKUsersOrSuppressed) {
+  const auto world = make_world(5, 307);
+  const auto r = spatial_cloaking(world.data, 2, 200.0, 5);
+  EXPECT_EQ(r.data.num_traces() + r.suppressed, world.data.num_traces());
+  EXPECT_GE(r.avg_cell_m, 200.0);
+}
+
+TEST(SpatialCloaking, KOneIsPlainRounding) {
+  const auto world = make_world(2, 308);
+  const auto r = spatial_cloaking(world.data, 1, 300.0, 3);
+  EXPECT_EQ(r.suppressed, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_cell_m, 300.0);  // every cell trivially has 1 user
+}
+
+TEST(SpatialCloaking, LargerKCoarsensOrSuppresses) {
+  const auto world = make_world(5, 309);
+  const auto k2 = spatial_cloaking(world.data, 2, 100.0, 6);
+  const auto k4 = spatial_cloaking(world.data, 4, 100.0, 6);
+  EXPECT_GE(k4.avg_cell_m + 1e-9, k2.avg_cell_m);
+  EXPECT_GE(k4.suppressed, k2.suppressed);
+}
+
+TEST(SpatialCloaking, ValidatesArguments) {
+  EXPECT_THROW(spatial_cloaking({}, 0, 100.0), gepeto::CheckFailure);
+  EXPECT_THROW(spatial_cloaking({}, 2, -5.0), gepeto::CheckFailure);
+}
+
+TEST(MixZones, SuppressesInsideAndChangesPseudonyms) {
+  const auto world = make_world(4, 310);
+  const auto zones = pick_mix_zones(world.data, 3, 300.0);
+  ASSERT_EQ(zones.size(), 3u);
+  const auto r = apply_mix_zones(world.data, zones);
+  EXPECT_GT(r.suppressed_traces, 0u);
+  EXPECT_GT(r.pseudonym_changes, 0u);
+  EXPECT_EQ(r.data.num_traces() + r.suppressed_traces,
+            world.data.num_traces());
+  // No surviving trace is inside a zone.
+  for (const auto& [uid, trail] : r.data) {
+    for (const auto& t : trail) {
+      for (const auto& z : zones) {
+        EXPECT_GT(geo::haversine_meters(t.latitude, t.longitude, z.latitude,
+                                        z.longitude),
+                  z.radius_m);
+      }
+    }
+  }
+  // More pseudonyms than original users.
+  EXPECT_GT(r.data.num_users(), world.data.num_users());
+  // Every pseudonym maps back to a real user.
+  for (const auto& [pseud, owner] : r.pseudonym_owner) {
+    EXPECT_TRUE(world.data.has_user(owner));
+  }
+}
+
+TEST(MixZones, NoZonesIsIdentity) {
+  const auto world = make_world(2, 311);
+  const auto r = apply_mix_zones(world.data, {});
+  EXPECT_EQ(r.suppressed_traces, 0u);
+  EXPECT_EQ(r.pseudonym_changes, 0u);
+  EXPECT_EQ(r.data.num_traces(), world.data.num_traces());
+}
+
+TEST(PickMixZones, ReturnsBusiestAreasDeterministically) {
+  const auto world = make_world(4, 312);
+  const auto a = pick_mix_zones(world.data, 2, 250.0);
+  const auto b = pick_mix_zones(world.data, 2, 250.0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a[0].latitude, b[0].latitude);
+  EXPECT_DOUBLE_EQ(a[1].longitude, b[1].longitude);
+}
+
+// --- metrics & the privacy/utility trade-off ---------------------------------
+
+TEST(LocationError, PairsByUserAndTimestamp) {
+  geo::GeolocatedDataset original, sanitized;
+  original.add({1, 39.9, 116.4, 0, 100});
+  original.add({1, 39.9, 116.4, 0, 200});
+  sanitized.add({1, 39.9009, 116.4, 0, 100});  // ~100 m north
+  // ts 200 dropped.
+  const auto m = location_error(original, sanitized);
+  EXPECT_EQ(m.paired_traces, 1u);
+  EXPECT_EQ(m.dropped_traces, 1u);
+  EXPECT_NEAR(m.retention, 0.5, 1e-9);
+  EXPECT_NEAR(m.mean_error_m, 100.0, 3.0);
+}
+
+TEST(LocationError, EmptyDatasets) {
+  const auto m = location_error({}, {});
+  EXPECT_EQ(m.paired_traces, 0u);
+  EXPECT_DOUBLE_EQ(m.retention, 0.0);
+}
+
+TEST(Tradeoff, StrongerMaskDegradesAttackAndUtility) {
+  const auto world = make_world(4, 313);
+  DjClusterConfig attack;
+  attack.radius_m = 60;
+  attack.min_pts = 10;
+
+  const auto clean = run_poi_attack(world.data, world.profiles, attack);
+  const auto weak = gaussian_mask(world.data, 30.0, 5);
+  const auto strong = gaussian_mask(world.data, 400.0, 5);
+  const auto weak_attack = run_poi_attack(weak, world.profiles, attack);
+  const auto strong_attack = run_poi_attack(strong, world.profiles, attack);
+
+  // Privacy: recall of the POI attack collapses under a strong mask.
+  EXPECT_GT(clean.avg_recall, 0.3);
+  EXPECT_LT(strong_attack.avg_recall, clean.avg_recall * 0.5);
+  // A weak mask barely helps the defender.
+  EXPECT_GT(weak_attack.avg_recall, strong_attack.avg_recall);
+  // Utility: the strong mask distorts locations much more.
+  const auto weak_util = location_error(world.data, weak);
+  const auto strong_util = location_error(world.data, strong);
+  EXPECT_GT(strong_util.mean_error_m, 5 * weak_util.mean_error_m);
+}
+
+TEST(Tradeoff, PoiPreservationMatchesAttackRecall) {
+  const auto world = make_world(3, 314);
+  DjClusterConfig attack;
+  attack.radius_m = 60;
+  attack.min_pts = 10;
+  const auto report = run_poi_attack(world.data, world.profiles, attack);
+  EXPECT_NEAR(poi_preservation(world.data, world.profiles, attack),
+              report.avg_recall, 1e-12);
+}
+
+}  // namespace
+}  // namespace gepeto::core

@@ -1,0 +1,300 @@
+// Tests for the virtual-time jobtracker: locality preference, slot
+// utilisation, makespan arithmetic, failure re-execution, and the scaling
+// behaviours the paper relies on (more nodes -> shorter map phase; smaller
+// chunks -> more parallelism).
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/scheduler.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig cluster(int nodes, int map_slots = 2) {
+  ClusterConfig c;
+  c.num_worker_nodes = nodes;
+  c.nodes_per_rack = 4;
+  c.map_slots_per_node = map_slots;
+  c.reduce_slots_per_node = 2;
+  c.task_startup_seconds = 0.0;  // keep arithmetic easy in unit tests
+  c.job_startup_seconds = 0.0;
+  c.disk_bandwidth_Bps = 100.0;  // 100 bytes/second: easy numbers
+  c.intra_rack_Bps = 100.0;
+  c.inter_rack_Bps = 10.0;
+  c.compute_scale = 1.0;
+  return c;
+}
+
+MapTaskCost map_task(std::uint64_t bytes, double cpu, std::vector<int> reps) {
+  MapTaskCost t;
+  t.input_bytes = bytes;
+  t.cpu_seconds = cpu;
+  t.replica_nodes = std::move(reps);
+  return t;
+}
+
+TEST(Locality, Classification) {
+  auto c = cluster(8);
+  EXPECT_EQ(locality_of(c, {1, 2}, 1), Locality::kDataLocal);
+  EXPECT_EQ(locality_of(c, {1, 2}, 3), Locality::kRackLocal);   // same rack 0
+  EXPECT_EQ(locality_of(c, {1, 2}, 5), Locality::kRemote);      // rack 1
+}
+
+TEST(MapAttempt, DataLocalCostIsDiskPlusCpu) {
+  auto c = cluster(8);
+  const auto t = map_task(200, 1.5, {0});
+  // 200 bytes / 100 Bps = 2 s disk + 1.5 s cpu.
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 0), 3.5);
+}
+
+TEST(MapAttempt, RackLocalAddsIntraRackTransfer) {
+  auto c = cluster(8);
+  const auto t = map_task(200, 0.0, {0});
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 1), 2.0 + 2.0);
+}
+
+TEST(MapAttempt, RemoteAddsInterRackTransfer) {
+  auto c = cluster(8);
+  const auto t = map_task(200, 0.0, {0});
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 5), 2.0 + 20.0);
+}
+
+TEST(MapAttempt, StartupAndComputeScaleApply) {
+  auto c = cluster(8);
+  c.task_startup_seconds = 1.0;
+  c.compute_scale = 3.0;
+  const auto t = map_task(100, 2.0, {0});
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 0), 1.0 + 1.0 + 6.0);
+}
+
+TEST(MapAttempt, OutputSpillChargesLocalDisk) {
+  auto c = cluster(8);
+  auto t = map_task(100, 0.0, {0});
+  t.output_bytes = 300;
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 0), 1.0 + 3.0);
+}
+
+TEST(MapSchedule, SingleTaskMakespanEqualsAttemptTime) {
+  auto c = cluster(8);
+  const auto s = schedule_map_phase(c, {map_task(100, 1.0, {2})});
+  EXPECT_DOUBLE_EQ(s.makespan, 2.0);
+  EXPECT_EQ(s.assigned_node[0], 2);
+  EXPECT_EQ(s.data_local, 1);
+}
+
+TEST(MapSchedule, PrefersDataLocalNodes) {
+  auto c = cluster(8);
+  std::vector<MapTaskCost> tasks;
+  for (int n = 0; n < 8; ++n) tasks.push_back(map_task(100, 0.5, {n}));
+  const auto s = schedule_map_phase(c, tasks);
+  EXPECT_EQ(s.data_local, 8);
+  EXPECT_EQ(s.rack_local, 0);
+  EXPECT_EQ(s.remote, 0);
+  // All 8 tasks run in parallel on their own nodes.
+  EXPECT_DOUBLE_EQ(s.makespan, 1.5);
+}
+
+TEST(MapSchedule, SlotsLimitParallelism) {
+  auto c = cluster(1, /*map_slots=*/1);
+  std::vector<MapTaskCost> tasks(4, map_task(100, 0.0, {0}));
+  const auto s = schedule_map_phase(c, tasks);
+  // 4 tasks x 1 s serialized on a single slot.
+  EXPECT_DOUBLE_EQ(s.makespan, 4.0);
+}
+
+TEST(MapSchedule, MoreNodesShortenMakespan) {
+  std::vector<MapTaskCost> tasks;
+  for (int i = 0; i < 32; ++i)
+    tasks.push_back(map_task(100, 1.0, {i % 4, (i + 1) % 4, (i + 2) % 4}));
+  // Replicas only live on nodes 0..3, so larger clusters see remote reads,
+  // but still finish sooner thanks to more slots — provided the network is
+  // not absurdly slower than disk (use a balanced cost model here).
+  auto balanced = [](int nodes) {
+    auto c = cluster(nodes);
+    c.inter_rack_Bps = c.intra_rack_Bps;
+    return c;
+  };
+  const auto s4 = schedule_map_phase(balanced(4), tasks);
+  const auto s8 = schedule_map_phase(balanced(8), tasks);
+  const auto s16 = schedule_map_phase(balanced(16), tasks);
+  EXPECT_GT(s4.makespan, s8.makespan);
+  EXPECT_GE(s8.makespan, s16.makespan);
+}
+
+TEST(MapSchedule, ExtremeNetworkPenaltyMakesRemoteSlotsUnhelpful) {
+  // With a 10x slower cross-rack network (this file's default toy model),
+  // adding rack-1 nodes can lengthen the makespan: remote attempts take 12 s
+  // while the 4 data-local nodes would have finished in 8 s. The scheduler
+  // must still complete, and all work lands somewhere.
+  std::vector<MapTaskCost> tasks;
+  for (int i = 0; i < 32; ++i)
+    tasks.push_back(map_task(100, 1.0, {i % 4, (i + 1) % 4, (i + 2) % 4}));
+  const auto s8 = schedule_map_phase(cluster(8), tasks);
+  EXPECT_EQ(static_cast<int>(s8.assigned_node.size()), 32);
+  EXPECT_GT(s8.remote, 0);
+  EXPECT_DOUBLE_EQ(s8.makespan, 12.0);
+}
+
+TEST(MapSchedule, SmallerChunksIncreaseParallelism) {
+  // Same total volume: 4 big tasks vs 16 small tasks on a 16-slot cluster.
+  auto c = cluster(8);  // 16 map slots
+  std::vector<MapTaskCost> big(4, map_task(1600, 4.0, {0, 1, 4}));
+  std::vector<MapTaskCost> small(16, map_task(400, 1.0, {0, 1, 4}));
+  const auto sb = schedule_map_phase(c, big);
+  const auto ss = schedule_map_phase(c, small);
+  EXPECT_GT(sb.makespan, ss.makespan);
+}
+
+TEST(MapSchedule, FailedAttemptsDelayCompletion) {
+  auto c = cluster(1, 1);
+  auto ok = map_task(100, 1.0, {0});
+  auto failing = ok;
+  failing.failed_attempts = 2;
+  const auto s_ok = schedule_map_phase(c, {ok});
+  const auto s_fail = schedule_map_phase(c, {failing});
+  EXPECT_GT(s_fail.makespan, s_ok.makespan);
+  // Each failed attempt burns half the attempt duration: 2 * 1.0 + 2.0.
+  EXPECT_DOUBLE_EQ(s_fail.makespan, 4.0);
+}
+
+TEST(MapSchedule, EmptyTaskListIsZero) {
+  const auto s = schedule_map_phase(cluster(4), {});
+  EXPECT_DOUBLE_EQ(s.makespan, 0.0);
+  EXPECT_TRUE(s.assigned_node.empty());
+}
+
+TEST(MapSchedule, DeterministicAcrossRuns) {
+  auto c = cluster(8);
+  std::vector<MapTaskCost> tasks;
+  for (int i = 0; i < 20; ++i)
+    tasks.push_back(map_task(100 + 7 * i, 0.1 * i, {i % 8, (i + 3) % 8}));
+  const auto a = schedule_map_phase(c, tasks);
+  const auto b = schedule_map_phase(c, tasks);
+  EXPECT_EQ(a.assigned_node, b.assigned_node);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(ReduceAttempt, ShuffleCostDependsOnTopology) {
+  auto c = cluster(8);
+  ReduceTaskCost t;
+  t.shuffle_from = {{0, 100}};  // 1 s spill read
+  // Local fetch: disk only.
+  EXPECT_DOUBLE_EQ(reduce_attempt_seconds(c, t, 0), 1.0);
+  // Same rack: + 1 s intra-rack.
+  EXPECT_DOUBLE_EQ(reduce_attempt_seconds(c, t, 1), 2.0);
+  // Other rack: + 10 s inter-rack.
+  EXPECT_DOUBLE_EQ(reduce_attempt_seconds(c, t, 5), 11.0);
+}
+
+TEST(ReduceAttempt, OutputWritePipelineCharged) {
+  auto c = cluster(8);
+  ReduceTaskCost t;
+  t.output_bytes = 100;
+  EXPECT_DOUBLE_EQ(reduce_attempt_seconds(c, t, 0), 1.0 + 1.0);
+}
+
+TEST(ReduceSchedule, SingleReducerSerializesAllShuffle) {
+  auto c = cluster(8);
+  ReduceTaskCost t;
+  for (int m = 0; m < 4; ++m) t.shuffle_from.emplace_back(m, 100);
+  const auto s = schedule_reduce_phase(c, {t});
+  EXPECT_EQ(s.assigned_node.size(), 1u);
+  EXPECT_GT(s.makespan, 0.0);
+}
+
+TEST(ReduceSchedule, ManyReducersRunInParallel) {
+  auto c = cluster(8);  // 16 reduce slots
+  ReduceTaskCost t;
+  t.shuffle_from = {{0, 100}};
+  t.cpu_seconds = 1.0;
+  const auto one = schedule_reduce_phase(c, {t});
+  const auto sixteen =
+      schedule_reduce_phase(c, std::vector<ReduceTaskCost>(16, t));
+  // 16 reducers across 16 slots should not be 16x slower than one.
+  EXPECT_LT(sixteen.makespan, 16 * one.makespan * 0.9);
+}
+
+TEST(NodeSpeed, SlowNodeInflatesAttempts) {
+  auto c = cluster(4);
+  c.node_speed_factor = {1.0, 3.0, 1.0, 1.0};
+  const auto t = map_task(100, 1.0, {1});
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 0), 2.0 + 1.0);  // rack transfer
+  EXPECT_DOUBLE_EQ(map_attempt_seconds(c, t, 1), 3.0 * 2.0);  // local but slow
+}
+
+TEST(NodeSpeed, ValidationRejectsWrongSize) {
+  auto c = cluster(4);
+  c.node_speed_factor = {1.0, 2.0};
+  EXPECT_THROW(c.validate(), gepeto::CheckFailure);
+  c.node_speed_factor = {1.0, 1.0, 0.0, 1.0};
+  EXPECT_THROW(c.validate(), gepeto::CheckFailure);
+}
+
+TEST(Speculation, BackupCopyRescuesStraggler) {
+  // 4 tasks on 4 single-slot nodes; node 0 is 10x slower. Without
+  // speculation the makespan is node 0's attempt; with it, an idle fast
+  // node re-runs the straggler.
+  auto c = cluster(4, /*map_slots=*/1);
+  c.node_speed_factor = {10.0, 1.0, 1.0, 1.0};
+  std::vector<MapTaskCost> tasks;
+  for (int i = 0; i < 4; ++i) tasks.push_back(map_task(100, 1.0, {i}));
+
+  const auto plain = schedule_map_phase(c, tasks);
+  EXPECT_DOUBLE_EQ(plain.makespan, 20.0);  // (1 s disk + 1 s cpu) x 10
+
+  c.speculative_execution = true;
+  const auto spec = schedule_map_phase(c, tasks);
+  EXPECT_GT(spec.speculative_copies, 0);
+  EXPECT_GT(spec.speculative_wins, 0);
+  // The backup runs on a fast node after its own task (2 s): 2 s start +
+  // ~3 s remote attempt beats 20 s.
+  EXPECT_LT(spec.makespan, plain.makespan / 2);
+}
+
+TEST(Speculation, NeverIncreasesMakespan) {
+  gepeto::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto c = cluster(6);
+    c.node_speed_factor = {1.0, 1.0, 4.0, 1.0, 2.0, 1.0};
+    std::vector<MapTaskCost> tasks;
+    const int n = 5 + static_cast<int>(rng.uniform_u64(20));
+    for (int i = 0; i < n; ++i)
+      tasks.push_back(map_task(50 + rng.uniform_u64(200),
+                               rng.uniform(0.1, 2.0),
+                               {static_cast<int>(rng.uniform_u64(6))}));
+    const auto plain = schedule_map_phase(c, tasks);
+    c.speculative_execution = true;
+    const auto spec = schedule_map_phase(c, tasks);
+    EXPECT_LE(spec.makespan, plain.makespan + 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Speculation, NoCopiesOnHomogeneousIdleCluster) {
+  // One task per slot: every slot is busy until the end, so no slot is idle
+  // while another attempt runs longer -> at most harmless copies, and the
+  // makespan matches the plain schedule.
+  auto c = cluster(2, 1);
+  std::vector<MapTaskCost> tasks(2, map_task(100, 1.0, {0, 1}));
+  const auto plain = schedule_map_phase(c, tasks);
+  c.speculative_execution = true;
+  const auto spec = schedule_map_phase(c, tasks);
+  EXPECT_DOUBLE_EQ(spec.makespan, plain.makespan);
+  EXPECT_EQ(spec.speculative_wins, 0);
+}
+
+TEST(ReduceSchedule, FailedReducerRetries) {
+  auto c = cluster(1, 1);
+  c.reduce_slots_per_node = 1;
+  ReduceTaskCost t;
+  t.cpu_seconds = 2.0;
+  auto failing = t;
+  failing.failed_attempts = 1;
+  const auto ok = schedule_reduce_phase(c, {t});
+  const auto fail = schedule_reduce_phase(c, {failing});
+  EXPECT_DOUBLE_EQ(ok.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(fail.makespan, 3.0);
+}
+
+}  // namespace
+}  // namespace gepeto::mr

@@ -1,0 +1,157 @@
+// Tests for the space-filling curves: bijectivity, locality, and the
+// ScalarMapper used by the MapReduce R-Tree partitioning phase.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "index/sfc.h"
+
+namespace gepeto::index {
+namespace {
+
+TEST(ZOrder, KnownSmallValues) {
+  EXPECT_EQ(zorder_encode(0, 0), 0u);
+  EXPECT_EQ(zorder_encode(1, 0), 1u);
+  EXPECT_EQ(zorder_encode(0, 1), 2u);
+  EXPECT_EQ(zorder_encode(1, 1), 3u);
+  EXPECT_EQ(zorder_encode(2, 0), 4u);
+  EXPECT_EQ(zorder_encode(7, 7), 63u);
+}
+
+TEST(ZOrder, RoundTripRandom) {
+  gepeto::Rng rng(71);
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.next());
+    const auto y = static_cast<std::uint32_t>(rng.next());
+    std::uint32_t bx, by;
+    zorder_decode(zorder_encode(x, y), bx, by);
+    ASSERT_EQ(bx, x);
+    ASSERT_EQ(by, y);
+  }
+}
+
+TEST(ZOrder, MonotoneInEachCoordinateAtPowerOfTwoBlocks) {
+  // Z-order preserves order within quadrants: (x,y) < (x+2^k, y) whenever
+  // coordinates are below 2^k.
+  for (std::uint32_t x = 0; x < 8; ++x)
+    for (std::uint32_t y = 0; y < 8; ++y)
+      EXPECT_LT(zorder_encode(x, y), zorder_encode(x + 8, y));
+}
+
+TEST(Hilbert, FirstOrderCurve) {
+  // Order-1 Hilbert: (0,0) -> 0, (0,1) -> 1, (1,1) -> 2, (1,0) -> 3.
+  EXPECT_EQ(hilbert_encode(0, 0, 1), 0u);
+  EXPECT_EQ(hilbert_encode(0, 1, 1), 1u);
+  EXPECT_EQ(hilbert_encode(1, 1, 1), 2u);
+  EXPECT_EQ(hilbert_encode(1, 0, 1), 3u);
+}
+
+TEST(Hilbert, BijectiveOnSmallGrid) {
+  const int order = 4;
+  const std::uint32_t n = 1u << order;
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t x = 0; x < n; ++x)
+    for (std::uint32_t y = 0; y < n; ++y) {
+      const auto d = hilbert_encode(x, y, order);
+      EXPECT_LT(d, static_cast<std::uint64_t>(n) * n);
+      EXPECT_TRUE(seen.insert(d).second) << "collision at d=" << d;
+    }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n) * n);
+}
+
+TEST(Hilbert, RoundTripRandom) {
+  gepeto::Rng rng(72);
+  const int order = 16;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = static_cast<std::uint32_t>(rng.uniform_u64(1u << order));
+    const auto y = static_cast<std::uint32_t>(rng.uniform_u64(1u << order));
+    std::uint32_t bx, by;
+    hilbert_decode(hilbert_encode(x, y, order), bx, by, order);
+    ASSERT_EQ(bx, x);
+    ASSERT_EQ(by, y);
+  }
+}
+
+TEST(Hilbert, ConsecutiveCurvePositionsAreGridNeighbors) {
+  // The defining property of the Hilbert curve: successive positions are
+  // adjacent cells (Manhattan distance 1). Z-order does NOT satisfy this.
+  const int order = 5;
+  const std::uint32_t n = 1u << order;
+  for (std::uint64_t d = 1; d < static_cast<std::uint64_t>(n) * n; ++d) {
+    std::uint32_t x0, y0, x1, y1;
+    hilbert_decode(d - 1, x0, y0, order);
+    hilbert_decode(d, x1, y1, order);
+    const int dist = std::abs(static_cast<int>(x1) - static_cast<int>(x0)) +
+                     std::abs(static_cast<int>(y1) - static_cast<int>(y0));
+    ASSERT_EQ(dist, 1) << "jump at d=" << d;
+  }
+}
+
+TEST(Hilbert, RejectsOutOfRangeCoordinates) {
+  EXPECT_THROW(hilbert_encode(4, 0, 2), gepeto::CheckFailure);
+  EXPECT_THROW(hilbert_encode(0, 0, 0), gepeto::CheckFailure);
+}
+
+double avg_scalar_jump(CurveKind kind) {
+  // Average |scalar(p) - scalar(q)| over pairs of nearby points: a locality
+  // proxy. Hilbert should not be (much) worse than Z-order.
+  const Rect box = Rect::of(39.8, 116.2, 40.0, 116.6);
+  const ScalarMapper m(kind, box, 8);
+  gepeto::Rng rng(73);
+  double total = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    const double lat = rng.uniform(39.81, 39.99);
+    const double lon = rng.uniform(116.21, 116.59);
+    const auto a = m.scalar(lat, lon);
+    const auto b = m.scalar(lat + 0.002, lon + 0.002);
+    total += std::fabs(static_cast<double>(a) - static_cast<double>(b));
+  }
+  return total / trials;
+}
+
+TEST(ScalarMapper, BothCurvesPreserveLocality) {
+  const double z = avg_scalar_jump(CurveKind::kZOrder);
+  const double h = avg_scalar_jump(CurveKind::kHilbert);
+  // Nearby points should map to nearby scalars, far from the worst case
+  // (the curve length is 2^16).
+  EXPECT_LT(z, 6000.0);
+  EXPECT_LT(h, 6000.0);
+}
+
+TEST(ScalarMapper, ClampsOutOfBoundsPoints) {
+  const Rect box = Rect::of(0, 0, 1, 1);
+  const ScalarMapper m(CurveKind::kZOrder, box, 4);
+  EXPECT_EQ(m.scalar(-5, -5), m.scalar(0, 0));
+  EXPECT_EQ(m.scalar(9, 9), m.scalar(1, 1));
+}
+
+TEST(ScalarMapper, DeterministicAndWithinRange) {
+  const Rect box = Rect::of(39.8, 116.2, 40.0, 116.6);
+  const ScalarMapper m(CurveKind::kHilbert, box, 10);
+  gepeto::Rng rng(74);
+  for (int i = 0; i < 1000; ++i) {
+    const double lat = rng.uniform(39.8, 40.0);
+    const double lon = rng.uniform(116.2, 116.6);
+    const auto s = m.scalar(lat, lon);
+    EXPECT_EQ(s, m.scalar(lat, lon));
+    EXPECT_LT(s, (1ull << 10) * (1ull << 10));
+  }
+}
+
+TEST(ScalarMapper, DegenerateBoxMapsToCellZero) {
+  const ScalarMapper m(CurveKind::kZOrder, Rect::point(5, 5), 4);
+  EXPECT_EQ(m.scalar(5, 5), 0u);
+  EXPECT_EQ(m.scalar(6, 6), 0u);
+}
+
+TEST(CurveNames, AreStable) {
+  EXPECT_EQ(curve_name(CurveKind::kZOrder), "Z-order");
+  EXPECT_EQ(curve_name(CurveKind::kHilbert), "Hilbert");
+}
+
+}  // namespace
+}  // namespace gepeto::index

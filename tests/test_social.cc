@@ -1,0 +1,230 @@
+// Tests for social-link discovery (paper Section II's "discover social
+// relations" attack goal): co-location detection, meeting aggregation,
+// scoring against the generator's friendship ground truth, and the
+// sequential/MapReduce agreement.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/social.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+geo::MobilityTrace at(std::int32_t uid, std::int64_t ts, double lat,
+                      double lon) {
+  return {uid, lat, lon, 150.0, ts};
+}
+
+/// Two users together at a cafe for `minutes`, starting at `t0`.
+void meet(geo::GeolocatedDataset& ds, std::int32_t a, std::int32_t b,
+          std::int64_t t0, int minutes, double lat = 39.91,
+          double lon = 116.41) {
+  for (int m = 0; m < minutes; ++m) {
+    ds.add(at(a, t0 + m * 60, lat, lon + 1e-5));
+    ds.add(at(b, t0 + m * 60 + 5, lat + 1e-5, lon));
+  }
+}
+
+CoLocationConfig config() {
+  CoLocationConfig c;
+  c.radius_m = 50;
+  c.time_bucket_s = 300;
+  c.min_meetings = 2;
+  c.min_contact_s = 600;
+  return c;
+}
+
+TEST(SocialLinks, RepeatedMeetingsProduceAnEdge) {
+  geo::GeolocatedDataset ds;
+  meet(ds, 1, 2, 1'000'000, 20);
+  meet(ds, 1, 2, 2'000'000, 20);
+  meet(ds, 1, 2, 3'000'000, 20);
+  const auto edges = discover_social_links(ds, config());
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].a, 1);
+  EXPECT_EQ(edges[0].b, 2);
+  EXPECT_EQ(edges[0].meetings, 3u);
+  EXPECT_GE(edges[0].contact_seconds, 3000.0);
+}
+
+TEST(SocialLinks, OneMeetingIsNotEnough) {
+  geo::GeolocatedDataset ds;
+  meet(ds, 1, 2, 1'000'000, 30);
+  EXPECT_TRUE(discover_social_links(ds, config()).empty());
+}
+
+TEST(SocialLinks, BriefContactIsNotEnough) {
+  geo::GeolocatedDataset ds;
+  // Three 2-minute encounters: meetings >= 2 but contact < 600 s.
+  meet(ds, 1, 2, 1'000'000, 2);
+  meet(ds, 1, 2, 2'000'000, 2);
+  meet(ds, 1, 2, 3'000'000, 2);
+  auto c = config();
+  c.min_contact_s = 1200;
+  EXPECT_TRUE(discover_social_links(ds, c).empty());
+}
+
+TEST(SocialLinks, SamePlaceDifferentTimeIsNoContact) {
+  geo::GeolocatedDataset ds;
+  for (int m = 0; m < 20; ++m) ds.add(at(1, 1'000'000 + m * 60, 39.91, 116.41));
+  for (int m = 0; m < 20; ++m) ds.add(at(2, 5'000'000 + m * 60, 39.91, 116.41));
+  EXPECT_TRUE(discover_social_links(ds, config()).empty());
+}
+
+TEST(SocialLinks, SameTimeDifferentPlaceIsNoContact) {
+  geo::GeolocatedDataset ds;
+  for (int m = 0; m < 20; ++m) ds.add(at(1, 1'000'000 + m * 60, 39.91, 116.41));
+  for (int m = 0; m < 20; ++m) ds.add(at(2, 1'000'000 + m * 60, 39.95, 116.48));
+  EXPECT_TRUE(discover_social_links(ds, config()).empty());
+}
+
+TEST(SocialLinks, CellBoundaryPairsAreFound) {
+  // Two users ~20 m apart, straddling a grid-cell boundary: the envelope
+  // emission must still pair them.
+  geo::GeolocatedDataset ds;
+  const double lat = 39.91;
+  for (int meeting = 0; meeting < 3; ++meeting) {
+    const std::int64_t t0 = 1'000'000 + meeting * 1'000'000;
+    for (int m = 0; m < 15; ++m) {
+      ds.add(at(1, t0 + m * 60, lat, 116.4100));
+      ds.add(at(2, t0 + m * 60 + 7, lat, 116.4102));  // ~17 m east
+    }
+  }
+  const auto edges = discover_social_links(ds, config());
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_GE(edges[0].meetings, 3u);
+}
+
+TEST(SocialLinks, ThreeWayMeetingYieldsAllPairs) {
+  geo::GeolocatedDataset ds;
+  for (int meeting = 0; meeting < 3; ++meeting) {
+    const std::int64_t t0 = 1'000'000 + meeting * 1'000'000;
+    for (int m = 0; m < 15; ++m) {
+      ds.add(at(1, t0 + m * 60, 39.91, 116.41));
+      ds.add(at(2, t0 + m * 60 + 3, 39.9101, 116.41));
+      ds.add(at(3, t0 + m * 60 + 6, 39.91, 116.4101));
+    }
+  }
+  const auto edges = discover_social_links(ds, config());
+  EXPECT_EQ(edges.size(), 3u);  // (1,2), (1,3), (2,3)
+}
+
+TEST(SocialLinks, ScoreComputesPrecisionRecall) {
+  std::vector<SocialEdge> edges{{1, 2, 3, 1800}, {3, 4, 3, 1800}};
+  const auto score = score_social_attack(edges, {{1, 2}, {5, 6}});
+  EXPECT_DOUBLE_EQ(score.precision, 0.5);
+  EXPECT_DOUBLE_EQ(score.recall, 0.5);
+  EXPECT_DOUBLE_EQ(score.f1, 0.5);
+}
+
+TEST(SocialLinks, GeneratorGroundTruthIsRecovered) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 8;
+  cfg.duration_days = 20;
+  cfg.trajectories_per_user_min = 30;
+  cfg.trajectories_per_user_max = 40;
+  cfg.friends_per_user = 1;
+  cfg.seed = 601;
+  const auto world = geo::generate_dataset(cfg);
+  ASSERT_FALSE(world.friendships.empty());
+
+  CoLocationConfig c;
+  c.radius_m = 60;
+  c.time_bucket_s = 300;
+  c.min_meetings = 2;
+  c.min_contact_s = 1200;
+  const auto edges = discover_social_links(world.data, c);
+  const auto score = score_social_attack(edges, world.friendships);
+  EXPECT_GE(score.recall, 0.7);
+  EXPECT_GE(score.precision, 0.7);
+}
+
+TEST(SocialLinks, NoFriendsMeansFewFalsePositives) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 8;
+  cfg.duration_days = 20;
+  cfg.trajectories_per_user_min = 30;
+  cfg.trajectories_per_user_max = 40;
+  cfg.friends_per_user = 0;
+  cfg.seed = 602;
+  const auto world = geo::generate_dataset(cfg);
+  CoLocationConfig c;
+  c.radius_m = 60;
+  c.time_bucket_s = 300;
+  c.min_meetings = 2;
+  c.min_contact_s = 1200;
+  const auto edges = discover_social_links(world.data, c);
+  EXPECT_LE(edges.size(), 2u);  // random POIs rarely coincide in space+time
+}
+
+TEST(SocialLinks, MapReduceMatchesSequential) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 6;
+  cfg.duration_days = 15;
+  cfg.trajectories_per_user_min = 25;
+  cfg.trajectories_per_user_max = 35;
+  cfg.friends_per_user = 1;
+  cfg.seed = 603;
+  const auto world = geo::generate_dataset(cfg);
+
+  mr::ClusterConfig cc;
+  cc.num_worker_nodes = 4;
+  cc.nodes_per_rack = 2;
+  cc.chunk_size = 1 << 15;
+  cc.execution_threads = 2;
+  mr::Dfs dfs(cc);
+  geo::dataset_to_dfs(dfs, "/in", world.data, 3);
+
+  CoLocationConfig c;
+  c.radius_m = 60;
+  c.time_bucket_s = 300;
+  c.min_meetings = 2;
+  c.min_contact_s = 1200;
+  const auto mr_result = run_colocation_job(dfs, cc, "/in/", "/pairs", c);
+  const auto seq = discover_social_links(geo::dataset_from_dfs(dfs, "/in/"), c);
+  EXPECT_EQ(mr_result.edges, seq);
+  EXPECT_GT(mr_result.job.num_reduce_tasks, 1);
+}
+
+TEST(SocialLinks, RejectsBadConfig) {
+  CoLocationConfig c;
+  c.radius_m = 0;
+  EXPECT_THROW(discover_social_links({}, c), gepeto::CheckFailure);
+}
+
+TEST(GeneratorSocial, FriendshipsFormARing) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 5;
+  cfg.duration_days = 10;
+  cfg.trajectories_per_user_min = 10;
+  cfg.trajectories_per_user_max = 15;
+  cfg.friends_per_user = 1;
+  cfg.seed = 604;
+  const auto world = geo::generate_dataset(cfg);
+  EXPECT_EQ(world.friendships.size(), 5u);  // ring over 5 users
+  for (const auto& [a, b] : world.friendships) EXPECT_LT(a, b);
+}
+
+TEST(GeneratorSocial, FriendsShareALeisurePoi) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = 4;
+  cfg.duration_days = 10;
+  cfg.trajectories_per_user_min = 10;
+  cfg.trajectories_per_user_max = 15;
+  cfg.friends_per_user = 1;
+  cfg.seed = 605;
+  const auto world = geo::generate_dataset(cfg);
+  for (const auto& [a, b] : world.friendships) {
+    bool shared = false;
+    for (const auto& pa : world.profiles[static_cast<std::size_t>(a)].pois)
+      for (const auto& pb : world.profiles[static_cast<std::size_t>(b)].pois)
+        shared |= (pa.latitude == pb.latitude && pa.longitude == pb.longitude);
+    EXPECT_TRUE(shared) << a << "-" << b;
+  }
+}
+
+}  // namespace
+}  // namespace gepeto::core

@@ -1,0 +1,280 @@
+// gepeto — command-line driver for the toolkit.
+//
+// Operates on GeoLife-layout directories (Data/<user>/Trajectory/*.plt), so
+// it works on the real GeoLife download as well as on generated data.
+//
+//   gepeto generate --out DIR [--users N] [--traces M] [--seed S] [--friends K]
+//   gepeto stats    --data DIR
+//   gepeto sample   --data DIR --out DIR2 [--window SECONDS] [--technique upper|middle]
+//   gepeto pois     --data DIR --user ID [--geojson FILE]
+//   gepeto attack   --data DIR            (POI + home/work + de-anonymization)
+//   gepeto social   --data DIR            (co-location link discovery)
+//   gepeto sanitize --data DIR --out DIR2 (--mask METERS | --round METERS | --cloak K)
+//   gepeto heatmap  --data DIR --cell METERS --out FILE.csv
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "geo/stats.h"
+#include "gepeto/export.h"
+#include "gepeto/mmc.h"
+#include "gepeto/poi.h"
+#include "gepeto/sampling.h"
+#include "gepeto/sanitize.h"
+#include "gepeto/social.h"
+
+namespace {
+
+using namespace gepeto;
+
+/// Trivial "--key value" argument map.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::cerr << "expected --flag, got '" << argv[i] << "'\n";
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (v.empty()) {
+      std::cerr << "missing required flag --" << key << "\n";
+      std::exit(2);
+    }
+    return v;
+  }
+
+  long num(const std::string& key, long fallback) const {
+    const auto v = get(key);
+    return v.empty() ? fallback : std::stol(v);
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << contents;
+  std::cout << "wrote " << path << " (" << contents.size() << " bytes)\n";
+}
+
+int cmd_generate(const Args& args) {
+  const auto out = args.require("out");
+  auto cfg = geo::scaled_config(static_cast<int>(args.num("users", 20)),
+                                static_cast<std::uint64_t>(args.num("traces", 200000)),
+                                static_cast<std::uint64_t>(args.num("seed", 2013)));
+  cfg.friends_per_user = static_cast<int>(args.num("friends", 0));
+  const auto world = geo::generate_dataset(cfg);
+  const auto files = geo::write_geolife_directory(world.data, out);
+  std::cout << "generated " << world.data.num_users() << " users, "
+            << format_count(world.data.num_traces()) << " traces into "
+            << files << " PLT files under " << out << "\n";
+  if (!world.friendships.empty())
+    std::cout << world.friendships.size()
+              << " ground-truth friendships (co-visit the shared POIs)\n";
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  std::cout << geo::describe(geo::compute_stats(data));
+  return 0;
+}
+
+int cmd_sample(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  core::SamplingConfig config;
+  config.window_s = static_cast<int>(args.num("window", 60));
+  config.technique = args.get("technique", "upper") == "middle"
+                         ? core::SamplingTechnique::kMiddle
+                         : core::SamplingTechnique::kUpperLimit;
+  const auto sampled = core::downsample(data, config);
+  geo::write_geolife_directory(sampled, args.require("out"));
+  std::cout << "sampled " << format_count(data.num_traces()) << " -> "
+            << format_count(sampled.num_traces()) << " traces (window "
+            << config.window_s << " s)\n";
+  return 0;
+}
+
+core::DjClusterConfig attack_config(const Args& args) {
+  core::DjClusterConfig c;
+  c.radius_m = static_cast<double>(args.num("radius", 60));
+  c.min_pts = static_cast<int>(args.num("minpts", 10));
+  return c;
+}
+
+int cmd_pois(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  const auto uid = static_cast<std::int32_t>(args.num("user", 0));
+  if (!data.has_user(uid)) {
+    std::cerr << "no such user: " << uid << "\n";
+    return 1;
+  }
+  const auto extracted = core::extract_pois(data.trail(uid), attack_config(args));
+  Table t("POIs of user " + std::to_string(uid));
+  t.header({"#", "lat", "lon", "traces", "night", "office", "role"});
+  for (std::size_t i = 0; i < extracted.pois.size(); ++i) {
+    const auto& p = extracted.pois[i];
+    std::string role;
+    if (static_cast<int>(i) == extracted.home_index) role = "HOME";
+    if (static_cast<int>(i) == extracted.work_index) role = "WORK";
+    t.row({std::to_string(i), format_double(p.latitude, 5),
+           format_double(p.longitude, 5), std::to_string(p.num_traces),
+           std::to_string(p.night_traces), std::to_string(p.office_traces),
+           role});
+  }
+  t.print(std::cout);
+  if (args.has("geojson"))
+    write_file(args.get("geojson"), core::pois_to_geojson(extracted));
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  const auto config = attack_config(args);
+  core::MmcConfig mmc_config;
+  mmc_config.clustering = config;
+
+  Table t("inference-attack summary");
+  t.header({"user", "POIs", "home?", "work?", "prediction acc"});
+  for (auto uid : data.users()) {
+    const auto pois = core::extract_pois(data.trail(uid), config);
+    const double acc = core::prediction_accuracy(data.trail(uid), mmc_config);
+    t.row({std::to_string(uid), std::to_string(pois.pois.size()),
+           pois.home_index >= 0 ? "yes" : "-",
+           pois.work_index >= 0 ? "yes" : "-",
+           acc >= 0 ? format_double(acc, 2) : "n/a"});
+  }
+  t.print(std::cout);
+
+  // De-anonymization on split trails.
+  std::vector<core::MobilityMarkovChain> gallery, probes;
+  std::vector<int> truth;
+  for (auto uid : data.users()) {
+    const auto& trail = data.trail(uid);
+    if (trail.size() < 100) continue;
+    const auto half = static_cast<std::ptrdiff_t>(trail.size() / 2);
+    gallery.push_back(core::learn_mmc(
+        geo::Trail(trail.begin(), trail.begin() + half), mmc_config));
+    probes.push_back(core::learn_mmc(
+        geo::Trail(trail.begin() + half, trail.end()), mmc_config));
+    truth.push_back(static_cast<int>(truth.size()));
+  }
+  if (!probes.empty()) {
+    const auto r = core::deanonymization_attack(gallery, probes, truth);
+    std::cout << "de-anonymization: " << r.correct << "/" << probes.size()
+              << " half-trails re-identified (" << 100 * r.accuracy << "%)\n";
+  }
+  return 0;
+}
+
+int cmd_social(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  core::CoLocationConfig config;
+  config.radius_m = static_cast<double>(args.num("radius", 60));
+  config.min_meetings = static_cast<int>(args.num("meetings", 2));
+  const auto edges = core::discover_social_links(data, config);
+  Table t("predicted social links");
+  t.header({"a", "b", "meetings", "contact"});
+  for (const auto& e : edges)
+    t.row({std::to_string(e.a), std::to_string(e.b),
+           std::to_string(e.meetings), format_seconds(e.contact_seconds)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sanitize(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  geo::GeolocatedDataset out;
+  std::string what;
+  if (args.has("mask")) {
+    out = core::gaussian_mask(data, static_cast<double>(args.num("mask", 100)),
+                              static_cast<std::uint64_t>(args.num("seed", 1)));
+    what = "gaussian mask";
+  } else if (args.has("round")) {
+    out = core::spatial_rounding(data,
+                                 static_cast<double>(args.num("round", 250)));
+    what = "spatial rounding";
+  } else if (args.has("cloak")) {
+    out = core::spatial_cloaking(data, static_cast<int>(args.num("cloak", 2)),
+                                 static_cast<double>(args.num("cell", 200)))
+              .data;
+    what = "spatial cloaking";
+  } else {
+    std::cerr << "pick one of --mask METERS | --round METERS | --cloak K\n";
+    return 2;
+  }
+  geo::write_geolife_directory(out, args.require("out"));
+  std::cout << "applied " << what << "; " << format_count(out.num_traces())
+            << " traces written\n";
+  return 0;
+}
+
+int cmd_heatmap(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  write_file(args.require("out"),
+             core::heatmap_csv(data, static_cast<double>(args.num("cell", 500))));
+  return 0;
+}
+
+void usage() {
+  std::cerr <<
+      "usage: gepeto <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate --out DIR [--users N] [--traces M] [--seed S] [--friends K]\n"
+      "  stats    --data DIR\n"
+      "  sample   --data DIR --out DIR [--window S] [--technique upper|middle]\n"
+      "  pois     --data DIR --user ID [--geojson FILE] [--radius M] [--minpts N]\n"
+      "  attack   --data DIR [--radius M] [--minpts N]\n"
+      "  social   --data DIR [--radius M] [--meetings N]\n"
+      "  sanitize --data DIR --out DIR (--mask M | --round M | --cloak K)\n"
+      "  heatmap  --data DIR --out FILE.csv [--cell M]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const Args args(argc, argv);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "sample") return cmd_sample(args);
+    if (cmd == "pois") return cmd_pois(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "social") return cmd_social(args);
+    if (cmd == "sanitize") return cmd_sanitize(args);
+    if (cmd == "heatmap") return cmd_heatmap(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage();
+  return 2;
+}
