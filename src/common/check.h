@@ -46,6 +46,17 @@ namespace detail {
     }                                                                   \
   } while (0)
 
+/// Unconditional invariant violation ("can't happen" branches); reads better
+/// than GEPETO_CHECK_MSG(false, ...) and keeps [[noreturn]] reachable to the
+/// compiler through check_failed.
+#define GEPETO_FAIL(msg)                                                \
+  do {                                                                  \
+    std::ostringstream gepeto_check_os_;                                \
+    gepeto_check_os_ << msg;                                            \
+    ::gepeto::detail::check_failed("unreachable", __FILE__, __LINE__,   \
+                                   gepeto_check_os_.str());             \
+  } while (0)
+
 #ifdef NDEBUG
 #define GEPETO_DCHECK(expr) ((void)0)
 #else

@@ -447,6 +447,7 @@ DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
   filter.name = "dj-filter-moving";
   filter.input = input;
   filter.output = work_prefix + "/filtered";
+  filter.failures = config.failures;
   const double threshold = config.speed_threshold_ms;
   stats.filter_job = mr::run_map_only_job(
       dfs, cluster, filter,
@@ -457,6 +458,7 @@ DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
   dedup.name = "dj-remove-duplicates";
   dedup.input = work_prefix + "/filtered";
   dedup.output = work_prefix + "/preprocessed";
+  dedup.failures = config.failures;
   const double radius = config.duplicate_radius_m;
   stats.dedup_job = mr::run_map_only_job(
       dfs, cluster, dedup, [radius] { return DedupMapper{radius}; });
@@ -493,6 +495,7 @@ DjMapReduceResult run_djcluster_jobs(mr::Dfs& dfs,
   job.input = work_prefix + "/preprocessed";
   job.output = work_prefix + "/clusters";
   job.num_reducers = 1;  // "a single reducer implements the last phase"
+  job.failures = config.failures;
   job.cache_files = {entries_file};
   const double radius = config.radius_m;
   const int min_pts = config.min_pts;

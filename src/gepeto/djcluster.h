@@ -48,6 +48,9 @@ struct DjClusterConfig {
   double radius_m = 100.0;
   /// Minimum neighborhood size MinPts (the point itself counts).
   int min_pts = 8;
+  /// Failure policy applied to all three MapReduce jobs of the pipeline
+  /// (injected attempt failures, retries, skip mode — see mr::FailurePolicy).
+  mr::FailurePolicy failures;
 };
 
 /// A stable identifier for a trace: (user id, timestamp) packed into 64

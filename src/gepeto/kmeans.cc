@@ -287,24 +287,51 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
                               const KMeansConfig& config) {
   GEPETO_CHECK(config.k > 0 && config.max_iterations > 0);
 
-  // Initialization phase: "randomly picks k mobility traces as initial
-  // centroids ... performed by a single node" — the driver reads the input
-  // and reservoir-samples, then writes the iteration-0 clusters file.
   KMeansResult result;
-  {
-    const auto dataset = geo::dataset_from_dfs(dfs, input);
-    result.centroids =
-        config.kmeanspp_init
-            ? kmeanspp_centroids(dataset, config.k, config.seed)
-            : initial_centroids(dataset, config.k, config.seed);
+  char name[64];
+  int start_iter = 0;
+
+  if (config.resume) {
+    // Resume from the latest persisted centroid checkpoint: iter-NNN holds
+    // the centroids entering iteration NNN, so a job that died during
+    // iteration NNN re-runs exactly that iteration.
+    const auto checkpoints = dfs.list(clusters_path + "/iter-");
+    if (!checkpoints.empty()) {
+      const std::string& last = checkpoints.back();  // zero-padded: max = last
+      const std::size_t dash = last.rfind('-');
+      GEPETO_CHECK(dash != std::string::npos);
+      int n = -1;
+      const auto r = std::from_chars(last.data() + dash + 1,
+                                     last.data() + last.size(), n);
+      GEPETO_CHECK_MSG(r.ec == std::errc() && n >= 0,
+                       "unparsable checkpoint name: " << last);
+      start_iter = n;
+      result.centroids = centroids_from_lines(dfs.read(last));
+      GEPETO_CHECK_MSG(
+          static_cast<int>(result.centroids.size()) == config.k,
+          "checkpoint " << last << " holds " << result.centroids.size()
+                        << " centroids, config.k = " << config.k);
+    }
   }
 
-  char name[64];
-  std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(), 0);
-  dfs.put(name, centroids_to_lines(result.centroids));
+  if (result.centroids.empty()) {
+    // Initialization phase: "randomly picks k mobility traces as initial
+    // centroids ... performed by a single node" — the driver reads the input
+    // and reservoir-samples, then writes the iteration-0 clusters file.
+    {
+      const auto dataset = geo::dataset_from_dfs(dfs, input);
+      result.centroids =
+          config.kmeanspp_init
+              ? kmeanspp_centroids(dataset, config.k, config.seed)
+              : initial_centroids(dataset, config.k, config.seed);
+    }
+    std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
+                  0);
+    dfs.put(name, centroids_to_lines(result.centroids));
+  }
 
   bool first_job = true;
-  for (int iter = 0; iter < config.max_iterations; ++iter) {
+  for (int iter = start_iter; iter < config.max_iterations; ++iter) {
     std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
                   iter);
     const std::string clusters_file = name;
@@ -318,6 +345,9 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
     job.num_reducers = std::min(config.k, cluster.total_reduce_slots());
     job.use_combiner = config.use_combiner;
     job.cache_files = {clusters_file};
+    job.failures = config.failures;
+    if (config.fault_iteration < 0 || config.fault_iteration == iter)
+      job.fault_plan = config.fault_plan;
 
     const geo::DistanceKind kind = config.distance;
     const auto jr = mr::run_mapreduce_job(

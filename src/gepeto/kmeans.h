@@ -44,6 +44,20 @@ struct KMeansConfig {
   std::uint64_t seed = 1;                     ///< initial-centroid selection
   bool use_combiner = false;
   bool kmeanspp_init = false;                 ///< k-means++ instead of uniform
+
+  // --- fault tolerance (MapReduce path only) -------------------------------
+  /// Failure policy applied to every iteration job.
+  mr::FailurePolicy failures;
+  /// Chaos plan for iteration jobs (see mr::FaultPlan).
+  mr::FaultPlan fault_plan;
+  /// Apply `fault_plan` only to this iteration (0-based); -1 = every
+  /// iteration. Lets a test crash iteration N, then resume past it.
+  int fault_iteration = -1;
+  /// Resume from the latest `clusters_path + "/iter-NNN"` checkpoint instead
+  /// of re-initializing — the driver persists centroids every iteration, so
+  /// after a JobError the caller can retry with `resume = true` and only the
+  /// failed iteration (and later ones) re-run.
+  bool resume = false;
 };
 
 struct IterationStats {
@@ -58,7 +72,7 @@ struct IterationStats {
 struct KMeansResult {
   std::vector<Centroid> centroids;
   std::vector<std::uint64_t> cluster_sizes;
-  int iterations = 0;
+  int iterations = 0;  ///< iterations executed by this call (resume excluded)
   bool converged = false;
   double sse = 0.0;  ///< sum of squared (degree-space) distances to centroids
   std::vector<IterationStats> per_iteration;  ///< MapReduce runs only

@@ -180,7 +180,7 @@ std::int64_t window_reference(const SamplingConfig& config,
     case SamplingTechnique::kMiddle:
       return window_index * config.window_s + config.window_s / 2;
   }
-  GEPETO_CHECK_MSG(false, "unknown SamplingTechnique");
+  GEPETO_FAIL("unknown SamplingTechnique");
 }
 
 geo::GeolocatedDataset downsample(const geo::GeolocatedDataset& dataset,
@@ -204,13 +204,15 @@ mr::JobResult run_sampling_job(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
                                const std::string& input,
                                const std::string& output,
                                const SamplingConfig& config,
-                               const mr::FailurePolicy& failures) {
+                               const mr::FailurePolicy& failures,
+                               const mr::FaultPlan& fault_plan) {
   GEPETO_CHECK(config.window_s > 0);
   mr::JobConfig job;
   job.name = "sampling";
   job.input = input;
   job.output = output;
   job.failures = failures;
+  job.fault_plan = fault_plan;
   return mr::run_map_only_job(dfs, cluster, job,
                               [config] { return SamplingMapper{config}; });
 }

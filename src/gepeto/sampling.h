@@ -52,12 +52,14 @@ geo::GeolocatedDataset downsample(const geo::GeolocatedDataset& dataset,
 /// Map-only MapReduce job over dataset lines (input: DFS prefix of files of
 /// dataset lines sorted by (user, time); output: dataset lines). `failures`
 /// optionally injects per-attempt task failures (re-executed by the
-/// jobtracker; the output is unaffected).
+/// jobtracker; the output is unaffected). `fault_plan` deterministically
+/// crashes chosen attempts and kills datanodes mid-job (see mr::FaultPlan).
 mr::JobResult run_sampling_job(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
                                const std::string& input,
                                const std::string& output,
                                const SamplingConfig& config,
-                               const mr::FailurePolicy& failures = {});
+                               const mr::FailurePolicy& failures = {},
+                               const mr::FaultPlan& fault_plan = {});
 
 /// Map-only sampling over SequenceFile-style *binary* inputs
 /// (geo::dataset_to_dfs_binary); output is dataset lines, so this job also

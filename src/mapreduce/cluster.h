@@ -66,6 +66,12 @@ struct ClusterConfig {
   /// straggler model speculative execution exists to fight.
   std::vector<double> node_speed_factor;
 
+  /// Hadoop's tasktracker blacklisting (mapred.max.tracker.failures): once
+  /// this many failed attempts land on one node within a phase, the virtual
+  /// jobtracker stops assigning work to it for the rest of the phase.
+  /// 0 disables blacklisting. The last usable node is never blacklisted.
+  int blacklist_after_failures = 0;
+
   double speed_of(int node) const {
     if (node_speed_factor.empty()) return 1.0;
     GEPETO_DCHECK(node >= 0 &&
@@ -110,6 +116,7 @@ struct ClusterConfig {
                              static_cast<std::size_t>(num_worker_nodes),
                      "node_speed_factor must have one entry per worker node");
     for (double f : node_speed_factor) GEPETO_CHECK(f > 0.0);
+    GEPETO_CHECK(blacklist_after_failures >= 0);
   }
 };
 

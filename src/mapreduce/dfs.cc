@@ -175,13 +175,18 @@ void Dfs::revive_node(int node) {
   node_alive_[static_cast<std::size_t>(node)] = true;
 }
 
-std::size_t Dfs::re_replicate() {
-  std::size_t created = 0;
+ReReplicationReport Dfs::re_replicate() {
+  ReReplicationReport report;
   for (auto& [path, file] : files_) {
-    for (auto& ci : file.chunks) {
-      GEPETO_CHECK_MSG(!ci.replicas.empty(),
-                       "data loss: chunk of " << path
-                                              << " has no surviving replica");
+    for (std::size_t c = 0; c < file.chunks.size(); ++c) {
+      auto& ci = file.chunks[c];
+      if (ci.replicas.empty()) {
+        // Every replica died: the chunk is gone. Report it instead of
+        // throwing — a map-only job with max_failed_task_fraction can
+        // tolerate losing some input splits.
+        report.lost.push_back({path, c, ci.size});
+        continue;
+      }
       while (static_cast<int>(ci.replicas.size()) < config_.replication) {
         // Place a new replica on the least-loaded live node not yet holding
         // one (HDFS's NameNode does the same from its replication queue).
@@ -199,11 +204,16 @@ std::size_t Dfs::re_replicate() {
         if (!best) break;  // not enough live nodes to reach the target factor
         ci.replicas.push_back(*best);
         node_bytes_[static_cast<std::size_t>(*best)] += ci.size;
-        ++created;
+        ++report.created;
+        report.moved_bytes += ci.size;
       }
     }
   }
-  return created;
+  // Each copy reads a surviving replica's disk and crosses the rack fabric.
+  const double bytes = static_cast<double>(report.moved_bytes);
+  report.sim_seconds =
+      bytes / config_.disk_bandwidth_Bps + bytes / config_.intra_rack_Bps;
+  return report;
 }
 
 std::size_t Dfs::under_replicated_chunks() const {

@@ -30,6 +30,26 @@ struct ChunkInfo {
   std::vector<int> replicas;      ///< datanodes holding a copy (live ones)
 };
 
+/// A chunk whose every replica died — the bytes are unrecoverable (callers
+/// decide whether that is tolerable, e.g. via FailurePolicy).
+struct LostChunk {
+  std::string path;
+  std::size_t chunk_index = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Outcome of one re-replication sweep.
+struct ReReplicationReport {
+  std::size_t created = 0;        ///< new replicas placed
+  std::uint64_t moved_bytes = 0;  ///< bytes copied between datanodes
+  /// Modeled copy time: each new replica is read from a surviving copy and
+  /// streamed to its new node (sequentially, as one NameNode replication
+  /// queue worker would drain it).
+  double sim_seconds = 0.0;
+  std::vector<LostChunk> lost;    ///< chunks with no surviving replica
+  bool data_loss() const { return !lost.empty(); }
+};
+
 /// Aggregate DFS statistics.
 struct DfsStats {
   std::uint64_t files = 0;
@@ -84,9 +104,10 @@ class Dfs {
   void revive_node(int node);
 
   /// Restore the replication factor for all under-replicated chunks from
-  /// surviving replicas. Returns the number of new replicas created.
-  /// Throws CheckFailure if some chunk has lost all replicas (data loss).
-  std::size_t re_replicate();
+  /// surviving replicas. Chunks that lost every replica cannot be restored;
+  /// they are reported in ReReplicationReport::lost (never thrown — the
+  /// caller decides whether the loss is tolerable).
+  ReReplicationReport re_replicate();
 
   /// Number of chunks having fewer live replicas than the target factor.
   std::size_t under_replicated_chunks() const;

@@ -31,6 +31,15 @@
 // covers the paper's map-only jobs (sampling, DJ-Cluster preprocessing)
 // where mappers write output lines directly.
 //
+// Failures are *experienced*, not just billed: task code may throw TaskError
+// (and JobConfig::fault_plan can deterministically crash chosen attempts);
+// the engine discards the attempt's partial output — each attempt gets a
+// fresh mapper/reducer and a fresh context — and re-executes the task up to
+// FailurePolicy::max_attempts times. Hadoop's skip mode, the failed-task
+// tolerance fraction, mid-job datanode death with DFS re-replication, and
+// tasktracker blacklisting in the virtual schedule are all modeled; a job
+// that cannot be saved raises a structured JobError instead of aborting.
+//
 // Every job also produces a simulated cluster-clock profile via the virtual
 // jobtracker in scheduler.h.
 #pragma once
@@ -90,7 +99,8 @@ class TaskContext {
 };
 
 /// Context handed to map-only mappers: output lines go straight to the
-/// task's DFS output part file.
+/// task's DFS output part file. One context exists per *attempt*, so a
+/// crashed attempt's partial output is discarded with it.
 class MapOnlyContext : public TaskContext {
  public:
   using TaskContext::TaskContext;
@@ -111,6 +121,7 @@ class MapOnlyContext : public TaskContext {
 };
 
 /// Context handed to mappers (and combiners) of full map-reduce jobs.
+/// Attempt-scoped, like MapOnlyContext.
 template <typename K, typename V>
 class MapContext : public TaskContext {
  public:
@@ -127,6 +138,7 @@ class MapContext : public TaskContext {
 };
 
 /// Context handed to reducers; output lines form the job's DFS output.
+/// Attempt-scoped, like MapOnlyContext.
 class ReduceContext : public TaskContext {
  public:
   using TaskContext::TaskContext;
@@ -165,7 +177,11 @@ inline std::vector<SplitDesc> gather_splits(const Dfs& dfs,
   return splits;
 }
 
-/// Deterministic injected-failure count for task `index` of a job.
+/// Deterministic injected-failure count for task `index` of a job: the first
+/// N attempts crash, the next succeeds. Capped at max_attempts - 1 so that
+/// probabilistic injection alone never sinks a job (as in Hadoop, where four
+/// attempts virtually always suffice); driving a task to exhaustion — and a
+/// JobError — takes explicit FaultPlan::crashes entries.
 inline int injected_failures(const JobConfig& job, std::uint64_t seed,
                              std::uint64_t phase, std::uint64_t index) {
   if (job.failures.task_failure_prob <= 0.0) return 0;
@@ -176,8 +192,6 @@ inline int injected_failures(const JobConfig& job, std::uint64_t seed,
          rng.chance(job.failures.task_failure_prob)) {
     ++failures;
   }
-  GEPETO_CHECK_MSG(failures < job.failures.max_attempts,
-                   "task exceeded max attempts");
   return failures;
 }
 
@@ -213,10 +227,11 @@ void sort_pairs(std::vector<std::pair<K, V>>& pairs) {
 }
 
 /// Invoke `fn(key, span_of_values)` for each run of equal keys in sorted
-/// pairs. Values are moved into a scratch vector to present a contiguous
-/// span, as Hadoop presents an iterator per key group.
+/// pairs. Values are copied into a scratch vector to present a contiguous
+/// span, as Hadoop presents an iterator per key group. Copies (not moves) so
+/// the pairs survive intact for a retried reduce attempt.
 template <typename K, typename V, typename Fn>
-void for_each_group(std::vector<std::pair<K, V>>& sorted, Fn&& fn) {
+void for_each_group(const std::vector<std::pair<K, V>>& sorted, Fn&& fn) {
   std::vector<V> values;
   std::size_t i = 0;
   while (i < sorted.size()) {
@@ -224,7 +239,7 @@ void for_each_group(std::vector<std::pair<K, V>>& sorted, Fn&& fn) {
     while (j < sorted.size() && sorted[j].first == sorted[i].first) ++j;
     values.clear();
     values.reserve(j - i);
-    for (std::size_t t = i; t < j; ++t) values.push_back(std::move(sorted[t].second));
+    for (std::size_t t = i; t < j; ++t) values.push_back(sorted[t].second);
     fn(sorted[i].first, std::span<const V>(values.data(), values.size()));
     i = j;
   }
@@ -289,6 +304,282 @@ struct BinaryRecords {
   std::uint64_t overread_bytes() const { return 0; }
 };
 
+// --- fault-tolerant task execution -----------------------------------------
+
+/// Internal: one attempt crashed. `record` is the input key (line offset /
+/// record index / reduce group ordinal) the task was processing, or -1 when
+/// the crash is not attributable to a record (machine-style failure).
+struct AttemptFailure {
+  std::int64_t record = -1;
+  std::string message;
+};
+
+/// Outcome of one task after the retry loop.
+template <typename Out>
+struct TaskTry {
+  Out value{};
+  bool ok = false;
+  int attempts = 0;                ///< attempts consumed (incl. the success)
+  int crashed_attempts = 0;        ///< attempts that crashed
+  std::uint64_t skipped_records = 0;
+  bool skip_budget_exhausted = false;
+  std::string error;               ///< why the task permanently failed
+};
+
+inline bool in_skip_set(const std::vector<std::int64_t>& skip,
+                        std::int64_t key) {
+  return !skip.empty() &&
+         std::find(skip.begin(), skip.end(), key) != skip.end();
+}
+
+/// Execute one task with Hadoop-style retries and skip mode. `attempt` is
+/// called with (records_to_skip, inject_crash) and must either return the
+/// task's output or throw AttemptFailure; it is responsible for building a
+/// fresh task object + context per call so crashed attempts leave nothing
+/// behind. A record that crashes two consecutive attempts is pinpointed and
+/// skipped (within FailurePolicy::max_skipped_records); pinpointing counts
+/// as progress and refreshes the attempt budget, as Hadoop's skip mode
+/// effectively does by narrowing the bad range each re-execution.
+template <typename Out, typename AttemptFn>
+TaskTry<Out> run_task_attempts(const JobConfig& job, std::uint64_t seed,
+                               int phase, std::size_t task,
+                               AttemptFn&& attempt) {
+  const int max_attempts = std::max(1, job.failures.max_attempts);
+  const int injected =
+      injected_failures(job, seed, static_cast<std::uint64_t>(phase), task);
+  TaskTry<Out> out;
+  std::vector<std::int64_t> skip;
+  std::int64_t last_failed_record = -1;
+  bool have_last_failed = false;
+  int attempt_no = 0;       // global attempt ordinal (FaultPlan numbering)
+  int since_progress = 0;   // attempts since the last pinpointed record
+  for (;;) {
+    const bool inject =
+        attempt_no < injected ||
+        job.fault_plan.crashes_attempt(phase, static_cast<int>(task),
+                                       attempt_no);
+    try {
+      out.value = attempt(std::as_const(skip), inject);
+      out.ok = true;
+      out.attempts = attempt_no + 1;
+      out.skipped_records = skip.size();
+      return out;
+    } catch (const AttemptFailure& f) {
+      ++out.crashed_attempts;
+      ++attempt_no;
+      ++since_progress;
+      if (job.failures.max_skipped_records > 0 && f.record >= 0 &&
+          have_last_failed && f.record == last_failed_record) {
+        // Two consecutive attempts died on the same record: skip it.
+        if (skip.size() >= job.failures.max_skipped_records) {
+          out.attempts = attempt_no;
+          out.skipped_records = skip.size();
+          out.skip_budget_exhausted = true;
+          out.error = "skip budget exhausted at record " +
+                      std::to_string(f.record) + ": " + f.message;
+          return out;
+        }
+        skip.push_back(f.record);
+        have_last_failed = false;
+        since_progress = 0;
+        continue;
+      }
+      have_last_failed = f.record >= 0;
+      last_failed_record = f.record;
+      if (since_progress >= max_attempts) {
+        out.attempts = attempt_no;
+        out.skipped_records = skip.size();
+        out.error = f.message;
+        return out;
+      }
+    }
+  }
+}
+
+/// A contiguous wave of map tasks, optionally followed by datanode kills
+/// from the fault plan ("after N map tasks completed" = after the first N
+/// tasks by index, a deterministic barrier).
+struct MapSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::vector<int> kills_after;
+};
+
+inline std::vector<MapSegment> plan_map_segments(const FaultPlan& plan,
+                                                 std::size_t num_tasks) {
+  std::vector<std::pair<std::size_t, int>> kills;
+  kills.reserve(plan.node_kills.size());
+  for (const auto& k : plan.node_kills) {
+    const std::size_t at =
+        k.after_map_tasks < 0
+            ? 0
+            : std::min(num_tasks, static_cast<std::size_t>(k.after_map_tasks));
+    kills.emplace_back(at, k.node);
+  }
+  std::stable_sort(kills.begin(), kills.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<MapSegment> segments;
+  std::size_t start = 0, i = 0;
+  while (i < kills.size()) {
+    const std::size_t at = kills[i].first;
+    MapSegment seg{start, std::max(start, at), {}};
+    while (i < kills.size() && kills[i].first == at)
+      seg.kills_after.push_back(kills[i++].second);
+    segments.push_back(std::move(seg));
+    start = segments.back().end;
+  }
+  segments.push_back({start, num_tasks, {}});
+  return segments;
+}
+
+inline std::vector<int> dead_nodes_of(const Dfs& dfs) {
+  std::vector<int> dead;
+  for (int n = 0; n < dfs.config().num_worker_nodes; ++n)
+    if (!dfs.node_alive(n)) dead.push_back(n);
+  return dead;
+}
+
+/// Aggregate outcome of the (possibly multi-wave) map phase.
+struct MapPhaseOutcome {
+  double makespan = 0.0;
+  double recovery_seconds = 0.0;
+  std::vector<int> assigned_node;  ///< -1 for tasks that never ran
+  std::vector<bool> lost;          ///< split had no live replica at its wave
+  int data_local = 0;
+  int rack_local = 0;
+  int remote = 0;
+  int speculative_copies = 0;
+  int speculative_wins = 0;
+  int blacklisted_nodes = 0;
+  int lost_chunks = 0;
+};
+
+/// Run the map phase in fault-plan waves. `run_task(t)` executes task t's
+/// retry loop (filling `tries[t]`); `cost_of(t)` builds that task's virtual
+/// cost from `tries[t]` afterwards (replicas and failed attempts are filled
+/// in here). Between waves, the chaos harness kills the planned datanodes,
+/// the namenode re-replicates surviving chunks (billed to the simulated
+/// clock), and later waves re-resolve replicas against the shrunk cluster.
+template <typename Out, typename RunTask, typename CostOf>
+MapPhaseOutcome run_map_phase(Dfs& dfs, const ClusterConfig& config,
+                              const JobConfig& job,
+                              const std::vector<SplitDesc>& splits,
+                              std::vector<TaskTry<Out>>& tries,
+                              RunTask&& run_task, CostOf&& cost_of) {
+  const std::size_t num_tasks = splits.size();
+  MapPhaseOutcome out;
+  out.assigned_node.assign(num_tasks, -1);
+  out.lost.assign(num_tasks, false);
+
+  std::vector<int> dead = dead_nodes_of(dfs);
+  std::vector<std::vector<int>> replicas(num_tasks);
+
+  for (const auto& seg : plan_map_segments(job.fault_plan, num_tasks)) {
+    for (std::size_t t = seg.begin; t < seg.end; ++t) {
+      const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+      replicas[t] = ci.replicas;
+      out.lost[t] = ci.replicas.empty();
+    }
+    {
+      ThreadPool pool(config.resolved_execution_threads());
+      std::vector<std::future<void>> futs;
+      futs.reserve(seg.end - seg.begin);
+      for (std::size_t t = seg.begin; t < seg.end; ++t) {
+        if (out.lost[t]) continue;
+        futs.push_back(pool.submit([&run_task, t] { run_task(t); }));
+      }
+      for (auto& f : futs) f.get();
+    }
+
+    // Virtual-time schedule of this wave; dead nodes hold no slots. A
+    // permanently failed task still occupied slots with its crashed
+    // attempts — the schedule models those (plus one closing attempt).
+    std::vector<std::size_t> ids;
+    std::vector<MapTaskCost> costs;
+    for (std::size_t t = seg.begin; t < seg.end; ++t) {
+      if (out.lost[t]) continue;
+      MapTaskCost c = cost_of(t);
+      c.replica_nodes = replicas[t];
+      c.failed_attempts = tries[t].crashed_attempts;
+      ids.push_back(t);
+      costs.push_back(std::move(c));
+    }
+    const MapSchedule sched = schedule_map_phase(config, costs, dead);
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      out.assigned_node[ids[i]] = sched.assigned_node[i];
+    out.makespan += sched.makespan;
+    out.data_local += sched.data_local;
+    out.rack_local += sched.rack_local;
+    out.remote += sched.remote;
+    out.speculative_copies += sched.speculative_copies;
+    out.speculative_wins += sched.speculative_wins;
+    out.blacklisted_nodes += sched.blacklisted_nodes;
+
+    // Apply this wave's datanode kills, then let the namenode recover what
+    // it can from surviving replicas.
+    bool killed = false;
+    for (const int node : seg.kills_after) {
+      if (node < 0 || node >= config.num_worker_nodes) continue;
+      if (!dfs.node_alive(node)) continue;
+      int live = 0;
+      for (int n = 0; n < config.num_worker_nodes; ++n)
+        if (dfs.node_alive(n)) ++live;
+      if (live <= 1)
+        throw JobError(JobError::Kind::kDataLoss, job.name, /*phase=*/1,
+                       /*task_index=*/-1, /*attempts=*/0,
+                       "fault plan would kill the last live datanode");
+      dfs.kill_node(node);
+      killed = true;
+    }
+    if (killed) {
+      const ReReplicationReport report = dfs.re_replicate();
+      out.recovery_seconds += report.sim_seconds;
+      out.lost_chunks += static_cast<int>(report.lost.size());
+      dead = dead_nodes_of(dfs);
+    }
+  }
+  return out;
+}
+
+/// Enforce FailurePolicy::max_failed_task_fraction after the map phase.
+/// Returns the number of permanently failed (tolerated) map tasks, or throws
+/// JobError when the job cannot be saved.
+template <typename Out>
+int enforce_map_failure_policy(const JobConfig& job,
+                               const std::vector<TaskTry<Out>>& tries,
+                               const std::vector<bool>& lost) {
+  int failed = 0;
+  for (std::size_t t = 0; t < tries.size(); ++t)
+    if (lost[t] || !tries[t].ok) ++failed;
+  if (failed == 0) return 0;
+
+  const int allowed = static_cast<int>(job.failures.max_failed_task_fraction *
+                                       static_cast<double>(tries.size()));
+  if (failed <= allowed) return failed;
+
+  if (allowed > 0)
+    throw JobError(JobError::Kind::kTooManyFailedTasks, job.name, /*phase=*/1,
+                   /*task_index=*/-1, /*attempts=*/0,
+                   std::to_string(failed) + " of " +
+                       std::to_string(tries.size()) +
+                       " map tasks failed (tolerated: " +
+                       std::to_string(allowed) + ")");
+  for (std::size_t t = 0; t < tries.size(); ++t) {
+    if (lost[t])
+      throw JobError(JobError::Kind::kDataLoss, job.name, /*phase=*/1,
+                     static_cast<int>(t), /*attempts=*/0,
+                     "input split lost every DFS replica");
+    if (!tries[t].ok)
+      throw JobError(tries[t].skip_budget_exhausted
+                         ? JobError::Kind::kSkipBudgetExhausted
+                         : JobError::Kind::kAttemptsExhausted,
+                     job.name, /*phase=*/1, static_cast<int>(t),
+                     tries[t].attempts, tries[t].error);
+  }
+  GEPETO_FAIL("failed-task count disagrees with per-task state");
+}
+
 template <typename Records, typename MapperFactory>
 JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
                                 const JobConfig& job,
@@ -299,7 +590,8 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
 /// Run a map-only job (num_reducers is ignored; no shuffle happens). Each
 /// map task writes its output lines to `output/part-m-NNNNN`.
 ///
-/// `make_mapper` is invoked once per map task and must return a fresh mapper.
+/// `make_mapper` is invoked once per map task *attempt* and must return a
+/// fresh mapper.
 template <typename MapperFactory>
 JobResult run_map_only_job(Dfs& dfs, const ClusterConfig& config,
                            const JobConfig& job, MapperFactory make_mapper) {
@@ -325,6 +617,9 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
                                 const JobConfig& job,
                                 MapperFactory make_mapper) {
   config.validate();
+  GEPETO_CHECK(job.failures.max_attempts > 0);
+  GEPETO_CHECK(job.failures.max_failed_task_fraction >= 0.0 &&
+               job.failures.max_failed_task_fraction <= 1.0);
   Stopwatch wall;
   JobResult result;
   result.job_name = job.name;
@@ -341,73 +636,106 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
     double cpu_seconds = 0.0;
     Counters counters;
   };
-  std::vector<TaskOut> outs(splits.size());
+  std::vector<detail::TaskTry<TaskOut>> tries(splits.size());
 
-  {
-    ThreadPool pool(config.resolved_execution_threads());
-    std::vector<std::future<void>> futs;
-    futs.reserve(splits.size());
-    for (std::size_t t = 0; t < splits.size(); ++t) {
-      futs.push_back(pool.submit([&, t] {
-        CpuStopwatch cpu;
-        auto mapper = make_mapper();
-        MapOnlyContext ctx(dfs, job, static_cast<int>(t));
-        detail::maybe_setup(mapper, ctx);
-        const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
-        Records reader(dfs.read(splits[t].path), ci.offset, ci.size);
-        std::uint64_t records = 0;
-        while (reader.next()) {
-          mapper.map(reader.key(), reader.value(), ctx);
-          ++records;
-        }
-        detail::maybe_cleanup(mapper, ctx);
-        outs[t].output = std::move(ctx.output());
-        outs[t].records = ctx.records();
-        outs[t].input_records = records;
-        outs[t].input_bytes = ci.size + reader.overread_bytes();
-        outs[t].cpu_seconds = cpu.seconds();
-        outs[t].counters = ctx.counters();
-      }));
-    }
-    for (auto& f : futs) f.get();
-  }
+  auto run_task = [&](std::size_t t) {
+    tries[t] = detail::run_task_attempts<TaskOut>(
+        job, config.seed, /*phase=*/1, t,
+        [&, t](const std::vector<std::int64_t>& skip, bool inject) {
+          CpuStopwatch cpu;
+          auto mapper = make_mapper();
+          MapOnlyContext ctx(dfs, job, static_cast<int>(t));
+          try {
+            detail::maybe_setup(mapper, ctx);
+          } catch (const TaskError& e) {
+            throw detail::AttemptFailure{-1, e.what()};
+          }
+          const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+          Records reader(dfs.read(splits[t].path), ci.offset, ci.size);
+          std::uint64_t records = 0;
+          while (reader.next()) {
+            const std::int64_t key = reader.key();
+            if (detail::in_skip_set(skip, key)) continue;
+            try {
+              mapper.map(key, reader.value(), ctx);
+            } catch (const TaskError& e) {
+              throw detail::AttemptFailure{key, e.what()};
+            }
+            ++records;
+            // An injected crash strikes after the first record so the
+            // discarded attempt provably had partial output; it is not
+            // attributed to the record (a machine crash, not a bad record).
+            if (inject)
+              throw detail::AttemptFailure{-1, "injected attempt crash"};
+          }
+          if (inject)  // empty / fully-skipped split: crash anyway
+            throw detail::AttemptFailure{-1, "injected attempt crash"};
+          try {
+            detail::maybe_cleanup(mapper, ctx);
+          } catch (const TaskError& e) {
+            throw detail::AttemptFailure{-1, e.what()};
+          }
+          TaskOut out;
+          out.output = std::move(ctx.output());
+          out.records = ctx.records();
+          out.input_records = records;
+          out.input_bytes = ci.size + reader.overread_bytes();
+          out.cpu_seconds = cpu.seconds();
+          out.counters = ctx.counters();
+          return out;
+        });
+  };
+  auto cost_of = [&](std::size_t t) {
+    MapTaskCost c;
+    c.input_bytes =
+        tries[t].ok
+            ? tries[t].value.input_bytes
+            : dfs.chunks(splits[t].path)[splits[t].chunk_index].size;
+    c.output_bytes = tries[t].value.output.size();
+    c.cpu_seconds = tries[t].value.cpu_seconds;
+    return c;
+  };
 
-  // Virtual-time schedule.
-  std::vector<MapTaskCost> costs(splits.size());
+  const detail::MapPhaseOutcome phase = detail::run_map_phase<TaskOut>(
+      dfs, config, job, splits, tries, run_task, cost_of);
+
+  result.failed_tasks =
+      detail::enforce_map_failure_policy(job, tries, phase.lost);
+
+  // Merge volumes/counters and write part files of the successful tasks
+  // (first replica on the node that ran the task in the schedule).
   for (std::size_t t = 0; t < splits.size(); ++t) {
-    costs[t].input_bytes = outs[t].input_bytes;
-    costs[t].output_bytes = outs[t].output.size();
-    costs[t].cpu_seconds = outs[t].cpu_seconds;
-    costs[t].replica_nodes =
-        dfs.chunks(splits[t].path)[splits[t].chunk_index].replicas;
-    costs[t].failed_attempts =
-        detail::injected_failures(job, config.seed, /*phase=*/1, t);
-    result.failed_task_attempts += costs[t].failed_attempts;
-  }
-  const MapSchedule sched = schedule_map_phase(config, costs);
-
-  // Write part files with first replica on the node that ran the task.
-  for (std::size_t t = 0; t < splits.size(); ++t) {
-    result.map_input_records += outs[t].input_records;
-    result.input_bytes += outs[t].input_bytes;
-    result.output_records += outs[t].records;
-    result.output_bytes += outs[t].output.size();
-    for (const auto& [k, v] : outs[t].counters) result.counters[k] += v;
+    result.failed_task_attempts += tries[t].crashed_attempts;
+    if (!tries[t].ok) continue;
+    auto& out = tries[t].value;
+    result.map_input_records += out.input_records;
+    result.input_bytes += out.input_bytes;
+    result.output_records += out.records;
+    result.output_bytes += out.output.size();
+    result.skipped_records += tries[t].skipped_records;
+    for (const auto& [k, v] : out.counters) result.counters[k] += v;
     dfs.put(detail::part_name(job.output, "m", static_cast<int>(t)),
-            std::move(outs[t].output), sched.assigned_node[t]);
+            std::move(out.output), phase.assigned_node[t]);
   }
   result.map_output_records = result.output_records;
   result.combine_output_records = result.output_records;
+  if (result.skipped_records > 0)
+    result.counters["SkippedRecords"] +=
+        static_cast<std::int64_t>(result.skipped_records);
 
-  result.data_local_maps = sched.data_local;
-  result.rack_local_maps = sched.rack_local;
-  result.remote_maps = sched.remote;
-  result.speculative_copies = sched.speculative_copies;
-  result.speculative_wins = sched.speculative_wins;
+  result.data_local_maps = phase.data_local;
+  result.rack_local_maps = phase.rack_local;
+  result.remote_maps = phase.remote;
+  result.speculative_copies = phase.speculative_copies;
+  result.speculative_wins = phase.speculative_wins;
+  result.blacklisted_nodes = phase.blacklisted_nodes;
+  result.lost_chunks = phase.lost_chunks;
   result.sim_startup_seconds = config.job_startup_seconds +
                                detail::cache_distribution_seconds(dfs, config, job);
-  result.sim_map_seconds = sched.makespan;
-  result.sim_seconds = result.sim_startup_seconds + sched.makespan;
+  result.sim_map_seconds = phase.makespan;
+  result.sim_recovery_seconds = phase.recovery_seconds;
+  result.sim_seconds = result.sim_startup_seconds + result.sim_map_seconds +
+                       result.sim_recovery_seconds;
   result.real_seconds = wall.seconds();
   return result;
 }
@@ -418,7 +746,7 @@ struct NoCombiner {};
 
 /// Run a full map-reduce job. See the file header for the Mapper / Reducer /
 /// Combiner shapes. `make_mapper` / `make_reducer` / `make_combiner` are
-/// invoked once per task.
+/// invoked once per task attempt.
 template <typename MapperFactory, typename ReducerFactory,
           typename CombinerFactory = NoCombiner>
 JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
@@ -432,6 +760,9 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
 
   config.validate();
   GEPETO_CHECK(job.num_reducers > 0);
+  GEPETO_CHECK(job.failures.max_attempts > 0);
+  GEPETO_CHECK(job.failures.max_failed_task_fraction >= 0.0 &&
+               job.failures.max_failed_task_fraction <= 1.0);
   GEPETO_CHECK_MSG(!job.use_combiner || kHasCombiner,
                    "job.use_combiner set but no combiner factory given");
   Stopwatch wall;
@@ -457,90 +788,112 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     double cpu_seconds = 0.0;
     Counters counters;
   };
-  std::vector<MapOut> mouts(splits.size());
+  std::vector<detail::TaskTry<MapOut>> mtries(splits.size());
 
-  {
-    ThreadPool pool(config.resolved_execution_threads());
-    std::vector<std::future<void>> futs;
-    futs.reserve(splits.size());
-    for (std::size_t t = 0; t < splits.size(); ++t) {
-      futs.push_back(pool.submit([&, t] {
-        CpuStopwatch cpu;
-        auto mapper = make_mapper();
-        MapContext<K, V> ctx(dfs, job, static_cast<int>(t));
-        detail::maybe_setup(mapper, ctx);
-        const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
-        LineRecordReader reader(dfs.read(splits[t].path), ci.offset, ci.size);
-        std::uint64_t records = 0;
-        while (reader.next()) {
-          mapper.map(reader.key(), reader.value(), ctx);
-          ++records;
-        }
-        detail::maybe_cleanup(mapper, ctx);
-
-        MapOut& out = mouts[t];
-        out.input_records = records;
-        out.input_bytes = ci.size + reader.overread_bytes();
-        out.raw_records = ctx.pairs().size();
-        out.raw_bytes = detail::pairs_bytes(ctx.pairs());
-
-        // Partition, sort, and (optionally) combine — per partition, like
-        // Hadoop's sort-and-spill with a combiner pass.
-        out.buckets.resize(static_cast<std::size_t>(R));
-        out.bucket_bytes.assign(static_cast<std::size_t>(R), 0);
-        for (auto& kv : ctx.pairs()) {
-          const auto p = detail::partition_of(kv.first, R);
-          out.buckets[p].push_back(std::move(kv));
-        }
-        for (int r = 0; r < R; ++r) {
-          auto& bucket = out.buckets[static_cast<std::size_t>(r)];
-          detail::sort_pairs(bucket);
-          if constexpr (kHasCombiner) {
-            if (job.use_combiner) {
-              auto combiner = make_combiner();
-              MapContext<K, V> cctx(dfs, job, static_cast<int>(t));
-              detail::for_each_group(
-                  bucket, [&](const K& key, std::span<const V> values) {
-                    combiner.combine(key, values, cctx);
-                  });
-              bucket = std::move(cctx.pairs());
-              detail::sort_pairs(bucket);
-            }
+  auto run_map_task = [&](std::size_t t) {
+    mtries[t] = detail::run_task_attempts<MapOut>(
+        job, config.seed, /*phase=*/1, t,
+        [&, t](const std::vector<std::int64_t>& skip, bool inject) {
+          CpuStopwatch cpu;
+          auto mapper = make_mapper();
+          MapContext<K, V> ctx(dfs, job, static_cast<int>(t));
+          try {
+            detail::maybe_setup(mapper, ctx);
+          } catch (const TaskError& e) {
+            throw detail::AttemptFailure{-1, e.what()};
           }
-          out.combined_records += bucket.size();
-          out.bucket_bytes[static_cast<std::size_t>(r)] =
-              detail::pairs_bytes(bucket);
-        }
-        out.cpu_seconds = cpu.seconds();
-        out.counters = ctx.counters();
-      }));
+          const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+          LineRecordReader reader(dfs.read(splits[t].path), ci.offset, ci.size);
+          std::uint64_t records = 0;
+          while (reader.next()) {
+            const std::int64_t key = reader.key();
+            if (detail::in_skip_set(skip, key)) continue;
+            try {
+              mapper.map(key, reader.value(), ctx);
+            } catch (const TaskError& e) {
+              throw detail::AttemptFailure{key, e.what()};
+            }
+            ++records;
+            if (inject)
+              throw detail::AttemptFailure{-1, "injected attempt crash"};
+          }
+          if (inject)
+            throw detail::AttemptFailure{-1, "injected attempt crash"};
+          try {
+            detail::maybe_cleanup(mapper, ctx);
+          } catch (const TaskError& e) {
+            throw detail::AttemptFailure{-1, e.what()};
+          }
+
+          MapOut out;
+          out.input_records = records;
+          out.input_bytes = ci.size + reader.overread_bytes();
+          out.raw_records = ctx.pairs().size();
+          out.raw_bytes = detail::pairs_bytes(ctx.pairs());
+
+          // Partition, sort, and (optionally) combine — per partition, like
+          // Hadoop's sort-and-spill with a combiner pass.
+          out.buckets.resize(static_cast<std::size_t>(R));
+          out.bucket_bytes.assign(static_cast<std::size_t>(R), 0);
+          for (auto& kv : ctx.pairs()) {
+            const auto p = detail::partition_of(kv.first, R);
+            out.buckets[p].push_back(std::move(kv));
+          }
+          for (int r = 0; r < R; ++r) {
+            auto& bucket = out.buckets[static_cast<std::size_t>(r)];
+            detail::sort_pairs(bucket);
+            if constexpr (kHasCombiner) {
+              if (job.use_combiner) {
+                auto combiner = make_combiner();
+                MapContext<K, V> cctx(dfs, job, static_cast<int>(t));
+                detail::for_each_group(
+                    bucket, [&](const K& key, std::span<const V> values) {
+                      combiner.combine(key, values, cctx);
+                    });
+                bucket = std::move(cctx.pairs());
+                detail::sort_pairs(bucket);
+              }
+            }
+            out.combined_records += bucket.size();
+            out.bucket_bytes[static_cast<std::size_t>(r)] =
+                detail::pairs_bytes(bucket);
+          }
+          out.cpu_seconds = cpu.seconds();
+          out.counters = ctx.counters();
+          return out;
+        });
+  };
+  auto map_cost_of = [&](std::size_t t) {
+    MapTaskCost c;
+    if (mtries[t].ok) {
+      std::uint64_t spill = 0;
+      for (auto b : mtries[t].value.bucket_bytes) spill += b;
+      c.input_bytes = mtries[t].value.input_bytes;
+      c.output_bytes = spill;
+      c.cpu_seconds = mtries[t].value.cpu_seconds;
+    } else {
+      c.input_bytes = dfs.chunks(splits[t].path)[splits[t].chunk_index].size;
     }
-    for (auto& f : futs) f.get();
-  }
+    return c;
+  };
 
-  // Virtual-time map schedule.
-  std::vector<MapTaskCost> mcosts(splits.size());
-  for (std::size_t t = 0; t < splits.size(); ++t) {
-    std::uint64_t spill = 0;
-    for (auto b : mouts[t].bucket_bytes) spill += b;
-    mcosts[t].input_bytes = mouts[t].input_bytes;
-    mcosts[t].output_bytes = spill;
-    mcosts[t].cpu_seconds = mouts[t].cpu_seconds;
-    mcosts[t].replica_nodes =
-        dfs.chunks(splits[t].path)[splits[t].chunk_index].replicas;
-    mcosts[t].failed_attempts =
-        detail::injected_failures(job, config.seed, /*phase=*/1, t);
-    result.failed_task_attempts += mcosts[t].failed_attempts;
-  }
-  const MapSchedule msched = schedule_map_phase(config, mcosts);
+  const detail::MapPhaseOutcome mphase = detail::run_map_phase<MapOut>(
+      dfs, config, job, splits, mtries, run_map_task, map_cost_of);
+
+  result.failed_tasks =
+      detail::enforce_map_failure_policy(job, mtries, mphase.lost);
 
   for (std::size_t t = 0; t < splits.size(); ++t) {
-    result.map_input_records += mouts[t].input_records;
-    result.input_bytes += mouts[t].input_bytes;
-    result.map_output_records += mouts[t].raw_records;
-    result.map_output_bytes += mouts[t].raw_bytes;
-    result.combine_output_records += mouts[t].combined_records;
-    for (const auto& [k, v] : mouts[t].counters) result.counters[k] += v;
+    result.failed_task_attempts += mtries[t].crashed_attempts;
+    if (!mtries[t].ok) continue;
+    const auto& out = mtries[t].value;
+    result.map_input_records += out.input_records;
+    result.input_bytes += out.input_bytes;
+    result.map_output_records += out.raw_records;
+    result.map_output_bytes += out.raw_bytes;
+    result.combine_output_records += out.combined_records;
+    result.skipped_records += mtries[t].skipped_records;
+    for (const auto& [k, v] : out.counters) result.counters[k] += v;
   }
 
   // --- shuffle + reduce (real execution) -----------------------------------
@@ -551,16 +904,18 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     double cpu_seconds = 0.0;
     Counters counters;
   };
-  std::vector<ReduceOut> routs(static_cast<std::size_t>(R));
+  std::vector<detail::TaskTry<ReduceOut>> rtries(static_cast<std::size_t>(R));
   std::vector<ReduceTaskCost> rcosts(static_cast<std::size_t>(R));
 
-  // Shuffle accounting: bytes each reducer pulls from each map task, tagged
-  // with the node the map task ran on in the virtual schedule.
+  // Shuffle accounting: bytes each reducer pulls from each surviving map
+  // task, tagged with the node that map task ran on in the virtual schedule.
   for (int r = 0; r < R; ++r) {
     auto& rc = rcosts[static_cast<std::size_t>(r)];
     for (std::size_t t = 0; t < splits.size(); ++t) {
-      const std::uint64_t b = mouts[t].bucket_bytes[static_cast<std::size_t>(r)];
-      if (b > 0) rc.shuffle_from.emplace_back(msched.assigned_node[t], b);
+      if (!mtries[t].ok) continue;  // failed maps contributed no spill
+      const std::uint64_t b =
+          mtries[t].value.bucket_bytes[static_cast<std::size_t>(r)];
+      if (b > 0) rc.shuffle_from.emplace_back(mphase.assigned_node[t], b);
       result.shuffle_bytes += b;
     }
   }
@@ -571,72 +926,124 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     futs.reserve(static_cast<std::size_t>(R));
     for (int r = 0; r < R; ++r) {
       futs.push_back(pool.submit([&, r] {
-        CpuStopwatch cpu;
-        // Merge this partition's buckets from every map task. Map-task order
-        // then emission order keeps grouping deterministic (stable sort).
+        // Merge this partition's buckets from every surviving map task. Map-
+        // task order then emission order keeps grouping deterministic (stable
+        // sort). The merged run is built once; attempts iterate it without
+        // consuming it (for_each_group copies values), so a crashed reduce
+        // attempt can be re-run from the same shuffled input, as Hadoop
+        // re-fetches map output that is still on the mappers' disks.
         std::vector<std::pair<K, V>> merged;
         std::size_t total = 0;
-        for (const auto& m : mouts)
-          total += m.buckets[static_cast<std::size_t>(r)].size();
+        for (const auto& m : mtries) {
+          if (!m.ok) continue;
+          total += m.value.buckets[static_cast<std::size_t>(r)].size();
+        }
         merged.reserve(total);
-        for (auto& m : mouts) {
-          auto& b = m.buckets[static_cast<std::size_t>(r)];
+        for (auto& m : mtries) {
+          if (!m.ok) continue;
+          auto& b = m.value.buckets[static_cast<std::size_t>(r)];
           std::move(b.begin(), b.end(), std::back_inserter(merged));
         }
         detail::sort_pairs(merged);
 
-        auto reducer = make_reducer();
-        ReduceContext ctx(dfs, job, r);
-        detail::maybe_setup(reducer, ctx);
-        std::uint64_t groups = 0;
-        detail::for_each_group(merged,
-                               [&](const K& key, std::span<const V> values) {
-                                 reducer.reduce(key, values, ctx);
-                                 ++groups;
-                               });
-        detail::maybe_cleanup(reducer, ctx);
-        auto& out = routs[static_cast<std::size_t>(r)];
-        out.output = std::move(ctx.output());
-        out.records = ctx.records();
-        out.groups = groups;
-        out.cpu_seconds = cpu.seconds();
-        out.counters = ctx.counters();
+        rtries[static_cast<std::size_t>(r)] =
+            detail::run_task_attempts<ReduceOut>(
+                job, config.seed, /*phase=*/2, static_cast<std::size_t>(r),
+                [&](const std::vector<std::int64_t>& skip, bool inject) {
+                  CpuStopwatch cpu;
+                  auto reducer = make_reducer();
+                  ReduceContext ctx(dfs, job, r);
+                  try {
+                    detail::maybe_setup(reducer, ctx);
+                  } catch (const TaskError& e) {
+                    throw detail::AttemptFailure{-1, e.what()};
+                  }
+                  std::uint64_t groups = 0;
+                  std::int64_t ordinal = -1;  // group index = skip-mode key
+                  detail::for_each_group(
+                      merged, [&](const K& key, std::span<const V> values) {
+                        ++ordinal;
+                        if (detail::in_skip_set(skip, ordinal)) return;
+                        try {
+                          reducer.reduce(key, values, ctx);
+                        } catch (const TaskError& e) {
+                          throw detail::AttemptFailure{ordinal, e.what()};
+                        }
+                        ++groups;
+                        if (inject)
+                          throw detail::AttemptFailure{
+                              -1, "injected attempt crash"};
+                      });
+                  if (inject)  // no group processed: crash anyway
+                    throw detail::AttemptFailure{-1, "injected attempt crash"};
+                  try {
+                    detail::maybe_cleanup(reducer, ctx);
+                  } catch (const TaskError& e) {
+                    throw detail::AttemptFailure{-1, e.what()};
+                  }
+                  ReduceOut out;
+                  out.output = std::move(ctx.output());
+                  out.records = ctx.records();
+                  out.groups = groups;
+                  out.cpu_seconds = cpu.seconds();
+                  out.counters = ctx.counters();
+                  return out;
+                });
       }));
     }
     for (auto& f : futs) f.get();
   }
 
+  // A reduce task that exhausted its attempts sinks the job: its partition's
+  // output is simply missing, and reduce output is never partial in Hadoop.
   for (int r = 0; r < R; ++r) {
-    auto& rc = rcosts[static_cast<std::size_t>(r)];
-    rc.cpu_seconds = routs[static_cast<std::size_t>(r)].cpu_seconds;
-    rc.output_bytes = routs[static_cast<std::size_t>(r)].output.size();
-    rc.failed_attempts = detail::injected_failures(
-        job, config.seed, /*phase=*/2, static_cast<std::uint64_t>(r));
-    result.failed_task_attempts += rc.failed_attempts;
+    const auto& rt = rtries[static_cast<std::size_t>(r)];
+    result.failed_task_attempts += rt.crashed_attempts;
+    if (rt.ok) continue;
+    throw JobError(rt.skip_budget_exhausted
+                       ? JobError::Kind::kSkipBudgetExhausted
+                       : JobError::Kind::kAttemptsExhausted,
+                   job.name, /*phase=*/2, r, rt.attempts, rt.error);
   }
-  const ReduceSchedule rsched = schedule_reduce_phase(config, rcosts);
 
   for (int r = 0; r < R; ++r) {
-    auto& out = routs[static_cast<std::size_t>(r)];
+    auto& rc = rcosts[static_cast<std::size_t>(r)];
+    rc.cpu_seconds = rtries[static_cast<std::size_t>(r)].value.cpu_seconds;
+    rc.output_bytes = rtries[static_cast<std::size_t>(r)].value.output.size();
+    rc.failed_attempts = rtries[static_cast<std::size_t>(r)].crashed_attempts;
+  }
+  const ReduceSchedule rsched =
+      schedule_reduce_phase(config, rcosts, detail::dead_nodes_of(dfs));
+
+  for (int r = 0; r < R; ++r) {
+    auto& rt = rtries[static_cast<std::size_t>(r)];
+    auto& out = rt.value;
     result.reduce_input_groups += out.groups;
     result.output_records += out.records;
     result.output_bytes += out.output.size();
+    result.skipped_records += rt.skipped_records;
     for (const auto& [k, v] : out.counters) result.counters[k] += v;
     dfs.put(detail::part_name(job.output, "r", r), std::move(out.output),
             rsched.assigned_node[static_cast<std::size_t>(r)]);
   }
+  if (result.skipped_records > 0)
+    result.counters["SkippedRecords"] +=
+        static_cast<std::int64_t>(result.skipped_records);
 
-  result.data_local_maps = msched.data_local;
-  result.rack_local_maps = msched.rack_local;
-  result.remote_maps = msched.remote;
-  result.speculative_copies = msched.speculative_copies;
-  result.speculative_wins = msched.speculative_wins;
+  result.data_local_maps = mphase.data_local;
+  result.rack_local_maps = mphase.rack_local;
+  result.remote_maps = mphase.remote;
+  result.speculative_copies = mphase.speculative_copies;
+  result.speculative_wins = mphase.speculative_wins;
+  result.blacklisted_nodes = mphase.blacklisted_nodes + rsched.blacklisted_nodes;
+  result.lost_chunks = mphase.lost_chunks;
   result.sim_startup_seconds = config.job_startup_seconds +
                                detail::cache_distribution_seconds(dfs, config, job);
-  result.sim_map_seconds = msched.makespan;
+  result.sim_map_seconds = mphase.makespan;
   result.sim_reduce_seconds = rsched.makespan;
-  result.sim_seconds =
-      result.sim_startup_seconds + msched.makespan + rsched.makespan;
+  result.sim_recovery_seconds = mphase.recovery_seconds;
+  result.sim_seconds = result.sim_startup_seconds + result.sim_map_seconds +
+                       result.sim_recovery_seconds + result.sim_reduce_seconds;
   result.real_seconds = wall.seconds();
   return result;
 }

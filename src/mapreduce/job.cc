@@ -1,6 +1,62 @@
 #include "mapreduce/job.h"
 
+#include <sstream>
+
+#include "common/random.h"
+
 namespace gepeto::mr {
+
+namespace {
+
+const char* kind_name(JobError::Kind kind) {
+  switch (kind) {
+    case JobError::Kind::kAttemptsExhausted: return "attempts exhausted";
+    case JobError::Kind::kSkipBudgetExhausted: return "skip budget exhausted";
+    case JobError::Kind::kDataLoss: return "data loss";
+    case JobError::Kind::kTooManyFailedTasks: return "too many failed tasks";
+  }
+  return "unknown";
+}
+
+std::string format_job_error(JobError::Kind kind, const std::string& job_name,
+                             int phase, int task_index, int attempts,
+                             const std::string& detail) {
+  std::ostringstream os;
+  os << "job '" << job_name << "' failed (" << kind_name(kind) << ")";
+  if (task_index >= 0) {
+    os << ": " << (phase == 2 ? "reduce" : "map") << " task " << task_index;
+    if (attempts > 0) os << " after " << attempts << " attempt(s)";
+  }
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+}  // namespace
+
+JobError::JobError(Kind kind, std::string job_name, int phase, int task_index,
+                   int attempts, const std::string& detail)
+    : std::runtime_error(format_job_error(kind, job_name, phase, task_index,
+                                          attempts, detail)),
+      kind_(kind),
+      job_name_(std::move(job_name)),
+      phase_(phase),
+      task_index_(task_index),
+      attempts_(attempts) {}
+
+bool FaultPlan::crashes_attempt(int phase, int task, int attempt) const {
+  for (const auto& c : crashes)
+    if (c.phase == phase && c.task == task && c.attempt == attempt) return true;
+  if (attempt_crash_prob > 0.0) {
+    // One independent draw per (phase, task, attempt) coordinate: the outcome
+    // never depends on how host threads interleave the attempts.
+    Rng rng(seed ^ (static_cast<std::uint64_t>(phase) * 0x9e3779b97f4a7c15ULL) ^
+            (static_cast<std::uint64_t>(task) * 0xA24BAED4963EE407ULL) ^
+            ((static_cast<std::uint64_t>(attempt) + 1) *
+             0xD6E8FEB86659FD93ULL));
+    return rng.chance(attempt_crash_prob);
+  }
+  return false;
+}
 
 void JobResult::absorb(const JobResult& next) {
   num_map_tasks += next.num_map_tasks;
@@ -20,10 +76,15 @@ void JobResult::absorb(const JobResult& next) {
   failed_task_attempts += next.failed_task_attempts;
   speculative_copies += next.speculative_copies;
   speculative_wins += next.speculative_wins;
+  failed_tasks += next.failed_tasks;
+  skipped_records += next.skipped_records;
+  blacklisted_nodes += next.blacklisted_nodes;
+  lost_chunks += next.lost_chunks;
   real_seconds += next.real_seconds;
   sim_startup_seconds += next.sim_startup_seconds;
   sim_map_seconds += next.sim_map_seconds;
   sim_reduce_seconds += next.sim_reduce_seconds;
+  sim_recovery_seconds += next.sim_recovery_seconds;
   sim_seconds += next.sim_seconds;
   for (const auto& [k, v] : next.counters) counters[k] += v;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -13,12 +14,103 @@
 
 namespace gepeto::mr {
 
-/// Failure injection: each task attempt fails independently with
-/// `task_failure_prob`; the jobtracker re-executes it (on a different node in
-/// the simulated schedule) up to `max_attempts` times, as Hadoop does.
+/// Thrown by task code (map / reduce / combine / setup / cleanup) to signal a
+/// recoverable task failure — a malformed record, a transient resource error.
+/// The engine discards the attempt's partial output and re-executes the task
+/// up to FailurePolicy::max_attempts times, exactly as a Hadoop task JVM
+/// crash would be retried by the jobtracker. Any other exception type is a
+/// programming error and still propagates.
+class TaskError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the engine when a job fails as a whole. Unlike CheckFailure
+/// (which marks a broken invariant), a JobError is an expected runtime
+/// outcome that callers may catch: e.g. the k-means driver resumes from its
+/// last centroid checkpoint after one.
+class JobError : public std::runtime_error {
+ public:
+  enum class Kind {
+    kAttemptsExhausted,    ///< a task failed FailurePolicy::max_attempts times
+    kSkipBudgetExhausted,  ///< skip mode ran out of max_skipped_records
+    kDataLoss,             ///< an input split lost every DFS replica
+    kTooManyFailedTasks,   ///< failed tasks exceed max_failed_task_fraction
+  };
+
+  JobError(Kind kind, std::string job_name, int phase, int task_index,
+           int attempts, const std::string& detail);
+
+  Kind kind() const { return kind_; }
+  const std::string& job_name() const { return job_name_; }
+  /// 1 = map, 2 = reduce (matching the failure-injection phase ids).
+  int phase() const { return phase_; }
+  /// Index of the task that sank the job, or -1 when not task-specific.
+  int task_index() const { return task_index_; }
+  /// Attempts consumed by that task before the job was failed.
+  int attempts() const { return attempts_; }
+
+ private:
+  Kind kind_;
+  std::string job_name_;
+  int phase_;
+  int task_index_;
+  int attempts_;
+};
+
+/// Deterministic chaos plan. Every decision is derived from `seed` and the
+/// (phase, task, attempt) coordinates — never from wall clock or host thread
+/// interleaving — so a plan reproduces byte-identical runs.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Crash exactly this attempt of this task (phase: 1 = map, 2 = reduce).
+  /// Listing attempts 0 .. max_attempts-1 of one task drives it to
+  /// exhaustion and fails the job with JobError.
+  struct AttemptCrash {
+    int phase = 1;
+    int task = 0;
+    int attempt = 0;
+  };
+  std::vector<AttemptCrash> crashes;
+
+  /// Additionally crash any attempt with this probability, seeded per
+  /// (phase, task, attempt) so the outcome is independent of execution order.
+  double attempt_crash_prob = 0.0;
+
+  /// Kill a datanode once `after_map_tasks` map tasks have completed
+  /// (0 = before the first map wave). The engine re-resolves split replicas,
+  /// runs DFS re-replication, charges the copy time to the simulated clock,
+  /// and surfaces true data loss as JobError / failed tasks.
+  struct NodeKill {
+    int node = 0;
+    int after_map_tasks = 0;
+  };
+  std::vector<NodeKill> node_kills;
+
+  bool crashes_attempt(int phase, int task, int attempt) const;
+
+  bool empty() const {
+    return crashes.empty() && attempt_crash_prob <= 0.0 && node_kills.empty();
+  }
+};
+
+/// Failure handling policy: each task attempt may fail (injected via
+/// `task_failure_prob` / FaultPlan, or for real via TaskError); the engine
+/// re-executes it up to `max_attempts` times, as Hadoop does.
 struct FailurePolicy {
   double task_failure_prob = 0.0;
   int max_attempts = 4;
+  /// Hadoop skip mode (SkipBadRecords): when > 0, a record that crashes two
+  /// consecutive attempts of a task is pinpointed and skipped on the next
+  /// attempt. Each task may skip at most this many records; pinpointing a
+  /// bad record refreshes the task's attempt budget (progress was made).
+  std::uint64_t max_skipped_records = 0;
+  /// Fraction of *map* tasks allowed to fail permanently without failing the
+  /// job (mapred.max.map.failures.percent / 100). Failed tasks contribute no
+  /// output; the loss is reported in JobResult::failed_tasks. Reduce task
+  /// exhaustion always fails the job.
+  double max_failed_task_fraction = 0.0;
 };
 
 struct JobConfig {
@@ -33,6 +125,8 @@ struct JobConfig {
   /// DFS files broadcast to every task (Hadoop distributed cache).
   std::vector<std::string> cache_files;
   FailurePolicy failures;
+  /// Deterministic fault injection experienced by the real execution.
+  FaultPlan fault_plan;
 };
 
 /// Per-job counters, merged from all tasks (deterministic given the seed).
@@ -67,6 +161,12 @@ struct JobResult {
   int speculative_copies = 0;  ///< backup map attempts (speculation enabled)
   int speculative_wins = 0;    ///< backups that beat the original attempt
 
+  // Fault-tolerance outcome of the real execution.
+  int failed_tasks = 0;             ///< permanently failed map tasks (tolerated)
+  std::uint64_t skipped_records = 0;  ///< bad records skipped (skip mode)
+  int blacklisted_nodes = 0;        ///< nodes the virtual jobtracker excluded
+  int lost_chunks = 0;              ///< chunks that lost every replica mid-job
+
   // Real execution on host threads.
   double real_seconds = 0.0;
 
@@ -74,7 +174,8 @@ struct JobResult {
   double sim_startup_seconds = 0.0;
   double sim_map_seconds = 0.0;      ///< map phase makespan
   double sim_reduce_seconds = 0.0;   ///< shuffle + sort + reduce makespan
-  double sim_seconds = 0.0;          ///< total = startup + map + reduce
+  double sim_recovery_seconds = 0.0; ///< DFS re-replication after node deaths
+  double sim_seconds = 0.0;  ///< total = startup + map + recovery + reduce
 
   Counters counters;
 

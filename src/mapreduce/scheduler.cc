@@ -22,16 +22,65 @@ struct SlotEvent {
 using SlotQueue =
     std::priority_queue<SlotEvent, std::vector<SlotEvent>, std::greater<>>;
 
-SlotQueue make_slots(const ClusterConfig& config, int slots_per_node) {
-  SlotQueue q;
-  for (int n = 0; n < config.num_worker_nodes; ++n)
-    for (int s = 0; s < slots_per_node; ++s) q.push({0.0, n, s});
-  return q;
-}
-
 /// Fraction of the attempt duration consumed before an injected failure is
 /// detected (a crashed task occupied its slot for part of its runtime).
 constexpr double kFailedAttemptFraction = 0.5;
+
+/// Which nodes the jobtracker may assign work to, plus Hadoop-style
+/// tasktracker blacklisting: failed attempts are charged to the node they ran
+/// on, and a node reaching `blacklist_after_failures` is dropped from the
+/// phase. The last usable node is never blacklisted so the phase can always
+/// finish (Hadoop likewise refuses to blacklist the whole cluster).
+class NodePool {
+ public:
+  NodePool(const ClusterConfig& config, const std::vector<int>& excluded)
+      : config_(config),
+        usable_(static_cast<std::size_t>(config.num_worker_nodes), true),
+        failures_(static_cast<std::size_t>(config.num_worker_nodes), 0) {
+    for (int n : excluded)
+      if (n >= 0 && n < config.num_worker_nodes)
+        usable_[static_cast<std::size_t>(n)] = false;
+    usable_count_ = static_cast<int>(
+        std::count(usable_.begin(), usable_.end(), true));
+    GEPETO_CHECK_MSG(usable_count_ > 0,
+                     "every worker node is excluded from scheduling");
+  }
+
+  bool usable(int node) const {
+    return usable_[static_cast<std::size_t>(node)];
+  }
+
+  int blacklisted() const { return blacklisted_; }
+
+  SlotQueue make_slots(int slots_per_node) const {
+    SlotQueue q;
+    for (int n = 0; n < config_.num_worker_nodes; ++n) {
+      if (!usable(n)) continue;
+      for (int s = 0; s < slots_per_node; ++s) q.push({0.0, n, s});
+    }
+    return q;
+  }
+
+  /// Record one failed attempt on `node`; may blacklist it.
+  void attempt_failed_on(int node) {
+    ++failures_[static_cast<std::size_t>(node)];
+    if (config_.blacklist_after_failures <= 0) return;
+    if (!usable(node) || usable_count_ <= 1) return;
+    if (failures_[static_cast<std::size_t>(node)] <
+        config_.blacklist_after_failures)
+      return;
+    usable_[static_cast<std::size_t>(node)] = false;
+    --usable_count_;
+    ++blacklisted_;
+  }
+
+ private:
+  const ClusterConfig& config_;
+  std::vector<bool> usable_;
+  std::vector<int> failures_;
+  int usable_count_ = 0;
+  int blacklisted_ = 0;
+};
 
 }  // namespace
 
@@ -88,11 +137,14 @@ double reduce_attempt_seconds(const ClusterConfig& config,
 }
 
 MapSchedule schedule_map_phase(const ClusterConfig& config,
-                               const std::vector<MapTaskCost>& tasks) {
+                               const std::vector<MapTaskCost>& tasks,
+                               const std::vector<int>& excluded_nodes) {
   config.validate();
   MapSchedule out;
   out.assigned_node.assign(tasks.size(), -1);
   if (tasks.empty()) return out;
+
+  NodePool pool(config, excluded_nodes);
 
   // Remaining injected failures per task.
   std::vector<int> failures_left(tasks.size());
@@ -103,7 +155,7 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
   std::vector<double> task_finish(tasks.size(), 0.0);
   std::size_t remaining = tasks.size();
 
-  SlotQueue slots = make_slots(config, config.map_slots_per_node);
+  SlotQueue slots = pool.make_slots(config.map_slots_per_node);
   double makespan = 0.0;
 
   auto rank_of = [&](std::size_t task, int node) {
@@ -119,14 +171,16 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
     // Drain every slot that frees at the same instant, then match tasks to
     // slots greedily by locality across the whole batch — this is what the
     // jobtracker effectively does when several tasktrackers heartbeat with
-    // free slots (and at t=0, when all slots are free at once).
+    // free slots (and at t=0, when all slots are free at once). Slots of
+    // nodes blacklisted since their event was queued are dropped for good.
     GEPETO_CHECK(!slots.empty());
     const double now = slots.top().when;
     std::vector<SlotEvent> free_slots;
     while (!slots.empty() && slots.top().when == now) {
-      free_slots.push_back(slots.top());
+      if (pool.usable(slots.top().node)) free_slots.push_back(slots.top());
       slots.pop();
     }
+    if (free_slots.empty()) continue;
 
     std::vector<bool> slot_used(free_slots.size(), false);
     std::size_t slots_left = free_slots.size();
@@ -138,7 +192,7 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
       for (std::size_t i = 0; i < tasks.size() && best_rank > 0; ++i) {
         if (done[i]) continue;
         for (std::size_t s = 0; s < free_slots.size(); ++s) {
-          if (slot_used[s]) continue;
+          if (slot_used[s] || !pool.usable(free_slots[s].node)) continue;
           const int r = rank_of(i, free_slots[s].node);
           if (r < best_rank) {
             best_rank = r;
@@ -148,7 +202,7 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
           }
         }
       }
-      GEPETO_CHECK(best_rank < 4);
+      if (best_rank == 4) break;  // every remaining slot was blacklisted
       slot_used[best_slot] = true;
       --slots_left;
       const SlotEvent ev = free_slots[best_slot];
@@ -159,8 +213,10 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
         // task goes back to the pending pool (Hadoop re-schedules it, often
         // on a different node since this slot now trails others in time).
         --failures_left[best_task];
-        slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
-                    ev.slot});
+        pool.attempt_failed_on(ev.node);
+        if (pool.usable(ev.node))
+          slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
+                      ev.slot});
         continue;
       }
       done[best_task] = true;
@@ -182,8 +238,8 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
       GEPETO_CHECK(!slots.empty());
       const double next = slots.top().when;
       for (std::size_t s = 0; s < free_slots.size(); ++s)
-        if (!slot_used[s]) slots.push({next, free_slots[s].node,
-                                       free_slots[s].slot});
+        if (!slot_used[s] && pool.usable(free_slots[s].node))
+          slots.push({next, free_slots[s].node, free_slots[s].slot});
     }
   }
 
@@ -196,6 +252,7 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
     while (!slots.empty()) {
       const SlotEvent ev = slots.top();
       slots.pop();
+      if (!pool.usable(ev.node)) continue;  // blacklisted: no backups either
       // The slowest still-running, not-yet-backed-up task at this instant.
       std::size_t best = tasks.size();
       for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -220,28 +277,34 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
   }
 
   out.makespan = makespan;
+  out.blacklisted_nodes = pool.blacklisted();
   return out;
 }
 
 ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
-                                     const std::vector<ReduceTaskCost>& tasks) {
+                                     const std::vector<ReduceTaskCost>& tasks,
+                                     const std::vector<int>& excluded_nodes) {
   config.validate();
   ReduceSchedule out;
   out.assigned_node.assign(tasks.size(), -1);
   if (tasks.empty()) return out;
 
+  NodePool pool(config, excluded_nodes);
+
   std::vector<int> failures_left(tasks.size());
   for (std::size_t i = 0; i < tasks.size(); ++i)
     failures_left[i] = tasks[i].failed_attempts;
 
-  SlotQueue slots = make_slots(config, config.reduce_slots_per_node);
+  SlotQueue slots = pool.make_slots(config.reduce_slots_per_node);
   double makespan = 0.0;
   std::size_t next_task = 0;
   std::vector<std::size_t> retry;  // failed tasks awaiting re-execution
 
   while (next_task < tasks.size() || !retry.empty()) {
+    GEPETO_CHECK(!slots.empty());
     SlotEvent ev = slots.top();
     slots.pop();
+    if (!pool.usable(ev.node)) continue;  // blacklisted since it was queued
 
     std::size_t ti;
     if (!retry.empty()) {
@@ -255,8 +318,10 @@ ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
     if (failures_left[ti] > 0) {
       --failures_left[ti];
       retry.push_back(ti);
-      slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
-                  ev.slot});
+      pool.attempt_failed_on(ev.node);
+      if (pool.usable(ev.node))
+        slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
+                    ev.slot});
       continue;
     }
     out.assigned_node[ti] = ev.node;
@@ -266,6 +331,7 @@ ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
   }
 
   out.makespan = makespan;
+  out.blacklisted_nodes = pool.blacklisted();
   return out;
 }
 

@@ -44,22 +44,30 @@ struct MapSchedule {
   int speculative_copies = 0;
   /// Tasks whose backup copy beat the original attempt.
   int speculative_wins = 0;
+  /// Nodes excluded mid-phase after accumulating failed attempts
+  /// (ClusterConfig::blacklist_after_failures).
+  int blacklisted_nodes = 0;
 };
 
 struct ReduceSchedule {
   double makespan = 0.0;
   std::vector<int> assigned_node;
+  int blacklisted_nodes = 0;
 };
 
-/// Schedule the map phase on the modeled cluster.
+/// Schedule the map phase on the modeled cluster. `excluded_nodes` (e.g.
+/// datanodes killed by the chaos harness) get no task slots; failed attempts
+/// are attributed to the node they ran on and can blacklist it mid-phase.
 MapSchedule schedule_map_phase(const ClusterConfig& config,
-                               const std::vector<MapTaskCost>& tasks);
+                               const std::vector<MapTaskCost>& tasks,
+                               const std::vector<int>& excluded_nodes = {});
 
 /// Schedule the reduce phase; starts (virtually) after the map barrier, as in
 /// the paper ("the reducers have to wait for the completion of the map
 /// phase").
 ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
-                                     const std::vector<ReduceTaskCost>& tasks);
+                                     const std::vector<ReduceTaskCost>& tasks,
+                                     const std::vector<int>& excluded_nodes = {});
 
 /// Modeled seconds for one map attempt running on `node`.
 double map_attempt_seconds(const ClusterConfig& config, const MapTaskCost& t,

@@ -187,8 +187,11 @@ TEST(Dfs, ReReplicateRestoresFactor) {
   dfs.kill_node(1);
   dfs.kill_node(2);
   EXPECT_GT(dfs.under_replicated_chunks(), 0u);
-  const auto created = dfs.re_replicate();
-  EXPECT_GT(created, 0u);
+  const auto report = dfs.re_replicate();
+  EXPECT_GT(report.created, 0u);
+  EXPECT_GT(report.moved_bytes, 0u);
+  EXPECT_GT(report.sim_seconds, 0.0);
+  EXPECT_FALSE(report.data_loss());
   EXPECT_EQ(dfs.under_replicated_chunks(), 0u);
   for (const auto& ci : dfs.chunks("/f")) {
     EXPECT_EQ(ci.replicas.size(), 3u);
@@ -217,7 +220,12 @@ TEST(Dfs, KillingAllReplicaHoldersAtOnceIsDataLoss) {
   const auto replicas = dfs.chunks("/f")[0].replicas;
   ASSERT_EQ(replicas.size(), 2u);
   for (int n : replicas) dfs.kill_node(n);
-  EXPECT_THROW(dfs.re_replicate(), CheckFailure);
+  const auto report = dfs.re_replicate();
+  EXPECT_TRUE(report.data_loss());
+  ASSERT_EQ(report.lost.size(), 1u);
+  EXPECT_EQ(report.lost[0].path, "/f");
+  EXPECT_EQ(report.lost[0].chunk_index, 0u);
+  EXPECT_EQ(report.lost[0].bytes, 8u);  // strlen("precious")
 }
 
 TEST(Dfs, RevivedNodeReceivesNewReplicas) {

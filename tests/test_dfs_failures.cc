@@ -1,0 +1,170 @@
+// DFS failure drills beyond the basics in test_dfs.cc: cascading node
+// deaths, placement on a shrinking cluster, under-replication accounting,
+// and data-loss detection through ReReplicationReport.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig drill_cluster(int nodes = 8, std::size_t chunk = 16,
+                            int replication = 3) {
+  ClusterConfig c;
+  c.num_worker_nodes = nodes;
+  c.nodes_per_rack = 4;
+  c.chunk_size = chunk;
+  c.replication = replication;
+  c.seed = 4321;
+  return c;
+}
+
+TEST(DfsFailures, CascadingKillsWithRecoveryNeverLoseData) {
+  // Kill nodes one at a time, re-replicating in between, until only
+  // `replication` nodes remain: every sweep must fully restore the factor
+  // and report zero lost chunks.
+  Dfs dfs(drill_cluster(8, 16, 3));
+  const std::string payload(700, 'c');
+  dfs.put("/f", payload);
+  for (int n = 0; n < 5; ++n) {  // 8 - 5 = 3 survivors = replication factor
+    dfs.kill_node(n);
+    const auto report = dfs.re_replicate();
+    ASSERT_FALSE(report.data_loss()) << "after killing node " << n;
+    ASSERT_EQ(dfs.under_replicated_chunks(), 0u);
+    ASSERT_EQ(dfs.read("/f"), payload);
+  }
+  // Every remaining replica sits on a live node.
+  for (const auto& ci : dfs.chunks("/f")) {
+    EXPECT_EQ(ci.replicas.size(), 3u);
+    for (int n : ci.replicas) EXPECT_TRUE(dfs.node_alive(n));
+  }
+}
+
+TEST(DfsFailures, PlacementNeverTargetsDeadNodes) {
+  Dfs dfs(drill_cluster(8, 8));
+  dfs.kill_node(2);
+  dfs.kill_node(5);
+  dfs.kill_node(7);
+  dfs.put("/f", std::string(600, 'p'));
+  for (const auto& ci : dfs.chunks("/f")) {
+    for (int n : ci.replicas) {
+      EXPECT_NE(n, 2);
+      EXPECT_NE(n, 5);
+      EXPECT_NE(n, 7);
+      EXPECT_TRUE(dfs.node_alive(n));
+    }
+  }
+}
+
+TEST(DfsFailures, ReReplicationNeverTargetsDeadNodes) {
+  // One kill per rack: with replication 3 at least one replica survives
+  // every chunk, so the sweep must fully recover without touching the dead.
+  Dfs dfs(drill_cluster(8, 8));
+  dfs.put("/f", std::string(600, 'q'));
+  dfs.kill_node(2);
+  dfs.kill_node(5);
+  const auto report = dfs.re_replicate();
+  EXPECT_FALSE(report.data_loss());
+  for (const auto& ci : dfs.chunks("/f")) {
+    std::set<int> uniq(ci.replicas.begin(), ci.replicas.end());
+    EXPECT_EQ(uniq.size(), ci.replicas.size()) << "duplicate replica";
+    for (int n : ci.replicas) EXPECT_TRUE(dfs.node_alive(n));
+  }
+}
+
+TEST(DfsFailures, UnderReplicationTargetsTheLiveClusterSize) {
+  // With fewer live nodes than the replication factor, the achievable target
+  // drops; a full sweep must then report nothing under-replicated.
+  Dfs dfs(drill_cluster(4, 16, 3));
+  dfs.put("/f", std::string(100, 'u'));
+  dfs.kill_node(0);
+  dfs.kill_node(1);  // 2 live nodes < replication 3
+  const auto report = dfs.re_replicate();
+  EXPECT_FALSE(report.data_loss());
+  EXPECT_EQ(dfs.under_replicated_chunks(), 0u);
+  for (const auto& ci : dfs.chunks("/f")) EXPECT_EQ(ci.replicas.size(), 2u);
+}
+
+TEST(DfsFailures, LostChunksAreReportedPerChunk) {
+  auto config = drill_cluster(4, 4, 1);  // replication 1: fragile by design
+  Dfs dfs(config);
+  dfs.put("/f", std::string(16, 'x'));  // 4 chunks, one replica each
+  const auto& chunks = dfs.chunks("/f");
+  // Kill exactly the holder of chunk 0 (and any co-located chunks).
+  const int victim = chunks[0].replicas.at(0);
+  std::size_t expected_lost = 0;
+  for (const auto& ci : chunks) expected_lost += (ci.replicas.at(0) == victim);
+  dfs.kill_node(victim);
+  const auto report = dfs.re_replicate();
+  EXPECT_TRUE(report.data_loss());
+  EXPECT_EQ(report.lost.size(), expected_lost);
+  for (const auto& lost : report.lost) {
+    EXPECT_EQ(lost.path, "/f");
+    EXPECT_EQ(lost.bytes, 4u);
+  }
+  // Surviving chunks must not be misreported.
+  std::set<std::size_t> lost_idx;
+  for (const auto& lost : report.lost) lost_idx.insert(lost.chunk_index);
+  for (std::size_t i = 0; i < chunks.size(); ++i)
+    EXPECT_EQ(lost_idx.count(i) != 0, chunks[i].replicas.empty());
+}
+
+TEST(DfsFailures, SweepIsIdempotentAfterLoss) {
+  // A second sweep over an already-degraded namespace reports the same lost
+  // chunks (they stay lost) and creates nothing new.
+  auto config = drill_cluster(4, 1024, 2);
+  Dfs dfs(config);
+  dfs.put("/f", "irreplaceable");
+  for (int n : std::vector<int>(dfs.chunks("/f")[0].replicas))
+    dfs.kill_node(n);
+  const auto first = dfs.re_replicate();
+  ASSERT_TRUE(first.data_loss());
+  const auto second = dfs.re_replicate();
+  EXPECT_EQ(second.lost.size(), first.lost.size());
+  EXPECT_EQ(second.created, 0u);
+  EXPECT_DOUBLE_EQ(second.sim_seconds, 0.0);
+}
+
+TEST(DfsFailures, RecoveryCostScalesWithMovedBytes) {
+  Dfs dfs(drill_cluster(8, 16, 3));
+  dfs.put("/small", std::string(64, 's'));
+  dfs.put("/big", std::string(6400, 'b'));
+  dfs.kill_node(0);
+  const auto report = dfs.re_replicate();
+  EXPECT_FALSE(report.data_loss());
+  EXPECT_GT(report.created, 0u);
+  EXPECT_GT(report.moved_bytes, 0u);
+  EXPECT_GT(report.sim_seconds, 0.0);
+  // The modeled time is disk + rack transfer for every moved byte.
+  const auto& c = dfs.config();
+  const double expected =
+      static_cast<double>(report.moved_bytes) / c.disk_bandwidth_Bps +
+      static_cast<double>(report.moved_bytes) / c.intra_rack_Bps;
+  EXPECT_DOUBLE_EQ(report.sim_seconds, expected);
+}
+
+TEST(DfsFailures, ReviveThenReReplicateUsesTheReturningNode) {
+  // 3 live nodes of 4 and replication 3: every chunk is pinned to all three
+  // survivors. When the dead node returns (empty), a sweep is a no-op; but
+  // after killing another holder, the revived node is the only candidate.
+  Dfs dfs(drill_cluster(4, 16, 3));
+  dfs.kill_node(3);
+  dfs.put("/f", std::string(100, 'v'));
+  dfs.revive_node(3);
+  dfs.kill_node(0);
+  const auto report = dfs.re_replicate();
+  EXPECT_FALSE(report.data_loss());
+  EXPECT_EQ(dfs.under_replicated_chunks(), 0u);
+  bool revived_used = false;
+  for (const auto& ci : dfs.chunks("/f"))
+    for (int n : ci.replicas) revived_used |= (n == 3);
+  EXPECT_TRUE(revived_used);
+}
+
+}  // namespace
+}  // namespace gepeto::mr

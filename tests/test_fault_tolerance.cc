@@ -1,0 +1,564 @@
+// Fault-tolerance tests: real attempt retries (TaskError), deterministic
+// FaultPlan chaos (attempt crashes, mid-job datanode kills), Hadoop skip
+// mode, job-level failure tolerance, structured JobError reporting, and the
+// checkpoint/resume behaviour of the k-means driver.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig chaos_cluster(std::size_t chunk = 8, int nodes = 4) {
+  ClusterConfig c;
+  c.num_worker_nodes = nodes;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 99;
+  return c;
+}
+
+/// Map-only: pass every line through (identity), counting records.
+struct EchoMapper {
+  void map(std::int64_t, std::string_view line, MapOnlyContext& ctx) {
+    ctx.write(line);
+    ctx.increment("echoed");
+  }
+};
+
+/// Map-only: throws TaskError on lines equal to "bad".
+struct BadRecordMapper {
+  void map(std::int64_t, std::string_view line, MapOnlyContext& ctx) {
+    if (line == "bad") throw TaskError("poison record");
+    ctx.write(line);
+  }
+};
+
+/// Word count (reduce path), with a reducer that poisons one key.
+struct WcMapper {
+  using OutKey = std::string;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view line,
+           MapContext<OutKey, OutValue>& ctx) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) ctx.emit(std::string(line.substr(i, j - i)), 1);
+      i = j;
+    }
+  }
+};
+
+struct WcReducer {
+  std::string poison;  ///< reduce() throws TaskError on this key
+  void reduce(const std::string& key, std::span<const std::int64_t> values,
+              ReduceContext& ctx) {
+    if (!poison.empty() && key == poison) throw TaskError("poison key");
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(key + "\t" + std::to_string(sum));
+  }
+};
+
+std::string read_all(const Dfs& dfs, const std::string& dir) {
+  std::string all;
+  for (const auto& p : dfs.list(dir + "/")) all += dfs.read(p);
+  return all;
+}
+
+JobConfig echo_job(const std::string& out = "/out") {
+  JobConfig job;
+  job.name = "echo";
+  job.input = "/in";
+  job.output = out;
+  return job;
+}
+
+const char* kLines = "aa\nbb\ncc\ndd\nee\nff\ngg\nhh\n";
+
+// --- attempt retries ---------------------------------------------------------
+
+TEST(Retries, CrashedAttemptIsReExecutedAndOutputPreserved) {
+  const auto c = chaos_cluster();
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  const auto clean = run_map_only_job(dfs, c, echo_job("/clean"),
+                                      [] { return EchoMapper{}; });
+
+  auto job = echo_job();
+  job.fault_plan.crashes = {{/*phase=*/1, /*task=*/0, /*attempt=*/0}};
+  const auto r = run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+  // The attempt crashed after writing its first record; that partial output
+  // must have been discarded, not duplicated.
+  EXPECT_EQ(read_all(dfs, "/out"), read_all(dfs, "/clean"));
+  EXPECT_EQ(r.failed_task_attempts, 1);
+  EXPECT_EQ(r.failed_tasks, 0);
+  EXPECT_EQ(r.output_records, clean.output_records);
+  EXPECT_EQ(r.counters.at("echoed"), clean.counters.at("echoed"));
+}
+
+TEST(Retries, ProbabilisticChaosIsDeterministicAndHarmless) {
+  auto run = [](std::uint64_t chaos_seed) {
+    const auto c = chaos_cluster();
+    Dfs dfs(c);
+    dfs.put("/in/data", kLines);
+    auto job = echo_job();
+    job.fault_plan.seed = chaos_seed;
+    job.fault_plan.attempt_crash_prob = 0.5;
+    const auto r = run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+    return std::pair{read_all(dfs, "/out"), r.failed_task_attempts};
+  };
+  const auto [out_a, attempts_a] = run(7);
+  const auto [out_b, attempts_b] = run(7);
+  EXPECT_EQ(out_a, out_b);  // byte-identical for the same seed
+  EXPECT_EQ(attempts_a, attempts_b);
+  EXPECT_EQ(out_a, kLines);  // and identical to the fault-free output
+  EXPECT_GT(attempts_a, 0);
+}
+
+TEST(Retries, ExhaustingMaxAttemptsRaisesJobError) {
+  const auto c = chaos_cluster();
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  auto job = echo_job();
+  job.fault_plan.crashes = {{1, 0, 0}, {1, 0, 1}, {1, 0, 2}, {1, 0, 3}};
+  try {
+    run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kAttemptsExhausted);
+    EXPECT_EQ(e.phase(), 1);
+    EXPECT_EQ(e.task_index(), 0);
+    EXPECT_EQ(e.attempts(), 4);
+    EXPECT_NE(std::string(e.what()).find("echo"), std::string::npos);
+  }
+}
+
+TEST(Retries, MaxAttemptsBoundsInjectedFailures) {
+  // The legacy probabilistic injection (FailurePolicy::task_failure_prob)
+  // now drives the same real-retry machinery; with fewer injected failures
+  // than max_attempts the job must succeed with identical output.
+  const auto c = chaos_cluster();
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  auto job = echo_job();
+  job.failures.task_failure_prob = 0.8;
+  const auto r = run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+  EXPECT_EQ(read_all(dfs, "/out"), kLines);
+  EXPECT_GT(r.failed_task_attempts, 0);
+}
+
+// --- skip mode ---------------------------------------------------------------
+
+TEST(SkipMode, BadRecordsArePinpointedAndSkipped) {
+  const auto c = chaos_cluster(/*chunk=*/64);  // one split
+  Dfs dfs(c);
+  dfs.put("/in/data", "aa\nbad\ncc\n");
+  auto job = echo_job();
+  job.failures.max_skipped_records = 4;
+  const auto r =
+      run_map_only_job(dfs, c, job, [] { return BadRecordMapper{}; });
+  EXPECT_EQ(read_all(dfs, "/out"), "aa\ncc\n");
+  EXPECT_EQ(r.skipped_records, 1u);
+  EXPECT_EQ(r.counters.at("SkippedRecords"), 1);
+  // Pinpointing takes two crashed attempts before the third succeeds.
+  EXPECT_EQ(r.failed_task_attempts, 2);
+  EXPECT_EQ(r.failed_tasks, 0);
+}
+
+TEST(SkipMode, MultipleBadRecordsWithinBudget) {
+  const auto c = chaos_cluster(/*chunk=*/64);
+  Dfs dfs(c);
+  dfs.put("/in/data", "bad\naa\nbad\nbb\nbad\n");
+  auto job = echo_job();
+  job.failures.max_skipped_records = 3;
+  const auto r =
+      run_map_only_job(dfs, c, job, [] { return BadRecordMapper{}; });
+  EXPECT_EQ(read_all(dfs, "/out"), "aa\nbb\n");
+  EXPECT_EQ(r.skipped_records, 3u);
+}
+
+TEST(SkipMode, DisabledByDefaultSoBadRecordSinksTheJob) {
+  const auto c = chaos_cluster(/*chunk=*/64);
+  Dfs dfs(c);
+  dfs.put("/in/data", "aa\nbad\ncc\n");
+  try {
+    run_map_only_job(dfs, c, echo_job(), [] { return BadRecordMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kAttemptsExhausted);
+    EXPECT_NE(std::string(e.what()).find("poison record"), std::string::npos);
+  }
+}
+
+TEST(SkipMode, ExhaustedBudgetRaisesJobError) {
+  const auto c = chaos_cluster(/*chunk=*/64);
+  Dfs dfs(c);
+  dfs.put("/in/data", "bad\naa\nbad\n");  // two bad records, budget of one
+  auto job = echo_job();
+  job.failures.max_skipped_records = 1;
+  try {
+    run_map_only_job(dfs, c, job, [] { return BadRecordMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kSkipBudgetExhausted);
+    EXPECT_EQ(e.phase(), 1);
+  }
+}
+
+// --- job-level tolerance -----------------------------------------------------
+
+TEST(Tolerance, FailedMapTasksWithinFractionAreTolerated) {
+  const auto c = chaos_cluster(/*chunk=*/8);
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);  // 24 bytes -> 3 splits of 8
+  const int tasks = static_cast<int>(dfs.chunks("/in/data").size());
+  ASSERT_GE(tasks, 2);
+  // A clean run establishes what each task's part file holds.
+  run_map_only_job(dfs, c, echo_job("/clean"), [] { return EchoMapper{}; });
+  const std::string task0_output(dfs.read(dfs.list("/clean/").front()));
+
+  auto job = echo_job();
+  job.failures.max_failed_task_fraction = 0.5;
+  job.fault_plan.crashes = {{1, 0, 0}, {1, 0, 1}, {1, 0, 2}, {1, 0, 3}};
+  const auto r = run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+  EXPECT_EQ(r.failed_tasks, 1);
+  // Task 0's split contributed nothing; the rest of the input survived.
+  EXPECT_EQ(task0_output + read_all(dfs, "/out"), read_all(dfs, "/clean"));
+  EXPECT_EQ(r.num_map_tasks, tasks);
+}
+
+TEST(Tolerance, TooManyFailedTasksRaiseJobError) {
+  const auto c = chaos_cluster(/*chunk=*/8);
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  auto job = echo_job();
+  job.failures.max_failed_task_fraction = 0.4;  // 3 splits -> 1 tolerated
+  job.fault_plan.crashes = {{1, 0, 0}, {1, 0, 1}, {1, 0, 2}, {1, 0, 3},
+                            {1, 1, 0}, {1, 1, 1}, {1, 1, 2}, {1, 1, 3}};
+  try {
+    run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kTooManyFailedTasks);
+  }
+}
+
+// --- mid-job datanode death --------------------------------------------------
+
+TEST(NodeKill, MidJobDeathRecoversFromReplicasWithIdenticalOutput) {
+  auto run = [] {
+    const auto c = chaos_cluster(/*chunk=*/8);  // replication 3 (default)
+    Dfs dfs(c);
+    dfs.put("/in/data", kLines);
+    auto job = echo_job();
+    job.fault_plan.node_kills = {{/*node=*/1, /*after_map_tasks=*/1}};
+    const auto r = run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+    return std::pair{read_all(dfs, "/out"), r};
+  };
+  const auto [out_a, r_a] = run();
+  const auto [out_b, r_b] = run();
+  EXPECT_EQ(out_a, kLines);  // no data lost: replicas survived elsewhere
+  EXPECT_EQ(out_a, out_b);   // same seed -> byte-identical
+  EXPECT_EQ(r_a.lost_chunks, 0);
+  EXPECT_GT(r_a.sim_recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r_a.sim_recovery_seconds, r_b.sim_recovery_seconds);
+  EXPECT_DOUBLE_EQ(r_a.sim_seconds,
+                   r_a.sim_startup_seconds + r_a.sim_map_seconds +
+                       r_a.sim_recovery_seconds);
+}
+
+TEST(NodeKill, LosingEveryReplicaIsDataLoss) {
+  auto c = chaos_cluster(/*chunk=*/8);
+  c.replication = 1;  // every chunk lives on exactly one node
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  // Kill the node holding the *last* split before any map wave runs: with
+  // replication 1 that split is unrecoverable.
+  const auto& chunks = dfs.chunks("/in/data");
+  const int victim = chunks.back().replicas.at(0);
+  auto job = echo_job();
+  job.fault_plan.node_kills = {{victim, /*after_map_tasks=*/0}};
+  try {
+    run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kDataLoss);
+  }
+}
+
+TEST(NodeKill, DataLossIsTolerableUnderFailureFraction) {
+  auto c = chaos_cluster(/*chunk=*/8);
+  c.replication = 1;
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  const auto& chunks = dfs.chunks("/in/data");
+  const int victim = chunks.back().replicas.at(0);
+  int victim_chunks = 0;
+  for (const auto& ci : chunks) victim_chunks += (ci.replicas.at(0) == victim);
+  auto job = echo_job();
+  job.failures.max_failed_task_fraction = 1.0;  // tolerate anything
+  job.fault_plan.node_kills = {{victim, 0}};
+  const auto r = run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+  EXPECT_EQ(r.failed_tasks, victim_chunks);
+  EXPECT_EQ(r.lost_chunks, victim_chunks);
+  EXPECT_LT(read_all(dfs, "/out").size(), std::string(kLines).size());
+}
+
+TEST(NodeKill, KillingTheLastLiveDatanodeIsRefused) {
+  const auto c = chaos_cluster(/*chunk=*/64, /*nodes=*/1);
+  Dfs dfs(c);
+  dfs.put("/in/data", kLines);
+  auto job = echo_job();
+  job.fault_plan.node_kills = {{0, 0}};
+  try {
+    run_map_only_job(dfs, c, job, [] { return EchoMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kDataLoss);
+    EXPECT_NE(std::string(e.what()).find("last live datanode"),
+              std::string::npos);
+  }
+}
+
+// --- reduce-phase faults -----------------------------------------------------
+
+std::map<std::string, std::int64_t> parse_wc(const Dfs& dfs,
+                                             const std::string& dir) {
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& part : dfs.list(dir + "/")) {
+    const std::string_view data = dfs.read(part);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      const std::string_view line = data.substr(start, end - start);
+      const auto tab = line.find('\t');
+      counts[std::string(line.substr(0, tab))] +=
+          std::stoll(std::string(line.substr(tab + 1)));
+      start = end + 1;
+    }
+  }
+  return counts;
+}
+
+const char* kCorpus = "the quick fox\nthe lazy dog\nthe dog barks\n";
+
+TEST(ReduceFaults, CrashedReduceAttemptIsRetried) {
+  const auto c = chaos_cluster(/*chunk=*/16);
+  Dfs dfs(c);
+  dfs.put("/in/data", kCorpus);
+  JobConfig clean;
+  clean.name = "wc";
+  clean.input = "/in";
+  clean.output = "/clean";
+  clean.num_reducers = 2;
+  run_mapreduce_job(dfs, c, clean, [] { return WcMapper{}; },
+                    [] { return WcReducer{}; });
+
+  auto job = clean;
+  job.output = "/out";
+  job.fault_plan.crashes = {{/*phase=*/2, /*task=*/0, /*attempt=*/0},
+                            {/*phase=*/2, /*task=*/1, /*attempt=*/0}};
+  const auto r = run_mapreduce_job(dfs, c, job, [] { return WcMapper{}; },
+                                   [] { return WcReducer{}; });
+  EXPECT_EQ(parse_wc(dfs, "/out"), parse_wc(dfs, "/clean"));
+  EXPECT_EQ(r.failed_task_attempts, 2);
+}
+
+TEST(ReduceFaults, ExhaustedReducerAlwaysSinksTheJob) {
+  const auto c = chaos_cluster(/*chunk=*/16);
+  Dfs dfs(c);
+  dfs.put("/in/data", kCorpus);
+  JobConfig job;
+  job.name = "wc";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 1;
+  // Reduce exhaustion is fatal even with a generous map-failure fraction.
+  job.failures.max_failed_task_fraction = 1.0;
+  job.fault_plan.crashes = {{2, 0, 0}, {2, 0, 1}, {2, 0, 2}, {2, 0, 3}};
+  try {
+    run_mapreduce_job(dfs, c, job, [] { return WcMapper{}; },
+                      [] { return WcReducer{}; });
+    FAIL() << "expected JobError";
+  } catch (const JobError& e) {
+    EXPECT_EQ(e.kind(), JobError::Kind::kAttemptsExhausted);
+    EXPECT_EQ(e.phase(), 2);
+    EXPECT_EQ(e.task_index(), 0);
+  }
+}
+
+TEST(ReduceFaults, SkipModeDropsPoisonedGroup) {
+  const auto c = chaos_cluster(/*chunk=*/16);
+  Dfs dfs(c);
+  dfs.put("/in/data", kCorpus);
+  JobConfig job;
+  job.name = "wc";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 1;
+  job.failures.max_skipped_records = 1;
+  const auto r = run_mapreduce_job(dfs, c, job, [] { return WcMapper{}; },
+                                   [] { return WcReducer{/*poison=*/"dog"}; });
+  auto counts = parse_wc(dfs, "/out");
+  EXPECT_EQ(counts.count("dog"), 0u);  // the poisoned group was skipped
+  EXPECT_EQ(counts.at("the"), 3);      // everything else survived
+  EXPECT_EQ(r.skipped_records, 1u);
+  EXPECT_EQ(r.counters.at("SkippedRecords"), 1);
+}
+
+// --- combined chaos ----------------------------------------------------------
+
+TEST(Chaos, EverythingAtOnceStillReproducesTheCleanOutput) {
+  // Crashing mapper attempts (planned + probabilistic), a reducer crash, a
+  // mid-job datanode death, skip-mode headroom and blacklisting enabled: the
+  // output must equal the fault-free run, twice over (determinism).
+  auto run = [](bool chaos) {
+    auto c = chaos_cluster(/*chunk=*/16);
+    c.blacklist_after_failures = 6;
+    Dfs dfs(c);
+    dfs.put("/in/data", kCorpus);
+    JobConfig job;
+    job.name = "wc-chaos";
+    job.input = "/in";
+    job.output = "/out";
+    job.num_reducers = 2;
+    if (chaos) {
+      job.failures.max_skipped_records = 2;
+      job.fault_plan.seed = 1234;
+      job.fault_plan.attempt_crash_prob = 0.3;
+      job.fault_plan.crashes = {{1, 0, 0}, {2, 1, 0}};
+      job.fault_plan.node_kills = {{2, 1}};
+    }
+    const auto r = run_mapreduce_job(dfs, c, job, [] { return WcMapper{}; },
+                                     [] { return WcReducer{}; });
+    return std::pair{read_all(dfs, "/out"), r};
+  };
+  const auto [clean_out, clean_r] = run(false);
+  const auto [chaos_a, r_a] = run(true);
+  const auto [chaos_b, r_b] = run(true);
+  EXPECT_EQ(chaos_a, clean_out);
+  EXPECT_EQ(chaos_a, chaos_b);
+  EXPECT_GT(r_a.failed_task_attempts, 0);
+  EXPECT_EQ(r_a.failed_task_attempts, r_b.failed_task_attempts);
+  EXPECT_EQ(r_a.output_records, clean_r.output_records);
+  // The recovery charge is purely modeled (moved bytes / bandwidth), so it
+  // is bit-identical across reruns; total sim_seconds also folds in measured
+  // host CPU time and is only approximately reproducible.
+  EXPECT_GT(r_a.sim_recovery_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r_a.sim_recovery_seconds, r_b.sim_recovery_seconds);
+}
+
+}  // namespace
+}  // namespace gepeto::mr
+
+// --- k-means checkpoint / resume ---------------------------------------------
+
+namespace gepeto::core {
+namespace {
+
+geo::GeolocatedDataset two_blob_dataset() {
+  gepeto::Rng rng(11);
+  geo::GeolocatedDataset ds;
+  std::int64_t ts = 1'222'819'200;
+  geo::Trail trail;
+  for (int b = 0; b < 2; ++b)
+    for (int i = 0; i < 40; ++i)
+      trail.push_back({0, 39.9 + 0.2 * b + rng.gaussian(0, 0.001),
+                       116.4 + 0.2 * b + rng.gaussian(0, 0.001), 150.0, ts++});
+  ds.add_trail(0, std::move(trail));
+  return ds;
+}
+
+mr::ClusterConfig kmeans_cluster() {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = 1 << 16;
+  c.execution_threads = 2;
+  return c;
+}
+
+TEST(KMeansResume, RestartsFromTheLastCheckpointAfterAJobError) {
+  const auto ds = two_blob_dataset();
+  const auto cluster = kmeans_cluster();
+  KMeansConfig config;
+  config.k = 2;
+  config.seed = 3;
+  config.max_iterations = 10;
+
+  // Clean reference run.
+  mr::Dfs clean_dfs(cluster);
+  geo::dataset_to_dfs(clean_dfs, "/in", ds, 2);
+  const auto clean = kmeans_mapreduce(clean_dfs, cluster, "/in/", "/clusters",
+                                      config);
+  ASSERT_GE(clean.iterations, 2);
+
+  // Same run, but iteration 1 dies (all four attempts of map task 0 crash).
+  mr::Dfs dfs(cluster);
+  geo::dataset_to_dfs(dfs, "/in", ds, 2);
+  auto faulty = config;
+  faulty.fault_iteration = 1;
+  faulty.fault_plan.crashes = {{1, 0, 0}, {1, 0, 1}, {1, 0, 2}, {1, 0, 3}};
+  EXPECT_THROW(kmeans_mapreduce(dfs, cluster, "/in/", "/clusters", faulty),
+               mr::JobError);
+  // Iteration 0 completed, so checkpoints iter-000 and iter-001 exist.
+  EXPECT_TRUE(dfs.exists("/clusters/iter-001"));
+
+  // Resume with the fault gone (a transient failure): the driver picks up
+  // from iter-001, re-runs only iterations 1.., and lands on the exact same
+  // centroids as the uninterrupted run.
+  auto resumed_config = config;
+  resumed_config.resume = true;
+  const auto resumed =
+      kmeans_mapreduce(dfs, cluster, "/in/", "/clusters", resumed_config);
+  EXPECT_EQ(resumed.iterations, clean.iterations - 1);
+  EXPECT_EQ(resumed.converged, clean.converged);
+  ASSERT_EQ(resumed.centroids.size(), clean.centroids.size());
+  for (std::size_t i = 0; i < clean.centroids.size(); ++i) {
+    EXPECT_DOUBLE_EQ(resumed.centroids[i].latitude,
+                     clean.centroids[i].latitude);
+    EXPECT_DOUBLE_EQ(resumed.centroids[i].longitude,
+                     clean.centroids[i].longitude);
+  }
+  EXPECT_EQ(resumed.cluster_sizes, clean.cluster_sizes);
+}
+
+TEST(KMeansResume, ResumeWithoutCheckpointsStartsFresh) {
+  // With nothing checkpointed under the clusters path, resume degrades to a
+  // normal run (initialize, write iter-000, iterate) — same result as a
+  // fresh invocation.
+  const auto ds = two_blob_dataset();
+  const auto cluster = kmeans_cluster();
+  KMeansConfig config;
+  config.k = 2;
+  config.seed = 3;
+  config.max_iterations = 10;
+
+  mr::Dfs fresh_dfs(cluster);
+  geo::dataset_to_dfs(fresh_dfs, "/in", ds, 2);
+  const auto fresh =
+      kmeans_mapreduce(fresh_dfs, cluster, "/in/", "/clusters", config);
+
+  mr::Dfs dfs(cluster);
+  geo::dataset_to_dfs(dfs, "/in", ds, 2);
+  auto resuming = config;
+  resuming.resume = true;  // nothing was ever checkpointed under /clusters
+  const auto r = kmeans_mapreduce(dfs, cluster, "/in/", "/clusters", resuming);
+  EXPECT_EQ(r.iterations, fresh.iterations);
+  ASSERT_EQ(r.centroids.size(), fresh.centroids.size());
+  for (std::size_t i = 0; i < r.centroids.size(); ++i)
+    EXPECT_DOUBLE_EQ(r.centroids[i].latitude, fresh.centroids[i].latitude);
+}
+
+}  // namespace
+}  // namespace gepeto::core

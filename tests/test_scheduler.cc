@@ -283,6 +283,99 @@ TEST(Speculation, NoCopiesOnHomogeneousIdleCluster) {
   EXPECT_EQ(spec.speculative_wins, 0);
 }
 
+TEST(Blacklist, NodeWithTooManyFailuresIsNeverAssignedAgain) {
+  // Node 0 hosts a task whose first attempt fails; with a threshold of one
+  // failure the tracker is blacklisted and every task (including the retry)
+  // lands on node 1.
+  auto c = cluster(2, /*map_slots=*/1);
+  c.blacklist_after_failures = 1;
+  std::vector<MapTaskCost> tasks;
+  auto failing = map_task(100, 1.0, {0});
+  failing.failed_attempts = 1;
+  tasks.push_back(failing);
+  for (int i = 0; i < 4; ++i) tasks.push_back(map_task(100, 1.0, {0}));
+  const auto s = schedule_map_phase(c, tasks);
+  EXPECT_EQ(s.blacklisted_nodes, 1);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    EXPECT_EQ(s.assigned_node[i], 1) << "task " << i;
+}
+
+TEST(Blacklist, LastUsableNodeIsNeverBlacklisted) {
+  // A single-node cluster must finish the phase even when attempts keep
+  // failing there — Hadoop likewise refuses to blacklist its whole cluster.
+  auto c = cluster(1, 1);
+  c.blacklist_after_failures = 1;
+  auto t = map_task(100, 1.0, {0});
+  t.failed_attempts = 3;
+  const auto s = schedule_map_phase(c, {t});
+  EXPECT_EQ(s.blacklisted_nodes, 0);
+  EXPECT_EQ(s.assigned_node[0], 0);
+}
+
+TEST(Blacklist, ExcludedNodesNeverReceiveWork) {
+  // Dead datanodes (passed as excluded) get no attempts at all, even for
+  // tasks whose only replica lives there (the read turns remote).
+  auto c = cluster(4, 2);
+  std::vector<MapTaskCost> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back(map_task(100, 0.5, {i % 4}));
+  const auto s = schedule_map_phase(c, tasks, /*excluded_nodes=*/{0, 2});
+  for (int n : s.assigned_node) {
+    EXPECT_NE(n, 0);
+    EXPECT_NE(n, 2);
+  }
+  EXPECT_EQ(s.blacklisted_nodes, 0);  // excluded != blacklisted
+}
+
+TEST(Blacklist, DisabledByDefault) {
+  auto c = cluster(2, 1);
+  ASSERT_EQ(c.blacklist_after_failures, 0);
+  auto t = map_task(100, 1.0, {0});
+  t.failed_attempts = 5;
+  const auto s = schedule_map_phase(c, {t});
+  EXPECT_EQ(s.blacklisted_nodes, 0);
+}
+
+TEST(Blacklist, ComposesWithSpeculationDeterministically) {
+  // Failures, blacklisting and speculative execution together must still
+  // yield a reproducible schedule: same inputs -> same makespan, same
+  // assignments, and no double-counted blacklisting.
+  auto c = cluster(6, 2);
+  c.blacklist_after_failures = 2;
+  c.speculative_execution = true;
+  c.node_speed_factor = {1.0, 3.0, 1.0, 1.0, 2.0, 1.0};
+  std::vector<MapTaskCost> tasks;
+  for (int i = 0; i < 24; ++i) {
+    auto t = map_task(100 + 13 * i, 0.2 + 0.05 * i, {i % 6, (i + 2) % 6});
+    if (i % 5 == 0) t.failed_attempts = 1 + i % 3;
+    tasks.push_back(t);
+  }
+  const auto a = schedule_map_phase(c, tasks);
+  const auto b = schedule_map_phase(c, tasks);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.assigned_node, b.assigned_node);
+  EXPECT_EQ(a.blacklisted_nodes, b.blacklisted_nodes);
+  EXPECT_EQ(a.speculative_copies, b.speculative_copies);
+  EXPECT_LE(a.blacklisted_nodes, 5);  // at least one node always survives
+  for (int n : a.assigned_node) EXPECT_NE(n, -1);
+}
+
+TEST(Blacklist, ReducePhaseAlsoBlacklists) {
+  auto c = cluster(2, 1);
+  c.reduce_slots_per_node = 1;
+  c.blacklist_after_failures = 1;
+  ReduceTaskCost failing;
+  failing.cpu_seconds = 1.0;
+  failing.failed_attempts = 1;
+  ReduceTaskCost ok;
+  ok.cpu_seconds = 1.0;
+  const auto s = schedule_reduce_phase(c, {failing, ok, ok, ok});
+  EXPECT_EQ(s.blacklisted_nodes, 1);
+  // Whichever node hosted the failure is out; the rest serialize on the
+  // survivor.
+  const int survivor = s.assigned_node[0];
+  for (int n : s.assigned_node) EXPECT_EQ(n, survivor);
+}
+
 TEST(ReduceSchedule, FailedReducerRetries) {
   auto c = cluster(1, 1);
   c.reduce_slots_per_node = 1;
