@@ -1,0 +1,158 @@
+// JobFlow ablation: DAG-overlapped vs sequential execution of two
+// independent analysis pipelines on one simulated cluster.
+//
+// The paper's experiments run each analysis as a chain of jobs, one at a
+// time. JobFlow schedules independent branches concurrently on the virtual
+// cluster clock, so a privacy analyst running two unrelated studies (here:
+// DJ-Cluster POI extraction on one dataset and a distributed R-Tree build
+// on another) pays the makespan of the slower pipeline, not the sum. This
+// bench runs the same two pipelines both ways and verifies the overlapped
+// schedule produces byte-identical outputs.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "geo/geolife.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/rtree_mr.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/dfs.h"
+#include "workflow/flow.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+std::string cat_dataset(const mr::Dfs& dfs, const std::string& dir) {
+  std::string all;
+  for (const auto& p : dfs.list(dir)) all += dfs.read(p);
+  return all;
+}
+
+/// Two independent pipelines in one flow:
+///   A: /a -> sample-a -> DJ-Cluster (filter, dedup, entries, cluster)
+///   B: /b -> sample-b -> R-Tree build (bounds, phase1, boundaries, phase2,
+///      merge)
+/// `chained` serializes them (B starts after A's last job), reproducing the
+/// one-job-at-a-time driver the paper's experiments used.
+flow::Flow build_two_pipelines(bool chained) {
+  core::DjClusterConfig dj;
+  dj.radius_m = 80;
+  dj.min_pts = 8;
+  core::RTreeMrConfig rt;
+  rt.curve = index::CurveKind::kHilbert;
+  rt.num_partitions = 7;
+
+  flow::Flow f(chained ? "sequential" : "overlapped");
+  f.add_map_only("sample-a",
+                 [](flow::FlowEngine& e) {
+                   return core::run_sampling_job(
+                       e.dfs(), e.cluster(), "/a/", "/a-sampled",
+                       {60, core::SamplingTechnique::kUpperLimit});
+                 })
+      .reads("/a")
+      .writes("/a-sampled");
+  core::add_djcluster_nodes(f, "/a-sampled/", "/dja", dj);
+
+  auto sample_b =
+      f.add_map_only("sample-b",
+                     [](flow::FlowEngine& e) {
+                       return core::run_sampling_job(
+                           e.dfs(), e.cluster(), "/b/", "/b-sampled",
+                           {60, core::SamplingTechnique::kUpperLimit});
+                     })
+          .reads("/b")
+          .writes("/b-sampled");
+  if (chained) sample_b.after("dj-cluster");
+  core::add_rtree_nodes(f, "/b-sampled/", "/rtree", rt);
+  return f;
+}
+
+struct RunOutcome {
+  flow::FlowResult fr;
+  std::string clusters;  // DJ product, for the identical-output check
+};
+
+RunOutcome run_two_pipelines(bool chained) {
+  auto cluster = parapluie(7, paper_scale() ? 16 * mr::kMiB : 64 * mr::kKiB);
+  mr::Dfs dfs(cluster);
+  geo::dataset_to_dfs(dfs, "/a", world90().data, 4);
+  geo::dataset_to_dfs(dfs, "/b", world178().data, 4);
+  flow::Flow f = build_two_pipelines(chained);
+  RunOutcome out{f.run(dfs, cluster), cat_dataset(dfs, "/dja/clusters/")};
+  return out;
+}
+
+void reproduce_workflow_overlap() {
+  print_banner(
+      "JobFlow — DAG overlap vs sequential job chaining",
+      "each analysis is a multi-job workflow; a DAG scheduler overlaps "
+      "independent pipelines on the cluster");
+
+  const auto seq = run_two_pipelines(/*chained=*/true);
+  const auto dag = run_two_pipelines(/*chained=*/false);
+
+  Table table("overlapped schedule (DJ-Cluster on /a x R-Tree build on /b)");
+  table.header({"node", "sim start", "sim finish", "sim time"});
+  for (const auto& nr : dag.fr.nodes) {
+    table.row({nr.name, format_seconds(nr.sim_start_seconds),
+               format_seconds(nr.sim_finish_seconds),
+               format_seconds(nr.sim_seconds)});
+  }
+  table.print(std::cout);
+
+  std::cout << "sequential chain makespan: "
+            << format_seconds(seq.fr.sim_seconds) << "\n"
+            << "DAG-overlapped makespan:   "
+            << format_seconds(dag.fr.sim_seconds) << " (per-node sum "
+            << format_seconds(dag.fr.sim_sequential_seconds) << ")\n"
+            << "overlap speedup:           "
+            << seq.fr.sim_seconds / dag.fr.sim_seconds << "x\n"
+            << "GC: " << dag.fr.gc_datasets << " intermediate datasets, "
+            << format_bytes(dag.fr.gc_bytes) << " reclaimed\n";
+
+  GEPETO_CHECK_MSG(dag.fr.sim_seconds < seq.fr.sim_seconds,
+                   "overlapping independent pipelines must beat the chain");
+  GEPETO_CHECK_MSG(!dag.clusters.empty() && dag.clusters == seq.clusters,
+                   "the schedule must not change the analysis output");
+  std::cout << "outputs: DJ cluster files byte-identical under both "
+               "schedules.\n";
+  std::cout << "shape: the R-Tree pipeline hides almost entirely behind the "
+               "DJ-Cluster one; speedup approaches (A+B)/max(A,B).\n";
+}
+
+// Executor overhead: a pure-native chain measures what JobFlow itself costs
+// per node (graph analysis, virtual-clock bookkeeping, GC scans).
+void BM_FlowExecutorOverhead(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto cluster = parapluie(7);
+  for (auto _ : state) {
+    mr::Dfs dfs(cluster);
+    flow::Flow f("overhead");
+    std::string prev;
+    for (int i = 0; i < n; ++i) {
+      std::string name = "n";
+      name += std::to_string(i);
+      auto ref = f.add_native(name,
+                              [](flow::FlowEngine& e) { e.charge_sim(1.0); });
+      if (i > 0) ref.after(prev);
+      prev = std::move(name);
+    }
+    const auto fr = f.run(dfs, cluster);
+    benchmark::DoNotOptimize(fr.sim_seconds);
+  }
+}
+BENCHMARK(BM_FlowExecutorOverhead)->Arg(8)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce_workflow_overlap();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

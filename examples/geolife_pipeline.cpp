@@ -1,13 +1,20 @@
 // Full MapReduce pipeline on the simulated cluster — the paper's workflow
-// end-to-end, with the cluster mechanics made visible:
+// end-to-end, expressed as ONE JobFlow DAG:
 //
 //   GeoLife-like data -> DFS (chunking, rack-aware replicas)
 //     -> down-sampling (map-only job, Sec. V)
 //     -> DJ-Cluster preprocessing (two pipelined map-only jobs, Fig. 5)
-//     -> MapReduce R-Tree build (3 phases, Fig. 6)
 //     -> DJ-Cluster neighborhood + merge (map + single reducer, Sec. VII)
+//     -> MapReduce R-Tree build (3 phases, Fig. 6) over the preprocessed
+//        traces — on the virtual clock this branch overlaps the clustering
+//        job, since both only depend on the preprocessing output.
+//
+// The flow also garbage-collects every intermediate dataset (the sampled
+// traces, the filtered traces, the R-Tree caches) the moment its last
+// consumer finishes, so the DFS ends up holding only the products.
 //
 //   $ ./geolife_pipeline
+#include <algorithm>
 #include <iostream>
 
 #include "common/table.h"
@@ -36,50 +43,67 @@ int main() {
             << " stored (3 replicas, rack-aware); modeled ingest "
             << format_seconds(dfs_stats.sim_ingest_seconds) << "\n\n";
 
+  // --- declare the whole analysis as one DAG -------------------------------
+  core::DjClusterConfig dj;
+  dj.radius_m = 80;
+  dj.min_pts = 8;
+  core::RTreeMrConfig rt;
+  rt.curve = index::CurveKind::kHilbert;
+  rt.num_partitions = 7;
+
+  flow::Flow f("geolife");
+  f.add_map_only("sampling",
+                 [](flow::FlowEngine& e) {
+                   return core::run_sampling_job(
+                       e.dfs(), e.cluster(), "/geolife/", "/sampled",
+                       {60, core::SamplingTechnique::kUpperLimit});
+                 })
+      .reads("/geolife")
+      .writes("/sampled");
+  core::add_djcluster_nodes(f, "/sampled/", "/dj", dj);
+  // Reads /dj/preprocessed: lineage makes this branch independent of the
+  // dj-cluster job, so the two overlap on the simulated clock.
+  const auto rt_state = core::add_rtree_nodes(f, "/dj/preprocessed/", "/rtree", rt);
+
+  const auto fr = gepeto.run_flow(f);
+
   Table table("pipeline jobs");
   table.header({"job", "in", "out", "maps", "reducers", "local maps",
-                "shuffle", "sim time"});
-  auto add = [&](const char* name, const mr::JobResult& jr) {
-    table.row({name, format_count(jr.map_input_records),
+                "shuffle", "sim window"});
+  for (const auto& nr : fr.nodes) {
+    if (!nr.ran_jobs) continue;  // native driver steps run no engine job
+    const auto& jr = nr.job;
+    table.row({nr.name, format_count(jr.map_input_records),
                format_count(jr.output_records), std::to_string(jr.num_map_tasks),
                std::to_string(jr.num_reduce_tasks),
                std::to_string(jr.data_local_maps),
                format_bytes(jr.shuffle_bytes),
-               format_seconds(jr.sim_seconds)});
-  };
-
-  const auto sampling = gepeto.sample(
-      "/geolife/", "/sampled", {60, core::SamplingTechnique::kUpperLimit});
-  add("sampling (60 s)", sampling);
-
-  core::DjClusterConfig dj;
-  dj.radius_m = 80;
-  dj.min_pts = 8;
-  const auto dj_result = gepeto.djcluster("/sampled/", "/dj", dj);
-  add("dj: filter moving", dj_result.preprocess.filter_job);
-  add("dj: remove duplicates", dj_result.preprocess.dedup_job);
-  add("dj: neighborhood+merge", dj_result.cluster_job);
-
-  core::RTreeMrConfig rt;
-  rt.curve = index::CurveKind::kHilbert;
-  rt.num_partitions = 7;
-  const auto rt_result = gepeto.build_rtree("/dj/preprocessed/", "/rtree", rt);
-  add("rtree: phase 1 (partition points)", rt_result.phase1);
-  add("rtree: phase 2 (per-partition build)", rt_result.phase2);
+               format_seconds(nr.sim_start_seconds) + " - " +
+                   format_seconds(nr.sim_finish_seconds)});
+  }
   table.print(std::cout);
 
-  std::cout << "R-Tree: " << format_count(rt_result.tree.size())
-            << " entries indexed, height " << rt_result.tree.height()
-            << ", merged from " << rt_result.partition_sizes.size()
+  std::cout << "flow '" << fr.flow_name << "': " << fr.nodes_run
+            << " nodes, DAG makespan " << format_seconds(fr.sim_seconds)
+            << " vs sequential " << format_seconds(fr.sim_sequential_seconds)
+            << " (overlap speedup "
+            << fr.sim_sequential_seconds / fr.sim_seconds << "x); GC dropped "
+            << fr.gc_datasets << " intermediate datasets, "
+            << format_bytes(fr.gc_bytes) << "\n";
+
+  const auto dj_result = core::parse_djcluster_output(gepeto.dfs(), "/dj");
+  std::cout << "R-Tree: " << format_count(rt_state->tree.size())
+            << " entries indexed, height " << rt_state->tree.height()
+            << ", merged from " << rt_state->partition_sizes.size()
             << " partition trees in "
-            << format_seconds(rt_result.phase3_real_seconds) << "\n";
-  std::cout << "DJ-Cluster: " << dj_result.clusters.clusters.size()
-            << " clusters covering "
-            << format_count(dj_result.clusters.clustered) << " traces, "
-            << format_count(dj_result.clusters.noise) << " noise traces\n";
+            << format_seconds(rt_state->merge_real_seconds) << "\n";
+  std::cout << "DJ-Cluster: " << dj_result.clusters.size()
+            << " clusters covering " << format_count(dj_result.clustered)
+            << " traces, " << format_count(dj_result.noise)
+            << " noise traces\n";
 
   // The biggest clusters are the city's busiest places.
-  auto clusters = dj_result.clusters.clusters;
+  auto clusters = dj_result.clusters;
   std::sort(clusters.begin(), clusters.end(),
             [](const core::DjCluster& a, const core::DjCluster& b) {
               return a.members.size() > b.members.size();

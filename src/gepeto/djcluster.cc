@@ -435,6 +435,101 @@ DjClusterResult dj_cluster(const geo::GeolocatedDataset& preprocessed,
   return merge_neighborhoods(neighborhoods, coords, entries.size());
 }
 
+void add_preprocess_nodes(flow::Flow& f, const std::string& input,
+                          const std::string& work_prefix,
+                          const DjClusterConfig& config) {
+  const std::string filtered = work_prefix + "/filtered";
+  const std::string preprocessed = work_prefix + "/preprocessed";
+  const mr::FailurePolicy failures = config.failures;
+
+  const double threshold = config.speed_threshold_ms;
+  f.add_map_only("dj-filter-moving",
+                 [input, filtered, failures, threshold](flow::FlowEngine& e) {
+                   mr::JobConfig job;
+                   job.name = "dj-filter-moving";
+                   job.input = input;
+                   job.output = filtered;
+                   job.failures = failures;
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), job,
+                       [threshold] { return FilterMovingMapper{threshold}; });
+                 })
+      .reads(input)
+      .writes(filtered);
+
+  const double dup_radius = config.duplicate_radius_m;
+  f.add_map_only("dj-remove-duplicates",
+                 [filtered, preprocessed, failures,
+                  dup_radius](flow::FlowEngine& e) {
+                   mr::JobConfig job;
+                   job.name = "dj-remove-duplicates";
+                   job.input = filtered;
+                   job.output = preprocessed;
+                   job.failures = failures;
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), job,
+                       [dup_radius] { return DedupMapper{dup_radius}; });
+                 })
+      .reads(filtered)
+      .keep(preprocessed);
+}
+
+void add_djcluster_nodes(flow::Flow& f, const std::string& input,
+                         const std::string& work_prefix,
+                         const DjClusterConfig& config) {
+  add_preprocess_nodes(f, input, work_prefix, config);
+
+  const std::string preprocessed = work_prefix + "/preprocessed";
+  const std::string entries_file = work_prefix + "/rtree-entries";
+  const std::string clusters = work_prefix + "/clusters";
+
+  // The driver serializes the preprocessed traces as R-Tree entries into the
+  // distributed cache; every mapper bulk-loads its own R-Tree from it
+  // (construction of the tree itself via MapReduce is exercised separately
+  // in rtree_mr).
+  f.add_native("dj-build-entries",
+               [preprocessed, entries_file](flow::FlowEngine& e) {
+                 const auto dataset =
+                     geo::dataset_from_dfs(e.dfs(), preprocessed + "/");
+                 std::vector<index::RTreeEntry> entries;
+                 entries.reserve(dataset.num_traces());
+                 for (const auto& [uid, trail] : dataset)
+                   for (const auto& t : trail)
+                     entries.push_back({t.latitude, t.longitude,
+                                        pack_trace_id(t.user_id, t.timestamp)});
+                 e.dfs().put(entries_file, entries_to_lines(entries));
+               })
+      .reads(preprocessed)
+      .writes(entries_file);
+
+  const mr::FailurePolicy failures = config.failures;
+  const double radius = config.radius_m;
+  const int min_pts = config.min_pts;
+  f.add_mapreduce("dj-cluster",
+                  [preprocessed, entries_file, clusters, failures, radius,
+                   min_pts](flow::FlowEngine& e) {
+                    mr::JobConfig job;
+                    job.name = "dj-cluster";
+                    job.input = preprocessed;
+                    job.output = clusters;
+                    job.num_reducers = 1;  // single merge reducer (Sec. VII)
+                    job.failures = failures;
+                    job.cache_files = {entries_file};
+                    return mr::run_mapreduce_job(
+                        e.dfs(), e.cluster(), job,
+                        [entries_file, radius, min_pts] {
+                          return NeighborhoodMapper{entries_file, radius,
+                                                    min_pts, index::RTree(16)};
+                        },
+                        [entries_file] {
+                          return MergeReducer{entries_file, {}, 0};
+                        });
+                  })
+      .reads(preprocessed)
+      .reads(entries_file)
+      .keep(clusters);
+}
+
 DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
                                       const mr::ClusterConfig& cluster,
                                       const std::string& input,
@@ -443,25 +538,15 @@ DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
   DjPreprocessStats stats;
   stats.input_traces = geo::count_dfs_records(dfs, input);
 
-  mr::JobConfig filter;
-  filter.name = "dj-filter-moving";
-  filter.input = input;
-  filter.output = work_prefix + "/filtered";
-  filter.failures = config.failures;
-  const double threshold = config.speed_threshold_ms;
-  stats.filter_job = mr::run_map_only_job(
-      dfs, cluster, filter,
-      [threshold] { return FilterMovingMapper{threshold}; });
-  stats.after_filter = stats.filter_job.output_records;
+  flow::Flow f("dj-preprocess");
+  add_preprocess_nodes(f, input, work_prefix, config);
+  flow::FlowOptions options;
+  options.keep_intermediates = config.keep_intermediates;
+  const auto fr = f.run(dfs, cluster, options);
 
-  mr::JobConfig dedup;
-  dedup.name = "dj-remove-duplicates";
-  dedup.input = work_prefix + "/filtered";
-  dedup.output = work_prefix + "/preprocessed";
-  dedup.failures = config.failures;
-  const double radius = config.duplicate_radius_m;
-  stats.dedup_job = mr::run_map_only_job(
-      dfs, cluster, dedup, [radius] { return DedupMapper{radius}; });
+  stats.filter_job = fr.node("dj-filter-moving")->job;
+  stats.dedup_job = fr.node("dj-remove-duplicates")->job;
+  stats.after_filter = stats.filter_job.output_records;
   stats.after_dedup = stats.dedup_job.output_records;
   return stats;
 }
@@ -472,43 +557,27 @@ DjMapReduceResult run_djcluster_jobs(mr::Dfs& dfs,
                                      const std::string& work_prefix,
                                      const DjClusterConfig& config) {
   DjMapReduceResult result;
-  result.preprocess =
-      run_preprocess_jobs(dfs, cluster, input, work_prefix, config);
+  result.preprocess.input_traces = geo::count_dfs_records(dfs, input);
 
-  // The driver serializes the preprocessed traces as R-Tree entries into the
-  // distributed cache; every mapper bulk-loads its own R-Tree from it
-  // (construction of the tree itself via MapReduce is exercised separately
-  // in rtree_mr).
-  const auto preprocessed =
-      geo::dataset_from_dfs(dfs, work_prefix + "/preprocessed/");
-  std::vector<index::RTreeEntry> entries;
-  entries.reserve(preprocessed.num_traces());
-  for (const auto& [uid, trail] : preprocessed)
-    for (const auto& t : trail)
-      entries.push_back(
-          {t.latitude, t.longitude, pack_trace_id(t.user_id, t.timestamp)});
-  const std::string entries_file = work_prefix + "/rtree-entries";
-  dfs.put(entries_file, entries_to_lines(entries));
+  flow::Flow f("dj-cluster");
+  add_djcluster_nodes(f, input, work_prefix, config);
+  flow::FlowOptions options;
+  options.keep_intermediates = config.keep_intermediates;
+  const auto fr = f.run(dfs, cluster, options);
 
-  mr::JobConfig job;
-  job.name = "dj-cluster";
-  job.input = work_prefix + "/preprocessed";
-  job.output = work_prefix + "/clusters";
-  job.num_reducers = 1;  // "a single reducer implements the last phase"
-  job.failures = config.failures;
-  job.cache_files = {entries_file};
-  const double radius = config.radius_m;
-  const int min_pts = config.min_pts;
-  result.cluster_job = mr::run_mapreduce_job(
-      dfs, cluster, job,
-      [entries_file, radius, min_pts] {
-        return NeighborhoodMapper{entries_file, radius, min_pts,
-                                  index::RTree(16)};
-      },
-      [entries_file] { return MergeReducer{entries_file, {}, 0}; });
+  result.preprocess.filter_job = fr.node("dj-filter-moving")->job;
+  result.preprocess.dedup_job = fr.node("dj-remove-duplicates")->job;
+  result.preprocess.after_filter = result.preprocess.filter_job.output_records;
+  result.preprocess.after_dedup = result.preprocess.dedup_job.output_records;
+  result.cluster_job = fr.node("dj-cluster")->job;
+  result.clusters = parse_djcluster_output(dfs, work_prefix);
+  return result;
+}
 
-  // Parse the reducer output back into a DjClusterResult.
-  for (const auto& part : dfs.list(job.output + "/")) {
+DjClusterResult parse_djcluster_output(const mr::Dfs& dfs,
+                                       const std::string& work_prefix) {
+  DjClusterResult result;
+  for (const auto& part : dfs.list(work_prefix + "/clusters/")) {
     const std::string_view data = dfs.read(part);
     std::size_t start = 0;
     while (start < data.size()) {
@@ -546,13 +615,13 @@ DjMapReduceResult run_djcluster_jobs(mr::Dfs& dfs,
           pos = space + 1;
         }
         GEPETO_CHECK(c.members.size() == size_field);
-        result.clusters.clustered += c.members.size();
-        result.clusters.clusters.push_back(std::move(c));
+        result.clustered += c.members.size();
+        result.clusters.push_back(std::move(c));
       } else if (line.rfind("noise,", 0) == 0) {
         std::uint64_t n = 0;
         const std::string_view f = line.substr(6);
         std::from_chars(f.data(), f.data() + f.size(), n);
-        result.clusters.noise = n;
+        result.noise = n;
       }
       start = end + 1;
     }

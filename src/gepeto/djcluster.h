@@ -31,6 +31,7 @@
 #include "geo/trace.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
+#include "workflow/flow.h"
 
 namespace gepeto::mr {
 class Dfs;
@@ -51,6 +52,10 @@ struct DjClusterConfig {
   /// Failure policy applied to all three MapReduce jobs of the pipeline
   /// (injected attempt failures, retries, skip mode — see mr::FailurePolicy).
   mr::FailurePolicy failures;
+  /// Debugging: pin the flow's intermediate datasets (the filtered traces,
+  /// the R-Tree entries cache) instead of garbage-collecting them once their
+  /// consumers finished.
+  bool keep_intermediates = false;
 };
 
 /// A stable identifier for a trace: (user id, timestamp) packed into 64
@@ -99,8 +104,31 @@ struct DjPreprocessStats {
   std::uint64_t after_dedup = 0;
 };
 
-/// Phase 1 as two pipelined map-only jobs (Fig. 5):
-/// input -> `work_prefix`/filtered -> `work_prefix`/preprocessed.
+/// Append the two preprocessing nodes (Fig. 5) to a flow:
+/// input -> `work_prefix`/filtered -> `work_prefix`/preprocessed. The
+/// filtered dataset is a GC-able intermediate; the preprocessed dataset is
+/// kept (the clustering job and the R-Tree build read it downstream).
+void add_preprocess_nodes(flow::Flow& f, const std::string& input,
+                          const std::string& work_prefix,
+                          const DjClusterConfig& config);
+
+/// Append the full DJ-Cluster pipeline to a flow: preprocessing, the driver
+/// node serializing the R-Tree entries into the distributed cache, and the
+/// neighborhood (map) + merging (single reduce) job writing
+/// `work_prefix`/clusters.
+void add_djcluster_nodes(flow::Flow& f, const std::string& input,
+                         const std::string& work_prefix,
+                         const DjClusterConfig& config);
+
+/// Parse the cluster/noise lines under `work_prefix`/clusters back into a
+/// DjClusterResult.
+DjClusterResult parse_djcluster_output(const mr::Dfs& dfs,
+                                       const std::string& work_prefix);
+
+/// Phase 1 as two pipelined map-only jobs (Fig. 5), run as a JobFlow:
+/// input -> `work_prefix`/filtered -> `work_prefix`/preprocessed. The
+/// filtered intermediate is garbage-collected once the dedup job consumed it
+/// (unless `config.keep_intermediates`).
 DjPreprocessStats run_preprocess_jobs(mr::Dfs& dfs,
                                       const mr::ClusterConfig& cluster,
                                       const std::string& input,
@@ -113,9 +141,10 @@ struct DjMapReduceResult {
   mr::JobResult cluster_job;  ///< the neighborhood+merge job
 };
 
-/// The full pipeline: preprocessing jobs, R-Tree distribution via the
-/// distributed cache, then the neighborhood (map) + merging (single reduce)
-/// job. Cluster lines are written to `work_prefix`/clusters.
+/// The full pipeline as one JobFlow: preprocessing jobs, R-Tree distribution
+/// via the distributed cache, then the neighborhood (map) + merging (single
+/// reduce) job. Cluster lines are written to `work_prefix`/clusters; the
+/// filtered and entries intermediates are garbage-collected.
 DjMapReduceResult run_djcluster_jobs(mr::Dfs& dfs,
                                      const mr::ClusterConfig& cluster,
                                      const std::string& input,

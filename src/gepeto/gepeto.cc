@@ -51,4 +51,9 @@ mr::JobResult Gepeto::round(const std::string& input,
   return run_rounding_job(*dfs_, cluster_, input, output, cell_m);
 }
 
+flow::FlowResult Gepeto::run_flow(flow::Flow& f,
+                                  const flow::FlowOptions& options) {
+  return f.run(*dfs_, cluster_, options);
+}
+
 }  // namespace gepeto::core

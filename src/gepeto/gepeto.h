@@ -15,6 +15,7 @@
 #include "gepeto/sanitize.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/dfs.h"
+#include "workflow/flow.h"
 
 namespace gepeto::core {
 
@@ -59,6 +60,11 @@ class Gepeto {
 
   mr::JobResult round(const std::string& input, const std::string& output,
                       double cell_m);
+
+  /// Execute a JobFlow DAG on this cluster (see workflow/flow.h). Compose
+  /// nodes via flow::Flow + the add_*_nodes helpers of the modules.
+  flow::FlowResult run_flow(flow::Flow& f,
+                            const flow::FlowOptions& options = {});
 
  private:
   mr::ClusterConfig cluster_;

@@ -3,12 +3,14 @@
 #include <charconv>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/check.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "geo/geolife.h"
 #include "mapreduce/engine.h"
+#include "workflow/flow.h"
 
 namespace gepeto::core {
 
@@ -281,154 +283,201 @@ KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
   return result;
 }
 
+namespace {
+
+std::string iter_checkpoint(const std::string& clusters_path, int iter) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "/iter-%03d", iter);
+  return clusters_path + buf;
+}
+
+std::string iter_output(const std::string& clusters_path, int iter) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "/out-%03d", iter);
+  return clusters_path + buf;
+}
+
+/// Driver state threaded through the k-means flow nodes. `next_iter` is the
+/// absolute iteration index (resume starts it past 0).
+struct KMeansFlowState {
+  KMeansResult result;
+  int next_iter = 0;
+  bool converged = false;
+  bool first_job = true;
+};
+
+}  // namespace
+
 KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
                               const std::string& input,
                               const std::string& clusters_path,
                               const KMeansConfig& config) {
   GEPETO_CHECK(config.k > 0 && config.max_iterations > 0);
 
-  KMeansResult result;
-  char name[64];
-  int start_iter = 0;
+  auto st = std::make_shared<KMeansFlowState>();
+  flow::Flow f("kmeans");
 
-  if (config.resume) {
-    // Resume from the latest persisted centroid checkpoint: iter-NNN holds
-    // the centroids entering iteration NNN, so a job that died during
-    // iteration NNN re-runs exactly that iteration.
-    const auto checkpoints = dfs.list(clusters_path + "/iter-");
-    if (!checkpoints.empty()) {
-      const std::string& last = checkpoints.back();  // zero-padded: max = last
-      const std::size_t dash = last.rfind('-');
-      GEPETO_CHECK(dash != std::string::npos);
-      int n = -1;
-      const auto r = std::from_chars(last.data() + dash + 1,
-                                     last.data() + last.size(), n);
-      GEPETO_CHECK_MSG(r.ec == std::errc() && n >= 0,
-                       "unparsable checkpoint name: " << last);
-      start_iter = n;
-      result.centroids = centroids_from_lines(dfs.read(last));
-      GEPETO_CHECK_MSG(
-          static_cast<int>(result.centroids.size()) == config.k,
-          "checkpoint " << last << " holds " << result.centroids.size()
-                        << " centroids, config.k = " << config.k);
-    }
-  }
-
-  if (result.centroids.empty()) {
-    // Initialization phase: "randomly picks k mobility traces as initial
-    // centroids ... performed by a single node" — the driver reads the input
-    // and reservoir-samples, then writes the iteration-0 clusters file.
-    {
-      const auto dataset = geo::dataset_from_dfs(dfs, input);
-      result.centroids =
-          config.kmeanspp_init
-              ? kmeanspp_centroids(dataset, config.k, config.seed)
-              : initial_centroids(dataset, config.k, config.seed);
-    }
-    std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
-                  0);
-    dfs.put(name, centroids_to_lines(result.centroids));
-  }
-
-  bool first_job = true;
-  for (int iter = start_iter; iter < config.max_iterations; ++iter) {
-    std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
-                  iter);
-    const std::string clusters_file = name;
-
-    mr::JobConfig job;
-    job.name = "kmeans-iter";
-    job.input = input;
-    std::snprintf(name, sizeof(name), "%s/out-%03d", clusters_path.c_str(),
-                  iter);
-    job.output = name;
-    job.num_reducers = std::min(config.k, cluster.total_reduce_slots());
-    job.use_combiner = config.use_combiner;
-    job.cache_files = {clusters_file};
-    job.failures = config.failures;
-    if (config.fault_iteration < 0 || config.fault_iteration == iter)
-      job.fault_plan = config.fault_plan;
-
-    const geo::DistanceKind kind = config.distance;
-    const auto jr = mr::run_mapreduce_job(
-        dfs, cluster, job,
-        [clusters_file, kind] {
-          return KMeansMapper{clusters_file, kind, {}};
-        },
-        [] { return KMeansReducer{}; }, [] { return KMeansCombiner{}; });
-
-    // Collect the new centroids from the reducer output.
-    std::vector<Centroid> next = result.centroids;
-    std::vector<std::uint64_t> sizes(static_cast<std::size_t>(config.k), 0);
-    for (const auto& part : dfs.list(job.output + "/")) {
-      const std::string_view data = dfs.read(part);
-      std::size_t start = 0;
-      while (start < data.size()) {
-        std::size_t end = data.find('\n', start);
-        if (end == std::string_view::npos) end = data.size();
-        const std::string_view line = data.substr(start, end - start);
-        if (!line.empty()) {
-          std::int32_t idx = 0;
-          Centroid c;
-          std::uint64_t count = 0;
-          GEPETO_CHECK_MSG(parse_cluster_line(line, idx, c, count),
-                           "bad cluster line: " << line);
-          GEPETO_CHECK(idx >= 0 && idx < config.k);
-          next[static_cast<std::size_t>(idx)] = c;
-          sizes[static_cast<std::size_t>(idx)] = count;
+  f.add_native("kmeans-init", [st, &config, input,
+                               clusters_path](flow::FlowEngine& e) {
+        mr::Dfs& dfs = e.dfs();
+        if (config.resume) {
+          // Resume from the latest persisted centroid checkpoint: iter-NNN
+          // holds the centroids entering iteration NNN, so a job that died
+          // during iteration NNN re-runs exactly that iteration.
+          const auto checkpoints = dfs.list(clusters_path + "/iter-");
+          if (!checkpoints.empty()) {
+            const std::string& last = checkpoints.back();  // zero-padded
+            const std::size_t dash = last.rfind('-');
+            GEPETO_CHECK(dash != std::string::npos);
+            int n = -1;
+            const auto r = std::from_chars(last.data() + dash + 1,
+                                           last.data() + last.size(), n);
+            GEPETO_CHECK_MSG(r.ec == std::errc() && n >= 0,
+                             "unparsable checkpoint name: " << last);
+            st->next_iter = n;
+            st->result.centroids = centroids_from_lines(dfs.read(last));
+            GEPETO_CHECK_MSG(
+                static_cast<int>(st->result.centroids.size()) == config.k,
+                "checkpoint " << last << " holds "
+                              << st->result.centroids.size()
+                              << " centroids, config.k = " << config.k);
+          }
         }
-        start = end + 1;
-      }
-    }
+        if (st->result.centroids.empty()) {
+          // Initialization phase: "randomly picks k mobility traces as
+          // initial centroids ... performed by a single node" — the driver
+          // reads the input and reservoir-samples, then writes the
+          // iteration-0 clusters file.
+          {
+            const auto dataset = geo::dataset_from_dfs(dfs, input);
+            st->result.centroids =
+                config.kmeanspp_init
+                    ? kmeanspp_centroids(dataset, config.k, config.seed)
+                    : initial_centroids(dataset, config.k, config.seed);
+          }
+          dfs.put(iter_checkpoint(clusters_path, 0),
+                  centroids_to_lines(st->result.centroids));
+        }
+      })
+      .reads(input)
+      .keep(clusters_path);
 
-    double max_move = 0.0;
-    for (int c = 0; c < config.k; ++c)
-      max_move =
-          std::max(max_move, centroid_move_m(result.centroids[static_cast<std::size_t>(c)],
-                                             next[static_cast<std::size_t>(c)]));
-    result.centroids = std::move(next);
-    result.cluster_sizes = std::move(sizes);
-    ++result.iterations;
+  f.add_iterate_until(
+       "kmeans-iterate",
+       [st, &config](flow::FlowEngine&, int) {
+         return st->converged || st->next_iter >= config.max_iterations;
+       },
+       config.max_iterations,
+       [st, &config, input, clusters_path](flow::FlowEngine& e,
+                                           int) -> mr::JobResult {
+         mr::Dfs& dfs = e.dfs();
+         const int iter = st->next_iter;
+         const std::string clusters_file = iter_checkpoint(clusters_path, iter);
 
-    IterationStats is;
-    is.real_seconds = jr.real_seconds;
-    is.sim_seconds = jr.sim_seconds;
-    is.sim_map_seconds = jr.sim_map_seconds;
-    is.sim_reduce_seconds = jr.sim_reduce_seconds;
-    is.shuffle_bytes = jr.shuffle_bytes;
-    is.max_centroid_move_m = max_move;
-    result.per_iteration.push_back(is);
-    if (first_job) {
-      result.totals = jr;
-      first_job = false;
-    } else {
-      result.totals.absorb(jr);
-    }
+         mr::JobConfig job;
+         job.name = "kmeans-iter";
+         job.input = input;
+         job.output = iter_output(clusters_path, iter);
+         job.num_reducers =
+             std::min(config.k, e.cluster().total_reduce_slots());
+         job.use_combiner = config.use_combiner;
+         job.cache_files = {clusters_file};
+         job.failures = config.failures;
+         if (config.fault_iteration < 0 || config.fault_iteration == iter)
+           job.fault_plan = config.fault_plan;
 
-    std::snprintf(name, sizeof(name), "%s/iter-%03d", clusters_path.c_str(),
-                  iter + 1);
-    dfs.put(name, centroids_to_lines(result.centroids));
+         const geo::DistanceKind kind = config.distance;
+         const auto jr = mr::run_mapreduce_job(
+             dfs, e.cluster(), job,
+             [clusters_file, kind] {
+               return KMeansMapper{clusters_file, kind, {}};
+             },
+             [] { return KMeansReducer{}; }, [] { return KMeansCombiner{}; });
 
-    if (max_move < config.convergence_delta_m) {
-      result.converged = true;
-      break;
-    }
-  }
+         // Collect the new centroids from the reducer output.
+         std::vector<Centroid> next = st->result.centroids;
+         std::vector<std::uint64_t> sizes(static_cast<std::size_t>(config.k),
+                                          0);
+         for (const auto& part : dfs.list(job.output + "/")) {
+           const std::string_view data = dfs.read(part);
+           std::size_t start = 0;
+           while (start < data.size()) {
+             std::size_t end = data.find('\n', start);
+             if (end == std::string_view::npos) end = data.size();
+             const std::string_view line = data.substr(start, end - start);
+             if (!line.empty()) {
+               std::int32_t idx = 0;
+               Centroid c;
+               std::uint64_t count = 0;
+               GEPETO_CHECK_MSG(parse_cluster_line(line, idx, c, count),
+                                "bad cluster line: " << line);
+               GEPETO_CHECK(idx >= 0 && idx < config.k);
+               next[static_cast<std::size_t>(idx)] = c;
+               sizes[static_cast<std::size_t>(idx)] = count;
+             }
+             start = end + 1;
+           }
+         }
+
+         double max_move = 0.0;
+         for (int c = 0; c < config.k; ++c)
+           max_move = std::max(
+               max_move,
+               centroid_move_m(
+                   st->result.centroids[static_cast<std::size_t>(c)],
+                   next[static_cast<std::size_t>(c)]));
+         st->result.centroids = std::move(next);
+         st->result.cluster_sizes = std::move(sizes);
+         ++st->result.iterations;
+
+         IterationStats is;
+         is.real_seconds = jr.real_seconds;
+         is.sim_seconds = jr.sim_seconds;
+         is.sim_map_seconds = jr.sim_map_seconds;
+         is.sim_reduce_seconds = jr.sim_reduce_seconds;
+         is.shuffle_bytes = jr.shuffle_bytes;
+         is.max_centroid_move_m = max_move;
+         st->result.per_iteration.push_back(is);
+         if (st->first_job) {
+           st->result.totals = jr;
+           st->first_job = false;
+         } else {
+           st->result.totals.absorb(jr);
+         }
+
+         dfs.put(iter_checkpoint(clusters_path, iter + 1),
+                 centroids_to_lines(st->result.centroids));
+         st->next_iter = iter + 1;
+         if (max_move < config.convergence_delta_m) {
+           st->converged = true;
+           st->result.converged = true;
+         }
+         return jr;
+       })
+      .reads(clusters_path)
+      .scratch(clusters_path + "/out-");
 
   // SSE from a final read of the input against the final centroids.
-  {
-    const auto dataset = geo::dataset_from_dfs(dfs, input);
-    for (const auto& [uid, trail] : dataset) {
-      for (const auto& t : trail) {
-        const auto c = nearest_centroid(result.centroids, config.distance,
-                                        t.latitude, t.longitude);
-        result.sse += geo::squared_euclidean_deg(
-            t.latitude, t.longitude, result.centroids[c].latitude,
-            result.centroids[c].longitude);
-      }
-    }
-  }
-  return result;
+  f.add_native("kmeans-sse", [st, &config, input](flow::FlowEngine& e) {
+        const auto dataset = geo::dataset_from_dfs(e.dfs(), input);
+        for (const auto& [uid, trail] : dataset) {
+          for (const auto& t : trail) {
+            const auto c = nearest_centroid(st->result.centroids,
+                                            config.distance, t.latitude,
+                                            t.longitude);
+            st->result.sse += geo::squared_euclidean_deg(
+                t.latitude, t.longitude, st->result.centroids[c].latitude,
+                st->result.centroids[c].longitude);
+          }
+        }
+      })
+      .reads(input)
+      .after("kmeans-iterate");
+
+  flow::FlowOptions options;
+  options.keep_intermediates = config.keep_intermediates;
+  f.run(dfs, cluster, options);
+  return std::move(st->result);
 }
 
 }  // namespace gepeto::core

@@ -58,6 +58,11 @@ struct KMeansConfig {
   /// after a JobError the caller can retry with `resume = true` and only the
   /// failed iteration (and later ones) re-run.
   bool resume = false;
+  /// Debugging: keep the per-iteration reducer outputs
+  /// (`clusters_path/out-NNN`). By default the flow drops them once the run
+  /// finished — the `iter-NNN` centroid checkpoints are the product and
+  /// always persist.
+  bool keep_intermediates = false;
 };
 
 struct IterationStats {

@@ -157,127 +157,195 @@ std::size_t partition_of_scalar(std::uint64_t scalar,
       boundaries.begin());
 }
 
+std::shared_ptr<RTreeFlowState> add_rtree_nodes(flow::Flow& f,
+                                                const std::string& input,
+                                                const std::string& work_prefix,
+                                                const RTreeMrConfig& config) {
+  GEPETO_CHECK(config.num_partitions >= 1);
+  GEPETO_CHECK(config.samples_per_chunk >= config.num_partitions);
+  auto st = std::make_shared<RTreeFlowState>();
+  st->tree = index::RTree(config.rtree_max_entries);
+
+  const std::string points = work_prefix + "/partition-points";
+  const std::string boundaries_file = work_prefix + "/boundaries";
+  const std::string small_trees = work_prefix + "/small-trees";
+
+  // The curve needs the data bounds; the driver derives them with one cheap
+  // scan (in a Hadoop deployment this is a known property of the dataset or
+  // one counting job). The curve parameters travel to the later phases
+  // through the shared state, hence their explicit after() edges.
+  {
+    const index::CurveKind kind = config.curve;
+    const int order = config.sfc_order;
+    f.add_native("rtree-bounds",
+                 [st, input, kind, order](flow::FlowEngine& e) {
+                   index::Rect bounds;
+                   for (const auto& path : e.dfs().list(input)) {
+                     const std::string_view data = e.dfs().read(path);
+                     std::size_t start = 0;
+                     while (start < data.size()) {
+                       std::size_t end = data.find('\n', start);
+                       if (end == std::string_view::npos) end = data.size();
+                       geo::MobilityTrace t;
+                       if (geo::parse_dataset_line(
+                               data.substr(start, end - start), t))
+                         bounds.expand(
+                             index::Rect::point(t.latitude, t.longitude));
+                       start = end + 1;
+                     }
+                   }
+                   GEPETO_CHECK_MSG(bounds.valid(),
+                                    "no parsable traces under " << input);
+                   st->bounds = bounds;
+                   st->curve.emplace(kind, bounds, order);
+                 })
+        .reads(input);
+  }
+
+  // --- Phase 1: sample + partition points ---------------------------------
+  {
+    const int samples = config.samples_per_chunk;
+    const std::uint64_t seed = config.seed;
+    const int partitions = config.num_partitions;
+    f.add_mapreduce("rtree-phase1-sample",
+                    [st, input, points, samples, seed,
+                     partitions](flow::FlowEngine& e) {
+                      mr::JobConfig p1;
+                      p1.name = "rtree-phase1-sample";
+                      p1.input = input;
+                      p1.output = points;
+                      p1.num_reducers = 1;
+                      const index::ScalarMapper curve = *st->curve;
+                      return mr::run_mapreduce_job(
+                          e.dfs(), e.cluster(), p1,
+                          [curve, samples, seed] {
+                            return SampleMapper{curve, samples, seed,
+                                                Rng(seed), {}, 0};
+                          },
+                          [partitions] { return BoundaryReducer{partitions}; });
+                    })
+        .reads(input)
+        .writes(points)
+        .after("rtree-bounds");
+  }
+
+  // Consolidate the reducer's part file into a single cache file.
+  f.add_native("rtree-boundaries",
+               [st, points, boundaries_file](flow::FlowEngine& e) {
+                 std::string boundary_lines;
+                 for (const auto& part : e.dfs().list(points + "/"))
+                   boundary_lines += e.dfs().read(part);
+                 e.dfs().put(boundaries_file, boundary_lines);
+                 std::size_t start = 0;
+                 const std::string_view data = boundary_lines;
+                 while (start < data.size()) {
+                   std::size_t end = data.find('\n', start);
+                   if (end == std::string_view::npos) end = data.size();
+                   const std::string_view line =
+                       data.substr(start, end - start);
+                   if (!line.empty()) {
+                     std::uint64_t b = 0;
+                     std::from_chars(line.data(), line.data() + line.size(),
+                                     b);
+                     st->boundaries.push_back(b);
+                   }
+                   start = end + 1;
+                 }
+               })
+      .reads(points)
+      .writes(boundaries_file);
+
+  // --- Phase 2: partition + per-partition builds ---------------------------
+  {
+    const int partitions = config.num_partitions;
+    const int max_entries = config.rtree_max_entries;
+    f.add_mapreduce("rtree-phase2-build",
+                    [st, input, boundaries_file, small_trees, partitions,
+                     max_entries](flow::FlowEngine& e) {
+                      mr::JobConfig p2;
+                      p2.name = "rtree-phase2-build";
+                      p2.input = input;
+                      p2.output = small_trees;
+                      p2.num_reducers = partitions;
+                      p2.cache_files = {boundaries_file};
+                      const index::ScalarMapper curve = *st->curve;
+                      return mr::run_mapreduce_job(
+                          e.dfs(), e.cluster(), p2,
+                          [curve, boundaries_file] {
+                            return PartitionMapper{curve, boundaries_file, {}};
+                          },
+                          [max_entries] { return BuildReducer{max_entries}; });
+                    })
+        .reads(input)
+        .reads(boundaries_file)
+        .writes(small_trees)
+        .after("rtree-bounds");
+  }
+
+  // --- Phase 3: sequential merge -------------------------------------------
+  {
+    const int partitions = config.num_partitions;
+    f.add_native(
+         "rtree-merge",
+         [st, small_trees, partitions](flow::FlowEngine& e) {
+           Stopwatch merge_watch;
+           st->partition_sizes.assign(static_cast<std::size_t>(partitions), 0);
+           for (const auto& part : e.dfs().list(small_trees + "/")) {
+             const std::string_view data = e.dfs().read(part);
+             std::size_t start = 0;
+             while (start < data.size()) {
+               std::size_t end = data.find('\n', start);
+               if (end == std::string_view::npos) end = data.size();
+               const std::string_view line = data.substr(start, end - start);
+               if (line.rfind("tree,", 0) == 0) {
+                 // tree,<partition>,<count>,<payload-with-;-newlines>
+                 std::size_t c1 = line.find(',', 5);
+                 std::size_t c2 = line.find(',', c1 + 1);
+                 GEPETO_CHECK(c1 != std::string_view::npos &&
+                              c2 != std::string_view::npos);
+                 std::int32_t partition = 0;
+                 std::uint64_t count = 0;
+                 std::from_chars(line.data() + 5, line.data() + c1, partition);
+                 std::from_chars(line.data() + c1 + 1, line.data() + c2,
+                                 count);
+                 std::string payload(line.substr(c2 + 1));
+                 std::replace(payload.begin(), payload.end(), ';', '\n');
+                 const index::RTree small = index::RTree::deserialize(payload);
+                 GEPETO_CHECK(small.size() == count);
+                 GEPETO_CHECK(partition >= 0 && partition < partitions);
+                 st->partition_sizes[static_cast<std::size_t>(partition)] =
+                     count;
+                 st->tree.merge(small);
+               }
+               start = end + 1;
+             }
+           }
+           st->merge_real_seconds = merge_watch.seconds();
+         })
+        .reads(small_trees);
+  }
+  return st;
+}
+
 RTreeMrResult build_rtree_mapreduce(mr::Dfs& dfs,
                                     const mr::ClusterConfig& cluster,
                                     const std::string& input,
                                     const std::string& work_prefix,
                                     const RTreeMrConfig& config) {
-  GEPETO_CHECK(config.num_partitions >= 1);
-  GEPETO_CHECK(config.samples_per_chunk >= config.num_partitions);
+  flow::Flow f("rtree-build");
+  auto st = add_rtree_nodes(f, input, work_prefix, config);
+  flow::FlowOptions options;
+  options.keep_intermediates = config.keep_intermediates;
+  const auto fr = f.run(dfs, cluster, options);
+
   RTreeMrResult result;
-  result.tree = index::RTree(config.rtree_max_entries);
-
-  // The curve needs the data bounds; the driver derives them with one cheap
-  // scan (in a Hadoop deployment this is a known property of the dataset or
-  // one counting job).
-  index::Rect bounds;
-  for (const auto& path : dfs.list(input)) {
-    const std::string_view data = dfs.read(path);
-    std::size_t start = 0;
-    while (start < data.size()) {
-      std::size_t end = data.find('\n', start);
-      if (end == std::string_view::npos) end = data.size();
-      geo::MobilityTrace t;
-      if (geo::parse_dataset_line(data.substr(start, end - start), t))
-        bounds.expand(index::Rect::point(t.latitude, t.longitude));
-      start = end + 1;
-    }
-  }
-  GEPETO_CHECK_MSG(bounds.valid(), "no parsable traces under " << input);
-  result.bounds = bounds;
-  const index::ScalarMapper curve(config.curve, bounds, config.sfc_order);
-
-  // --- Phase 1: sample + partition points ---------------------------------
-  mr::JobConfig p1;
-  p1.name = "rtree-phase1-sample";
-  p1.input = input;
-  p1.output = work_prefix + "/partition-points";
-  p1.num_reducers = 1;
-  {
-    const int samples = config.samples_per_chunk;
-    const std::uint64_t seed = config.seed;
-    const int partitions = config.num_partitions;
-    result.phase1 = mr::run_mapreduce_job(
-        dfs, cluster, p1,
-        [curve, samples, seed] {
-          return SampleMapper{curve, samples, seed, Rng(seed), {}, 0};
-        },
-        [partitions] { return BoundaryReducer{partitions}; });
-  }
-
-  // Consolidate the reducer's part file into a single cache file.
-  std::string boundary_lines;
-  for (const auto& part : dfs.list(p1.output + "/"))
-    boundary_lines += dfs.read(part);
-  const std::string boundaries_file = work_prefix + "/boundaries";
-  dfs.put(boundaries_file, boundary_lines);
-  {
-    std::size_t start = 0;
-    const std::string_view data = boundary_lines;
-    while (start < data.size()) {
-      std::size_t end = data.find('\n', start);
-      if (end == std::string_view::npos) end = data.size();
-      const std::string_view line = data.substr(start, end - start);
-      if (!line.empty()) {
-        std::uint64_t b = 0;
-        std::from_chars(line.data(), line.data() + line.size(), b);
-        result.boundaries.push_back(b);
-      }
-      start = end + 1;
-    }
-  }
-
-  // --- Phase 2: partition + per-partition builds ---------------------------
-  mr::JobConfig p2;
-  p2.name = "rtree-phase2-build";
-  p2.input = input;
-  p2.output = work_prefix + "/small-trees";
-  p2.num_reducers = config.num_partitions;
-  p2.cache_files = {boundaries_file};
-  {
-    const int max_entries = config.rtree_max_entries;
-    result.phase2 = mr::run_mapreduce_job(
-        dfs, cluster, p2,
-        [curve, boundaries_file] {
-          return PartitionMapper{curve, boundaries_file, {}};
-        },
-        [max_entries] { return BuildReducer{max_entries}; });
-  }
-
-  // --- Phase 3: sequential merge -------------------------------------------
-  Stopwatch merge_watch;
-  result.partition_sizes.assign(
-      static_cast<std::size_t>(config.num_partitions), 0);
-  for (const auto& part : dfs.list(p2.output + "/")) {
-    const std::string_view data = dfs.read(part);
-    std::size_t start = 0;
-    while (start < data.size()) {
-      std::size_t end = data.find('\n', start);
-      if (end == std::string_view::npos) end = data.size();
-      const std::string_view line = data.substr(start, end - start);
-      if (line.rfind("tree,", 0) == 0) {
-        // tree,<partition>,<count>,<payload-with-;-newlines>
-        std::size_t c1 = line.find(',', 5);
-        std::size_t c2 = line.find(',', c1 + 1);
-        GEPETO_CHECK(c1 != std::string_view::npos &&
-                     c2 != std::string_view::npos);
-        std::int32_t partition = 0;
-        std::uint64_t count = 0;
-        std::from_chars(line.data() + 5, line.data() + c1, partition);
-        std::from_chars(line.data() + c1 + 1, line.data() + c2, count);
-        std::string payload(line.substr(c2 + 1));
-        std::replace(payload.begin(), payload.end(), ';', '\n');
-        const index::RTree small = index::RTree::deserialize(payload);
-        GEPETO_CHECK(small.size() == count);
-        GEPETO_CHECK(partition >= 0 &&
-                     partition < config.num_partitions);
-        result.partition_sizes[static_cast<std::size_t>(partition)] = count;
-        result.tree.merge(small);
-      }
-      start = end + 1;
-    }
-  }
-  result.phase3_real_seconds = merge_watch.seconds();
+  result.tree = std::move(st->tree);
+  result.phase1 = fr.node("rtree-phase1-sample")->job;
+  result.phase2 = fr.node("rtree-phase2-build")->job;
+  result.phase3_real_seconds = st->merge_real_seconds;
+  result.partition_sizes = std::move(st->partition_sizes);
+  result.boundaries = std::move(st->boundaries);
+  result.bounds = st->bounds;
   return result;
 }
 

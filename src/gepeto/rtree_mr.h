@@ -15,6 +15,8 @@
 //     computational complexity".
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@
 #include "index/sfc.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
+#include "workflow/flow.h"
 
 namespace gepeto::mr {
 class Dfs;
@@ -36,6 +39,10 @@ struct RTreeMrConfig {
   int samples_per_chunk = 256; ///< phase-1 per-mapper sample size
   int rtree_max_entries = 16;
   std::uint64_t seed = 42;
+  /// Debugging: pin the flow's intermediate datasets (partition points,
+  /// boundaries cache, serialized small trees) instead of garbage-collecting
+  /// them once consumed.
+  bool keep_intermediates = false;
 };
 
 struct RTreeMrResult {
@@ -48,8 +55,31 @@ struct RTreeMrResult {
   index::Rect bounds;              ///< dataset bounds used by the curve
 };
 
-/// Build an R-Tree over every trace under `input` (dataset lines).
-/// Intermediate files live under `work_prefix`.
+/// Driver-side state shared by the R-Tree flow nodes: the curve parameters
+/// and the merged tree travel through memory, not the DFS. Filled in as the
+/// flow runs; complete once the flow returned.
+struct RTreeFlowState {
+  index::Rect bounds;
+  std::optional<index::ScalarMapper> curve;  ///< set by the bounds node
+  std::vector<std::uint64_t> boundaries;
+  std::vector<std::uint64_t> partition_sizes;
+  index::RTree tree{16};
+  double merge_real_seconds = 0.0;
+};
+
+/// Append the three-phase R-Tree build (Fig. 6) to a flow: a driver bounds
+/// scan, the sampling job, the boundary consolidation, the per-partition
+/// build job, and the sequential merge. Every dataset under `work_prefix` is
+/// a GC-able intermediate. Returns the shared state the nodes fill.
+std::shared_ptr<RTreeFlowState> add_rtree_nodes(flow::Flow& f,
+                                                const std::string& input,
+                                                const std::string& work_prefix,
+                                                const RTreeMrConfig& config);
+
+/// Build an R-Tree over every trace under `input` (dataset lines), as a
+/// JobFlow. Intermediate files live under `work_prefix` and are
+/// garbage-collected as phases consume them (unless
+/// `config.keep_intermediates`).
 RTreeMrResult build_rtree_mapreduce(mr::Dfs& dfs,
                                     const mr::ClusterConfig& cluster,
                                     const std::string& input,

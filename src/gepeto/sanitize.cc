@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "workflow/flow.h"
 #include "common/random.h"
 #include "geo/distance.h"
 #include "geo/geolife.h"
@@ -389,40 +390,72 @@ CloakingMrResult run_cloaking_jobs(mr::Dfs& dfs,
                                    const std::string& work_prefix, int k,
                                    double base_cell_m, int max_doublings) {
   GEPETO_CHECK(k >= 1 && base_cell_m > 0.0 && max_doublings >= 0);
-  CloakingMrResult result;
+  const std::string census_out = work_prefix + "/census";
+  const std::string census_file = work_prefix + "/census-cache";
+  const std::string cloaked = work_prefix + "/cloaked";
+
+  flow::Flow f("cloaking");
 
   // Job 1: the distinct-user census per (level, cell).
-  mr::JobConfig census;
-  census.name = "cloaking-census";
-  census.input = input;
-  census.output = work_prefix + "/census";
-  census.num_reducers = std::max(1, cluster.total_reduce_slots() / 2);
-  census.use_combiner = true;
-  result.census_job = mr::run_mapreduce_job(
-      dfs, cluster, census,
-      [base_cell_m, max_doublings] {
-        return CensusMapper{base_cell_m, max_doublings};
-      },
-      [] { return CensusReducer{}; }, [] { return CensusCombiner{}; });
+  f.add_mapreduce("cloaking-census",
+                  [input, census_out, base_cell_m,
+                   max_doublings](flow::FlowEngine& e) {
+                    mr::JobConfig census;
+                    census.name = "cloaking-census";
+                    census.input = input;
+                    census.output = census_out;
+                    census.num_reducers =
+                        std::max(1, e.cluster().total_reduce_slots() / 2);
+                    census.use_combiner = true;
+                    return mr::run_mapreduce_job(
+                        e.dfs(), e.cluster(), census,
+                        [base_cell_m, max_doublings] {
+                          return CensusMapper{base_cell_m, max_doublings};
+                        },
+                        [] { return CensusReducer{}; },
+                        [] { return CensusCombiner{}; });
+                  })
+      .reads(input)
+      .writes(census_out);
 
   // Consolidate the census parts into one distributed-cache file.
-  std::string census_lines;
-  for (const auto& part : dfs.list(census.output + "/"))
-    census_lines += dfs.read(part);
-  const std::string census_file = work_prefix + "/census-cache";
-  dfs.put(census_file, std::move(census_lines));
+  f.add_native("cloaking-cache",
+               [census_out, census_file](flow::FlowEngine& e) {
+                 std::string census_lines;
+                 for (const auto& part : e.dfs().list(census_out + "/"))
+                   census_lines += e.dfs().read(part);
+                 e.dfs().put(census_file, std::move(census_lines));
+               })
+      .reads(census_out)
+      .writes(census_file);
 
   // Job 2: apply the generalization (map-only).
-  mr::JobConfig apply;
-  apply.name = "cloaking-apply";
-  apply.input = input;
-  apply.output = work_prefix + "/cloaked";
-  apply.cache_files = {census_file};
-  result.apply_job = mr::run_map_only_job(
-      dfs, cluster, apply, [census_file, k, base_cell_m, max_doublings] {
-        return ApplyCloakingMapper{census_file, k, base_cell_m, max_doublings,
-                                   {}};
-      });
+  f.add_map_only("cloaking-apply",
+                 [input, census_file, cloaked, k, base_cell_m,
+                  max_doublings](flow::FlowEngine& e) {
+                   mr::JobConfig apply;
+                   apply.name = "cloaking-apply";
+                   apply.input = input;
+                   apply.output = cloaked;
+                   apply.cache_files = {census_file};
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), apply,
+                       [census_file, k, base_cell_m, max_doublings] {
+                         return ApplyCloakingMapper{census_file, k, base_cell_m,
+                                                    max_doublings, {}};
+                       });
+                 })
+      .reads(input)
+      .reads(census_file)
+      .keep(cloaked);
+
+  // The census dataset and its cache consolidation are garbage-collected the
+  // moment the apply job consumed them.
+  const auto fr = f.run(dfs, cluster);
+
+  CloakingMrResult result;
+  result.census_job = fr.node("cloaking-census")->job;
+  result.apply_job = fr.node("cloaking-apply")->job;
   const auto it = result.apply_job.counters.find("cloak.suppressed");
   result.suppressed = it == result.apply_job.counters.end()
                           ? 0

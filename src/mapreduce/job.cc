@@ -43,6 +43,14 @@ JobError::JobError(Kind kind, std::string job_name, int phase, int task_index,
       task_index_(task_index),
       attempts_(attempts) {}
 
+JobError::JobError(const JobError& cause, const std::string& message_suffix)
+    : std::runtime_error(std::string(cause.what()) + message_suffix),
+      kind_(cause.kind_),
+      job_name_(cause.job_name_),
+      phase_(cause.phase_),
+      task_index_(cause.task_index_),
+      attempts_(cause.attempts_) {}
+
 bool FaultPlan::crashes_attempt(int phase, int task, int attempt) const {
   for (const auto& c : crashes)
     if (c.phase == phase && c.task == task && c.attempt == attempt) return true;

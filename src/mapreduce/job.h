@@ -50,6 +50,11 @@ class JobError : public std::runtime_error {
   /// Attempts consumed by that task before the job was failed.
   int attempts() const { return attempts_; }
 
+ protected:
+  /// For subclasses (e.g. flow::FlowError) that keep the structured fields
+  /// of `cause` but extend its message.
+  JobError(const JobError& cause, const std::string& message_suffix);
+
  private:
   Kind kind_;
   std::string job_name_;

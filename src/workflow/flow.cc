@@ -1,0 +1,425 @@
+#include "workflow/flow.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::flow {
+
+namespace {
+
+/// Dataset ids are DFS paths; a trailing '/' (directory-style read prefix)
+/// and the bare path (directory-style write) must compare equal.
+std::string normalize_dataset(const std::string& path) {
+  GEPETO_CHECK_MSG(!path.empty(), "empty dataset path in flow declaration");
+  std::string p = path;
+  while (p.size() > 1 && p.back() == '/') p.pop_back();
+  return p;
+}
+
+/// A dataset is present if it exists as a file or as a non-empty directory
+/// prefix (engine jobs write `dataset/part-*`).
+bool dataset_present(const mr::Dfs& dfs, const std::string& ds) {
+  return dfs.exists(ds) || !dfs.list(ds + "/").empty();
+}
+
+std::uint64_t dataset_bytes(const mr::Dfs& dfs, const std::string& ds) {
+  std::uint64_t bytes = dfs.total_size(ds + "/");
+  if (dfs.exists(ds)) bytes += dfs.file_size(ds);
+  return bytes;
+}
+
+void remove_dataset(mr::Dfs& dfs, const std::string& ds) {
+  if (dfs.exists(ds)) dfs.remove(ds);
+  dfs.remove_prefix(ds + "/");
+}
+
+std::string lineage_suffix(const std::string& flow_name,
+                           const std::string& node,
+                           const std::vector<std::string>& lineage) {
+  std::ostringstream os;
+  os << "; flow '" << flow_name << "' node '" << node << "'";
+  if (!lineage.empty()) {
+    os << " (upstream: ";
+    for (std::size_t i = 0; i < lineage.size(); ++i) {
+      if (i) os << " -> ";
+      os << lineage[i];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+FlowError::FlowError(const mr::JobError& cause, const std::string& flow_name,
+                     std::string node, std::vector<std::string> lineage)
+    : mr::JobError(cause, lineage_suffix(flow_name, node, lineage)),
+      node_(std::move(node)),
+      lineage_(std::move(lineage)) {}
+
+const NodeResult* FlowResult::node(const std::string& name) const {
+  for (const auto& n : nodes)
+    if (n.name == name) return &n;
+  return nullptr;
+}
+
+void FlowEngine::charge_sim(double seconds) {
+  GEPETO_CHECK(seconds >= 0.0);
+  charged_sim_seconds_ += seconds;
+}
+
+// --- graph construction ------------------------------------------------------
+
+Flow::NodeRef Flow::add_node(const std::string& name, NodeKind kind) {
+  GEPETO_CHECK_MSG(!name.empty(), "flow node needs a name");
+  for (const auto& n : nodes_)
+    GEPETO_CHECK_MSG(n.name != name,
+                     "duplicate flow node name '" << name << "'");
+  Node node;
+  node.name = name;
+  node.kind = kind;
+  nodes_.push_back(std::move(node));
+  return NodeRef(this, nodes_.size() - 1);
+}
+
+Flow::NodeRef Flow::add_map_only(const std::string& name, JobFn fn) {
+  auto ref = add_node(name, NodeKind::kMapOnly);
+  nodes_[ref.index_].job_fn = std::move(fn);
+  return ref;
+}
+
+Flow::NodeRef Flow::add_mapreduce(const std::string& name, JobFn fn) {
+  auto ref = add_node(name, NodeKind::kMapReduce);
+  nodes_[ref.index_].job_fn = std::move(fn);
+  return ref;
+}
+
+Flow::NodeRef Flow::add_native(const std::string& name, NativeFn fn) {
+  auto ref = add_node(name, NodeKind::kNative);
+  nodes_[ref.index_].native_fn = std::move(fn);
+  return ref;
+}
+
+Flow::NodeRef Flow::add_iterate_until(const std::string& name, LoopDoneFn done,
+                                      int max_iterations, LoopBodyFn body) {
+  GEPETO_CHECK_MSG(max_iterations > 0,
+                   "iterate_until '" << name << "' needs max_iterations > 0");
+  auto ref = add_node(name, NodeKind::kLoop);
+  nodes_[ref.index_].loop_done = std::move(done);
+  nodes_[ref.index_].loop_body = std::move(body);
+  nodes_[ref.index_].max_iterations = max_iterations;
+  return ref;
+}
+
+Flow::NodeRef& Flow::NodeRef::reads(const std::string& dataset) {
+  flow_->nodes_[index_].reads.push_back(normalize_dataset(dataset));
+  return *this;
+}
+
+Flow::NodeRef& Flow::NodeRef::writes(const std::string& dataset) {
+  flow_->nodes_[index_].writes.push_back(normalize_dataset(dataset));
+  return *this;
+}
+
+Flow::NodeRef& Flow::NodeRef::keep(const std::string& dataset) {
+  writes(dataset);
+  flow_->kept_.insert(normalize_dataset(dataset));
+  return *this;
+}
+
+Flow::NodeRef& Flow::NodeRef::scratch(const std::string& prefix) {
+  GEPETO_CHECK_MSG(!prefix.empty(), "empty scratch prefix");
+  flow_->nodes_[index_].scratch.push_back(prefix);
+  return *this;
+}
+
+Flow::NodeRef& Flow::NodeRef::after(const std::string& node) {
+  for (std::size_t i = 0; i < flow_->nodes_.size(); ++i) {
+    if (flow_->nodes_[i].name == node) {
+      GEPETO_CHECK_MSG(i != index_,
+                       "flow node '" << node << "' cannot run after itself");
+      flow_->nodes_[index_].after.push_back(i);
+      return *this;
+    }
+  }
+  GEPETO_FAIL("after('" << node << "'): no such flow node declared yet");
+}
+
+// --- scheduling --------------------------------------------------------------
+
+std::vector<std::vector<std::size_t>> Flow::dependency_edges() const {
+  // Writer index per dataset; a dataset may have at most one producer, or
+  // lineage would be ambiguous.
+  std::map<std::string, std::size_t> writer;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& ds : nodes_[i].writes) {
+      const auto [it, inserted] = writer.emplace(ds, i);
+      GEPETO_CHECK_MSG(inserted || it->second == i,
+                       "dataset '" << ds << "' written by both '"
+                                   << nodes_[it->second].name << "' and '"
+                                   << nodes_[i].name << "'");
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> deps(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const auto& ds : nodes_[i].reads) {
+      const auto it = writer.find(ds);
+      if (it != writer.end() && it->second != i) deps[i].push_back(it->second);
+    }
+    for (std::size_t a : nodes_[i].after) deps[i].push_back(a);
+    std::sort(deps[i].begin(), deps[i].end());
+    deps[i].erase(std::unique(deps[i].begin(), deps[i].end()), deps[i].end());
+  }
+  return deps;
+}
+
+std::vector<std::size_t> Flow::topological_order() const {
+  const auto deps = dependency_edges();
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  std::vector<std::vector<std::size_t>> out(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    indegree[i] = deps[i].size();
+    for (std::size_t d : deps[i]) out[d].push_back(i);
+  }
+  // Kahn's algorithm; the ready set drains in declaration order so the host
+  // execution order (and therefore every DFS write sequence) is
+  // deterministic.
+  std::set<std::size_t> ready;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (indegree[i] == 0) ready.insert(i);
+  std::vector<std::size_t> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    const std::size_t i = *ready.begin();
+    ready.erase(ready.begin());
+    order.push_back(i);
+    for (std::size_t next : out[i])
+      if (--indegree[next] == 0) ready.insert(next);
+  }
+  GEPETO_CHECK_MSG(order.size() == nodes_.size(),
+                   "flow '" << name_ << "' has a dependency cycle");
+  return order;
+}
+
+// --- execution ---------------------------------------------------------------
+
+namespace {
+
+struct FlowState {
+  std::set<std::string> done_nodes;
+  std::map<std::string, int> loop_iters;
+};
+
+FlowState load_state(const mr::Dfs& dfs, const std::string& path) {
+  FlowState state;
+  if (path.empty() || !dfs.exists(path)) return state;
+  const std::string_view data = dfs.read(path);
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    const std::string_view line = data.substr(start, end - start);
+    if (line.rfind("node ", 0) == 0) {
+      state.done_nodes.emplace(line.substr(5));
+    } else if (line.rfind("iter ", 0) == 0) {
+      const std::size_t space = line.rfind(' ');
+      GEPETO_CHECK_MSG(space > 5, "bad flow manifest line: " << line);
+      int n = 0;
+      const auto r = std::from_chars(line.data() + space + 1,
+                                     line.data() + line.size(), n);
+      GEPETO_CHECK_MSG(r.ec == std::errc(),
+                       "bad flow manifest line: " << line);
+      state.loop_iters.emplace(std::string(line.substr(5, space - 5)), n);
+    }
+    start = end + 1;
+  }
+  return state;
+}
+
+void save_state(mr::Dfs& dfs, const std::string& path, const FlowState& state) {
+  if (path.empty()) return;
+  std::string out = "gepeto-flow-state v1\n";
+  for (const auto& n : state.done_nodes) out += "node " + n + "\n";
+  for (const auto& [n, i] : state.loop_iters)
+    out += "iter " + n + " " + std::to_string(i) + "\n";
+  dfs.put(path, std::move(out));
+}
+
+}  // namespace
+
+FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                     const FlowOptions& options) {
+  const auto deps = dependency_edges();
+  const auto order = topological_order();
+
+  // Producer per dataset and the set of consumers still pending, for GC.
+  std::map<std::string, std::size_t> producer;
+  std::map<std::string, int> pending_consumers;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (const auto& ds : nodes_[i].writes) producer.emplace(ds, i);
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    for (const auto& ds : nodes_[i].reads) {
+      const auto it = producer.find(ds);
+      if (it != producer.end() && it->second != i) ++pending_consumers[ds];
+    }
+
+  FlowState state;
+  if (options.resume) state = load_state(dfs, options.state_path);
+
+  FlowResult result;
+  result.flow_name = name_;
+  result.nodes.reserve(nodes_.size());
+  std::vector<double> finish(nodes_.size(), 0.0);
+
+  // Upstream lineage of a node: every transitive dependency, reported in
+  // execution order (for FlowError and for resume decisions).
+  const auto lineage_of = [&](std::size_t target) {
+    std::vector<bool> up(nodes_.size(), false);
+    // `order` is topological, so one reverse sweep closes the reachability.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::size_t i = *it;
+      if (i == target || up[i]) {
+        for (std::size_t d : deps[i]) up[d] = true;
+      }
+    }
+    std::vector<std::string> names;
+    for (std::size_t i : order)
+      if (up[i]) names.push_back(nodes_[i].name);
+    return names;
+  };
+
+  const auto gc_dataset = [&](const std::string& ds) {
+    if (options.keep_intermediates || kept_.count(ds)) return;
+    if (!dataset_present(dfs, ds)) return;
+    result.gc_bytes += dataset_bytes(dfs, ds);
+    ++result.gc_datasets;
+    remove_dataset(dfs, ds);
+  };
+
+  // A completed node may be skipped on resume unless one of its outputs
+  // vanished (e.g. a crashed later run GC'd it) while a still-pending node
+  // needs it.
+  const auto must_rerun = [&](std::size_t i) {
+    for (const auto& ds : nodes_[i].writes) {
+      if (dataset_present(dfs, ds)) continue;
+      for (std::size_t c = 0; c < nodes_.size(); ++c) {
+        if (c == i || state.done_nodes.count(nodes_[c].name)) continue;
+        const auto& r = nodes_[c].reads;
+        if (std::find(r.begin(), r.end(), ds) != r.end()) return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t i : order) {
+    Node& node = nodes_[i];
+    NodeResult nr;
+    nr.name = node.name;
+    nr.kind = node.kind;
+    for (std::size_t d : deps[i])
+      nr.sim_start_seconds = std::max(nr.sim_start_seconds, finish[d]);
+
+    const bool skip = options.resume && state.done_nodes.count(node.name) &&
+                      !must_rerun(i);
+    if (skip) {
+      nr.skipped = true;
+      ++result.nodes_skipped;
+    } else {
+      FlowEngine engine(dfs, cluster);
+      Stopwatch watch;
+      const auto bill = [&](const mr::JobResult& jr) {
+        nr.sim_seconds += jr.sim_seconds;
+        if (nr.ran_jobs)
+          nr.job.absorb(jr);
+        else
+          nr.job = jr;
+        nr.ran_jobs = true;
+      };
+      try {
+        switch (node.kind) {
+          case NodeKind::kMapOnly:
+          case NodeKind::kMapReduce:
+            bill(node.job_fn(engine));
+            break;
+          case NodeKind::kNative:
+            node.native_fn(engine);
+            break;
+          case NodeKind::kLoop: {
+            int iter = 0;
+            if (options.resume) {
+              const auto it = state.loop_iters.find(node.name);
+              if (it != state.loop_iters.end()) iter = it->second;
+            }
+            while (true) {
+              if (node.loop_done(engine, iter)) {
+                nr.converged = true;
+                break;
+              }
+              if (iter >= node.max_iterations) break;
+              bill(node.loop_body(engine, iter));
+              ++iter;
+              ++nr.iterations;
+              if (!options.state_path.empty()) {
+                state.loop_iters[node.name] = iter;
+                save_state(dfs, options.state_path, state);
+              }
+            }
+            break;
+          }
+        }
+      } catch (const FlowError&) {
+        throw;  // a nested flow already attributed the failure
+      } catch (const mr::JobError& e) {
+        // Persist progress so a resumed run restarts from this frontier.
+        save_state(dfs, options.state_path, state);
+        throw FlowError(e, name_, node.name, lineage_of(i));
+      }
+      nr.sim_seconds += engine.charged_sim_seconds_;
+      nr.real_seconds = watch.seconds();
+      ++result.nodes_run;
+      if (!options.keep_intermediates)
+        for (const auto& prefix : node.scratch) {
+          // Scratch removal is accounted like dataset GC.
+          const std::uint64_t bytes = dfs.total_size(prefix);
+          if (bytes > 0 || !dfs.list(prefix).empty()) {
+            result.gc_bytes += bytes;
+            ++result.gc_datasets;
+            dfs.remove_prefix(prefix);
+          }
+        }
+      state.done_nodes.insert(node.name);
+      save_state(dfs, options.state_path, state);
+    }
+
+    nr.sim_finish_seconds = nr.sim_start_seconds + nr.sim_seconds;
+    finish[i] = nr.sim_finish_seconds;
+    result.sim_seconds = std::max(result.sim_seconds, nr.sim_finish_seconds);
+    result.sim_sequential_seconds += nr.sim_seconds;
+    result.real_seconds += nr.real_seconds;
+    for (const auto& [k, v] : nr.job.counters) result.counters[k] += v;
+
+    // GC: a dataset produced and consumed inside the flow is dropped the
+    // moment its last consumer (this node, possibly) finished.
+    for (const auto& ds : node.reads) {
+      const auto it = producer.find(ds);
+      if (it == producer.end() || it->second == i) continue;
+      if (--pending_consumers[ds] == 0) gc_dataset(ds);
+    }
+
+    result.nodes.push_back(std::move(nr));
+  }
+
+  if (!options.state_path.empty() && options.remove_state_on_success &&
+      dfs.exists(options.state_path))
+    dfs.remove(options.state_path);
+  return result;
+}
+
+}  // namespace gepeto::flow

@@ -1,0 +1,236 @@
+// JobFlow — a typed DAG of MapReduce jobs over the simulated cluster.
+//
+// Every analysis in the paper is a *multi-job* workflow: k-means runs one
+// MapReduce job per iteration until convergence (Section VI), DJ-Cluster
+// chains two pipelined map-only preprocessing jobs plus a clustering job
+// (Section VII, Fig. 5), and the R-Tree build is a three-phase job sequence
+// (Section VII-C, Fig. 6). JobFlow replaces the hand-rolled sequential glue
+// of those drivers with a declarative DAG:
+//
+//   * Nodes are map-only jobs, map-reduce jobs, native (in-process driver)
+//     steps, or an iterate_until loop (for k-means-style convergence).
+//   * Edges are dataset lineage: a node that `reads` a DFS path some other
+//     node `writes` depends on it. Explicit control edges (`after`) cover
+//     dependencies carried through driver memory instead of the DFS.
+//   * The executor runs nodes in a deterministic topological order on the
+//     host, but schedules them on the *simulated* cluster clock as a DAG:
+//     independent branches overlap (a node's virtual start is the max of its
+//     producers' virtual finishes), so FlowResult reports both the
+//     overlapped makespan and the sequential sum a single-job-at-a-time
+//     driver would have paid.
+//   * Intermediate datasets are garbage-collected from the DFS as soon as
+//     every consumer finished (a `keep` flag pins debugging outputs), and a
+//     node may declare `scratch` prefixes that are dropped when it
+//     completes.
+//   * Fault tolerance composes with PR 1: a node whose job exhausts its
+//     retries raises FlowError — an mr::JobError subclass naming the node
+//     and its upstream lineage — and a flow with a `state_path` manifest can
+//     resume from its last fully-completed frontier (loops resume at the
+//     last completed iteration).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::flow {
+
+enum class NodeKind { kMapOnly, kMapReduce, kNative, kLoop };
+
+/// Raised when a node fails (its job threw mr::JobError after exhausting the
+/// failure policy). IS-A mr::JobError — existing callers that catch the job
+/// error keep working — but additionally names the failed node and its
+/// upstream lineage so a flow of a dozen jobs pinpoints what sank it.
+class FlowError : public mr::JobError {
+ public:
+  FlowError(const mr::JobError& cause, const std::string& flow_name,
+            std::string node, std::vector<std::string> lineage);
+
+  /// Name of the node whose job failed.
+  const std::string& node() const { return node_; }
+  /// Names of all transitive upstream nodes, in execution order.
+  const std::vector<std::string>& lineage() const { return lineage_; }
+
+ private:
+  std::string node_;
+  std::vector<std::string> lineage_;
+};
+
+struct FlowOptions {
+  /// Disable dataset GC entirely (debugging): every intermediate stays.
+  bool keep_intermediates = false;
+  /// DFS path of the completion manifest. Empty (the default) disables state
+  /// tracking — the flow performs no DFS writes of its own, so a migrated
+  /// driver is byte-identical to its pre-flow incarnation. Non-empty enables
+  /// resume: the manifest is rewritten after every completed node (and every
+  /// completed loop iteration).
+  std::string state_path;
+  /// Load `state_path` and skip nodes it records as completed, re-running a
+  /// completed node only if an output of it vanished (e.g. was GC'd by a
+  /// crashed run) while a pending node still needs it. Loops restart at the
+  /// recorded iteration.
+  bool resume = false;
+  /// Remove the manifest once the whole flow succeeded.
+  bool remove_state_on_success = true;
+};
+
+/// Per-node outcome.
+struct NodeResult {
+  std::string name;
+  NodeKind kind = NodeKind::kNative;
+  /// Resume: the manifest proved this node already completed; nothing ran.
+  bool skipped = false;
+  /// Loop nodes: iterations executed by this run (resumed ones excluded).
+  int iterations = 0;
+  /// Loop nodes: the predicate turned true (vs. max-iterations cutoff).
+  bool converged = false;
+  /// Virtual-clock window under the DAG schedule (seconds).
+  double sim_start_seconds = 0.0;
+  double sim_finish_seconds = 0.0;
+  double sim_seconds = 0.0;   ///< virtual duration (= finish - start)
+  double real_seconds = 0.0;  ///< host wall time of this node
+  /// Aggregate of every job the node ran (absorb() semantics across jobs).
+  mr::JobResult job;
+  bool ran_jobs = false;  ///< whether `job` holds at least one job result
+};
+
+struct FlowResult {
+  std::string flow_name;
+  std::vector<NodeResult> nodes;  ///< in execution (topological) order
+
+  /// DAG makespan on the simulated clock: independent branches overlap.
+  double sim_seconds = 0.0;
+  /// What a sequential one-job-at-a-time driver would have paid: the sum of
+  /// every node's virtual duration. speedup = sequential / makespan.
+  double sim_sequential_seconds = 0.0;
+  double real_seconds = 0.0;
+
+  int nodes_run = 0;
+  int nodes_skipped = 0;
+
+  /// Dataset GC: intermediates removed once all consumers finished.
+  std::uint64_t gc_datasets = 0;
+  std::uint64_t gc_bytes = 0;
+
+  /// Union of all node counters.
+  mr::Counters counters;
+
+  /// Lookup by node name (nullptr if absent).
+  const NodeResult* node(const std::string& name) const;
+};
+
+/// Handed to every node body: access to the cluster, plus billing hooks so
+/// driver-side work can charge the simulated clock.
+class FlowEngine {
+ public:
+  mr::Dfs& dfs() { return dfs_; }
+  const mr::ClusterConfig& cluster() const { return cluster_; }
+
+  /// Bill extra simulated seconds to the current node (e.g. a native node
+  /// modeling driver-side consolidation cost). Job time is billed
+  /// automatically from the returned JobResult.
+  void charge_sim(double seconds);
+
+ private:
+  friend class Flow;
+  FlowEngine(mr::Dfs& dfs, const mr::ClusterConfig& cluster)
+      : dfs_(dfs), cluster_(cluster) {}
+
+  mr::Dfs& dfs_;
+  const mr::ClusterConfig& cluster_;
+  double charged_sim_seconds_ = 0.0;
+};
+
+class Flow {
+ public:
+  /// A job node body: runs exactly one engine job and returns its result
+  /// (which the executor bills to the virtual clock and aggregates).
+  using JobFn = std::function<mr::JobResult(FlowEngine&)>;
+  /// A native node body: driver-side work (consolidating cache files,
+  /// parsing outputs). Bills only what it charge_sim()s.
+  using NativeFn = std::function<void(FlowEngine&)>;
+  /// Loop body: runs iteration `iter` (absolute, 0-based — resumed flows
+  /// start past 0) and returns its job result.
+  using LoopBodyFn = std::function<mr::JobResult(FlowEngine&, int iter)>;
+  /// Convergence predicate, checked *before* each iteration (so a loop may
+  /// run zero iterations): given the next iteration index, return true to
+  /// stop the loop as converged.
+  using LoopDoneFn = std::function<bool(FlowEngine&, int next_iter)>;
+
+  /// Chainable per-node declaration handle (valid until run()).
+  class NodeRef {
+   public:
+    /// Declare a DFS dataset (file or directory prefix, trailing '/'
+    /// ignored) this node reads. Creates a lineage edge from its writer.
+    NodeRef& reads(const std::string& dataset);
+    /// Declare a DFS dataset this node produces. At most one writer per
+    /// dataset per flow.
+    NodeRef& writes(const std::string& dataset);
+    /// writes() + pin: never garbage-collect this dataset.
+    NodeRef& keep(const std::string& dataset);
+    /// A DFS path prefix of node-private temporaries, removed as soon as the
+    /// node completes (unless keep_intermediates).
+    NodeRef& scratch(const std::string& prefix);
+    /// Explicit control edge for dependencies carried through driver memory
+    /// rather than the DFS. The named node must already be declared.
+    NodeRef& after(const std::string& node);
+
+   private:
+    friend class Flow;
+    NodeRef(Flow* flow, std::size_t index) : flow_(flow), index_(index) {}
+    Flow* flow_;
+    std::size_t index_;
+  };
+
+  explicit Flow(std::string name = "flow") : name_(std::move(name)) {}
+
+  NodeRef add_map_only(const std::string& name, JobFn fn);
+  NodeRef add_mapreduce(const std::string& name, JobFn fn);
+  NodeRef add_native(const std::string& name, NativeFn fn);
+  NodeRef add_iterate_until(const std::string& name, LoopDoneFn done,
+                            int max_iterations, LoopBodyFn body);
+
+  /// Execute the DAG. Throws FlowError when a node's job fails,
+  /// gepeto::CheckFailure on a malformed graph (cycle, duplicate writer,
+  /// unknown `after` target, duplicate node name).
+  FlowResult run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                 const FlowOptions& options = {});
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    NodeKind kind = NodeKind::kNative;
+    JobFn job_fn;
+    NativeFn native_fn;
+    LoopBodyFn loop_body;
+    LoopDoneFn loop_done;
+    int max_iterations = 0;
+    std::vector<std::string> reads;    // normalized dataset ids
+    std::vector<std::string> writes;   // normalized dataset ids
+    std::vector<std::string> scratch;  // raw prefixes
+    std::vector<std::size_t> after;    // explicit control-edge sources
+  };
+
+  NodeRef add_node(const std::string& name, NodeKind kind);
+  std::vector<std::size_t> topological_order() const;
+  std::vector<std::vector<std::size_t>> dependency_edges() const;
+
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::set<std::string> kept_;  // datasets pinned against GC
+};
+
+}  // namespace gepeto::flow

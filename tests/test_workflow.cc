@@ -1,0 +1,502 @@
+// Tests for JobFlow (src/workflow): DAG scheduling and virtual-clock
+// overlap, dataset-lineage edges, malformed-graph rejection, intermediate
+// GC (keep / keep_intermediates / scratch), FlowError attribution, resume
+// from the completion manifest, iterate_until edge cases, and the
+// DJ-Cluster intermediate-leak regression.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/engine.h"
+#include "workflow/flow.h"
+
+namespace gepeto::flow {
+namespace {
+
+mr::ClusterConfig test_cluster(std::size_t chunk = 1 << 26) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 99;
+  return c;
+}
+
+/// Map-only identity: copies every line, counting them.
+struct EchoMapper {
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    ctx.write(line);
+    ctx.increment("echo.lines");
+  }
+};
+
+mr::JobResult copy_job(FlowEngine& e, const std::string& name,
+                       const std::string& in, const std::string& out,
+                       const mr::FaultPlan& plan = {}) {
+  mr::JobConfig job;
+  job.name = name;
+  job.input = in;
+  job.output = out;
+  job.fault_plan = plan;
+  return mr::run_map_only_job(e.dfs(), e.cluster(), job,
+                              [] { return EchoMapper{}; });
+}
+
+/// Crash every attempt of map task 0 — exhausts the default 4-attempt
+/// budget, failing the job with kAttemptsExhausted.
+mr::FaultPlan sink_task0() {
+  mr::FaultPlan plan;
+  for (int a = 0; a < 4; ++a) plan.crashes.push_back({1, 0, a});
+  return plan;
+}
+
+std::string cat_dataset(const mr::Dfs& dfs, const std::string& dir) {
+  std::string all;
+  for (const auto& p : dfs.list(dir + "/")) all += dfs.read(p);
+  return all;
+}
+
+// --- scheduling --------------------------------------------------------------
+
+TEST(FlowScheduling, LinearChainSumsVirtualTime) {
+  mr::Dfs dfs(test_cluster());
+  Flow f("chain");
+  f.add_native("a", [](FlowEngine& e) { e.charge_sim(1.0); });
+  f.add_native("b", [](FlowEngine& e) { e.charge_sim(2.0); }).after("a");
+  f.add_native("c", [](FlowEngine& e) { e.charge_sim(3.0); }).after("b");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_DOUBLE_EQ(fr.sim_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(fr.sim_sequential_seconds, 6.0);
+  EXPECT_EQ(fr.nodes_run, 3);
+  EXPECT_DOUBLE_EQ(fr.node("b")->sim_start_seconds, 1.0);
+  EXPECT_DOUBLE_EQ(fr.node("c")->sim_start_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(fr.node("c")->sim_finish_seconds, 6.0);
+}
+
+TEST(FlowScheduling, IndependentBranchesOverlap) {
+  mr::Dfs dfs(test_cluster());
+  Flow f;
+  f.add_native("slow", [](FlowEngine& e) { e.charge_sim(5.0); });
+  f.add_native("fast", [](FlowEngine& e) { e.charge_sim(3.0); });
+  const auto fr = f.run(dfs, test_cluster());
+  // Both start at t=0 on the virtual clock; the makespan is the slower
+  // branch, while a sequential driver would pay the sum.
+  EXPECT_DOUBLE_EQ(fr.node("fast")->sim_start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(fr.sim_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(fr.sim_sequential_seconds, 8.0);
+}
+
+TEST(FlowScheduling, DiamondJoinWaitsForSlowestBranch) {
+  mr::Dfs dfs(test_cluster());
+  Flow f;
+  f.add_native("a", [](FlowEngine& e) { e.charge_sim(1.0); });
+  f.add_native("b", [](FlowEngine& e) { e.charge_sim(2.0); }).after("a");
+  f.add_native("c", [](FlowEngine& e) { e.charge_sim(4.0); }).after("a");
+  f.add_native("d", [](FlowEngine& e) { e.charge_sim(1.0); })
+      .after("b")
+      .after("c");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_DOUBLE_EQ(fr.node("d")->sim_start_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(fr.sim_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(fr.sim_sequential_seconds, 8.0);
+}
+
+TEST(FlowScheduling, DatasetLineageOrdersJobs) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "alpha\nbravo\ncharlie\n");
+  Flow f;
+  // Declared consumer-first: the lineage edge /mid -> gen must still run the
+  // producer before the consumer.
+  f.add_map_only("use",
+                 [](FlowEngine& e) { return copy_job(e, "use", "/mid", "/out"); })
+      .reads("/mid")
+      .keep("/out");
+  f.add_map_only("gen",
+                 [](FlowEngine& e) { return copy_job(e, "gen", "/in", "/mid"); })
+      .reads("/in")
+      .writes("/mid");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_EQ(fr.nodes[0].name, "gen");
+  EXPECT_EQ(fr.nodes[1].name, "use");
+  EXPECT_EQ(cat_dataset(dfs, "/out"), "alpha\nbravo\ncharlie\n");
+  EXPECT_DOUBLE_EQ(fr.node("use")->sim_start_seconds,
+                   fr.node("gen")->sim_finish_seconds);
+  EXPECT_TRUE(fr.node("gen")->ran_jobs);
+  EXPECT_EQ(fr.node("use")->job.output_records, 3u);
+}
+
+TEST(FlowScheduling, DeclarationOrderBreaksTies) {
+  mr::Dfs dfs(test_cluster());
+  std::vector<std::string> ran;
+  Flow f;
+  f.add_native("zeta", [&](FlowEngine&) { ran.push_back("zeta"); });
+  f.add_native("alpha", [&](FlowEngine&) { ran.push_back("alpha"); });
+  const auto fr = f.run(dfs, test_cluster());
+  // Both are ready at once; the declaration order wins, not the name order.
+  EXPECT_EQ(ran, (std::vector<std::string>{"zeta", "alpha"}));
+  EXPECT_EQ(fr.nodes[0].name, "zeta");
+}
+
+// --- malformed graphs --------------------------------------------------------
+
+TEST(FlowGraph, CycleIsRejected) {
+  mr::Dfs dfs(test_cluster());
+  Flow f;
+  f.add_native("a", [](FlowEngine&) {}).reads("/y").writes("/x");
+  f.add_native("b", [](FlowEngine&) {}).reads("/x").writes("/y");
+  EXPECT_THROW(f.run(dfs, test_cluster()), CheckFailure);
+}
+
+TEST(FlowGraph, DuplicateDatasetWriterIsRejected) {
+  mr::Dfs dfs(test_cluster());
+  Flow f;
+  f.add_native("a", [](FlowEngine&) {}).writes("/d");
+  f.add_native("b", [](FlowEngine&) {}).writes("/d/");  // normalizes equal
+  EXPECT_THROW(f.run(dfs, test_cluster()), CheckFailure);
+}
+
+TEST(FlowGraph, UnknownAfterTargetIsRejected) {
+  Flow f;
+  auto ref = f.add_native("a", [](FlowEngine&) {});
+  EXPECT_THROW(ref.after("missing"), CheckFailure);
+}
+
+TEST(FlowGraph, DuplicateNodeNameIsRejected) {
+  Flow f;
+  f.add_native("a", [](FlowEngine&) {});
+  EXPECT_THROW(f.add_native("a", [](FlowEngine&) {}), CheckFailure);
+}
+
+// --- garbage collection ------------------------------------------------------
+
+TEST(FlowGc, IntermediateRemovedAfterLastConsumer) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  Flow f;
+  f.add_map_only("gen",
+                 [](FlowEngine& e) { return copy_job(e, "gen", "/in", "/mid"); })
+      .reads("/in")
+      .writes("/mid");
+  f.add_map_only("use",
+                 [](FlowEngine& e) { return copy_job(e, "use", "/mid", "/out"); })
+      .reads("/mid")
+      .keep("/out");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_TRUE(dfs.list("/mid/").empty());
+  EXPECT_FALSE(dfs.exists("/mid"));
+  EXPECT_FALSE(dfs.list("/out/").empty());
+  EXPECT_EQ(fr.gc_datasets, 1u);
+  EXPECT_GT(fr.gc_bytes, 0u);
+}
+
+TEST(FlowGc, KeepPinsDataset) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  Flow f;
+  f.add_map_only("gen",
+                 [](FlowEngine& e) { return copy_job(e, "gen", "/in", "/mid"); })
+      .reads("/in")
+      .keep("/mid");
+  f.add_map_only("use",
+                 [](FlowEngine& e) { return copy_job(e, "use", "/mid", "/out"); })
+      .reads("/mid")
+      .keep("/out");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_FALSE(dfs.list("/mid/").empty());
+  EXPECT_EQ(fr.gc_datasets, 0u);
+}
+
+TEST(FlowGc, KeepIntermediatesOptionDisablesGc) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  Flow f;
+  f.add_map_only("gen",
+                 [](FlowEngine& e) { return copy_job(e, "gen", "/in", "/mid"); })
+      .reads("/in")
+      .writes("/mid");
+  f.add_map_only("use",
+                 [](FlowEngine& e) { return copy_job(e, "use", "/mid", "/out"); })
+      .reads("/mid")
+      .keep("/out");
+  FlowOptions options;
+  options.keep_intermediates = true;
+  const auto fr = f.run(dfs, test_cluster(), options);
+  EXPECT_FALSE(dfs.list("/mid/").empty());
+  EXPECT_EQ(fr.gc_datasets, 0u);
+}
+
+TEST(FlowGc, ScratchPrefixRemovedWhenNodeCompletes) {
+  mr::Dfs dfs(test_cluster());
+  Flow f;
+  f.add_native("work",
+               [](FlowEngine& e) {
+                 e.dfs().put("/tmp/scratch-0", "temporary\n");
+                 e.dfs().put("/tmp/scratch-1", "temporary\n");
+               })
+      .scratch("/tmp/scratch-");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_TRUE(dfs.list("/tmp/").empty());
+  EXPECT_EQ(fr.gc_datasets, 1u);
+  EXPECT_GT(fr.gc_bytes, 0u);
+}
+
+// --- failure attribution -----------------------------------------------------
+
+TEST(FlowFailure, FlowErrorNamesNodeAndLineage) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  bool down_ran = false;
+  Flow f("pipeline");
+  f.add_map_only("gen",
+                 [](FlowEngine& e) { return copy_job(e, "gen", "/in", "/mid"); })
+      .reads("/in")
+      .writes("/mid");
+  f.add_map_only("bad",
+                 [](FlowEngine& e) {
+                   return copy_job(e, "bad", "/mid", "/out", sink_task0());
+                 })
+      .reads("/mid")
+      .writes("/out");
+  f.add_native("down", [&](FlowEngine&) { down_ran = true; }).after("bad");
+  try {
+    f.run(dfs, test_cluster());
+    ADD_FAILURE() << "expected FlowError";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.node(), "bad");
+    EXPECT_EQ(e.lineage(), std::vector<std::string>{"gen"});
+    EXPECT_EQ(e.kind(), mr::JobError::Kind::kAttemptsExhausted);
+    EXPECT_NE(std::string(e.what()).find("flow 'pipeline' node 'bad'"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("gen"), std::string::npos);
+  }
+  EXPECT_FALSE(down_ran);
+}
+
+TEST(FlowFailure, FlowErrorIsAJobError) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\n");
+  Flow f;
+  f.add_map_only("bad", [](FlowEngine& e) {
+    return copy_job(e, "bad", "/in", "/out", sink_task0());
+  });
+  // Callers written against the PR-1 engine keep working unchanged.
+  EXPECT_THROW(f.run(dfs, test_cluster()), mr::JobError);
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(FlowCounters, AggregateAcrossNodes) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "a\nb\nc\n");
+  Flow f;
+  f.add_map_only("gen",
+                 [](FlowEngine& e) { return copy_job(e, "gen", "/in", "/mid"); })
+      .reads("/in")
+      .writes("/mid");
+  f.add_map_only("use",
+                 [](FlowEngine& e) { return copy_job(e, "use", "/mid", "/out"); })
+      .reads("/mid")
+      .keep("/out");
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_EQ(fr.counters.at("echo.lines"), 6);  // 3 lines through both jobs
+}
+
+// --- resume ------------------------------------------------------------------
+
+/// A two-job chain whose second node fails while `armed` — shared by the
+/// resume tests.
+Flow resumable_chain(int& gen_runs, const bool& armed) {
+  Flow f("resumable");
+  f.add_map_only("gen",
+                 [&gen_runs](FlowEngine& e) {
+                   ++gen_runs;
+                   return copy_job(e, "gen", "/in", "/mid");
+                 })
+      .reads("/in")
+      .writes("/mid");
+  f.add_map_only("use",
+                 [&armed](FlowEngine& e) {
+                   return copy_job(e, "use", "/mid", "/out",
+                                   armed ? sink_task0() : mr::FaultPlan{});
+                 })
+      .reads("/mid")
+      .keep("/out");
+  return f;
+}
+
+TEST(FlowResume, SkipsCompletedFrontier) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  int gen_runs = 0;
+  bool armed = true;
+  Flow f = resumable_chain(gen_runs, armed);
+  FlowOptions options;
+  options.state_path = "/flow-state";
+  EXPECT_THROW(f.run(dfs, test_cluster(), options), FlowError);
+  EXPECT_EQ(gen_runs, 1);
+  EXPECT_TRUE(dfs.exists("/flow-state"));
+
+  armed = false;
+  options.resume = true;
+  const auto fr = f.run(dfs, test_cluster(), options);
+  EXPECT_EQ(gen_runs, 1);  // the completed frontier is not re-run
+  EXPECT_EQ(fr.nodes_skipped, 1);
+  EXPECT_TRUE(fr.node("gen")->skipped);
+  EXPECT_FALSE(fr.node("use")->skipped);
+  EXPECT_EQ(cat_dataset(dfs, "/out"), "one\ntwo\n");
+  EXPECT_FALSE(dfs.exists("/flow-state"));  // removed on success
+}
+
+TEST(FlowResume, RerunsCompletedNodeWhoseOutputVanished) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  int gen_runs = 0;
+  bool armed = true;
+  Flow f = resumable_chain(gen_runs, armed);
+  FlowOptions options;
+  options.state_path = "/flow-state";
+  EXPECT_THROW(f.run(dfs, test_cluster(), options), FlowError);
+
+  // Lose gen's output between the crash and the resume: the manifest says
+  // "done" but a pending consumer still needs /mid, so gen must re-run.
+  dfs.remove_prefix("/mid/");
+  armed = false;
+  options.resume = true;
+  const auto fr = f.run(dfs, test_cluster(), options);
+  EXPECT_EQ(gen_runs, 2);
+  EXPECT_EQ(fr.nodes_skipped, 0);
+  EXPECT_EQ(cat_dataset(dfs, "/out"), "one\ntwo\n");
+}
+
+// --- iterate_until -----------------------------------------------------------
+
+TEST(FlowIterate, ZeroIterationsWhenAlreadyConverged) {
+  mr::Dfs dfs(test_cluster());
+  int body_calls = 0;
+  Flow f;
+  f.add_iterate_until(
+      "loop", [](FlowEngine&, int) { return true; }, /*max_iterations=*/10,
+      [&](FlowEngine&, int) {
+        ++body_calls;
+        return mr::JobResult{};
+      });
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_EQ(body_calls, 0);
+  EXPECT_EQ(fr.node("loop")->iterations, 0);
+  EXPECT_TRUE(fr.node("loop")->converged);
+}
+
+TEST(FlowIterate, MaxIterationsCutoff) {
+  mr::Dfs dfs(test_cluster());
+  std::vector<int> iters;
+  Flow f;
+  f.add_iterate_until(
+      "loop", [](FlowEngine&, int) { return false; }, /*max_iterations=*/3,
+      [&](FlowEngine&, int iter) {
+        iters.push_back(iter);
+        return mr::JobResult{};
+      });
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_EQ(iters, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(fr.node("loop")->iterations, 3);
+  EXPECT_FALSE(fr.node("loop")->converged);
+}
+
+TEST(FlowIterate, StopsWhenPredicateTurnsTrue) {
+  mr::Dfs dfs(test_cluster());
+  Flow f;
+  f.add_iterate_until(
+      "loop", [](FlowEngine&, int next_iter) { return next_iter >= 2; },
+      /*max_iterations=*/10,
+      [](FlowEngine& e, int) {
+        e.charge_sim(1.0);
+        return mr::JobResult{};
+      });
+  const auto fr = f.run(dfs, test_cluster());
+  EXPECT_EQ(fr.node("loop")->iterations, 2);
+  EXPECT_TRUE(fr.node("loop")->converged);
+  // charge_sim() from inside the loop body bills the node.
+  EXPECT_DOUBLE_EQ(fr.node("loop")->sim_seconds, 2.0);
+}
+
+TEST(FlowIterate, ResumesMidLoopAfterCrash) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  std::vector<int> completed;
+  bool armed = true;
+  Flow f("kmeans-like");
+  f.add_iterate_until(
+      "loop", [](FlowEngine&, int next_iter) { return next_iter >= 4; },
+      /*max_iterations=*/10,
+      [&](FlowEngine& e, int iter) {
+        const auto plan =
+            (armed && iter == 2) ? sink_task0() : mr::FaultPlan{};
+        auto jr = copy_job(e, "iter-" + std::to_string(iter), "/in",
+                           "/loop/out-" + std::to_string(iter), plan);
+        completed.push_back(iter);
+        return jr;
+      });
+  FlowOptions options;
+  options.state_path = "/flow-state";
+  try {
+    f.run(dfs, test_cluster(), options);
+    ADD_FAILURE() << "expected FlowError";
+  } catch (const FlowError& e) {
+    EXPECT_EQ(e.node(), "loop");
+  }
+  EXPECT_EQ(completed, (std::vector<int>{0, 1}));
+
+  armed = false;
+  options.resume = true;
+  const auto fr = f.run(dfs, test_cluster(), options);
+  // The loop restarts at the recorded iteration, not from zero: each
+  // iteration executes exactly once across the two runs.
+  EXPECT_EQ(completed, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(fr.node("loop")->iterations, 2);
+  EXPECT_TRUE(fr.node("loop")->converged);
+}
+
+// --- DJ-Cluster intermediate-leak regression ---------------------------------
+
+TEST(FlowGc, DjClusterPipelineLeavesOnlyProducts) {
+  const auto synthetic = geo::generate_dataset([] {
+    geo::GeneratorConfig cfg;
+    cfg.num_users = 3;
+    cfg.duration_days = 8;
+    cfg.seed = 95;
+    return cfg;
+  }());
+  const auto sampled = core::downsample(
+      synthetic.data, {60, core::SamplingTechnique::kUpperLimit});
+
+  mr::Dfs dfs(test_cluster());
+  geo::dataset_to_dfs(dfs, "/in", sampled, 2);
+  const std::uint64_t input_bytes = dfs.total_size("/in/");
+
+  core::DjClusterConfig config;
+  const auto result =
+      core::run_djcluster_jobs(dfs, test_cluster(), "/in/", "/dj", config);
+  EXPECT_GT(result.clusters.clustered + result.clusters.noise, 0u);
+
+  // The pipeline's temporaries (/dj/filtered, the R-Tree entries cache) must
+  // be gone: only the input and the two products remain in the DFS.
+  for (const auto& path : dfs.list("/")) {
+    const bool expected = path.rfind("/in/", 0) == 0 ||
+                          path.rfind("/dj/preprocessed/", 0) == 0 ||
+                          path.rfind("/dj/clusters/", 0) == 0;
+    EXPECT_TRUE(expected) << "leaked intermediate: " << path;
+  }
+  EXPECT_EQ(dfs.total_size("/in/"), input_bytes);
+  EXPECT_FALSE(dfs.list("/dj/preprocessed/").empty());
+  EXPECT_FALSE(dfs.list("/dj/clusters/").empty());
+}
+
+}  // namespace
+}  // namespace gepeto::flow
