@@ -21,13 +21,26 @@
 #include "geo/generator.h"
 #include "geo/stats.h"
 #include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+#include "telemetry/bench_report.h"
 
 namespace gepeto::bench {
 
+/// True at paper scale, false at smoke scale. Anything other than "paper",
+/// "smoke", or unset/empty (= paper) is a hard error: a typo like
+/// GEPETO_SCALE=Smoke silently running the multi-minute paper configuration
+/// is exactly the kind of wasted benchmark run this refuses to start.
 inline bool paper_scale() {
   const char* env = std::getenv("GEPETO_SCALE");
-  return env == nullptr || std::strcmp(env, "paper") == 0;
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "paper") == 0)
+    return true;
+  if (std::strcmp(env, "smoke") == 0) return false;
+  std::cerr << "GEPETO_SCALE='" << env
+            << "' is not a known scale; use 'paper' or 'smoke'.\n";
+  std::exit(2);
 }
+
+inline const char* scale_name() { return paper_scale() ? "paper" : "smoke"; }
 
 /// The "128 MB" dataset: 178 users, ~2.03 M traces at paper scale.
 inline const geo::SyntheticDataset& world178() {
@@ -90,6 +103,34 @@ inline void describe_dataset(const char* name,
                              const geo::GeolocatedDataset& data) {
   std::cout << "dataset " << name << ": "
             << geo::describe(geo::compute_stats(data));
+}
+
+/// Fill a BENCH_*.json row from one job's outcome (sim/wall seconds plus
+/// the volume counters every table cares about).
+inline telemetry::BenchReporter::Row& bill_job(
+    telemetry::BenchReporter::Row& row, const mr::JobResult& jr) {
+  row.set_sim_seconds(jr.sim_seconds)
+      .set_wall_seconds(jr.real_seconds)
+      .add_counter("map_tasks", jr.num_map_tasks)
+      .add_counter("reduce_tasks", jr.num_reduce_tasks)
+      .add_counter("input_bytes", static_cast<std::int64_t>(jr.input_bytes))
+      .add_counter("shuffle_bytes",
+                   static_cast<std::int64_t>(jr.shuffle_bytes))
+      .add_counter("output_records",
+                   static_cast<std::int64_t>(jr.output_records))
+      .add_counter("output_bytes", static_cast<std::int64_t>(jr.output_bytes));
+  if (jr.failed_task_attempts > 0)
+    row.add_counter("failed_task_attempts", jr.failed_task_attempts);
+  return row;
+}
+
+/// Write the report and tell the reader where it landed.
+inline void write_report(const telemetry::BenchReporter& report) {
+  const std::string path = report.write();
+  if (path.empty())
+    std::cerr << "warning: could not write bench report\n";
+  else
+    std::cout << "bench report: " << path << "\n";
 }
 
 }  // namespace gepeto::bench

@@ -8,6 +8,8 @@
 // the 128 MB dataset costs more than the 66 MB one.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
@@ -15,6 +17,7 @@
 #include "geo/geolife.h"
 #include "gepeto/kmeans.h"
 #include "mapreduce/dfs.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -68,6 +71,16 @@ void reproduce_table3() {
                 "sim iter time", "real iter time", "map tasks",
                 "paper #iter"});
 
+  telemetry::BenchReporter report("table3_kmeans", scale_name());
+  report.set_param("nodes", std::int64_t{7});
+  report.set_param("measured_iterations", std::int64_t{measured_iterations});
+
+  // GEPETO_TRACE_OUT=<file>: record the first configuration's run and write
+  // its simulated-timeline Chrome trace there (CI smoke uses this).
+  const char* trace_out = std::getenv("GEPETO_TRACE_OUT");
+  telemetry::TraceRecorder recorder;
+  bool traced = false;
+
   for (const auto& row : kPaperRows) {
     const auto& world =
         row.paper_traces > 1'500'000 ? world178() : world90();
@@ -79,6 +92,11 @@ void reproduce_table3() {
     auto cluster = parapluie(7, chunk);
     mr::Dfs dfs(cluster);
     geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+    if (trace_out != nullptr && !traced) {
+      telemetry::Telemetry tel;
+      tel.trace = &recorder;
+      dfs.set_telemetry(tel);
+    }
 
     core::KMeansConfig config;
     config.k = 10;
@@ -97,6 +115,25 @@ void reproduce_table3() {
     sim /= static_cast<double>(result.per_iteration.size());
     real /= static_cast<double>(result.per_iteration.size());
 
+    if (trace_out != nullptr && !traced) {
+      std::ofstream out(trace_out);
+      out << recorder.chrome_trace_json(telemetry::Timeline::kSim);
+      std::cout << "chrome trace: " << trace_out << "\n";
+      traced = true;
+    }
+
+    const std::string distance = std::string(geo::distance_name(row.distance));
+    const std::string label = std::string(row.data) + " " + distance + " " +
+                              std::to_string(row.chunk_mb) + "MB";
+    bill_job(report.add_row(label), result.totals)
+        .set_param("data", row.data)
+        .set_param("distance", distance)
+        .set_param("chunk_mb", std::int64_t{row.chunk_mb})
+        .set_param("sim_iter_seconds", sim)
+        .set_param("real_iter_seconds", real)
+        .set_param("paper_iter_seconds",
+                   std::int64_t{row.paper_iter_seconds});
+
     table.row({row.data, format_count(geo::count_dfs_records(dfs, "/in/")),
                std::string(geo::distance_name(row.distance)),
                std::to_string(row.chunk_mb) + " MB",
@@ -107,6 +144,7 @@ void reproduce_table3() {
                std::to_string(row.paper_iterations)});
   }
   table.print(std::cout);
+  write_report(report);
   std::cout << "shape checks: sq. Euclidean faster than Haversine at equal "
                "config; 32 MB chunks faster than 64 MB; 128 MB slower than "
                "66 MB.\n";

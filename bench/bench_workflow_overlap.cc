@@ -115,6 +115,21 @@ void reproduce_workflow_overlap() {
             << "GC: " << dag.fr.gc_datasets << " intermediate datasets, "
             << format_bytes(dag.fr.gc_bytes) << " reclaimed\n";
 
+  telemetry::BenchReporter report("workflow_overlap", scale_name());
+  report.set_param("nodes", std::int64_t{7});
+  for (const auto* run : {&seq, &dag}) {
+    auto& r = report.add_row(run->fr.flow_name);
+    r.set_sim_seconds(run->fr.sim_seconds)
+        .set_wall_seconds(run->fr.real_seconds)
+        .set_param("sim_sequential_seconds", run->fr.sim_sequential_seconds)
+        .set_param("nodes_run", std::int64_t{run->fr.nodes_run})
+        .add_counter("gc_datasets",
+                     static_cast<std::int64_t>(run->fr.gc_datasets))
+        .add_counter("gc_bytes", static_cast<std::int64_t>(run->fr.gc_bytes));
+  }
+  report.set_param("overlap_speedup", seq.fr.sim_seconds / dag.fr.sim_seconds);
+  write_report(report);
+
   GEPETO_CHECK_MSG(dag.fr.sim_seconds < seq.fr.sim_seconds,
                    "overlapping independent pipelines must beat the chain");
   GEPETO_CHECK_MSG(!dag.clusters.empty() && dag.clusters == seq.clusters,

@@ -51,6 +51,14 @@ struct ClusterConfig {
   /// >1 models a 2013 node slower than the host per-core.
   double compute_scale = 1.0;
 
+  /// When > 0, task CPU cost is *modeled* instead of measured: cpu_seconds =
+  /// records processed * this value (then scaled by compute_scale as usual).
+  /// Measured host CPU time varies run to run, so the default cost model
+  /// yields slightly different simulated times on each execution; this
+  /// switch makes the whole virtual timeline — and therefore telemetry
+  /// trace exports — byte-identical across runs at a fixed seed.
+  double modeled_seconds_per_record = 0.0;
+
   /// When false, the virtual jobtracker assigns map tasks to free slots
   /// ignoring where the data lives (ablation of Hadoop's locality-aware
   /// scheduling; transfer costs still apply).

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace gepeto::mr {
 
 Dfs::Dfs(const ClusterConfig& config)
@@ -97,6 +100,15 @@ void Dfs::put(const std::string& path, std::string contents, int writer_node) {
                          bytes / config_.intra_rack_Bps +
                          0.05 * static_cast<double>(file.chunks.size());
 
+  if (telemetry_.metrics != nullptr) {
+    telemetry_.metrics
+        ->counter("dfs_ingest_bytes_total", "bytes written into the DFS")
+        .add(static_cast<std::int64_t>(size));
+    telemetry_.metrics
+        ->counter("dfs_files_written_total", "files written into the DFS")
+        .inc();
+  }
+
   files_.emplace(path, std::move(file));
 }
 
@@ -161,6 +173,15 @@ std::uint64_t Dfs::total_size(const std::string& prefix) const {
 void Dfs::kill_node(int node) {
   GEPETO_CHECK(node >= 0 && node < config_.num_worker_nodes);
   if (!node_alive_[static_cast<std::size_t>(node)]) return;
+  if (telemetry_.trace != nullptr) {
+    telemetry_.trace->add_sim_instant("datanode killed", "dfs",
+                                      telemetry_.trace->sim_cursor(), node);
+  }
+  if (telemetry_.metrics != nullptr) {
+    telemetry_.metrics
+        ->counter("dfs_nodes_killed_total", "datanodes marked dead")
+        .inc();
+  }
   node_alive_[static_cast<std::size_t>(node)] = false;
   node_bytes_[static_cast<std::size_t>(node)] = 0;
   for (auto& [path, file] : files_) {
@@ -213,6 +234,25 @@ ReReplicationReport Dfs::re_replicate() {
   const double bytes = static_cast<double>(report.moved_bytes);
   report.sim_seconds =
       bytes / config_.disk_bandwidth_Bps + bytes / config_.intra_rack_Bps;
+  if (telemetry_.metrics != nullptr) {
+    auto& m = *telemetry_.metrics;
+    m.counter("dfs_rereplication_sweeps_total", "re-replication sweeps run")
+        .inc();
+    m.counter("dfs_rereplicated_replicas_total", "replicas restored")
+        .add(static_cast<std::int64_t>(report.created));
+    m.counter("dfs_rereplicated_bytes_total",
+              "bytes copied restoring replication")
+        .add(static_cast<std::int64_t>(report.moved_bytes));
+    m.counter("dfs_lost_chunks_total", "chunks that lost every replica")
+        .add(static_cast<std::int64_t>(report.lost.size()));
+  }
+  if (telemetry_.trace != nullptr && report.created > 0) {
+    telemetry_.trace->add_sim_instant(
+        "re-replication sweep", "dfs", telemetry_.trace->sim_cursor(), -1, 0,
+        {{"replicas_restored", std::to_string(report.created)},
+         {"moved_bytes", std::to_string(report.moved_bytes)},
+         {"lost_chunks", std::to_string(report.lost.size())}});
+  }
   return report;
 }
 

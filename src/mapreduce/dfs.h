@@ -20,6 +20,7 @@
 
 #include "common/random.h"
 #include "mapreduce/cluster.h"
+#include "telemetry/telemetry.h"
 
 namespace gepeto::mr {
 
@@ -118,6 +119,13 @@ class Dfs {
 
   const ClusterConfig& config() const { return config_; }
 
+  /// Ambient telemetry for everything running against this DFS. The DFS
+  /// instruments its own events (ingest, node death, re-replication) and the
+  /// engine / flow executor fall back to this handle when their own configs
+  /// carry none — so one call here wires a whole pipeline.
+  void set_telemetry(telemetry::Telemetry t) { telemetry_ = t; }
+  telemetry::Telemetry telemetry() const { return telemetry_; }
+
  private:
   struct File {
     std::string data;
@@ -133,6 +141,7 @@ class Dfs {
   std::vector<std::uint64_t> node_bytes_;  // load-balancing hint
   Rng rng_;
   double sim_ingest_seconds_ = 0.0;
+  telemetry::Telemetry telemetry_;
 };
 
 }  // namespace gepeto::mr

@@ -58,6 +58,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "mapreduce/dfs.h"
+#include "mapreduce/engine_telemetry.h"
 #include "mapreduce/job.h"
 #include "mapreduce/record_io.h"
 #include "mapreduce/scheduler.h"
@@ -453,6 +454,14 @@ struct MapPhaseOutcome {
   int speculative_wins = 0;
   int blacklisted_nodes = 0;
   int lost_chunks = 0;
+  // Telemetry: the phase's virtual timeline with waves laid out end to end
+  // (slice/event times are relative to the phase start, task indices are
+  // job-global), the per-task virtual costs, and the re-replication pauses
+  // between waves as (start, duration).
+  std::vector<TaskSlice> slices;
+  std::vector<SchedulerEvent> events;
+  std::vector<MapTaskCost> costs;
+  std::vector<std::pair<double, double>> recovery_windows;
 };
 
 /// Run the map phase in fault-plan waves. `run_task(t)` executes task t's
@@ -471,6 +480,7 @@ MapPhaseOutcome run_map_phase(Dfs& dfs, const ClusterConfig& config,
   MapPhaseOutcome out;
   out.assigned_node.assign(num_tasks, -1);
   out.lost.assign(num_tasks, false);
+  out.costs.resize(num_tasks);
 
   std::vector<int> dead = dead_nodes_of(dfs);
   std::vector<std::vector<int>> replicas(num_tasks);
@@ -503,9 +513,23 @@ MapPhaseOutcome run_map_phase(Dfs& dfs, const ClusterConfig& config,
       c.replica_nodes = replicas[t];
       c.failed_attempts = tries[t].crashed_attempts;
       ids.push_back(t);
+      out.costs[t] = c;
       costs.push_back(std::move(c));
     }
     const MapSchedule sched = schedule_map_phase(config, costs, dead);
+    // Waves (and recovery pauses) lay out end to end on the phase timeline;
+    // slices/events of this wave shift past everything accumulated so far.
+    const double wave_base = out.makespan + out.recovery_seconds;
+    for (TaskSlice s : sched.slices) {
+      s.task = static_cast<int>(ids[static_cast<std::size_t>(s.task)]);
+      s.start += wave_base;
+      s.finish += wave_base;
+      out.slices.push_back(s);
+    }
+    for (SchedulerEvent e : sched.events) {
+      e.when += wave_base;
+      out.events.push_back(e);
+    }
     for (std::size_t i = 0; i < ids.size(); ++i)
       out.assigned_node[ids[i]] = sched.assigned_node[i];
     out.makespan += sched.makespan;
@@ -534,6 +558,8 @@ MapPhaseOutcome run_map_phase(Dfs& dfs, const ClusterConfig& config,
     }
     if (killed) {
       const ReReplicationReport report = dfs.re_replicate();
+      out.recovery_windows.emplace_back(wave_base + sched.makespan,
+                                        report.sim_seconds);
       out.recovery_seconds += report.sim_seconds;
       out.lost_chunks += static_cast<int>(report.lost.size());
       dead = dead_nodes_of(dfs);
@@ -620,6 +646,10 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
   GEPETO_CHECK(job.failures.max_attempts > 0);
   GEPETO_CHECK(job.failures.max_failed_task_fraction >= 0.0 &&
                job.failures.max_failed_task_fraction <= 1.0);
+  const telemetry::Telemetry tel = job.telemetry.or_else(dfs.telemetry());
+  telemetry::WallScope wall_scope;
+  if (tel.trace != nullptr)
+    wall_scope = tel.trace->wall_span("job:" + job.name, "job");
   Stopwatch wall;
   JobResult result;
   result.job_name = job.name;
@@ -680,7 +710,11 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
           out.records = ctx.records();
           out.input_records = records;
           out.input_bytes = ci.size + reader.overread_bytes();
-          out.cpu_seconds = cpu.seconds();
+          out.cpu_seconds =
+              config.modeled_seconds_per_record > 0.0
+                  ? static_cast<double>(records) *
+                        config.modeled_seconds_per_record
+                  : cpu.seconds();
           out.counters = ctx.counters();
           return out;
         });
@@ -737,6 +771,19 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
   result.sim_seconds = result.sim_startup_seconds + result.sim_map_seconds +
                        result.sim_recovery_seconds;
   result.real_seconds = wall.seconds();
+
+  if (tel.enabled()) {
+    detail::record_job_metrics(tel.metrics, result, &phase.slices, nullptr);
+    detail::JobTraceData td;
+    td.map_costs = &phase.costs;
+    td.map_slices = &phase.slices;
+    td.map_events = &phase.events;
+    td.recovery_windows = &phase.recovery_windows;
+    td.map_notes.reserve(tries.size());
+    for (const auto& tt : tries)
+      td.map_notes.push_back({tt.attempts, tt.skipped_records, tt.ok});
+    detail::record_job_trace(tel.trace, config, job, result, td);
+  }
   return result;
 }
 
@@ -765,6 +812,10 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
                job.failures.max_failed_task_fraction <= 1.0);
   GEPETO_CHECK_MSG(!job.use_combiner || kHasCombiner,
                    "job.use_combiner set but no combiner factory given");
+  const telemetry::Telemetry tel = job.telemetry.or_else(dfs.telemetry());
+  telemetry::WallScope wall_scope;
+  if (tel.trace != nullptr)
+    wall_scope = tel.trace->wall_span("job:" + job.name, "job");
   Stopwatch wall;
   JobResult result;
   result.job_name = job.name;
@@ -858,7 +909,11 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
             out.bucket_bytes[static_cast<std::size_t>(r)] =
                 detail::pairs_bytes(bucket);
           }
-          out.cpu_seconds = cpu.seconds();
+          out.cpu_seconds =
+              config.modeled_seconds_per_record > 0.0
+                  ? static_cast<double>(records) *
+                        config.modeled_seconds_per_record
+                  : cpu.seconds();
           out.counters = ctx.counters();
           return out;
         });
@@ -985,7 +1040,11 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
                   out.output = std::move(ctx.output());
                   out.records = ctx.records();
                   out.groups = groups;
-                  out.cpu_seconds = cpu.seconds();
+                  out.cpu_seconds =
+                      config.modeled_seconds_per_record > 0.0
+                          ? static_cast<double>(merged.size()) *
+                                config.modeled_seconds_per_record
+                          : cpu.seconds();
                   out.counters = ctx.counters();
                   return out;
                 });
@@ -1045,6 +1104,26 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   result.sim_seconds = result.sim_startup_seconds + result.sim_map_seconds +
                        result.sim_recovery_seconds + result.sim_reduce_seconds;
   result.real_seconds = wall.seconds();
+
+  if (tel.enabled()) {
+    detail::record_job_metrics(tel.metrics, result, &mphase.slices,
+                               &rsched.slices);
+    detail::JobTraceData td;
+    td.map_costs = &mphase.costs;
+    td.map_slices = &mphase.slices;
+    td.map_events = &mphase.events;
+    td.recovery_windows = &mphase.recovery_windows;
+    td.map_notes.reserve(mtries.size());
+    for (const auto& tt : mtries)
+      td.map_notes.push_back({tt.attempts, tt.skipped_records, tt.ok});
+    td.reduce_costs = &rcosts;
+    td.reduce_slices = &rsched.slices;
+    td.reduce_events = &rsched.events;
+    td.reduce_notes.reserve(rtries.size());
+    for (const auto& rt : rtries)
+      td.reduce_notes.push_back({rt.attempts, rt.skipped_records, rt.ok});
+    detail::record_job_trace(tel.trace, config, job, result, td);
+  }
   return result;
 }
 

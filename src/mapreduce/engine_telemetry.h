@@ -1,0 +1,283 @@
+// Telemetry emission for the MapReduce engine.
+//
+// The engine executes tasks for real and then *replays* them on the virtual
+// cluster clock, so trace emission is post-hoc: once a job's schedule is
+// known, these helpers lay its spans onto the recorder's sim timeline at the
+// current cursor — job span, phase spans, one span per task attempt placed
+// on its (node, slot) track, read/map/spill and shuffle/reduce/write child
+// spans from the scheduler's cost breakdown, plus re-replication windows and
+// blacklist instants. Everything here is non-templated so the heavy string
+// work stays out of the templated engine code paths; every entry point is a
+// no-op on a null sink.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+#include "mapreduce/scheduler.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gepeto::mr::detail {
+
+/// Fault-tolerance annotations of one task, extracted from TaskTry<> (which
+/// is templated on the task output type and so cannot cross into this
+/// non-templated helper).
+struct TaskNote {
+  int attempts = 0;
+  std::uint64_t skipped_records = 0;
+  bool ok = true;
+};
+
+/// Everything record_job_trace needs about a finished job's schedule.
+/// Reduce members stay null for map-only jobs.
+struct JobTraceData {
+  const std::vector<MapTaskCost>* map_costs = nullptr;  ///< by task index
+  const std::vector<TaskSlice>* map_slices = nullptr;
+  const std::vector<SchedulerEvent>* map_events = nullptr;
+  /// (start, duration) of each DFS re-replication pause between map waves,
+  /// relative to map-phase start.
+  const std::vector<std::pair<double, double>>* recovery_windows = nullptr;
+  std::vector<TaskNote> map_notes;
+  const std::vector<ReduceTaskCost>* reduce_costs = nullptr;
+  const std::vector<TaskSlice>* reduce_slices = nullptr;
+  const std::vector<SchedulerEvent>* reduce_events = nullptr;
+  std::vector<TaskNote> reduce_notes;
+};
+
+inline const char* locality_name(Locality l) {
+  switch (l) {
+    case Locality::kDataLocal: return "data-local";
+    case Locality::kRackLocal: return "rack-local";
+    case Locality::kRemote: return "remote";
+  }
+  return "?";
+}
+
+inline std::string task_span_name(const char* kind, int task) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s-%05d", kind, task);
+  return buf;
+}
+
+/// Job-level counters + duration histograms. Task-duration histograms come
+/// from the schedule slices (virtual seconds — deterministic).
+inline void record_job_metrics(telemetry::MetricsRegistry* m,
+                               const JobResult& r,
+                               const std::vector<TaskSlice>* map_slices,
+                               const std::vector<TaskSlice>* reduce_slices) {
+  if (m == nullptr) return;
+  auto add = [&](const char* name, std::int64_t v, const char* help) {
+    if (v != 0) m->counter(name, help).add(v);
+  };
+  m->counter("mr_jobs_total", "MapReduce jobs completed").inc();
+  add("mr_map_tasks_total", r.num_map_tasks, "map tasks run");
+  add("mr_reduce_tasks_total", r.num_reduce_tasks, "reduce tasks run");
+  add("mr_input_bytes_total", static_cast<std::int64_t>(r.input_bytes),
+      "bytes read by map tasks");
+  add("mr_map_output_bytes_total",
+      static_cast<std::int64_t>(r.map_output_bytes),
+      "map output bytes before the combiner");
+  add("mr_shuffle_bytes_total", static_cast<std::int64_t>(r.shuffle_bytes),
+      "bytes crossing mapper->reducer");
+  add("mr_output_bytes_total", static_cast<std::int64_t>(r.output_bytes),
+      "job output bytes");
+  add("mr_output_records_total", static_cast<std::int64_t>(r.output_records),
+      "job output records");
+  add("mr_failed_task_attempts_total", r.failed_task_attempts,
+      "task attempts that crashed");
+  add("mr_failed_tasks_total", r.failed_tasks,
+      "tasks that permanently failed (tolerated)");
+  add("mr_skipped_records_total",
+      static_cast<std::int64_t>(r.skipped_records),
+      "bad records skipped by skip mode");
+  add("mr_blacklisted_nodes_total", r.blacklisted_nodes,
+      "nodes blacklisted by the virtual jobtracker");
+  add("mr_lost_chunks_total", r.lost_chunks,
+      "chunks that lost every replica mid-job");
+  add("mr_speculative_copies_total", r.speculative_copies,
+      "speculative backup attempts launched");
+  add("mr_speculative_wins_total", r.speculative_wins,
+      "speculative copies that beat the original");
+  add("mr_data_local_maps_total", r.data_local_maps, "data-local map tasks");
+  add("mr_rack_local_maps_total", r.rack_local_maps, "rack-local map tasks");
+  add("mr_remote_maps_total", r.remote_maps, "remote map tasks");
+
+  m->histogram("mr_job_sim_seconds", telemetry::default_time_buckets(),
+               "simulated job makespan")
+      .observe(r.sim_seconds);
+  if (map_slices != nullptr) {
+    auto& h = m->histogram("mr_map_task_sim_seconds",
+                           telemetry::default_time_buckets(),
+                           "simulated map attempt duration");
+    for (const TaskSlice& s : *map_slices) {
+      if (s.kind == TaskSlice::Kind::kAttempt) h.observe(s.finish - s.start);
+    }
+  }
+  if (reduce_slices != nullptr) {
+    auto& h = m->histogram("mr_reduce_task_sim_seconds",
+                           telemetry::default_time_buckets(),
+                           "simulated reduce attempt duration");
+    for (const TaskSlice& s : *reduce_slices) {
+      if (s.kind == TaskSlice::Kind::kAttempt) h.observe(s.finish - s.start);
+    }
+  }
+}
+
+namespace trace_impl {
+
+inline void emit_slice(telemetry::TraceRecorder& rec, const char* kind,
+                       const TaskSlice& s, double phase_base,
+                       std::int64_t parent, const std::vector<TaskNote>& notes,
+                       bool is_map) {
+  std::vector<telemetry::SpanArg> args;
+  args.push_back({"attempt", std::to_string(s.attempt)});
+  if (is_map) args.push_back({"locality", locality_name(s.locality)});
+  std::string cat = kind;
+  switch (s.kind) {
+    case TaskSlice::Kind::kAttempt: {
+      if (static_cast<std::size_t>(s.task) < notes.size()) {
+        const TaskNote& n = notes[static_cast<std::size_t>(s.task)];
+        if (n.attempts > 1)
+          args.push_back({"attempts_total", std::to_string(n.attempts)});
+        if (n.skipped_records > 0)
+          args.push_back(
+              {"skipped_records", std::to_string(n.skipped_records)});
+      }
+      break;
+    }
+    case TaskSlice::Kind::kFailedAttempt:
+      cat += "-failed";
+      args.push_back({"outcome", "crashed"});
+      break;
+    case TaskSlice::Kind::kSpeculative:
+      cat += "-speculative";
+      args.push_back({"outcome", s.won ? "won" : "lost"});
+      break;
+  }
+  rec.add_sim_span(task_span_name(kind, s.task), cat, phase_base + s.start,
+                   phase_base + s.finish, s.node, s.slot, parent,
+                   std::move(args));
+}
+
+inline void emit_breakdown(telemetry::TraceRecorder& rec, const TaskSlice& s,
+                           double phase_base, std::int64_t parent,
+                           const char* detail_cat, const char* names[3],
+                           double parts[3], double startup) {
+  // Children laid out sequentially after the startup gap; the slice's total
+  // equals startup + parts by construction (scheduler breakdown).
+  double at = phase_base + s.start + startup;
+  for (int i = 0; i < 3; ++i) {
+    if (parts[i] <= 0.0) continue;
+    rec.add_sim_span(names[i], detail_cat, at, at + parts[i], s.node, s.slot,
+                     parent);
+    at += parts[i];
+  }
+}
+
+}  // namespace trace_impl
+
+/// Lay a finished job onto the recorder's sim timeline at the current
+/// cursor, then advance the cursor past it. Returns the job span id.
+inline void record_job_trace(telemetry::TraceRecorder* rec,
+                             const ClusterConfig& config,
+                             const JobConfig& job, const JobResult& r,
+                             const JobTraceData& d) {
+  if (rec == nullptr) return;
+  const double base = rec->sim_cursor();
+
+  std::vector<telemetry::SpanArg> job_args;
+  job_args.push_back({"map_tasks", std::to_string(r.num_map_tasks)});
+  if (r.num_reduce_tasks > 0)
+    job_args.push_back({"reduce_tasks", std::to_string(r.num_reduce_tasks)});
+  if (r.failed_task_attempts > 0)
+    job_args.push_back(
+        {"failed_attempts", std::to_string(r.failed_task_attempts)});
+  if (r.skipped_records > 0)
+    job_args.push_back(
+        {"skipped_records", std::to_string(r.skipped_records)});
+  const std::int64_t job_span = rec->add_sim_span(
+      "job:" + job.name, "job", base, base + r.sim_seconds, -1, 0,
+      telemetry::TraceRecorder::kCurrentParent, std::move(job_args));
+
+  if (r.sim_startup_seconds > 0.0) {
+    rec->add_sim_span("startup", "phase", base, base + r.sim_startup_seconds,
+                      -1, 0, job_span);
+  }
+
+  // Map phase covers the waves plus any re-replication pauses between them.
+  const double map_base = base + r.sim_startup_seconds;
+  const double map_len = r.sim_map_seconds + r.sim_recovery_seconds;
+  std::int64_t map_span = job_span;
+  if (r.num_map_tasks > 0) {
+    map_span = rec->add_sim_span("map phase", "phase", map_base,
+                                 map_base + map_len, -1, 0, job_span);
+  }
+  if (d.map_slices != nullptr) {
+    for (const TaskSlice& s : *d.map_slices) {
+      trace_impl::emit_slice(*rec, "map", s, map_base, map_span, d.map_notes,
+                             /*is_map=*/true);
+      if (s.kind == TaskSlice::Kind::kAttempt && d.map_costs != nullptr &&
+          static_cast<std::size_t>(s.task) < d.map_costs->size()) {
+        const MapAttemptBreakdown b = map_attempt_breakdown(
+            config, (*d.map_costs)[static_cast<std::size_t>(s.task)], s.node);
+        const char* names[3] = {"read", "map", "spill"};
+        double parts[3] = {b.read, b.cpu, b.spill};
+        trace_impl::emit_breakdown(*rec, s, map_base, map_span, "map-detail",
+                                   names, parts, b.startup);
+      }
+    }
+  }
+  if (d.map_events != nullptr) {
+    for (const SchedulerEvent& e : *d.map_events) {
+      rec->add_sim_instant("node blacklisted", "scheduler",
+                           map_base + e.when, e.node, 0);
+    }
+  }
+  if (d.recovery_windows != nullptr) {
+    for (const auto& [start, len] : *d.recovery_windows) {
+      rec->add_sim_span("re-replication", "dfs", map_base + start,
+                        map_base + start + len, -1, 0, map_span);
+    }
+  }
+
+  if (r.num_reduce_tasks > 0) {
+    const double reduce_base = map_base + map_len;
+    const std::int64_t reduce_span =
+        rec->add_sim_span("reduce phase", "phase", reduce_base,
+                          reduce_base + r.sim_reduce_seconds, -1, 0, job_span);
+    if (d.reduce_slices != nullptr) {
+      for (const TaskSlice& s : *d.reduce_slices) {
+        trace_impl::emit_slice(*rec, "reduce", s, reduce_base, reduce_span,
+                               d.reduce_notes, /*is_map=*/false);
+        if (s.kind == TaskSlice::Kind::kAttempt &&
+            d.reduce_costs != nullptr &&
+            static_cast<std::size_t>(s.task) < d.reduce_costs->size()) {
+          const ReduceAttemptBreakdown b = reduce_attempt_breakdown(
+              config, (*d.reduce_costs)[static_cast<std::size_t>(s.task)],
+              s.node);
+          const char* names[3] = {"shuffle", "reduce", "write"};
+          double parts[3] = {b.shuffle, b.cpu, b.write};
+          trace_impl::emit_breakdown(*rec, s, reduce_base, reduce_span,
+                                     "reduce-detail", names, parts,
+                                     b.startup);
+        }
+      }
+    }
+    if (d.reduce_events != nullptr) {
+      for (const SchedulerEvent& e : *d.reduce_events) {
+        rec->add_sim_instant("node blacklisted", "scheduler",
+                             reduce_base + e.when, e.node, 0);
+      }
+    }
+  }
+
+  rec->set_sim_cursor(base + r.sim_seconds);
+}
+
+}  // namespace gepeto::mr::detail

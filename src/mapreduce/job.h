@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "telemetry/telemetry.h"
 
 namespace gepeto::mr {
 
@@ -132,6 +133,11 @@ struct JobConfig {
   FailurePolicy failures;
   /// Deterministic fault injection experienced by the real execution.
   FaultPlan fault_plan;
+  /// Optional tracing/metrics sinks for this job. Null (the default) means
+  /// no telemetry work at all. When null, the engine falls back to the
+  /// ambient handle installed on the Dfs (Dfs::set_telemetry), so drivers
+  /// deep inside flows need no plumbing.
+  telemetry::Telemetry telemetry;
 };
 
 /// Per-job counters, merged from all tasks (deterministic given the seed).

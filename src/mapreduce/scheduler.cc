@@ -61,17 +61,20 @@ class NodePool {
     return q;
   }
 
-  /// Record one failed attempt on `node`; may blacklist it.
-  void attempt_failed_on(int node) {
+  /// Record one failed attempt on `node`; may blacklist it. Returns true
+  /// when this failure tipped the node over the blacklist threshold, so the
+  /// caller can log a timestamped scheduler event.
+  bool attempt_failed_on(int node) {
     ++failures_[static_cast<std::size_t>(node)];
-    if (config_.blacklist_after_failures <= 0) return;
-    if (!usable(node) || usable_count_ <= 1) return;
+    if (config_.blacklist_after_failures <= 0) return false;
+    if (!usable(node) || usable_count_ <= 1) return false;
     if (failures_[static_cast<std::size_t>(node)] <
         config_.blacklist_after_failures)
-      return;
+      return false;
     usable_[static_cast<std::size_t>(node)] = false;
     --usable_count_;
     ++blacklisted_;
+    return true;
   }
 
  private:
@@ -93,47 +96,66 @@ Locality locality_of(const ClusterConfig& config,
   return Locality::kRemote;
 }
 
-double map_attempt_seconds(const ClusterConfig& config, const MapTaskCost& t,
-                           int node) {
+MapAttemptBreakdown map_attempt_breakdown(const ClusterConfig& config,
+                                          const MapTaskCost& t, int node) {
+  const double spd = config.speed_of(node);
   const double bytes = static_cast<double>(t.input_bytes);
-  double io = bytes / config.disk_bandwidth_Bps;  // the replica's disk
+  double read = bytes / config.disk_bandwidth_Bps;  // the replica's disk
   switch (locality_of(config, t.replica_nodes, node)) {
     case Locality::kDataLocal:
       break;
     case Locality::kRackLocal:
-      io += bytes / config.intra_rack_Bps;
+      read += bytes / config.intra_rack_Bps;
       break;
     case Locality::kRemote:
-      io += bytes / config.inter_rack_Bps;
+      read += bytes / config.inter_rack_Bps;
       break;
   }
+  MapAttemptBreakdown b;
+  b.startup = config.task_startup_seconds * spd;
+  b.read = read * spd;
+  b.cpu = t.cpu_seconds * config.compute_scale * spd;
   // Map output spills to the local disk (fetched later by reducers).
-  io += static_cast<double>(t.output_bytes) / config.disk_bandwidth_Bps;
-  return (config.task_startup_seconds + io +
-          t.cpu_seconds * config.compute_scale) *
-         config.speed_of(node);
+  b.spill =
+      static_cast<double>(t.output_bytes) / config.disk_bandwidth_Bps * spd;
+  return b;
 }
 
-double reduce_attempt_seconds(const ClusterConfig& config,
-                              const ReduceTaskCost& t, int node) {
-  double io = 0.0;
+ReduceAttemptBreakdown reduce_attempt_breakdown(const ClusterConfig& config,
+                                                const ReduceTaskCost& t,
+                                                int node) {
+  const double spd = config.speed_of(node);
+  double shuffle = 0.0;
   for (const auto& [map_node, bytes] : t.shuffle_from) {
     const double b = static_cast<double>(bytes);
-    io += b / config.disk_bandwidth_Bps;  // read the map spill
+    shuffle += b / config.disk_bandwidth_Bps;  // read the map spill
     if (map_node == node) {
       // local fetch: no network hop
     } else if (config.rack_of(map_node) == config.rack_of(node)) {
-      io += b / config.intra_rack_Bps;
+      shuffle += b / config.intra_rack_Bps;
     } else {
-      io += b / config.inter_rack_Bps;
+      shuffle += b / config.inter_rack_Bps;
     }
   }
   // Output is written back to the DFS through the replica pipeline.
   const double out = static_cast<double>(t.output_bytes);
-  io += out / config.disk_bandwidth_Bps + out / config.intra_rack_Bps;
-  return (config.task_startup_seconds + io +
-          t.cpu_seconds * config.compute_scale) *
-         config.speed_of(node);
+  ReduceAttemptBreakdown b;
+  b.startup = config.task_startup_seconds * spd;
+  b.shuffle = shuffle * spd;
+  b.cpu = t.cpu_seconds * config.compute_scale * spd;
+  b.write =
+      (out / config.disk_bandwidth_Bps + out / config.intra_rack_Bps) * spd;
+  return b;
+}
+
+double map_attempt_seconds(const ClusterConfig& config, const MapTaskCost& t,
+                           int node) {
+  return map_attempt_breakdown(config, t, node).total();
+}
+
+double reduce_attempt_seconds(const ClusterConfig& config,
+                              const ReduceTaskCost& t, int node) {
+  return reduce_attempt_breakdown(config, t, node).total();
 }
 
 MapSchedule schedule_map_phase(const ClusterConfig& config,
@@ -153,6 +175,7 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
 
   std::vector<bool> done(tasks.size(), false);
   std::vector<double> task_finish(tasks.size(), 0.0);
+  std::vector<int> attempt_no(tasks.size(), 0);
   std::size_t remaining = tasks.size();
 
   SlotQueue slots = pool.make_slots(config.map_slots_per_node);
@@ -208,12 +231,26 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
       const SlotEvent ev = free_slots[best_slot];
       const double duration =
           map_attempt_seconds(config, tasks[best_task], ev.node);
+      const Locality loc =
+          locality_of(config, tasks[best_task].replica_nodes, ev.node);
+      TaskSlice slice;
+      slice.task = static_cast<int>(best_task);
+      slice.attempt = attempt_no[best_task]++;
+      slice.node = ev.node;
+      slice.slot = ev.slot;
+      slice.start = ev.when;
+      slice.locality = loc;
       if (failures_left[best_task] > 0) {
         // The attempt crashes partway through; the slot frees early and the
         // task goes back to the pending pool (Hadoop re-schedules it, often
         // on a different node since this slot now trails others in time).
         --failures_left[best_task];
-        pool.attempt_failed_on(ev.node);
+        slice.kind = TaskSlice::Kind::kFailedAttempt;
+        slice.finish = ev.when + duration * kFailedAttemptFraction;
+        out.slices.push_back(slice);
+        if (pool.attempt_failed_on(ev.node))
+          out.events.push_back(
+              {SchedulerEvent::Kind::kBlacklist, ev.node, slice.finish});
         if (pool.usable(ev.node))
           slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
                       ev.slot});
@@ -222,12 +259,14 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
       done[best_task] = true;
       --remaining;
       out.assigned_node[best_task] = ev.node;
-      switch (locality_of(config, tasks[best_task].replica_nodes, ev.node)) {
+      switch (loc) {
         case Locality::kDataLocal: ++out.data_local; break;
         case Locality::kRackLocal: ++out.rack_local; break;
         case Locality::kRemote: ++out.remote; break;
       }
       const double finish = ev.when + duration;
+      slice.finish = finish;
+      out.slices.push_back(slice);
       task_finish[best_task] = finish;
       makespan = std::max(makespan, finish);
       slots.push({finish, ev.node, ev.slot});
@@ -265,10 +304,24 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
       ++out.speculative_copies;
       const double copy_finish =
           ev.when + map_attempt_seconds(config, tasks[best], ev.node);
+      TaskSlice slice;
+      slice.task = static_cast<int>(best);
+      slice.attempt = attempt_no[best]++;
+      slice.node = ev.node;
+      slice.slot = ev.slot;
+      slice.start = ev.when;
+      slice.kind = TaskSlice::Kind::kSpeculative;
+      slice.locality =
+          locality_of(config, tasks[best].replica_nodes, ev.node);
       if (copy_finish < task_finish[best]) {
         ++out.speculative_wins;
         task_finish[best] = copy_finish;
+        slice.won = true;
       }
+      // The losing copy is killed when the winner finishes, so both the
+      // backup slice and the slot end at the task's final finish time.
+      slice.finish = task_finish[best];
+      out.slices.push_back(slice);
       // The slot frees when the task completes (the losing copy is killed).
       slots.push({task_finish[best], ev.node, ev.slot});
     }
@@ -298,6 +351,7 @@ ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
   SlotQueue slots = pool.make_slots(config.reduce_slots_per_node);
   double makespan = 0.0;
   std::size_t next_task = 0;
+  std::vector<int> attempt_no(tasks.size(), 0);
   std::vector<std::size_t> retry;  // failed tasks awaiting re-execution
 
   while (next_task < tasks.size() || !retry.empty()) {
@@ -315,10 +369,21 @@ ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
     }
 
     const double duration = reduce_attempt_seconds(config, tasks[ti], ev.node);
+    TaskSlice slice;
+    slice.task = static_cast<int>(ti);
+    slice.attempt = attempt_no[ti]++;
+    slice.node = ev.node;
+    slice.slot = ev.slot;
+    slice.start = ev.when;
     if (failures_left[ti] > 0) {
       --failures_left[ti];
       retry.push_back(ti);
-      pool.attempt_failed_on(ev.node);
+      slice.kind = TaskSlice::Kind::kFailedAttempt;
+      slice.finish = ev.when + duration * kFailedAttemptFraction;
+      out.slices.push_back(slice);
+      if (pool.attempt_failed_on(ev.node))
+        out.events.push_back(
+            {SchedulerEvent::Kind::kBlacklist, ev.node, slice.finish});
       if (pool.usable(ev.node))
         slots.push({ev.when + duration * kFailedAttemptFraction, ev.node,
                     ev.slot});
@@ -326,6 +391,8 @@ ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
     }
     out.assigned_node[ti] = ev.node;
     const double finish = ev.when + duration;
+    slice.finish = finish;
+    out.slices.push_back(slice);
     makespan = std::max(makespan, finish);
     slots.push({finish, ev.node, ev.slot});
   }

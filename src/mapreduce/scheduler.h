@@ -34,6 +34,32 @@ struct ReduceTaskCost {
   int failed_attempts = 0;
 };
 
+/// One occupancy interval of a (node, slot) pair on the virtual timeline:
+/// a successful attempt, a crashed attempt (occupying the slot for part of
+/// its modeled runtime), or a speculative backup copy. Schedules record
+/// every slice so telemetry can replay the phase as a Gantt chart; the cost
+/// of recording is a few small structs per task, paid unconditionally.
+struct TaskSlice {
+  enum class Kind { kAttempt, kFailedAttempt, kSpeculative };
+  int task = 0;     ///< index into the phase's task vector
+  int attempt = 0;  ///< ordinal of this attempt within the task
+  int node = 0;
+  int slot = 0;
+  double start = 0.0;   ///< virtual seconds from phase start
+  double finish = 0.0;
+  Kind kind = Kind::kAttempt;
+  Locality locality = Locality::kDataLocal;
+  bool won = false;  ///< speculative copy that beat the original attempt
+};
+
+/// A timestamped scheduler decision (currently: node blacklisting).
+struct SchedulerEvent {
+  enum class Kind { kBlacklist };
+  Kind kind = Kind::kBlacklist;
+  int node = 0;
+  double when = 0.0;  ///< virtual seconds from phase start
+};
+
 struct MapSchedule {
   double makespan = 0.0;             ///< virtual seconds for the map phase
   std::vector<int> assigned_node;    ///< node of each task's successful attempt
@@ -47,12 +73,18 @@ struct MapSchedule {
   /// Nodes excluded mid-phase after accumulating failed attempts
   /// (ClusterConfig::blacklist_after_failures).
   int blacklisted_nodes = 0;
+  /// Every slot occupancy of the phase, in assignment order.
+  std::vector<TaskSlice> slices;
+  /// Timestamped scheduler decisions (blacklisting).
+  std::vector<SchedulerEvent> events;
 };
 
 struct ReduceSchedule {
   double makespan = 0.0;
   std::vector<int> assigned_node;
   int blacklisted_nodes = 0;
+  std::vector<TaskSlice> slices;
+  std::vector<SchedulerEvent> events;
 };
 
 /// Schedule the map phase on the modeled cluster. `excluded_nodes` (e.g.
@@ -68,6 +100,33 @@ MapSchedule schedule_map_phase(const ClusterConfig& config,
 ReduceSchedule schedule_reduce_phase(const ClusterConfig& config,
                                      const std::vector<ReduceTaskCost>& tasks,
                                      const std::vector<int>& excluded_nodes = {});
+
+/// Component breakdown of one map attempt, each already scaled by the
+/// node's speed factor, so startup + read + cpu + spill ==
+/// map_attempt_seconds(). Telemetry uses it to emit read/map/spill child
+/// spans inside a task span.
+struct MapAttemptBreakdown {
+  double startup = 0.0;
+  double read = 0.0;  ///< chunk read: replica disk + network by locality
+  double cpu = 0.0;
+  double spill = 0.0;  ///< map output spilled to local disk
+  double total() const { return startup + read + cpu + spill; }
+};
+
+struct ReduceAttemptBreakdown {
+  double startup = 0.0;
+  double shuffle = 0.0;  ///< fetch map spills: disk + network per source
+  double cpu = 0.0;
+  double write = 0.0;  ///< output through the DFS replica pipeline
+  double total() const { return startup + shuffle + cpu + write; }
+};
+
+MapAttemptBreakdown map_attempt_breakdown(const ClusterConfig& config,
+                                          const MapTaskCost& t, int node);
+
+ReduceAttemptBreakdown reduce_attempt_breakdown(const ClusterConfig& config,
+                                                const ReduceTaskCost& t,
+                                                int node);
 
 /// Modeled seconds for one map attempt running on `node`.
 double map_attempt_seconds(const ClusterConfig& config, const MapTaskCost& t,

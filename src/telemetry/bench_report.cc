@@ -1,0 +1,142 @@
+#include "telemetry/bench_report.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "telemetry/json.h"
+
+namespace gepeto::telemetry {
+
+namespace {
+
+BenchReporter::Value str_value(std::string v) {
+  BenchReporter::Value out;
+  out.kind = BenchReporter::Value::Kind::kString;
+  out.s = std::move(v);
+  return out;
+}
+
+BenchReporter::Value int_value(std::int64_t v) {
+  BenchReporter::Value out;
+  out.kind = BenchReporter::Value::Kind::kInt;
+  out.i = v;
+  return out;
+}
+
+BenchReporter::Value double_value(double v) {
+  BenchReporter::Value out;
+  out.kind = BenchReporter::Value::Kind::kDouble;
+  out.d = v;
+  return out;
+}
+
+void set_in(BenchReporter::Params& params, const std::string& key,
+            BenchReporter::Value v) {
+  for (auto& [k, old] : params) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  params.emplace_back(key, std::move(v));
+}
+
+void write_params(JsonWriter& w, const BenchReporter::Params& params) {
+  w.begin_object();
+  for (const auto& [k, v] : params) {
+    w.key(k);
+    switch (v.kind) {
+      case BenchReporter::Value::Kind::kString: w.value(v.s); break;
+      case BenchReporter::Value::Kind::kInt: w.value(v.i); break;
+      case BenchReporter::Value::Kind::kDouble: w.value(v.d); break;
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+BenchReporter::Row& BenchReporter::Row::set_param(const std::string& key,
+                                                 const std::string& v) {
+  set_in(params_, key, str_value(v));
+  return *this;
+}
+BenchReporter::Row& BenchReporter::Row::set_param(const std::string& key,
+                                                 std::int64_t v) {
+  set_in(params_, key, int_value(v));
+  return *this;
+}
+BenchReporter::Row& BenchReporter::Row::set_param(const std::string& key,
+                                                 double v) {
+  set_in(params_, key, double_value(v));
+  return *this;
+}
+
+void BenchReporter::set_param(const std::string& key, const std::string& v) {
+  set_in(params_, key, str_value(v));
+}
+void BenchReporter::set_param(const std::string& key, std::int64_t v) {
+  set_in(params_, key, int_value(v));
+}
+void BenchReporter::set_param(const std::string& key, double v) {
+  set_in(params_, key, double_value(v));
+}
+
+BenchReporter::Row& BenchReporter::add_row(std::string label) {
+  rows_.emplace_back(std::move(label));
+  return rows_.back();
+}
+
+std::string BenchReporter::to_json() const {
+  double sim_total = 0.0;
+  double wall_total = 0.0;
+  std::map<std::string, std::int64_t> counters_total;
+  for (const Row& r : rows_) {
+    sim_total += r.sim_seconds_;
+    wall_total += r.wall_seconds_;
+    for (const auto& [k, v] : r.counters_) counters_total[k] += v;
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value(name_);
+  w.key("scale").value(scale_);
+  w.key("params");
+  write_params(w, params_);
+  w.key("sim_seconds").value(sim_total);
+  w.key("wall_seconds").value(wall_total);
+  w.key("counters").begin_object();
+  for (const auto& [k, v] : counters_total) w.key(k).value(v);
+  w.end_object();
+  w.key("results").begin_array();
+  for (const Row& r : rows_) {
+    w.begin_object();
+    w.key("label").value(r.label_);
+    w.key("params");
+    write_params(w, r.params_);
+    w.key("sim_seconds").value(r.sim_seconds_);
+    w.key("wall_seconds").value(r.wall_seconds_);
+    w.key("counters").begin_object();
+    for (const auto& [k, v] : r.counters_) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string BenchReporter::write(std::string dir) const {
+  if (dir.empty()) {
+    const char* env = std::getenv("GEPETO_BENCH_DIR");
+    dir = env != nullptr && *env != '\0' ? env : ".";
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return "";
+  out << to_json() << "\n";
+  out.close();
+  return out ? path : "";
+}
+
+}  // namespace gepeto::telemetry

@@ -1,0 +1,95 @@
+// BenchReporter: machine-readable bench output next to the human tables.
+//
+// Every bench binary builds one reporter, adds a row per configuration it
+// measured, and writes `BENCH_<name>.json` into the current directory (or
+// $GEPETO_BENCH_DIR). Schema:
+//
+//   {
+//     "name": "table3_kmeans",
+//     "scale": "smoke" | "paper",
+//     "params": { ...bench-wide parameters... },
+//     "sim_seconds": <sum over rows>,
+//     "wall_seconds": <sum over rows>,
+//     "counters": { ...summed over rows... },
+//     "results": [
+//       { "label": "...", "params": {...}, "sim_seconds": s,
+//         "wall_seconds": w, "counters": {...} }, ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gepeto::telemetry {
+
+class BenchReporter {
+ public:
+  struct Value {
+    enum class Kind { kString, kInt, kDouble };
+    Kind kind = Kind::kString;
+    std::string s;
+    std::int64_t i = 0;
+    double d = 0.0;
+  };
+  using Params = std::vector<std::pair<std::string, Value>>;
+
+  class Row {
+   public:
+    explicit Row(std::string label) : label_(std::move(label)) {}
+    Row& set_param(const std::string& key, const std::string& v);
+    Row& set_param(const std::string& key, const char* v) {
+      return set_param(key, std::string(v));
+    }
+    Row& set_param(const std::string& key, std::int64_t v);
+    Row& set_param(const std::string& key, double v);
+    Row& set_sim_seconds(double s) {
+      sim_seconds_ = s;
+      return *this;
+    }
+    Row& set_wall_seconds(double s) {
+      wall_seconds_ = s;
+      return *this;
+    }
+    Row& add_counter(const std::string& name, std::int64_t v) {
+      counters_[name] += v;
+      return *this;
+    }
+
+   private:
+    friend class BenchReporter;
+    std::string label_;
+    Params params_;
+    double sim_seconds_ = 0.0;
+    double wall_seconds_ = 0.0;
+    std::map<std::string, std::int64_t> counters_;
+  };
+
+  BenchReporter(std::string name, std::string scale)
+      : name_(std::move(name)), scale_(std::move(scale)) {}
+
+  void set_param(const std::string& key, const std::string& v);
+  void set_param(const std::string& key, const char* v) {
+    set_param(key, std::string(v));
+  }
+  void set_param(const std::string& key, std::int64_t v);
+  void set_param(const std::string& key, double v);
+
+  Row& add_row(std::string label);
+
+  std::string to_json() const;
+
+  /// Writes BENCH_<name>.json into `dir` (default: $GEPETO_BENCH_DIR, else
+  /// the current directory). Returns the path written, or "" on I/O error.
+  std::string write(std::string dir = "") const;
+
+ private:
+  std::string name_;
+  std::string scale_;
+  Params params_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gepeto::telemetry

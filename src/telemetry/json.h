@@ -1,0 +1,169 @@
+// Minimal streaming JSON writer shared by the Chrome-trace, metrics, and
+// bench-report exporters. No DOM, no dependencies; output is deterministic:
+// numbers use std::to_chars (shortest round-trip, locale-independent) and
+// the writer emits keys exactly in the order the caller supplies them.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gepeto::telemetry {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  static const char* kHex = "0123456789abcdef";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_number(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) return "0";
+  std::string s(buf, ptr);
+  // Bare "nan"/"inf" are not valid JSON; clamp to null-ish zero.
+  if (s.find_first_of("ni") != std::string::npos &&
+      s.find('e') == std::string::npos && s.find('.') == std::string::npos &&
+      s.find_first_not_of("-0123456789") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+inline std::string json_number(std::int64_t v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+inline std::string json_number(std::uint64_t v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc() ? std::string(buf, ptr) : std::string("0");
+}
+
+/// Streaming writer with automatic comma placement. Usage:
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("kmeans");
+///   w.key("rows").begin_array();
+///   w.value(std::int64_t{3});
+///   w.end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    lead_in();
+    out_ += '{';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    out_ += '}';
+    fresh_.pop_back();
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    lead_in();
+    out_ += '[';
+    fresh_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    out_ += ']';
+    fresh_.pop_back();
+    return *this;
+  }
+  JsonWriter& key(std::string_view k) {
+    comma();
+    out_ += '"';
+    out_ += json_escape(k);
+    out_ += "\":";
+    has_key_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    lead_in();
+    out_ += '"';
+    out_ += json_escape(v);
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) {
+    return value(std::string_view(v));
+  }
+  JsonWriter& value(double v) {
+    lead_in();
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    lead_in();
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    lead_in();
+    out_ += json_number(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    lead_in();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  // Called before any value or container opener: emits the separating comma
+  // unless a key was just written (the value belongs to that key).
+  void lead_in() {
+    if (has_key_) {
+      has_key_ = false;
+    } else {
+      comma();
+    }
+  }
+  void comma() {
+    if (fresh_.empty()) return;
+    if (fresh_.back()) {
+      fresh_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per open container: no element emitted yet
+  bool has_key_ = false;
+};
+
+}  // namespace gepeto::telemetry

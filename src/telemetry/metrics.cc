@@ -1,0 +1,226 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/check.h"
+#include "telemetry/json.h"
+
+namespace gepeto::telemetry {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  GEPETO_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  GEPETO_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be sorted ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  count_++;
+  sum_ += v;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  q = std::max(0.0, std::min(1.0, q));
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double lo_cum = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) < target) continue;
+    if (i == bounds_.size()) return bounds_.back();  // overflow bucket
+    const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double frac =
+        (target - lo_cum) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::max(0.0, std::min(1.0, frac));
+  }
+  return bounds_.back();
+}
+
+std::vector<double> default_time_buckets() {
+  return {0.001, 0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600};
+}
+
+std::vector<double> default_byte_buckets() {
+  std::vector<double> b;
+  for (double v = 1024.0; v <= 16.0 * 1024 * 1024 * 1024; v *= 4.0) {
+    b.push_back(v);
+  }
+  return b;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.help.empty()) e.help = help;
+  if (!e.counter) {
+    GEPETO_CHECK_MSG(!e.gauge && !e.histogram,
+                     "metric registered with a different type");
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.help.empty()) e.help = help;
+  if (!e.gauge) {
+    GEPETO_CHECK_MSG(!e.counter && !e.histogram,
+                     "metric registered with a different type");
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[name];
+  if (e.help.empty()) e.help = help;
+  if (!e.histogram) {
+    GEPETO_CHECK_MSG(!e.counter && !e.gauge,
+                     "metric registered with a different type");
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *e.histogram;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.counter.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.gauge.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.histogram.get();
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) w.key(name).value(e.counter->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, e] : entries_) {
+    if (e.gauge) w.key(name).value(e.gauge->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, e] : entries_) {
+    if (!e.histogram) continue;
+    const Histogram& h = *e.histogram;
+    const auto counts = h.bucket_counts();
+    const auto& bounds = h.bounds();
+    w.key(name).begin_object();
+    w.key("count").value(static_cast<std::uint64_t>(h.count()));
+    w.key("sum").value(h.sum());
+    w.key("p50").value(h.quantile(0.5));
+    w.key("p95").value(h.quantile(0.95));
+    w.key("p99").value(h.quantile(0.99));
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      w.begin_object();
+      if (i < bounds.size()) {
+        w.key("le").value(bounds[i]);
+      } else {
+        w.key("le").value("+Inf");
+      }
+      w.key("count").value(counts[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, e] : entries_) {
+    const std::string pname = prom_name(name);
+    if (!e.help.empty()) out += "# HELP " + pname + " " + e.help + "\n";
+    if (e.counter) {
+      out += "# TYPE " + pname + " counter\n";
+      out += pname + " " + json_number(e.counter->value()) + "\n";
+    } else if (e.gauge) {
+      out += "# TYPE " + pname + " gauge\n";
+      out += pname + " " + json_number(e.gauge->value()) + "\n";
+    } else if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      out += "# TYPE " + pname + " histogram\n";
+      const auto counts = h.bucket_counts();
+      const auto& bounds = h.bounds();
+      std::uint64_t cum = 0;
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cum += counts[i];
+        out += pname + "_bucket{le=\"" + json_number(bounds[i]) + "\"} " +
+               json_number(cum) + "\n";
+      }
+      cum += counts.back();
+      out += pname + "_bucket{le=\"+Inf\"} " + json_number(cum) + "\n";
+      out += pname + "_sum " + json_number(h.sum()) + "\n";
+      out += pname + "_count " +
+             json_number(static_cast<std::uint64_t>(h.count())) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace gepeto::telemetry

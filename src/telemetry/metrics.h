@@ -1,0 +1,114 @@
+// MetricsRegistry: counters, gauges, and fixed-bucket histograms.
+//
+// Design goals, in order: deterministic exports (fixed bucket bounds, no
+// sampling, name-sorted output), cheap updates (counters are relaxed
+// atomics), and two export formats — a JSON dump for machine diffing and
+// Prometheus text exposition for scraping. Quantiles are computed from the
+// buckets with linear interpolation, exactly like PromQL's
+// histogram_quantile(), so they are reproducible from the exported data.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gepeto::telemetry {
+
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+  double value() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations in
+/// (bounds[i-1], bounds[i]]; one implicit overflow bucket counts the rest
+/// (+Inf in the Prometheus exposition).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+  std::uint64_t count() const;
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Deterministic quantile estimate (q in [0, 1]) by linear interpolation
+  /// within the target bucket; the first finite bucket interpolates from 0
+  /// and the overflow bucket returns the highest finite bound.
+  double quantile(double q) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 buckets
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Bucket bounds for simulated/wall durations in seconds.
+std::vector<double> default_time_buckets();
+/// Bucket bounds for data volumes in bytes (1 KiB .. 16 GiB).
+std::vector<double> default_byte_buckets();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Metric names use Prometheus conventions
+  /// ([a-zA-Z_][a-zA-Z0-9_]*); other characters are replaced with '_' at
+  /// export time.
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// Returns nullptr when the metric does not exist.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::string to_json() const;
+  std::string to_prometheus() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // name-sorted => stable exports
+};
+
+}  // namespace gepeto::telemetry

@@ -1,0 +1,31 @@
+// Shared telemetry handle threaded through JobConfig / FlowOptions / Dfs.
+//
+// The handle is a pair of optional sinks. Default-constructed it is null:
+// every instrumentation site checks the pointers before doing any work, so a
+// disabled handle costs a branch per site — no allocations, no locks, no
+// formatting. This is what "zero overhead when disabled" means throughout
+// the codebase.
+#pragma once
+
+namespace gepeto::telemetry {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+struct Telemetry {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return trace != nullptr || metrics != nullptr; }
+  explicit operator bool() const { return enabled(); }
+
+  /// Field-wise fallback: prefer this handle's sinks, fill gaps from
+  /// `other`. Lets a job-level handle override the ambient DFS-level one
+  /// per sink rather than all-or-nothing.
+  Telemetry or_else(const Telemetry& other) const {
+    return {trace != nullptr ? trace : other.trace,
+            metrics != nullptr ? metrics : other.metrics};
+  }
+};
+
+}  // namespace gepeto::telemetry

@@ -1,0 +1,254 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "telemetry/json.h"
+
+namespace gepeto::telemetry {
+
+WallScope& WallScope::operator=(WallScope&& o) noexcept {
+  if (this != &o) {
+    if (rec_ != nullptr) rec_->end_wall_span(id_);
+    rec_ = o.rec_;
+    id_ = o.id_;
+    o.rec_ = nullptr;
+  }
+  return *this;
+}
+
+WallScope::~WallScope() {
+  if (rec_ != nullptr) rec_->end_wall_span(id_);
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::wall_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+WallScope TraceRecorder::wall_span(std::string name, std::string category,
+                                   std::vector<SpanArg> args) {
+  const double now = wall_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& stack = wall_stacks_[std::this_thread::get_id()];
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.timeline = Timeline::kWall;
+  s.start_s = now;
+  s.end_s = now;  // patched by end_wall_span
+  s.id = static_cast<std::int64_t>(spans_.size());
+  s.parent = stack.empty() ? kNoParent : stack.back();
+  s.args = std::move(args);
+  stack.push_back(s.id);
+  spans_.push_back(std::move(s));
+  return WallScope(this, spans_.back().id);
+}
+
+void TraceRecorder::end_wall_span(std::int64_t id) {
+  const double now = wall_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  GEPETO_CHECK(id >= 0 && id < static_cast<std::int64_t>(spans_.size()));
+  spans_[static_cast<std::size_t>(id)].end_s = now;
+  auto& stack = wall_stacks_[std::this_thread::get_id()];
+  // Scopes are destroyed innermost-first on a given thread; tolerate an
+  // out-of-order close (moved-from scopes) by erasing wherever it sits.
+  auto it = std::find(stack.begin(), stack.end(), id);
+  if (it != stack.end()) stack.erase(it);
+}
+
+void TraceRecorder::wall_instant(std::string name, std::string category,
+                                 std::vector<SpanArg> args) {
+  const double now = wall_now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& stack = wall_stacks_[std::this_thread::get_id()];
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.timeline = Timeline::kWall;
+  s.start_s = now;
+  s.end_s = now;
+  s.id = static_cast<std::int64_t>(spans_.size());
+  s.parent = stack.empty() ? kNoParent : stack.back();
+  s.instant = true;
+  s.args = std::move(args);
+  spans_.push_back(std::move(s));
+}
+
+std::int64_t TraceRecorder::add_sim_span(std::string name,
+                                         std::string category, double start_s,
+                                         double end_s, int node, int slot,
+                                         std::int64_t parent,
+                                         std::vector<SpanArg> args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span s;
+  s.name = std::move(name);
+  s.category = std::move(category);
+  s.timeline = Timeline::kSim;
+  s.start_s = start_s;
+  s.end_s = end_s;
+  s.node = node;
+  s.slot = slot;
+  s.id = static_cast<std::int64_t>(spans_.size());
+  s.parent = parent == kCurrentParent
+                 ? (sim_parents_.empty() ? kNoParent : sim_parents_.back())
+                 : parent;
+  s.args = std::move(args);
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+void TraceRecorder::add_sim_instant(std::string name, std::string category,
+                                    double at_s, int node, int slot,
+                                    std::vector<SpanArg> args) {
+  const std::int64_t id = add_sim_span(std::move(name), std::move(category),
+                                       at_s, at_s, node, slot, kCurrentParent,
+                                       std::move(args));
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_[static_cast<std::size_t>(id)].instant = true;
+}
+
+std::int64_t TraceRecorder::begin_sim_span(std::string name,
+                                           std::string category,
+                                           double start_s, int node, int slot,
+                                           std::vector<SpanArg> args) {
+  const std::int64_t id =
+      add_sim_span(std::move(name), std::move(category), start_s, start_s,
+                   node, slot, kCurrentParent, std::move(args));
+  std::lock_guard<std::mutex> lock(mu_);
+  sim_parents_.push_back(id);
+  return id;
+}
+
+void TraceRecorder::end_sim_span(std::int64_t id, double end_s,
+                                 std::vector<SpanArg> extra_args) {
+  std::lock_guard<std::mutex> lock(mu_);
+  GEPETO_CHECK(id >= 0 && id < static_cast<std::int64_t>(spans_.size()));
+  Span& s = spans_[static_cast<std::size_t>(id)];
+  s.end_s = end_s;
+  for (auto& a : extra_args) s.args.push_back(std::move(a));
+  auto it = std::find(sim_parents_.begin(), sim_parents_.end(), id);
+  if (it != sim_parents_.end()) sim_parents_.erase(it, sim_parents_.end());
+}
+
+std::int64_t TraceRecorder::current_sim_parent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_parents_.empty() ? kNoParent : sim_parents_.back();
+}
+
+double TraceRecorder::sim_cursor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sim_cursor_;
+}
+
+void TraceRecorder::set_sim_cursor(double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sim_cursor_ = t;
+}
+
+double TraceRecorder::sim_end() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double end = 0.0;
+  for (const Span& s : spans_) {
+    if (s.timeline == Timeline::kSim) end = std::max(end, s.end_s);
+  }
+  return end;
+}
+
+std::vector<Span> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceRecorder::chrome_trace_json(Timeline timeline) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+
+  // Metadata: name every (pid) and (pid, tid) that appears, driver first.
+  std::set<int> pids;
+  std::set<std::pair<int, int>> tids;
+  for (const Span& s : spans_) {
+    if (s.timeline != timeline) continue;
+    const int pid = s.node + 1;
+    pids.insert(pid);
+    tids.insert({pid, s.slot});
+  }
+  for (int pid : pids) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("process_name");
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("args").begin_object();
+    w.key("name").value(pid == 0 ? std::string("driver")
+                                 : "node " + std::to_string(pid - 1));
+    w.end_object();
+    w.end_object();
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("process_sort_index");
+    w.key("pid").value(pid);
+    w.key("tid").value(0);
+    w.key("args").begin_object();
+    w.key("sort_index").value(pid);
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto& [pid, tid] : tids) {
+    w.begin_object();
+    w.key("ph").value("M");
+    w.key("name").value("thread_name");
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    w.key("args").begin_object();
+    w.key("name").value(pid == 0 ? std::string("main")
+                                 : "slot " + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Span& s : spans_) {
+    if (s.timeline != timeline) continue;
+    w.begin_object();
+    w.key("name").value(s.name);
+    w.key("cat").value(s.category);
+    if (s.instant) {
+      w.key("ph").value("i");
+      w.key("s").value("t");
+    } else {
+      w.key("ph").value("X");
+      w.key("dur").value((s.end_s - s.start_s) * 1e6);
+    }
+    w.key("ts").value(s.start_s * 1e6);
+    w.key("pid").value(s.node + 1);
+    w.key("tid").value(s.slot);
+    if (!s.args.empty() || s.parent != kNoParent) {
+      w.key("args").begin_object();
+      if (s.parent != kNoParent) w.key("parent").value(s.parent);
+      for (const SpanArg& a : s.args) w.key(a.key).value(a.value);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  sim_parents_.clear();
+  wall_stacks_.clear();
+  sim_cursor_ = 0.0;
+}
+
+}  // namespace gepeto::telemetry

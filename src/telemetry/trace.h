@@ -1,0 +1,143 @@
+// TraceRecorder: nested spans on two timelines.
+//
+// * The wall timeline records real host time (steady_clock relative to the
+//   recorder's construction). Spans are opened/closed with RAII WallScope
+//   handles and nest per thread via an internal parent stack.
+// * The sim timeline records intervals of the simulated cluster clock. The
+//   engine and the flow executor emit these post-hoc — once a job's virtual
+//   schedule is known — so spans carry explicit [start, end] seconds plus a
+//   (node, slot) placement. A cursor tracks "current virtual time" so that
+//   consecutive jobs (e.g. k-means iterations inside a flow node) lay out
+//   sequentially, and a parent stack lets the flow executor wrap each job's
+//   spans inside its node span.
+//
+// Export is Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing): one "process" per virtual node (pid = node + 1, pid 0
+// is the driver), one "thread" per slot. The sim-timeline export contains
+// only deterministic quantities, so two runs at the same seed produce
+// byte-identical files.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gepeto::telemetry {
+
+enum class Timeline { kWall, kSim };
+
+struct SpanArg {
+  std::string key;
+  std::string value;
+};
+
+struct Span {
+  std::string name;
+  std::string category;
+  Timeline timeline = Timeline::kSim;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  int node = -1;  // -1 = driver (pid 0); node n maps to pid n + 1
+  int slot = 0;   // tid
+  std::int64_t id = -1;
+  std::int64_t parent = -1;  // -1 = root
+  bool instant = false;      // zero-duration marker event
+  std::vector<SpanArg> args;
+};
+
+class TraceRecorder;
+
+/// RAII handle for a wall-timeline span. Default-constructed it is a no-op,
+/// so call sites can unconditionally hold one and only arm it when a
+/// recorder is attached.
+class WallScope {
+ public:
+  WallScope() = default;
+  WallScope(WallScope&& o) noexcept : rec_(o.rec_), id_(o.id_) {
+    o.rec_ = nullptr;
+  }
+  WallScope& operator=(WallScope&& o) noexcept;
+  WallScope(const WallScope&) = delete;
+  WallScope& operator=(const WallScope&) = delete;
+  ~WallScope();
+
+ private:
+  friend class TraceRecorder;
+  WallScope(TraceRecorder* rec, std::int64_t id) : rec_(rec), id_(id) {}
+  TraceRecorder* rec_ = nullptr;
+  std::int64_t id_ = -1;
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::int64_t kNoParent = -1;
+  /// Sentinel: parent the span under the top of the sim parent stack.
+  static constexpr std::int64_t kCurrentParent = -2;
+
+  TraceRecorder();
+
+  // --- wall timeline ------------------------------------------------------
+  WallScope wall_span(std::string name, std::string category = "driver",
+                      std::vector<SpanArg> args = {});
+  void wall_instant(std::string name, std::string category = "driver",
+                    std::vector<SpanArg> args = {});
+
+  // --- sim timeline -------------------------------------------------------
+  std::int64_t add_sim_span(std::string name, std::string category,
+                            double start_s, double end_s, int node = -1,
+                            int slot = 0,
+                            std::int64_t parent = kCurrentParent,
+                            std::vector<SpanArg> args = {});
+  void add_sim_instant(std::string name, std::string category, double at_s,
+                       int node = -1, int slot = 0,
+                       std::vector<SpanArg> args = {});
+
+  /// Opens a sim span whose end is not yet known and pushes it onto the sim
+  /// parent stack; spans added before the matching end_sim_span() default to
+  /// parenting under it. Used by the flow executor for flow/node spans that
+  /// enclose job emission.
+  std::int64_t begin_sim_span(std::string name, std::string category,
+                              double start_s, int node = -1, int slot = 0,
+                              std::vector<SpanArg> args = {});
+  void end_sim_span(std::int64_t id, double end_s,
+                    std::vector<SpanArg> extra_args = {});
+
+  std::int64_t current_sim_parent() const;
+
+  /// Virtual-time cursor: where the next job's sim spans should start. The
+  /// engine reads it as the job's base time and advances it by the job's
+  /// sim_seconds; the flow executor positions it at each node's virtual
+  /// start.
+  double sim_cursor() const;
+  void set_sim_cursor(double t);
+
+  /// Latest end over all sim spans (0 when none) — the traced makespan.
+  double sim_end() const;
+
+  // --- inspection / export ------------------------------------------------
+  std::vector<Span> spans() const;
+
+  /// Chrome trace-event JSON for one timeline. The default (sim) is fully
+  /// deterministic at a fixed seed.
+  std::string chrome_trace_json(Timeline timeline = Timeline::kSim) const;
+
+  void clear();
+
+ private:
+  friend class WallScope;
+  void end_wall_span(std::int64_t id);
+  double wall_now() const;
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::vector<std::int64_t> sim_parents_;
+  double sim_cursor_ = 0.0;
+  std::map<std::thread::id, std::vector<std::int64_t>> wall_stacks_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace gepeto::telemetry

@@ -8,6 +8,8 @@
 #include "common/check.h"
 #include "common/stopwatch.h"
 #include "mapreduce/dfs.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace gepeto::flow {
 
@@ -252,6 +254,35 @@ void save_state(mr::Dfs& dfs, const std::string& path, const FlowState& state) {
   dfs.put(path, std::move(out));
 }
 
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kMapOnly: return "map-only";
+    case NodeKind::kMapReduce: return "mapreduce";
+    case NodeKind::kNative: return "native";
+    case NodeKind::kLoop: return "loop";
+  }
+  return "?";
+}
+
+/// Installs the flow's resolved telemetry handle as the DFS ambient handle
+/// for the duration of run(), so jobs launched by node bodies (which see
+/// only the Dfs) inherit the flow's sinks; restores the previous handle on
+/// every exit path.
+class AmbientTelemetryGuard {
+ public:
+  AmbientTelemetryGuard(mr::Dfs& dfs, telemetry::Telemetry t)
+      : dfs_(dfs), saved_(dfs.telemetry()) {
+    dfs_.set_telemetry(t);
+  }
+  ~AmbientTelemetryGuard() { dfs_.set_telemetry(saved_); }
+  AmbientTelemetryGuard(const AmbientTelemetryGuard&) = delete;
+  AmbientTelemetryGuard& operator=(const AmbientTelemetryGuard&) = delete;
+
+ private:
+  mr::Dfs& dfs_;
+  telemetry::Telemetry saved_;
+};
+
 }  // namespace
 
 FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
@@ -272,6 +303,22 @@ FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
 
   FlowState state;
   if (options.resume) state = load_state(dfs, options.state_path);
+
+  // Resolve sinks (explicit options win, ambient DFS handle as fallback) and
+  // make them ambient so node bodies' jobs pick them up through the Dfs.
+  const telemetry::Telemetry tel = options.telemetry.or_else(dfs.telemetry());
+  AmbientTelemetryGuard ambient_guard(dfs, tel);
+  telemetry::WallScope flow_wall;
+  if (tel.trace) flow_wall = tel.trace->wall_span("flow:" + name_, "flow");
+  // All sim spans of this flow are laid out relative to the cursor position
+  // at entry, so flows compose on a shared recorder timeline.
+  const double flow_base = tel.trace ? tel.trace->sim_cursor() : 0.0;
+  std::int64_t flow_span = telemetry::TraceRecorder::kNoParent;
+  if (tel.trace) {
+    flow_span = tel.trace->begin_sim_span(
+        "flow:" + name_, "flow", flow_base, -1, 0,
+        {{"nodes", std::to_string(nodes_.size())}});
+  }
 
   FlowResult result;
   result.flow_name = name_;
@@ -295,12 +342,17 @@ FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
     return names;
   };
 
-  const auto gc_dataset = [&](const std::string& ds) {
+  const auto gc_dataset = [&](const std::string& ds, double sim_when) {
     if (options.keep_intermediates || kept_.count(ds)) return;
     if (!dataset_present(dfs, ds)) return;
-    result.gc_bytes += dataset_bytes(dfs, ds);
+    const std::uint64_t bytes = dataset_bytes(dfs, ds);
+    result.gc_bytes += bytes;
     ++result.gc_datasets;
     remove_dataset(dfs, ds);
+    if (tel.trace) {
+      tel.trace->add_sim_instant("gc:" + ds, "flow", sim_when, -1, 0,
+                                 {{"bytes", std::to_string(bytes)}});
+    }
   };
 
   // A completed node may be skipped on resume unless one of its outputs
@@ -331,7 +383,25 @@ FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
     if (skip) {
       nr.skipped = true;
       ++result.nodes_skipped;
+      if (tel.trace) {
+        tel.trace->add_sim_instant(
+            "node:" + node.name, "flow",
+            flow_base + nr.sim_start_seconds, -1, 0,
+            {{"kind", node_kind_name(node.kind)}, {"skipped", "resume"}});
+      }
     } else {
+      // Jobs this node launches lay their spans at the recorder cursor; park
+      // it at the node's virtual start so they land inside the node span.
+      std::int64_t node_span = telemetry::TraceRecorder::kNoParent;
+      if (tel.trace) {
+        tel.trace->set_sim_cursor(flow_base + nr.sim_start_seconds);
+        node_span = tel.trace->begin_sim_span(
+            "node:" + node.name, "node", flow_base + nr.sim_start_seconds, -1,
+            0, {{"kind", node_kind_name(node.kind)}});
+      }
+      telemetry::WallScope node_wall;
+      if (tel.trace)
+        node_wall = tel.trace->wall_span("node:" + node.name, "node");
       FlowEngine engine(dfs, cluster);
       Stopwatch watch;
       const auto bill = [&](const mr::JobResult& jr) {
@@ -375,14 +445,42 @@ FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
           }
         }
       } catch (const FlowError&) {
-        throw;  // a nested flow already attributed the failure
+        // A nested flow already attributed the failure; close our open spans
+        // at the failure point so the export stays well-formed.
+        if (tel.trace) {
+          const double at = tel.trace->sim_cursor();
+          tel.trace->end_sim_span(node_span, at, {{"outcome", "failed"}});
+          tel.trace->end_sim_span(flow_span, at, {{"outcome", "failed"}});
+        }
+        throw;
       } catch (const mr::JobError& e) {
         // Persist progress so a resumed run restarts from this frontier.
         save_state(dfs, options.state_path, state);
+        if (tel.trace) {
+          const double at = tel.trace->sim_cursor();
+          tel.trace->end_sim_span(node_span, at, {{"outcome", "failed"}});
+          tel.trace->end_sim_span(flow_span, at, {{"outcome", "failed"}});
+        }
         throw FlowError(e, name_, node.name, lineage_of(i));
       }
       nr.sim_seconds += engine.charged_sim_seconds_;
       nr.real_seconds = watch.seconds();
+      if (tel.trace) {
+        std::vector<telemetry::SpanArg> end_args;
+        if (node.kind == NodeKind::kLoop) {
+          end_args.push_back({"iterations", std::to_string(nr.iterations)});
+          end_args.push_back({"converged", nr.converged ? "true" : "false"});
+        }
+        tel.trace->end_sim_span(
+            node_span, flow_base + nr.sim_start_seconds + nr.sim_seconds,
+            std::move(end_args));
+      }
+      if (tel.metrics && node.kind == NodeKind::kLoop && nr.iterations > 0) {
+        tel.metrics
+            ->counter("flow_loop_iterations_total",
+                      "iterate_until loop iterations executed")
+            .add(nr.iterations);
+      }
       ++result.nodes_run;
       if (!options.keep_intermediates)
         for (const auto& prefix : node.scratch) {
@@ -410,7 +508,7 @@ FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
     for (const auto& ds : node.reads) {
       const auto it = producer.find(ds);
       if (it == producer.end() || it->second == i) continue;
-      if (--pending_consumers[ds] == 0) gc_dataset(ds);
+      if (--pending_consumers[ds] == 0) gc_dataset(ds, nr.sim_finish_seconds + flow_base);
     }
 
     result.nodes.push_back(std::move(nr));
@@ -419,6 +517,37 @@ FlowResult Flow::run(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
   if (!options.state_path.empty() && options.remove_state_on_success &&
       dfs.exists(options.state_path))
     dfs.remove(options.state_path);
+
+  if (tel.trace) {
+    tel.trace->end_sim_span(
+        flow_span, flow_base + result.sim_seconds,
+        {{"nodes_run", std::to_string(result.nodes_run)},
+         {"nodes_skipped", std::to_string(result.nodes_skipped)},
+         {"gc_datasets", std::to_string(result.gc_datasets)}});
+    // Leave the cursor at the flow's virtual finish so a follow-up flow or
+    // job starts after this one on the shared timeline.
+    tel.trace->set_sim_cursor(flow_base + result.sim_seconds);
+  }
+  if (tel.metrics) {
+    auto& m = *tel.metrics;
+    m.counter("flow_runs_total", "JobFlow executions completed").inc();
+    m.counter("flow_nodes_run_total", "flow nodes executed")
+        .add(result.nodes_run);
+    if (result.nodes_skipped > 0)
+      m.counter("flow_nodes_skipped_total", "flow nodes skipped on resume")
+          .add(result.nodes_skipped);
+    if (result.gc_datasets > 0) {
+      m.counter("flow_gc_datasets_total", "intermediate datasets collected")
+          .add(static_cast<std::int64_t>(result.gc_datasets));
+      m.counter("flow_gc_bytes_total", "bytes reclaimed by dataset GC")
+          .add(static_cast<std::int64_t>(result.gc_bytes));
+    }
+    auto& h = m.histogram("flow_node_sim_seconds",
+                          telemetry::default_time_buckets(),
+                          "simulated duration of executed flow nodes");
+    for (const NodeResult& n : result.nodes)
+      if (!n.skipped) h.observe(n.sim_seconds);
+  }
   return result;
 }
 

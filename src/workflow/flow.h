@@ -38,6 +38,7 @@
 
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
+#include "telemetry/telemetry.h"
 
 namespace gepeto::mr {
 class Dfs;
@@ -82,6 +83,12 @@ struct FlowOptions {
   bool resume = false;
   /// Remove the manifest once the whole flow succeeded.
   bool remove_state_on_success = true;
+  /// Telemetry sinks for this flow run. Null (the default) means the
+  /// executor falls back to the ambient handle on the Dfs; a null result
+  /// does no telemetry work at all. The executor installs the resolved
+  /// handle as the DFS ambient telemetry for the duration of the run, so
+  /// every job a node launches inherits it automatically.
+  telemetry::Telemetry telemetry;
 };
 
 /// Per-node outcome.

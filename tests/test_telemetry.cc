@@ -1,0 +1,636 @@
+// Tests for the telemetry subsystem (src/telemetry) and its wiring through
+// the engine and the flow executor: wall/sim span nesting, the sim cursor
+// and parent stack, histogram bucket/quantile math, metrics exports
+// (JSON + Prometheus), dual-timeline consistency against JobResult sim
+// times, Chrome-trace validity for a real k-means flow, byte-identical
+// exports across same-seed reruns, and the BenchReporter schema.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "mapreduce/engine.h"
+#include "telemetry/bench_report.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+#include "workflow/flow.h"
+
+namespace gepeto::telemetry {
+namespace {
+
+// --- a minimal JSON validator (no third-party JSON dependency) --------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool is_valid_json(std::string_view text) {
+  return JsonValidator(text).valid();
+}
+
+TEST(JsonValidatorSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(is_valid_json(R"({"a": [1, 2.5, -3e2], "b": {"c": "x\n"}})"));
+  EXPECT_TRUE(is_valid_json("[]"));
+  EXPECT_FALSE(is_valid_json(R"({"a": })"));
+  EXPECT_FALSE(is_valid_json(R"({"a": 1,})"));
+  EXPECT_FALSE(is_valid_json("{"));
+  EXPECT_FALSE(is_valid_json("1 2"));
+}
+
+// --- trace recorder ----------------------------------------------------------
+
+// The engine and the flow executor mirror their sim spans with wall spans of
+// the same name, so lookups must pick a timeline.
+const Span* find_span(const std::vector<Span>& spans, std::string_view name,
+                      Timeline timeline = Timeline::kSim) {
+  for (const auto& s : spans)
+    if (s.timeline == timeline && s.name == name) return &s;
+  return nullptr;
+}
+
+TEST(WallSpans, NestViaPerThreadStack) {
+  TraceRecorder rec;
+  {
+    auto outer = rec.wall_span("outer");
+    {
+      auto inner = rec.wall_span("inner", "cat");
+    }
+  }
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span* outer = find_span(spans, "outer", Timeline::kWall);
+  const Span* inner = find_span(spans, "inner", Timeline::kWall);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->parent, TraceRecorder::kNoParent);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(inner->category, "cat");
+  EXPECT_EQ(inner->timeline, Timeline::kWall);
+  EXPECT_LE(outer->start_s, inner->start_s);
+  EXPECT_LE(inner->end_s, outer->end_s);
+}
+
+TEST(WallSpans, MoveAssignEndsTheSpan) {
+  TraceRecorder rec;
+  auto scope = rec.wall_span("a");
+  scope = WallScope();  // ends "a"
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].end_s, spans[0].start_s);
+}
+
+TEST(SimSpans, ParentStackAndCursor) {
+  TraceRecorder rec;
+  EXPECT_DOUBLE_EQ(rec.sim_cursor(), 0.0);
+  EXPECT_EQ(rec.current_sim_parent(), TraceRecorder::kNoParent);
+
+  const auto outer = rec.begin_sim_span("outer", "flow", 1.0);
+  EXPECT_EQ(rec.current_sim_parent(), outer);
+  const auto child =
+      rec.add_sim_span("child", "job", 1.0, 3.0, /*node=*/2, /*slot=*/1);
+  const auto explicit_root =
+      rec.add_sim_span("root2", "job", 3.0, 4.0, -1, 0,
+                       TraceRecorder::kNoParent);
+  rec.end_sim_span(outer, 5.0);
+  const auto after = rec.add_sim_span("after", "job", 5.0, 6.0);
+
+  const auto spans = rec.spans();
+  const Span* c = find_span(spans, "child");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->parent, outer);
+  EXPECT_EQ(c->node, 2);
+  EXPECT_EQ(c->slot, 1);
+  EXPECT_EQ(c->id, child);
+  EXPECT_EQ(find_span(spans, "root2")->parent, TraceRecorder::kNoParent);
+  EXPECT_EQ(find_span(spans, "root2")->id, explicit_root);
+  // Once "outer" ended, kCurrentParent resolves to no parent again.
+  EXPECT_EQ(find_span(spans, "after")->parent, TraceRecorder::kNoParent);
+  EXPECT_EQ(find_span(spans, "after")->id, after);
+  EXPECT_EQ(find_span(spans, "outer")->end_s, 5.0);
+  EXPECT_DOUBLE_EQ(rec.sim_end(), 6.0);
+
+  rec.set_sim_cursor(42.0);
+  EXPECT_DOUBLE_EQ(rec.sim_cursor(), 42.0);
+}
+
+TEST(ChromeTrace, ExportsOneTimelineWithMetadata) {
+  TraceRecorder rec;
+  rec.add_sim_span("task", "map", 0.0, 1.5, /*node=*/0, /*slot=*/1);
+  rec.add_sim_instant("marker", "dfs", 0.5, /*node=*/0);
+  {
+    auto w = rec.wall_span("host-only");
+  }
+  const std::string sim = rec.chrome_trace_json(Timeline::kSim);
+  EXPECT_TRUE(is_valid_json(sim)) << sim;
+  EXPECT_NE(sim.find("\"task\""), std::string::npos);
+  EXPECT_NE(sim.find("\"marker\""), std::string::npos);
+  EXPECT_NE(sim.find("process_name"), std::string::npos);
+  // Wall spans stay off the sim export and vice versa.
+  EXPECT_EQ(sim.find("host-only"), std::string::npos);
+  const std::string wall = rec.chrome_trace_json(Timeline::kWall);
+  EXPECT_TRUE(is_valid_json(wall)) << wall;
+  EXPECT_NE(wall.find("host-only"), std::string::npos);
+  EXPECT_EQ(wall.find("\"task\""), std::string::npos);
+}
+
+// --- histogram math ----------------------------------------------------------
+
+TEST(Histogram, BucketAssignmentAndQuantiles) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  // Buckets are (lo, hi]: 1.0 lands in the first bucket, 100 overflows.
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+
+  // target = q * count = 2.5 -> second bucket (1, 2], halfway in.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  // The overflow bucket clamps to the highest finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// --- metrics registry --------------------------------------------------------
+
+TEST(MetricsRegistry, ExportsJsonAndPrometheus) {
+  MetricsRegistry m;
+  m.counter("jobs_total", "jobs run").add(3);
+  m.gauge("queue_depth").set(1.5);
+  m.histogram("latency_seconds", {0.1, 1.0}, "op latency").observe(0.05);
+  m.histogram("latency_seconds", {0.1, 1.0}).observe(0.5);
+
+  EXPECT_EQ(m.find_counter("jobs_total")->value(), 3);
+  EXPECT_EQ(m.find_counter("missing"), nullptr);
+
+  const std::string json = m.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"jobs_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"latency_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"+Inf\""), std::string::npos);
+
+  const std::string prom = m.to_prometheus();
+  EXPECT_NE(prom.find("# HELP jobs_total jobs run"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE jobs_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("jobs_total 3\n"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE queue_depth gauge"), std::string::npos);
+  // Prometheus buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(prom.find("latency_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("latency_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("latency_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ExportsAreDeterministic) {
+  auto fill = [](MetricsRegistry& m) {
+    m.counter("b_total").add(2);
+    m.counter("a_total").add(1);
+    m.histogram("h_seconds", {0.5, 5.0}).observe(0.7);
+  };
+  MetricsRegistry m1, m2;
+  fill(m1);
+  fill(m2);
+  EXPECT_EQ(m1.to_json(), m2.to_json());
+  EXPECT_EQ(m1.to_prometheus(), m2.to_prometheus());
+}
+
+// --- engine wiring -----------------------------------------------------------
+
+mr::ClusterConfig test_cluster(std::size_t chunk = 64) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 99;
+  // Modeled CPU time: the virtual timeline is a pure function of the input,
+  // so trace exports can be compared byte for byte.
+  c.modeled_seconds_per_record = 1e-5;
+  return c;
+}
+
+struct EchoMapper {
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    ctx.write(line);
+  }
+};
+
+struct WcMapper {
+  using OutKey = std::string;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    ctx.emit(std::string(line), 1);
+  }
+};
+
+struct WcReducer {
+  void reduce(const std::string& key, std::span<const std::int64_t> values,
+              mr::ReduceContext& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(key + "\t" + std::to_string(sum));
+  }
+};
+
+TEST(EngineTelemetry, JobSpansMatchJobResultSimTimes) {
+  TraceRecorder rec;
+  MetricsRegistry metrics;
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "alpha\nbravo\ncharlie\ndelta\necho\nfoxtrot\n");
+
+  mr::JobConfig job;
+  job.name = "echo";
+  job.input = "/in";
+  job.output = "/out";
+  job.telemetry = {&rec, &metrics};
+  const auto r = mr::run_map_only_job(dfs, test_cluster(), job,
+                                      [] { return EchoMapper{}; });
+
+  const auto spans = rec.spans();
+  const Span* job_span = find_span(spans, "job:echo");
+  ASSERT_NE(job_span, nullptr);
+  EXPECT_EQ(job_span->timeline, Timeline::kSim);
+  EXPECT_NEAR(job_span->end_s - job_span->start_s, r.sim_seconds, 1e-9);
+  // The cursor advanced past the job: the next job lays out after it.
+  EXPECT_NEAR(rec.sim_cursor(), r.sim_seconds, 1e-9);
+
+  const Span* map_phase = find_span(spans, "map phase");
+  ASSERT_NE(map_phase, nullptr);
+  EXPECT_EQ(map_phase->parent, job_span->id);
+  EXPECT_NEAR(map_phase->end_s - map_phase->start_s, r.sim_map_seconds, 1e-9);
+
+  // One sim span per map attempt, each within the map phase and placed on a
+  // real (node, slot) track.
+  int map_attempts = 0;
+  for (const auto& s : spans) {
+    if (s.category != "map") continue;
+    ++map_attempts;
+    EXPECT_GE(s.start_s, map_phase->start_s - 1e-9);
+    EXPECT_LE(s.end_s, map_phase->end_s + 1e-9);
+    EXPECT_GE(s.node, 0);
+    EXPECT_LT(s.node, 4);
+  }
+  EXPECT_EQ(map_attempts, r.num_map_tasks);
+
+  // A matching wall-timeline span was recorded too (dual timeline).
+  bool wall_job = false;
+  for (const auto& s : spans)
+    wall_job |= (s.timeline == Timeline::kWall && s.name == "job:echo");
+  EXPECT_TRUE(wall_job);
+
+  EXPECT_EQ(metrics.find_counter("mr_jobs_total")->value(), 1);
+  EXPECT_EQ(metrics.find_counter("mr_map_tasks_total")->value(),
+            r.num_map_tasks);
+}
+
+TEST(EngineTelemetry, ReducePhaseSpansForMapReduceJobs) {
+  TraceRecorder rec;
+  mr::Dfs dfs(test_cluster(16));
+  dfs.put("/in/corpus", "a\nb\na\nc\nb\na\n");
+  mr::JobConfig job;
+  job.name = "wc";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  job.telemetry = {&rec, nullptr};
+  const auto r = mr::run_mapreduce_job(dfs, test_cluster(16), job,
+                                       [] { return WcMapper{}; },
+                                       [] { return WcReducer{}; });
+
+  const auto spans = rec.spans();
+  const Span* reduce_phase = find_span(spans, "reduce phase");
+  ASSERT_NE(reduce_phase, nullptr);
+  EXPECT_NEAR(reduce_phase->end_s - reduce_phase->start_s,
+              r.sim_reduce_seconds, 1e-9);
+  int reduce_attempts = 0;
+  for (const auto& s : spans)
+    if (s.category == "reduce") ++reduce_attempts;
+  EXPECT_EQ(reduce_attempts, r.num_reduce_tasks);
+  // Breakdown children (shuffle/sort-reduce/write) exist inside attempts.
+  EXPECT_NE(find_span(spans, "shuffle"), nullptr);
+}
+
+TEST(EngineTelemetry, DisabledTelemetryRecordsNothing) {
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "one\ntwo\n");
+  mr::JobConfig job;
+  job.input = "/in";
+  job.output = "/out";
+  const auto r = mr::run_map_only_job(dfs, test_cluster(), job,
+                                      [] { return EchoMapper{}; });
+  EXPECT_GT(r.sim_seconds, 0.0);  // the job itself still runs fine
+}
+
+// --- flow wiring -------------------------------------------------------------
+
+TEST(FlowTelemetry, NodeSpansCoverEveryNodeAndMatchMakespan) {
+  TraceRecorder rec;
+  MetricsRegistry metrics;
+  mr::Dfs dfs(test_cluster());
+  dfs.put("/in/data", "uno\ndos\ntres\n");
+
+  flow::Flow f("pipeline");
+  f.add_map_only("copy-1",
+                 [](flow::FlowEngine& e) {
+                   mr::JobConfig j;
+                   j.name = "copy-1";
+                   j.input = "/in";
+                   j.output = "/mid";
+                   return mr::run_map_only_job(e.dfs(), e.cluster(), j,
+                                               [] { return EchoMapper{}; });
+                 })
+      .reads("/in")
+      .writes("/mid");
+  f.add_map_only("copy-2",
+                 [](flow::FlowEngine& e) {
+                   mr::JobConfig j;
+                   j.name = "copy-2";
+                   j.input = "/mid";
+                   j.output = "/out";
+                   return mr::run_map_only_job(e.dfs(), e.cluster(), j,
+                                               [] { return EchoMapper{}; });
+                 })
+      .reads("/mid")
+      .writes("/out");
+  f.add_native("bill", [](flow::FlowEngine& e) { e.charge_sim(2.0); })
+      .after("copy-2");
+
+  flow::FlowOptions options;
+  options.telemetry = {&rec, &metrics};
+  const auto fr = f.run(dfs, test_cluster(), options);
+
+  const auto spans = rec.spans();
+  const Span* flow_span = find_span(spans, "flow:pipeline");
+  ASSERT_NE(flow_span, nullptr);
+  EXPECT_NEAR(flow_span->end_s - flow_span->start_s, fr.sim_seconds, 1e-9);
+
+  for (const auto& nr : fr.nodes) {
+    const Span* ns = find_span(spans, "node:" + nr.name);
+    ASSERT_NE(ns, nullptr) << nr.name;
+    EXPECT_EQ(ns->parent, flow_span->id);
+    EXPECT_NEAR(ns->start_s - flow_span->start_s, nr.sim_start_seconds, 1e-9);
+    EXPECT_NEAR(ns->end_s - flow_span->start_s, nr.sim_finish_seconds, 1e-9);
+  }
+
+  // Job spans nest under their node spans (ambient handle through the Dfs).
+  const Span* job1 = find_span(spans, "job:copy-1");
+  ASSERT_NE(job1, nullptr);
+  EXPECT_EQ(job1->parent, find_span(spans, "node:copy-1")->id);
+
+  // /mid was produced and fully consumed inside the flow: GC'd + traced.
+  bool gc_instant = false;
+  for (const auto& s : spans) gc_instant |= (s.name == "gc:/mid");
+  EXPECT_TRUE(gc_instant);
+
+  EXPECT_EQ(metrics.find_counter("flow_runs_total")->value(), 1);
+  EXPECT_EQ(metrics.find_counter("flow_nodes_run_total")->value(), 3);
+  EXPECT_EQ(metrics.find_counter("mr_jobs_total")->value(), 2);
+}
+
+TEST(FlowTelemetry, KMeansFlowTraceIsValidAndByteIdentical) {
+  const auto world = geo::generate_dataset(
+      geo::scaled_config(/*num_users=*/4, /*target_traces=*/2'000,
+                         /*seed=*/2013));
+  auto run_once = [&](TraceRecorder& rec) {
+    const auto cluster = test_cluster(1 << 12);
+    mr::Dfs dfs(cluster);
+    geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+    dfs.set_telemetry({&rec, nullptr});
+    core::KMeansConfig config;
+    config.k = 3;
+    config.seed = 7;
+    config.max_iterations = 2;
+    config.convergence_delta_m = 0.0;  // run exactly max_iterations
+    return core::kmeans_mapreduce(dfs, cluster, "/in/", "/clusters", config);
+  };
+
+  TraceRecorder rec1, rec2;
+  const auto r1 = run_once(rec1);
+  const auto r2 = run_once(rec2);
+
+  const std::string trace = rec1.chrome_trace_json(Timeline::kSim);
+  EXPECT_TRUE(is_valid_json(trace));
+  // Byte-identical across same-seed reruns (modeled CPU cost).
+  EXPECT_EQ(trace, rec2.chrome_trace_json(Timeline::kSim));
+
+  const auto spans = rec1.spans();
+  ASSERT_NE(find_span(spans, "flow:kmeans"), nullptr);
+  int job_spans = 0, map_attempts = 0;
+  for (const auto& s : spans) {
+    if (s.timeline != Timeline::kSim) continue;
+    if (s.category == "job") ++job_spans;
+    if (s.category == "map") ++map_attempts;
+  }
+  EXPECT_EQ(job_spans, r1.iterations);  // one MapReduce job per iteration
+  EXPECT_EQ(map_attempts, r1.totals.num_map_tasks);
+  // The traced makespan covers the whole flow.
+  EXPECT_GE(rec1.sim_end(),
+            find_span(spans, "flow:kmeans")->end_s - 1e-9);
+}
+
+// --- bench reporter ----------------------------------------------------------
+
+TEST(BenchReporter, JsonSchemaAndAggregation) {
+  BenchReporter report("unit_test", "smoke");
+  report.set_param("nodes", std::int64_t{7});
+  report.set_param("note", "hello \"world\"");
+  report.add_row("row-a")
+      .set_sim_seconds(1.5)
+      .set_wall_seconds(0.25)
+      .set_param("chunk_mb", std::int64_t{32})
+      .add_counter("map_tasks", 4);
+  report.add_row("row-b")
+      .set_sim_seconds(2.5)
+      .set_wall_seconds(0.75)
+      .add_counter("map_tasks", 6);
+
+  const std::string json = report.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"scale\":\"smoke\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_seconds\":4"), std::string::npos);   // summed
+  EXPECT_NE(json.find("\"wall_seconds\":1"), std::string::npos);  // summed
+  EXPECT_NE(json.find("\"map_tasks\":10"), std::string::npos);    // merged
+  EXPECT_NE(json.find("\"row-a\""), std::string::npos);
+  EXPECT_NE(json.find("\"hello \\\"world\\\"\""), std::string::npos);
+
+  const std::string path = report.write(::testing::TempDir());
+  ASSERT_FALSE(path.empty());
+  EXPECT_NE(path.find("BENCH_unit_test.json"), std::string::npos);
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(fp, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0) contents.append(buf, n);
+  std::fclose(fp);
+  EXPECT_EQ(contents, json + "\n");
+}
+
+TEST(TelemetryHandle, OrElseFallsBackFieldwise) {
+  TraceRecorder rec;
+  MetricsRegistry metrics;
+  Telemetry none;
+  EXPECT_FALSE(none.enabled());
+  Telemetry ambient{&rec, &metrics};
+  const Telemetry resolved = none.or_else(ambient);
+  EXPECT_EQ(resolved.trace, &rec);
+  EXPECT_EQ(resolved.metrics, &metrics);
+  Telemetry trace_only{&rec, nullptr};
+  const Telemetry mixed = trace_only.or_else(ambient);
+  EXPECT_EQ(mixed.trace, &rec);
+  EXPECT_EQ(mixed.metrics, &metrics);
+}
+
+}  // namespace
+}  // namespace gepeto::telemetry

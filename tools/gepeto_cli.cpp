@@ -27,6 +27,8 @@
 #include "gepeto/sampling.h"
 #include "gepeto/sanitize.h"
 #include "gepeto/social.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -70,6 +72,51 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// --trace-out FILE / --metrics-out FILE: record the command's phases as
+/// wall-clock spans and its volumes as metrics, written on exit. The CLI
+/// runs everything in-process, so the wall timeline is the relevant one
+/// (Chrome trace JSON, loadable in Perfetto); metrics are JSON, or
+/// Prometheus text exposition when FILE ends in ".prom".
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const Args& args)
+      : trace_path_(args.get("trace-out")),
+        metrics_path_(args.get("metrics-out")) {}
+
+  telemetry::WallScope span(const std::string& name) {
+    return trace_path_.empty() ? telemetry::WallScope()
+                               : trace_.wall_span(name, "cli");
+  }
+
+  void count(const std::string& name, std::int64_t v) {
+    if (!metrics_path_.empty()) metrics_.counter(name).add(v);
+  }
+
+  void flush() {
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_, std::ios::binary);
+      out << trace_.chrome_trace_json(telemetry::Timeline::kWall);
+      std::cout << (out.good() ? "wrote trace " : "cannot write trace ")
+                << trace_path_ << "\n";
+    }
+    if (!metrics_path_.empty()) {
+      const bool prom = metrics_path_.size() > 5 &&
+                        metrics_path_.compare(metrics_path_.size() - 5, 5,
+                                              ".prom") == 0;
+      std::ofstream out(metrics_path_, std::ios::binary);
+      out << (prom ? metrics_.to_prometheus() : metrics_.to_json());
+      std::cout << (out.good() ? "wrote metrics " : "cannot write metrics ")
+                << metrics_path_ << "\n";
+    }
+  }
+
+ private:
+  telemetry::TraceRecorder trace_;
+  telemetry::MetricsRegistry metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
 void write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary);
   if (!out.good()) {
@@ -104,17 +151,36 @@ int cmd_stats(const Args& args) {
 }
 
 int cmd_sample(const Args& args) {
-  const auto data = geo::read_geolife_directory(args.require("data"));
+  TelemetrySession tel(args);
+  auto cmd_span = tel.span("sample");
+  geo::GeolocatedDataset data;
+  {
+    auto s = tel.span("read");
+    data = geo::read_geolife_directory(args.require("data"));
+  }
   core::SamplingConfig config;
   config.window_s = static_cast<int>(args.num("window", 60));
   config.technique = args.get("technique", "upper") == "middle"
                          ? core::SamplingTechnique::kMiddle
                          : core::SamplingTechnique::kUpperLimit;
-  const auto sampled = core::downsample(data, config);
-  geo::write_geolife_directory(sampled, args.require("out"));
+  geo::GeolocatedDataset sampled;
+  {
+    auto s = tel.span("downsample");
+    sampled = core::downsample(data, config);
+  }
+  {
+    auto s = tel.span("write");
+    geo::write_geolife_directory(sampled, args.require("out"));
+  }
+  tel.count("cli_input_traces",
+            static_cast<std::int64_t>(data.num_traces()));
+  tel.count("cli_output_traces",
+            static_cast<std::int64_t>(sampled.num_traces()));
   std::cout << "sampled " << format_count(data.num_traces()) << " -> "
             << format_count(sampled.num_traces()) << " traces (window "
             << config.window_s << " s)\n";
+  cmd_span = telemetry::WallScope();
+  tel.flush();
   return 0;
 }
 
@@ -152,24 +218,37 @@ int cmd_pois(const Args& args) {
 }
 
 int cmd_attack(const Args& args) {
-  const auto data = geo::read_geolife_directory(args.require("data"));
+  TelemetrySession tel(args);
+  auto cmd_span = tel.span("attack");
+  geo::GeolocatedDataset data;
+  {
+    auto s = tel.span("read");
+    data = geo::read_geolife_directory(args.require("data"));
+  }
   const auto config = attack_config(args);
   core::MmcConfig mmc_config;
   mmc_config.clustering = config;
 
   Table t("inference-attack summary");
   t.header({"user", "POIs", "home?", "work?", "prediction acc"});
-  for (auto uid : data.users()) {
-    const auto pois = core::extract_pois(data.trail(uid), config);
-    const double acc = core::prediction_accuracy(data.trail(uid), mmc_config);
-    t.row({std::to_string(uid), std::to_string(pois.pois.size()),
-           pois.home_index >= 0 ? "yes" : "-",
-           pois.work_index >= 0 ? "yes" : "-",
-           acc >= 0 ? format_double(acc, 2) : "n/a"});
+  std::int64_t total_pois = 0;
+  {
+    auto s = tel.span("poi-extraction");
+    for (auto uid : data.users()) {
+      const auto pois = core::extract_pois(data.trail(uid), config);
+      const double acc =
+          core::prediction_accuracy(data.trail(uid), mmc_config);
+      total_pois += static_cast<std::int64_t>(pois.pois.size());
+      t.row({std::to_string(uid), std::to_string(pois.pois.size()),
+             pois.home_index >= 0 ? "yes" : "-",
+             pois.work_index >= 0 ? "yes" : "-",
+             acc >= 0 ? format_double(acc, 2) : "n/a"});
+    }
   }
   t.print(std::cout);
 
   // De-anonymization on split trails.
+  auto deanon_span = tel.span("de-anonymization");
   std::vector<core::MobilityMarkovChain> gallery, probes;
   std::vector<int> truth;
   for (auto uid : data.users()) {
@@ -184,9 +263,15 @@ int cmd_attack(const Args& args) {
   }
   if (!probes.empty()) {
     const auto r = core::deanonymization_attack(gallery, probes, truth);
+    tel.count("cli_reidentified_users", r.correct);
     std::cout << "de-anonymization: " << r.correct << "/" << probes.size()
               << " half-trails re-identified (" << 100 * r.accuracy << "%)\n";
   }
+  deanon_span = telemetry::WallScope();
+  tel.count("cli_users", static_cast<std::int64_t>(data.num_users()));
+  tel.count("cli_pois_extracted", total_pois);
+  cmd_span = telemetry::WallScope();
+  tel.flush();
   return 0;
 }
 
@@ -206,9 +291,16 @@ int cmd_social(const Args& args) {
 }
 
 int cmd_sanitize(const Args& args) {
-  const auto data = geo::read_geolife_directory(args.require("data"));
+  TelemetrySession tel(args);
+  auto cmd_span = tel.span("sanitize");
+  geo::GeolocatedDataset data;
+  {
+    auto s = tel.span("read");
+    data = geo::read_geolife_directory(args.require("data"));
+  }
   geo::GeolocatedDataset out;
   std::string what;
+  auto mech_span = tel.span("mechanism");
   if (args.has("mask")) {
     out = core::gaussian_mask(data, static_cast<double>(args.num("mask", 100)),
                               static_cast<std::uint64_t>(args.num("seed", 1)));
@@ -226,9 +318,19 @@ int cmd_sanitize(const Args& args) {
     std::cerr << "pick one of --mask METERS | --round METERS | --cloak K\n";
     return 2;
   }
-  geo::write_geolife_directory(out, args.require("out"));
+  mech_span = telemetry::WallScope();
+  {
+    auto s = tel.span("write");
+    geo::write_geolife_directory(out, args.require("out"));
+  }
+  tel.count("cli_input_traces",
+            static_cast<std::int64_t>(data.num_traces()));
+  tel.count("cli_output_traces",
+            static_cast<std::int64_t>(out.num_traces()));
   std::cout << "applied " << what << "; " << format_count(out.num_traces())
             << " traces written\n";
+  cmd_span = telemetry::WallScope();
+  tel.flush();
   return 0;
 }
 
@@ -250,7 +352,10 @@ void usage() {
       "  attack   --data DIR [--radius M] [--minpts N]\n"
       "  social   --data DIR [--radius M] [--meetings N]\n"
       "  sanitize --data DIR --out DIR (--mask M | --round M | --cloak K)\n"
-      "  heatmap  --data DIR --out FILE.csv [--cell M]\n";
+      "  heatmap  --data DIR --out FILE.csv [--cell M]\n"
+      "telemetry (sample | attack | sanitize):\n"
+      "  --trace-out FILE    write a Chrome trace (open in Perfetto)\n"
+      "  --metrics-out FILE  write metrics (JSON; Prometheus text if *.prom)\n";
 }
 
 }  // namespace
