@@ -121,6 +121,13 @@ inline telemetry::BenchReporter::Row& bill_job(
       .add_counter("output_bytes", static_cast<std::int64_t>(jr.output_bytes));
   if (jr.failed_task_attempts > 0)
     row.add_counter("failed_task_attempts", jr.failed_task_attempts);
+  if (jr.spill_runs > 0) {
+    // Shuffle breakdown: sorted runs merged and the wall time spent on the
+    // map-side sort and the reduce-side k-way merge.
+    row.add_counter("spill_runs", static_cast<std::int64_t>(jr.spill_runs))
+        .set_param("sort_seconds", jr.sort_seconds)
+        .set_param("merge_seconds", jr.merge_seconds);
+  }
   return row;
 }
 

@@ -1,0 +1,323 @@
+// Ablation of the shuffle rework: old path (per-pair redistribution, concat
+// + stable_sort per reducer, scratch-copy value groups) vs new path
+// (emit-time partitioning into spill buffers, per-spill sort + split layout,
+// loser-tree k-way merge, zero-copy span groups) on the Table III k-means
+// workload shape: ~10 cluster-id keys, 24-byte partial-sum values, one run
+// per (map task, reducer). Both paths must produce identical reductions;
+// the report records the wall-clock speedup plus the engine's own
+// sort/merge breakdown from a real k-means job.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/merge.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+/// The k-means intermediate value: a partial centroid sum (Table III's
+/// shuffle payload).
+struct PointSum {
+  double lat_sum = 0.0;
+  double lon_sum = 0.0;
+  std::uint64_t count = 0;
+  std::uint64_t serialized_size() const { return 24; }
+};
+
+using Pair = std::pair<std::int32_t, PointSum>;
+using Run = mr::SortedRun<std::int32_t, PointSum>;
+
+/// Raw map outputs: one unpartitioned pair vector per map task, as mappers
+/// emit them (cluster ids in [0, k), values from the generator).
+std::vector<std::vector<Pair>> make_map_outputs(int num_tasks,
+                                                std::size_t per_task, int k) {
+  std::mt19937_64 rng(20130731);
+  std::vector<std::vector<Pair>> tasks(static_cast<std::size_t>(num_tasks));
+  for (auto& pairs : tasks) {
+    pairs.reserve(per_task);
+    for (std::size_t i = 0; i < per_task; ++i) {
+      PointSum p;
+      p.lat_sum = 39.0 + static_cast<double>(rng() % 1000) * 1e-3;
+      p.lon_sum = 116.0 + static_cast<double>(rng() % 1000) * 1e-3;
+      p.count = 1;
+      pairs.emplace_back(static_cast<std::int32_t>(rng() % k), p);
+    }
+  }
+  return tasks;
+}
+
+/// Reduction result: per cluster id, the merged centroid sum.
+using Reduced = std::map<std::int32_t, std::tuple<double, double, std::uint64_t>>;
+
+void reduce_group(Reduced& out, std::int32_t key,
+                  std::span<const PointSum> values) {
+  auto& [lat, lon, n] = out[key];
+  for (const auto& v : values) {
+    lat += v.lat_sum;
+    lon += v.lon_sum;
+    n += v.count;
+  }
+}
+
+/// The engine's shuffle+reduce before the rework: a second pass
+/// redistributes each task's pairs into R buckets (plus the byte-accounting
+/// traversals the old code paid), each bucket is sorted, every reducer
+/// concatenates its buckets in map-task order and stable-sorts the lot, and
+/// grouping copies each group's values into a scratch vector.
+Reduced old_shuffle_reduce(const std::vector<std::vector<Pair>>& tasks, int R,
+                           std::uint64_t* shuffle_bytes) {
+  Reduced reduced;
+  *shuffle_bytes = 0;
+  std::vector<std::vector<std::vector<Pair>>> buckets(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    std::uint64_t raw = 0;  // the old raw_bytes traversal
+    for (const auto& [k, v] : tasks[t]) raw += 4 + v.serialized_size();
+    benchmark::DoNotOptimize(raw);
+    buckets[t].resize(static_cast<std::size_t>(R));
+    for (const auto& kv : tasks[t]) {
+      buckets[t][mr::detail::partition_of(kv.first, R)].push_back(kv);
+    }
+    for (auto& b : buckets[t]) {
+      mr::detail::sort_pairs(b);
+      for (const auto& [k, v] : b)  // the old per-bucket bytes traversal
+        *shuffle_bytes += 4 + v.serialized_size();
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    std::vector<Pair> merged;
+    std::size_t total = 0;
+    for (const auto& t : buckets) total += t[static_cast<std::size_t>(r)].size();
+    merged.reserve(total);
+    for (auto& t : buckets) {
+      auto& b = t[static_cast<std::size_t>(r)];
+      std::move(b.begin(), b.end(), std::back_inserter(merged));
+    }
+    mr::detail::sort_pairs(merged);
+    // Old grouping: copy each group's values into a scratch vector.
+    std::vector<PointSum> scratch;
+    std::size_t i = 0;
+    while (i < merged.size()) {
+      std::size_t j = i;
+      while (j < merged.size() && merged[j].first == merged[i].first) ++j;
+      scratch.clear();
+      scratch.reserve(j - i);
+      for (std::size_t x = i; x < j; ++x) scratch.push_back(merged[x].second);
+      reduce_group(reduced, merged[i].first,
+                   std::span<const PointSum>(scratch.data(), scratch.size()));
+      i = j;
+    }
+  }
+  return reduced;
+}
+
+/// The reworked shuffle+reduce: pairs are partitioned (and byte-accounted)
+/// as they are emitted, each spill is sorted once and split into a
+/// SortedRun, reducers loser-tree-merge their runs, and groups are spans
+/// into the merged run.
+Reduced new_shuffle_reduce(const std::vector<std::vector<Pair>>& tasks, int R,
+                           std::uint64_t* shuffle_bytes) {
+  Reduced reduced;
+  *shuffle_bytes = 0;
+  std::vector<std::vector<Run>> runs(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    std::vector<std::vector<Pair>> spills(static_cast<std::size_t>(R));
+    for (const auto& kv : tasks[t]) {  // emit-time partition + byte account
+      spills[mr::detail::partition_of(kv.first, R)].push_back(kv);
+      *shuffle_bytes += 4 + kv.second.serialized_size();
+    }
+    runs[t].reserve(static_cast<std::size_t>(R));
+    for (auto& spill : spills) {
+      mr::detail::sort_pairs(spill);
+      runs[t].push_back(mr::detail::split_pairs(std::move(spill)));
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    std::vector<Run*> parts;
+    for (auto& t : runs) {
+      auto& run = t[static_cast<std::size_t>(r)];
+      if (!run.empty()) parts.push_back(&run);
+    }
+    const Run merged = mr::detail::merge_sorted_runs<std::int32_t, PointSum>(
+        std::span<Run* const>(parts.data(), parts.size()));
+    mr::detail::for_each_group(
+        merged, [&](const std::int32_t& key, std::span<const PointSum> vals) {
+          reduce_group(reduced, key, vals);
+        });
+  }
+  return reduced;
+}
+
+bool same_reduction(const Reduced& a, const Reduced& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& [k, v] : a) {
+    const auto it = b.find(k);
+    if (it == b.end()) return false;
+    // Both paths add in the same deterministic order, so even the floating
+    // sums must match bit for bit.
+    if (std::get<0>(v) != std::get<0>(it->second) ||
+        std::get<1>(v) != std::get<1>(it->second) ||
+        std::get<2>(v) != std::get<2>(it->second))
+      return false;
+  }
+  return true;
+}
+
+void reproduce_ablation() {
+  print_banner("Shuffle ablation — emit-time partitioning + k-way merge",
+               "shuffle+reduce of one k-means iteration, old vs new path");
+
+  telemetry::BenchReporter report("shuffle_merge", scale_name());
+  const int R = 7;  // Parapluie: one reducer per worker node
+  const int kClusters = 10;
+  report.set_param("reducers", std::int64_t{R});
+  report.set_param("k", std::int64_t{kClusters});
+
+  struct Shape {
+    const char* label;
+    int tasks;
+    std::size_t per_task;
+  };
+  // Map-task counts track Table III's 32 MB-chunk configurations; record
+  // counts match the 66 MB / 128 MB trace counts at paper scale.
+  const bool paper = paper_scale();
+  const Shape shapes[] = {
+      {"66MB_kmeans", paper ? 33 : 8,
+       paper ? std::size_t{31'819} : std::size_t{2'500}},
+      {"128MB_kmeans", paper ? 64 : 12,
+       paper ? std::size_t{31'777} : std::size_t{3'334}},
+  };
+
+  Table table("shuffle+reduce wall time, old vs new (best of 3)");
+  table.header({"workload", "records", "old", "new", "speedup"});
+  const int kTrials = 3;
+  for (const auto& s : shapes) {
+    const auto tasks = make_map_outputs(s.tasks, s.per_task, kClusters);
+    double best_old = 1e300, best_new = 1e300;
+    std::uint64_t bytes_old = 0, bytes_new = 0;
+    Reduced red_old, red_new;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      {
+        Stopwatch sw;
+        red_old = old_shuffle_reduce(tasks, R, &bytes_old);
+        best_old = std::min(best_old, sw.seconds());
+      }
+      {
+        Stopwatch sw;
+        red_new = new_shuffle_reduce(tasks, R, &bytes_new);
+        best_new = std::min(best_new, sw.seconds());
+      }
+    }
+    if (!same_reduction(red_old, red_new) || bytes_old != bytes_new) {
+      std::cerr << "FATAL: old and new shuffle paths disagree on " << s.label
+                << "\n";
+      std::exit(1);
+    }
+    const double speedup = best_old / best_new;
+    const std::uint64_t records =
+        static_cast<std::uint64_t>(s.tasks) * s.per_task;
+    table.row({s.label, format_count(records), format_seconds(best_old),
+               format_seconds(best_new), format_double(speedup, 2) + "x"});
+    report.add_row(s.label)
+        .set_wall_seconds(best_new)
+        .add_counter("records", static_cast<std::int64_t>(records))
+        .add_counter("map_tasks", s.tasks)
+        .add_counter("shuffle_bytes", static_cast<std::int64_t>(bytes_new))
+        .set_param("old_seconds", best_old)
+        .set_param("new_seconds", best_new)
+        .set_param("speedup", speedup);
+    std::cout << s.label << ": speedup " << speedup << "x\n";
+  }
+  table.print(std::cout);
+
+  // One real k-means job through the engine, for the in-engine sort/merge
+  // breakdown now surfaced in JobResult.
+  auto cluster = parapluie(7, paper ? 32 * mr::kMiB : 512 * mr::kKiB);
+  mr::Dfs dfs(cluster);
+  geo::dataset_to_dfs(dfs, "/in", world90().data, 2);
+  core::KMeansConfig config;
+  config.k = kClusters;
+  config.distance = geo::DistanceKind::kSquaredEuclidean;
+  config.seed = 11;
+  config.max_iterations = 2;
+  config.convergence_delta_m = 0.0;
+  const auto result =
+      core::kmeans_mapreduce(dfs, cluster, "/in/", "/clusters", config);
+  bill_job(report.add_row("engine_66MB_kmeans"), result.totals);
+  std::cout << "engine k-means (" << result.iterations
+            << " iterations): sort " << result.totals.sort_seconds
+            << " s, merge " << result.totals.merge_seconds << " s, "
+            << result.totals.spill_runs << " spill runs merged\n";
+
+  write_report(report);
+}
+
+// Micro sweep: loser-tree merge vs concat + stable_sort over M sorted runs
+// of the k-means value shape.
+void make_runs(int num_runs, std::size_t per_run, std::vector<Run>* runs) {
+  std::mt19937_64 rng(7);
+  runs->clear();
+  for (int m = 0; m < num_runs; ++m) {
+    std::vector<Pair> pairs;
+    pairs.reserve(per_run);
+    for (std::size_t i = 0; i < per_run; ++i) {
+      PointSum p;
+      p.count = 1;
+      pairs.emplace_back(static_cast<std::int32_t>(rng() % 10), p);
+    }
+    mr::detail::sort_pairs(pairs);
+    runs->push_back(mr::detail::split_pairs(std::move(pairs)));
+  }
+}
+
+void BM_LoserTreeMerge(benchmark::State& state) {
+  std::vector<Run> base;
+  make_runs(static_cast<int>(state.range(0)), 4096, &base);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Run> runs = base;  // merge moves values out
+    std::vector<Run*> ptrs;
+    for (auto& r : runs) ptrs.push_back(&r);
+    state.ResumeTiming();
+    Run merged = mr::detail::merge_sorted_runs<std::int32_t, PointSum>(
+        std::span<Run* const>(ptrs.data(), ptrs.size()));
+    benchmark::DoNotOptimize(merged.keys.data());
+  }
+}
+BENCHMARK(BM_LoserTreeMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ConcatStableSort(benchmark::State& state) {
+  std::vector<Run> base;
+  make_runs(static_cast<int>(state.range(0)), 4096, &base);
+  for (auto _ : state) {
+    std::vector<Pair> merged;
+    for (const auto& r : base)
+      for (std::size_t i = 0; i < r.size(); ++i)
+        merged.emplace_back(r.keys[i], r.values[i]);
+    mr::detail::sort_pairs(merged);
+    benchmark::DoNotOptimize(merged.data());
+  }
+}
+BENCHMARK(BM_ConcatStableSort)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce_ablation();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,12 +1,17 @@
 // A fixed-size worker pool used by the MapReduce engine to execute task
 // slots. Deliberately simple: FIFO queue, futures for results, clean
 // shutdown in the destructor (RAII, no detached threads).
+//
+// shared_thread_pool() hands out a process-shared instance so iterative
+// drivers (dozens of jobs, two phases each) stop paying thread creation and
+// teardown per phase.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -75,5 +80,18 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   bool stopping_ = false;
 };
+
+/// Process-shared pool of exactly `num_threads` workers, reused across jobs
+/// and phases. The returned shared_ptr keeps the pool alive for as long as
+/// the caller holds it; a request for a different size builds a fresh pool
+/// (callers still holding the old one drain it safely before it is joined).
+inline std::shared_ptr<ThreadPool> shared_thread_pool(std::size_t num_threads) {
+  static std::mutex mu;
+  static std::shared_ptr<ThreadPool> cached;
+  std::lock_guard<std::mutex> lk(mu);
+  if (cached == nullptr || cached->size() != num_threads)
+    cached = std::make_shared<ThreadPool>(num_threads);
+  return cached;
+}
 
 }  // namespace gepeto

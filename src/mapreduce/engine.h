@@ -24,12 +24,18 @@
 //   };
 //
 // run_mapreduce_job() executes one job: one map task per DFS chunk of the
-// input, executed for real on host threads; intermediate pairs are hash-
-// partitioned, sorted by key, optionally combined, shuffled (with byte
-// accounting), reduced, and the reduce output written back to the DFS as
-// text, exactly as the Hadoop pipeline in the paper. run_map_only_job()
-// covers the paper's map-only jobs (sampling, DJ-Cluster preprocessing)
-// where mappers write output lines directly.
+// input, executed for real on host threads. The shuffle stays off the copy
+// path: mappers hash-partition *at emit time* into R per-partition spill
+// buffers (bytes accounted as they are emitted), each spill is sorted once
+// (optionally combined) and laid out as a SortedRun — keys and values in two
+// parallel arrays — and every reducer k-way-merges its sorted runs with a
+// loser tree (merge.h), stable by (map-task index, emission order). Reduce
+// groups are spans into the merged run's contiguous value storage: no
+// per-group copies, and retried reduce attempts re-iterate the same run.
+// Reduce output is written back to the DFS as text, exactly as the Hadoop
+// pipeline in the paper. run_map_only_job() covers the paper's map-only jobs
+// (sampling, DJ-Cluster preprocessing) where mappers write output lines
+// directly.
 //
 // Failures are *experienced*, not just billed: task code may throw TaskError
 // (and JobConfig::fault_plan can deterministically crash chosen attempts);
@@ -60,6 +66,7 @@
 #include "mapreduce/dfs.h"
 #include "mapreduce/engine_telemetry.h"
 #include "mapreduce/job.h"
+#include "mapreduce/merge.h"
 #include "mapreduce/record_io.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/seqfile.h"
@@ -121,21 +128,71 @@ class MapOnlyContext : public TaskContext {
   std::uint64_t records_ = 0;
 };
 
+namespace detail {
+
+/// Which reducer partition a key belongs to (Hadoop's HashPartitioner).
+/// Computed once per pair, at emit time.
+template <typename K>
+std::uint64_t partition_of(const K& key, int num_reducers) {
+  if (num_reducers == 1) return 0;  // fast path: nothing to hash
+  std::uint64_t h;
+  if constexpr (requires(const K& k) { k.partition_hash(); }) {
+    h = key.partition_hash();
+  } else {
+    h = static_cast<std::uint64_t>(std::hash<K>{}(key));
+  }
+  // Mix: std::hash of integers is often identity; avoid modulo bias patterns.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h % static_cast<std::uint64_t>(num_reducers);
+}
+
+}  // namespace detail
+
 /// Context handed to mappers (and combiners) of full map-reduce jobs.
-/// Attempt-scoped, like MapOnlyContext.
+/// Attempt-scoped, like MapOnlyContext. The context owns one spill buffer
+/// per reducer partition: emit() routes each pair to its partition and
+/// accounts its serialized bytes as it lands, so neither a redistribution
+/// pass nor a byte-counting pass ever re-walks the map output.
 template <typename K, typename V>
 class MapContext : public TaskContext {
  public:
-  using TaskContext::TaskContext;
+  MapContext(const Dfs& dfs, const JobConfig& job, int task_index,
+             int num_partitions)
+      : TaskContext(dfs, job, task_index),
+        spills_(static_cast<std::size_t>(num_partitions)),
+        spill_bytes_(static_cast<std::size_t>(num_partitions), 0) {}
 
   void emit(K key, V value) {
-    pairs_.emplace_back(std::move(key), std::move(value));
+    const std::size_t p =
+        spills_.size() == 1
+            ? 0
+            : static_cast<std::size_t>(detail::partition_of(
+                  key, static_cast<int>(spills_.size())));
+    spill_bytes_[p] += approx_bytes(key) + approx_bytes(value);
+    spills_[p].emplace_back(std::move(key), std::move(value));
   }
 
-  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  /// Partition `p`'s spill buffer, pairs in emission order.
+  std::vector<std::pair<K, V>>& spill(std::size_t p) { return spills_[p]; }
+  /// Serialized bytes accumulated in partition `p`, accounted at emit.
+  std::uint64_t spill_bytes(std::size_t p) const { return spill_bytes_[p]; }
+
+  std::uint64_t emitted_records() const {
+    std::uint64_t n = 0;
+    for (const auto& s : spills_) n += s.size();
+    return n;
+  }
+  std::uint64_t emitted_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto x : spill_bytes_) b += x;
+    return b;
+  }
 
  private:
-  std::vector<std::pair<K, V>> pairs_;
+  std::vector<std::vector<std::pair<K, V>>> spills_;
+  std::vector<std::uint64_t> spill_bytes_;
 };
 
 /// Context handed to reducers; output lines form the job's DFS output.
@@ -194,56 +251,6 @@ inline int injected_failures(const JobConfig& job, std::uint64_t seed,
     ++failures;
   }
   return failures;
-}
-
-template <typename K>
-std::uint64_t partition_of(const K& key, int num_reducers) {
-  std::uint64_t h;
-  if constexpr (requires(const K& k) { k.partition_hash(); }) {
-    h = key.partition_hash();
-  } else {
-    h = static_cast<std::uint64_t>(std::hash<K>{}(key));
-  }
-  // Mix: std::hash of integers is often identity; avoid modulo bias patterns.
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  return h % static_cast<std::uint64_t>(num_reducers);
-}
-
-template <typename K, typename V>
-std::uint64_t pairs_bytes(const std::vector<std::pair<K, V>>& pairs) {
-  std::uint64_t b = 0;
-  for (const auto& [k, v] : pairs) b += approx_bytes(k) + approx_bytes(v);
-  return b;
-}
-
-/// Sort pairs by key (stable so equal-key value order stays deterministic:
-/// map task order, then emission order — mirrors Hadoop's merge of sorted
-/// spills).
-template <typename K, typename V>
-void sort_pairs(std::vector<std::pair<K, V>>& pairs) {
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
-}
-
-/// Invoke `fn(key, span_of_values)` for each run of equal keys in sorted
-/// pairs. Values are copied into a scratch vector to present a contiguous
-/// span, as Hadoop presents an iterator per key group. Copies (not moves) so
-/// the pairs survive intact for a retried reduce attempt.
-template <typename K, typename V, typename Fn>
-void for_each_group(const std::vector<std::pair<K, V>>& sorted, Fn&& fn) {
-  std::vector<V> values;
-  std::size_t i = 0;
-  while (i < sorted.size()) {
-    std::size_t j = i;
-    while (j < sorted.size() && sorted[j].first == sorted[i].first) ++j;
-    values.clear();
-    values.reserve(j - i);
-    for (std::size_t t = i; t < j; ++t) values.push_back(sorted[t].second);
-    fn(sorted[i].first, std::span<const V>(values.data(), values.size()));
-    i = j;
-  }
 }
 
 template <typename Task, typename Ctx>
@@ -464,18 +471,21 @@ struct MapPhaseOutcome {
   std::vector<std::pair<double, double>> recovery_windows;
 };
 
-/// Run the map phase in fault-plan waves. `run_task(t)` executes task t's
-/// retry loop (filling `tries[t]`); `cost_of(t)` builds that task's virtual
-/// cost from `tries[t]` afterwards (replicas and failed attempts are filled
-/// in here). Between waves, the chaos harness kills the planned datanodes,
-/// the namenode re-replicates surviving chunks (billed to the simulated
-/// clock), and later waves re-resolve replicas against the shrunk cluster.
+/// Run the map phase in fault-plan waves on `pool` (the process-shared pool;
+/// building threads per wave was measurable overhead on iterative drivers).
+/// `run_task(t)` executes task t's retry loop (filling `tries[t]`);
+/// `cost_of(t)` builds that task's virtual cost from `tries[t]` afterwards
+/// (replicas and failed attempts are filled in here). Between waves, the
+/// chaos harness kills the planned datanodes, the namenode re-replicates
+/// surviving chunks (billed to the simulated clock), and later waves
+/// re-resolve replicas against the shrunk cluster.
 template <typename Out, typename RunTask, typename CostOf>
 MapPhaseOutcome run_map_phase(Dfs& dfs, const ClusterConfig& config,
                               const JobConfig& job,
                               const std::vector<SplitDesc>& splits,
                               std::vector<TaskTry<Out>>& tries,
-                              RunTask&& run_task, CostOf&& cost_of) {
+                              ThreadPool& pool, RunTask&& run_task,
+                              CostOf&& cost_of) {
   const std::size_t num_tasks = splits.size();
   MapPhaseOutcome out;
   out.assigned_node.assign(num_tasks, -1);
@@ -492,7 +502,6 @@ MapPhaseOutcome run_map_phase(Dfs& dfs, const ClusterConfig& config,
       out.lost[t] = ci.replicas.empty();
     }
     {
-      ThreadPool pool(config.resolved_execution_threads());
       std::vector<std::future<void>> futs;
       futs.reserve(seg.end - seg.begin);
       for (std::size_t t = seg.begin; t < seg.end; ++t) {
@@ -730,8 +739,9 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
     return c;
   };
 
+  const auto pool = shared_thread_pool(config.resolved_execution_threads());
   const detail::MapPhaseOutcome phase = detail::run_map_phase<TaskOut>(
-      dfs, config, job, splits, tries, run_task, cost_of);
+      dfs, config, job, splits, tries, *pool, run_task, cost_of);
 
   result.failed_tasks =
       detail::enforce_map_failure_policy(job, tries, phase.lost);
@@ -828,15 +838,16 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   const int R = job.num_reducers;
 
   struct MapOut {
-    // One bucket of sorted (combined) pairs per reducer partition.
-    std::vector<std::vector<std::pair<K, V>>> buckets;
-    std::vector<std::uint64_t> bucket_bytes;
+    // One sorted (combined) run per reducer partition, in split layout.
+    std::vector<SortedRun<K, V>> runs;
+    std::vector<std::uint64_t> run_bytes;
     std::uint64_t raw_records = 0;       // before combine
     std::uint64_t combined_records = 0;  // after combine
     std::uint64_t raw_bytes = 0;
     std::uint64_t input_records = 0;
     std::uint64_t input_bytes = 0;
     double cpu_seconds = 0.0;
+    double sort_seconds = 0.0;  // wall time sorting (and re-sorting) spills
     Counters counters;
   };
   std::vector<detail::TaskTry<MapOut>> mtries(splits.size());
@@ -847,7 +858,7 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
         [&, t](const std::vector<std::int64_t>& skip, bool inject) {
           CpuStopwatch cpu;
           auto mapper = make_mapper();
-          MapContext<K, V> ctx(dfs, job, static_cast<int>(t));
+          MapContext<K, V> ctx(dfs, job, static_cast<int>(t), R);
           try {
             detail::maybe_setup(mapper, ctx);
           } catch (const TaskError& e) {
@@ -879,36 +890,41 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
           MapOut out;
           out.input_records = records;
           out.input_bytes = ci.size + reader.overread_bytes();
-          out.raw_records = ctx.pairs().size();
-          out.raw_bytes = detail::pairs_bytes(ctx.pairs());
+          out.raw_records = ctx.emitted_records();
+          out.raw_bytes = ctx.emitted_bytes();
 
-          // Partition, sort, and (optionally) combine — per partition, like
+          // Pairs are already partitioned (emit-time); sort each spill,
+          // optionally combine, and lay it out as a SortedRun — like
           // Hadoop's sort-and-spill with a combiner pass.
-          out.buckets.resize(static_cast<std::size_t>(R));
-          out.bucket_bytes.assign(static_cast<std::size_t>(R), 0);
-          for (auto& kv : ctx.pairs()) {
-            const auto p = detail::partition_of(kv.first, R);
-            out.buckets[p].push_back(std::move(kv));
-          }
+          Stopwatch sort_sw;
+          out.runs.reserve(static_cast<std::size_t>(R));
+          out.run_bytes.assign(static_cast<std::size_t>(R), 0);
           for (int r = 0; r < R; ++r) {
-            auto& bucket = out.buckets[static_cast<std::size_t>(r)];
-            detail::sort_pairs(bucket);
+            auto& spill = ctx.spill(static_cast<std::size_t>(r));
+            detail::sort_pairs(spill);
+            SortedRun<K, V> run = detail::split_pairs(std::move(spill));
+            std::uint64_t bytes = ctx.spill_bytes(static_cast<std::size_t>(r));
             if constexpr (kHasCombiner) {
               if (job.use_combiner) {
                 auto combiner = make_combiner();
-                MapContext<K, V> cctx(dfs, job, static_cast<int>(t));
+                // A combiner context with a single partition: combined pairs
+                // land in spill 0 unhashed, re-partitioning is never needed.
+                MapContext<K, V> cctx(dfs, job, static_cast<int>(t), 1);
                 detail::for_each_group(
-                    bucket, [&](const K& key, std::span<const V> values) {
+                    run, [&](const K& key, std::span<const V> values) {
                       combiner.combine(key, values, cctx);
                     });
-                bucket = std::move(cctx.pairs());
-                detail::sort_pairs(bucket);
+                auto& cspill = cctx.spill(0);
+                detail::sort_pairs(cspill);
+                run = detail::split_pairs(std::move(cspill));
+                bytes = cctx.spill_bytes(0);
               }
             }
-            out.combined_records += bucket.size();
-            out.bucket_bytes[static_cast<std::size_t>(r)] =
-                detail::pairs_bytes(bucket);
+            out.combined_records += run.size();
+            out.run_bytes[static_cast<std::size_t>(r)] = bytes;
+            out.runs.push_back(std::move(run));
           }
+          out.sort_seconds = sort_sw.seconds();
           out.cpu_seconds =
               config.modeled_seconds_per_record > 0.0
                   ? static_cast<double>(records) *
@@ -922,7 +938,7 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     MapTaskCost c;
     if (mtries[t].ok) {
       std::uint64_t spill = 0;
-      for (auto b : mtries[t].value.bucket_bytes) spill += b;
+      for (auto b : mtries[t].value.run_bytes) spill += b;
       c.input_bytes = mtries[t].value.input_bytes;
       c.output_bytes = spill;
       c.cpu_seconds = mtries[t].value.cpu_seconds;
@@ -932,8 +948,10 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     return c;
   };
 
+  // One process-shared pool serves the map waves and the reduce phase alike.
+  const auto pool = shared_thread_pool(config.resolved_execution_threads());
   const detail::MapPhaseOutcome mphase = detail::run_map_phase<MapOut>(
-      dfs, config, job, splits, mtries, run_map_task, map_cost_of);
+      dfs, config, job, splits, mtries, *pool, run_map_task, map_cost_of);
 
   result.failed_tasks =
       detail::enforce_map_failure_policy(job, mtries, mphase.lost);
@@ -947,6 +965,7 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     result.map_output_records += out.raw_records;
     result.map_output_bytes += out.raw_bytes;
     result.combine_output_records += out.combined_records;
+    result.sort_seconds += out.sort_seconds;
     result.skipped_records += mtries[t].skipped_records;
     for (const auto& [k, v] : out.counters) result.counters[k] += v;
   }
@@ -969,37 +988,38 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     for (std::size_t t = 0; t < splits.size(); ++t) {
       if (!mtries[t].ok) continue;  // failed maps contributed no spill
       const std::uint64_t b =
-          mtries[t].value.bucket_bytes[static_cast<std::size_t>(r)];
+          mtries[t].value.run_bytes[static_cast<std::size_t>(r)];
       if (b > 0) rc.shuffle_from.emplace_back(mphase.assigned_node[t], b);
       result.shuffle_bytes += b;
     }
   }
 
+  std::vector<double> merge_secs(static_cast<std::size_t>(R), 0.0);
+  std::vector<std::uint64_t> merged_run_counts(static_cast<std::size_t>(R), 0);
   {
-    ThreadPool pool(config.resolved_execution_threads());
     std::vector<std::future<void>> futs;
     futs.reserve(static_cast<std::size_t>(R));
     for (int r = 0; r < R; ++r) {
-      futs.push_back(pool.submit([&, r] {
-        // Merge this partition's buckets from every surviving map task. Map-
-        // task order then emission order keeps grouping deterministic (stable
-        // sort). The merged run is built once; attempts iterate it without
-        // consuming it (for_each_group copies values), so a crashed reduce
-        // attempt can be re-run from the same shuffled input, as Hadoop
-        // re-fetches map output that is still on the mappers' disks.
-        std::vector<std::pair<K, V>> merged;
-        std::size_t total = 0;
-        for (const auto& m : mtries) {
-          if (!m.ok) continue;
-          total += m.value.buckets[static_cast<std::size_t>(r)].size();
-        }
-        merged.reserve(total);
+      futs.push_back(pool->submit([&, r] {
+        // K-way merge this partition's sorted runs from every surviving map
+        // task, gathered in map-task order: the loser tree's tie-break on
+        // run index then reproduces the old concat-and-stable-sort order
+        // exactly (map-task order, then emission order). The merged run is
+        // built once; attempts iterate it without consuming it (groups are
+        // spans into it), so a crashed reduce attempt re-runs from the same
+        // shuffled input, as Hadoop re-fetches map output that is still on
+        // the mappers' disks.
+        std::vector<SortedRun<K, V>*> parts;
         for (auto& m : mtries) {
           if (!m.ok) continue;
-          auto& b = m.value.buckets[static_cast<std::size_t>(r)];
-          std::move(b.begin(), b.end(), std::back_inserter(merged));
+          auto& run = m.value.runs[static_cast<std::size_t>(r)];
+          if (!run.empty()) parts.push_back(&run);
         }
-        detail::sort_pairs(merged);
+        Stopwatch merge_sw;
+        const SortedRun<K, V> merged = detail::merge_sorted_runs<K, V>(
+            std::span<SortedRun<K, V>* const>(parts.data(), parts.size()));
+        merge_secs[static_cast<std::size_t>(r)] = merge_sw.seconds();
+        merged_run_counts[static_cast<std::size_t>(r)] = parts.size();
 
         rtries[static_cast<std::size_t>(r)] =
             detail::run_task_attempts<ReduceOut>(
@@ -1051,6 +1071,10 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
       }));
     }
     for (auto& f : futs) f.get();
+  }
+  for (int r = 0; r < R; ++r) {
+    result.merge_seconds += merge_secs[static_cast<std::size_t>(r)];
+    result.spill_runs += merged_run_counts[static_cast<std::size_t>(r)];
   }
 
   // A reduce task that exhausted its attempts sinks the job: its partition's

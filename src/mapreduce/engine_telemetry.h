@@ -85,6 +85,8 @@ inline void record_job_metrics(telemetry::MetricsRegistry* m,
       "map output bytes before the combiner");
   add("mr_shuffle_bytes_total", static_cast<std::int64_t>(r.shuffle_bytes),
       "bytes crossing mapper->reducer");
+  add("mr_spill_runs_total", static_cast<std::int64_t>(r.spill_runs),
+      "sorted map-output runs k-way-merged by reducers");
   add("mr_output_bytes_total", static_cast<std::int64_t>(r.output_bytes),
       "job output bytes");
   add("mr_output_records_total", static_cast<std::int64_t>(r.output_records),
@@ -111,6 +113,16 @@ inline void record_job_metrics(telemetry::MetricsRegistry* m,
   m->histogram("mr_job_sim_seconds", telemetry::default_time_buckets(),
                "simulated job makespan")
       .observe(r.sim_seconds);
+  if (r.sort_seconds > 0.0) {
+    m->histogram("mr_sort_seconds", telemetry::default_time_buckets(),
+                 "wall seconds map attempts spent sorting spill buffers")
+        .observe(r.sort_seconds);
+  }
+  if (r.merge_seconds > 0.0) {
+    m->histogram("mr_merge_seconds", telemetry::default_time_buckets(),
+                 "wall seconds reducers spent k-way-merging sorted runs")
+        .observe(r.merge_seconds);
+  }
   if (map_slices != nullptr) {
     auto& h = m->histogram("mr_map_task_sim_seconds",
                            telemetry::default_time_buckets(),

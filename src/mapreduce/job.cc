@@ -75,6 +75,7 @@ void JobResult::absorb(const JobResult& next) {
   map_output_bytes += next.map_output_bytes;
   combine_output_records += next.combine_output_records;
   shuffle_bytes += next.shuffle_bytes;
+  spill_runs += next.spill_runs;
   reduce_input_groups += next.reduce_input_groups;
   output_records = next.output_records;  // pipeline: last job's output counts
   output_bytes = next.output_bytes;
@@ -89,6 +90,8 @@ void JobResult::absorb(const JobResult& next) {
   blacklisted_nodes += next.blacklisted_nodes;
   lost_chunks += next.lost_chunks;
   real_seconds += next.real_seconds;
+  sort_seconds += next.sort_seconds;
+  merge_seconds += next.merge_seconds;
   sim_startup_seconds += next.sim_startup_seconds;
   sim_map_seconds += next.sim_map_seconds;
   sim_reduce_seconds += next.sim_reduce_seconds;

@@ -159,6 +159,7 @@ struct JobResult {
   std::uint64_t map_output_bytes = 0;       ///< before the combiner
   std::uint64_t combine_output_records = 0; ///< == map_output_records if none
   std::uint64_t shuffle_bytes = 0;          ///< bytes crossing mapper->reducer
+  std::uint64_t spill_runs = 0;             ///< sorted map-output runs merged
   std::uint64_t reduce_input_groups = 0;
   std::uint64_t output_records = 0;
   std::uint64_t output_bytes = 0;
@@ -180,6 +181,11 @@ struct JobResult {
 
   // Real execution on host threads.
   double real_seconds = 0.0;
+  /// Wall seconds map attempts spent sorting (and re-sorting after the
+  /// combiner) their partition spill buffers, summed over attempts.
+  double sort_seconds = 0.0;
+  /// Wall seconds reduce tasks spent k-way-merging the sorted map runs.
+  double merge_seconds = 0.0;
 
   // Simulated cluster clock (deterministic).
   double sim_startup_seconds = 0.0;

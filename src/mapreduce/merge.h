@@ -1,0 +1,180 @@
+// Shuffle-side data layout and k-way merge.
+//
+// A map task's output for one reducer partition is a SortedRun: keys and
+// values held in two parallel arrays, sorted by key. The split layout is
+// what makes reduce groups zero-copy — a run of equal keys owns a
+// *contiguous* range of the values array, so the reducer receives a
+// std::span<const V> pointing straight into the merged run, with no
+// per-group scratch vector.
+//
+// merge_sorted_runs() merges the R runs a reducer pulls (one per surviving
+// map task) with a tournament loser tree: O(N log M) comparisons for N total
+// records across M runs, instead of the O(N log N) a concatenate-and-resort
+// pays. The merge is stable by (run index, position within run) — ties on
+// equal keys are won by the lower run index, and each run is consumed in
+// order — which reproduces exactly the order of concatenating the runs in
+// map-task order and stable-sorting by key. Job outputs therefore stay
+// byte-identical at a fixed seed, including across retried reduce attempts,
+// which re-iterate the same merged run without consuming it.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace gepeto::mr {
+
+/// One sorted run of intermediate (key, value) records in split layout.
+template <typename K, typename V>
+struct SortedRun {
+  std::vector<K> keys;
+  std::vector<V> values;
+
+  std::size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+
+  void reserve(std::size_t n) {
+    keys.reserve(n);
+    values.reserve(n);
+  }
+};
+
+namespace detail {
+
+/// Stable-sort pairs by key: equal keys keep emission order, mirroring
+/// Hadoop's sort of a spill buffer.
+template <typename K, typename V>
+void sort_pairs(std::vector<std::pair<K, V>>& pairs) {
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+/// Move a sorted pair buffer into the split run layout.
+template <typename K, typename V>
+SortedRun<K, V> split_pairs(std::vector<std::pair<K, V>>&& pairs) {
+  SortedRun<K, V> run;
+  run.reserve(pairs.size());
+  for (auto& [k, v] : pairs) {
+    run.keys.push_back(std::move(k));
+    run.values.push_back(std::move(v));
+  }
+  pairs.clear();
+  pairs.shrink_to_fit();
+  return run;
+}
+
+/// Tournament loser tree over M run cursors. Leaves (padded to a power of
+/// two with permanently-exhausted slots) are runs; each internal node
+/// remembers the loser of the match played there and the winner bubbles to
+/// the root. Advancing the winner replays only its root path: O(log M)
+/// comparisons per record.
+template <typename K, typename V>
+class LoserTree {
+ public:
+  explicit LoserTree(std::span<SortedRun<K, V>* const> runs) : runs_(runs) {
+    GEPETO_DCHECK(!runs.empty());
+    pos_.assign(runs.size(), 0);
+    width_ = 1;
+    while (width_ < runs.size()) width_ *= 2;
+    tree_.assign(width_, kNone);
+    // Build the full bracket bottom-up: winner[] is a scratch winner tree,
+    // tree_ keeps each match's loser.
+    std::vector<std::size_t> winner(2 * width_);
+    for (std::size_t i = 0; i < width_; ++i)
+      winner[width_ + i] = i < runs.size() ? i : kNone;
+    for (std::size_t node = width_ - 1; node > 0; --node) {
+      const std::size_t a = winner[2 * node], b = winner[2 * node + 1];
+      winner[node] = beats(a, b) ? a : b;
+      tree_[node] = beats(a, b) ? b : a;
+    }
+    winner_ = exhausted(winner[1]) ? kNone : winner[1];
+  }
+
+  /// Run index holding the smallest (key, run) pair, or kNone when drained.
+  std::size_t top() const { return winner_; }
+
+  /// Current record of the winning run.
+  const K& key() const { return runs_[winner_]->keys[pos_[winner_]]; }
+  V& value() const { return runs_[winner_]->values[pos_[winner_]]; }
+
+  /// Consume the winner's current record and rebubble.
+  void pop() {
+    ++pos_[winner_];
+    std::size_t cur = winner_;
+    for (std::size_t node = (width_ + winner_) / 2; node > 0; node /= 2) {
+      if (beats(tree_[node], cur)) std::swap(tree_[node], cur);
+    }
+    winner_ = exhausted(cur) ? kNone : cur;
+  }
+
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+ private:
+  bool exhausted(std::size_t r) const {
+    return r == kNone || pos_[r] >= runs_[r]->size();
+  }
+
+  /// True when run `a` beats run `b`: strictly smaller key, or equal keys
+  /// and lower run index (the stability rule). Exhausted runs lose to every
+  /// live run.
+  bool beats(std::size_t a, std::size_t b) const {
+    if (exhausted(b)) return true;
+    if (exhausted(a)) return false;
+    const K& ka = runs_[a]->keys[pos_[a]];
+    const K& kb = runs_[b]->keys[pos_[b]];
+    if (ka < kb) return true;
+    if (kb < ka) return false;
+    return a < b;
+  }
+
+  std::span<SortedRun<K, V>* const> runs_;
+  std::size_t width_;              // leaf count, power of two
+  std::vector<std::size_t> pos_;   // cursor per run
+  std::vector<std::size_t> tree_;  // loser at each internal node
+  std::size_t winner_;
+};
+
+/// Merge M sorted runs into one, stable by (run index, in-run position).
+/// Values are *moved* out of the input runs (each run feeds exactly one
+/// reducer, so the map-side copy is never needed again); keys are copied so
+/// comparisons against partially-moved state never happen.
+template <typename K, typename V>
+SortedRun<K, V> merge_sorted_runs(std::span<SortedRun<K, V>* const> runs) {
+  SortedRun<K, V> out;
+  std::size_t total = 0;
+  for (const auto* r : runs) total += r->size();
+  out.reserve(total);
+  if (runs.empty()) return out;
+  if (runs.size() == 1) {  // single run: the merge is a move
+    out = std::move(*runs[0]);
+    return out;
+  }
+  LoserTree<K, V> tree(runs);
+  while (tree.top() != LoserTree<K, V>::kNone) {
+    out.keys.push_back(tree.key());
+    out.values.push_back(std::move(tree.value()));
+    tree.pop();
+  }
+  return out;
+}
+
+/// Invoke `fn(key, span_of_values)` for each run of equal keys. The span
+/// aliases the run's contiguous value storage — zero copies — and the run is
+/// not consumed, so a retried reduce attempt re-iterates the same data.
+template <typename K, typename V, typename Fn>
+void for_each_group(const SortedRun<K, V>& run, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < run.size()) {
+    std::size_t j = i + 1;
+    while (j < run.size() && !(run.keys[i] < run.keys[j])) ++j;
+    fn(run.keys[i], std::span<const V>(run.values.data() + i, j - i));
+    i = j;
+  }
+}
+
+}  // namespace detail
+}  // namespace gepeto::mr

@@ -1,0 +1,345 @@
+// Tests of the shuffle hot path: the loser-tree k-way merge (merge.h), the
+// zero-copy group layout, emit-time partitioning, and — most importantly —
+// golden-output tests pinning job outputs to the exact bytes the previous
+// concat-and-stable-sort shuffle produced at the same seed. The shuffle may
+// be rearchitected freely as long as these bytes never move.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mapreduce/engine.h"
+#include "mapreduce/merge.h"
+
+namespace gepeto::mr {
+namespace {
+
+ClusterConfig test_cluster(std::size_t chunk = 64) {
+  ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 99;
+  return c;
+}
+
+// --- merge.h unit tests ------------------------------------------------------
+
+using IntRun = SortedRun<int, int>;
+
+IntRun make_run(std::vector<std::pair<int, int>> pairs) {
+  detail::sort_pairs(pairs);
+  return detail::split_pairs(std::move(pairs));
+}
+
+/// Reference semantics the loser tree must reproduce: concatenate the runs
+/// in order and stable-sort by key.
+IntRun reference_merge(const std::vector<IntRun>& runs) {
+  std::vector<std::pair<int, int>> all;
+  for (const auto& r : runs)
+    for (std::size_t i = 0; i < r.size(); ++i)
+      all.emplace_back(r.keys[i], r.values[i]);
+  detail::sort_pairs(all);
+  return detail::split_pairs(std::move(all));
+}
+
+IntRun merge_copies(std::vector<IntRun> runs) {
+  std::vector<IntRun*> ptrs;
+  for (auto& r : runs) ptrs.push_back(&r);
+  return detail::merge_sorted_runs<int, int>(
+      std::span<IntRun* const>(ptrs.data(), ptrs.size()));
+}
+
+TEST(LoserTreeMerge, EmptyAndSingleRun) {
+  EXPECT_TRUE(merge_copies({}).empty());
+
+  IntRun only = merge_copies({make_run({{3, 30}, {1, 10}, {2, 20}})});
+  EXPECT_EQ(only.keys, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(only.values, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(LoserTreeMerge, StableAcrossRunsOnEqualKeys) {
+  // Every run carries key 5; values encode (run, position). The merged value
+  // order must be run 0's values in order, then run 1's, then run 2's.
+  std::vector<IntRun> runs;
+  runs.push_back(make_run({{5, 1}, {5, 2}, {1, 0}}));
+  runs.push_back(make_run({{5, 3}, {9, 9}}));
+  runs.push_back(make_run({{5, 4}, {5, 5}}));
+  const IntRun expect = reference_merge(runs);
+  const IntRun got = merge_copies(std::move(runs));
+  EXPECT_EQ(got.keys, expect.keys);
+  EXPECT_EQ(got.values, expect.values);
+  EXPECT_EQ(got.values, (std::vector<int>{0, 1, 2, 3, 4, 5, 9}));
+}
+
+TEST(LoserTreeMerge, HandlesEmptyRunsInTheMiddle) {
+  std::vector<IntRun> runs;
+  runs.push_back(make_run({{2, 1}}));
+  runs.push_back(make_run({}));
+  runs.push_back(make_run({{1, 2}, {2, 3}}));
+  runs.push_back(make_run({}));
+  const IntRun expect = reference_merge(runs);
+  const IntRun got = merge_copies(std::move(runs));
+  EXPECT_EQ(got.keys, expect.keys);
+  EXPECT_EQ(got.values, expect.values);
+}
+
+TEST(LoserTreeMerge, MatchesReferenceOnRandomRuns) {
+  std::mt19937 rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int num_runs = 1 + static_cast<int>(rng() % 9);  // 1..9 incl. non-pow2
+    std::vector<IntRun> runs;
+    for (int m = 0; m < num_runs; ++m) {
+      std::vector<std::pair<int, int>> pairs;
+      const int n = static_cast<int>(rng() % 20);
+      for (int i = 0; i < n; ++i) {
+        // Few distinct keys: plenty of cross-run duplicates to stress the
+        // stability tie-break.
+        pairs.emplace_back(static_cast<int>(rng() % 7), m * 1000 + i);
+      }
+      runs.push_back(make_run(std::move(pairs)));
+    }
+    const IntRun expect = reference_merge(runs);
+    const IntRun got = merge_copies(std::move(runs));
+    EXPECT_EQ(got.keys, expect.keys) << "trial " << trial;
+    EXPECT_EQ(got.values, expect.values) << "trial " << trial;
+  }
+}
+
+TEST(ZeroCopyGroups, SpansAliasTheRunStorageWithNoCopies) {
+  const IntRun run = make_run({{1, 10}, {2, 20}, {2, 21}, {2, 22}, {3, 30}});
+  std::vector<std::pair<int, std::size_t>> groups;  // (key, count)
+  detail::for_each_group(run, [&](const int& key, std::span<const int> vals) {
+    // The span must point straight into run.values — zero-copy contract.
+    EXPECT_GE(vals.data(), run.values.data());
+    EXPECT_LE(vals.data() + vals.size(), run.values.data() + run.values.size());
+    groups.emplace_back(key, vals.size());
+  });
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[1], (std::pair<int, std::size_t>{2, 3}));
+}
+
+TEST(Partitioning, SingleReducerSkipsHashing) {
+  // With one reducer every key lands in partition 0, including key types
+  // whose std::hash would otherwise scatter.
+  for (int k = -100; k <= 100; ++k)
+    EXPECT_EQ(detail::partition_of(k, 1), 0u);
+  EXPECT_EQ(detail::partition_of(std::string("anything"), 1), 0u);
+}
+
+// --- golden job outputs ------------------------------------------------------
+//
+// These bytes were captured from the engine *before* the shuffle rework
+// (per-pair redistribution + concat + stable_sort) at the same cluster
+// config and seed. The rearchitected shuffle must reproduce them exactly.
+
+struct WcMapper {
+  using OutKey = std::string;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view line,
+           MapContext<OutKey, OutValue>& ctx) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) ctx.emit(std::string(line.substr(i, j - i)), 1);
+      i = j;
+    }
+  }
+};
+
+struct WcReducer {
+  void reduce(const std::string& key, std::span<const std::int64_t> values,
+              ReduceContext& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(key + "\t" + std::to_string(sum));
+  }
+};
+
+struct WcCombiner {
+  void combine(const std::string& key, std::span<const std::int64_t> values,
+               MapContext<std::string, std::int64_t>& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.emit(key, sum);
+  }
+};
+
+/// Value-order sensitive reducer: concatenates the value sequence, so the
+/// output is a fingerprint of the exact merged order, not just group sums.
+struct SeqMapper {
+  using OutKey = std::int32_t;
+  using OutValue = std::int64_t;
+  void map(std::int64_t offset, std::string_view line,
+           MapContext<OutKey, OutValue>& ctx) {
+    ctx.emit(static_cast<std::int32_t>(line.size() % 3), offset);
+  }
+};
+
+struct SeqReducer {
+  void reduce(const std::int32_t& key, std::span<const std::int64_t> values,
+              ReduceContext& ctx) {
+    std::string out = std::to_string(key) + ":";
+    for (auto v : values) out += std::to_string(v) + ",";
+    ctx.write(out);
+  }
+};
+
+const char* kCorpus =
+    "the quick brown fox\n"
+    "jumps over the lazy dog\n"
+    "the dog barks\n"
+    "fox and dog\n";
+
+TEST(GoldenOutput, WordcountMatchesPreReworkBytes) {
+  Dfs dfs(test_cluster(16));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.name = "wc";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 3;
+  const JobResult r = run_mapreduce_job(
+      dfs, test_cluster(16), job, [] { return WcMapper{}; },
+      [] { return WcReducer{}; });
+  EXPECT_EQ(dfs.read("/out/part-r-00000"),
+            "and\t1\nbarks\t1\nbrown\t1\nlazy\t1\n");
+  EXPECT_EQ(dfs.read("/out/part-r-00001"), "dog\t3\nfox\t2\nthe\t3\n");
+  EXPECT_EQ(dfs.read("/out/part-r-00002"), "jumps\t1\nover\t1\nquick\t1\n");
+  // Each reducer merged one non-empty run per map task that had output
+  // for its partition; the total is bounded by maps x reducers.
+  EXPECT_GT(r.spill_runs, 0u);
+  EXPECT_LE(r.spill_runs, static_cast<std::uint64_t>(r.num_map_tasks) *
+                              static_cast<std::uint64_t>(r.num_reduce_tasks));
+  EXPECT_GE(r.sort_seconds, 0.0);
+  EXPECT_GE(r.merge_seconds, 0.0);
+}
+
+TEST(GoldenOutput, CombinerRunMatchesPreReworkBytes) {
+  Dfs dfs(test_cluster(8));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.name = "wc-comb";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  job.use_combiner = true;
+  run_mapreduce_job(dfs, test_cluster(8), job, [] { return WcMapper{}; },
+                    [] { return WcReducer{}; }, [] { return WcCombiner{}; });
+  EXPECT_EQ(dfs.read("/out/part-r-00000"),
+            "brown\t1\ndog\t3\nfox\t2\njumps\t1\nthe\t3\n");
+  EXPECT_EQ(dfs.read("/out/part-r-00001"),
+            "and\t1\nbarks\t1\nlazy\t1\nover\t1\nquick\t1\n");
+}
+
+TEST(GoldenOutput, ValueOrderMatchesPreReworkBytes) {
+  // SeqReducer's output encodes the exact value order inside each group —
+  // the strictest possible probe of the merge's stability rule.
+  Dfs dfs(test_cluster(8));
+  dfs.put("/in/corpus", kCorpus);
+  JobConfig job;
+  job.name = "seq";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  run_mapreduce_job(dfs, test_cluster(8), job, [] { return SeqMapper{}; },
+                    [] { return SeqReducer{}; });
+  EXPECT_EQ(dfs.read("/out/part-r-00000"), "1:0,44,\n");
+  EXPECT_EQ(dfs.read("/out/part-r-00001"), "2:20,58,\n");
+}
+
+// --- combiner equivalence through the zero-copy layout -----------------------
+
+std::map<std::string, std::int64_t> parse_wordcount(const Dfs& dfs,
+                                                    const std::string& dir) {
+  std::map<std::string, std::int64_t> counts;
+  for (const auto& part : dfs.list(dir + "/")) {
+    std::istringstream in{std::string(dfs.read(part))};
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto tab = line.find('\t');
+      counts[line.substr(0, tab)] += std::stoll(line.substr(tab + 1));
+    }
+  }
+  return counts;
+}
+
+TEST(CombinerEquivalence, OnAndOffProduceIdenticalPartFiles) {
+  // chunk=64 gives map tasks with repeated words, so the combiner really
+  // collapses pairs (at tiny chunks every task holds one line and it can't).
+  auto run_wc = [](bool combine) {
+    Dfs dfs(test_cluster(64));
+    dfs.put("/in/corpus", kCorpus);
+    JobConfig job;
+    job.name = "wc";
+    job.input = "/in";
+    job.output = "/out";
+    job.num_reducers = 2;
+    job.use_combiner = combine;
+    const JobResult r = run_mapreduce_job(
+        dfs, test_cluster(64), job, [] { return WcMapper{}; },
+        [] { return WcReducer{}; }, [] { return WcCombiner{}; });
+    std::vector<std::string> parts;
+    for (const auto& p : dfs.list("/out/"))
+      parts.emplace_back(dfs.read(p));
+    return std::make_tuple(parts, parse_wordcount(dfs, "/out"), r);
+  };
+  const auto [parts_off, counts_off, r_off] = run_wc(false);
+  const auto [parts_on, counts_on, r_on] = run_wc(true);
+  EXPECT_EQ(parts_on, parts_off);  // byte-identical through both layouts
+  EXPECT_EQ(counts_on, counts_off);
+  EXPECT_EQ(counts_on.at("dog"), 3);
+  // The combiner shrank the shuffle but merged the same partitions.
+  EXPECT_LT(r_on.shuffle_bytes, r_off.shuffle_bytes);
+  EXPECT_LT(r_on.combine_output_records, r_off.combine_output_records);
+}
+
+// --- retried reduce attempts re-iterate the same merged run ------------------
+
+TEST(ReduceRetry, CrashedAttemptReiteratesTheSameMergedRun) {
+  auto run_seq = [](FaultPlan plan) {
+    Dfs dfs(test_cluster(8));
+    dfs.put("/in/corpus", kCorpus);
+    JobConfig job;
+    job.name = "seq";
+    job.input = "/in";
+    job.output = "/out";
+    job.num_reducers = 2;
+    job.fault_plan = std::move(plan);
+    const JobResult r = run_mapreduce_job(
+        dfs, test_cluster(8), job, [] { return SeqMapper{}; },
+        [] { return SeqReducer{}; });
+    std::vector<std::string> parts;
+    for (const auto& p : dfs.list("/out/"))
+      parts.emplace_back(dfs.read(p));
+    return std::make_pair(parts, r);
+  };
+
+  const auto [clean_parts, clean_r] = run_seq({});
+  ASSERT_EQ(clean_r.failed_task_attempts, 0);
+
+  // Crash the first attempt of both reduce tasks mid-iteration: the retry
+  // must re-walk the *same* merged run (groups are non-consuming spans) and
+  // reproduce the exact same bytes.
+  FaultPlan plan;
+  plan.crashes.push_back({/*phase=*/2, /*task=*/0, /*attempt=*/0});
+  plan.crashes.push_back({/*phase=*/2, /*task=*/1, /*attempt=*/0});
+  const auto [chaos_parts, chaos_r] = run_seq(plan);
+  EXPECT_GE(chaos_r.failed_task_attempts, 2);
+  EXPECT_EQ(chaos_parts, clean_parts);
+  EXPECT_EQ(chaos_parts[0], "1:0,44,\n");
+  // Shuffle accounting is independent of reduce-side retries.
+  EXPECT_EQ(chaos_r.shuffle_bytes, clean_r.shuffle_bytes);
+  EXPECT_EQ(chaos_r.spill_runs, clean_r.spill_runs);
+}
+
+}  // namespace
+}  // namespace gepeto::mr
