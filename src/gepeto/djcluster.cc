@@ -443,13 +443,16 @@ void add_preprocess_nodes(flow::Flow& f, const std::string& input,
   const mr::FailurePolicy failures = config.failures;
 
   const double threshold = config.speed_threshold_ms;
+  const mr::FaultPlan fault_plan = config.fault_plan;
   f.add_map_only("dj-filter-moving",
-                 [input, filtered, failures, threshold](flow::FlowEngine& e) {
+                 [input, filtered, failures, fault_plan,
+                  threshold](flow::FlowEngine& e) {
                    mr::JobConfig job;
                    job.name = "dj-filter-moving";
                    job.input = input;
                    job.output = filtered;
                    job.failures = failures;
+                   job.fault_plan = fault_plan;
                    return mr::run_map_only_job(
                        e.dfs(), e.cluster(), job,
                        [threshold] { return FilterMovingMapper{threshold}; });

@@ -52,6 +52,11 @@ struct DjClusterConfig {
   /// Failure policy applied to all three MapReduce jobs of the pipeline
   /// (injected attempt failures, retries, skip mode — see mr::FailurePolicy).
   mr::FailurePolicy failures;
+  /// Deterministic chaos (see mr::FaultPlan) experienced by the *filter*
+  /// job only — the pipeline's widest job, and the only one whose input is
+  /// the raw dataset: poison records applied there drop the same logical
+  /// traces for every chunking, so downstream jobs see consistent data.
+  mr::FaultPlan fault_plan;
   /// Debugging: pin the flow's intermediate datasets (the filtered traces,
   /// the R-Tree entries cache) instead of garbage-collecting them once their
   /// consumers finished.

@@ -35,9 +35,19 @@ struct KMeansMapper {
   std::vector<Centroid> centroids;
 
   void setup(mr::TaskContext& ctx) {
-    centroids =
-        centroids_from_lines(ctx.cache_file(clusters_file));
-    GEPETO_CHECK(!centroids.empty());
+    // The cache file is external data (a checkpoint may have been written by
+    // a driver that crashed mid-write): a parse failure is a task failure,
+    // surfaced as JobError once attempts are exhausted — not a CHECK crash.
+    std::string err;
+    auto parsed =
+        try_centroids_from_lines(ctx.cache_file(clusters_file), &err);
+    if (!parsed)
+      throw mr::TaskError("bad centroids cache file '" + clusters_file +
+                          "': " + err);
+    if (parsed->empty())
+      throw mr::TaskError("empty centroids cache file '" + clusters_file +
+                          "'");
+    centroids = std::move(*parsed);
   }
 
   void map(std::int64_t, std::string_view line,
@@ -66,6 +76,26 @@ struct KMeansCombiner {
 };
 
 struct KMeansReducer {
+  std::string clusters_file;
+  std::int32_t k = 0;
+  std::vector<Centroid> previous;
+  std::vector<bool> seen;
+
+  void setup(mr::TaskContext& ctx) {
+    std::string err;
+    auto parsed =
+        try_centroids_from_lines(ctx.cache_file(clusters_file), &err);
+    if (!parsed)
+      throw mr::TaskError("bad centroids cache file '" + clusters_file +
+                          "': " + err);
+    if (static_cast<std::int32_t>(parsed->size()) != k)
+      throw mr::TaskError("centroids cache file '" + clusters_file +
+                          "' holds " + std::to_string(parsed->size()) +
+                          " centroids, expected " + std::to_string(k));
+    previous = std::move(*parsed);
+    seen.assign(static_cast<std::size_t>(k), false);
+  }
+
   void reduce(const std::int32_t& key, std::span<const PointSum> values,
               mr::ReduceContext& ctx) {
     PointSum total;
@@ -74,12 +104,44 @@ struct KMeansReducer {
       total.lon_sum += v.lon_sum;
       total.count += v.count;
     }
-    GEPETO_DCHECK(total.count > 0);
+    if (key >= 0 && key < k) seen[static_cast<std::size_t>(key)] = true;
+    if (total.count <= 0) {  // defensive: treat like an unseen cluster
+      carry_forward(key, ctx);
+      return;
+    }
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%d,%.10f,%.10f,%lld", key,
                   total.lat_sum / static_cast<double>(total.count),
                   total.lon_sum / static_cast<double>(total.count),
                   static_cast<long long>(total.count));
+    ctx.write(buf);
+  }
+
+  void cleanup(mr::ReduceContext& ctx) {
+    // A centroid that received no point this iteration has no reduce group
+    // at all; without this pass its line would vanish from the clusters
+    // file and the next iteration would silently run with k-1 centroids.
+    // Carry the previous centroid forward (count 0) for every unseen index
+    // this reduce partition owns — the same rule the sequential
+    // implementation applies to empty clusters.
+    const int num_reducers = ctx.job().num_reducers;
+    for (std::int32_t i = 0; i < k; ++i) {
+      if (seen[static_cast<std::size_t>(i)]) continue;
+      if (mr::detail::partition_of(i, num_reducers) !=
+          static_cast<std::uint64_t>(ctx.task_index()))
+        continue;
+      carry_forward(i, ctx);
+    }
+  }
+
+ private:
+  void carry_forward(std::int32_t idx, mr::ReduceContext& ctx) {
+    if (idx < 0 || idx >= static_cast<std::int32_t>(previous.size())) return;
+    ctx.increment("kmeans.empty_clusters");
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d,%.10f,%.10f,0", idx,
+                  previous[static_cast<std::size_t>(idx)].latitude,
+                  previous[static_cast<std::size_t>(idx)].longitude);
     ctx.write(buf);
   }
 };
@@ -201,33 +263,63 @@ std::string centroids_to_lines(const std::vector<Centroid>& centroids) {
   return out;
 }
 
-std::vector<Centroid> centroids_from_lines(std::string_view lines) {
+std::optional<std::vector<Centroid>> try_centroids_from_lines(
+    std::string_view lines, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
   std::vector<Centroid> out;
+  std::vector<bool> filled;
   std::size_t start = 0;
+  std::size_t line_no = 0;
   while (start < lines.size()) {
     std::size_t end = lines.find('\n', start);
-    if (end == std::string_view::npos) end = lines.size();
+    // Our writer terminates every line: a missing final newline means the
+    // write was cut short, possibly mid-number — where the digits that made
+    // it out would still parse, to a wrong value.
+    if (end == std::string_view::npos)
+      return fail("truncated centroids file (no trailing newline)");
     const std::string_view line = lines.substr(start, end - start);
+    ++line_no;
     if (!line.empty()) {
       std::size_t idx = 0;
       Centroid c;
       const char* p = line.data();
       const char* e = line.data() + line.size();
       auto r1 = std::from_chars(p, e, idx);
-      GEPETO_CHECK_MSG(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',',
-                       "bad centroid line: " << line);
+      if (r1.ec != std::errc() || r1.ptr == e || *r1.ptr != ',')
+        return fail("bad centroid line " + std::to_string(line_no) + ": '" +
+                    std::string(line) + "'");
       auto r2 = std::from_chars(r1.ptr + 1, e, c.latitude);
-      GEPETO_CHECK_MSG(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',',
-                       "bad centroid line: " << line);
+      if (r2.ec != std::errc() || r2.ptr == e || *r2.ptr != ',')
+        return fail("bad centroid line " + std::to_string(line_no) + ": '" +
+                    std::string(line) + "'");
       auto r3 = std::from_chars(r2.ptr + 1, e, c.longitude);
-      GEPETO_CHECK_MSG(r3.ec == std::errc() && r3.ptr == e,
-                       "bad centroid line: " << line);
-      if (out.size() <= idx) out.resize(idx + 1);
+      if (r3.ec != std::errc() || r3.ptr != e)
+        return fail("bad centroid line " + std::to_string(line_no) + ": '" +
+                    std::string(line) + "'");
+      if (out.size() <= idx) {
+        out.resize(idx + 1);
+        filled.resize(idx + 1, false);
+      }
+      if (filled[idx])
+        return fail("duplicate centroid index " + std::to_string(idx));
       out[idx] = c;
+      filled[idx] = true;
     }
     start = end + 1;
   }
+  for (std::size_t i = 0; i < filled.size(); ++i)
+    if (!filled[i]) return fail("missing centroid index " + std::to_string(i));
   return out;
+}
+
+std::vector<Centroid> centroids_from_lines(std::string_view lines) {
+  std::string err;
+  auto parsed = try_centroids_from_lines(lines, &err);
+  GEPETO_CHECK_MSG(parsed.has_value(), "bad centroids file: " << err);
+  return std::move(*parsed);
 }
 
 KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
@@ -321,27 +413,46 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
                                clusters_path](flow::FlowEngine& e) {
         mr::Dfs& dfs = e.dfs();
         if (config.resume) {
-          // Resume from the latest persisted centroid checkpoint: iter-NNN
-          // holds the centroids entering iteration NNN, so a job that died
-          // during iteration NNN re-runs exactly that iteration.
+          // Resume from the latest *valid* persisted centroid checkpoint:
+          // iter-NNN holds the centroids entering iteration NNN, so a job
+          // that died during iteration NNN re-runs exactly that iteration.
+          // A driver that crashed mid-write leaves its newest checkpoint
+          // truncated — fall back to the previous one (re-running an extra
+          // iteration is correct, just slower). Only when *no* checkpoint
+          // parses is the resume unrecoverable: surface that as a JobError
+          // rather than silently re-initializing and discarding the run.
           const auto checkpoints = dfs.list(clusters_path + "/iter-");
-          if (!checkpoints.empty()) {
-            const std::string& last = checkpoints.back();  // zero-padded
-            const std::size_t dash = last.rfind('-');
+          std::string corrupt_detail;
+          for (auto it = checkpoints.rbegin(); it != checkpoints.rend();
+               ++it) {  // zero-padded names: reverse-lexicographic = newest
+            const std::string& path = *it;
+            const std::size_t dash = path.rfind('-');
             GEPETO_CHECK(dash != std::string::npos);
             int n = -1;
-            const auto r = std::from_chars(last.data() + dash + 1,
-                                           last.data() + last.size(), n);
+            const auto r = std::from_chars(path.data() + dash + 1,
+                                           path.data() + path.size(), n);
             GEPETO_CHECK_MSG(r.ec == std::errc() && n >= 0,
-                             "unparsable checkpoint name: " << last);
+                             "unparsable checkpoint name: " << path);
+            std::string err;
+            auto parsed = try_centroids_from_lines(dfs.read(path), &err);
+            if (parsed &&
+                static_cast<int>(parsed->size()) != config.k)
+              err = "holds " + std::to_string(parsed->size()) +
+                    " centroids, config.k = " + std::to_string(config.k);
+            if (!parsed ||
+                static_cast<int>(parsed->size()) != config.k) {
+              if (!corrupt_detail.empty()) corrupt_detail += "; ";
+              corrupt_detail += path + ": " + err;
+              continue;
+            }
             st->next_iter = n;
-            st->result.centroids = centroids_from_lines(dfs.read(last));
-            GEPETO_CHECK_MSG(
-                static_cast<int>(st->result.centroids.size()) == config.k,
-                "checkpoint " << last << " holds "
-                              << st->result.centroids.size()
-                              << " centroids, config.k = " << config.k);
+            st->result.centroids = std::move(*parsed);
+            break;
           }
+          if (st->result.centroids.empty() && !corrupt_detail.empty())
+            throw mr::JobError(mr::JobError::Kind::kCorruptCheckpoint,
+                               "kmeans", /*phase=*/0, /*task_index=*/-1,
+                               /*attempts=*/0, corrupt_detail);
         }
         if (st->result.centroids.empty()) {
           // Initialization phase: "randomly picks k mobility traces as
@@ -387,12 +498,16 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
            job.fault_plan = config.fault_plan;
 
          const geo::DistanceKind kind = config.distance;
+         const std::int32_t k = config.k;
          const auto jr = mr::run_mapreduce_job(
              dfs, e.cluster(), job,
              [clusters_file, kind] {
                return KMeansMapper{clusters_file, kind, {}};
              },
-             [] { return KMeansReducer{}; }, [] { return KMeansCombiner{}; });
+             [clusters_file, k] {
+               return KMeansReducer{clusters_file, k, {}, {}};
+             },
+             [] { return KMeansCombiner{}; });
 
          // Collect the new centroids from the reducer output.
          std::vector<Centroid> next = st->result.centroids;

@@ -14,7 +14,9 @@
 // distanceMeasure, convergencedelta, maxIter.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "geo/distance.h"
@@ -117,5 +119,14 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
 /// Serialize / parse a centroids file ("index,lat,lon" per line).
 std::string centroids_to_lines(const std::vector<Centroid>& centroids);
 std::vector<Centroid> centroids_from_lines(std::string_view lines);
+
+/// Non-throwing variant for inputs that may be corrupt (a checkpoint written
+/// by a driver that crashed mid-write, a damaged cache file): returns
+/// std::nullopt on malformed, truncated (no trailing newline) or incomplete
+/// (missing index) input and describes the defect in `*error`.
+/// `centroids_from_lines` wraps this and CHECK-fails, for callers whose
+/// input is an invariant rather than external data.
+std::optional<std::vector<Centroid>> try_centroids_from_lines(
+    std::string_view lines, std::string* error = nullptr);
 
 }  // namespace gepeto::core

@@ -207,14 +207,18 @@ std::shared_ptr<RTreeFlowState> add_rtree_nodes(flow::Flow& f,
     const int samples = config.samples_per_chunk;
     const std::uint64_t seed = config.seed;
     const int partitions = config.num_partitions;
+    const mr::FailurePolicy failures = config.failures;
+    const mr::FaultPlan fault_plan = config.fault_plan;
     f.add_mapreduce("rtree-phase1-sample",
-                    [st, input, points, samples, seed,
-                     partitions](flow::FlowEngine& e) {
+                    [st, input, points, samples, seed, partitions, failures,
+                     fault_plan](flow::FlowEngine& e) {
                       mr::JobConfig p1;
                       p1.name = "rtree-phase1-sample";
                       p1.input = input;
                       p1.output = points;
                       p1.num_reducers = 1;
+                      p1.failures = failures;
+                      p1.fault_plan = fault_plan;
                       const index::ScalarMapper curve = *st->curve;
                       return mr::run_mapreduce_job(
                           e.dfs(), e.cluster(), p1,
@@ -259,15 +263,19 @@ std::shared_ptr<RTreeFlowState> add_rtree_nodes(flow::Flow& f,
   {
     const int partitions = config.num_partitions;
     const int max_entries = config.rtree_max_entries;
+    const mr::FailurePolicy failures = config.failures;
+    const mr::FaultPlan fault_plan = config.fault_plan;
     f.add_mapreduce("rtree-phase2-build",
                     [st, input, boundaries_file, small_trees, partitions,
-                     max_entries](flow::FlowEngine& e) {
+                     max_entries, failures, fault_plan](flow::FlowEngine& e) {
                       mr::JobConfig p2;
                       p2.name = "rtree-phase2-build";
                       p2.input = input;
                       p2.output = small_trees;
                       p2.num_reducers = partitions;
                       p2.cache_files = {boundaries_file};
+                      p2.failures = failures;
+                      p2.fault_plan = fault_plan;
                       const index::ScalarMapper curve = *st->curve;
                       return mr::run_mapreduce_job(
                           e.dfs(), e.cluster(), p2,

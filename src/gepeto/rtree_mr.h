@@ -39,6 +39,12 @@ struct RTreeMrConfig {
   int samples_per_chunk = 256; ///< phase-1 per-mapper sample size
   int rtree_max_entries = 16;
   std::uint64_t seed = 42;
+  /// Failure policy for the two MapReduce phases (retries, skip mode).
+  mr::FailurePolicy failures;
+  /// Deterministic chaos (see mr::FaultPlan) applied to both MapReduce
+  /// phases. Both read the same input lines, so content-addressed poison
+  /// records drop the same traces from the sample and the build.
+  mr::FaultPlan fault_plan;
   /// Debugging: pin the flow's intermediate datasets (partition points,
   /// boundaries cache, serialized small trees) instead of garbage-collecting
   /// them once consumed.

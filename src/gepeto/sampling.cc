@@ -68,6 +68,19 @@ struct SamplingMapper {
   SamplingConfig config;
   WindowFolder folder{config};
 
+  /// Group-aware split protocol (mr::detail::GroupAwareMapper): consecutive
+  /// lines of one (user, window) group must be seen by a single map task,
+  /// or a group straddling a chunk boundary would emit one representative
+  /// per chunk. Malformed lines never extend a group.
+  bool same_group(std::string_view prev, std::string_view line) const {
+    geo::MobilityTrace a, b;
+    if (!geo::parse_dataset_line(prev, a)) return false;
+    if (!geo::parse_dataset_line(line, b)) return false;
+    return a.user_id == b.user_id &&
+           window_of(a.timestamp, config.window_s) ==
+               window_of(b.timestamp, config.window_s);
+  }
+
   void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
     geo::MobilityTrace t;
     if (!geo::parse_dataset_line(line, t)) {
@@ -236,13 +249,17 @@ mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
                                      const std::string& input,
                                      const std::string& output,
                                      const SamplingConfig& config,
-                                     int num_reducers) {
+                                     int num_reducers,
+                                     const mr::FailurePolicy& failures,
+                                     const mr::FaultPlan& fault_plan) {
   GEPETO_CHECK(config.window_s > 0);
   mr::JobConfig job;
   job.name = "sampling-exact";
   job.input = input;
   job.output = output;
   job.num_reducers = num_reducers;
+  job.failures = failures;
+  job.fault_plan = fault_plan;
   return mr::run_mapreduce_job(
       dfs, cluster, job, [config] { return ExactSamplingMapper{config}; },
       [config] { return ExactSamplingReducer{config}; });

@@ -12,14 +12,18 @@
 //
 // Two MapReduce realizations are provided:
 //   * run_sampling_job — map-only, exactly the paper's design ("consisting
-//     only of map phases. The reduce phase is not necessary"). Like the
-//     paper's version, a window whose traces straddle a chunk boundary is
-//     represented once per chunk (the mapper cannot see across its split);
-//     with GeoLife-density data this affects a negligible fraction of
-//     windows (bounded by #chunks per file).
-//   * run_sampling_job_exact — map + reduce variant (key = user/window) that
-//     is exact; used to quantify the boundary effect and as a correctness
-//     oracle.
+//     only of map phases. The reduce phase is not necessary"). The mapper
+//     implements the engine's group-aware split protocol
+//     (mr::detail::GroupAwareMapper): a (user, window) group straddling a
+//     chunk boundary is owned by the split holding its first trace, which
+//     reads past its split end to finish the group — so the output matches
+//     the sequential implementation exactly for any chunk size. Groups never
+//     straddle *files* (dataset_to_dfs splits at user boundaries); the
+//     binary-input variant keeps the paper's once-per-chunk approximation
+//     (SequenceFile records carry no lookback).
+//   * run_sampling_job_exact — map + reduce variant (key = user/window),
+//     exact by construction; used as an independent realization in the
+//     differential tests and when inputs are not (user, time)-sorted.
 #pragma once
 
 #include <string>
@@ -77,6 +81,8 @@ mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
                                      const std::string& input,
                                      const std::string& output,
                                      const SamplingConfig& config,
-                                     int num_reducers = 4);
+                                     int num_reducers = 4,
+                                     const mr::FailurePolicy& failures = {},
+                                     const mr::FaultPlan& fault_plan = {});
 
 }  // namespace gepeto::core

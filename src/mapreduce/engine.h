@@ -51,6 +51,7 @@
 #pragma once
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -296,6 +297,23 @@ struct TextRecords {
   std::string_view value() const { return reader.value(); }
   std::uint64_t overread_bytes() const { return reader.overread_bytes(); }
 };
+
+/// A map-only text mapper may declare that consecutive input lines form
+/// logical groups that must not be cut by input-split boundaries, by
+/// providing
+///   bool same_group(std::string_view prev_line, std::string_view line) const;
+/// returning true when `line` continues the group `prev_line` belongs to.
+/// The engine then assigns every maximal run of consecutive same-group lines
+/// to the split that owns the run's *first* line: that task keeps reading
+/// past its split end until the chain breaks, and later splits skip their
+/// leading records while the chain from the preceding line still holds —
+/// the same ownership rule Hadoop's LineRecordReader applies to partial
+/// lines, lifted one level up to line groups.
+template <typename Mapper>
+concept GroupAwareMapper =
+    requires(const Mapper& m, std::string_view a, std::string_view b) {
+      { m.same_group(a, b) } -> std::convertible_to<bool>;
+    };
 
 struct BinaryRecords {
   SeqFileReader reader;
@@ -683,6 +701,10 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
         [&, t](const std::vector<std::int64_t>& skip, bool inject) {
           CpuStopwatch cpu;
           auto mapper = make_mapper();
+          using Mapper = std::decay_t<decltype(mapper)>;
+          constexpr bool kGroupAware =
+              std::is_same_v<Records, detail::TextRecords> &&
+              detail::GroupAwareMapper<Mapper>;
           MapOnlyContext ctx(dfs, job, static_cast<int>(t));
           try {
             detail::maybe_setup(mapper, ctx);
@@ -690,13 +712,18 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
             throw detail::AttemptFailure{-1, e.what()};
           }
           const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
-          Records reader(dfs.read(splits[t].path), ci.offset, ci.size);
+          const std::string_view file = dfs.read(splits[t].path);
+          Records reader(file, ci.offset, ci.size);
           std::uint64_t records = 0;
-          while (reader.next()) {
-            const std::int64_t key = reader.key();
-            if (detail::in_skip_set(skip, key)) continue;
+          std::uint64_t ext_bytes = 0;
+          // One record through skip mode, the fault plan's poison set, and
+          // the mapper.
+          auto feed = [&](std::int64_t key, std::string_view value) {
+            if (detail::in_skip_set(skip, key)) return;
+            if (job.fault_plan.poisons_record(value))
+              throw detail::AttemptFailure{key, "fault-plan poison record"};
             try {
-              mapper.map(key, reader.value(), ctx);
+              mapper.map(key, value, ctx);
             } catch (const TaskError& e) {
               throw detail::AttemptFailure{key, e.what()};
             }
@@ -706,6 +733,48 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
             // attributed to the record (a machine crash, not a bad record).
             if (inject)
               throw detail::AttemptFailure{-1, "injected attempt crash"};
+          };
+          if constexpr (kGroupAware) {
+            // Group-aware split protocol (see GroupAwareMapper): a maximal
+            // run of consecutive same-group lines belongs to the split that
+            // owns its first line.
+            std::string_view chain_prev;
+            bool skipping_lead = false;
+            const std::uint64_t first = reader.reader.next_record_offset();
+            if (ci.offset > 0 && first > 0 && first < file.size()) {
+              chain_prev = line_ending_before(file, first);
+              skipping_lead = true;
+            }
+            bool owned_any = false;
+            while (reader.next()) {
+              const std::string_view value = reader.value();
+              if (skipping_lead) {
+                if (mapper.same_group(chain_prev, value)) {
+                  chain_prev = value;
+                  continue;  // owned by the split that started the group
+                }
+                skipping_lead = false;
+              }
+              chain_prev = value;
+              owned_any = true;
+              feed(reader.key(), value);
+            }
+            // Finish the group our last record opened, reading past the
+            // split end (possibly across several chunks) until it breaks.
+            if (owned_any) {
+              const std::uint64_t pos = reader.reader.next_record_offset();
+              if (pos < file.size()) {
+                LineRecordReader ext(file, pos, file.size() - pos);
+                while (ext.next()) {
+                  if (!mapper.same_group(chain_prev, ext.value())) break;
+                  chain_prev = ext.value();
+                  ext_bytes += ext.value().size() + 1;
+                  feed(ext.key(), ext.value());
+                }
+              }
+            }
+          } else {
+            while (reader.next()) feed(reader.key(), reader.value());
           }
           if (inject)  // empty / fully-skipped split: crash anyway
             throw detail::AttemptFailure{-1, "injected attempt crash"};
@@ -718,7 +787,7 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
           out.output = std::move(ctx.output());
           out.records = ctx.records();
           out.input_records = records;
-          out.input_bytes = ci.size + reader.overread_bytes();
+          out.input_bytes = ci.size + reader.overread_bytes() + ext_bytes;
           out.cpu_seconds =
               config.modeled_seconds_per_record > 0.0
                   ? static_cast<double>(records) *
@@ -870,6 +939,8 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
           while (reader.next()) {
             const std::int64_t key = reader.key();
             if (detail::in_skip_set(skip, key)) continue;
+            if (job.fault_plan.poisons_record(reader.value()))
+              throw detail::AttemptFailure{key, "fault-plan poison record"};
             try {
               mapper.map(key, reader.value(), ctx);
             } catch (const TaskError& e) {

@@ -14,6 +14,7 @@ const char* kind_name(JobError::Kind kind) {
     case JobError::Kind::kSkipBudgetExhausted: return "skip budget exhausted";
     case JobError::Kind::kDataLoss: return "data loss";
     case JobError::Kind::kTooManyFailedTasks: return "too many failed tasks";
+    case JobError::Kind::kCorruptCheckpoint: return "corrupt checkpoint";
   }
   return "unknown";
 }
@@ -64,6 +65,18 @@ bool FaultPlan::crashes_attempt(int phase, int task, int attempt) const {
     return rng.chance(attempt_crash_prob);
   }
   return false;
+}
+
+bool FaultPlan::poisons_record(std::string_view record) const {
+  if (poison_modulus == 0) return false;
+  // FNV-1a over the record bytes, perturbed by the plan seed. Hashing content
+  // (not task coordinates) keeps the poison set invariant under re-chunking.
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : record) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h % poison_modulus == 0;
 }
 
 void JobResult::absorb(const JobResult& next) {

@@ -7,6 +7,7 @@
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -37,6 +38,7 @@ class JobError : public std::runtime_error {
     kSkipBudgetExhausted,  ///< skip mode ran out of max_skipped_records
     kDataLoss,             ///< an input split lost every DFS replica
     kTooManyFailedTasks,   ///< failed tasks exceed max_failed_task_fraction
+    kCorruptCheckpoint,    ///< a resume checkpoint failed to parse
   };
 
   JobError(Kind kind, std::string job_name, int phase, int task_index,
@@ -94,10 +96,23 @@ struct FaultPlan {
   };
   std::vector<NodeKill> node_kills;
 
+  /// Content-addressed poison records: when > 0, a map input record whose
+  /// content hash is ≡ 0 (mod poison_modulus) throws TaskError from inside
+  /// the map call. Because the decision hashes the record *bytes* (not the
+  /// task/offset coordinates), the same logical records are poisoned no
+  /// matter how the input is chunked or which node runs the task — exactly
+  /// what an oracle needs to predict which records Hadoop skip mode drops.
+  std::uint64_t poison_modulus = 0;
+
   bool crashes_attempt(int phase, int task, int attempt) const;
 
+  /// True iff `record` is a poison record under `poison_modulus` (and the
+  /// plan's seed). Deterministic pure function of the record bytes.
+  bool poisons_record(std::string_view record) const;
+
   bool empty() const {
-    return crashes.empty() && attempt_crash_prob <= 0.0 && node_kills.empty();
+    return crashes.empty() && attempt_crash_prob <= 0.0 &&
+           node_kills.empty() && poison_modulus == 0;
   }
 };
 

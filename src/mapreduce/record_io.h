@@ -37,6 +37,12 @@ class LineRecordReader {
   /// the last record) — charged to the task's I/O accounting.
   std::uint64_t overread_bytes() const;
 
+  /// File offset of the next record this reader would look at: after
+  /// construction, the start of the split's first record (past any discarded
+  /// partial line); after next() returns false, the start of the first
+  /// record owned by the following split. Always a line start (or EOF).
+  std::uint64_t next_record_offset() const { return pos_; }
+
  private:
   std::string_view file_;
   std::uint64_t pos_ = 0;         ///< next byte to examine
@@ -46,5 +52,16 @@ class LineRecordReader {
   std::uint64_t nominal_end_ = 0;
   bool done_ = false;
 };
+
+/// The complete line that ends with the '\n' at `record_start - 1`, without
+/// the '\n'. `record_start` must be the file offset of a record (a line
+/// start) with `record_start > 0` — i.e. there *is* a previous line.
+inline std::string_view line_ending_before(std::string_view file,
+                                           std::uint64_t record_start) {
+  std::uint64_t end = record_start - 1;  // the terminating '\n'
+  std::uint64_t begin = end;
+  while (begin > 0 && file[begin - 1] != '\n') --begin;
+  return file.substr(begin, end - begin);
+}
 
 }  // namespace gepeto::mr

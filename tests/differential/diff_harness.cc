@@ -1,0 +1,391 @@
+#include "diff_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "geo/geolife.h"
+#include "telemetry/bench_report.h"
+
+namespace gepeto::difftest {
+
+const char* chaos_name(Chaos c) {
+  switch (c) {
+    case Chaos::kNone: return "none";
+    case Chaos::kRetries: return "retries";
+    case Chaos::kNodeDeath: return "nodedeath";
+    case Chaos::kSkip: return "skip";
+  }
+  return "?";
+}
+
+mr::ClusterConfig SweepConfig::cluster() const {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk_size;
+  c.execution_threads = 2;
+  return c;
+}
+
+mr::FailurePolicy SweepConfig::failures() const {
+  mr::FailurePolicy f;
+  if (chaos == Chaos::kSkip) f.max_skipped_records = 64;
+  return f;
+}
+
+mr::FaultPlan SweepConfig::fault_plan() const {
+  mr::FaultPlan plan;
+  plan.seed = chaos_seed;
+  switch (chaos) {
+    case Chaos::kNone:
+      break;
+    case Chaos::kRetries:
+      // One guaranteed crash of map task 0's first attempt plus a sprinkle
+      // of seeded random attempt crashes; retries must hide all of it.
+      plan.crashes.push_back({/*phase=*/1, /*task=*/0, /*attempt=*/0});
+      plan.attempt_crash_prob = 0.1;
+      break;
+    case Chaos::kNodeDeath:
+      // Kill a datanode after the first map wave started; replication 3
+      // keeps every chunk readable, so the output must be unchanged.
+      plan.node_kills.push_back({/*node=*/1, /*after_map_tasks=*/1});
+      break;
+    case Chaos::kSkip:
+      plan.poison_modulus = kPoisonModulus;
+      break;
+  }
+  return plan;
+}
+
+std::string SweepConfig::label() const {
+  std::ostringstream os;
+  os << "chunk=" << chunk_size << " files=" << num_files
+     << " reducers=" << num_reducers << " combiner=" << (use_combiner ? 1 : 0)
+     << " chaos=" << chaos_name(chaos) << " flow=" << (via_flow ? 1 : 0);
+  return os.str();
+}
+
+int SweepConfig::complexity() const {
+  const SweepConfig base;
+  int score = 0;
+  if (chunk_size != base.chunk_size) ++score;
+  if (num_files != base.num_files) ++score;
+  if (num_reducers != base.num_reducers) ++score;
+  if (use_combiner) ++score;
+  if (chaos != Chaos::kNone) ++score;
+  if (via_flow) ++score;
+  return score;
+}
+
+// --- adversarial datasets ----------------------------------------------------
+
+namespace {
+
+// Tiny deterministic generator (splitmix64) — independent of the engine's
+// RNG so harness datasets can't drift when the engine seeds change.
+std::uint64_t mix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double uniform(std::uint64_t& state, double lo, double hi) {
+  return lo + (hi - lo) * (static_cast<double>(mix64(state) >> 11) /
+                           9007199254740992.0);
+}
+
+}  // namespace
+
+geo::GeolocatedDataset adversarial_dataset(const AdversarialOptions& options) {
+  geo::GeolocatedDataset dataset;
+  std::uint64_t state = options.seed * 0x9E3779B97F4A7C15ULL + 1;
+  const std::int64_t t0 = 1222819200;  // generator epoch
+  for (int u = 0; u < options.num_users; ++u) {
+    const std::int32_t uid = 1 + u;
+    // Per-user home area: mostly Beijing-like; with extreme_coords, user 1
+    // lives at the antimeridian and user 2 near the north pole.
+    double base_lat = 39.9 + 0.02 * u;
+    double base_lon = 116.4 + 0.02 * u;
+    if (options.extreme_coords && u % 3 == 1) {
+      base_lat = 12.0;
+      base_lon = 179.9995;  // straddles the ±180 seam under noise
+    } else if (options.extreme_coords && u % 3 == 2) {
+      base_lat = 89.9;  // near-polar: longitude degenerates
+      base_lon = 45.0;
+    }
+    geo::Trail trail;
+    std::int64_t t = t0 + u * 13;
+    for (int w = 0; w < options.num_windows; ++w) {
+      // Dense same-window runs: every trace of this window shares
+      // (user, window), so the group straddles chunks when chunks are small.
+      const std::int64_t window_start =
+          (t / options.window_s) * options.window_s;
+      for (int i = 0; i < options.traces_per_window; ++i) {
+        geo::MobilityTrace trace;
+        trace.user_id = uid;
+        trace.timestamp = t;
+        if (options.duplicate_points && i % 2 == 0) {
+          trace.latitude = base_lat;  // byte-identical coordinate runs
+          trace.longitude = base_lon;
+        } else {
+          trace.latitude = base_lat + uniform(state, -0.005, 0.005);
+          double lon = base_lon + uniform(state, -0.005, 0.005);
+          if (lon >= 180.0) lon -= 360.0;  // wrap across the antimeridian
+          trace.longitude = lon;
+        }
+        trace.altitude_ft = 160.0;
+        trail.push_back(trace);
+        t += 1 + static_cast<std::int64_t>(mix64(state) %
+                                           static_cast<std::uint64_t>(
+                                               std::max(1, options.window_s /
+                                                               (options
+                                                                    .traces_per_window +
+                                                                1))));
+        if (t >= window_start + options.window_s &&
+            i + 1 < options.traces_per_window) {
+          t = window_start + options.window_s - 1;  // stay inside the window
+        }
+      }
+      // Jump to the next window (sometimes skipping one: empty windows).
+      t = (t / options.window_s + 1 + static_cast<std::int64_t>(mix64(state) % 2)) *
+          options.window_s;
+    }
+    dataset.add_trail(uid, std::move(trail));
+  }
+  return dataset;
+}
+
+geo::GeolocatedDataset drop_poisoned(const geo::GeolocatedDataset& dataset,
+                                     const mr::FaultPlan& plan) {
+  geo::GeolocatedDataset out;
+  for (const auto& [uid, trail] : dataset) {
+    geo::Trail kept;
+    for (const auto& trace : trail)
+      if (!plan.poisons_record(geo::dataset_line(trace))) kept.push_back(trace);
+    if (!kept.empty()) out.add_trail(uid, std::move(kept));
+  }
+  return out;
+}
+
+std::uint64_t count_poisoned(const geo::GeolocatedDataset& dataset,
+                             const mr::FaultPlan& plan) {
+  std::uint64_t n = 0;
+  for (const auto& [uid, trail] : dataset)
+    for (const auto& trace : trail)
+      if (plan.poisons_record(geo::dataset_line(trace))) ++n;
+  return n;
+}
+
+// --- canonical forms ---------------------------------------------------------
+
+std::vector<std::string> canonical_lines(const mr::Dfs& dfs,
+                                         const std::string& prefix) {
+  std::vector<std::string> lines;
+  for (const auto& path : dfs.list(prefix)) {
+    const std::string_view data = dfs.read(path);
+    std::size_t start = 0;
+    while (start < data.size()) {
+      std::size_t end = data.find('\n', start);
+      if (end == std::string_view::npos) end = data.size();
+      if (end > start) lines.emplace_back(data.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+std::vector<std::string> canonical_lines(
+    const geo::GeolocatedDataset& dataset) {
+  std::vector<std::string> lines;
+  lines.reserve(dataset.num_traces());
+  for (const auto& [uid, trail] : dataset)
+    for (const auto& trace : trail) lines.push_back(geo::dataset_line(trace));
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+// --- divergence recording ----------------------------------------------------
+
+namespace {
+
+struct Entry {
+  std::string algorithm;
+  SweepConfig config;
+  bool pass = false;
+  std::string detail;
+};
+
+class Recorder {
+ public:
+  static Recorder& instance() {
+    static Recorder* r = new Recorder;
+    return *r;
+  }
+
+  void record(const std::string& algorithm, const SweepConfig& config,
+              bool pass, const std::string& detail) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back({algorithm, config, pass, detail});
+  }
+
+  void write_reports() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.empty()) return;
+    write_bench();
+    write_divergence();
+  }
+
+ private:
+  void write_bench() {
+    telemetry::BenchReporter report("differential",
+                                    std::to_string(entries_.size()) +
+                                        "-comparisons");
+    std::map<std::string, std::pair<std::int64_t, std::int64_t>> tally;
+    std::map<std::string, std::map<std::string, std::int64_t>> chaos_tally;
+    for (const auto& e : entries_) {
+      auto& [passes, failures] = tally[e.algorithm];
+      (e.pass ? passes : failures)++;
+      chaos_tally[e.algorithm][chaos_name(e.config.chaos)]++;
+    }
+    for (const auto& [algorithm, counts] : tally) {
+      auto& row = report.add_row(algorithm);
+      row.add_counter("configs", counts.first + counts.second);
+      row.add_counter("passes", counts.first);
+      row.add_counter("failures", counts.second);
+      for (const auto& [chaos, n] : chaos_tally[algorithm])
+        row.add_counter("chaos." + chaos, n);
+    }
+    report.write();
+  }
+
+  void write_divergence() {
+    std::vector<const Entry*> failures;
+    for (const auto& e : entries_)
+      if (!e.pass) failures.push_back(&e);
+    if (failures.empty()) return;
+    // The minimal failing configuration: fewest knobs away from the default
+    // config, ties broken by the sweep order. This is the repro to chase.
+    std::stable_sort(failures.begin(), failures.end(),
+                     [](const Entry* a, const Entry* b) {
+                       return a->config.complexity() < b->config.complexity();
+                     });
+    std::string dir;
+    if (const char* env = std::getenv("GEPETO_BENCH_DIR")) dir = env;
+    const std::string path =
+        (dir.empty() ? std::string() : dir + "/") + "DIVERGENCE_differential.txt";
+    std::ofstream out(path);
+    if (!out) return;
+    out << failures.size() << " of " << entries_.size()
+        << " differential comparisons diverged.\n\n";
+    out << "Minimal failing config (fewest knobs from default):\n"
+        << "  algorithm: " << failures.front()->algorithm << "\n"
+        << "  config:    " << failures.front()->config.label() << "\n"
+        << "  detail:    " << failures.front()->detail << "\n\n";
+    out << "All failures, minimal first:\n";
+    for (const Entry* e : failures)
+      out << "  [" << e->algorithm << "] " << e->config.label() << " — "
+          << e->detail << "\n";
+  }
+
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+class DiffEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override { Recorder::instance().write_reports(); }
+};
+
+const auto* const g_diff_environment =
+    ::testing::AddGlobalTestEnvironment(new DiffEnvironment);
+
+}  // namespace
+
+void record_result(const std::string& algorithm, const SweepConfig& config,
+                   bool pass, const std::string& detail) {
+  Recorder::instance().record(algorithm, config, pass, detail);
+}
+
+::testing::AssertionResult expect_same_lines(
+    const std::string& algorithm, const SweepConfig& config,
+    const std::vector<std::string>& oracle,
+    const std::vector<std::string>& job) {
+  std::string detail;
+  if (oracle.size() != job.size()) {
+    std::ostringstream os;
+    os << "line counts differ: oracle=" << oracle.size()
+       << " job=" << job.size();
+    detail = os.str();
+  } else {
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      if (oracle[i] != job[i]) {
+        std::ostringstream os;
+        os << "first divergence at canonical line " << i << ": oracle=\""
+           << oracle[i] << "\" job=\"" << job[i] << "\"";
+        detail = os.str();
+        break;
+      }
+    }
+  }
+  const bool pass = detail.empty();
+  record_result(algorithm, config, pass, pass ? "ok" : detail);
+  if (pass) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "[" << algorithm << "] " << config.label() << ": " << detail;
+}
+
+::testing::AssertionResult expect_near_sequence(
+    const std::string& algorithm, const SweepConfig& config,
+    const std::string& what, const std::vector<double>& oracle,
+    const std::vector<double>& job, double abs_tolerance) {
+  std::string detail;
+  if (oracle.size() != job.size()) {
+    std::ostringstream os;
+    os << what << " lengths differ: oracle=" << oracle.size()
+       << " job=" << job.size();
+    detail = os.str();
+  } else {
+    double worst = 0.0;
+    std::size_t worst_i = 0;
+    for (std::size_t i = 0; i < oracle.size(); ++i) {
+      const double d = std::fabs(oracle[i] - job[i]);
+      if (d > worst) {
+        worst = d;
+        worst_i = i;
+      }
+    }
+    if (worst > abs_tolerance) {
+      std::ostringstream os;
+      os << what << "[" << worst_i << "] deviates by " << worst
+         << " (tolerance " << abs_tolerance << "): oracle=" << oracle[worst_i]
+         << " job=" << job[worst_i];
+      detail = os.str();
+    }
+  }
+  const bool pass = detail.empty();
+  record_result(algorithm, config, pass, pass ? "ok" : detail);
+  if (pass) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "[" << algorithm << "] " << config.label() << ": " << detail;
+}
+
+::testing::AssertionResult expect_condition(const std::string& algorithm,
+                                            const SweepConfig& config,
+                                            bool pass,
+                                            const std::string& detail) {
+  record_result(algorithm, config, pass, pass ? "ok" : detail);
+  if (pass) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "[" << algorithm << "] " << config.label() << ": " << detail;
+}
+
+}  // namespace gepeto::difftest

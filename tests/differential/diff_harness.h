@@ -1,0 +1,164 @@
+// Differential correctness harness: every paper algorithm is run through a
+// sequential in-process oracle and through the MapReduce engine, and the two
+// outputs are asserted semantically equal while sweeping execution knobs
+// that must not change the answer — chunk size (number of splits), number of
+// input files, reducer count, combiner on/off, deterministic chaos
+// (mr::FaultPlan), and JobFlow-vs-direct-driver execution.
+//
+// The harness is a small library, not a framework: test files build their
+// own sweep grids from SweepConfig, run oracle and job, and feed both sides
+// through the comparison helpers below. Every comparison is recorded; a
+// gtest global environment writes the sweep matrix with pass/fail counts to
+// BENCH_differential.json (telemetry::BenchReporter) and, when anything
+// diverged, a DIVERGENCE_differential.txt report naming the *minimal*
+// failing configuration — the one with the fewest knobs away from the
+// simplest config — so a red CI run points straight at the culprit axis.
+//
+// Semantic equality is per algorithm (DESIGN.md Section 10):
+//   * down-sampling   — byte-identical canonical (sorted) dataset lines;
+//   * k-means         — centroids within a tolerance, SSE within a relative
+//                       tolerance, same convergence outcome (the MapReduce
+//                       path round-trips centroids through "%.10f" text);
+//   * DJ-Cluster      — identical cluster membership and noise counts,
+//                       centroids within tolerance;
+//   * R-Tree          — query-result equivalence on seeded probes plus
+//                       global invariants (size, partition-size sum).
+//
+// Chaos kinds and their oracles:
+//   * kRetries    — injected attempt crashes; retried work must leave the
+//                   output identical to the fault-free run.
+//   * kNodeDeath  — a datanode dies mid-job; replication hides it, output
+//                   identical.
+//   * kSkip       — content-addressed poison records (FaultPlan::
+//                   poison_modulus) are pinpointed and skipped by Hadoop
+//                   skip mode; the oracle runs on the dataset minus exactly
+//                   those records (drop_poisoned), which is well-defined
+//                   because the poison decision hashes record *bytes*, not
+//                   task coordinates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/trace.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/dfs.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::difftest {
+
+// --- sweep configuration -----------------------------------------------------
+
+enum class Chaos { kNone, kRetries, kNodeDeath, kSkip };
+
+const char* chaos_name(Chaos c);
+
+/// One point of the sweep grid. Every knob defaults to the simplest value;
+/// complexity() counts how far a config is from that baseline, which is what
+/// "minimal failing config" minimizes.
+struct SweepConfig {
+  std::size_t chunk_size = 1 << 15;  ///< bytes per DFS chunk (= map split)
+  int num_files = 2;                 ///< input files written by dataset_to_dfs
+  int num_reducers = 1;              ///< ignored by map-only jobs
+  bool use_combiner = false;
+  Chaos chaos = Chaos::kNone;
+  bool via_flow = false;  ///< wrap the job in a flow::Flow instead of driving
+  std::uint64_t chaos_seed = 7;
+
+  /// 4 worker nodes, 2 per rack, 2 execution threads, this chunk size.
+  mr::ClusterConfig cluster() const;
+  /// Failure policy matching the chaos kind (skip budget only for kSkip).
+  mr::FailurePolicy failures() const;
+  /// Fault plan matching the chaos kind (empty for kNone).
+  mr::FaultPlan fault_plan() const;
+
+  std::string label() const;
+  int complexity() const;
+};
+
+/// Poison modulus used by every kSkip sweep point: ~2.5% of records are
+/// poisoned — enough that every small test dataset has a few, small enough
+/// that the pinpoint-and-retry cost (two extra attempts per bad record)
+/// stays bounded.
+inline constexpr std::uint64_t kPoisonModulus = 41;
+
+// --- adversarial dataset generators ------------------------------------------
+
+/// Knobs for datasets crafted to hit the bugs this harness exists to catch.
+struct AdversarialOptions {
+  int num_users = 3;
+  std::uint64_t seed = 1;
+  /// Traces per (user, window) group; large groups straddle chunk
+  /// boundaries at small chunk sizes, exercising the group-aware split
+  /// protocol of map-only down-sampling.
+  int traces_per_window = 12;
+  int num_windows = 6;
+  int window_s = 600;
+  /// Emit runs of byte-identical coordinates (duplicate points) — duplicate
+  /// initial k-means centroids produce empty clusters.
+  bool duplicate_points = false;
+  /// Include users near the antimeridian (lon ±179.99…) and near the poles
+  /// (lat ±89.9) — coordinates where naive distance/curve math degrades.
+  bool extreme_coords = false;
+};
+
+/// Deterministic dataset from the options above; traces are (user, time)
+/// ordered per user as the parsers require.
+geo::GeolocatedDataset adversarial_dataset(const AdversarialOptions& options);
+
+/// The oracle-side counterpart of FaultPlan poison records: the dataset
+/// minus every trace whose dataset line the plan poisons. Exactly the
+/// records Hadoop skip mode drops under the same plan, for any chunking.
+geo::GeolocatedDataset drop_poisoned(const geo::GeolocatedDataset& dataset,
+                                     const mr::FaultPlan& plan);
+
+/// Number of traces the plan poisons (to size skip budgets in tests).
+std::uint64_t count_poisoned(const geo::GeolocatedDataset& dataset,
+                             const mr::FaultPlan& plan);
+
+// --- canonical output normalizers --------------------------------------------
+
+/// All lines of every file under `prefix`, sorted — the order-insensitive
+/// canonical form of a text job output (part files are concatenated in an
+/// engine-defined order; line order across reducers is not semantic).
+std::vector<std::string> canonical_lines(const mr::Dfs& dfs,
+                                         const std::string& prefix);
+
+/// The oracle-side canonical form: a dataset rendered to sorted dataset
+/// lines (geo::dataset_line per trace).
+std::vector<std::string> canonical_lines(const geo::GeolocatedDataset& dataset);
+
+// --- divergence recording ----------------------------------------------------
+
+/// Records one comparison under (algorithm, config); every record feeds the
+/// BENCH_differential.json matrix, failures additionally feed the
+/// divergence report. Thread-safe.
+void record_result(const std::string& algorithm, const SweepConfig& config,
+                   bool pass, const std::string& detail);
+
+/// Compare two canonical line vectors, record the outcome, and return a
+/// gtest AssertionResult whose message names the first differing line:
+///   EXPECT_TRUE(expect_same_lines("sampling", config, oracle, job));
+::testing::AssertionResult expect_same_lines(
+    const std::string& algorithm, const SweepConfig& config,
+    const std::vector<std::string>& oracle,
+    const std::vector<std::string>& job);
+
+/// Compare two scalar sequences within an absolute tolerance (centroid
+/// coordinates), record, and report the worst deviation on failure.
+::testing::AssertionResult expect_near_sequence(
+    const std::string& algorithm, const SweepConfig& config,
+    const std::string& what, const std::vector<double>& oracle,
+    const std::vector<double>& job, double abs_tolerance);
+
+/// Record an arbitrary pass/fail comparison and return it as an
+/// AssertionResult carrying `detail` on failure.
+::testing::AssertionResult expect_condition(const std::string& algorithm,
+                                            const SweepConfig& config,
+                                            bool pass,
+                                            const std::string& detail);
+
+}  // namespace gepeto::difftest

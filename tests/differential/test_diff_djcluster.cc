@@ -1,0 +1,203 @@
+// Differential tests for DJ-Cluster (paper Section VII): the sequential
+// preprocess()/dj_cluster() pipeline is the oracle for the three MapReduce
+// jobs, swept over chunk size, file count, clustering parameters, and chaos.
+//
+// Preprocessing semantics depend on chunking by design (the map-only filter
+// computes one-sided speeds at chunk boundaries), so the sweep asserts
+// *exact* equality when each file is a single chunk and the documented
+// bounded divergence otherwise. Phases 2+3 are exact for any chunking given
+// the same preprocessed input, so the full pipeline is compared against the
+// oracle run on the MapReduce pipeline's own preprocessed dataset.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diff_harness.h"
+#include "geo/geolife.h"
+#include "gepeto/djcluster.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::difftest {
+namespace {
+
+using core::DjClusterConfig;
+using core::DjClusterResult;
+
+geo::GeolocatedDataset diff_dataset() {
+  AdversarialOptions options;
+  options.num_users = 3;
+  options.traces_per_window = 10;
+  options.num_windows = 6;
+  options.window_s = 600;
+  options.duplicate_points = true;  // redundant runs exercise phase 1b
+  return adversarial_dataset(options);
+}
+
+DjClusterConfig base_config() {
+  DjClusterConfig config;
+  // The adversarial jitter (~550 m hops at ~50 s spacing) straddles this
+  // threshold, so phase 1a both keeps and drops traces.
+  config.speed_threshold_ms = 10.0;
+  config.duplicate_radius_m = 1.0;
+  config.radius_m = 400.0;
+  config.min_pts = 4;
+  return config;
+}
+
+// Compare a parsed MapReduce clustering against the sequential result:
+// membership and noise counts exactly, centroids within "%.10f" noise.
+void compare_clusters(const std::string& algorithm, const SweepConfig& sweep,
+                      const DjClusterResult& oracle,
+                      const DjClusterResult& job) {
+  {
+    std::ostringstream os;
+    os << "cluster/noise counts: oracle=" << oracle.clusters.size() << "/"
+       << oracle.noise << "/" << oracle.clustered
+       << " job=" << job.clusters.size() << "/" << job.noise << "/"
+       << job.clustered;
+    EXPECT_TRUE(expect_condition(algorithm, sweep,
+                                 oracle.clusters.size() == job.clusters.size() &&
+                                     oracle.noise == job.noise &&
+                                     oracle.clustered == job.clustered,
+                                 os.str()));
+  }
+  const std::size_t n = std::min(oracle.clusters.size(), job.clusters.size());
+  bool members_equal = true;
+  std::ostringstream detail;
+  std::vector<double> oracle_centroids, job_centroids;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (oracle.clusters[i].members != job.clusters[i].members) {
+      members_equal = false;
+      detail << "cluster " << i << " membership differs (oracle "
+             << oracle.clusters[i].members.size() << " vs job "
+             << job.clusters[i].members.size() << " members)";
+      break;
+    }
+    oracle_centroids.push_back(oracle.clusters[i].centroid_lat);
+    oracle_centroids.push_back(oracle.clusters[i].centroid_lon);
+    job_centroids.push_back(job.clusters[i].centroid_lat);
+    job_centroids.push_back(job.clusters[i].centroid_lon);
+  }
+  EXPECT_TRUE(expect_condition(algorithm, sweep, members_equal, detail.str()));
+  EXPECT_TRUE(expect_near_sequence(algorithm, sweep, "centroid",
+                                   oracle_centroids, job_centroids, 1e-7));
+}
+
+TEST(DiffDjCluster, PreprocessingIsExactWhenFilesAreSingleChunks) {
+  for (const int files : {1, 3}) {
+    SweepConfig sweep;
+    sweep.chunk_size = std::size_t{1} << 15;  // every file fits one chunk
+    sweep.num_files = files;
+    mr::Dfs dfs(sweep.cluster());
+    geo::dataset_to_dfs(dfs, "/in", diff_dataset(), sweep.num_files);
+    const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+
+    const DjClusterConfig config = base_config();
+    core::run_preprocess_jobs(dfs, sweep.cluster(), "/in/", "/dj", config);
+    EXPECT_TRUE(expect_same_lines(
+        "djcluster/preprocess", sweep,
+        canonical_lines(core::preprocess(parsed, config)),
+        canonical_lines(dfs, "/dj/preprocessed")));
+  }
+}
+
+TEST(DiffDjCluster, PreprocessingDivergenceIsBoundedAcrossChunks) {
+  // Small chunks: the map-only filter sees one-sided speeds at each chunk
+  // edge — at most 2 traces per map task may differ from the oracle.
+  for (const std::size_t chunk : {std::size_t{512}, std::size_t{2048}}) {
+    SweepConfig sweep;
+    sweep.chunk_size = chunk;
+    mr::Dfs dfs(sweep.cluster());
+    geo::dataset_to_dfs(dfs, "/in", diff_dataset(), sweep.num_files);
+    const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+
+    const DjClusterConfig config = base_config();
+    const auto stats =
+        core::run_preprocess_jobs(dfs, sweep.cluster(), "/in/", "/dj", config);
+    const auto oracle = core::preprocess(parsed, config);
+    const std::int64_t oracle_kept =
+        static_cast<std::int64_t>(oracle.num_traces());
+    const std::int64_t job_kept = static_cast<std::int64_t>(
+        geo::count_dfs_records(dfs, "/dj/preprocessed"));
+    const std::int64_t bound = 2 * stats.filter_job.num_map_tasks;
+    std::ostringstream os;
+    os << "preprocessed trace counts: oracle=" << oracle_kept
+       << " job=" << job_kept << " allowed divergence=" << bound;
+    EXPECT_TRUE(expect_condition("djcluster/preprocess-bounded", sweep,
+                                 std::llabs(oracle_kept - job_kept) <= bound,
+                                 os.str()));
+  }
+}
+
+TEST(DiffDjCluster, ClusteringPhasesMatchOracleOnTheSamePreprocessedData) {
+  // Phases 2+3 (neighborhood + merge) are exact for any chunking: compare
+  // the MapReduce clusters against dj_cluster() run on the pipeline's own
+  // preprocessed output.
+  for (const std::size_t chunk : {std::size_t{1024}, std::size_t{1} << 15}) {
+    for (const int min_pts : {3, 6}) {
+      SweepConfig sweep;
+      sweep.chunk_size = chunk;
+      mr::Dfs dfs(sweep.cluster());
+      geo::dataset_to_dfs(dfs, "/in", diff_dataset(), sweep.num_files);
+
+      DjClusterConfig config = base_config();
+      config.min_pts = min_pts;
+      config.keep_intermediates = true;  // pin /dj/preprocessed for the oracle
+      const auto result =
+          core::run_djcluster_jobs(dfs, sweep.cluster(), "/in/", "/dj", config);
+      const DjClusterResult oracle = core::dj_cluster(
+          geo::dataset_from_dfs(dfs, "/dj/preprocessed"), config);
+      compare_clusters("djcluster/phases23", sweep, oracle, result.clusters);
+    }
+  }
+}
+
+TEST(DiffDjCluster, RetriesAndNodeDeathLeaveTheClusteringUnchanged) {
+  for (const Chaos chaos : {Chaos::kRetries, Chaos::kNodeDeath}) {
+    SweepConfig sweep;
+    sweep.chunk_size = std::size_t{1} << 15;
+    sweep.chaos = chaos;
+    mr::Dfs dfs(sweep.cluster());
+    geo::dataset_to_dfs(dfs, "/in", diff_dataset(), sweep.num_files);
+    const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+
+    DjClusterConfig config = base_config();
+    config.failures = sweep.failures();
+    config.fault_plan = sweep.fault_plan();
+    const auto result =
+        core::run_djcluster_jobs(dfs, sweep.cluster(), "/in/", "/dj", config);
+    const DjClusterResult oracle =
+        core::dj_cluster(core::preprocess(parsed, config), config);
+    compare_clusters("djcluster/chaos", sweep, oracle, result.clusters);
+  }
+}
+
+TEST(DiffDjCluster, SkipModeDropsExactlyThePoisonedRecords) {
+  // Poison applies to the filter job only (single-chunk files keep
+  // preprocessing exact): the oracle runs on the dataset minus the poisoned
+  // raw records.
+  SweepConfig sweep;
+  sweep.chunk_size = std::size_t{1} << 15;
+  sweep.chaos = Chaos::kSkip;
+  mr::Dfs dfs(sweep.cluster());
+  geo::dataset_to_dfs(dfs, "/in", diff_dataset(), sweep.num_files);
+  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+
+  DjClusterConfig config = base_config();
+  config.failures = sweep.failures();
+  config.fault_plan = sweep.fault_plan();
+  ASSERT_GT(count_poisoned(parsed, config.fault_plan), 0u);
+
+  const auto result =
+      core::run_djcluster_jobs(dfs, sweep.cluster(), "/in/", "/dj", config);
+  const DjClusterResult oracle = core::dj_cluster(
+      core::preprocess(drop_poisoned(parsed, config.fault_plan), config),
+      config);
+  compare_clusters("djcluster/skip", sweep, oracle, result.clusters);
+}
+
+}  // namespace
+}  // namespace gepeto::difftest

@@ -1,0 +1,202 @@
+// Differential tests for k-means (paper Section VI): kmeans_sequential() is
+// the oracle for kmeans_mapreduce(), swept over chunk size, distance kind
+// (squared-Euclidean and Haversine), combiner on/off, chaos, and a
+// crash-then-resume axis. Equality is tolerance-based (DESIGN.md Section
+// 10): the MapReduce path round-trips centroids through "%.10f" text every
+// iteration, so centroids match within kCentroidTolDeg and SSE within a
+// relative tolerance; iteration count and convergence outcome must match
+// exactly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diff_harness.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::difftest {
+namespace {
+
+using core::Centroid;
+using core::KMeansConfig;
+using core::KMeansResult;
+
+// ~1e-6 degrees is ~0.1 m — far above the per-iteration "%.10f" round-trip
+// error (~5e-11 degrees) and far below any centroid separation we generate.
+constexpr double kCentroidTolDeg = 1e-6;
+constexpr double kSseRelTol = 1e-6;
+
+std::vector<double> flatten(const std::vector<Centroid>& centroids) {
+  std::vector<double> out;
+  out.reserve(centroids.size() * 2);
+  for (const auto& c : centroids) {
+    out.push_back(c.latitude);
+    out.push_back(c.longitude);
+  }
+  return out;
+}
+
+void compare_results(const std::string& algorithm, const SweepConfig& sweep,
+                     const KMeansResult& oracle, const KMeansResult& job,
+                     bool compare_iterations) {
+  EXPECT_TRUE(expect_near_sequence(algorithm, sweep, "centroid",
+                                   flatten(oracle.centroids),
+                                   flatten(job.centroids), kCentroidTolDeg));
+  {
+    const double scale = std::max(1.0, std::fabs(oracle.sse));
+    std::ostringstream os;
+    os << "sse: oracle=" << oracle.sse << " job=" << job.sse;
+    EXPECT_TRUE(expect_condition(
+        algorithm, sweep,
+        std::fabs(oracle.sse - job.sse) <= kSseRelTol * scale, os.str()));
+  }
+  if (compare_iterations) {
+    std::ostringstream os;
+    os << "iterations/convergence: oracle=" << oracle.iterations << "/"
+       << oracle.converged << " job=" << job.iterations << "/"
+       << job.converged;
+    EXPECT_TRUE(expect_condition(algorithm, sweep,
+                                 oracle.iterations == job.iterations &&
+                                     oracle.converged == job.converged,
+                                 os.str()));
+  }
+  // Cluster sizes have different semantics on the two paths (final
+  // assignment pass vs last iteration's reduce counts) but both partition
+  // the whole dataset.
+  const auto sum = [](const std::vector<std::uint64_t>& v) {
+    return std::accumulate(v.begin(), v.end(), std::uint64_t{0});
+  };
+  std::ostringstream os;
+  os << "cluster-size sums: oracle=" << sum(oracle.cluster_sizes)
+     << " job=" << sum(job.cluster_sizes);
+  EXPECT_TRUE(expect_condition(
+      algorithm, sweep, sum(oracle.cluster_sizes) == sum(job.cluster_sizes),
+      os.str()));
+}
+
+geo::GeolocatedDataset diff_dataset(bool duplicate_points) {
+  AdversarialOptions options;
+  options.num_users = 3;
+  options.traces_per_window = 12;
+  options.num_windows = 6;
+  options.duplicate_points = duplicate_points;
+  return adversarial_dataset(options);
+}
+
+KMeansConfig base_config(geo::DistanceKind distance, bool use_combiner) {
+  KMeansConfig config;
+  config.k = 5;
+  config.distance = distance;
+  config.convergence_delta_m = 5.0;
+  config.max_iterations = 6;
+  config.seed = 11;
+  config.use_combiner = use_combiner;
+  return config;
+}
+
+void run_diff(const SweepConfig& sweep, geo::DistanceKind distance,
+              bool duplicate_points) {
+  mr::Dfs dfs(sweep.cluster());
+  geo::dataset_to_dfs(dfs, "/in", diff_dataset(duplicate_points),
+                      sweep.num_files);
+  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+
+  KMeansConfig config = base_config(distance, sweep.use_combiner);
+  config.failures = sweep.failures();
+  config.fault_plan = sweep.fault_plan();
+
+  const KMeansResult oracle = core::kmeans_sequential(parsed, config);
+  const KMeansResult job =
+      core::kmeans_mapreduce(dfs, sweep.cluster(), "/in/", "/clusters", config);
+
+  const std::string algorithm =
+      std::string("kmeans/") +
+      (distance == geo::DistanceKind::kHaversine ? "haversine" : "sqeuclid") +
+      (duplicate_points ? "/dupes" : "");
+  compare_results(algorithm, sweep, oracle, job, /*compare_iterations=*/true);
+}
+
+TEST(DiffKMeans, MatchesOracleAcrossChunkingsAndDistances) {
+  for (const std::size_t chunk : {std::size_t{2048}, std::size_t{1} << 15}) {
+    for (const auto distance : {geo::DistanceKind::kSquaredEuclidean,
+                                geo::DistanceKind::kHaversine}) {
+      SweepConfig sweep;
+      sweep.chunk_size = chunk;
+      run_diff(sweep, distance, /*duplicate_points=*/false);
+    }
+  }
+}
+
+TEST(DiffKMeans, CombinerDoesNotChangeTheAnswer) {
+  for (const std::size_t chunk : {std::size_t{2048}, std::size_t{1} << 15}) {
+    SweepConfig sweep;
+    sweep.chunk_size = chunk;
+    sweep.use_combiner = true;
+    run_diff(sweep, geo::DistanceKind::kSquaredEuclidean,
+             /*duplicate_points=*/false);
+  }
+}
+
+TEST(DiffKMeans, DuplicatePointsAndEmptyClustersMatchOracle) {
+  // Duplicate coordinates make duplicate initial centroids likely; ties
+  // assign every point to the lowest index, starving the duplicates — both
+  // paths must agree on carrying the empty centroid forward.
+  for (const bool combiner : {false, true}) {
+    SweepConfig sweep;
+    sweep.chunk_size = 4096;
+    sweep.use_combiner = combiner;
+    run_diff(sweep, geo::DistanceKind::kSquaredEuclidean,
+             /*duplicate_points=*/true);
+  }
+}
+
+TEST(DiffKMeans, RetriesAndNodeDeathLeaveTheAnswerUnchanged) {
+  for (const Chaos chaos : {Chaos::kRetries, Chaos::kNodeDeath}) {
+    SweepConfig sweep;
+    sweep.chunk_size = 4096;
+    sweep.chaos = chaos;
+    run_diff(sweep, geo::DistanceKind::kSquaredEuclidean,
+             /*duplicate_points=*/false);
+  }
+}
+
+TEST(DiffKMeans, CrashedIterationResumesToTheOracleAnswer) {
+  // Chaos axis unique to k-means: exhaust every attempt of one map task in
+  // iteration 1 (JobError), then resume from the iter-001 checkpoint with
+  // the plan cleared; the resumed run must land on the oracle's answer.
+  SweepConfig sweep;
+  sweep.chunk_size = 4096;
+  sweep.chaos = Chaos::kRetries;  // recorded label; the plan below is custom
+
+  mr::Dfs dfs(sweep.cluster());
+  geo::dataset_to_dfs(dfs, "/in", diff_dataset(false), sweep.num_files);
+  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+
+  KMeansConfig config =
+      base_config(geo::DistanceKind::kSquaredEuclidean, false);
+  const KMeansResult oracle = core::kmeans_sequential(parsed, config);
+
+  KMeansConfig crashing = config;
+  for (int attempt = 0; attempt < crashing.failures.max_attempts; ++attempt)
+    crashing.fault_plan.crashes.push_back({/*phase=*/1, /*task=*/0, attempt});
+  crashing.fault_iteration = 1;
+  EXPECT_THROW(core::kmeans_mapreduce(dfs, sweep.cluster(), "/in/",
+                                      "/clusters", crashing),
+               mr::JobError);
+
+  KMeansConfig resumed = config;
+  resumed.resume = true;
+  const KMeansResult job = core::kmeans_mapreduce(dfs, sweep.cluster(), "/in/",
+                                                  "/clusters", resumed);
+  // Iteration counts differ by construction (resume re-runs only the tail).
+  compare_results("kmeans/resume", sweep, oracle, job,
+                  /*compare_iterations=*/false);
+}
+
+}  // namespace
+}  // namespace gepeto::difftest

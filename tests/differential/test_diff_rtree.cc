@@ -1,0 +1,159 @@
+// Differential tests for the MapReduce R-Tree build (paper Section VII-C):
+// the oracle is a sequentially STR-bulk-loaded tree over the same entries.
+// Partition boundaries depend on phase-1 sampling, so tree *shape* is not
+// comparable — the criterion is query-result equivalence (seeded radius and
+// range probes) plus global invariants (entry count, partition-size sum),
+// swept over curve kind, partition count, chunk size, and chaos.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "diff_harness.h"
+#include "geo/geolife.h"
+#include "gepeto/djcluster.h"
+#include "gepeto/rtree_mr.h"
+#include "index/rtree.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::difftest {
+namespace {
+
+using core::RTreeMrConfig;
+
+std::set<std::uint64_t> ids_of(const std::vector<index::RTreeEntry>& entries) {
+  std::set<std::uint64_t> ids;
+  for (const auto& e : entries) ids.insert(e.id);
+  return ids;
+}
+
+void run_diff(const SweepConfig& sweep, index::CurveKind curve,
+              int num_partitions) {
+  AdversarialOptions options;
+  options.num_users = 4;
+  options.traces_per_window = 12;
+  options.num_windows = 6;
+  options.extreme_coords = true;  // antimeridian + near-polar entries
+  const auto dataset = adversarial_dataset(options);
+
+  mr::Dfs dfs(sweep.cluster());
+  geo::dataset_to_dfs(dfs, "/in", dataset, sweep.num_files);
+  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+  const mr::FaultPlan plan = sweep.fault_plan();
+  const geo::GeolocatedDataset oracle_input =
+      sweep.chaos == Chaos::kSkip ? drop_poisoned(parsed, plan) : parsed;
+  if (sweep.chaos == Chaos::kSkip) {
+    ASSERT_GT(count_poisoned(parsed, plan), 0u) << sweep.label();
+  }
+
+  RTreeMrConfig config;
+  config.curve = curve;
+  config.num_partitions = num_partitions;
+  config.failures = sweep.failures();
+  config.fault_plan = plan;
+  const auto r = core::build_rtree_mapreduce(dfs, sweep.cluster(), "/in/",
+                                             "/rtree", config);
+
+  index::RTree direct(config.rtree_max_entries);
+  std::vector<index::RTreeEntry> entries;
+  for (const auto& [uid, trail] : oracle_input)
+    for (const auto& t : trail)
+      entries.push_back({t.latitude, t.longitude,
+                         core::pack_trace_id(t.user_id, t.timestamp)});
+  direct.bulk_load_str(entries);
+
+  const std::string algorithm =
+      std::string("rtree/") +
+      (curve == index::CurveKind::kZOrder ? "zorder" : "hilbert");
+
+  r.tree.check_invariants();
+  {
+    std::uint64_t partition_total = 0;
+    for (const auto s : r.partition_sizes) partition_total += s;
+    std::ostringstream os;
+    os << "size/partition invariants: tree=" << r.tree.size()
+       << " partitions-sum=" << partition_total
+       << " oracle=" << entries.size();
+    EXPECT_TRUE(expect_condition(algorithm, sweep,
+                                 r.tree.size() == entries.size() &&
+                                     partition_total == entries.size(),
+                                 os.str()));
+  }
+
+  // Seeded probes: radius queries around dataset hot spots (including the
+  // antimeridian and near-polar users) and rectangle queries.
+  gepeto::Rng rng(2024 + static_cast<std::uint64_t>(num_partitions));
+  bool queries_equal = true;
+  std::ostringstream detail;
+  for (int q = 0; q < 12 && queries_equal; ++q) {
+    const auto& trail = parsed.trail(
+        static_cast<std::int32_t>(1 + q % static_cast<int>(parsed.num_users())));
+    const auto& probe = trail[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(trail.size()) - 1))];
+    const double radius = rng.uniform(50, 2000);
+    if (ids_of(r.tree.radius_search_meters(probe.latitude, probe.longitude,
+                                           radius)) !=
+        ids_of(direct.radius_search_meters(probe.latitude, probe.longitude,
+                                           radius))) {
+      queries_equal = false;
+      detail << "radius query diverged at (" << probe.latitude << ", "
+             << probe.longitude << ") r=" << radius << "m";
+    }
+    const index::Rect rect = index::Rect::of(
+        probe.latitude - 0.004, probe.longitude - 0.004, probe.latitude + 0.004,
+        probe.longitude + 0.004);
+    if (queries_equal && ids_of(r.tree.search(rect)) != ids_of(direct.search(rect))) {
+      queries_equal = false;
+      detail << "rect query diverged around (" << probe.latitude << ", "
+             << probe.longitude << ")";
+    }
+  }
+  EXPECT_TRUE(
+      expect_condition(algorithm, sweep, queries_equal, detail.str()));
+}
+
+TEST(DiffRTree, QueriesMatchOracleAcrossCurvesAndPartitions) {
+  for (const auto curve :
+       {index::CurveKind::kZOrder, index::CurveKind::kHilbert}) {
+    for (const int partitions : {1, 4}) {
+      SweepConfig sweep;
+      sweep.num_reducers = partitions;  // phase 2 runs one reducer per partition
+      run_diff(sweep, curve, partitions);
+    }
+  }
+}
+
+TEST(DiffRTree, ChunkSizeDoesNotChangeQueryResults) {
+  for (const std::size_t chunk : {std::size_t{1024}, std::size_t{8192}}) {
+    SweepConfig sweep;
+    sweep.chunk_size = chunk;
+    sweep.num_reducers = 3;
+    run_diff(sweep, index::CurveKind::kHilbert, 3);
+  }
+}
+
+TEST(DiffRTree, RetriesAndNodeDeathLeaveQueryResultsUnchanged) {
+  for (const Chaos chaos : {Chaos::kRetries, Chaos::kNodeDeath}) {
+    SweepConfig sweep;
+    sweep.chunk_size = 4096;
+    sweep.chaos = chaos;
+    sweep.num_reducers = 3;
+    run_diff(sweep, index::CurveKind::kZOrder, 3);
+  }
+}
+
+TEST(DiffRTree, SkipModeIndexesExactlyTheUnpoisonedRecords) {
+  // Poison changes the phase-1 sample (hence boundaries — load balance
+  // only), and must drop exactly the poisoned records from the index.
+  SweepConfig sweep;
+  sweep.chunk_size = 4096;
+  sweep.chaos = Chaos::kSkip;
+  sweep.num_reducers = 3;
+  run_diff(sweep, index::CurveKind::kHilbert, 3);
+}
+
+}  // namespace
+}  // namespace gepeto::difftest

@@ -1,0 +1,143 @@
+// Differential tests for down-sampling (paper Section V): the sequential
+// downsample() oracle vs both MapReduce realizations (map-only with the
+// group-aware split protocol, and the exact map+reduce variant), swept over
+// chunk size, file count, reducer count, representative technique, chaos
+// kind, and JobFlow-vs-direct execution. Equality is exact: canonical
+// (sorted) dataset lines must be byte-identical.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "diff_harness.h"
+#include "geo/geolife.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/dfs.h"
+#include "workflow/flow.h"
+
+namespace gepeto::difftest {
+namespace {
+
+using core::SamplingConfig;
+using core::SamplingTechnique;
+
+enum class Variant { kMapOnly, kExact };
+
+const char* variant_name(Variant v) {
+  return v == Variant::kMapOnly ? "maponly" : "exact";
+}
+
+// One sweep point: load an adversarial dataset, run oracle and job, compare.
+void run_diff(const SweepConfig& sweep, SamplingTechnique technique,
+              Variant variant) {
+  AdversarialOptions options;
+  options.num_users = 3;
+  options.traces_per_window = 14;
+  options.num_windows = 5;
+  options.window_s = 600;
+  options.extreme_coords = true;
+  const auto dataset = adversarial_dataset(options);
+
+  mr::Dfs dfs(sweep.cluster());
+  geo::dataset_to_dfs(dfs, "/in", dataset, sweep.num_files);
+  // The oracle consumes the *re-parsed* DFS dataset: dataset lines round
+  // coordinates to 1e-6 degrees, and both sides must see those bytes.
+  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+  const mr::FaultPlan plan = sweep.fault_plan();
+  const geo::GeolocatedDataset oracle_input =
+      sweep.chaos == Chaos::kSkip ? drop_poisoned(parsed, plan) : parsed;
+  if (sweep.chaos == Chaos::kSkip) {
+    // The sweep is only meaningful if the plan actually poisons something.
+    ASSERT_GT(count_poisoned(parsed, plan), 0u) << sweep.label();
+  }
+
+  SamplingConfig config;
+  config.window_s = options.window_s;
+  config.technique = technique;
+  const auto oracle = canonical_lines(core::downsample(oracle_input, config));
+
+  auto run_job = [&](mr::Dfs& d) {
+    if (variant == Variant::kExact)
+      return core::run_sampling_job_exact(d, sweep.cluster(), "/in/", "/out",
+                                          config, sweep.num_reducers,
+                                          sweep.failures(), plan);
+    return core::run_sampling_job(d, sweep.cluster(), "/in/", "/out", config,
+                                  sweep.failures(), plan);
+  };
+  if (sweep.via_flow) {
+    flow::Flow f("diff-sampling");
+    f.add_map_only("sample",
+                   [&](flow::FlowEngine& e) { return run_job(e.dfs()); })
+        .reads("/in")
+        .keep("/out");
+    f.run(dfs, sweep.cluster());
+  } else {
+    run_job(dfs);
+  }
+
+  const std::string algorithm =
+      std::string("sampling/") + variant_name(variant) +
+      (technique == SamplingTechnique::kMiddle ? "/middle" : "/upper");
+  EXPECT_TRUE(expect_same_lines(algorithm, sweep, oracle,
+                                canonical_lines(dfs, "/out")));
+}
+
+TEST(DiffSampling, MapOnlyMatchesOracleAcrossChunkingsAndFiles) {
+  for (const std::size_t chunk : {std::size_t{512}, std::size_t{4096},
+                                  std::size_t{1} << 15}) {
+    for (const int files : {1, 3}) {
+      for (const auto technique :
+           {SamplingTechnique::kUpperLimit, SamplingTechnique::kMiddle}) {
+        SweepConfig sweep;
+        sweep.chunk_size = chunk;
+        sweep.num_files = files;
+        run_diff(sweep, technique, Variant::kMapOnly);
+      }
+    }
+  }
+}
+
+TEST(DiffSampling, ExactVariantMatchesOracleAcrossReducers) {
+  for (const int reducers : {1, 3}) {
+    for (const std::size_t chunk : {std::size_t{1024}, std::size_t{1} << 15}) {
+      SweepConfig sweep;
+      sweep.chunk_size = chunk;
+      sweep.num_reducers = reducers;
+      run_diff(sweep, SamplingTechnique::kUpperLimit, Variant::kExact);
+    }
+  }
+}
+
+TEST(DiffSampling, RetriesAndNodeDeathLeaveOutputUnchanged) {
+  for (const Chaos chaos : {Chaos::kRetries, Chaos::kNodeDeath}) {
+    for (const Variant variant : {Variant::kMapOnly, Variant::kExact}) {
+      SweepConfig sweep;
+      sweep.chunk_size = 2048;
+      sweep.chaos = chaos;
+      run_diff(sweep, SamplingTechnique::kUpperLimit, variant);
+    }
+  }
+}
+
+TEST(DiffSampling, SkipModeDropsExactlyThePoisonedRecords) {
+  for (const Variant variant : {Variant::kMapOnly, Variant::kExact}) {
+    for (const std::size_t chunk : {std::size_t{1024}, std::size_t{8192}}) {
+      SweepConfig sweep;
+      sweep.chunk_size = chunk;
+      sweep.chaos = Chaos::kSkip;
+      run_diff(sweep, SamplingTechnique::kUpperLimit, variant);
+    }
+  }
+}
+
+TEST(DiffSampling, FlowExecutionMatchesDirectDriver) {
+  for (const Variant variant : {Variant::kMapOnly, Variant::kExact}) {
+    SweepConfig sweep;
+    sweep.chunk_size = 4096;
+    sweep.via_flow = true;
+    run_diff(sweep, SamplingTechnique::kMiddle, variant);
+  }
+}
+
+}  // namespace
+}  // namespace gepeto::difftest

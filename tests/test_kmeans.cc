@@ -267,5 +267,107 @@ TEST(KMeansConfigValidation, RejectsBadArguments) {
   EXPECT_THROW(kmeans_sequential(ds, config), gepeto::CheckFailure);
 }
 
+// Regression: a centroid that receives zero points must be carried forward
+// (one output line per centroid, every iteration), not silently dropped —
+// dropping it truncated the next iteration's centroids file. Three traces
+// with a duplicated coordinate and k = 3 make the duplicate initial centroid
+// lose every tie, so cluster 1 is empty from iteration one.
+TEST(KMeansEmptyClusters, CarriedForwardNotDropped) {
+  GeolocatedDataset ds;
+  ds.add_trail(1, {{1, 39.90, 116.40, 150.0, 1'222'819'200},
+                   {1, 39.90, 116.40, 150.0, 1'222'819'260}});
+  ds.add_trail(2, {{2, 39.95, 116.50, 150.0, 1'222'819'200}});
+
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 9;
+  config.max_iterations = 3;
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto r =
+      kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", config);
+
+  ASSERT_EQ(r.centroids.size(), 3u);
+  EXPECT_GE(r.totals.counters.at("kmeans.empty_clusters"), 1);
+  // The starved duplicate keeps its previous position.
+  EXPECT_NEAR(r.centroids[1].latitude, 39.90, 1e-8);
+  EXPECT_NEAR(r.centroids[1].longitude, 116.40, 1e-8);
+  // And the MapReduce path agrees with the sequential one, which keeps
+  // empty-cluster centroids in place too.
+  const auto seq = kmeans_sequential(geo::dataset_from_dfs(dfs, "/in"), config);
+  ASSERT_EQ(seq.centroids.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(r.centroids[i].latitude, seq.centroids[i].latitude, 1e-9);
+    EXPECT_NEAR(r.centroids[i].longitude, seq.centroids[i].longitude, 1e-9);
+  }
+}
+
+TEST(CentroidLines, TryParseReportsStructuredErrors) {
+  std::string err;
+  EXPECT_FALSE(try_centroids_from_lines("0,39.9,116.4", &err).has_value());
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+  EXPECT_FALSE(try_centroids_from_lines("0,39.9\n", &err).has_value());
+  EXPECT_NE(err.find("bad centroid line"), std::string::npos) << err;
+  EXPECT_FALSE(try_centroids_from_lines("0,1,2\n0,3,4\n", &err).has_value());
+  EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+  EXPECT_FALSE(try_centroids_from_lines("1,1,2\n", &err).has_value());
+  EXPECT_NE(err.find("missing centroid index 0"), std::string::npos) << err;
+  const auto ok = try_centroids_from_lines("0,39.9,116.4\n1,40.0,116.5\n", &err);
+  ASSERT_TRUE(ok.has_value());
+  ASSERT_EQ(ok->size(), 2u);
+  EXPECT_NEAR((*ok)[1].longitude, 116.5, 1e-12);
+}
+
+// A driver that crashes mid-write leaves a truncated newest checkpoint;
+// resume must fall back to the previous valid one instead of CHECK-failing.
+TEST(KMeansCheckpoint, ResumeFallsBackPastCorruptLatestCheckpoint) {
+  const auto ds = blob_dataset(40, 21);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 5;
+  config.max_iterations = 3;
+  config.convergence_delta_m = 0.001;  // run all iterations
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  const auto first =
+      kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", config);
+  ASSERT_GE(first.iterations, 1);
+
+  const auto checkpoints = dfs.list("/clusters/iter-");
+  ASSERT_GE(checkpoints.size(), 2u);
+  const std::string latest = checkpoints.back();
+  const std::string contents(dfs.read(latest));
+  dfs.remove(latest);
+  // Cut mid-line, dropping the trailing newline — the shape a crashed
+  // writer leaves behind.
+  dfs.put(latest, contents.substr(0, contents.size() - 3));
+
+  KMeansConfig resumed = config;
+  resumed.resume = true;
+  const auto r =
+      kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", resumed);
+  ASSERT_EQ(r.centroids.size(), 3u);
+  // It re-ran at least the iteration whose checkpoint was damaged.
+  EXPECT_GE(r.iterations, 1);
+}
+
+TEST(KMeansCheckpoint, AllCorruptCheckpointsRaiseCorruptCheckpointError) {
+  const auto ds = blob_dataset(20, 22);
+  KMeansConfig config;
+  config.k = 3;
+  config.resume = true;
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  dfs.put("/clusters/iter-000", "garbage that is not a centroids file");
+  try {
+    kmeans_mapreduce(dfs, small_cluster(), "/in/", "/clusters", config);
+    FAIL() << "expected JobError";
+  } catch (const mr::JobError& e) {
+    EXPECT_EQ(e.kind(), mr::JobError::Kind::kCorruptCheckpoint);
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace gepeto::core

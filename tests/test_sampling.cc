@@ -194,7 +194,7 @@ INSTANTIATE_TEST_SUITE_P(
                                                                      : "_mid");
     });
 
-TEST(SamplingMrBoundary, SmallChunksDivergeByAtMostOnePerChunk) {
+TEST(SamplingMrBoundary, SmallChunksRemainExact) {
   const auto synthetic = geo::generate_dataset([] {
     geo::GeneratorConfig cfg;
     cfg.num_users = 3;
@@ -209,12 +209,34 @@ TEST(SamplingMrBoundary, SmallChunksDivergeByAtMostOnePerChunk) {
   const auto want = downsample(geo::dataset_from_dfs(dfs, "/in/"), config);
   const auto jr =
       run_sampling_job(dfs, small_cluster(8192), "/in/", "/out", config);
-  const auto got_count = geo::count_dfs_records(dfs, "/out/");
 
-  // Each chunk boundary can split one window group in two.
-  EXPECT_GE(got_count, want.num_traces());
-  EXPECT_LE(got_count,
-            want.num_traces() + static_cast<std::uint64_t>(jr.num_map_tasks));
+  // The group-aware split protocol makes the map-only job exact for any
+  // chunk size: window groups straddling chunk boundaries are summarized
+  // once, by the split owning their first trace.
+  ASSERT_GT(jr.num_map_tasks, 2);
+  EXPECT_EQ(geo::count_dfs_records(dfs, "/out/"), want.num_traces());
+}
+
+// Regression: a (user, window) group straddling a chunk boundary used to be
+// summarized once per chunk — the mapper's window state restarted with every
+// map task, duplicating the group's representative. One user, one window,
+// a file of many tiny chunks: the output must be a single trace.
+TEST(SamplingMrBoundary, GroupAcrossChunkEdgeIsExact) {
+  GeolocatedDataset ds;
+  Trail trail;
+  for (int i = 0; i < 60; ++i) trail.push_back(at(1, i * 30));
+  ds.add_trail(1, std::move(trail));  // all traces in window [0, 3600)
+  const SamplingConfig config{3600, SamplingTechnique::kUpperLimit};
+
+  mr::Dfs dfs(small_cluster(256));  // the group spans many chunks
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+  ASSERT_GT(dfs.chunks("/in/points-00000").size(), 3u);
+  const auto want = downsample(geo::dataset_from_dfs(dfs, "/in/"), config);
+  ASSERT_EQ(want.num_traces(), 1u);
+
+  run_sampling_job(dfs, small_cluster(256), "/in/", "/out", config);
+  ASSERT_EQ(geo::count_dfs_records(dfs, "/out/"), 1u);
+  EXPECT_EQ(geo::dataset_from_dfs(dfs, "/out/").trail(1), want.trail(1));
 }
 
 TEST(SamplingMrExact, MatchesSequentialForAnyChunking) {
