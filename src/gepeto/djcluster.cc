@@ -152,6 +152,13 @@ struct DedupMapper {
 struct IdList {
   std::vector<std::uint64_t> ids;
   std::uint64_t serialized_size() const { return 8 * ids.size() + 8; }
+
+  // Wire hooks (ipc::wire::WireMembers) so the job also runs under the
+  // process worker backend, where intermediate values cross a real socket.
+  void wire_append(std::string& out) const { ipc::wire::put_vec(out, ids); }
+  static IdList wire_parse(ipc::wire::Reader& r) {
+    return IdList{ipc::wire::get_vec<std::uint64_t>(r)};
+  }
 };
 
 /// Entries-file line: "id,lat,lon".

@@ -1,0 +1,127 @@
+#include "ipc/frame.h"
+
+#include <sys/socket.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace gepeto::ipc {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// Header layout (little-endian, 20 bytes): magic, type, payload_len (u64),
+// crc32(payload).
+constexpr std::size_t kHeaderSize = 20;
+// A worker never legitimately ships more than one task's shuffle output per
+// frame; anything past this is a corrupted length field, and trusting it
+// would make read_frame allocate unboundedly.
+constexpr std::uint64_t kMaxPayload = 1ull << 34;  // 16 GiB
+
+bool send_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+enum class RecvStatus { kOk, kEof, kTimeout, kError };
+
+RecvStatus recv_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::recv(fd, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvStatus::kTimeout;
+      return RecvStatus::kError;
+    }
+    if (got == 0) return RecvStatus::kEof;
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return RecvStatus::kOk;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool write_frame(int fd, FrameType type, std::string_view payload,
+                 bool corrupt_crc) {
+  char header[kHeaderSize];
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t type_u32 = static_cast<std::uint32_t>(type);
+  const std::uint64_t len = payload.size();
+  std::uint32_t crc = crc32(payload.data(), payload.size());
+  if (corrupt_crc) crc ^= 0xDEADBEEFu;
+  std::memcpy(header, &magic, 4);
+  std::memcpy(header + 4, &type_u32, 4);
+  std::memcpy(header + 8, &len, 8);
+  std::memcpy(header + 16, &crc, 4);
+  if (!send_all(fd, header, kHeaderSize)) return false;
+  return payload.empty() || send_all(fd, payload.data(), payload.size());
+}
+
+FrameStatus read_frame(int fd, Frame& out) {
+  char header[kHeaderSize];
+  switch (recv_all(fd, header, kHeaderSize)) {
+    case RecvStatus::kOk:
+      break;
+    case RecvStatus::kEof:
+      return FrameStatus::kEof;
+    case RecvStatus::kTimeout:
+      return FrameStatus::kTimeout;
+    case RecvStatus::kError:
+      return FrameStatus::kError;
+  }
+  std::uint32_t magic = 0, type_u32 = 0, crc = 0;
+  std::uint64_t len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&type_u32, header + 4, 4);
+  std::memcpy(&len, header + 8, 8);
+  std::memcpy(&crc, header + 16, 4);
+  if (magic != kFrameMagic || len > kMaxPayload) return FrameStatus::kGarbled;
+  out.type = static_cast<FrameType>(type_u32);
+  out.payload.resize(static_cast<std::size_t>(len));
+  if (len > 0) {
+    switch (recv_all(fd, out.payload.data(), out.payload.size())) {
+      case RecvStatus::kOk:
+        break;
+      case RecvStatus::kEof:
+        return FrameStatus::kEof;
+      case RecvStatus::kTimeout:
+        return FrameStatus::kTimeout;
+      case RecvStatus::kError:
+        return FrameStatus::kError;
+    }
+  }
+  if (crc32(out.payload.data(), out.payload.size()) != crc)
+    return FrameStatus::kGarbled;
+  return FrameStatus::kOk;
+}
+
+}  // namespace gepeto::ipc

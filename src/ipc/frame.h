@@ -1,0 +1,57 @@
+// Length-prefixed message framing over a local stream socket.
+//
+// Every message between the jobtracker and a tasktracker process is one
+// frame: a fixed header (magic, type, payload length, CRC-32 of the payload)
+// followed by the payload bytes. The CRC is what turns a worker crashing
+// mid-write — or deliberately corrupting its output under the chaos
+// harness's garbled-frame fault — into a detectable, attributable failure
+// instead of a silently wrong shuffle.
+//
+// All writes go through send(MSG_NOSIGNAL): a peer that died takes the
+// write down with EPIPE, never with SIGPIPE — a dying reader must not be
+// able to kill the jobtracker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace gepeto::ipc {
+
+enum class FrameType : std::uint32_t {
+  kTask = 1,       ///< jobtracker -> worker: run one task attempt
+  kResult = 2,     ///< worker -> jobtracker: attempt succeeded (payload)
+  kTaskFailed = 3, ///< worker -> jobtracker: attempt failed (record, message)
+  kHeartbeat = 4,  ///< worker -> jobtracker: still alive, making progress
+  kShutdown = 5,   ///< jobtracker -> worker: exit cleanly
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x47455031;  // "GEP1"
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data`.
+std::uint32_t crc32(const void* data, std::size_t n);
+
+/// Outcome of reading one frame.
+enum class FrameStatus {
+  kOk,
+  kEof,       ///< peer closed the stream (worker died / jobtracker gone)
+  kTimeout,   ///< receive timed out (SO_RCVTIMEO on the jobtracker side)
+  kGarbled,   ///< bad magic or CRC mismatch: the stream cannot be trusted
+  kError,     ///< I/O error
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::string payload;
+};
+
+/// Write one frame; returns false on any error (EPIPE included).
+/// `corrupt_crc` deliberately garbles the header CRC — the chaos harness's
+/// garbled-frame fault, exercised from the worker side.
+bool write_frame(int fd, FrameType type, std::string_view payload,
+                 bool corrupt_crc = false);
+
+/// Read one complete frame (blocking; honors any SO_RCVTIMEO on `fd`).
+FrameStatus read_frame(int fd, Frame& out);
+
+}  // namespace gepeto::ipc

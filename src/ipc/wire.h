@@ -1,0 +1,184 @@
+// Wire serialization for the process worker backend.
+//
+// Fixed-width little-endian scalars, length-prefixed strings, and vector
+// codecs with a memcpy fast path for trivially copyable element types.
+// Parsing is bounds-checked against the payload end and raises WireError —
+// a garbled or truncated frame from a crashing worker must surface as a
+// structured failure on the jobtracker side, never as UB.
+//
+// Custom intermediate key/value types that are not trivially copyable opt in
+// by providing two members:
+//
+//   void wire_append(std::string& out) const;
+//   static T wire_parse(gepeto::ipc::wire::Reader& r);
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace gepeto::ipc::wire {
+
+/// A frame payload failed to parse (truncated, or lengths inconsistent).
+class WireError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// --- writing -----------------------------------------------------------------
+
+inline void put_raw(std::string& out, const void* data, std::size_t n) {
+  out.append(static_cast<const char*>(data), n);
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) { put_raw(out, &v, 4); }
+inline void put_u64(std::string& out, std::uint64_t v) { put_raw(out, &v, 8); }
+inline void put_i64(std::string& out, std::int64_t v) { put_raw(out, &v, 8); }
+inline void put_f64(std::string& out, double v) { put_raw(out, &v, 8); }
+
+inline void put_str(std::string& out, std::string_view s) {
+  put_u64(out, s.size());
+  out.append(s);
+}
+
+// --- reading -----------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint32_t get_u32() { return get_scalar<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_scalar<std::uint64_t>(); }
+  std::int64_t get_i64() { return get_scalar<std::int64_t>(); }
+  double get_f64() { return get_scalar<double>(); }
+
+  std::string_view get_bytes(std::size_t n) {
+    require(n);
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_str() {
+    const std::uint64_t n = get_u64();
+    if (n > remaining())
+      throw WireError("string length exceeds payload: " + std::to_string(n));
+    return std::string(get_bytes(static_cast<std::size_t>(n)));
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T get_scalar() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::size_t n) const {
+    if (n > remaining())
+      throw WireError("truncated payload: need " + std::to_string(n) +
+                      " bytes, have " + std::to_string(remaining()));
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- element / vector codecs -------------------------------------------------
+
+template <typename T>
+concept WireMembers = requires(const T& t, std::string& out, Reader& r) {
+  t.wire_append(out);
+  { T::wire_parse(r) } -> std::same_as<T>;
+};
+
+template <typename T>
+concept WireSerializable = std::is_trivially_copyable_v<T> ||
+                           WireMembers<T> || std::same_as<T, std::string>;
+
+template <typename T>
+  requires WireSerializable<T>
+void put_value(std::string& out, const T& v) {
+  if constexpr (std::same_as<T, std::string>) {
+    put_str(out, v);
+  } else if constexpr (WireMembers<T>) {
+    v.wire_append(out);
+  } else {
+    put_raw(out, &v, sizeof(T));
+  }
+}
+
+template <typename T>
+  requires WireSerializable<T>
+T get_value(Reader& r) {
+  if constexpr (std::same_as<T, std::string>) {
+    return r.get_str();
+  } else if constexpr (WireMembers<T>) {
+    return T::wire_parse(r);
+  } else {
+    T v;
+    std::memcpy(&v, r.get_bytes(sizeof(T)).data(), sizeof(T));
+    return v;
+  }
+}
+
+template <typename T>
+  requires WireSerializable<T>
+void put_vec(std::string& out, const std::vector<T>& v) {
+  put_u64(out, v.size());
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    put_raw(out, v.data(), v.size() * sizeof(T));
+  } else {
+    for (const auto& x : v) put_value(out, x);
+  }
+}
+
+template <typename T>
+  requires WireSerializable<T>
+std::vector<T> get_vec(Reader& r) {
+  const std::uint64_t n = r.get_u64();
+  std::vector<T> v;
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (n > r.remaining() / sizeof(T))
+      throw WireError("vector length exceeds payload: " + std::to_string(n));
+    v.resize(static_cast<std::size_t>(n));
+    if (n > 0)
+      std::memcpy(v.data(), r.get_bytes(v.size() * sizeof(T)).data(),
+                  v.size() * sizeof(T));
+  } else {
+    v.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(get_value<T>(r));
+  }
+  return v;
+}
+
+inline void put_counters(std::string& out,
+                         const std::map<std::string, std::int64_t>& counters) {
+  put_u64(out, counters.size());
+  for (const auto& [k, v] : counters) {
+    put_str(out, k);
+    put_i64(out, v);
+  }
+}
+
+inline std::map<std::string, std::int64_t> get_counters(Reader& r) {
+  std::map<std::string, std::int64_t> counters;
+  const std::uint64_t n = r.get_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string k = r.get_str();
+    counters[std::move(k)] = r.get_i64();
+  }
+  return counters;
+}
+
+}  // namespace gepeto::ipc::wire

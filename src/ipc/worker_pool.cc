@@ -1,0 +1,697 @@
+#include "ipc/worker_pool.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+
+#include "common/check.h"
+#include "ipc/frame.h"
+#include "ipc/wire.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace gepeto::ipc {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::string serialize_request(const TaskRequest& req) {
+  std::string out;
+  wire::put_i64(out, req.phase);
+  wire::put_i64(out, req.task);
+  wire::put_i64(out, req.attempt);
+  wire::put_u32(out, req.inject_crash ? 1 : 0);
+  wire::put_u32(out, static_cast<std::uint32_t>(req.fault));
+  wire::put_i64(out, req.fault_record);
+  wire::put_vec(out, req.skip);
+  wire::put_str(out, req.payload);
+  return out;
+}
+
+TaskRequest parse_request(std::string_view payload) {
+  wire::Reader r(payload);
+  TaskRequest req;
+  req.phase = static_cast<int>(r.get_i64());
+  req.task = static_cast<int>(r.get_i64());
+  req.attempt = static_cast<int>(r.get_i64());
+  req.inject_crash = r.get_u32() != 0;
+  req.fault = static_cast<ProcFaultKind>(r.get_u32());
+  req.fault_record = r.get_i64();
+  req.skip = wire::get_vec<std::int64_t>(r);
+  req.payload = r.get_str();
+  return req;
+}
+
+std::string default_scratch_root(const std::string& name) {
+  const char* env = std::getenv("GEPETO_SCRATCH_DIR");
+  fs::path base = env != nullptr && *env != '\0'
+                      ? fs::path(env)
+                      : fs::temp_directory_path();
+  return (base / ("gepeto-" + name + "-" + std::to_string(::getpid())))
+      .string();
+}
+
+std::string worker_dir(const std::string& root, pid_t pid) {
+  return root + "/worker-" + std::to_string(pid);
+}
+
+void remove_tree(const std::string& path) {
+  if (path.empty()) return;
+  std::error_code ec;
+  fs::remove_all(path, ec);  // best effort: abort paths must not throw
+}
+
+/// waitpid with a grace period: poll WNOHANG, then SIGKILL and reap for
+/// real. Handles the "hangs after final flush" worker — one that delivered
+/// its result but never exits. Returns the wait status, or -1 when the pid
+/// was already reaped.
+int wait_with_grace(pid_t pid, double grace_s) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(grace_s));
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;  // ECHILD: reaped elsewhere — caller treats as no-op
+    }
+    if (Clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+      }
+      return status;
+    }
+    ::usleep(2000);
+  }
+}
+
+}  // namespace
+
+const char* exit_category_name(ExitCategory c) {
+  switch (c) {
+    case ExitCategory::kClean:
+      return "clean";
+    case ExitCategory::kTaskError:
+      return "task_error";
+    case ExitCategory::kSignal:
+      return "signal";
+    case ExitCategory::kTimeout:
+      return "timeout";
+    case ExitCategory::kGarbled:
+      return "garbled";
+    case ExitCategory::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
+
+// --- child side --------------------------------------------------------------
+
+void WorkerTaskContext::progress(std::int64_t record) {
+  if (fault_ == ProcFaultKind::kSigkillAtRecord && record >= fault_record_ &&
+      fault_record_ >= 0) {
+    ::kill(::getpid(), SIGKILL);  // real chaos: die exactly here, no cleanup
+  }
+  const Clock::time_point now = Clock::now();
+  if (seconds_between(last_heartbeat_, now) >= heartbeat_interval_s_) {
+    write_frame(fd_, FrameType::kHeartbeat, {});
+    last_heartbeat_ = now;
+  }
+}
+
+const std::string& WorkerTaskContext::scratch_dir() {
+  if (attempt_dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(attempt_stem_, ec);
+    attempt_dir_ = attempt_stem_;
+  }
+  return attempt_dir_;
+}
+
+void WorkerPool::worker_main(int fd) {
+  // This function never returns: the child must _exit so it cannot fall back
+  // into gtest / atexit machinery inherited from the jobtracker.
+  const std::string my_scratch = worker_dir(scratch_root_, ::getpid());
+  for (;;) {
+    Frame frame;
+    const FrameStatus status = read_frame(fd, frame);
+    if (status != FrameStatus::kOk) ::_exit(0);  // jobtracker gone
+    if (frame.type == FrameType::kShutdown) {
+      remove_tree(my_scratch);
+      ::_exit(0);
+    }
+    if (frame.type != FrameType::kTask) ::_exit(3);
+
+    TaskRequest req;
+    try {
+      req = parse_request(frame.payload);
+    } catch (...) {
+      ::_exit(3);
+    }
+
+    if (req.fault == ProcFaultKind::kHangBeforeHeartbeat) {
+      // Hang before the first heartbeat: the parent's deadline machinery —
+      // not anything this process does — must end the attempt.
+      for (;;) ::pause();
+    }
+
+    WorkerTaskContext ctx;
+    ctx.fd_ = fd;
+    ctx.heartbeat_interval_s_ = options_.heartbeat_interval_s;
+    ctx.fault_ = req.fault;
+    ctx.fault_record_ = req.fault_record;
+    ctx.attempt_stem_ = my_scratch + "/attempt-" + std::to_string(req.phase) +
+                        "-" + std::to_string(req.task) + "-" +
+                        std::to_string(req.attempt);
+    ctx.last_heartbeat_ = Clock::now();
+    write_frame(fd, FrameType::kHeartbeat, {});  // alive before first record
+
+    TaskOutcome out;
+    try {
+      out = runner_(req, ctx);
+    } catch (...) {
+      // The runner reports task-level failures through TaskOutcome; anything
+      // escaping it is a programming error. Exit with the TaskError code so
+      // the jobtracker's exit taxonomy sees it instead of masking the bug as
+      // a retryable record failure.
+      ::_exit(3);
+    }
+    remove_tree(ctx.attempt_dir_);
+
+    bool sent;
+    if (out.ok) {
+      sent = write_frame(fd, FrameType::kResult, out.payload,
+                         /*corrupt_crc=*/req.fault ==
+                             ProcFaultKind::kGarbledFrame);
+    } else {
+      std::string payload;
+      wire::put_i64(payload, out.failed_record);
+      wire::put_str(payload, out.error);
+      sent = write_frame(fd, FrameType::kTaskFailed, payload);
+    }
+    if (!sent) ::_exit(0);
+  }
+}
+
+// --- parent side -------------------------------------------------------------
+
+WorkerPool::WorkerPool(WorkerPoolOptions options, TaskRunner runner)
+    : options_(std::move(options)),
+      runner_(std::move(runner)),
+      jitter_rng_(options_.seed ^ 0x5c7a7cb5u) {
+  GEPETO_CHECK_MSG(options_.num_workers >= 1,
+                   "WorkerPool needs at least one worker");
+  GEPETO_CHECK(runner_ != nullptr);
+  scratch_root_ = options_.scratch_root.empty()
+                      ? default_scratch_root(options_.name)
+                      : options_.scratch_root;
+  {
+    std::error_code ec;
+    fs::create_directories(scratch_root_, ec);
+  }
+  GEPETO_CHECK_MSG(::pipe2(wake_pipe_, O_CLOEXEC | O_NONBLOCK) == 0,
+                   "WorkerPool: pipe2 failed");
+  workers_.resize(static_cast<std::size_t>(options_.num_workers));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < options_.num_workers; ++i) spawn_worker(i);
+  }
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void WorkerPool::spawn_worker(int index) {
+  Worker& w = workers_[static_cast<std::size_t>(index)];
+  int sv[2];
+  GEPETO_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                   "WorkerPool: socketpair failed");
+  const pid_t pid = ::fork();
+  GEPETO_CHECK_MSG(pid >= 0, "WorkerPool: fork failed");
+  if (pid == 0) {
+    // Child: drop every jobtracker-side fd we inherited, then serve tasks.
+    ::close(sv[0]);
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    for (const Worker& other : workers_)
+      if (other.fd >= 0) ::close(other.fd);
+    worker_main(sv[1]);  // noreturn
+  }
+  ::close(sv[1]);
+  // Mid-frame-hang safety net: poll() gates reads on readability, but a
+  // worker that stalls after sending half a frame would otherwise pin the
+  // dispatcher forever.
+  struct timeval tv;
+  const double rcv_timeout_s = std::max(1.0, options_.heartbeat_timeout_s);
+  tv.tv_sec = static_cast<time_t>(rcv_timeout_s);
+  tv.tv_usec = static_cast<suseconds_t>((rcv_timeout_s - static_cast<double>(
+                                             tv.tv_sec)) * 1e6);
+  ::setsockopt(sv[0], SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  const bool is_respawn = stats_.spawns > index || w.consecutive_deaths > 0;
+  w.pid = pid;
+  w.fd = sv[0];
+  w.busy = false;
+  w.timed_out = false;
+  w.garbled = false;
+  ++stats_.spawns;
+  if (is_respawn) {
+    ++stats_.respawns;
+    const double recovery = seconds_between(w.death_detected, Clock::now());
+    stats_.total_recovery_s += recovery;
+    ++stats_.recoveries;
+    if (auto* m = options_.telemetry.metrics)
+      m->counter("mr_worker_respawns_total", "worker processes respawned")
+          .inc();
+    note_event("worker_respawn", index, std::to_string(pid));
+  } else {
+    if (auto* m = options_.telemetry.metrics)
+      m->counter("mr_worker_spawns_total", "worker processes forked").inc();
+    note_event("worker_spawn", index, std::to_string(pid));
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  wake_dispatcher();
+  dispatcher_.join();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!pending_.empty()) {
+    pending_.front().promise.set_value(
+        ExecResult{false, {}, ExitCategory::kProtocol, "pool shut down"});
+    pending_.pop_front();
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = workers_[i];
+    if (w.pid < 0) continue;
+    write_frame(w.fd, FrameType::kShutdown, {});
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = workers_[i];
+    if (w.pid < 0) continue;
+    const int status = wait_with_grace(w.pid, /*grace_s=*/1.0);
+    const ExitCategory category = categorize_exit(w, status);
+    count_death(category);
+    ++stats_.reaps;
+    if (w.busy)
+      fail_inflight(w, category, "pool shut down while attempt in flight");
+    remove_tree(worker_dir(scratch_root_, w.pid));
+    ::close(w.fd);
+    w.fd = -1;
+    w.pid = -1;
+  }
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  remove_tree(scratch_root_);
+}
+
+ExecResult WorkerPool::execute(TaskRequest request) {
+  std::future<ExecResult> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_)
+      return ExecResult{false, {}, ExitCategory::kProtocol, "pool shut down"};
+    Pending pending;
+    pending.request = std::move(request);
+    future = pending.promise.get_future();
+    pending_.push_back(std::move(pending));
+  }
+  wake_dispatcher();
+  return future.get();
+}
+
+WorkerPoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int WorkerPool::live_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  for (const Worker& w : workers_)
+    if (w.pid > 0) ++live;
+  return live;
+}
+
+std::vector<pid_t> WorkerPool::worker_pids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<pid_t> pids;
+  for (const Worker& w : workers_)
+    if (w.pid > 0) pids.push_back(w.pid);
+  return pids;
+}
+
+void WorkerPool::kill_worker(int index, int sig) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto i = static_cast<std::size_t>(index);
+  if (i < workers_.size() && workers_[i].pid > 0)
+    ::kill(workers_[i].pid, sig);
+}
+
+bool WorkerPool::debug_reap(int index) {
+  bool reaped = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto i = static_cast<std::size_t>(index);
+    if (i >= workers_.size()) return false;
+    Worker& w = workers_[i];
+    if (w.pid < 0) return false;  // double reap: idempotent no-op
+    ::kill(w.pid, SIGKILL);
+    reaped = reap_locked(index, ExitCategory::kSignal, "debug_reap");
+  }
+  wake_dispatcher();
+  return reaped;
+}
+
+void WorkerPool::wake_dispatcher() {
+  const char byte = 'w';
+  while (::write(wake_pipe_[1], &byte, 1) < 0 && errno == EINTR) {
+  }
+}
+
+void WorkerPool::count_death(ExitCategory category) {
+  switch (category) {
+    case ExitCategory::kClean:
+      ++stats_.deaths_clean;
+      break;
+    case ExitCategory::kTaskError:
+      ++stats_.deaths_task_error;
+      break;
+    case ExitCategory::kSignal:
+      ++stats_.deaths_signal;
+      break;
+    case ExitCategory::kTimeout:
+      ++stats_.deaths_timeout;
+      break;
+    case ExitCategory::kGarbled:
+      ++stats_.deaths_garbled;
+      break;
+    case ExitCategory::kProtocol:
+      ++stats_.deaths_protocol;
+      break;
+  }
+  if (auto* m = options_.telemetry.metrics) {
+    m->counter("mr_worker_deaths_total", "worker process deaths").inc();
+    m->counter(std::string("mr_worker_deaths_") + exit_category_name(category) +
+                   "_total",
+               "worker deaths by exit category")
+        .inc();
+  }
+}
+
+void WorkerPool::note_event(const char* name, int index,
+                            const std::string& detail) {
+  if (auto* t = options_.telemetry.trace)
+    t->wall_instant(name, "worker",
+                    {{"worker", std::to_string(index)}, {"detail", detail}});
+}
+
+ExitCategory WorkerPool::categorize_exit(const Worker& w,
+                                         int wait_status) const {
+  // Parent-imposed endings outrank the raw wait status: the SIGKILL the
+  // parent sent after a missed heartbeat must not read as generic "signal".
+  if (w.timed_out) return ExitCategory::kTimeout;
+  if (w.garbled) return ExitCategory::kGarbled;
+  if (wait_status < 0) return ExitCategory::kProtocol;
+  if (WIFSIGNALED(wait_status)) return ExitCategory::kSignal;
+  if (WIFEXITED(wait_status)) {
+    const int code = WEXITSTATUS(wait_status);
+    if (code == 0) return ExitCategory::kClean;
+    if (code == 3) return ExitCategory::kTaskError;
+  }
+  return ExitCategory::kProtocol;
+}
+
+void WorkerPool::fail_inflight(Worker& w, ExitCategory category,
+                               const std::string& detail) {
+  if (!w.busy) return;
+  w.busy = false;
+  ++stats_.tasks_failed;
+  ExecResult result;
+  result.worker_ok = false;
+  result.category = category;
+  result.error = std::string("worker died (") + exit_category_name(category) +
+                 "): " + detail;
+  w.inflight.set_value(std::move(result));
+}
+
+bool WorkerPool::reap_locked(int index, ExitCategory category,
+                             const std::string& detail) {
+  Worker& w = workers_[static_cast<std::size_t>(index)];
+  if (w.pid < 0) return false;  // already reaped: idempotent
+  const pid_t pid = w.pid;
+  const int status = wait_with_grace(pid, /*grace_s=*/2.0);
+  const ExitCategory final_category =
+      category == ExitCategory::kProtocol && status >= 0
+          ? categorize_exit(w, status)
+          : category;
+  ++stats_.reaps;
+  count_death(final_category);
+  fail_inflight(w, final_category, detail);
+  ::close(w.fd);
+  w.fd = -1;
+  w.pid = -1;
+  w.timed_out = false;
+  w.garbled = false;
+  remove_tree(worker_dir(scratch_root_, pid));
+  note_event("worker_death", index,
+             std::string(exit_category_name(final_category)) + ": " + detail);
+
+  // Schedule the replacement with exponential backoff + seeded jitter so a
+  // crash-looping worker cannot turn the dispatcher into a fork bomb.
+  ++w.consecutive_deaths;
+  const int exponent = std::min(w.consecutive_deaths - 1, 20);
+  double backoff = std::min(options_.respawn_backoff_cap_s,
+                            options_.respawn_backoff_base_s *
+                                static_cast<double>(1u << exponent));
+  backoff *= 0.5 + 0.5 * jitter_rng_.uniform();
+  stats_.max_backoff_s = std::max(stats_.max_backoff_s, backoff);
+  stats_.total_backoff_s += backoff;
+  w.death_detected = Clock::now();
+  w.respawn_at = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(backoff));
+  return true;
+}
+
+void WorkerPool::on_worker_death(int index, ExitCategory category,
+                                 const std::string& detail) {
+  Worker& w = workers_[static_cast<std::size_t>(index)];
+  if (w.pid < 0) return;
+  if (category == ExitCategory::kTimeout) {
+    w.timed_out = true;
+    ::kill(w.pid, SIGKILL);
+  } else if (category == ExitCategory::kGarbled) {
+    w.garbled = true;
+    ::kill(w.pid, SIGKILL);
+  }
+  reap_locked(index, category, detail);
+}
+
+void WorkerPool::assign_pending_locked() {
+  while (!pending_.empty()) {
+    Worker* idle = nullptr;
+    int idle_index = -1;
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].pid > 0 && !workers_[i].busy) {
+        idle = &workers_[i];
+        idle_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idle == nullptr) return;  // degraded: requests wait for a respawn
+
+    Pending pending = std::move(pending_.front());
+    pending_.pop_front();
+    const std::string payload = serialize_request(pending.request);
+    if (!write_frame(idle->fd, FrameType::kTask, payload)) {
+      // The worker died between poll rounds; fail it over and retry the
+      // request on the next idle worker.
+      pending_.push_front(std::move(pending));
+      on_worker_death(idle_index, ExitCategory::kProtocol,
+                      "task dispatch write failed");
+      continue;
+    }
+    idle->busy = true;
+    idle->inflight = std::move(pending.promise);
+    idle->heartbeat_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               options_.heartbeat_timeout_s));
+    ++stats_.tasks_dispatched;
+    if (auto* m = options_.telemetry.metrics)
+      m->counter("mr_worker_tasks_dispatched_total",
+                 "task attempts shipped to worker processes")
+          .inc();
+  }
+}
+
+void WorkerPool::handle_worker_frame(int index) {
+  Worker& w = workers_[static_cast<std::size_t>(index)];
+  if (w.pid < 0 || w.fd < 0) return;  // raced with a reap
+  Frame frame;
+  const FrameStatus status = read_frame(w.fd, frame);
+  switch (status) {
+    case FrameStatus::kOk:
+      break;
+    case FrameStatus::kEof:
+      on_worker_death(index, ExitCategory::kProtocol, "worker stream EOF");
+      return;
+    case FrameStatus::kTimeout:
+      on_worker_death(index, ExitCategory::kTimeout,
+                      "worker stalled mid-frame");
+      return;
+    case FrameStatus::kGarbled:
+      on_worker_death(index, ExitCategory::kGarbled,
+                      "frame failed CRC / bad magic");
+      return;
+    case FrameStatus::kError:
+      on_worker_death(index, ExitCategory::kProtocol, "worker stream error");
+      return;
+  }
+
+  switch (frame.type) {
+    case FrameType::kHeartbeat: {
+      ++stats_.heartbeats;
+      if (auto* m = options_.telemetry.metrics)
+        m->counter("mr_worker_heartbeats_total", "worker heartbeats received")
+            .inc();
+      w.heartbeat_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options_.heartbeat_timeout_s));
+      return;
+    }
+    case FrameType::kResult: {
+      if (!w.busy) {
+        on_worker_death(index, ExitCategory::kProtocol,
+                        "result frame from idle worker");
+        return;
+      }
+      w.busy = false;
+      w.consecutive_deaths = 0;
+      ++stats_.tasks_completed;
+      ExecResult result;
+      result.worker_ok = true;
+      result.outcome.ok = true;
+      result.outcome.payload = std::move(frame.payload);
+      w.inflight.set_value(std::move(result));
+      return;
+    }
+    case FrameType::kTaskFailed: {
+      if (!w.busy) {
+        on_worker_death(index, ExitCategory::kProtocol,
+                        "failure frame from idle worker");
+        return;
+      }
+      ExecResult result;
+      result.worker_ok = true;
+      result.outcome.ok = false;
+      try {
+        wire::Reader r(frame.payload);
+        result.outcome.failed_record = r.get_i64();
+        result.outcome.error = r.get_str();
+      } catch (const wire::WireError& e) {
+        on_worker_death(index, ExitCategory::kGarbled, e.what());
+        return;
+      }
+      w.busy = false;
+      w.consecutive_deaths = 0;
+      ++stats_.tasks_completed;
+      w.inflight.set_value(std::move(result));
+      return;
+    }
+    default:
+      on_worker_death(index, ExitCategory::kProtocol,
+                      "unexpected frame type from worker");
+      return;
+  }
+}
+
+void WorkerPool::dispatch_loop() {
+  std::vector<pollfd> fds;
+  std::vector<int> fd_worker;  // pollfd index - 1 -> worker index
+  for (;;) {
+    Clock::time_point next_deadline = Clock::now() + std::chrono::seconds(1);
+    fds.clear();
+    fd_worker.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutting_down_) return;
+      assign_pending_locked();
+      const Clock::time_point now = Clock::now();
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker& w = workers_[i];
+        if (w.pid > 0 && w.busy && w.heartbeat_deadline <= now) {
+          ++stats_.heartbeat_timeouts;
+          if (auto* m = options_.telemetry.metrics)
+            m->counter("mr_worker_heartbeat_timeouts_total",
+                       "worker heartbeat deadlines missed")
+                .inc();
+          on_worker_death(static_cast<int>(i), ExitCategory::kTimeout,
+                          "heartbeat deadline missed");
+        }
+      }
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        Worker& w = workers_[i];
+        if (w.pid > 0) {
+          fds.push_back(pollfd{w.fd, POLLIN, 0});
+          fd_worker.push_back(static_cast<int>(i));
+          if (w.busy && w.heartbeat_deadline < next_deadline)
+            next_deadline = w.heartbeat_deadline;
+        } else {
+          if (w.respawn_at <= now) {
+            spawn_worker(static_cast<int>(i));
+            fds.push_back(pollfd{w.fd, POLLIN, 0});
+            fd_worker.push_back(static_cast<int>(i));
+          } else if (w.respawn_at < next_deadline) {
+            next_deadline = w.respawn_at;
+          }
+        }
+      }
+      assign_pending_locked();
+    }
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+
+    const double until_s =
+        std::max(0.0, seconds_between(Clock::now(), next_deadline));
+    const int timeout_ms =
+        std::clamp(static_cast<int>(until_s * 1000.0) + 1, 1, 1000);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;  // poll broken beyond repair; dtor still reaps everyone
+    }
+
+    if ((fds.back().revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) return;
+    for (std::size_t k = 0; k + 1 < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+        handle_worker_frame(fd_worker[k]);
+    }
+    assign_pending_locked();
+  }
+}
+
+}  // namespace gepeto::ipc

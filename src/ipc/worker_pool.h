@@ -1,0 +1,236 @@
+// WorkerPool: a pool of real child-process tasktrackers.
+//
+// The thread backend runs every "node" inside the jobtracker's own address
+// space, so PR 1's fault tolerance has only ever been exercised against
+// simulated failures. This pool makes tasktrackers actual processes: each
+// worker is fork()ed with a socketpair back to the jobtracker, pulls task
+// descriptors framed with a CRC (ipc/frame.h), streams results back over the
+// wire, and sends periodic heartbeats while a task is running. Because task
+// bodies are templated C++ closures that cannot be exec'd, workers inherit
+// the type-erased TaskRunner (and the in-memory DFS) by copy-on-write at
+// fork time; a pool is therefore created per job, after the runner exists.
+//
+// The jobtracker side is a single dispatcher thread multiplexing all worker
+// sockets with poll(): it hands queued requests to idle workers, refreshes
+// heartbeat deadlines, and turns every way a worker can die — clean exit,
+// TaskError exit, signal (real SIGKILL chaos), heartbeat timeout, garbled
+// frame — into a structured ExitCategory that the engine maps onto its
+// existing retry / blacklist / max_failed_task_fraction logic. Dead workers
+// are reaped exactly once (waitpid; reaping is idempotent) and respawned
+// with exponential backoff plus seeded jitter; the pool degrades gracefully
+// to fewer live workers mid-job rather than failing the job.
+//
+// Thread-safety: execute() may be called concurrently from many engine
+// threads; each call blocks until its task completes (or its worker dies)
+// while the dispatcher interleaves all in-flight tasks.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "telemetry/telemetry.h"
+
+namespace gepeto::ipc {
+
+/// Process-level faults a TaskRequest can carry (FaultPlan::ProcessFault,
+/// resolved per attempt by the engine). The child honors them; the parent
+/// must survive them.
+enum class ProcFaultKind : std::uint32_t {
+  kNone = 0,
+  kSigkillAtRecord = 1,      ///< raise(SIGKILL) when progress hits a record
+  kHangBeforeHeartbeat = 2,  ///< hang at task start, before any heartbeat
+  kGarbledFrame = 3,         ///< corrupt the CRC on the result frame
+};
+
+/// One task attempt shipped to a worker. `payload` is opaque to the ipc
+/// layer — the engine's process backend owns its schema.
+struct TaskRequest {
+  int phase = 0;
+  int task = 0;
+  int attempt = 0;
+  bool inject_crash = false;            ///< simulated in-process crash
+  std::vector<std::int64_t> skip;       ///< records to skip (Hadoop skip mode)
+  ProcFaultKind fault = ProcFaultKind::kNone;
+  std::int64_t fault_record = -1;
+  std::string payload;
+};
+
+/// What the task body reported (only meaningful when the worker survived).
+struct TaskOutcome {
+  bool ok = false;
+  std::int64_t failed_record = -1;  ///< AttemptFailure record on !ok
+  std::string error;
+  std::string payload;
+};
+
+/// How a worker left the world, mapped from waitpid status plus parent-side
+/// context. DESIGN.md §11 documents the taxonomy.
+enum class ExitCategory {
+  kClean,     ///< exit(0): shutdown request honored
+  kTaskError, ///< exit(3): worker-internal error outside the task protocol
+  kSignal,    ///< killed by a signal (real chaos, OOM, operator kill -9)
+  kTimeout,   ///< parent SIGKILLed it after a missed heartbeat deadline
+  kGarbled,   ///< its stream failed CRC; parent killed the untrustable pipe
+  kProtocol,  ///< unexpected frame / early EOF without a signal
+};
+
+const char* exit_category_name(ExitCategory c);
+
+/// Result of execute(): either the worker survived and `outcome` is its
+/// report, or the worker died mid-attempt and `category`/`error` say how.
+struct ExecResult {
+  bool worker_ok = false;
+  TaskOutcome outcome;
+  ExitCategory category = ExitCategory::kClean;
+  std::string error;
+};
+
+/// Child-side handle passed to the TaskRunner. progress() is the task body's
+/// heartbeat hook: call it once per record; it emits a heartbeat frame when
+/// the interval has elapsed and applies record-indexed process faults.
+class WorkerTaskContext {
+ public:
+  void progress(std::int64_t record);
+  /// Per-attempt scratch directory, created lazily, removed after the
+  /// attempt (and by the parent when the worker is reaped).
+  const std::string& scratch_dir();
+
+ private:
+  friend class WorkerPool;
+  int fd_ = -1;
+  double heartbeat_interval_s_ = 0.5;
+  ProcFaultKind fault_ = ProcFaultKind::kNone;
+  std::int64_t fault_record_ = -1;
+  std::string attempt_dir_;   // "" until first scratch_dir() call
+  std::string attempt_stem_;  // worker scratch dir + attempt coordinates
+  std::chrono::steady_clock::time_point last_heartbeat_;
+};
+
+using TaskRunner =
+    std::function<TaskOutcome(const TaskRequest&, WorkerTaskContext&)>;
+
+struct WorkerPoolOptions {
+  int num_workers = 2;
+  double heartbeat_interval_s = 0.2;
+  double heartbeat_timeout_s = 5.0;
+  double respawn_backoff_base_s = 0.05;
+  double respawn_backoff_cap_s = 2.0;
+  std::uint64_t seed = 0;       ///< jitter seed (deterministic chaos)
+  std::string scratch_root;     ///< "" = $GEPETO_SCRATCH_DIR or system tmp
+  std::string name = "pool";    ///< scratch-dir + telemetry label
+  telemetry::Telemetry telemetry;
+};
+
+/// Monotonic pool counters, snapshot via stats(). Sums over the pool's whole
+/// life, including workers long since reaped.
+struct WorkerPoolStats {
+  std::int64_t spawns = 0;
+  std::int64_t respawns = 0;
+  std::int64_t deaths_clean = 0;
+  std::int64_t deaths_task_error = 0;
+  std::int64_t deaths_signal = 0;
+  std::int64_t deaths_timeout = 0;
+  std::int64_t deaths_garbled = 0;
+  std::int64_t deaths_protocol = 0;
+  std::int64_t heartbeats = 0;
+  std::int64_t heartbeat_timeouts = 0;
+  std::int64_t reaps = 0;
+  std::int64_t tasks_dispatched = 0;
+  std::int64_t tasks_completed = 0;
+  std::int64_t tasks_failed = 0;  ///< attempts lost to a worker death
+  double max_backoff_s = 0.0;
+  double total_backoff_s = 0.0;
+  double total_recovery_s = 0.0;  ///< death detected -> replacement live
+  std::int64_t recoveries = 0;
+
+  std::int64_t deaths() const {
+    return deaths_clean + deaths_task_error + deaths_signal + deaths_timeout +
+           deaths_garbled + deaths_protocol;
+  }
+};
+
+class WorkerPool {
+ public:
+  WorkerPool(WorkerPoolOptions options, TaskRunner runner);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Run one task attempt on some worker. Blocks until the attempt finishes
+  /// or the worker assigned to it dies; safe to call from many threads.
+  ExecResult execute(TaskRequest request);
+
+  WorkerPoolStats stats() const;
+  int live_workers() const;
+  std::vector<pid_t> worker_pids() const;
+  const std::string& scratch_root() const { return scratch_root_; }
+
+  /// Test hooks. kill_worker sends `sig` to the index-th live worker (the
+  /// dispatcher then observes the death like any real one). debug_reap
+  /// force-reaps a worker slot; returns false when the slot was already
+  /// reaped — double reaps must be no-ops.
+  void kill_worker(int index, int sig);
+  bool debug_reap(int index);
+
+ private:
+  struct Worker {
+    pid_t pid = -1;                ///< -1 = reaped, awaiting respawn
+    int fd = -1;
+    bool busy = false;
+    bool timed_out = false;        ///< parent imposed SIGKILL (taxonomy)
+    bool garbled = false;          ///< parent killed a CRC-failing stream
+    int consecutive_deaths = 0;    ///< backoff exponent
+    std::chrono::steady_clock::time_point heartbeat_deadline{};
+    std::chrono::steady_clock::time_point respawn_at{};
+    std::chrono::steady_clock::time_point death_detected{};
+    std::promise<ExecResult> inflight;  ///< valid only while busy
+  };
+
+  struct Pending {
+    TaskRequest request;
+    std::promise<ExecResult> promise;
+  };
+
+  void spawn_worker(int index);
+  [[noreturn]] void worker_main(int fd);
+  void dispatch_loop();
+  void assign_pending_locked();
+  void handle_worker_frame(int index);
+  void on_worker_death(int index, ExitCategory category,
+                       const std::string& detail);
+  ExitCategory categorize_exit(const Worker& w, int wait_status) const;
+  bool reap_locked(int index, ExitCategory category,
+                   const std::string& detail);
+  void fail_inflight(Worker& w, ExitCategory category,
+                     const std::string& detail);
+  void wake_dispatcher();
+  void count_death(ExitCategory category);
+  void note_event(const char* name, int index, const std::string& detail);
+
+  WorkerPoolOptions options_;
+  TaskRunner runner_;
+  std::string scratch_root_;
+
+  mutable std::mutex mu_;
+  std::vector<Worker> workers_;
+  std::deque<Pending> pending_;
+  WorkerPoolStats stats_;
+  Rng jitter_rng_;
+  bool shutting_down_ = false;
+
+  int wake_pipe_[2] = {-1, -1};
+  std::thread dispatcher_;
+};
+
+}  // namespace gepeto::ipc

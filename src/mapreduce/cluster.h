@@ -24,6 +24,19 @@ namespace gepeto::mr {
 inline constexpr std::size_t kKiB = 1024;
 inline constexpr std::size_t kMiB = 1024 * 1024;
 
+/// How task attempts actually execute on the host.
+enum class ExecutionBackend {
+  /// Every tasktracker is a thread in the jobtracker's process (fast, but a
+  /// crashing task would take the whole job down — failures are simulated).
+  kThread,
+  /// Every tasktracker is a fork()ed child process talking to the
+  /// jobtracker over a framed local socket (ipc/worker_pool.h): tasks can
+  /// really be SIGKILLed, hang, or corrupt their output, and the job
+  /// survives. Slower per task (serialization + IPC), same results —
+  /// byte-identical outputs are the contract.
+  kProcess,
+};
+
 struct ClusterConfig {
   /// Worker nodes (each is a datanode + tasktracker). The namenode and
   /// jobtracker are dedicated machines, as in the paper's deployment.
@@ -91,6 +104,20 @@ struct ClusterConfig {
   /// Host threads used to actually execute tasks (0 = hardware concurrency).
   unsigned execution_threads = 0;
 
+  /// Which backend executes task attempts (see ExecutionBackend).
+  ExecutionBackend backend = ExecutionBackend::kThread;
+  /// Worker processes for the process backend (0 = one per execution
+  /// thread). Ignored by the thread backend.
+  int process_workers = 0;
+  /// Process-backend liveness knobs: a busy worker heartbeats every
+  /// `interval` seconds; the jobtracker SIGKILLs it after `timeout` seconds
+  /// of silence and respawns it with exponential backoff in
+  /// [base, cap] seconds (jittered).
+  double worker_heartbeat_interval_s = 0.2;
+  double worker_heartbeat_timeout_s = 5.0;
+  double worker_respawn_backoff_base_s = 0.05;
+  double worker_respawn_backoff_cap_s = 2.0;
+
   std::uint64_t seed = 0xC0FFEE;
 
   int total_map_slots() const { return num_worker_nodes * map_slots_per_node; }
@@ -108,6 +135,11 @@ struct ClusterConfig {
     if (execution_threads != 0) return execution_threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1u : hw;
+  }
+  int resolved_process_workers() const {
+    return process_workers > 0
+               ? process_workers
+               : static_cast<int>(resolved_execution_threads());
   }
 
   void validate() const {

@@ -55,6 +55,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -64,10 +65,12 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "ipc/worker_pool.h"
 #include "mapreduce/dfs.h"
 #include "mapreduce/engine_telemetry.h"
 #include "mapreduce/job.h"
 #include "mapreduce/merge.h"
+#include "mapreduce/process_backend.h"
 #include "mapreduce/record_io.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/seqfile.h"
@@ -331,14 +334,7 @@ struct BinaryRecords {
 };
 
 // --- fault-tolerant task execution -----------------------------------------
-
-/// Internal: one attempt crashed. `record` is the input key (line offset /
-/// record index / reduce group ordinal) the task was processing, or -1 when
-/// the crash is not attributable to a record (machine-style failure).
-struct AttemptFailure {
-  std::int64_t record = -1;
-  std::string message;
-};
+// (detail::AttemptFailure lives in job.h so the process backend shares it.)
 
 /// Outcome of one task after the retry loop.
 template <typename Out>
@@ -359,13 +355,15 @@ inline bool in_skip_set(const std::vector<std::int64_t>& skip,
 }
 
 /// Execute one task with Hadoop-style retries and skip mode. `attempt` is
-/// called with (records_to_skip, inject_crash) and must either return the
-/// task's output or throw AttemptFailure; it is responsible for building a
-/// fresh task object + context per call so crashed attempts leave nothing
-/// behind. A record that crashes two consecutive attempts is pinpointed and
-/// skipped (within FailurePolicy::max_skipped_records); pinpointing counts
-/// as progress and refreshes the attempt budget, as Hadoop's skip mode
-/// effectively does by narrowing the bad range each re-execution.
+/// called with (records_to_skip, inject_crash, attempt_no) and must either
+/// return the task's output or throw AttemptFailure; it is responsible for
+/// building a fresh task object + context per call so crashed attempts leave
+/// nothing behind (the attempt ordinal lets the process backend address
+/// per-attempt faults and label worker requests). A record that crashes two
+/// consecutive attempts is pinpointed and skipped (within
+/// FailurePolicy::max_skipped_records); pinpointing counts as progress and
+/// refreshes the attempt budget, as Hadoop's skip mode effectively does by
+/// narrowing the bad range each re-execution.
 template <typename Out, typename AttemptFn>
 TaskTry<Out> run_task_attempts(const JobConfig& job, std::uint64_t seed,
                                int phase, std::size_t task,
@@ -385,7 +383,7 @@ TaskTry<Out> run_task_attempts(const JobConfig& job, std::uint64_t seed,
         job.fault_plan.crashes_attempt(phase, static_cast<int>(task),
                                        attempt_no);
     try {
-      out.value = attempt(std::as_const(skip), inject);
+      out.value = attempt(std::as_const(skip), inject, attempt_no);
       out.ok = true;
       out.attempts = attempt_no + 1;
       out.skipped_records = skip.size();
@@ -669,10 +667,7 @@ template <typename Records, typename MapperFactory>
 JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
                                 const JobConfig& job,
                                 MapperFactory make_mapper) {
-  config.validate();
-  GEPETO_CHECK(job.failures.max_attempts > 0);
-  GEPETO_CHECK(job.failures.max_failed_task_fraction >= 0.0 &&
-               job.failures.max_failed_task_fraction <= 1.0);
+  detail::validate_submission(config, job);
   const telemetry::Telemetry tel = job.telemetry.or_else(dfs.telemetry());
   telemetry::WallScope wall_scope;
   if (tel.trace != nullptr)
@@ -695,106 +690,143 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
   };
   std::vector<detail::TaskTry<TaskOut>> tries(splits.size());
 
+  // The attempt body, shared verbatim by both backends: the thread backend
+  // runs it inline, the process backend runs it inside a forked tasktracker.
+  // `progress` is called with the running input-record ordinal before each
+  // record — a no-op on the thread path; heartbeats and planned kill points
+  // on the process path.
+  auto attempt_body = [&](std::size_t t, const std::vector<std::int64_t>& skip,
+                          bool inject, auto&& progress) -> TaskOut {
+    CpuStopwatch cpu;
+    auto mapper = make_mapper();
+    using Mapper = std::decay_t<decltype(mapper)>;
+    constexpr bool kGroupAware =
+        std::is_same_v<Records, detail::TextRecords> &&
+        detail::GroupAwareMapper<Mapper>;
+    MapOnlyContext ctx(dfs, job, static_cast<int>(t));
+    try {
+      detail::maybe_setup(mapper, ctx);
+    } catch (const TaskError& e) {
+      throw detail::AttemptFailure{-1, e.what()};
+    }
+    const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+    const std::string_view file = dfs.read(splits[t].path);
+    Records reader(file, ci.offset, ci.size);
+    std::uint64_t records = 0;
+    std::uint64_t ext_bytes = 0;
+    std::int64_t seen = 0;
+    // One record through skip mode, the fault plan's poison set, and
+    // the mapper.
+    auto feed = [&](std::int64_t key, std::string_view value) {
+      progress(seen++);
+      if (detail::in_skip_set(skip, key)) return;
+      if (job.fault_plan.poisons_record(value))
+        throw detail::AttemptFailure{key, "fault-plan poison record"};
+      try {
+        mapper.map(key, value, ctx);
+      } catch (const TaskError& e) {
+        throw detail::AttemptFailure{key, e.what()};
+      }
+      ++records;
+      // An injected crash strikes after the first record so the
+      // discarded attempt provably had partial output; it is not
+      // attributed to the record (a machine crash, not a bad record).
+      if (inject)
+        throw detail::AttemptFailure{-1, "injected attempt crash"};
+    };
+    if constexpr (kGroupAware) {
+      // Group-aware split protocol (see GroupAwareMapper): a maximal
+      // run of consecutive same-group lines belongs to the split that
+      // owns its first line.
+      std::string_view chain_prev;
+      bool skipping_lead = false;
+      const std::uint64_t first = reader.reader.next_record_offset();
+      if (ci.offset > 0 && first > 0 && first < file.size()) {
+        chain_prev = line_ending_before(file, first);
+        skipping_lead = true;
+      }
+      bool owned_any = false;
+      while (reader.next()) {
+        const std::string_view value = reader.value();
+        if (skipping_lead) {
+          if (mapper.same_group(chain_prev, value)) {
+            chain_prev = value;
+            continue;  // owned by the split that started the group
+          }
+          skipping_lead = false;
+        }
+        chain_prev = value;
+        owned_any = true;
+        feed(reader.key(), value);
+      }
+      // Finish the group our last record opened, reading past the
+      // split end (possibly across several chunks) until it breaks.
+      if (owned_any) {
+        const std::uint64_t pos = reader.reader.next_record_offset();
+        if (pos < file.size()) {
+          LineRecordReader ext(file, pos, file.size() - pos);
+          while (ext.next()) {
+            if (!mapper.same_group(chain_prev, ext.value())) break;
+            chain_prev = ext.value();
+            ext_bytes += ext.value().size() + 1;
+            feed(ext.key(), ext.value());
+          }
+        }
+      }
+    } else {
+      while (reader.next()) feed(reader.key(), reader.value());
+    }
+    if (inject)  // empty / fully-skipped split: crash anyway
+      throw detail::AttemptFailure{-1, "injected attempt crash"};
+    try {
+      detail::maybe_cleanup(mapper, ctx);
+    } catch (const TaskError& e) {
+      throw detail::AttemptFailure{-1, e.what()};
+    }
+    TaskOut out;
+    out.output = std::move(ctx.output());
+    out.records = ctx.records();
+    out.input_records = records;
+    out.input_bytes = ci.size + reader.overread_bytes() + ext_bytes;
+    out.cpu_seconds =
+        config.modeled_seconds_per_record > 0.0
+            ? static_cast<double>(records) *
+                  config.modeled_seconds_per_record
+            : cpu.seconds();
+    out.counters = ctx.counters();
+    return out;
+  };
+
+  // Process backend: fork the tasktracker pool only after the runner exists;
+  // children inherit the mapper factory, the splits and the in-memory DFS
+  // read-only via copy-on-write.
+  std::unique_ptr<ipc::WorkerPool> wpool;
+  if (config.backend == ExecutionBackend::kProcess) {
+    ipc::TaskRunner runner = [&](const ipc::TaskRequest& req,
+                                 ipc::WorkerTaskContext& wctx) {
+      return detail::run_child_attempt([&] {
+        return detail::encode_map_only_out(attempt_body(
+            static_cast<std::size_t>(req.task), req.skip, req.inject_crash,
+            [&wctx](std::int64_t rec) { wctx.progress(rec); }));
+      });
+    };
+    wpool = std::make_unique<ipc::WorkerPool>(
+        detail::worker_pool_options(config, job, tel), std::move(runner));
+  }
+
   auto run_task = [&](std::size_t t) {
     tries[t] = detail::run_task_attempts<TaskOut>(
         job, config.seed, /*phase=*/1, t,
-        [&, t](const std::vector<std::int64_t>& skip, bool inject) {
-          CpuStopwatch cpu;
-          auto mapper = make_mapper();
-          using Mapper = std::decay_t<decltype(mapper)>;
-          constexpr bool kGroupAware =
-              std::is_same_v<Records, detail::TextRecords> &&
-              detail::GroupAwareMapper<Mapper>;
-          MapOnlyContext ctx(dfs, job, static_cast<int>(t));
-          try {
-            detail::maybe_setup(mapper, ctx);
-          } catch (const TaskError& e) {
-            throw detail::AttemptFailure{-1, e.what()};
+        [&, t](const std::vector<std::int64_t>& skip, bool inject,
+               int attempt_no) {
+          if (wpool != nullptr) {
+            return detail::remote_attempt<TaskOut>(
+                *wpool, job, /*phase=*/1, t, attempt_no, skip, inject, {},
+                [](std::string_view p) {
+                  return detail::decode_map_only_out<TaskOut>(p);
+                });
           }
-          const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
-          const std::string_view file = dfs.read(splits[t].path);
-          Records reader(file, ci.offset, ci.size);
-          std::uint64_t records = 0;
-          std::uint64_t ext_bytes = 0;
-          // One record through skip mode, the fault plan's poison set, and
-          // the mapper.
-          auto feed = [&](std::int64_t key, std::string_view value) {
-            if (detail::in_skip_set(skip, key)) return;
-            if (job.fault_plan.poisons_record(value))
-              throw detail::AttemptFailure{key, "fault-plan poison record"};
-            try {
-              mapper.map(key, value, ctx);
-            } catch (const TaskError& e) {
-              throw detail::AttemptFailure{key, e.what()};
-            }
-            ++records;
-            // An injected crash strikes after the first record so the
-            // discarded attempt provably had partial output; it is not
-            // attributed to the record (a machine crash, not a bad record).
-            if (inject)
-              throw detail::AttemptFailure{-1, "injected attempt crash"};
-          };
-          if constexpr (kGroupAware) {
-            // Group-aware split protocol (see GroupAwareMapper): a maximal
-            // run of consecutive same-group lines belongs to the split that
-            // owns its first line.
-            std::string_view chain_prev;
-            bool skipping_lead = false;
-            const std::uint64_t first = reader.reader.next_record_offset();
-            if (ci.offset > 0 && first > 0 && first < file.size()) {
-              chain_prev = line_ending_before(file, first);
-              skipping_lead = true;
-            }
-            bool owned_any = false;
-            while (reader.next()) {
-              const std::string_view value = reader.value();
-              if (skipping_lead) {
-                if (mapper.same_group(chain_prev, value)) {
-                  chain_prev = value;
-                  continue;  // owned by the split that started the group
-                }
-                skipping_lead = false;
-              }
-              chain_prev = value;
-              owned_any = true;
-              feed(reader.key(), value);
-            }
-            // Finish the group our last record opened, reading past the
-            // split end (possibly across several chunks) until it breaks.
-            if (owned_any) {
-              const std::uint64_t pos = reader.reader.next_record_offset();
-              if (pos < file.size()) {
-                LineRecordReader ext(file, pos, file.size() - pos);
-                while (ext.next()) {
-                  if (!mapper.same_group(chain_prev, ext.value())) break;
-                  chain_prev = ext.value();
-                  ext_bytes += ext.value().size() + 1;
-                  feed(ext.key(), ext.value());
-                }
-              }
-            }
-          } else {
-            while (reader.next()) feed(reader.key(), reader.value());
-          }
-          if (inject)  // empty / fully-skipped split: crash anyway
-            throw detail::AttemptFailure{-1, "injected attempt crash"};
-          try {
-            detail::maybe_cleanup(mapper, ctx);
-          } catch (const TaskError& e) {
-            throw detail::AttemptFailure{-1, e.what()};
-          }
-          TaskOut out;
-          out.output = std::move(ctx.output());
-          out.records = ctx.records();
-          out.input_records = records;
-          out.input_bytes = ci.size + reader.overread_bytes() + ext_bytes;
-          out.cpu_seconds =
-              config.modeled_seconds_per_record > 0.0
-                  ? static_cast<double>(records) *
-                        config.modeled_seconds_per_record
-                  : cpu.seconds();
-          out.counters = ctx.counters();
-          return out;
+          return attempt_body(t, skip, inject, [](std::int64_t) {});
         });
   };
   auto cost_of = [&](std::size_t t) {
@@ -849,6 +881,13 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
   result.sim_recovery_seconds = phase.recovery_seconds;
   result.sim_seconds = result.sim_startup_seconds + result.sim_map_seconds +
                        result.sim_recovery_seconds;
+
+  if (wpool != nullptr) {
+    // Read stats before the pool's destructor shuts workers down: clean
+    // shutdown exits must not count as deaths.
+    detail::absorb_worker_stats(result, wpool->stats());
+    wpool.reset();
+  }
   result.real_seconds = wall.seconds();
 
   if (tel.enabled()) {
@@ -884,13 +923,25 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   using V = typename Mapper::OutValue;
   constexpr bool kHasCombiner = !std::is_same_v<CombinerFactory, NoCombiner>;
 
-  config.validate();
+  detail::validate_submission(config, job);
   GEPETO_CHECK(job.num_reducers > 0);
-  GEPETO_CHECK(job.failures.max_attempts > 0);
-  GEPETO_CHECK(job.failures.max_failed_task_fraction >= 0.0 &&
-               job.failures.max_failed_task_fraction <= 1.0);
   GEPETO_CHECK_MSG(!job.use_combiner || kHasCombiner,
                    "job.use_combiner set but no combiner factory given");
+
+  // The process backend ships intermediate pairs over a real socket, so K/V
+  // must be wire-serializable; non-wireable types keep the thread backend and
+  // get a structured error (not a compile error on unrelated drivers) when a
+  // process run is requested.
+  constexpr bool kWireable =
+      ipc::wire::WireSerializable<K> && ipc::wire::WireSerializable<V>;
+  if constexpr (!kWireable) {
+    if (config.backend == ExecutionBackend::kProcess)
+      throw JobError(JobError::Kind::kInvalidConfig, job.name, /*phase=*/0,
+                     /*task_index=*/-1, /*attempts=*/0,
+                     "process backend requires wire-serializable intermediate "
+                     "key/value types (trivially copyable, std::string, or "
+                     "wire_append/wire_parse members)");
+  }
   const telemetry::Telemetry tel = job.telemetry.or_else(dfs.telemetry());
   telemetry::WallScope wall_scope;
   if (tel.trace != nullptr)
@@ -909,6 +960,10 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   struct MapOut {
     // One sorted (combined) run per reducer partition, in split layout.
     std::vector<SortedRun<K, V>> runs;
+    // Process backend: the same runs as opaque wire blobs, one per partition.
+    // The jobtracker never parses them — it forwards each reducer's blob to
+    // the reduce worker, which parses and merges (the "wire shuffle").
+    std::vector<std::string> run_blobs;
     std::vector<std::uint64_t> run_bytes;
     std::uint64_t raw_records = 0;       // before combine
     std::uint64_t combined_records = 0;  // after combine
@@ -921,88 +976,207 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   };
   std::vector<detail::TaskTry<MapOut>> mtries(splits.size());
 
+  // Backend-shared map attempt body (see run_map_only_job_impl for the
+  // progress-hook contract).
+  auto map_attempt_body = [&](std::size_t t,
+                              const std::vector<std::int64_t>& skip,
+                              bool inject, auto&& progress) -> MapOut {
+    CpuStopwatch cpu;
+    auto mapper = make_mapper();
+    MapContext<K, V> ctx(dfs, job, static_cast<int>(t), R);
+    try {
+      detail::maybe_setup(mapper, ctx);
+    } catch (const TaskError& e) {
+      throw detail::AttemptFailure{-1, e.what()};
+    }
+    const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
+    LineRecordReader reader(dfs.read(splits[t].path), ci.offset, ci.size);
+    std::uint64_t records = 0;
+    std::int64_t seen = 0;
+    while (reader.next()) {
+      progress(seen++);
+      const std::int64_t key = reader.key();
+      if (detail::in_skip_set(skip, key)) continue;
+      if (job.fault_plan.poisons_record(reader.value()))
+        throw detail::AttemptFailure{key, "fault-plan poison record"};
+      try {
+        mapper.map(key, reader.value(), ctx);
+      } catch (const TaskError& e) {
+        throw detail::AttemptFailure{key, e.what()};
+      }
+      ++records;
+      if (inject)
+        throw detail::AttemptFailure{-1, "injected attempt crash"};
+    }
+    if (inject)
+      throw detail::AttemptFailure{-1, "injected attempt crash"};
+    try {
+      detail::maybe_cleanup(mapper, ctx);
+    } catch (const TaskError& e) {
+      throw detail::AttemptFailure{-1, e.what()};
+    }
+
+    MapOut out;
+    out.input_records = records;
+    out.input_bytes = ci.size + reader.overread_bytes();
+    out.raw_records = ctx.emitted_records();
+    out.raw_bytes = ctx.emitted_bytes();
+
+    // Pairs are already partitioned (emit-time); sort each spill,
+    // optionally combine, and lay it out as a SortedRun — like
+    // Hadoop's sort-and-spill with a combiner pass.
+    Stopwatch sort_sw;
+    out.runs.reserve(static_cast<std::size_t>(R));
+    out.run_bytes.assign(static_cast<std::size_t>(R), 0);
+    for (int r = 0; r < R; ++r) {
+      auto& spill = ctx.spill(static_cast<std::size_t>(r));
+      detail::sort_pairs(spill);
+      SortedRun<K, V> run = detail::split_pairs(std::move(spill));
+      std::uint64_t bytes = ctx.spill_bytes(static_cast<std::size_t>(r));
+      if constexpr (kHasCombiner) {
+        if (job.use_combiner) {
+          auto combiner = make_combiner();
+          // A combiner context with a single partition: combined pairs
+          // land in spill 0 unhashed, re-partitioning is never needed.
+          MapContext<K, V> cctx(dfs, job, static_cast<int>(t), 1);
+          detail::for_each_group(
+              run, [&](const K& key, std::span<const V> values) {
+                combiner.combine(key, values, cctx);
+              });
+          auto& cspill = cctx.spill(0);
+          detail::sort_pairs(cspill);
+          run = detail::split_pairs(std::move(cspill));
+          bytes = cctx.spill_bytes(0);
+        }
+      }
+      out.combined_records += run.size();
+      out.run_bytes[static_cast<std::size_t>(r)] = bytes;
+      out.runs.push_back(std::move(run));
+    }
+    out.sort_seconds = sort_sw.seconds();
+    out.cpu_seconds =
+        config.modeled_seconds_per_record > 0.0
+            ? static_cast<double>(records) *
+                  config.modeled_seconds_per_record
+            : cpu.seconds();
+    out.counters = ctx.counters();
+    return out;
+  };
+
+  struct ReduceOut {
+    std::string output;
+    std::uint64_t records = 0;
+    std::uint64_t groups = 0;
+    double cpu_seconds = 0.0;
+    // Process backend: the k-way merge ran inside the reduce worker, so its
+    // cost comes back over the wire instead of being timed by the jobtracker.
+    double merge_seconds = 0.0;
+    std::uint64_t merged_runs = 0;
+    Counters counters;
+  };
+
+  // Backend-shared reduce attempt body. `merged` is this partition's k-way
+  // merged run; attempts iterate it without consuming it (groups are spans
+  // into it), so a crashed attempt re-runs from the same shuffled input, as
+  // Hadoop re-fetches map output that is still on the mappers' disks.
+  auto reduce_attempt_body = [&](int r, const SortedRun<K, V>& merged,
+                                 const std::vector<std::int64_t>& skip,
+                                 bool inject, auto&& progress) -> ReduceOut {
+    CpuStopwatch cpu;
+    auto reducer = make_reducer();
+    ReduceContext ctx(dfs, job, r);
+    try {
+      detail::maybe_setup(reducer, ctx);
+    } catch (const TaskError& e) {
+      throw detail::AttemptFailure{-1, e.what()};
+    }
+    std::uint64_t groups = 0;
+    std::int64_t ordinal = -1;  // group index = skip-mode key
+    detail::for_each_group(
+        merged, [&](const K& key, std::span<const V> values) {
+          ++ordinal;
+          progress(ordinal);
+          if (detail::in_skip_set(skip, ordinal)) return;
+          try {
+            reducer.reduce(key, values, ctx);
+          } catch (const TaskError& e) {
+            throw detail::AttemptFailure{ordinal, e.what()};
+          }
+          ++groups;
+          if (inject)
+            throw detail::AttemptFailure{-1, "injected attempt crash"};
+        });
+    if (inject)  // no group processed: crash anyway
+      throw detail::AttemptFailure{-1, "injected attempt crash"};
+    try {
+      detail::maybe_cleanup(reducer, ctx);
+    } catch (const TaskError& e) {
+      throw detail::AttemptFailure{-1, e.what()};
+    }
+    ReduceOut out;
+    out.output = std::move(ctx.output());
+    out.records = ctx.records();
+    out.groups = groups;
+    out.cpu_seconds =
+        config.modeled_seconds_per_record > 0.0
+            ? static_cast<double>(merged.size()) *
+                  config.modeled_seconds_per_record
+            : cpu.seconds();
+    out.counters = ctx.counters();
+    return out;
+  };
+
+  // Process backend: one pool serves both phases; the runner dispatches on
+  // the request's phase id. Forked after both attempt bodies exist so the
+  // children inherit them (and the in-memory DFS) via copy-on-write.
+  std::unique_ptr<ipc::WorkerPool> wpool;
+  if constexpr (kWireable) {
+    if (config.backend == ExecutionBackend::kProcess) {
+      ipc::TaskRunner runner = [&](const ipc::TaskRequest& req,
+                                   ipc::WorkerTaskContext& wctx) {
+        return detail::run_child_attempt([&]() -> std::string {
+          auto progress = [&wctx](std::int64_t rec) { wctx.progress(rec); };
+          if (req.phase == 1) {
+            return detail::encode_map_out<MapOut, K, V>(
+                map_attempt_body(static_cast<std::size_t>(req.task), req.skip,
+                                 req.inject_crash, progress));
+          }
+          // Reduce: parse the wire-shuffled bundle, k-way merge, reduce.
+          auto runs = detail::parse_reduce_bundle<K, V>(req.payload);
+          std::vector<SortedRun<K, V>*> parts;
+          parts.reserve(runs.size());
+          for (auto& run : runs) parts.push_back(&run);
+          Stopwatch merge_sw;
+          const SortedRun<K, V> merged = detail::merge_sorted_runs<K, V>(
+              std::span<SortedRun<K, V>* const>(parts.data(), parts.size()));
+          const double merge_s = merge_sw.seconds();
+          ReduceOut out = reduce_attempt_body(req.task, merged, req.skip,
+                                              req.inject_crash, progress);
+          out.merge_seconds = merge_s;
+          out.merged_runs = runs.size();
+          return detail::encode_reduce_out(out);
+        });
+      };
+      wpool = std::make_unique<ipc::WorkerPool>(
+          detail::worker_pool_options(config, job, tel), std::move(runner));
+    }
+  }
+
   auto run_map_task = [&](std::size_t t) {
     mtries[t] = detail::run_task_attempts<MapOut>(
         job, config.seed, /*phase=*/1, t,
-        [&, t](const std::vector<std::int64_t>& skip, bool inject) {
-          CpuStopwatch cpu;
-          auto mapper = make_mapper();
-          MapContext<K, V> ctx(dfs, job, static_cast<int>(t), R);
-          try {
-            detail::maybe_setup(mapper, ctx);
-          } catch (const TaskError& e) {
-            throw detail::AttemptFailure{-1, e.what()};
-          }
-          const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
-          LineRecordReader reader(dfs.read(splits[t].path), ci.offset, ci.size);
-          std::uint64_t records = 0;
-          while (reader.next()) {
-            const std::int64_t key = reader.key();
-            if (detail::in_skip_set(skip, key)) continue;
-            if (job.fault_plan.poisons_record(reader.value()))
-              throw detail::AttemptFailure{key, "fault-plan poison record"};
-            try {
-              mapper.map(key, reader.value(), ctx);
-            } catch (const TaskError& e) {
-              throw detail::AttemptFailure{key, e.what()};
+        [&, t](const std::vector<std::int64_t>& skip, bool inject,
+               int attempt_no) {
+          if constexpr (kWireable) {
+            if (wpool != nullptr) {
+              return detail::remote_attempt<MapOut>(
+                  *wpool, job, /*phase=*/1, t, attempt_no, skip, inject, {},
+                  [](std::string_view p) {
+                    return detail::decode_map_out<MapOut>(p);
+                  });
             }
-            ++records;
-            if (inject)
-              throw detail::AttemptFailure{-1, "injected attempt crash"};
           }
-          if (inject)
-            throw detail::AttemptFailure{-1, "injected attempt crash"};
-          try {
-            detail::maybe_cleanup(mapper, ctx);
-          } catch (const TaskError& e) {
-            throw detail::AttemptFailure{-1, e.what()};
-          }
-
-          MapOut out;
-          out.input_records = records;
-          out.input_bytes = ci.size + reader.overread_bytes();
-          out.raw_records = ctx.emitted_records();
-          out.raw_bytes = ctx.emitted_bytes();
-
-          // Pairs are already partitioned (emit-time); sort each spill,
-          // optionally combine, and lay it out as a SortedRun — like
-          // Hadoop's sort-and-spill with a combiner pass.
-          Stopwatch sort_sw;
-          out.runs.reserve(static_cast<std::size_t>(R));
-          out.run_bytes.assign(static_cast<std::size_t>(R), 0);
-          for (int r = 0; r < R; ++r) {
-            auto& spill = ctx.spill(static_cast<std::size_t>(r));
-            detail::sort_pairs(spill);
-            SortedRun<K, V> run = detail::split_pairs(std::move(spill));
-            std::uint64_t bytes = ctx.spill_bytes(static_cast<std::size_t>(r));
-            if constexpr (kHasCombiner) {
-              if (job.use_combiner) {
-                auto combiner = make_combiner();
-                // A combiner context with a single partition: combined pairs
-                // land in spill 0 unhashed, re-partitioning is never needed.
-                MapContext<K, V> cctx(dfs, job, static_cast<int>(t), 1);
-                detail::for_each_group(
-                    run, [&](const K& key, std::span<const V> values) {
-                      combiner.combine(key, values, cctx);
-                    });
-                auto& cspill = cctx.spill(0);
-                detail::sort_pairs(cspill);
-                run = detail::split_pairs(std::move(cspill));
-                bytes = cctx.spill_bytes(0);
-              }
-            }
-            out.combined_records += run.size();
-            out.run_bytes[static_cast<std::size_t>(r)] = bytes;
-            out.runs.push_back(std::move(run));
-          }
-          out.sort_seconds = sort_sw.seconds();
-          out.cpu_seconds =
-              config.modeled_seconds_per_record > 0.0
-                  ? static_cast<double>(records) *
-                        config.modeled_seconds_per_record
-                  : cpu.seconds();
-          out.counters = ctx.counters();
-          return out;
+          return map_attempt_body(t, skip, inject, [](std::int64_t) {});
         });
   };
   auto map_cost_of = [&](std::size_t t) {
@@ -1042,13 +1216,6 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   }
 
   // --- shuffle + reduce (real execution) -----------------------------------
-  struct ReduceOut {
-    std::string output;
-    std::uint64_t records = 0;
-    std::uint64_t groups = 0;
-    double cpu_seconds = 0.0;
-    Counters counters;
-  };
   std::vector<detail::TaskTry<ReduceOut>> rtries(static_cast<std::size_t>(R));
   std::vector<ReduceTaskCost> rcosts(static_cast<std::size_t>(R));
 
@@ -1072,14 +1239,46 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     futs.reserve(static_cast<std::size_t>(R));
     for (int r = 0; r < R; ++r) {
       futs.push_back(pool->submit([&, r] {
+        if constexpr (kWireable) {
+          if (wpool != nullptr) {
+            // Wire shuffle: hand the reduce worker the surviving maps'
+            // partition blobs in map-task order — the merge-stability order —
+            // so the worker-side loser tree reproduces the thread backend's
+            // output byte for byte. Every attempt re-ships the same bundle,
+            // as Hadoop re-fetches map output after a reduce attempt dies.
+            std::vector<std::string> blobs;
+            blobs.reserve(mtries.size());
+            for (const auto& m : mtries) {
+              if (!m.ok) continue;
+              blobs.push_back(m.value.run_blobs[static_cast<std::size_t>(r)]);
+            }
+            const std::string bundle = detail::encode_reduce_bundle(blobs);
+            rtries[static_cast<std::size_t>(r)] =
+                detail::run_task_attempts<ReduceOut>(
+                    job, config.seed, /*phase=*/2, static_cast<std::size_t>(r),
+                    [&](const std::vector<std::int64_t>& skip, bool inject,
+                        int attempt_no) {
+                      return detail::remote_attempt<ReduceOut>(
+                          *wpool, job, /*phase=*/2,
+                          static_cast<std::size_t>(r), attempt_no, skip,
+                          inject, bundle, [](std::string_view p) {
+                            return detail::decode_reduce_out<ReduceOut>(p);
+                          });
+                    });
+            const auto& rt = rtries[static_cast<std::size_t>(r)];
+            if (rt.ok) {
+              merge_secs[static_cast<std::size_t>(r)] = rt.value.merge_seconds;
+              merged_run_counts[static_cast<std::size_t>(r)] =
+                  rt.value.merged_runs;
+            }
+            return;
+          }
+        }
         // K-way merge this partition's sorted runs from every surviving map
         // task, gathered in map-task order: the loser tree's tie-break on
         // run index then reproduces the old concat-and-stable-sort order
         // exactly (map-task order, then emission order). The merged run is
-        // built once; attempts iterate it without consuming it (groups are
-        // spans into it), so a crashed reduce attempt re-runs from the same
-        // shuffled input, as Hadoop re-fetches map output that is still on
-        // the mappers' disks.
+        // built once; attempts share it (see reduce_attempt_body).
         std::vector<SortedRun<K, V>*> parts;
         for (auto& m : mtries) {
           if (!m.ok) continue;
@@ -1095,49 +1294,10 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
         rtries[static_cast<std::size_t>(r)] =
             detail::run_task_attempts<ReduceOut>(
                 job, config.seed, /*phase=*/2, static_cast<std::size_t>(r),
-                [&](const std::vector<std::int64_t>& skip, bool inject) {
-                  CpuStopwatch cpu;
-                  auto reducer = make_reducer();
-                  ReduceContext ctx(dfs, job, r);
-                  try {
-                    detail::maybe_setup(reducer, ctx);
-                  } catch (const TaskError& e) {
-                    throw detail::AttemptFailure{-1, e.what()};
-                  }
-                  std::uint64_t groups = 0;
-                  std::int64_t ordinal = -1;  // group index = skip-mode key
-                  detail::for_each_group(
-                      merged, [&](const K& key, std::span<const V> values) {
-                        ++ordinal;
-                        if (detail::in_skip_set(skip, ordinal)) return;
-                        try {
-                          reducer.reduce(key, values, ctx);
-                        } catch (const TaskError& e) {
-                          throw detail::AttemptFailure{ordinal, e.what()};
-                        }
-                        ++groups;
-                        if (inject)
-                          throw detail::AttemptFailure{
-                              -1, "injected attempt crash"};
-                      });
-                  if (inject)  // no group processed: crash anyway
-                    throw detail::AttemptFailure{-1, "injected attempt crash"};
-                  try {
-                    detail::maybe_cleanup(reducer, ctx);
-                  } catch (const TaskError& e) {
-                    throw detail::AttemptFailure{-1, e.what()};
-                  }
-                  ReduceOut out;
-                  out.output = std::move(ctx.output());
-                  out.records = ctx.records();
-                  out.groups = groups;
-                  out.cpu_seconds =
-                      config.modeled_seconds_per_record > 0.0
-                          ? static_cast<double>(merged.size()) *
-                                config.modeled_seconds_per_record
-                          : cpu.seconds();
-                  out.counters = ctx.counters();
-                  return out;
+                [&](const std::vector<std::int64_t>& skip, bool inject,
+                    int) {
+                  return reduce_attempt_body(r, merged, skip, inject,
+                                             [](std::int64_t) {});
                 });
       }));
     }
@@ -1198,6 +1358,13 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   result.sim_recovery_seconds = mphase.recovery_seconds;
   result.sim_seconds = result.sim_startup_seconds + result.sim_map_seconds +
                        result.sim_recovery_seconds + result.sim_reduce_seconds;
+
+  if (wpool != nullptr) {
+    // Read stats before the pool's destructor shuts workers down: clean
+    // shutdown exits must not count as deaths.
+    detail::absorb_worker_stats(result, wpool->stats());
+    wpool.reset();
+  }
   result.real_seconds = wall.seconds();
 
   if (tel.enabled()) {

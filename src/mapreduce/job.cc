@@ -15,6 +15,7 @@ const char* kind_name(JobError::Kind kind) {
     case JobError::Kind::kDataLoss: return "data loss";
     case JobError::Kind::kTooManyFailedTasks: return "too many failed tasks";
     case JobError::Kind::kCorruptCheckpoint: return "corrupt checkpoint";
+    case JobError::Kind::kInvalidConfig: return "invalid configuration";
   }
   return "unknown";
 }
@@ -67,6 +68,13 @@ bool FaultPlan::crashes_attempt(int phase, int task, int attempt) const {
   return false;
 }
 
+const FaultPlan::ProcessFault* FaultPlan::process_fault_for(int phase, int task,
+                                                            int attempt) const {
+  for (const auto& f : process_faults)
+    if (f.phase == phase && f.task == task && f.attempt == attempt) return &f;
+  return nullptr;
+}
+
 bool FaultPlan::poisons_record(std::string_view record) const {
   if (poison_modulus == 0) return false;
   // FNV-1a over the record bytes, perturbed by the plan seed. Hashing content
@@ -102,6 +110,9 @@ void JobResult::absorb(const JobResult& next) {
   skipped_records += next.skipped_records;
   blacklisted_nodes += next.blacklisted_nodes;
   lost_chunks += next.lost_chunks;
+  worker_deaths += next.worker_deaths;
+  worker_respawns += next.worker_respawns;
+  worker_recovery_seconds += next.worker_recovery_seconds;
   real_seconds += next.real_seconds;
   sort_seconds += next.sort_seconds;
   merge_seconds += next.merge_seconds;

@@ -39,6 +39,7 @@ class JobError : public std::runtime_error {
     kDataLoss,             ///< an input split lost every DFS replica
     kTooManyFailedTasks,   ///< failed tasks exceed max_failed_task_fraction
     kCorruptCheckpoint,    ///< a resume checkpoint failed to parse
+    kInvalidConfig,        ///< cluster/job knobs rejected at submission
   };
 
   JobError(Kind kind, std::string job_name, int phase, int task_index,
@@ -96,6 +97,29 @@ struct FaultPlan {
   };
   std::vector<NodeKill> node_kills;
 
+  /// Process-level faults, honored only by the process backend
+  /// (ClusterConfig::backend == ExecutionBackend::kProcess): the chosen
+  /// attempt runs in a worker that really dies or misbehaves, and the
+  /// jobtracker's heartbeat/reap/respawn machinery — not a simulated throw —
+  /// must recover. Like AttemptCrash, addressed by (phase, task, attempt).
+  struct ProcessFault {
+    enum class Kind {
+      kSigkillAtRecord,      ///< worker raises SIGKILL at input record N
+      kHangBeforeHeartbeat,  ///< worker hangs before its first heartbeat
+      kGarbledFrame,         ///< worker corrupts the CRC of its result frame
+    };
+    int phase = 1;
+    int task = 0;
+    int attempt = 0;
+    Kind kind = Kind::kSigkillAtRecord;
+    std::int64_t record = 0;  ///< for kSigkillAtRecord: die at this record
+  };
+  std::vector<ProcessFault> process_faults;
+
+  /// The process fault planned for this attempt, or nullptr.
+  const ProcessFault* process_fault_for(int phase, int task,
+                                        int attempt) const;
+
   /// Content-addressed poison records: when > 0, a map input record whose
   /// content hash is ≡ 0 (mod poison_modulus) throws TaskError from inside
   /// the map call. Because the decision hashes the record *bytes* (not the
@@ -112,7 +136,7 @@ struct FaultPlan {
 
   bool empty() const {
     return crashes.empty() && attempt_crash_prob <= 0.0 &&
-           node_kills.empty() && poison_modulus == 0;
+           node_kills.empty() && poison_modulus == 0 && process_faults.empty();
   }
 };
 
@@ -158,6 +182,20 @@ struct JobConfig {
 /// Per-job counters, merged from all tasks (deterministic given the seed).
 using Counters = std::map<std::string, std::int64_t>;
 
+namespace detail {
+
+/// Internal: one attempt crashed. `record` is the input key (line offset /
+/// record index / reduce group ordinal) the task was processing, or -1 when
+/// the crash is not attributable to a record (machine-style failure).
+/// Defined here (not engine.h) so the process backend's wire glue can
+/// translate worker-side failures without pulling in the whole engine.
+struct AttemptFailure {
+  std::int64_t record = -1;
+  std::string message;
+};
+
+}  // namespace detail
+
 /// How a map task's input chunk was placed relative to the node that ran it
 /// in the simulated schedule.
 enum class Locality { kDataLocal, kRackLocal, kRemote };
@@ -193,6 +231,13 @@ struct JobResult {
   std::uint64_t skipped_records = 0;  ///< bad records skipped (skip mode)
   int blacklisted_nodes = 0;        ///< nodes the virtual jobtracker excluded
   int lost_chunks = 0;              ///< chunks that lost every replica mid-job
+
+  // Process backend only (zero under the thread backend): real worker
+  // processes that died / were respawned while this job ran, and the wall
+  // time spent between detecting each death and having its replacement live.
+  int worker_deaths = 0;
+  int worker_respawns = 0;
+  double worker_recovery_seconds = 0.0;
 
   // Real execution on host threads.
   double real_seconds = 0.0;

@@ -1,0 +1,340 @@
+// Engine glue for the process worker backend (ExecutionBackend::kProcess).
+//
+// The engine's job impls stay backend-agnostic: every task attempt runs
+// through the same detail::run_task_attempts retry loop, and only the
+// innermost closure differs — the thread backend runs the attempt body
+// inline, the process backend ships it to a fork()ed tasktracker via
+// ipc::WorkerPool and this header's wire codecs. A worker death (SIGKILL,
+// heartbeat timeout, garbled frame) surfaces as detail::AttemptFailure, i.e.
+// exactly like a simulated machine crash, so retries, skip mode,
+// blacklisting and max_failed_task_fraction apply unchanged.
+//
+// The reduce-side "wire shuffle": map workers serialize each partition's
+// SortedRun into an opaque blob; the jobtracker never deserializes
+// intermediate keys/values, it just concatenates the surviving maps' blobs
+// (in map-task order) into the reduce request, and the reduce worker parses
+// and k-way-merges them. The loser tree's tie-break on run index then
+// reproduces the thread backend's (map-task order, emission order) exactly —
+// which is why outputs are byte-identical across backends.
+//
+// The codecs over the engine's attempt-output structs are duck-typed
+// templates: those structs are locals of the job impl templates, and the
+// process path must not even instantiate for intermediate types that are not
+// wire-serializable (the impls guard with `if constexpr`).
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ipc/wire.h"
+#include "ipc/worker_pool.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+#include "mapreduce/merge.h"
+#include "telemetry/telemetry.h"
+
+namespace gepeto::mr::detail {
+
+/// Validate cluster and job knobs at submission. Garbage knobs (negative
+/// slots, zero replication, zero bandwidths) used to flow silently into the
+/// cost model and produce garbage timings; now they are a structured,
+/// catchable JobError instead of UB.
+inline void validate_submission(const ClusterConfig& config,
+                                const JobConfig& job) {
+  auto reject = [&](const std::string& what) {
+    throw JobError(JobError::Kind::kInvalidConfig, job.name, /*phase=*/0,
+                   /*task_index=*/-1, /*attempts=*/0, what);
+  };
+  if (config.num_worker_nodes <= 0) reject("num_worker_nodes must be > 0");
+  if (config.nodes_per_rack <= 0) reject("nodes_per_rack must be > 0");
+  if (config.map_slots_per_node <= 0 || config.reduce_slots_per_node <= 0)
+    reject("task slots per node must be > 0");
+  if (config.replication <= 0) reject("replication must be > 0");
+  if (config.chunk_size == 0) reject("chunk_size must be > 0");
+  if (!(config.disk_bandwidth_Bps > 0.0) || !(config.intra_rack_Bps > 0.0) ||
+      !(config.inter_rack_Bps > 0.0))
+    reject("disk and network bandwidths must be > 0");
+  if (!(config.task_startup_seconds >= 0.0) ||
+      !(config.job_startup_seconds >= 0.0))
+    reject("startup costs must be >= 0");
+  if (!(config.compute_scale > 0.0)) reject("compute_scale must be > 0");
+  if (!config.node_speed_factor.empty() &&
+      config.node_speed_factor.size() !=
+          static_cast<std::size_t>(config.num_worker_nodes))
+    reject("node_speed_factor must have one entry per worker node");
+  for (const double f : config.node_speed_factor)
+    if (!(f > 0.0)) reject("node_speed_factor entries must be > 0");
+  if (config.blacklist_after_failures < 0)
+    reject("blacklist_after_failures must be >= 0");
+  if (config.process_workers < 0) reject("process_workers must be >= 0");
+  if (config.backend == ExecutionBackend::kProcess) {
+    if (!(config.worker_heartbeat_interval_s > 0.0))
+      reject("worker_heartbeat_interval_s must be > 0");
+    if (!(config.worker_heartbeat_timeout_s >
+          config.worker_heartbeat_interval_s))
+      reject("worker_heartbeat_timeout_s must exceed the interval");
+    if (!(config.worker_respawn_backoff_base_s > 0.0) ||
+        config.worker_respawn_backoff_cap_s <
+            config.worker_respawn_backoff_base_s)
+      reject("worker respawn backoff must satisfy 0 < base <= cap");
+  }
+  if (job.failures.max_attempts <= 0)
+    reject("FailurePolicy::max_attempts must be > 0");
+  if (!(job.failures.max_failed_task_fraction >= 0.0 &&
+        job.failures.max_failed_task_fraction <= 1.0))
+    reject("max_failed_task_fraction must be within [0, 1]");
+  if (!(job.failures.task_failure_prob >= 0.0 &&
+        job.failures.task_failure_prob <= 1.0))
+    reject("task_failure_prob must be within [0, 1]");
+}
+
+inline ipc::WorkerPoolOptions worker_pool_options(
+    const ClusterConfig& config, const JobConfig& job,
+    const telemetry::Telemetry& tel) {
+  ipc::WorkerPoolOptions o;
+  o.num_workers = config.resolved_process_workers();
+  o.heartbeat_interval_s = config.worker_heartbeat_interval_s;
+  o.heartbeat_timeout_s = config.worker_heartbeat_timeout_s;
+  o.respawn_backoff_base_s = config.worker_respawn_backoff_base_s;
+  o.respawn_backoff_cap_s = config.worker_respawn_backoff_cap_s;
+  o.seed = config.seed ^ std::hash<std::string>{}(job.name);
+  o.telemetry = tel;
+  std::string name;
+  for (const char c : job.name)
+    name.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '-');
+  o.name = name.empty() ? "job" : name;
+  return o;
+}
+
+/// Map a planned FaultPlan::ProcessFault onto the ipc request.
+inline void apply_process_fault(const FaultPlan& plan, int phase,
+                                std::size_t task, int attempt,
+                                ipc::TaskRequest& req) {
+  const FaultPlan::ProcessFault* f =
+      plan.process_fault_for(phase, static_cast<int>(task), attempt);
+  if (f == nullptr) return;
+  switch (f->kind) {
+    case FaultPlan::ProcessFault::Kind::kSigkillAtRecord:
+      req.fault = ipc::ProcFaultKind::kSigkillAtRecord;
+      req.fault_record = f->record;
+      break;
+    case FaultPlan::ProcessFault::Kind::kHangBeforeHeartbeat:
+      req.fault = ipc::ProcFaultKind::kHangBeforeHeartbeat;
+      break;
+    case FaultPlan::ProcessFault::Kind::kGarbledFrame:
+      req.fault = ipc::ProcFaultKind::kGarbledFrame;
+      break;
+  }
+}
+
+/// Run one attempt on a worker process. Worker-side task failures and worker
+/// deaths both come back as AttemptFailure, feeding the ordinary retry loop;
+/// a death is a machine-style crash (record -1), never attributed to a
+/// record.
+template <typename Out, typename Decode>
+Out remote_attempt(ipc::WorkerPool& pool, const JobConfig& job, int phase,
+                   std::size_t task, int attempt_no,
+                   const std::vector<std::int64_t>& skip, bool inject,
+                   std::string payload, Decode&& decode) {
+  ipc::TaskRequest req;
+  req.phase = phase;
+  req.task = static_cast<int>(task);
+  req.attempt = attempt_no;
+  req.inject_crash = inject;
+  req.skip = skip;
+  req.payload = std::move(payload);
+  apply_process_fault(job.fault_plan, phase, task, attempt_no, req);
+  ipc::ExecResult res = pool.execute(std::move(req));
+  if (!res.worker_ok) throw AttemptFailure{-1, res.error};
+  if (!res.outcome.ok)
+    throw AttemptFailure{res.outcome.failed_record, res.outcome.error};
+  try {
+    return decode(std::string_view(res.outcome.payload));
+  } catch (const ipc::wire::WireError& e) {
+    throw AttemptFailure{-1,
+                         std::string("undecodable worker payload: ") + e.what()};
+  }
+}
+
+/// Child-side shim: run an attempt body and report through the task
+/// protocol. AttemptFailure (task-level crash) becomes a structured failure
+/// outcome; anything else escapes and exits the worker with the TaskError
+/// exit code (3), exercising the exit taxonomy instead of masking bugs.
+template <typename Body>
+ipc::TaskOutcome run_child_attempt(Body&& body) {
+  try {
+    ipc::TaskOutcome out;
+    out.ok = true;
+    out.payload = body();
+    return out;
+  } catch (const AttemptFailure& f) {
+    ipc::TaskOutcome out;
+    out.ok = false;
+    out.failed_record = f.record;
+    out.error = f.message;
+    return out;
+  }
+}
+
+inline void absorb_worker_stats(JobResult& result,
+                                const ipc::WorkerPoolStats& stats) {
+  result.worker_deaths = static_cast<int>(stats.deaths());
+  result.worker_respawns = static_cast<int>(stats.respawns);
+  result.worker_recovery_seconds = stats.total_recovery_s;
+}
+
+// --- wire codecs over the engine's attempt-output structs --------------------
+// Duck-typed on the local structs of the job impls; instantiated only on the
+// `if constexpr`-guarded process path.
+
+template <typename TaskOut>
+std::string encode_map_only_out(const TaskOut& o) {
+  namespace w = ipc::wire;
+  std::string p;
+  w::put_str(p, o.output);
+  w::put_u64(p, o.records);
+  w::put_u64(p, o.input_records);
+  w::put_u64(p, o.input_bytes);
+  w::put_f64(p, o.cpu_seconds);
+  w::put_counters(p, o.counters);
+  return p;
+}
+
+template <typename TaskOut>
+TaskOut decode_map_only_out(std::string_view payload) {
+  namespace w = ipc::wire;
+  w::Reader r(payload);
+  TaskOut o;
+  o.output = r.get_str();
+  o.records = r.get_u64();
+  o.input_records = r.get_u64();
+  o.input_bytes = r.get_u64();
+  o.cpu_seconds = r.get_f64();
+  o.counters = w::get_counters(r);
+  return o;
+}
+
+/// One partition run as an opaque blob: count-prefixed keys then values.
+template <typename K, typename V>
+std::string encode_run_blob(const SortedRun<K, V>& run) {
+  namespace w = ipc::wire;
+  std::string blob;
+  w::put_vec(blob, run.keys);
+  w::put_vec(blob, run.values);
+  return blob;
+}
+
+template <typename K, typename V>
+SortedRun<K, V> decode_run_blob(std::string_view blob) {
+  namespace w = ipc::wire;
+  w::Reader r(blob);
+  SortedRun<K, V> run;
+  run.keys = w::get_vec<K>(r);
+  run.values = w::get_vec<V>(r);
+  if (run.keys.size() != run.values.size())
+    throw w::WireError("run blob: key/value count mismatch");
+  return run;
+}
+
+/// Map worker -> jobtracker: volumes and counters in the clear, the runs as
+/// opaque blobs the jobtracker stores without parsing.
+template <typename MapOut, typename K, typename V>
+std::string encode_map_out(const MapOut& o) {
+  namespace w = ipc::wire;
+  std::string p;
+  w::put_u64(p, o.raw_records);
+  w::put_u64(p, o.combined_records);
+  w::put_u64(p, o.raw_bytes);
+  w::put_u64(p, o.input_records);
+  w::put_u64(p, o.input_bytes);
+  w::put_f64(p, o.cpu_seconds);
+  w::put_f64(p, o.sort_seconds);
+  w::put_counters(p, o.counters);
+  w::put_vec(p, o.run_bytes);
+  w::put_u64(p, o.runs.size());
+  for (const SortedRun<K, V>& run : o.runs)
+    w::put_str(p, encode_run_blob(run));
+  return p;
+}
+
+template <typename MapOut>
+MapOut decode_map_out(std::string_view payload) {
+  namespace w = ipc::wire;
+  w::Reader r(payload);
+  MapOut o;
+  o.raw_records = r.get_u64();
+  o.combined_records = r.get_u64();
+  o.raw_bytes = r.get_u64();
+  o.input_records = r.get_u64();
+  o.input_bytes = r.get_u64();
+  o.cpu_seconds = r.get_f64();
+  o.sort_seconds = r.get_f64();
+  o.counters = w::get_counters(r);
+  o.run_bytes = w::get_vec<std::uint64_t>(r);
+  const std::uint64_t n = r.get_u64();
+  o.run_blobs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) o.run_blobs.push_back(r.get_str());
+  return o;
+}
+
+/// Jobtracker -> reduce worker: the surviving maps' blobs for one partition,
+/// concatenated in map-task order (the merge-stability order).
+inline std::string encode_reduce_bundle(const std::vector<std::string>& blobs) {
+  namespace w = ipc::wire;
+  std::string p;
+  w::put_u64(p, blobs.size());
+  for (const std::string& b : blobs) w::put_str(p, b);
+  return p;
+}
+
+/// Parse + drop empty runs, preserving arrival (map-task) order.
+template <typename K, typename V>
+std::vector<SortedRun<K, V>> parse_reduce_bundle(std::string_view payload) {
+  namespace w = ipc::wire;
+  w::Reader r(payload);
+  const std::uint64_t n = r.get_u64();
+  std::vector<SortedRun<K, V>> runs;
+  runs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SortedRun<K, V> run = decode_run_blob<K, V>(r.get_str());
+    if (!run.empty()) runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+template <typename ReduceOut>
+std::string encode_reduce_out(const ReduceOut& o) {
+  namespace w = ipc::wire;
+  std::string p;
+  w::put_str(p, o.output);
+  w::put_u64(p, o.records);
+  w::put_u64(p, o.groups);
+  w::put_f64(p, o.cpu_seconds);
+  w::put_f64(p, o.merge_seconds);
+  w::put_u64(p, o.merged_runs);
+  w::put_counters(p, o.counters);
+  return p;
+}
+
+template <typename ReduceOut>
+ReduceOut decode_reduce_out(std::string_view payload) {
+  namespace w = ipc::wire;
+  w::Reader r(payload);
+  ReduceOut o;
+  o.output = r.get_str();
+  o.records = r.get_u64();
+  o.groups = r.get_u64();
+  o.cpu_seconds = r.get_f64();
+  o.merge_seconds = r.get_f64();
+  o.merged_runs = r.get_u64();
+  o.counters = w::get_counters(r);
+  return o;
+}
+
+}  // namespace gepeto::mr::detail

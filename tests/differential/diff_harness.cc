@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -21,6 +22,7 @@ const char* chaos_name(Chaos c) {
     case Chaos::kRetries: return "retries";
     case Chaos::kNodeDeath: return "nodedeath";
     case Chaos::kSkip: return "skip";
+    case Chaos::kProcKill: return "prockill";
   }
   return "?";
 }
@@ -31,6 +33,19 @@ mr::ClusterConfig SweepConfig::cluster() const {
   c.nodes_per_rack = 2;
   c.chunk_size = chunk_size;
   c.execution_threads = 2;
+  // CI's process-backend leg re-runs the whole suite with tasks in real
+  // worker processes; every sweep must hold unchanged. Short heartbeats so
+  // record-indexed kill faults land promptly, generous timeout so loaded CI
+  // machines never misread a slow worker as hung.
+  const char* backend = std::getenv("GEPETO_DIFF_BACKEND");
+  if (backend != nullptr && std::strcmp(backend, "process") == 0) {
+    c.backend = mr::ExecutionBackend::kProcess;
+    c.process_workers = 2;
+    c.worker_heartbeat_interval_s = 0.02;
+    c.worker_heartbeat_timeout_s = 10.0;
+    c.worker_respawn_backoff_base_s = 0.01;
+    c.worker_respawn_backoff_cap_s = 0.1;
+  }
   return c;
 }
 
@@ -60,6 +75,22 @@ mr::FaultPlan SweepConfig::fault_plan() const {
     case Chaos::kSkip:
       plan.poison_modulus = kPoisonModulus;
       break;
+    case Chaos::kProcKill: {
+      // Real process chaos: map task 0's first attempt takes a SIGKILL a few
+      // records in, map task 1's first attempt corrupts its result frame, and
+      // a reduce attempt dies too (inert on map-only jobs). Under the thread
+      // backend none of these fire; either way the output must match.
+      using PF = mr::FaultPlan::ProcessFault;
+      plan.process_faults.push_back(
+          {/*phase=*/1, /*task=*/0, /*attempt=*/0,
+           PF::Kind::kSigkillAtRecord, /*record=*/2});
+      plan.process_faults.push_back({/*phase=*/1, /*task=*/1, /*attempt=*/0,
+                                     PF::Kind::kGarbledFrame, /*record=*/0});
+      plan.process_faults.push_back(
+          {/*phase=*/2, /*task=*/0, /*attempt=*/0,
+           PF::Kind::kSigkillAtRecord, /*record=*/1});
+      break;
+    }
   }
   return plan;
 }

@@ -35,6 +35,17 @@
 //                   those records (drop_poisoned), which is well-defined
 //                   because the poison decision hashes record *bytes*, not
 //                   task coordinates.
+//   * kProcKill   — process-level faults (FaultPlan::process_faults): under
+//                   the process worker backend a tasktracker really takes a
+//                   SIGKILL mid-record / corrupts its result frame, and the
+//                   jobtracker's reap-and-retry machinery must hide it; under
+//                   the thread backend the faults are inert and the sweep
+//                   degenerates to kNone. Output identical either way.
+//
+// Backend: setting GEPETO_DIFF_BACKEND=process in the environment makes
+// every sweep point run its job through the multi-process worker backend
+// (ClusterConfig::backend = kProcess) — the CI leg that proves the wire
+// shuffle and crash recovery are byte-exact against the same oracles.
 #pragma once
 
 #include <cstdint>
@@ -52,7 +63,7 @@ namespace gepeto::difftest {
 
 // --- sweep configuration -----------------------------------------------------
 
-enum class Chaos { kNone, kRetries, kNodeDeath, kSkip };
+enum class Chaos { kNone, kRetries, kNodeDeath, kSkip, kProcKill };
 
 const char* chaos_name(Chaos c);
 

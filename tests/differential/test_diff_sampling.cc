@@ -130,6 +130,18 @@ TEST(DiffSampling, SkipModeDropsExactlyThePoisonedRecords) {
   }
 }
 
+TEST(DiffSampling, RealWorkerKillsLeaveOutputUnchanged) {
+  // Seeded SIGKILL / garbled-frame sweep: only bites under the process
+  // backend (GEPETO_DIFF_BACKEND=process), where workers really die and the
+  // jobtracker must reap, respawn and retry to the same bytes.
+  for (const Variant variant : {Variant::kMapOnly, Variant::kExact}) {
+    SweepConfig sweep;
+    sweep.chunk_size = 2048;
+    sweep.chaos = Chaos::kProcKill;
+    run_diff(sweep, SamplingTechnique::kUpperLimit, variant);
+  }
+}
+
 TEST(DiffSampling, FlowExecutionMatchesDirectDriver) {
   for (const Variant variant : {Variant::kMapOnly, Variant::kExact}) {
     SweepConfig sweep;

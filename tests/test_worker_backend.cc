@@ -1,0 +1,563 @@
+// Tests for the multi-process worker backend: the ipc::WorkerPool machinery
+// (real fork()ed tasktrackers, heartbeats, kill-driven chaos, reaping and
+// respawn backoff) and its integration behind the engine API — outputs must
+// be byte-identical to the thread backend, with worker deaths mapped onto
+// the ordinary retry logic.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <future>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <unistd.h>
+
+#include "ipc/worker_pool.h"
+#include "mapreduce/engine.h"
+
+namespace gepeto {
+namespace {
+
+// --- ipc::WorkerPool ---------------------------------------------------------
+
+/// A runner with a few scripted behaviors keyed on the request payload:
+///   "spin"  — heartbeat forever-ish (killable from outside mid-heartbeat)
+///   "hang"  — heartbeat once, then hang (flushed its work, never returns)
+///   "fail"  — report a task-level failure at record 5
+///   else    — echo the payload after driving 8 records of progress
+ipc::TaskRunner test_runner() {
+  return [](const ipc::TaskRequest& req, ipc::WorkerTaskContext& ctx) {
+    ipc::TaskOutcome out;
+    if (req.payload == "spin") {
+      for (std::int64_t i = 0; i < 2000; ++i) {
+        ctx.progress(i);
+        ::usleep(5 * 1000);
+      }
+    } else if (req.payload == "hang") {
+      ctx.progress(0);
+      for (;;) ::pause();
+    } else if (req.payload == "fail") {
+      out.ok = false;
+      out.failed_record = 5;
+      out.error = "scripted task failure";
+      return out;
+    } else {
+      for (std::int64_t i = 0; i < 8; ++i) ctx.progress(i);
+    }
+    out.ok = true;
+    out.payload = "echo:" + req.payload;
+    return out;
+  };
+}
+
+ipc::WorkerPoolOptions fast_options(int workers = 1) {
+  ipc::WorkerPoolOptions o;
+  o.num_workers = workers;
+  o.heartbeat_interval_s = 0.01;
+  o.heartbeat_timeout_s = 5.0;
+  o.respawn_backoff_base_s = 0.01;
+  o.respawn_backoff_cap_s = 0.05;
+  o.seed = 42;
+  o.name = "wbtest";
+  return o;
+}
+
+ipc::TaskRequest request(std::string payload,
+                         ipc::ProcFaultKind fault = ipc::ProcFaultKind::kNone,
+                         std::int64_t fault_record = -1) {
+  ipc::TaskRequest req;
+  req.phase = 1;
+  req.payload = std::move(payload);
+  req.fault = fault;
+  req.fault_record = fault_record;
+  return req;
+}
+
+TEST(WorkerPool, EchoRoundTripAndTaskFailures) {
+  ipc::WorkerPool pool(fast_options(2), test_runner());
+  const auto ok = pool.execute(request("ping"));
+  ASSERT_TRUE(ok.worker_ok);
+  ASSERT_TRUE(ok.outcome.ok);
+  EXPECT_EQ(ok.outcome.payload, "echo:ping");
+
+  // A task-level failure comes back structured, without killing the worker.
+  const auto fail = pool.execute(request("fail"));
+  ASSERT_TRUE(fail.worker_ok);
+  EXPECT_FALSE(fail.outcome.ok);
+  EXPECT_EQ(fail.outcome.failed_record, 5);
+  EXPECT_EQ(fail.outcome.error, "scripted task failure");
+
+  const auto st = pool.stats();
+  EXPECT_EQ(st.tasks_completed, 2);
+  EXPECT_EQ(st.deaths(), 0);
+  EXPECT_EQ(pool.live_workers(), 2);
+}
+
+TEST(WorkerPool, SigkillAtRecordIsASignalDeathAndThePoolRecovers) {
+  ipc::WorkerPool pool(fast_options(1), test_runner());
+  const auto dead = pool.execute(
+      request("boom", ipc::ProcFaultKind::kSigkillAtRecord, /*record=*/3));
+  EXPECT_FALSE(dead.worker_ok);
+  EXPECT_EQ(dead.category, ipc::ExitCategory::kSignal);
+
+  // The replacement worker (respawned after backoff) serves the next task.
+  const auto ok = pool.execute(request("after"));
+  ASSERT_TRUE(ok.worker_ok);
+  EXPECT_EQ(ok.outcome.payload, "echo:after");
+
+  const auto st = pool.stats();
+  EXPECT_GE(st.deaths_signal, 1);
+  EXPECT_GE(st.respawns, 1);
+  EXPECT_GE(st.tasks_failed, 1);
+  EXPECT_GE(st.recoveries, 1);
+  EXPECT_GE(st.total_recovery_s, 0.0);
+}
+
+TEST(WorkerPool, GarbledResultFrameIsDetectedByCrcAndKilled) {
+  ipc::WorkerPool pool(fast_options(1), test_runner());
+  const auto dead =
+      pool.execute(request("x", ipc::ProcFaultKind::kGarbledFrame));
+  EXPECT_FALSE(dead.worker_ok);
+  EXPECT_EQ(dead.category, ipc::ExitCategory::kGarbled);
+  EXPECT_GE(pool.stats().deaths_garbled, 1);
+
+  const auto ok = pool.execute(request("after"));
+  EXPECT_TRUE(ok.worker_ok);
+}
+
+TEST(WorkerPool, HangBeforeFirstHeartbeatHitsTheDeadline) {
+  auto options = fast_options(1);
+  options.heartbeat_timeout_s = 0.3;
+  ipc::WorkerPool pool(options, test_runner());
+  const auto dead =
+      pool.execute(request("x", ipc::ProcFaultKind::kHangBeforeHeartbeat));
+  EXPECT_FALSE(dead.worker_ok);
+  EXPECT_EQ(dead.category, ipc::ExitCategory::kTimeout);
+  const auto st = pool.stats();
+  EXPECT_GE(st.heartbeat_timeouts, 1);
+  EXPECT_GE(st.deaths_timeout, 1);
+}
+
+TEST(WorkerPool, WorkerHangingAfterFinalFlushTimesOut) {
+  // The worker heartbeats once (its work is flushed), then wedges without
+  // ever returning: the deadline machinery must SIGKILL it and classify the
+  // death as a timeout, not a signal.
+  auto options = fast_options(1);
+  options.heartbeat_timeout_s = 0.3;
+  ipc::WorkerPool pool(options, test_runner());
+  const auto dead = pool.execute(request("hang"));
+  EXPECT_FALSE(dead.worker_ok);
+  EXPECT_EQ(dead.category, ipc::ExitCategory::kTimeout);
+  EXPECT_GE(pool.stats().heartbeats, 1);
+}
+
+TEST(WorkerPool, WorkerKilledMidHeartbeatWhileBusy) {
+  ipc::WorkerPool pool(fast_options(1), test_runner());
+  auto fut = std::async(std::launch::async,
+                        [&] { return pool.execute(request("spin")); });
+  ::usleep(100 * 1000);  // let the task start and heartbeat
+  pool.kill_worker(0, SIGKILL);
+  const auto dead = fut.get();
+  EXPECT_FALSE(dead.worker_ok);
+  EXPECT_EQ(dead.category, ipc::ExitCategory::kSignal);
+  EXPECT_GE(pool.stats().heartbeats, 1);
+
+  const auto ok = pool.execute(request("after"));
+  EXPECT_TRUE(ok.worker_ok);
+}
+
+TEST(WorkerPool, RespawnBackoffGrowsAndIsCapped) {
+  ipc::WorkerPool pool(fast_options(1), test_runner());
+  for (int i = 0; i < 5; ++i) {
+    const auto dead = pool.execute(
+        request("boom", ipc::ProcFaultKind::kSigkillAtRecord, /*record=*/0));
+    EXPECT_FALSE(dead.worker_ok) << "kill " << i;
+  }
+  const auto ok = pool.execute(request("after"));
+  EXPECT_TRUE(ok.worker_ok);
+
+  const auto st = pool.stats();
+  EXPECT_GE(st.respawns, 5);
+  // Jittered exponential backoff: every delay must respect the cap, and five
+  // consecutive deaths must accumulate more delay than any single one.
+  EXPECT_LE(st.max_backoff_s, 0.05 + 1e-9);
+  EXPECT_GT(st.max_backoff_s, 0.0);
+  EXPECT_GT(st.total_backoff_s, st.max_backoff_s);
+}
+
+TEST(WorkerPool, DoubleReapIsIdempotent) {
+  auto options = fast_options(1);
+  options.respawn_backoff_base_s = 30.0;  // no respawn during the test
+  options.respawn_backoff_cap_s = 60.0;
+  ipc::WorkerPool pool(options, test_runner());
+  ASSERT_EQ(pool.live_workers(), 1);
+
+  EXPECT_TRUE(pool.debug_reap(0));
+  EXPECT_EQ(pool.live_workers(), 0);
+  // Second reap of the same slot: no waitpid, no double-count, no crash.
+  EXPECT_FALSE(pool.debug_reap(0));
+  EXPECT_FALSE(pool.debug_reap(0));
+
+  const auto st = pool.stats();
+  EXPECT_EQ(st.reaps, 1);
+  EXPECT_EQ(st.deaths_signal, 1);
+}
+
+TEST(WorkerPool, DestructionLeavesNoOrphansAndNoScratch) {
+  std::vector<pid_t> pids;
+  std::string scratch;
+  {
+    ipc::WorkerPool pool(fast_options(2), test_runner());
+    EXPECT_TRUE(pool.execute(request("warm")).worker_ok);
+    pids = pool.worker_pids();
+    scratch = pool.scratch_root();
+    ASSERT_EQ(pids.size(), 2u);
+    EXPECT_TRUE(std::filesystem::exists(scratch));
+  }
+  // The destructor waits every child: nothing may survive it (not even as a
+  // zombie — they were waitpid()ed), and the scratch tree must be gone.
+  for (const pid_t pid : pids) {
+    errno = 0;
+    EXPECT_EQ(::kill(pid, 0), -1) << "worker " << pid << " survived the pool";
+    EXPECT_EQ(errno, ESRCH);
+  }
+  EXPECT_FALSE(std::filesystem::exists(scratch));
+}
+
+// --- engine integration ------------------------------------------------------
+
+mr::ClusterConfig thread_cluster(std::size_t chunk = 64) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 99;
+  return c;
+}
+
+mr::ClusterConfig process_cluster(std::size_t chunk = 64) {
+  mr::ClusterConfig c = thread_cluster(chunk);
+  c.backend = mr::ExecutionBackend::kProcess;
+  c.process_workers = 2;
+  c.worker_heartbeat_interval_s = 0.01;
+  c.worker_heartbeat_timeout_s = 5.0;
+  c.worker_respawn_backoff_base_s = 0.01;
+  c.worker_respawn_backoff_cap_s = 0.1;
+  return c;
+}
+
+const char* kCorpus =
+    "the quick brown fox\n"
+    "jumps over the lazy dog\n"
+    "the dog barks at the fox\n"
+    "fox and dog and fox\n"
+    "a lazy brown dog naps\n"
+    "the fox naps too\n";
+
+void put_corpus(mr::Dfs& dfs) {
+  dfs.put("/in/a", kCorpus);
+  dfs.put("/in/b", "more fox\nmore dog\nquick quick quick\n");
+}
+
+/// Every part file under `prefix`, path -> bytes.
+std::map<std::string, std::string> outputs(const mr::Dfs& dfs,
+                                           const std::string& prefix) {
+  std::map<std::string, std::string> m;
+  for (const auto& p : dfs.list(prefix)) m[p] = std::string(dfs.read(p));
+  return m;
+}
+
+struct KeepMapper {
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    if (line.find('x') != std::string_view::npos) {
+      ctx.write(line);
+      ctx.increment("kept");
+    }
+  }
+};
+
+struct WcMapper {
+  using OutKey = std::string;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) ctx.emit(std::string(line.substr(i, j - i)), 1);
+      i = j;
+    }
+  }
+};
+
+struct WcReducer {
+  void reduce(const std::string& key, std::span<const std::int64_t> values,
+              mr::ReduceContext& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(key + "\t" + std::to_string(sum));
+  }
+};
+
+struct WcCombiner {
+  void combine(const std::string& key, std::span<const std::int64_t> values,
+               mr::MapContext<std::string, std::int64_t>& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.emit(key, sum);
+  }
+};
+
+TEST(ProcessBackend, MapOnlyOutputIsByteIdenticalToThreadBackend) {
+  mr::JobConfig job;
+  job.name = "keepx";
+  job.input = "/in";
+  job.output = "/out";
+
+  mr::Dfs tdfs(thread_cluster());
+  put_corpus(tdfs);
+  const auto tr = mr::run_map_only_job(tdfs, thread_cluster(), job,
+                                       [] { return KeepMapper{}; });
+
+  mr::Dfs pdfs(process_cluster());
+  put_corpus(pdfs);
+  const auto pr = mr::run_map_only_job(pdfs, process_cluster(), job,
+                                       [] { return KeepMapper{}; });
+
+  EXPECT_EQ(outputs(tdfs, "/out/"), outputs(pdfs, "/out/"));
+  EXPECT_EQ(tr.map_input_records, pr.map_input_records);
+  EXPECT_EQ(tr.output_records, pr.output_records);
+  EXPECT_EQ(tr.counters, pr.counters);
+  EXPECT_EQ(tr.worker_deaths, 0);
+  EXPECT_EQ(pr.worker_deaths, 0);
+}
+
+TEST(ProcessBackend, WordCountIsByteIdenticalToThreadBackend) {
+  mr::JobConfig job;
+  job.name = "wc";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  job.use_combiner = true;
+
+  mr::Dfs tdfs(thread_cluster());
+  put_corpus(tdfs);
+  const auto tr = mr::run_mapreduce_job(
+      tdfs, thread_cluster(), job, [] { return WcMapper{}; },
+      [] { return WcReducer{}; }, [] { return WcCombiner{}; });
+
+  mr::Dfs pdfs(process_cluster());
+  put_corpus(pdfs);
+  const auto pr = mr::run_mapreduce_job(
+      pdfs, process_cluster(), job, [] { return WcMapper{}; },
+      [] { return WcReducer{}; }, [] { return WcCombiner{}; });
+
+  EXPECT_EQ(outputs(tdfs, "/out/"), outputs(pdfs, "/out/"));
+  EXPECT_EQ(tr.map_output_records, pr.map_output_records);
+  EXPECT_EQ(tr.combine_output_records, pr.combine_output_records);
+  EXPECT_EQ(tr.reduce_input_groups, pr.reduce_input_groups);
+  EXPECT_EQ(tr.output_records, pr.output_records);
+  EXPECT_EQ(tr.shuffle_bytes, pr.shuffle_bytes);
+  EXPECT_EQ(tr.spill_runs, pr.spill_runs);
+}
+
+TEST(ProcessBackend, RealKillsRecoverToTheSameBytes) {
+  using PF = mr::FaultPlan::ProcessFault;
+  mr::JobConfig job;
+  job.name = "wc-chaos";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 2;
+  job.fault_plan.process_faults.push_back(
+      {/*phase=*/1, /*task=*/0, /*attempt=*/0, PF::Kind::kSigkillAtRecord,
+       /*record=*/1});
+  job.fault_plan.process_faults.push_back({/*phase=*/1, /*task=*/1,
+                                           /*attempt=*/0,
+                                           PF::Kind::kGarbledFrame,
+                                           /*record=*/0});
+  job.fault_plan.process_faults.push_back(
+      {/*phase=*/2, /*task=*/0, /*attempt=*/0, PF::Kind::kSigkillAtRecord,
+       /*record=*/0});
+
+  // Thread backend: process faults are inert, this is the reference run.
+  mr::Dfs tdfs(thread_cluster());
+  put_corpus(tdfs);
+  const auto tr = mr::run_mapreduce_job(
+      tdfs, thread_cluster(), job, [] { return WcMapper{}; },
+      [] { return WcReducer{}; });
+  EXPECT_EQ(tr.worker_deaths, 0);
+  EXPECT_EQ(tr.failed_task_attempts, 0);
+
+  // Process backend: two workers really take SIGKILLs and one corrupts its
+  // result frame; reap + respawn + retry must land on identical bytes.
+  mr::Dfs pdfs(process_cluster());
+  put_corpus(pdfs);
+  const auto pr = mr::run_mapreduce_job(
+      pdfs, process_cluster(), job, [] { return WcMapper{}; },
+      [] { return WcReducer{}; });
+
+  EXPECT_EQ(outputs(tdfs, "/out/"), outputs(pdfs, "/out/"));
+  EXPECT_GE(pr.worker_deaths, 3);
+  EXPECT_GE(pr.failed_task_attempts, 3);
+  EXPECT_GE(pr.worker_respawns, 1);
+  EXPECT_GE(pr.worker_recovery_seconds, 0.0);
+}
+
+TEST(ProcessBackend, PersistentKillsExhaustAttemptsIntoJobError) {
+  using PF = mr::FaultPlan::ProcessFault;
+  mr::JobConfig job;
+  job.name = "doomed";
+  job.input = "/in";
+  job.output = "/out";
+  job.failures.max_attempts = 3;
+  for (int a = 0; a < 3; ++a)
+    job.fault_plan.process_faults.push_back(
+        {/*phase=*/1, /*task=*/0, /*attempt=*/a, PF::Kind::kSigkillAtRecord,
+         /*record=*/0});
+
+  mr::Dfs dfs(process_cluster());
+  put_corpus(dfs);
+  try {
+    mr::run_map_only_job(dfs, process_cluster(), job,
+                         [] { return KeepMapper{}; });
+    FAIL() << "expected JobError";
+  } catch (const mr::JobError& e) {
+    EXPECT_NE(e.kind(), mr::JobError::Kind::kInvalidConfig);
+    EXPECT_EQ(e.phase(), 1);
+  }
+}
+
+// --- submission validation (satellite: knob validation) ----------------------
+
+mr::JobError::Kind submit_kind(const mr::ClusterConfig& bad,
+                               mr::FailurePolicy failures = {}) {
+  mr::Dfs dfs(thread_cluster());
+  dfs.put("/in/data", "ax\nbx\n");
+  mr::JobConfig job;
+  job.name = "validate";
+  job.input = "/in";
+  job.output = "/out";
+  job.failures = failures;
+  try {
+    mr::run_map_only_job(dfs, bad, job, [] { return KeepMapper{}; });
+  } catch (const mr::JobError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "submission was accepted";
+  return mr::JobError::Kind::kAttemptsExhausted;
+}
+
+TEST(SubmissionValidation, GarbageKnobsAreAStructuredJobError) {
+  using Kind = mr::JobError::Kind;
+  {
+    auto c = thread_cluster();
+    c.map_slots_per_node = -2;
+    EXPECT_EQ(submit_kind(c), Kind::kInvalidConfig);
+  }
+  {
+    auto c = thread_cluster();
+    c.replication = 0;
+    EXPECT_EQ(submit_kind(c), Kind::kInvalidConfig);
+  }
+  {
+    auto c = thread_cluster();
+    c.disk_bandwidth_Bps = 0.0;
+    EXPECT_EQ(submit_kind(c), Kind::kInvalidConfig);
+  }
+  {
+    auto c = thread_cluster();
+    c.compute_scale = -1.0;
+    EXPECT_EQ(submit_kind(c), Kind::kInvalidConfig);
+  }
+  {
+    auto c = process_cluster();
+    c.worker_heartbeat_timeout_s = c.worker_heartbeat_interval_s;  // too tight
+    EXPECT_EQ(submit_kind(c), Kind::kInvalidConfig);
+  }
+  {
+    auto c = process_cluster();
+    c.worker_respawn_backoff_base_s = 0.0;
+    EXPECT_EQ(submit_kind(c), Kind::kInvalidConfig);
+  }
+  {
+    mr::FailurePolicy f;
+    f.max_attempts = 0;
+    EXPECT_EQ(submit_kind(thread_cluster(), f), Kind::kInvalidConfig);
+  }
+  {
+    mr::FailurePolicy f;
+    f.max_failed_task_fraction = 1.5;
+    EXPECT_EQ(submit_kind(thread_cluster(), f), Kind::kInvalidConfig);
+  }
+  {
+    mr::FailurePolicy f;
+    f.task_failure_prob = -0.25;
+    EXPECT_EQ(submit_kind(thread_cluster(), f), Kind::kInvalidConfig);
+  }
+}
+
+// --- wire-serializability gate ----------------------------------------------
+
+/// An intermediate value the wire codec cannot ship (non-trivially-copyable,
+/// no wire hooks): allowed on the thread backend, structured error on the
+/// process backend.
+struct OpaqueValue {
+  std::vector<int> v;
+  std::uint64_t serialized_size() const { return 4 * v.size() + 8; }
+};
+
+struct OpaqueMapper {
+  using OutKey = std::int32_t;
+  using OutValue = OpaqueValue;
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    ctx.emit(0, OpaqueValue{{static_cast<int>(line.size())}});
+  }
+};
+
+struct OpaqueReducer {
+  void reduce(const std::int32_t&, std::span<const OpaqueValue> values,
+              mr::ReduceContext& ctx) {
+    std::size_t n = 0;
+    for (const auto& v : values) n += v.v.size();
+    ctx.write(std::to_string(n));
+  }
+};
+
+TEST(ProcessBackend, NonWireableIntermediatesAreRejectedUpFront) {
+  mr::JobConfig job;
+  job.name = "opaque";
+  job.input = "/in";
+  job.output = "/out";
+
+  // Thread backend: fine.
+  mr::Dfs tdfs(thread_cluster());
+  put_corpus(tdfs);
+  EXPECT_NO_THROW(mr::run_mapreduce_job(tdfs, thread_cluster(), job,
+                                        [] { return OpaqueMapper{}; },
+                                        [] { return OpaqueReducer{}; }));
+
+  // Process backend: structured kInvalidConfig before any work happens.
+  mr::Dfs pdfs(process_cluster());
+  put_corpus(pdfs);
+  try {
+    mr::run_mapreduce_job(pdfs, process_cluster(), job,
+                          [] { return OpaqueMapper{}; },
+                          [] { return OpaqueReducer{}; });
+    FAIL() << "expected JobError";
+  } catch (const mr::JobError& e) {
+    EXPECT_EQ(e.kind(), mr::JobError::Kind::kInvalidConfig);
+  }
+}
+
+}  // namespace
+}  // namespace gepeto
