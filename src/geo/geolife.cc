@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +11,7 @@
 #include "common/check.h"
 #include "geo/time.h"
 #include "mapreduce/dfs.h"
+#include "mapreduce/job.h"
 #include "mapreduce/seqfile.h"
 
 namespace gepeto::geo {
@@ -36,7 +38,11 @@ bool parse_double(std::string_view s, double& out) {
   const char* first = s.data();
   const char* last = s.data() + s.size();
   auto [ptr, ec] = std::from_chars(first, last, out);
-  return ec == std::errc() && ptr == last;
+  // from_chars happily parses "nan" and "inf"; a non-finite coordinate,
+  // altitude, or day number is never a valid GeoLife field, and letting one
+  // through silently poisons downstream aggregates (NaN compares false
+  // against every range bound).
+  return ec == std::errc() && ptr == last && std::isfinite(out);
 }
 
 bool parse_i32(std::string_view s, std::int32_t& out) {
@@ -67,8 +73,10 @@ bool parse_plt_fields(const std::string_view* f, std::int32_t user_id,
   } else {
     t.timestamp = from_geolife_days(days);
   }
-  if (t.latitude < -90.0 || t.latitude > 90.0) return false;
-  if (t.longitude < -180.0 || t.longitude > 180.0) return false;
+  // Negated-inside form: NaN fails the test (a plain `< || >` chain would
+  // accept it), matching trace_from_binary.
+  if (!(t.latitude >= -90.0 && t.latitude <= 90.0)) return false;
+  if (!(t.longitude >= -180.0 && t.longitude <= 180.0)) return false;
   out = t;
   return true;
 }
@@ -125,6 +133,38 @@ bool parse_dataset_line(std::string_view line, MobilityTrace& out) {
   std::int32_t uid = 0;
   if (!parse_i32(f[0], uid)) return false;
   return parse_plt_fields(f + 1, uid, out);
+}
+
+MobilityTrace parse_dataset_line_or_throw(std::string_view line) {
+  std::string_view f[8];
+  if (split_csv(line, f, 8) != 8)
+    throw mr::TaskError("dataset line is not 8 comma-separated fields: \"" +
+                        std::string(line) + "\"");
+  std::int32_t uid = 0;
+  if (!parse_i32(f[0], uid))
+    throw mr::TaskError("bad user id field \"" + std::string(f[0]) +
+                        "\" in dataset line");
+  MobilityTrace t;
+  if (!parse_plt_fields(f + 1, uid, t)) {
+    // Re-derive the offending field for the error message; the fast path
+    // above stays branch-light.
+    double lat = 0.0, lon = 0.0;
+    if (!parse_double(f[1], lat))
+      throw mr::TaskError("bad latitude field \"" + std::string(f[1]) +
+                          "\" (must be a finite number)");
+    if (!parse_double(f[2], lon))
+      throw mr::TaskError("bad longitude field \"" + std::string(f[2]) +
+                          "\" (must be a finite number)");
+    if (!(lat >= -90.0 && lat <= 90.0))
+      throw mr::TaskError("latitude " + std::string(f[1]) +
+                          " out of range [-90, 90]");
+    if (!(lon >= -180.0 && lon <= 180.0))
+      throw mr::TaskError("longitude " + std::string(f[2]) +
+                          " out of range [-180, 180]");
+    throw mr::TaskError("malformed dataset line: \"" + std::string(line) +
+                        "\"");
+  }
+  return t;
 }
 
 std::string trail_to_lines(const Trail& trail) {

@@ -41,8 +41,15 @@ bool parse_plt_line(std::string_view line, std::int32_t user_id,
 /// Format one trace as a flat dataset line (with user id, no newline).
 std::string dataset_line(const MobilityTrace& trace);
 
-/// Parse a flat dataset line. Returns false on malformed input.
+/// Parse a flat dataset line. Returns false on malformed input — including
+/// NaN/Inf coordinates and lat/lon outside [-90, 90] / [-180, 180].
 bool parse_dataset_line(std::string_view line, MobilityTrace& out);
+
+/// Strict variant for pipelines that must not silently drop records: throws
+/// mr::TaskError naming the offending field (bad user id, non-finite or
+/// out-of-range coordinate, wrong field count) so the engine's retry / skip
+/// machinery sees a structured per-record failure.
+MobilityTrace parse_dataset_line_or_throw(std::string_view line);
 
 /// Serialize a whole trail as consecutive dataset lines.
 std::string trail_to_lines(const Trail& trail);

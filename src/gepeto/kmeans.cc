@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "geo/geolife.h"
 #include "mapreduce/engine.h"
+#include "storage/columnar_jobs.h"
 #include "workflow/flow.h"
 
 namespace gepeto::core {
@@ -26,6 +27,21 @@ struct PointSum {
   std::uint64_t serialized_size() const { return 24; }
 };
 
+/// The cache file is external data (a checkpoint may have been written by
+/// a driver that crashed mid-write): a parse failure is a task failure,
+/// surfaced as JobError once attempts are exhausted — not a CHECK crash.
+std::vector<Centroid> load_centroids_cache(mr::TaskContext& ctx,
+                                           const std::string& clusters_file) {
+  std::string err;
+  auto parsed = try_centroids_from_lines(ctx.cache_file(clusters_file), &err);
+  if (!parsed)
+    throw mr::TaskError("bad centroids cache file '" + clusters_file +
+                        "': " + err);
+  if (parsed->empty())
+    throw mr::TaskError("empty centroids cache file '" + clusters_file + "'");
+  return std::move(*parsed);
+}
+
 struct KMeansMapper {
   using OutKey = std::int32_t;
   using OutValue = PointSum;
@@ -35,19 +51,7 @@ struct KMeansMapper {
   std::vector<Centroid> centroids;
 
   void setup(mr::TaskContext& ctx) {
-    // The cache file is external data (a checkpoint may have been written by
-    // a driver that crashed mid-write): a parse failure is a task failure,
-    // surfaced as JobError once attempts are exhausted — not a CHECK crash.
-    std::string err;
-    auto parsed =
-        try_centroids_from_lines(ctx.cache_file(clusters_file), &err);
-    if (!parsed)
-      throw mr::TaskError("bad centroids cache file '" + clusters_file +
-                          "': " + err);
-    if (parsed->empty())
-      throw mr::TaskError("empty centroids cache file '" + clusters_file +
-                          "'");
-    centroids = std::move(*parsed);
+    centroids = load_centroids_cache(ctx, clusters_file);
   }
 
   void map(std::int64_t, std::string_view line,
@@ -55,6 +59,32 @@ struct KMeansMapper {
     geo::MobilityTrace t;
     if (!geo::parse_dataset_line(line, t)) {
       ctx.increment("kmeans.malformed_lines");
+      return;
+    }
+    const auto c = nearest_centroid(centroids, kind, t.latitude, t.longitude);
+    ctx.emit(static_cast<std::int32_t>(c), {t.latitude, t.longitude, 1});
+  }
+};
+
+/// Binary-record twin of KMeansMapper (columnar splits hand the mapper
+/// 32-byte binary traces).
+struct BinaryKMeansMapper {
+  using OutKey = std::int32_t;
+  using OutValue = PointSum;
+
+  std::string clusters_file;
+  geo::DistanceKind kind{};
+  std::vector<Centroid> centroids;
+
+  void setup(mr::TaskContext& ctx) {
+    centroids = load_centroids_cache(ctx, clusters_file);
+  }
+
+  void map(std::int64_t, std::string_view record,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::trace_from_binary(record, t)) {
+      ctx.increment("kmeans.malformed_records");
       return;
     }
     const auto c = nearest_centroid(centroids, kind, t.latitude, t.longitude);
@@ -151,6 +181,37 @@ double centroid_move_m(const Centroid& a, const Centroid& b) {
                                b.longitude);
 }
 
+/// Streaming reservoir sample of k (lat, lon) points in feed order —
+/// deterministic, identical to the order of dataset lines in the DFS. Shared
+/// by the in-memory init and the columnar block-streaming init, so both pick
+/// the same centroids for the same trace stream.
+class CentroidReservoir {
+ public:
+  CentroidReservoir(int k, std::uint64_t seed)
+      : k_(static_cast<std::size_t>(k)), rng_(seed ^ 0xC3A5'7E1Dull) {
+    reservoir_.reserve(k_);
+  }
+
+  void feed(double lat, double lon) {
+    ++seen_;
+    if (reservoir_.size() < k_) {
+      reservoir_.push_back({lat, lon});
+    } else {
+      const std::uint64_t j = rng_.uniform_u64(seen_);
+      if (j < static_cast<std::uint64_t>(k_)) reservoir_[j] = {lat, lon};
+    }
+  }
+
+  std::uint64_t seen() const { return seen_; }
+  std::vector<Centroid> take() && { return std::move(reservoir_); }
+
+ private:
+  std::size_t k_;
+  Rng rng_;
+  std::uint64_t seen_ = 0;
+  std::vector<Centroid> reservoir_;
+};
+
 /// Parse a reducer output line "index,lat,lon,count".
 bool parse_cluster_line(std::string_view line, std::int32_t& idx, Centroid& c,
                         std::uint64_t& count) {
@@ -173,25 +234,10 @@ std::vector<Centroid> initial_centroids(const geo::GeolocatedDataset& dataset,
   GEPETO_CHECK(k > 0);
   GEPETO_CHECK_MSG(dataset.num_traces() >= static_cast<std::size_t>(k),
                    "fewer traces than clusters");
-  // Reservoir sampling in (user, time) order — deterministic and identical
-  // to the order of dataset lines in the DFS.
-  std::vector<Centroid> reservoir;
-  reservoir.reserve(static_cast<std::size_t>(k));
-  Rng rng(seed ^ 0xC3A5'7E1Dull);
-  std::uint64_t seen = 0;
-  for (const auto& [uid, trail] : dataset) {
-    for (const auto& t : trail) {
-      ++seen;
-      if (reservoir.size() < static_cast<std::size_t>(k)) {
-        reservoir.push_back({t.latitude, t.longitude});
-      } else {
-        const std::uint64_t j = rng.uniform_u64(seen);
-        if (j < static_cast<std::uint64_t>(k))
-          reservoir[j] = {t.latitude, t.longitude};
-      }
-    }
-  }
-  return reservoir;
+  CentroidReservoir res(k, seed);
+  for (const auto& [uid, trail] : dataset)
+    for (const auto& t : trail) res.feed(t.latitude, t.longitude);
+  return std::move(res).take();
 }
 
 std::vector<Centroid> kmeanspp_centroids(const geo::GeolocatedDataset& dataset,
@@ -458,9 +504,25 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
           // Initialization phase: "randomly picks k mobility traces as
           // initial centroids ... performed by a single node" — the driver
           // reads the input and reservoir-samples, then writes the
-          // iteration-0 clusters file.
-          {
-            const auto dataset = geo::dataset_from_dfs(dfs, input);
+          // iteration-0 clusters file. Columnar inputs stream the sample
+          // one decoded block at a time: at millions-of-traces scale the
+          // driver never holds the dataset (k-means++ is the exception, as
+          // its seeding is inherently multi-pass over all traces).
+          if (config.columnar_input && !config.kmeanspp_init) {
+            CentroidReservoir res(config.k, config.seed);
+            storage::for_each_dfs_columnar_trace(
+                dfs, input, [&](const geo::MobilityTrace& t) {
+                  res.feed(t.latitude, t.longitude);
+                });
+            GEPETO_CHECK_MSG(
+                res.seen() >= static_cast<std::uint64_t>(config.k),
+                "fewer traces than clusters");
+            st->result.centroids = std::move(res).take();
+          } else {
+            const auto dataset =
+                config.columnar_input
+                    ? storage::dataset_from_dfs_columnar(dfs, input)
+                    : geo::dataset_from_dfs(dfs, input);
             st->result.centroids =
                 config.kmeanspp_init
                     ? kmeanspp_centroids(dataset, config.k, config.seed)
@@ -494,20 +556,30 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
          job.use_combiner = config.use_combiner;
          job.cache_files = {clusters_file};
          job.failures = config.failures;
+         job.sort_memory_budget_bytes = config.sort_memory_budget_bytes;
          if (config.fault_iteration < 0 || config.fault_iteration == iter)
            job.fault_plan = config.fault_plan;
 
          const geo::DistanceKind kind = config.distance;
          const std::int32_t k = config.k;
-         const auto jr = mr::run_mapreduce_job(
-             dfs, e.cluster(), job,
-             [clusters_file, kind] {
-               return KMeansMapper{clusters_file, kind, {}};
-             },
-             [clusters_file, k] {
-               return KMeansReducer{clusters_file, k, {}, {}};
-             },
-             [] { return KMeansCombiner{}; });
+         const auto make_reducer = [clusters_file, k] {
+           return KMeansReducer{clusters_file, k, {}, {}};
+         };
+         const auto make_combiner = [] { return KMeansCombiner{}; };
+         const auto jr =
+             config.columnar_input
+                 ? storage::run_columnar_mapreduce_job(
+                       dfs, e.cluster(), job,
+                       [clusters_file, kind] {
+                         return BinaryKMeansMapper{clusters_file, kind, {}};
+                       },
+                       make_reducer, make_combiner)
+                 : mr::run_mapreduce_job(
+                       dfs, e.cluster(), job,
+                       [clusters_file, kind] {
+                         return KMeansMapper{clusters_file, kind, {}};
+                       },
+                       make_reducer, make_combiner);
 
          // Collect the new centroids from the reducer output.
          std::vector<Centroid> next = st->result.centroids;
@@ -574,17 +646,22 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
 
   // SSE from a final read of the input against the final centroids.
   f.add_native("kmeans-sse", [st, &config, input](flow::FlowEngine& e) {
-        const auto dataset = geo::dataset_from_dfs(e.dfs(), input);
-        for (const auto& [uid, trail] : dataset) {
-          for (const auto& t : trail) {
-            const auto c = nearest_centroid(st->result.centroids,
-                                            config.distance, t.latitude,
-                                            t.longitude);
-            st->result.sse += geo::squared_euclidean_deg(
-                t.latitude, t.longitude, st->result.centroids[c].latitude,
-                st->result.centroids[c].longitude);
-          }
+        const auto accumulate = [&](const geo::MobilityTrace& t) {
+          const auto c = nearest_centroid(st->result.centroids,
+                                          config.distance, t.latitude,
+                                          t.longitude);
+          st->result.sse += geo::squared_euclidean_deg(
+              t.latitude, t.longitude, st->result.centroids[c].latitude,
+              st->result.centroids[c].longitude);
+        };
+        if (config.columnar_input) {
+          // One decoded block resident at a time, like the init pass.
+          storage::for_each_dfs_columnar_trace(e.dfs(), input, accumulate);
+          return;
         }
+        const auto dataset = geo::dataset_from_dfs(e.dfs(), input);
+        for (const auto& [uid, trail] : dataset)
+          for (const auto& t : trail) accumulate(t);
       })
       .reads(input)
       .after("kmeans-iterate");

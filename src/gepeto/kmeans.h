@@ -46,6 +46,14 @@ struct KMeansConfig {
   std::uint64_t seed = 1;                     ///< initial-centroid selection
   bool use_combiner = false;
   bool kmeanspp_init = false;                 ///< k-means++ instead of uniform
+  /// Treat `input` as columnar trace files (storage::dataset_to_dfs_columnar)
+  /// instead of text dataset lines. Initialization and the final SSE pass
+  /// then stream block-by-block rather than materializing the dataset.
+  bool columnar_input = false;
+  /// Per-map-task shuffle memory budget for every iteration job
+  /// (mr::JobConfig::sort_memory_budget_bytes); 0 = fully in-memory. Output
+  /// centroids are byte-identical at any budget.
+  std::uint64_t sort_memory_budget_bytes = 0;
 
   // --- fault tolerance (MapReduce path only) -------------------------------
   /// Failure policy applied to every iteration job.

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "geo/geolife.h"
 #include "mapreduce/engine.h"
+#include "storage/columnar_jobs.h"
 
 namespace gepeto::core {
 
@@ -160,6 +161,24 @@ struct ExactSamplingMapper {
   }
 };
 
+/// Binary-record twin of ExactSamplingMapper (columnar splits hand the
+/// mapper 32-byte binary traces).
+struct BinaryExactSamplingMapper {
+  using OutKey = UserWindowKey;
+  using OutValue = TraceValue;
+  SamplingConfig config;
+
+  void map(std::int64_t, std::string_view record,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::trace_from_binary(record, t)) {
+      ctx.increment("sampling.malformed_records");
+      return;
+    }
+    ctx.emit({t.user_id, window_of(t.timestamp, config.window_s)}, {t});
+  }
+};
+
 struct ExactSamplingReducer {
   SamplingConfig config;
 
@@ -244,14 +263,25 @@ mr::JobResult run_sampling_job_binary(mr::Dfs& dfs,
       dfs, cluster, job, [config] { return BinarySamplingMapper{config}; });
 }
 
-mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
-                                     const mr::ClusterConfig& cluster,
-                                     const std::string& input,
-                                     const std::string& output,
-                                     const SamplingConfig& config,
-                                     int num_reducers,
-                                     const mr::FailurePolicy& failures,
-                                     const mr::FaultPlan& fault_plan) {
+mr::JobResult run_sampling_job_columnar(mr::Dfs& dfs,
+                                        const mr::ClusterConfig& cluster,
+                                        const std::string& input,
+                                        const std::string& output,
+                                        const SamplingConfig& config) {
+  GEPETO_CHECK(config.window_s > 0);
+  mr::JobConfig job;
+  job.name = "sampling-columnar";
+  job.input = input;
+  job.output = output;
+  return storage::run_columnar_map_only_job(
+      dfs, cluster, job, [config] { return BinarySamplingMapper{config}; });
+}
+
+mr::JobResult run_sampling_job_exact(
+    mr::Dfs& dfs, const mr::ClusterConfig& cluster, const std::string& input,
+    const std::string& output, const SamplingConfig& config, int num_reducers,
+    const mr::FailurePolicy& failures, const mr::FaultPlan& fault_plan,
+    std::uint64_t sort_memory_budget_bytes) {
   GEPETO_CHECK(config.window_s > 0);
   mr::JobConfig job;
   job.name = "sampling-exact";
@@ -260,8 +290,29 @@ mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
   job.num_reducers = num_reducers;
   job.failures = failures;
   job.fault_plan = fault_plan;
+  job.sort_memory_budget_bytes = sort_memory_budget_bytes;
   return mr::run_mapreduce_job(
       dfs, cluster, job, [config] { return ExactSamplingMapper{config}; },
+      [config] { return ExactSamplingReducer{config}; });
+}
+
+mr::JobResult run_sampling_job_exact_columnar(
+    mr::Dfs& dfs, const mr::ClusterConfig& cluster, const std::string& input,
+    const std::string& output, const SamplingConfig& config, int num_reducers,
+    const mr::FailurePolicy& failures, const mr::FaultPlan& fault_plan,
+    std::uint64_t sort_memory_budget_bytes) {
+  GEPETO_CHECK(config.window_s > 0);
+  mr::JobConfig job;
+  job.name = "sampling-exact-columnar";
+  job.input = input;
+  job.output = output;
+  job.num_reducers = num_reducers;
+  job.failures = failures;
+  job.fault_plan = fault_plan;
+  job.sort_memory_budget_bytes = sort_memory_budget_bytes;
+  return storage::run_columnar_mapreduce_job(
+      dfs, cluster, job,
+      [config] { return BinaryExactSamplingMapper{config}; },
       [config] { return ExactSamplingReducer{config}; });
 }
 

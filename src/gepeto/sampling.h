@@ -75,7 +75,19 @@ mr::JobResult run_sampling_job_binary(mr::Dfs& dfs,
                                       const std::string& output,
                                       const SamplingConfig& config);
 
+/// Map-only sampling over *columnar* inputs (storage::dataset_to_dfs_columnar
+/// blocks); output is dataset lines. The columnar twin of
+/// run_sampling_job_binary.
+mr::JobResult run_sampling_job_columnar(mr::Dfs& dfs,
+                                        const mr::ClusterConfig& cluster,
+                                        const std::string& input,
+                                        const std::string& output,
+                                        const SamplingConfig& config);
+
 /// Exact map+reduce variant (shuffles one record per kept trace).
+/// `sort_memory_budget_bytes` caps each map task's in-memory shuffle buffer;
+/// past it, sorted runs spill to scratch disk and reducers external-merge
+/// them (0 = fully in-memory). The output is byte-identical at any budget.
 mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
                                      const mr::ClusterConfig& cluster,
                                      const std::string& input,
@@ -83,6 +95,16 @@ mr::JobResult run_sampling_job_exact(mr::Dfs& dfs,
                                      const SamplingConfig& config,
                                      int num_reducers = 4,
                                      const mr::FailurePolicy& failures = {},
-                                     const mr::FaultPlan& fault_plan = {});
+                                     const mr::FaultPlan& fault_plan = {},
+                                     std::uint64_t sort_memory_budget_bytes = 0);
+
+/// Exact map+reduce variant over columnar inputs — the shuffle (and its
+/// memory budget) behave exactly as in run_sampling_job_exact.
+mr::JobResult run_sampling_job_exact_columnar(
+    mr::Dfs& dfs, const mr::ClusterConfig& cluster, const std::string& input,
+    const std::string& output, const SamplingConfig& config,
+    int num_reducers = 4, const mr::FailurePolicy& failures = {},
+    const mr::FaultPlan& fault_plan = {},
+    std::uint64_t sort_memory_budget_bytes = 0);
 
 }  // namespace gepeto::core

@@ -74,6 +74,7 @@
 #include "mapreduce/record_io.h"
 #include "mapreduce/scheduler.h"
 #include "mapreduce/seqfile.h"
+#include "storage/spill.h"
 
 namespace gepeto::mr {
 
@@ -159,14 +160,41 @@ std::uint64_t partition_of(const K& key, int num_reducers) {
 /// per reducer partition: emit() routes each pair to its partition and
 /// accounts its serialized bytes as it lands, so neither a redistribution
 /// pass nor a byte-counting pass ever re-walks the map output.
+///
+/// Under a sort memory budget (enable_spill), the moment the task's total
+/// pending bytes (across all partitions) reach the budget, every non-empty
+/// partition buffer is stable-sorted and appended to its scratch file as one
+/// sorted disk run — Hadoop's sort-and-spill pass — bounding the whole
+/// task's buffer memory by the budget regardless of the reducer count;
+/// take_partition() then hands back disk runs + the sorted in-memory tail.
+/// spill_bytes() is accounted at emit and never reset by a flush, so shuffle
+/// accounting — and with it the simulated schedule — is identical at any
+/// budget.
 template <typename K, typename V>
 class MapContext : public TaskContext {
  public:
+  /// The spill-file format serializes pairs with ipc::wire; non-wireable
+  /// intermediates keep the unbudgeted in-memory path (enforced at job
+  /// submission), and none of the disk machinery is instantiated for them.
+  static constexpr bool kSpillable =
+      ipc::wire::WireSerializable<K> && ipc::wire::WireSerializable<V>;
+
   MapContext(const Dfs& dfs, const JobConfig& job, int task_index,
              int num_partitions)
       : TaskContext(dfs, job, task_index),
         spills_(static_cast<std::size_t>(num_partitions)),
-        spill_bytes_(static_cast<std::size_t>(num_partitions), 0) {}
+        spill_bytes_(static_cast<std::size_t>(num_partitions), 0),
+        pending_bytes_(static_cast<std::size_t>(num_partitions), 0) {}
+
+  /// Arm out-of-core spilling: when the task's pending buffers reach
+  /// `budget_bytes` in total, every partition flushes one sorted run to
+  /// `<stem>-p<partition>.run`.
+  void enable_spill(std::uint64_t budget_bytes, std::string stem) {
+    spill_budget_ = budget_bytes;
+    spill_stem_ = std::move(stem);
+    writers_.resize(spills_.size());
+    disk_runs_.resize(spills_.size());
+  }
 
   void emit(K key, V value) {
     const std::size_t p =
@@ -174,29 +202,92 @@ class MapContext : public TaskContext {
             ? 0
             : static_cast<std::size_t>(detail::partition_of(
                   key, static_cast<int>(spills_.size())));
-    spill_bytes_[p] += approx_bytes(key) + approx_bytes(value);
+    const std::uint64_t bytes = approx_bytes(key) + approx_bytes(value);
+    spill_bytes_[p] += bytes;
+    pending_bytes_[p] += bytes;
+    total_pending_ += bytes;
     spills_[p].emplace_back(std::move(key), std::move(value));
+    ++emitted_records_;
+    if constexpr (kSpillable) {
+      if (spill_budget_ > 0 && total_pending_ >= spill_budget_) flush_all();
+    }
   }
 
   /// Partition `p`'s spill buffer, pairs in emission order.
   std::vector<std::pair<K, V>>& spill(std::size_t p) { return spills_[p]; }
-  /// Serialized bytes accumulated in partition `p`, accounted at emit.
+  /// Serialized bytes accumulated in partition `p`, accounted at emit
+  /// (cumulative: never reset by a disk flush).
   std::uint64_t spill_bytes(std::size_t p) const { return spill_bytes_[p]; }
 
-  std::uint64_t emitted_records() const {
-    std::uint64_t n = 0;
-    for (const auto& s : spills_) n += s.size();
-    return n;
+  /// Take partition `p`'s complete output: disk runs in spill order plus the
+  /// stable-sorted in-memory tail. Closes the partition's spill file so
+  /// other processes can read it. With no budget (or nothing flushed) the
+  /// result is tail-only — exactly the old in-memory shuffle.
+  storage::PartitionRuns<K, V> take_partition(std::size_t p) {
+    storage::PartitionRuns<K, V> pr;
+    detail::sort_pairs(spills_[p]);
+    pr.tail = detail::split_pairs(std::move(spills_[p]));
+    if constexpr (kSpillable) {
+      if (p < writers_.size() && writers_[p] != nullptr) {
+        writers_[p]->close();
+        pr.file = writers_[p]->path();
+        pr.disk_runs = std::move(disk_runs_[p]);
+        writers_[p].reset();
+      }
+    }
+    return pr;
   }
+
+  std::uint64_t emitted_records() const { return emitted_records_; }
   std::uint64_t emitted_bytes() const {
     std::uint64_t b = 0;
     for (const auto x : spill_bytes_) b += x;
     return b;
   }
 
+  /// Disk-spill activity of this attempt (runs written, file bytes, wall
+  /// seconds sorting + writing them).
+  std::uint64_t disk_spill_runs() const { return disk_spill_runs_; }
+  std::uint64_t disk_spill_bytes() const { return disk_spill_bytes_; }
+  double spill_seconds() const { return spill_seconds_; }
+
  private:
+  /// One sort-and-spill pass: flush every non-empty partition buffer as one
+  /// sorted disk run (partition order, for determinism).
+  void flush_all() {
+    for (std::size_t p = 0; p < spills_.size(); ++p) flush_partition(p);
+    total_pending_ = 0;
+  }
+
+  void flush_partition(std::size_t p) {
+    if (spills_[p].empty()) return;
+    Stopwatch sw;
+    detail::sort_pairs(spills_[p]);
+    if (writers_[p] == nullptr)
+      writers_[p] = std::make_unique<storage::SpillFileWriter<K, V>>(
+          spill_stem_ + "-p" + std::to_string(p) + ".run");
+    const storage::RunMeta meta = writers_[p]->append_run(spills_[p]);
+    disk_runs_[p].push_back(meta);
+    disk_spill_bytes_ += meta.bytes;
+    ++disk_spill_runs_;
+    spills_[p].clear();
+    pending_bytes_[p] = 0;
+    spill_seconds_ += sw.seconds();
+  }
+
   std::vector<std::vector<std::pair<K, V>>> spills_;
   std::vector<std::uint64_t> spill_bytes_;
+  std::vector<std::uint64_t> pending_bytes_;  // in-memory share of spill_bytes_
+  std::uint64_t total_pending_ = 0;           // sum of pending_bytes_
+  std::uint64_t emitted_records_ = 0;
+  // Out-of-core spilling (armed by enable_spill; empty otherwise).
+  std::uint64_t spill_budget_ = 0;
+  std::string spill_stem_;
+  std::vector<std::unique_ptr<storage::SpillFileWriter<K, V>>> writers_;
+  std::vector<std::vector<storage::RunMeta>> disk_runs_;
+  std::uint64_t disk_spill_runs_ = 0;
+  std::uint64_t disk_spill_bytes_ = 0;
+  double spill_seconds_ = 0.0;
 };
 
 /// Context handed to reducers; output lines form the job's DFS output.
@@ -909,15 +1000,18 @@ JobResult run_map_only_job_impl(Dfs& dfs, const ClusterConfig& config,
 
 struct NoCombiner {};
 
-/// Run a full map-reduce job. See the file header for the Mapper / Reducer /
-/// Combiner shapes. `make_mapper` / `make_reducer` / `make_combiner` are
-/// invoked once per task attempt.
-template <typename MapperFactory, typename ReducerFactory,
-          typename CombinerFactory = NoCombiner>
-JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
-                            const JobConfig& job, MapperFactory make_mapper,
-                            ReducerFactory make_reducer,
-                            CombinerFactory make_combiner = {}) {
+namespace detail {
+
+/// Shared implementation of the full map-reduce drivers, templated on the
+/// record-reader policy (TextRecords, BinaryRecords, or a columnar policy
+/// from storage/) exactly like run_map_only_job_impl.
+template <typename Records, typename MapperFactory, typename ReducerFactory,
+          typename CombinerFactory>
+JobResult run_mapreduce_job_impl(Dfs& dfs, const ClusterConfig& config,
+                                 const JobConfig& job,
+                                 MapperFactory make_mapper,
+                                 ReducerFactory make_reducer,
+                                 CombinerFactory make_combiner) {
   using Mapper = decltype(make_mapper());
   using K = typename Mapper::OutKey;
   using V = typename Mapper::OutValue;
@@ -942,6 +1036,29 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
                      "key/value types (trivially copyable, std::string, or "
                      "wire_append/wire_parse members)");
   }
+
+  // Resolve the sort memory budget: an explicit config value wins; the
+  // environment ($GEPETO_SORT_MEMORY_BUDGET, e.g. the CI forced-spill leg)
+  // supplies a best-effort default for jobs whose intermediates support the
+  // spill-file format. An explicit budget on a non-wireable job is a
+  // structured config error, not a silent no-op.
+  std::uint64_t budget = job.sort_memory_budget_bytes;
+  if constexpr (kWireable) {
+    if (budget == 0) budget = storage::env_sort_memory_budget();
+  } else {
+    if (budget != 0)
+      throw JobError(JobError::Kind::kInvalidConfig, job.name, /*phase=*/0,
+                     /*task_index=*/-1, /*attempts=*/0,
+                     "sort_memory_budget_bytes requires wire-serializable "
+                     "intermediate key/value types (the spill-file format)");
+  }
+  // Job-scoped scratch directory for spilled runs. Created before the worker
+  // pool forks (children inherit the path) and declared before it (destroyed
+  // after), removed on every exit path including a thrown JobError — no
+  // scratch survives the job.
+  std::unique_ptr<storage::SpillScratch> scratch;
+  if (budget > 0) scratch = std::make_unique<storage::SpillScratch>(job.name);
+
   const telemetry::Telemetry tel = job.telemetry.or_else(dfs.telemetry());
   telemetry::WallScope wall_scope;
   if (tel.trace != nullptr)
@@ -958,16 +1075,20 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   const int R = job.num_reducers;
 
   struct MapOut {
-    // One sorted (combined) run per reducer partition, in split layout.
-    std::vector<SortedRun<K, V>> runs;
-    // Process backend: the same runs as opaque wire blobs, one per partition.
-    // The jobtracker never parses them — it forwards each reducer's blob to
-    // the reduce worker, which parses and merges (the "wire shuffle").
+    // Per reducer partition: the sorted disk runs spilled under the memory
+    // budget plus the sorted in-memory tail (budget 0 => tail only, the old
+    // fully-in-memory shuffle), in split layout.
+    std::vector<storage::PartitionRuns<K, V>> parts;
+    // Process backend: the same partitions as opaque wire blobs. The
+    // jobtracker never parses them — it forwards each reducer's blob to the
+    // reduce worker, which parses and merges (the "wire shuffle").
     std::vector<std::string> run_blobs;
     std::vector<std::uint64_t> run_bytes;
     std::uint64_t raw_records = 0;       // before combine
     std::uint64_t combined_records = 0;  // after combine
     std::uint64_t raw_bytes = 0;
+    std::uint64_t disk_spill_runs = 0;   // sorted runs written to scratch
+    std::uint64_t disk_spill_bytes = 0;
     std::uint64_t input_records = 0;
     std::uint64_t input_bytes = 0;
     double cpu_seconds = 0.0;
@@ -980,17 +1101,25 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
   // progress-hook contract).
   auto map_attempt_body = [&](std::size_t t,
                               const std::vector<std::int64_t>& skip,
-                              bool inject, auto&& progress) -> MapOut {
+                              bool inject, int attempt_no,
+                              auto&& progress) -> MapOut {
     CpuStopwatch cpu;
     auto mapper = make_mapper();
     MapContext<K, V> ctx(dfs, job, static_cast<int>(t), R);
+    if constexpr (kWireable) {
+      // Per-(task, attempt) spill stem: a crashed attempt's files are never
+      // mistaken for the retry's, and the retry starts from a fresh spill set.
+      if (budget > 0)
+        ctx.enable_spill(budget, scratch->dir() + "/m" + std::to_string(t) +
+                                     "-a" + std::to_string(attempt_no));
+    }
     try {
       detail::maybe_setup(mapper, ctx);
     } catch (const TaskError& e) {
       throw detail::AttemptFailure{-1, e.what()};
     }
     const auto& ci = dfs.chunks(splits[t].path)[splits[t].chunk_index];
-    LineRecordReader reader(dfs.read(splits[t].path), ci.offset, ci.size);
+    Records reader(dfs.read(splits[t].path), ci.offset, ci.size);
     std::uint64_t records = 0;
     std::int64_t seen = 0;
     while (reader.next()) {
@@ -1022,16 +1151,16 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     out.raw_records = ctx.emitted_records();
     out.raw_bytes = ctx.emitted_bytes();
 
-    // Pairs are already partitioned (emit-time); sort each spill,
-    // optionally combine, and lay it out as a SortedRun — like
-    // Hadoop's sort-and-spill with a combiner pass.
+    // Pairs are already partitioned (emit-time); sort each partition's
+    // in-memory tail, optionally combine, and lay it out as disk runs + a
+    // sorted tail — Hadoop's sort-and-spill with a combiner pass. Under a
+    // memory budget, most of the data already hit scratch disk during the
+    // map loop; take_partition only finalizes the file.
     Stopwatch sort_sw;
-    out.runs.reserve(static_cast<std::size_t>(R));
+    out.parts.reserve(static_cast<std::size_t>(R));
     out.run_bytes.assign(static_cast<std::size_t>(R), 0);
     for (int r = 0; r < R; ++r) {
-      auto& spill = ctx.spill(static_cast<std::size_t>(r));
-      detail::sort_pairs(spill);
-      SortedRun<K, V> run = detail::split_pairs(std::move(spill));
+      auto pr = ctx.take_partition(static_cast<std::size_t>(r));
       std::uint64_t bytes = ctx.spill_bytes(static_cast<std::size_t>(r));
       if constexpr (kHasCombiner) {
         if (job.use_combiner) {
@@ -1039,21 +1168,48 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
           // A combiner context with a single partition: combined pairs
           // land in spill 0 unhashed, re-partitioning is never needed.
           MapContext<K, V> cctx(dfs, job, static_cast<int>(t), 1);
-          detail::for_each_group(
-              run, [&](const K& key, std::span<const V> values) {
-                combiner.combine(key, values, cctx);
-              });
-          auto& cspill = cctx.spill(0);
-          detail::sort_pairs(cspill);
-          run = detail::split_pairs(std::move(cspill));
+          auto combine_group = [&](const K& key, std::span<const V> values) {
+            combiner.combine(key, values, cctx);
+          };
+          if constexpr (kWireable) {
+            if (budget > 0)
+              cctx.enable_spill(
+                  budget, scratch->dir() + "/m" + std::to_string(t) + "-a" +
+                              std::to_string(attempt_no) + "-c" +
+                              std::to_string(r));
+            if (pr.has_disk()) {
+              // Stream the external merge of the disk runs + tail into the
+              // combiner: the identical group sequence the in-memory path
+              // feeds it, one group resident at a time.
+              try {
+                auto cursors = storage::partition_cursors(pr);
+                detail::merge_cursor_groups(
+                    std::span<storage::SpillRunCursor<K, V>>(cursors.data(),
+                                                             cursors.size()),
+                    combine_group);
+              } catch (const TaskError& e) {
+                throw detail::AttemptFailure{-1, e.what()};
+              }
+              pr.remove_file();  // combined: the raw runs are dead
+            } else {
+              detail::for_each_group(pr.tail, combine_group);
+            }
+          } else {
+            detail::for_each_group(pr.tail, combine_group);
+          }
+          pr = cctx.take_partition(0);
           bytes = cctx.spill_bytes(0);
+          out.disk_spill_runs += cctx.disk_spill_runs();
+          out.disk_spill_bytes += cctx.disk_spill_bytes();
         }
       }
-      out.combined_records += run.size();
+      out.combined_records += pr.records();
       out.run_bytes[static_cast<std::size_t>(r)] = bytes;
-      out.runs.push_back(std::move(run));
+      out.parts.push_back(std::move(pr));
     }
-    out.sort_seconds = sort_sw.seconds();
+    out.disk_spill_runs += ctx.disk_spill_runs();
+    out.disk_spill_bytes += ctx.disk_spill_bytes();
+    out.sort_seconds = sort_sw.seconds() + ctx.spill_seconds();
     out.cpu_seconds =
         config.modeled_seconds_per_record > 0.0
             ? static_cast<double>(records) *
@@ -1071,15 +1227,19 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     // Process backend: the k-way merge ran inside the reduce worker, so its
     // cost comes back over the wire instead of being timed by the jobtracker.
     double merge_seconds = 0.0;
+    // Out-of-core: wall time the external merge spent reading spill frames.
+    double external_merge_seconds = 0.0;
     std::uint64_t merged_runs = 0;
     Counters counters;
   };
 
-  // Backend-shared reduce attempt body. `merged` is this partition's k-way
-  // merged run; attempts iterate it without consuming it (groups are spans
-  // into it), so a crashed attempt re-runs from the same shuffled input, as
-  // Hadoop re-fetches map output that is still on the mappers' disks.
-  auto reduce_attempt_body = [&](int r, const SortedRun<K, V>& merged,
+  // Backend-shared reduce attempt core, parameterized over the group source:
+  // `for_groups(fn)` must invoke fn(key, span_of_values) once per group in
+  // merge order and return the total records merged. Attempts never consume
+  // the underlying runs, so a crashed attempt re-runs from the same shuffled
+  // input, as Hadoop re-fetches map output that is still on the mappers'
+  // disks.
+  auto reduce_attempt_with = [&](int r, auto&& for_groups,
                                  const std::vector<std::int64_t>& skip,
                                  bool inject, auto&& progress) -> ReduceOut {
     CpuStopwatch cpu;
@@ -1091,21 +1251,28 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
       throw detail::AttemptFailure{-1, e.what()};
     }
     std::uint64_t groups = 0;
+    std::uint64_t merged_records = 0;
     std::int64_t ordinal = -1;  // group index = skip-mode key
-    detail::for_each_group(
-        merged, [&](const K& key, std::span<const V> values) {
-          ++ordinal;
-          progress(ordinal);
-          if (detail::in_skip_set(skip, ordinal)) return;
-          try {
-            reducer.reduce(key, values, ctx);
-          } catch (const TaskError& e) {
-            throw detail::AttemptFailure{ordinal, e.what()};
-          }
-          ++groups;
-          if (inject)
-            throw detail::AttemptFailure{-1, "injected attempt crash"};
-        });
+    try {
+      merged_records =
+          for_groups([&](const K& key, std::span<const V> values) {
+            ++ordinal;
+            progress(ordinal);
+            if (detail::in_skip_set(skip, ordinal)) return;
+            try {
+              reducer.reduce(key, values, ctx);
+            } catch (const TaskError& e) {
+              throw detail::AttemptFailure{ordinal, e.what()};
+            }
+            ++groups;
+            if (inject)
+              throw detail::AttemptFailure{-1, "injected attempt crash"};
+          });
+    } catch (const TaskError& e) {
+      // Spill-file IO failure during the external merge: a machine-style
+      // crash (not attributable to any one group), retried like one.
+      throw detail::AttemptFailure{-1, e.what()};
+    }
     if (inject)  // no group processed: crash anyway
       throw detail::AttemptFailure{-1, "injected attempt crash"};
     try {
@@ -1119,10 +1286,53 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     out.groups = groups;
     out.cpu_seconds =
         config.modeled_seconds_per_record > 0.0
-            ? static_cast<double>(merged.size()) *
+            ? static_cast<double>(merged_records) *
                   config.modeled_seconds_per_record
             : cpu.seconds();
     out.counters = ctx.counters();
+    return out;
+  };
+
+  // In-memory path: `merged` is this partition's materialized k-way merged
+  // run; groups are zero-copy spans into it, shared across attempts.
+  auto reduce_attempt_body = [&](int r, const SortedRun<K, V>& merged,
+                                 const std::vector<std::int64_t>& skip,
+                                 bool inject, auto&& progress) -> ReduceOut {
+    return reduce_attempt_with(
+        r,
+        [&](auto&& fn) {
+          detail::for_each_group(merged, fn);
+          return static_cast<std::uint64_t>(merged.size());
+        },
+        skip, inject, progress);
+  };
+
+  // Out-of-core path: external-merge this partition's runs — spilled disk
+  // runs streamed frame by frame plus in-memory tails — building fresh
+  // cursors per attempt (disk runs re-streamed, tails re-read), so a crashed
+  // attempt consumes nothing. Generic lambda: the body only instantiates at
+  // kWireable call sites, keeping non-wireable K/V jobs compiling.
+  auto streaming_attempt_body = [&](int r, const auto& parts,
+                                    const std::vector<std::int64_t>& skip,
+                                    bool inject, auto&& progress) -> ReduceOut {
+    std::vector<storage::SpillRunCursor<K, V>> cursors;
+    ReduceOut out = reduce_attempt_with(
+        r,
+        [&](auto&& fn) {
+          cursors.clear();
+          // Cursors in map-task order, disk runs before the tail within each
+          // partition (spill order = emission order): the loser tree's
+          // run-index tie-break then reproduces the in-memory merge exactly.
+          for (const auto* pr : parts)
+            for (auto& c : storage::partition_cursors(*pr))
+              cursors.push_back(std::move(c));
+          return detail::merge_cursor_groups(
+              std::span<storage::SpillRunCursor<K, V>>(cursors.data(),
+                                                       cursors.size()),
+              fn);
+        },
+        skip, inject, progress);
+    for (const auto& c : cursors) out.external_merge_seconds += c.io_seconds();
     return out;
   };
 
@@ -1139,21 +1349,43 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
           if (req.phase == 1) {
             return detail::encode_map_out<MapOut, K, V>(
                 map_attempt_body(static_cast<std::size_t>(req.task), req.skip,
-                                 req.inject_crash, progress));
+                                 req.inject_crash, req.attempt, progress));
           }
-          // Reduce: parse the wire-shuffled bundle, k-way merge, reduce.
-          auto runs = detail::parse_reduce_bundle<K, V>(req.payload);
-          std::vector<SortedRun<K, V>*> parts;
-          parts.reserve(runs.size());
-          for (auto& run : runs) parts.push_back(&run);
+          // Reduce: parse the wire-shuffled partition bundle. Run *metadata*
+          // travels over the wire; spilled run *data* stays on the shared
+          // scratch disk (the worker inherited the path via fork) and is
+          // streamed straight from the map tasks' files when any partition
+          // spilled — otherwise materialize the k-way merge of the tails.
+          auto bparts = detail::parse_partition_bundle<K, V>(req.payload);
+          bool any_disk = false;
+          for (const auto& pr : bparts)
+            if (pr.has_disk()) any_disk = true;
+          if (any_disk) {
+            std::vector<const storage::PartitionRuns<K, V>*> ptrs;
+            std::uint64_t nruns = 0;
+            ptrs.reserve(bparts.size());
+            for (const auto& pr : bparts) {
+              if (pr.empty()) continue;
+              ptrs.push_back(&pr);
+              nruns += storage::partition_run_count(pr);
+            }
+            ReduceOut out = streaming_attempt_body(
+                req.task, ptrs, req.skip, req.inject_crash, progress);
+            out.merged_runs = nruns;
+            return detail::encode_reduce_out(out);
+          }
+          std::vector<SortedRun<K, V>*> truns;
+          truns.reserve(bparts.size());
+          for (auto& pr : bparts)
+            if (!pr.tail.empty()) truns.push_back(&pr.tail);
           Stopwatch merge_sw;
           const SortedRun<K, V> merged = detail::merge_sorted_runs<K, V>(
-              std::span<SortedRun<K, V>* const>(parts.data(), parts.size()));
+              std::span<SortedRun<K, V>* const>(truns.data(), truns.size()));
           const double merge_s = merge_sw.seconds();
           ReduceOut out = reduce_attempt_body(req.task, merged, req.skip,
                                               req.inject_crash, progress);
           out.merge_seconds = merge_s;
-          out.merged_runs = runs.size();
+          out.merged_runs = truns.size();
           return detail::encode_reduce_out(out);
         });
       };
@@ -1176,7 +1408,8 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
                   });
             }
           }
-          return map_attempt_body(t, skip, inject, [](std::int64_t) {});
+          return map_attempt_body(t, skip, inject, attempt_no,
+                                  [](std::int64_t) {});
         });
   };
   auto map_cost_of = [&](std::size_t t) {
@@ -1210,6 +1443,8 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     result.map_output_records += out.raw_records;
     result.map_output_bytes += out.raw_bytes;
     result.combine_output_records += out.combined_records;
+    result.disk_spill_runs += out.disk_spill_runs;
+    result.disk_spill_bytes += out.disk_spill_bytes;
     result.sort_seconds += out.sort_seconds;
     result.skipped_records += mtries[t].skipped_records;
     for (const auto& [k, v] : out.counters) result.counters[k] += v;
@@ -1274,22 +1509,48 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
             return;
           }
         }
-        // K-way merge this partition's sorted runs from every surviving map
-        // task, gathered in map-task order: the loser tree's tie-break on
-        // run index then reproduces the old concat-and-stable-sort order
-        // exactly (map-task order, then emission order). The merged run is
-        // built once; attempts share it (see reduce_attempt_body).
-        std::vector<SortedRun<K, V>*> parts;
+        // Gather this partition's output from every surviving map task, in
+        // map-task order — the merge-stability order.
+        std::vector<storage::PartitionRuns<K, V>*> parts;
+        bool any_disk = false;
         for (auto& m : mtries) {
           if (!m.ok) continue;
-          auto& run = m.value.runs[static_cast<std::size_t>(r)];
-          if (!run.empty()) parts.push_back(&run);
+          auto& pr = m.value.parts[static_cast<std::size_t>(r)];
+          if (pr.empty()) continue;
+          parts.push_back(&pr);
+          if (pr.has_disk()) any_disk = true;
         }
+        if constexpr (kWireable) {
+          if (any_disk) {
+            // Out-of-core: no materialized merge; every attempt re-streams
+            // the external merge over the spilled runs and in-memory tails.
+            std::uint64_t nruns = 0;
+            for (const auto* pr : parts)
+              nruns += storage::partition_run_count(*pr);
+            merged_run_counts[static_cast<std::size_t>(r)] = nruns;
+            rtries[static_cast<std::size_t>(r)] =
+                detail::run_task_attempts<ReduceOut>(
+                    job, config.seed, /*phase=*/2, static_cast<std::size_t>(r),
+                    [&](const std::vector<std::int64_t>& skip, bool inject,
+                        int) {
+                      return streaming_attempt_body(r, parts, skip, inject,
+                                                    [](std::int64_t) {});
+                    });
+            return;
+          }
+        }
+        // In-memory: k-way merge the sorted tails. The loser tree's tie-break
+        // on run index reproduces the old concat-and-stable-sort order
+        // exactly (map-task order, then emission order). The merged run is
+        // built once; attempts share it (see reduce_attempt_body).
+        std::vector<SortedRun<K, V>*> truns;
+        truns.reserve(parts.size());
+        for (auto* pr : parts) truns.push_back(&pr->tail);
         Stopwatch merge_sw;
         const SortedRun<K, V> merged = detail::merge_sorted_runs<K, V>(
-            std::span<SortedRun<K, V>* const>(parts.data(), parts.size()));
+            std::span<SortedRun<K, V>* const>(truns.data(), truns.size()));
         merge_secs[static_cast<std::size_t>(r)] = merge_sw.seconds();
-        merged_run_counts[static_cast<std::size_t>(r)] = parts.size();
+        merged_run_counts[static_cast<std::size_t>(r)] = truns.size();
 
         rtries[static_cast<std::size_t>(r)] =
             detail::run_task_attempts<ReduceOut>(
@@ -1333,6 +1594,7 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     auto& rt = rtries[static_cast<std::size_t>(r)];
     auto& out = rt.value;
     result.reduce_input_groups += out.groups;
+    result.external_merge_seconds += out.external_merge_seconds;
     result.output_records += out.records;
     result.output_bytes += out.output.size();
     result.skipped_records += rt.skipped_records;
@@ -1387,6 +1649,37 @@ JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
     detail::record_job_trace(tel.trace, config, job, result, td);
   }
   return result;
+}
+
+}  // namespace detail
+
+/// Run a full map-reduce job over newline-delimited text input. See the file
+/// header for the Mapper / Reducer / Combiner shapes. `make_mapper` /
+/// `make_reducer` / `make_combiner` are invoked once per task attempt.
+template <typename MapperFactory, typename ReducerFactory,
+          typename CombinerFactory = NoCombiner>
+JobResult run_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
+                            const JobConfig& job, MapperFactory make_mapper,
+                            ReducerFactory make_reducer,
+                            CombinerFactory make_combiner = {}) {
+  return detail::run_mapreduce_job_impl<detail::TextRecords>(
+      dfs, config, job, std::move(make_mapper), std::move(make_reducer),
+      std::move(make_combiner));
+}
+
+/// Full map-reduce job over SequenceFile-style fixed-size binary records
+/// (record index as key, raw record bytes as value) — the binary counterpart
+/// of run_mapreduce_job, sharing its engine.
+template <typename MapperFactory, typename ReducerFactory,
+          typename CombinerFactory = NoCombiner>
+JobResult run_binary_mapreduce_job(Dfs& dfs, const ClusterConfig& config,
+                                   const JobConfig& job,
+                                   MapperFactory make_mapper,
+                                   ReducerFactory make_reducer,
+                                   CombinerFactory make_combiner = {}) {
+  return detail::run_mapreduce_job_impl<detail::BinaryRecords>(
+      dfs, config, job, std::move(make_mapper), std::move(make_reducer),
+      std::move(make_combiner));
 }
 
 }  // namespace gepeto::mr

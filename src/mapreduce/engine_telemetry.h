@@ -87,6 +87,10 @@ inline void record_job_metrics(telemetry::MetricsRegistry* m,
       "bytes crossing mapper->reducer");
   add("mr_spill_runs_total", static_cast<std::int64_t>(r.spill_runs),
       "sorted map-output runs k-way-merged by reducers");
+  add("mr_spill_runs", static_cast<std::int64_t>(r.disk_spill_runs),
+      "sorted runs spilled to scratch disk under the sort memory budget");
+  add("mr_spill_bytes", static_cast<std::int64_t>(r.disk_spill_bytes),
+      "bytes of sorted runs spilled to scratch disk");
   add("mr_output_bytes_total", static_cast<std::int64_t>(r.output_bytes),
       "job output bytes");
   add("mr_output_records_total", static_cast<std::int64_t>(r.output_records),
@@ -122,6 +126,13 @@ inline void record_job_metrics(telemetry::MetricsRegistry* m,
     m->histogram("mr_merge_seconds", telemetry::default_time_buckets(),
                  "wall seconds reducers spent k-way-merging sorted runs")
         .observe(r.merge_seconds);
+  }
+  if (r.external_merge_seconds > 0.0) {
+    m->histogram("mr_external_merge_seconds",
+                 telemetry::default_time_buckets(),
+                 "wall seconds reducers spent streaming spill frames during "
+                 "the external merge")
+        .observe(r.external_merge_seconds);
   }
   if (map_slices != nullptr) {
     auto& h = m->histogram("mr_map_task_sim_seconds",

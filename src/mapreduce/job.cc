@@ -97,6 +97,8 @@ void JobResult::absorb(const JobResult& next) {
   combine_output_records += next.combine_output_records;
   shuffle_bytes += next.shuffle_bytes;
   spill_runs += next.spill_runs;
+  disk_spill_runs += next.disk_spill_runs;
+  disk_spill_bytes += next.disk_spill_bytes;
   reduce_input_groups += next.reduce_input_groups;
   output_records = next.output_records;  // pipeline: last job's output counts
   output_bytes = next.output_bytes;
@@ -116,6 +118,7 @@ void JobResult::absorb(const JobResult& next) {
   real_seconds += next.real_seconds;
   sort_seconds += next.sort_seconds;
   merge_seconds += next.merge_seconds;
+  external_merge_seconds += next.external_merge_seconds;
   sim_startup_seconds += next.sim_startup_seconds;
   sim_map_seconds += next.sim_map_seconds;
   sim_reduce_seconds += next.sim_reduce_seconds;

@@ -167,6 +167,17 @@ struct JobConfig {
   std::string output;
   int num_reducers = 1;  ///< 0 is invalid here; use run_map_only_job instead
   bool use_combiner = false;
+  /// Out-of-core shuffle: when > 0, each map task's emit buffers are bounded
+  /// to this many bytes in total — once the accounted bytes (approx_bytes at
+  /// emit time) across all partitions reach the budget, every partition
+  /// buffer is sorted and spilled to a scratch file as one sorted run
+  /// (Hadoop's sort-and-spill pass), and reducers external-merge the disk
+  /// runs with the same loser tree the in-memory path uses, so outputs are
+  /// byte-identical at any budget. 0 (the default) keeps everything in
+  /// memory. Requires
+  /// wire-serializable intermediate key/value types (the spill-file format);
+  /// $GEPETO_SORT_MEMORY_BUDGET supplies a best-effort default when unset.
+  std::uint64_t sort_memory_budget_bytes = 0;
   /// DFS files broadcast to every task (Hadoop distributed cache).
   std::vector<std::string> cache_files;
   FailurePolicy failures;
@@ -213,6 +224,10 @@ struct JobResult {
   std::uint64_t combine_output_records = 0; ///< == map_output_records if none
   std::uint64_t shuffle_bytes = 0;          ///< bytes crossing mapper->reducer
   std::uint64_t spill_runs = 0;             ///< sorted map-output runs merged
+  /// Out-of-core shuffle (sort_memory_budget_bytes > 0; zero otherwise):
+  /// sorted runs spilled to scratch files and their on-disk bytes.
+  std::uint64_t disk_spill_runs = 0;
+  std::uint64_t disk_spill_bytes = 0;
   std::uint64_t reduce_input_groups = 0;
   std::uint64_t output_records = 0;
   std::uint64_t output_bytes = 0;
@@ -246,6 +261,9 @@ struct JobResult {
   double sort_seconds = 0.0;
   /// Wall seconds reduce tasks spent k-way-merging the sorted map runs.
   double merge_seconds = 0.0;
+  /// Wall seconds reduce attempts spent reading + decoding spilled run
+  /// frames during the streaming external merge (out-of-core path only).
+  double external_merge_seconds = 0.0;
 
   // Simulated cluster clock (deterministic).
   double sim_startup_seconds = 0.0;

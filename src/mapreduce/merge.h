@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -72,12 +73,19 @@ SortedRun<K, V> split_pairs(std::vector<std::pair<K, V>>&& pairs) {
 /// remembers the loser of the match played there and the winner bubbles to
 /// the root. Advancing the winner replays only its root path: O(log M)
 /// comparisons per record.
-template <typename K, typename V>
-class LoserTree {
+///
+/// Generic over the cursor: a Cursor exposes key_type/value_type,
+/// exhausted(), key(), value(), advance(). In-memory SortedRuns and
+/// file-streamed spill runs (storage/spill.h) merge through the same tree —
+/// and with the same (key, run index) tie-break, so the out-of-core external
+/// merge reproduces the in-memory merge order exactly.
+template <typename Cursor>
+class CursorLoserTree {
  public:
-  explicit LoserTree(std::span<SortedRun<K, V>* const> runs) : runs_(runs) {
+  using K = typename Cursor::key_type;
+
+  explicit CursorLoserTree(std::span<Cursor> runs) : runs_(runs) {
     GEPETO_DCHECK(!runs.empty());
-    pos_.assign(runs.size(), 0);
     width_ = 1;
     while (width_ < runs.size()) width_ *= 2;
     tree_.assign(width_, kNone);
@@ -97,13 +105,13 @@ class LoserTree {
   /// Run index holding the smallest (key, run) pair, or kNone when drained.
   std::size_t top() const { return winner_; }
 
-  /// Current record of the winning run.
-  const K& key() const { return runs_[winner_]->keys[pos_[winner_]]; }
-  V& value() const { return runs_[winner_]->values[pos_[winner_]]; }
+  /// Current key / cursor of the winning run.
+  const K& key() const { return runs_[winner_].key(); }
+  Cursor& run() const { return runs_[winner_]; }
 
   /// Consume the winner's current record and rebubble.
   void pop() {
-    ++pos_[winner_];
+    runs_[winner_].advance();
     std::size_t cur = winner_;
     for (std::size_t node = (width_ + winner_) / 2; node > 0; node /= 2) {
       if (beats(tree_[node], cur)) std::swap(tree_[node], cur);
@@ -115,7 +123,7 @@ class LoserTree {
 
  private:
   bool exhausted(std::size_t r) const {
-    return r == kNone || pos_[r] >= runs_[r]->size();
+    return r == kNone || runs_[r].exhausted();
   }
 
   /// True when run `a` beats run `b`: strictly smaller key, or equal keys
@@ -124,18 +132,33 @@ class LoserTree {
   bool beats(std::size_t a, std::size_t b) const {
     if (exhausted(b)) return true;
     if (exhausted(a)) return false;
-    const K& ka = runs_[a]->keys[pos_[a]];
-    const K& kb = runs_[b]->keys[pos_[b]];
+    const K& ka = runs_[a].key();
+    const K& kb = runs_[b].key();
     if (ka < kb) return true;
     if (kb < ka) return false;
     return a < b;
   }
 
-  std::span<SortedRun<K, V>* const> runs_;
+  std::span<Cursor> runs_;
   std::size_t width_;              // leaf count, power of two
-  std::vector<std::size_t> pos_;   // cursor per run
   std::vector<std::size_t> tree_;  // loser at each internal node
   std::size_t winner_;
+};
+
+/// In-memory cursor over one SortedRun with mutable value access, so
+/// merge_sorted_runs can move values out of its sources.
+template <typename K, typename V>
+struct MoveRunCursor {
+  using key_type = K;
+  using value_type = V;
+
+  SortedRun<K, V>* run = nullptr;
+  std::size_t pos = 0;
+
+  bool exhausted() const { return pos >= run->size(); }
+  const K& key() const { return run->keys[pos]; }
+  V& value() const { return run->values[pos]; }
+  void advance() { ++pos; }
 };
 
 /// Merge M sorted runs into one, stable by (run index, in-run position).
@@ -153,13 +176,56 @@ SortedRun<K, V> merge_sorted_runs(std::span<SortedRun<K, V>* const> runs) {
     out = std::move(*runs[0]);
     return out;
   }
-  LoserTree<K, V> tree(runs);
-  while (tree.top() != LoserTree<K, V>::kNone) {
-    out.keys.push_back(tree.key());
-    out.values.push_back(std::move(tree.value()));
+  std::vector<MoveRunCursor<K, V>> cursors;
+  cursors.reserve(runs.size());
+  for (auto* r : runs) cursors.push_back({r, 0});
+  CursorLoserTree<MoveRunCursor<K, V>> tree(
+      std::span<MoveRunCursor<K, V>>(cursors.data(), cursors.size()));
+  while (tree.top() != CursorLoserTree<MoveRunCursor<K, V>>::kNone) {
+    auto& c = tree.run();
+    out.keys.push_back(c.key());
+    out.values.push_back(std::move(c.value()));
     tree.pop();
   }
   return out;
+}
+
+/// Stream-merge M sorted run cursors and invoke `fn(key, span_of_values)`
+/// once per maximal run of equal keys — the out-of-core counterpart of
+/// merging into one SortedRun and walking it with for_each_group, producing
+/// the identical group sequence (same tree, same tie-break). Only one
+/// group's values are resident at a time (a group must fit in memory; the
+/// runs need not). Values are *copied* out of the cursors so the underlying
+/// runs survive for retried attempts. Returns the total records merged.
+template <typename Cursor, typename Fn>
+std::uint64_t merge_cursor_groups(std::span<Cursor> runs, Fn&& fn) {
+  using K = typename Cursor::key_type;
+  using V = typename Cursor::value_type;
+  std::uint64_t total = 0;
+  if (runs.empty()) return total;
+  CursorLoserTree<Cursor> tree(runs);
+  bool have_group = false;
+  K group_key{};
+  std::vector<V> group_values;
+  while (tree.top() != CursorLoserTree<Cursor>::kNone) {
+    Cursor& c = tree.run();
+    if (!have_group) {
+      group_key = c.key();
+      have_group = true;
+    } else if (group_key < c.key()) {  // merged keys are non-decreasing
+      fn(std::as_const(group_key),
+         std::span<const V>(group_values.data(), group_values.size()));
+      group_key = c.key();
+      group_values.clear();
+    }
+    group_values.push_back(c.value());
+    ++total;
+    tree.pop();
+  }
+  if (have_group)
+    fn(std::as_const(group_key),
+       std::span<const V>(group_values.data(), group_values.size()));
+  return total;
 }
 
 /// Invoke `fn(key, span_of_values)` for each run of equal keys. The span

@@ -10,12 +10,17 @@
 // blacklisting and max_failed_task_fraction apply unchanged.
 //
 // The reduce-side "wire shuffle": map workers serialize each partition's
-// SortedRun into an opaque blob; the jobtracker never deserializes
-// intermediate keys/values, it just concatenates the surviving maps' blobs
-// (in map-task order) into the reduce request, and the reduce worker parses
-// and k-way-merges them. The loser tree's tie-break on run index then
-// reproduces the thread backend's (map-task order, emission order) exactly —
-// which is why outputs are byte-identical across backends.
+// output — its in-memory tail run plus, under a sort memory budget, the
+// metadata of the sorted runs it spilled to scratch files (the file path and
+// per-run extents; the run *data* stays on disk) — into an opaque blob; the
+// jobtracker never deserializes intermediate keys/values, it just
+// concatenates the surviving maps' blobs (in map-task order) into the reduce
+// request, and the reduce worker parses and k-way-merges them, streaming
+// spilled runs straight from the shared scratch directory (workers are forked
+// from the jobtracker, so they see the same filesystem paths). The loser
+// tree's tie-break on run index then reproduces the thread backend's
+// (map-task order, emission order) exactly — which is why outputs are
+// byte-identical across backends, budgeted or not.
 //
 // The codecs over the engine's attempt-output structs are duck-typed
 // templates: those structs are locals of the job impl templates, and the
@@ -37,6 +42,7 @@
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
 #include "mapreduce/merge.h"
+#include "storage/spill.h"
 #include "telemetry/telemetry.h"
 
 namespace gepeto::mr::detail {
@@ -220,30 +226,49 @@ TaskOut decode_map_only_out(std::string_view payload) {
   return o;
 }
 
-/// One partition run as an opaque blob: count-prefixed keys then values.
+/// One partition's map output as an opaque blob: the spill file (path + run
+/// extents; run data stays on the shared scratch disk) and the in-memory
+/// tail run as count-prefixed keys then values.
 template <typename K, typename V>
-std::string encode_run_blob(const SortedRun<K, V>& run) {
+std::string encode_partition_runs(const storage::PartitionRuns<K, V>& pr) {
   namespace w = ipc::wire;
   std::string blob;
-  w::put_vec(blob, run.keys);
-  w::put_vec(blob, run.values);
+  w::put_str(blob, pr.file);
+  w::put_u64(blob, pr.disk_runs.size());
+  for (const storage::RunMeta& m : pr.disk_runs) {
+    w::put_u64(blob, m.offset);
+    w::put_u64(blob, m.bytes);
+    w::put_u64(blob, m.records);
+  }
+  w::put_vec(blob, pr.tail.keys);
+  w::put_vec(blob, pr.tail.values);
   return blob;
 }
 
 template <typename K, typename V>
-SortedRun<K, V> decode_run_blob(std::string_view blob) {
+storage::PartitionRuns<K, V> decode_partition_runs(std::string_view blob) {
   namespace w = ipc::wire;
   w::Reader r(blob);
-  SortedRun<K, V> run;
-  run.keys = w::get_vec<K>(r);
-  run.values = w::get_vec<V>(r);
-  if (run.keys.size() != run.values.size())
-    throw w::WireError("run blob: key/value count mismatch");
-  return run;
+  storage::PartitionRuns<K, V> pr;
+  pr.file = r.get_str();
+  const std::uint64_t n = r.get_u64();
+  pr.disk_runs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    storage::RunMeta m;
+    m.offset = r.get_u64();
+    m.bytes = r.get_u64();
+    m.records = r.get_u64();
+    pr.disk_runs.push_back(m);
+  }
+  pr.tail.keys = w::get_vec<K>(r);
+  pr.tail.values = w::get_vec<V>(r);
+  if (pr.tail.keys.size() != pr.tail.values.size())
+    throw w::WireError("partition blob: key/value count mismatch");
+  return pr;
 }
 
-/// Map worker -> jobtracker: volumes and counters in the clear, the runs as
-/// opaque blobs the jobtracker stores without parsing.
+/// Map worker -> jobtracker: volumes and counters in the clear, the
+/// partition outputs as opaque blobs the jobtracker stores without parsing.
 template <typename MapOut, typename K, typename V>
 std::string encode_map_out(const MapOut& o) {
   namespace w = ipc::wire;
@@ -251,15 +276,17 @@ std::string encode_map_out(const MapOut& o) {
   w::put_u64(p, o.raw_records);
   w::put_u64(p, o.combined_records);
   w::put_u64(p, o.raw_bytes);
+  w::put_u64(p, o.disk_spill_runs);
+  w::put_u64(p, o.disk_spill_bytes);
   w::put_u64(p, o.input_records);
   w::put_u64(p, o.input_bytes);
   w::put_f64(p, o.cpu_seconds);
   w::put_f64(p, o.sort_seconds);
   w::put_counters(p, o.counters);
   w::put_vec(p, o.run_bytes);
-  w::put_u64(p, o.runs.size());
-  for (const SortedRun<K, V>& run : o.runs)
-    w::put_str(p, encode_run_blob(run));
+  w::put_u64(p, o.parts.size());
+  for (const storage::PartitionRuns<K, V>& pr : o.parts)
+    w::put_str(p, encode_partition_runs(pr));
   return p;
 }
 
@@ -271,6 +298,8 @@ MapOut decode_map_out(std::string_view payload) {
   o.raw_records = r.get_u64();
   o.combined_records = r.get_u64();
   o.raw_bytes = r.get_u64();
+  o.disk_spill_runs = r.get_u64();
+  o.disk_spill_bytes = r.get_u64();
   o.input_records = r.get_u64();
   o.input_bytes = r.get_u64();
   o.cpu_seconds = r.get_f64();
@@ -293,19 +322,21 @@ inline std::string encode_reduce_bundle(const std::vector<std::string>& blobs) {
   return p;
 }
 
-/// Parse + drop empty runs, preserving arrival (map-task) order.
+/// Parse + drop partitions with no records at all, preserving arrival
+/// (map-task) order.
 template <typename K, typename V>
-std::vector<SortedRun<K, V>> parse_reduce_bundle(std::string_view payload) {
+std::vector<storage::PartitionRuns<K, V>> parse_partition_bundle(
+    std::string_view payload) {
   namespace w = ipc::wire;
   w::Reader r(payload);
   const std::uint64_t n = r.get_u64();
-  std::vector<SortedRun<K, V>> runs;
-  runs.reserve(static_cast<std::size_t>(n));
+  std::vector<storage::PartitionRuns<K, V>> parts;
+  parts.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
-    SortedRun<K, V> run = decode_run_blob<K, V>(r.get_str());
-    if (!run.empty()) runs.push_back(std::move(run));
+    storage::PartitionRuns<K, V> pr = decode_partition_runs<K, V>(r.get_str());
+    if (!pr.empty()) parts.push_back(std::move(pr));
   }
-  return runs;
+  return parts;
 }
 
 template <typename ReduceOut>
@@ -317,6 +348,7 @@ std::string encode_reduce_out(const ReduceOut& o) {
   w::put_u64(p, o.groups);
   w::put_f64(p, o.cpu_seconds);
   w::put_f64(p, o.merge_seconds);
+  w::put_f64(p, o.external_merge_seconds);
   w::put_u64(p, o.merged_runs);
   w::put_counters(p, o.counters);
   return p;
@@ -332,6 +364,7 @@ ReduceOut decode_reduce_out(std::string_view payload) {
   o.groups = r.get_u64();
   o.cpu_seconds = r.get_f64();
   o.merge_seconds = r.get_f64();
+  o.external_merge_seconds = r.get_f64();
   o.merged_runs = r.get_u64();
   o.counters = w::get_counters(r);
   return o;

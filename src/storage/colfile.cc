@@ -1,0 +1,359 @@
+#include "storage/colfile.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+#include "ipc/frame.h"
+#include "ipc/wire.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::storage {
+
+namespace {
+
+constexpr char kFileMagic[8] = {'G', 'P', 'C', 'O', 'L', '1', '\r', '\n'};
+constexpr char kFooterMagic[8] = {'G', 'P', 'C', 'O', 'L', 'F', 'T', 'R'};
+constexpr std::size_t kMagicSize = 8;
+// Trailer: u64 footer_offset + u32 footer_crc + footer magic.
+constexpr std::size_t kTrailerSize = 8 + 4 + 8;
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw ColumnarError("columnar file: " + what);
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t b;
+  std::memcpy(&b, &x, 8);
+  return b;
+}
+
+double bits_double(std::uint64_t b) {
+  double x;
+  std::memcpy(&x, &b, 8);
+  return x;
+}
+
+}  // namespace
+
+namespace colenc {
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::string_view in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (pos >= in.size()) corrupt("truncated varint");
+    if (shift >= 64) corrupt("varint overflows 64 bits");
+    const auto byte = static_cast<unsigned char>(in[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+void put_xorfp(std::string& out, double x, std::uint64_t& prev) {
+  const std::uint64_t bits = double_bits(x);
+  const std::uint64_t diff = bits ^ prev;
+  prev = bits;
+  if (diff == 0) {
+    out.push_back('\0');
+    return;
+  }
+  const int lead = std::countl_zero(diff) / 8;   // zero bytes at the MSB end
+  const int trail = std::countr_zero(diff) / 8;  // zero bytes at the LSB end
+  const int mid = 8 - lead - trail;              // >= 1
+  out.push_back(static_cast<char>(1 + (lead << 3) + trail));
+  const std::uint64_t m = diff >> (8 * trail);
+  for (int i = 0; i < mid; ++i)
+    out.push_back(static_cast<char>((m >> (8 * i)) & 0xff));
+}
+
+double get_xorfp(std::string_view in, std::size_t& pos, std::uint64_t& prev) {
+  if (pos >= in.size()) corrupt("truncated FP column");
+  const auto control = static_cast<unsigned char>(in[pos++]);
+  if (control == 0) return bits_double(prev);
+  const int lead = (control - 1) >> 3;
+  const int trail = (control - 1) & 7;
+  const int mid = 8 - lead - trail;
+  if (control > 64 || mid < 1) corrupt("bad FP control byte");
+  if (pos + static_cast<std::size_t>(mid) > in.size())
+    corrupt("truncated FP column");
+  std::uint64_t m = 0;
+  for (int i = 0; i < mid; ++i)
+    m |= static_cast<std::uint64_t>(static_cast<unsigned char>(in[pos++]))
+         << (8 * i);
+  prev ^= m << (8 * trail);
+  return bits_double(prev);
+}
+
+}  // namespace colenc
+
+ColumnarWriter::ColumnarWriter(ColumnarWriterOptions options)
+    : options_(options) {
+  GEPETO_CHECK(options_.block_records > 0);
+  out_.append(kFileMagic, kMagicSize);
+}
+
+void ColumnarWriter::add(const geo::MobilityTrace& trace) {
+  buffer_.push_back(trace);
+  ++total_;
+  if (buffer_.size() >= options_.block_records) flush_block();
+}
+
+void ColumnarWriter::flush_block() {
+  if (buffer_.empty()) return;
+  ColumnarBlockInfo info;
+  info.offset = out_.size();
+  info.records = buffer_.size();
+  info.min_lat = info.max_lat = buffer_[0].latitude;
+  info.min_lon = info.max_lon = buffer_[0].longitude;
+  info.min_ts = info.max_ts = buffer_[0].timestamp;
+
+  std::string payload;
+  payload.reserve(buffer_.size() * 12);
+  colenc::put_varint(payload, buffer_.size());
+  std::int64_t prev_user = 0;
+  for (const auto& t : buffer_) {
+    colenc::put_varint(payload, colenc::zigzag(t.user_id - prev_user));
+    prev_user = t.user_id;
+  }
+  std::int64_t prev_ts = 0;
+  for (const auto& t : buffer_) {
+    colenc::put_varint(payload, colenc::zigzag(t.timestamp - prev_ts));
+    prev_ts = t.timestamp;
+    info.min_ts = std::min(info.min_ts, t.timestamp);
+    info.max_ts = std::max(info.max_ts, t.timestamp);
+  }
+  std::uint64_t prev = 0;
+  for (const auto& t : buffer_) {
+    colenc::put_xorfp(payload, t.latitude, prev);
+    info.min_lat = std::min(info.min_lat, t.latitude);
+    info.max_lat = std::max(info.max_lat, t.latitude);
+  }
+  prev = 0;
+  for (const auto& t : buffer_) {
+    colenc::put_xorfp(payload, t.longitude, prev);
+    info.min_lon = std::min(info.min_lon, t.longitude);
+    info.max_lon = std::max(info.max_lon, t.longitude);
+  }
+  prev = 0;
+  for (const auto& t : buffer_) colenc::put_xorfp(payload, t.altitude_ft, prev);
+
+  info.payload_bytes = payload.size();
+  info.crc = ipc::crc32(payload.data(), payload.size());
+  out_ += payload;
+  blocks_.push_back(info);
+  buffer_.clear();
+}
+
+std::string ColumnarWriter::finish() {
+  namespace w = ipc::wire;
+  flush_block();
+  const std::uint64_t footer_offset = out_.size();
+  std::string footer;
+  for (const auto& b : blocks_) {
+    w::put_u64(footer, b.offset);
+    w::put_u64(footer, b.payload_bytes);
+    w::put_u64(footer, b.records);
+    w::put_u32(footer, b.crc);
+    w::put_f64(footer, b.min_lat);
+    w::put_f64(footer, b.max_lat);
+    w::put_f64(footer, b.min_lon);
+    w::put_f64(footer, b.max_lon);
+    w::put_i64(footer, b.min_ts);
+    w::put_i64(footer, b.max_ts);
+  }
+  w::put_u64(footer, blocks_.size());
+  w::put_u64(footer, total_);
+  const std::uint32_t footer_crc = ipc::crc32(footer.data(), footer.size());
+  out_ += footer;
+  w::put_u64(out_, footer_offset);
+  w::put_u32(out_, footer_crc);
+  out_.append(kFooterMagic, kMagicSize);
+  return std::move(out_);
+}
+
+ColumnarFile::ColumnarFile(std::string_view bytes) : bytes_(bytes) {
+  namespace w = ipc::wire;
+  if (bytes.size() < kMagicSize + kTrailerSize) corrupt("truncated file");
+  if (std::memcmp(bytes.data(), kFileMagic, kMagicSize) != 0)
+    corrupt("bad magic (not a columnar trace file)");
+  const std::size_t trailer = bytes.size() - kTrailerSize;
+  if (std::memcmp(bytes.data() + trailer + 12, kFooterMagic, kMagicSize) != 0)
+    corrupt("bad footer magic (truncated file?)");
+  std::uint64_t footer_offset = 0;
+  std::uint32_t footer_crc = 0;
+  std::memcpy(&footer_offset, bytes.data() + trailer, 8);
+  std::memcpy(&footer_crc, bytes.data() + trailer + 8, 4);
+  if (footer_offset < kMagicSize || footer_offset > trailer)
+    corrupt("footer offset out of range");
+  const std::string_view footer =
+      bytes.substr(footer_offset, trailer - footer_offset);
+  if (ipc::crc32(footer.data(), footer.size()) != footer_crc)
+    corrupt("footer CRC mismatch");
+
+  try {
+    // Entries are fixed-size; the two trailing u64s say how many.
+    constexpr std::size_t kEntry = 3 * 8 + 4 + 4 * 8 + 2 * 8;
+    if (footer.size() < 16 || (footer.size() - 16) % kEntry != 0)
+      corrupt("footer size mismatch");
+    w::Reader tail(footer.substr(footer.size() - 16));
+    const std::uint64_t n = tail.get_u64();
+    total_records_ = tail.get_u64();
+    if (n != (footer.size() - 16) / kEntry) corrupt("footer count mismatch");
+    w::Reader r(footer);
+    blocks_.reserve(static_cast<std::size_t>(n));
+    std::uint64_t seen = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ColumnarBlockInfo b;
+      b.offset = r.get_u64();
+      b.payload_bytes = r.get_u64();
+      b.records = r.get_u64();
+      b.crc = r.get_u32();
+      b.min_lat = r.get_f64();
+      b.max_lat = r.get_f64();
+      b.min_lon = r.get_f64();
+      b.max_lon = r.get_f64();
+      b.min_ts = r.get_i64();
+      b.max_ts = r.get_i64();
+      if (b.offset < kMagicSize || b.offset + b.payload_bytes > footer_offset)
+        corrupt("block extent out of range");
+      seen += b.records;
+      blocks_.push_back(b);
+    }
+    if (seen != total_records_) corrupt("record count mismatch");
+  } catch (const ipc::wire::WireError& e) {
+    corrupt(std::string("unreadable footer: ") + e.what());
+  }
+}
+
+std::vector<geo::MobilityTrace> ColumnarFile::read_block(std::size_t i) const {
+  GEPETO_CHECK(i < blocks_.size());
+  const ColumnarBlockInfo& b = blocks_[i];
+  const std::string_view payload =
+      bytes_.substr(static_cast<std::size_t>(b.offset),
+                    static_cast<std::size_t>(b.payload_bytes));
+  if (ipc::crc32(payload.data(), payload.size()) != b.crc)
+    corrupt("block CRC mismatch at offset " + std::to_string(b.offset));
+
+  std::size_t pos = 0;
+  const std::uint64_t n = colenc::get_varint(payload, pos);
+  if (n != b.records) corrupt("block record count disagrees with footer");
+  std::vector<geo::MobilityTrace> traces(static_cast<std::size_t>(n));
+  std::int64_t prev_user = 0;
+  for (auto& t : traces) {
+    prev_user += colenc::unzigzag(colenc::get_varint(payload, pos));
+    t.user_id = static_cast<std::int32_t>(prev_user);
+  }
+  std::int64_t prev_ts = 0;
+  for (auto& t : traces) {
+    prev_ts += colenc::unzigzag(colenc::get_varint(payload, pos));
+    t.timestamp = prev_ts;
+  }
+  std::uint64_t prev = 0;
+  for (auto& t : traces) t.latitude = colenc::get_xorfp(payload, pos, prev);
+  prev = 0;
+  for (auto& t : traces) t.longitude = colenc::get_xorfp(payload, pos, prev);
+  prev = 0;
+  for (auto& t : traces) t.altitude_ft = colenc::get_xorfp(payload, pos, prev);
+  if (pos != payload.size()) corrupt("block has trailing bytes");
+  return traces;
+}
+
+ColumnarSplitReader::ColumnarSplitReader(std::string_view file,
+                                         std::uint64_t offset,
+                                         std::uint64_t len)
+    : file_(file) {
+  // A split owns the blocks whose payload starts inside [offset, offset+len)
+  // — the seqfile ownership rule, applied to footer-indexed blocks. Splits
+  // tile the file, so each block belongs to exactly one split (the first
+  // split also covers the magic prefix; footer offsets can never match a
+  // block start).
+  const std::uint64_t end = offset + len;
+  while (next_block_ < file_.num_blocks() &&
+         file_.blocks()[next_block_].offset < offset)
+    ++next_block_;
+  end_block_ = next_block_;
+  while (end_block_ < file_.num_blocks() &&
+         file_.blocks()[end_block_].offset < end)
+    ++end_block_;
+}
+
+bool ColumnarSplitReader::next() {
+  if (started_ && pos_ + 1 < block_.size()) {
+    ++pos_;
+    return true;
+  }
+  while (next_block_ < end_block_) {
+    block_ = file_.read_block(next_block_++);
+    if (!block_.empty()) {
+      pos_ = 0;
+      started_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+void dataset_to_dfs_columnar(mr::Dfs& dfs, const std::string& prefix,
+                             const geo::GeolocatedDataset& dataset,
+                             int num_files, ColumnarWriterOptions options) {
+  GEPETO_CHECK(num_files > 0);
+  const auto users = dataset.users();
+  const int files = std::min<int>(
+      num_files, std::max<int>(1, static_cast<int>(users.size())));
+  const std::size_t per_file =
+      (users.size() + static_cast<std::size_t>(files) - 1) /
+      static_cast<std::size_t>(files);
+
+  std::size_t u = 0;
+  for (int fidx = 0; fidx < files && u < users.size(); ++fidx) {
+    ColumnarWriter writer(options);
+    for (std::size_t i = 0; i < per_file && u < users.size(); ++i, ++u)
+      for (const auto& t : dataset.trail(users[u])) writer.add(t);
+    char name[32];
+    std::snprintf(name, sizeof(name), "/points-%05d", fidx);
+    dfs.put(prefix + name, writer.finish());
+  }
+}
+
+geo::GeolocatedDataset dataset_from_dfs_columnar(const mr::Dfs& dfs,
+                                                 const std::string& prefix) {
+  geo::GeolocatedDataset out;
+  for (const auto& path : dfs.list(prefix)) {
+    const ColumnarFile file(dfs.read(path));
+    for (std::size_t b = 0; b < file.num_blocks(); ++b)
+      for (const auto& t : file.read_block(b)) out.add(t);
+  }
+  return out;
+}
+
+std::uint64_t count_dfs_columnar_records(const mr::Dfs& dfs,
+                                         const std::string& prefix) {
+  std::uint64_t n = 0;
+  for (const auto& path : dfs.list(prefix))
+    n += ColumnarFile(dfs.read(path)).num_records();
+  return n;
+}
+
+void for_each_dfs_columnar_trace(
+    const mr::Dfs& dfs, const std::string& prefix,
+    const std::function<void(const geo::MobilityTrace&)>& fn) {
+  for (const auto& path : dfs.list(prefix)) {
+    const ColumnarFile file(dfs.read(path));
+    for (std::size_t b = 0; b < file.num_blocks(); ++b)
+      for (const auto& t : file.read_block(b)) fn(t);
+  }
+}
+
+}  // namespace gepeto::storage

@@ -1,0 +1,187 @@
+// Binary columnar trace storage (ROADMAP item 1): the on-disk format that
+// makes "millions of traces" literal.
+//
+// A columnar file holds mobility traces in blocks of (by default) 4096
+// records. Within a block each field is stored as its own column with an
+// encoding matched to its distribution:
+//
+//   user_id    delta + zigzag + LEB128 varint  (runs of equal ids -> 1 byte)
+//   timestamp  delta + zigzag + LEB128 varint  (sorted seconds -> 1-2 bytes)
+//   lat/lon    XOR-with-previous FP compression: the IEEE-754 bits of each
+//              double are XORed with the previous value's bits and only the
+//              non-zero byte span of the difference is stored (consecutive
+//              GPS fixes share sign/exponent/high-mantissa bytes). Lossless
+//              for every double, including non-finite values.
+//   altitude   same XOR-FP codec (kept as f64, so round-trips are exact)
+//
+// Every block payload is protected by a CRC-32 recorded in the footer; the
+// footer also carries per-block record counts and min/max lat/lon/timestamp
+// stats (the hook for predicate pushdown), and is itself CRC-protected. The
+// layout is:
+//
+//   [8B magic "GPCOL1\r\n"] [block payloads ...]
+//   [footer: per-block {offset,bytes,records,crc,min/max stats},
+//            block_count, total_records]
+//   [trailer: u64 footer_offset, u32 footer_crc, 8B magic "GPCOLFTR"]
+//
+// Reading starts from the fixed-size trailer, so a file is splittable the
+// same way seqfile.h is: a [offset, offset+len) input split owns exactly the
+// blocks whose payload *starts* inside it (splits tile the file, so every
+// block has one owner). Corrupt or truncated data surfaces as ColumnarError,
+// which derives from mr::TaskError so the engine's retry/skip machinery sees
+// a structured task failure, never garbage records.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/trace.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::storage {
+
+/// Structured failure for corrupt / truncated columnar data. Derives from
+/// mr::TaskError so a bad block inside a running job is a task failure (fed
+/// through retries and skip mode), not UB or a silent empty read.
+class ColumnarError : public mr::TaskError {
+ public:
+  using mr::TaskError::TaskError;
+};
+
+/// Footer entry for one block: location, integrity, and column stats.
+struct ColumnarBlockInfo {
+  std::uint64_t offset = 0;        ///< payload start, from file byte 0
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t records = 0;
+  std::uint32_t crc = 0;           ///< CRC-32 of the payload bytes
+  double min_lat = 0.0, max_lat = 0.0;
+  double min_lon = 0.0, max_lon = 0.0;
+  std::int64_t min_ts = 0, max_ts = 0;
+};
+
+struct ColumnarWriterOptions {
+  std::size_t block_records = 4096;  ///< records per block (last may be short)
+};
+
+/// Streaming encoder: add() traces in the order they should be read back,
+/// finish() returns the complete file bytes. Memory use is bounded by one
+/// block regardless of how many records are written.
+class ColumnarWriter {
+ public:
+  explicit ColumnarWriter(ColumnarWriterOptions options = {});
+
+  void add(const geo::MobilityTrace& trace);
+  std::uint64_t records_added() const { return total_; }
+
+  /// Flush the pending block, append footer + trailer, and return the file.
+  /// The writer is spent afterwards.
+  std::string finish();
+
+ private:
+  void flush_block();
+
+  ColumnarWriterOptions options_;
+  std::string out_;
+  std::vector<geo::MobilityTrace> buffer_;
+  std::vector<ColumnarBlockInfo> blocks_;
+  std::uint64_t total_ = 0;
+};
+
+/// Parsed view of one columnar file: validates magic, trailer, and footer
+/// CRC at construction (throws ColumnarError), then decodes blocks on
+/// demand. Does not own the bytes.
+class ColumnarFile {
+ public:
+  explicit ColumnarFile(std::string_view bytes);
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  std::uint64_t num_records() const { return total_records_; }
+  const std::vector<ColumnarBlockInfo>& blocks() const { return blocks_; }
+
+  /// Decode block `i` (CRC-checked; throws ColumnarError on corruption).
+  std::vector<geo::MobilityTrace> read_block(std::size_t i) const;
+
+ private:
+  std::string_view bytes_;
+  std::vector<ColumnarBlockInfo> blocks_;
+  std::uint64_t total_records_ = 0;
+};
+
+/// Iterate the traces of the blocks a [offset, offset+len) split owns: the
+/// blocks whose payload starts inside the split. Holds at most one decoded
+/// block in memory.
+class ColumnarSplitReader {
+ public:
+  ColumnarSplitReader(std::string_view file, std::uint64_t offset,
+                      std::uint64_t len);
+
+  bool next();  ///< advance to the next trace; false when the split is done
+  const geo::MobilityTrace& trace() const { return block_[pos_]; }
+
+ private:
+  ColumnarFile file_;
+  std::size_t next_block_ = 0;  ///< next owned block to decode
+  std::size_t end_block_ = 0;   ///< one past the last owned block
+  std::vector<geo::MobilityTrace> block_;
+  std::size_t pos_ = 0;
+  bool started_ = false;
+};
+
+// --- DFS glue (mirrors geo::dataset_to_dfs / dataset_from_dfs) --------------
+
+/// Write a dataset under `prefix` as `num_files` columnar files of
+/// consecutive users (`prefix/points-NNNNN`), traces in (user, trail) order —
+/// the same record order as the text and seqfile writers, so jobs over the
+/// three formats see identical record streams.
+void dataset_to_dfs_columnar(mr::Dfs& dfs, const std::string& prefix,
+                             const geo::GeolocatedDataset& dataset,
+                             int num_files = 4,
+                             ColumnarWriterOptions options = {});
+
+/// Read every columnar file under `prefix` back into a dataset.
+geo::GeolocatedDataset dataset_from_dfs_columnar(const mr::Dfs& dfs,
+                                                 const std::string& prefix);
+
+/// Total records under a DFS prefix, from the footers alone (no decoding).
+std::uint64_t count_dfs_columnar_records(const mr::Dfs& dfs,
+                                         const std::string& prefix);
+
+/// Stream every trace under a DFS prefix in file/record order, one decoded
+/// block resident at a time — the out-of-core substitute for
+/// dataset_from_dfs_columnar when the caller only needs a single pass.
+void for_each_dfs_columnar_trace(
+    const mr::Dfs& dfs, const std::string& prefix,
+    const std::function<void(const geo::MobilityTrace&)>& fn);
+
+// --- column codecs (exposed for tests and tools) ----------------------------
+
+namespace colenc {
+
+void put_varint(std::string& out, std::uint64_t v);
+/// Decode at `pos`, advancing it. Throws ColumnarError past `end`.
+std::uint64_t get_varint(std::string_view in, std::size_t& pos);
+
+inline std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// XOR-FP: append the encoding of `x` given the previous value's bits in
+/// `prev` (updated). 1 control byte + 0-8 significant bytes.
+void put_xorfp(std::string& out, double x, std::uint64_t& prev);
+double get_xorfp(std::string_view in, std::size_t& pos, std::uint64_t& prev);
+
+}  // namespace colenc
+
+}  // namespace gepeto::storage

@@ -1,0 +1,87 @@
+// Running MapReduce jobs over columnar trace files.
+//
+// ColumnarRecords adapts a ColumnarSplitReader to the engine's record-reader
+// policy shape (see mr::detail::TextRecords): each trace decodes to the same
+// 32-byte binary record the seqfile path uses (geo::append_binary_trace), so
+// every binary mapper runs unchanged over text-seqfile or columnar input —
+// drivers pick the format per dataset, as record_io.h promises.
+//
+// Corrupt or truncated columnar data (ColumnarError, a TaskError) surfaces
+// as a structured attempt failure: the engine retries the task and, if the
+// corruption is persistent, fails the job with a JobError instead of feeding
+// the pipeline garbage records. Record keys are indices within the split, so
+// skip mode addresses records exactly as it does for seqfile input.
+#pragma once
+
+#include <string_view>
+
+#include "geo/geolife.h"
+#include "mapreduce/engine.h"
+#include "storage/colfile.h"
+
+namespace gepeto::storage {
+
+/// Record-reader policy over a columnar split (one trace per record).
+struct ColumnarRecords {
+  ColumnarSplitReader reader;
+  std::string record;
+  std::int64_t index = -1;
+
+  ColumnarRecords(std::string_view file, std::uint64_t off, std::uint64_t len)
+      : reader(make_reader(file, off, len)) {}
+
+  bool next() {
+    try {
+      if (!reader.next()) return false;
+    } catch (const mr::TaskError& e) {
+      // Corrupt block: a machine-style failure (not one bad record), so the
+      // attempt is retried and a persistent fault exhausts the task.
+      throw mr::detail::AttemptFailure{-1, e.what()};
+    }
+    record.clear();
+    geo::append_binary_trace(record, reader.trace());
+    ++index;
+    return true;
+  }
+  std::int64_t key() const { return index; }  ///< record index within split
+  std::string_view value() const { return record; }
+  std::uint64_t overread_bytes() const { return 0; }
+
+ private:
+  static ColumnarSplitReader make_reader(std::string_view file,
+                                         std::uint64_t off,
+                                         std::uint64_t len) {
+    try {
+      return ColumnarSplitReader(file, off, len);
+    } catch (const mr::TaskError& e) {
+      throw mr::detail::AttemptFailure{-1, e.what()};
+    }
+  }
+};
+
+/// Map-only job over columnar input files. The mapper receives (record index
+/// within the split, 32-byte binary trace record) — identical to
+/// mr::run_binary_map_only_job over seqfile input.
+template <typename MapperFactory>
+mr::JobResult run_columnar_map_only_job(mr::Dfs& dfs,
+                                        const mr::ClusterConfig& config,
+                                        const mr::JobConfig& job,
+                                        MapperFactory make_mapper) {
+  return mr::detail::run_map_only_job_impl<ColumnarRecords>(dfs, config, job,
+                                                            make_mapper);
+}
+
+/// Full map-reduce job over columnar input files.
+template <typename MapperFactory, typename ReducerFactory,
+          typename CombinerFactory = mr::NoCombiner>
+mr::JobResult run_columnar_mapreduce_job(mr::Dfs& dfs,
+                                         const mr::ClusterConfig& config,
+                                         const mr::JobConfig& job,
+                                         MapperFactory make_mapper,
+                                         ReducerFactory make_reducer,
+                                         CombinerFactory make_combiner = {}) {
+  return mr::detail::run_mapreduce_job_impl<ColumnarRecords>(
+      dfs, config, job, make_mapper, make_reducer, make_combiner);
+}
+
+}  // namespace gepeto::storage

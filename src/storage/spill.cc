@@ -1,0 +1,64 @@
+#include "storage/spill.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "common/check.h"
+
+namespace gepeto::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(u) != 0 || c == '-' || c == '_' ? c : '_');
+  }
+  if (out.empty()) out = "job";
+  if (out.size() > 48) out.resize(48);
+  return out;
+}
+
+}  // namespace
+
+std::string create_spill_dir(const std::string& job_name) {
+  static std::atomic<std::uint64_t> seq{0};
+  const char* env = std::getenv("GEPETO_SCRATCH_DIR");
+  const fs::path base = env != nullptr && *env != '\0'
+                            ? fs::path(env)
+                            : fs::temp_directory_path();
+  const fs::path dir =
+      base / ("gepeto-spill-" + sanitize_name(job_name) + "-" +
+              std::to_string(::getpid()) + "-" +
+              std::to_string(seq.fetch_add(1)));
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  GEPETO_CHECK_MSG(!ec, "cannot create spill dir " << dir.string() << ": "
+                                                   << ec.message());
+  return dir.string();
+}
+
+void remove_spill_dir(const std::string& path) noexcept {
+  if (path.empty()) return;
+  std::error_code ec;
+  fs::remove_all(path, ec);  // best effort: destructors must not throw
+}
+
+std::uint64_t env_sort_memory_budget() {
+  const char* env = std::getenv("GEPETO_SORT_MEMORY_BUDGET");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || (end != nullptr && *end != '\0')) return 0;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace gepeto::storage

@@ -1,0 +1,289 @@
+// Out-of-core shuffle support: sorted-run spill files and streamed run
+// cursors (ROADMAP item 1, the other half of the columnar format).
+//
+// When JobConfig::sort_memory_budget_bytes is set, a map task's per-partition
+// emit buffer no longer grows without bound: once its accounted bytes reach
+// the budget, the buffer is stable-sorted and appended to a per-(task,
+// attempt, partition) scratch file as one *sorted run*; the records still in
+// memory when the task finishes form the final in-memory "tail" run. A
+// partition's shuffle output is then a PartitionRuns — zero or more disk runs
+// plus the tail — and the reduce side external-merges all runs of all map
+// tasks with the same loser tree the in-memory path uses (merge.h), streaming
+// each disk run frame by frame instead of materializing it.
+//
+// Byte identity (the property the differential harness enforces): spilling
+// cuts a partition's emission sequence into contiguous chunks, each
+// stable-sorted; merging them with the loser tree's (key, run index)
+// tie-break — runs ordered (map task, spill order, tail last) — reproduces
+// exactly the stable sort of the whole emission sequence, which is what the
+// in-memory path computes. So outputs are byte-identical to the unbudgeted
+// run at any budget, on both the thread and process backends (the process
+// backend ships PartitionRuns as {file path, run metas, tail} blobs; map and
+// reduce workers share the jobtracker's scratch directory via fork).
+//
+// On-disk run layout (wire-blob format, framed): a run is a sequence of
+// frames, each
+//
+//   u64 payload_len | payload = u64 n, n keys, u64 n, n values
+//
+// with keys/values encoded by ipc::wire::put_value — the same byte layout as
+// the wire shuffle's run blobs, sliced into frames of at most
+// kSpillFrameRecords so a cursor never holds more than one frame in memory.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "ipc/wire.h"
+#include "mapreduce/job.h"
+#include "mapreduce/merge.h"
+
+namespace gepeto::storage {
+
+/// Records per spill frame: bounds a file cursor's memory to one frame.
+inline constexpr std::size_t kSpillFrameRecords = 4096;
+
+// --- scratch-directory lifecycle (spill.cc) ---------------------------------
+
+/// Create a fresh job-scoped spill directory `gepeto-spill-<job>-<pid>-<seq>`
+/// under $GEPETO_SCRATCH_DIR (or the system tmp dir). The `gepeto-` prefix
+/// matches the CI leftover check, which asserts none survive a run.
+std::string create_spill_dir(const std::string& job_name);
+
+/// Best-effort recursive removal (never throws).
+void remove_spill_dir(const std::string& path) noexcept;
+
+/// Parse $GEPETO_SORT_MEMORY_BUDGET (plain bytes); 0 when unset or garbage.
+/// Lets CI force spills across every job without per-driver plumbing.
+std::uint64_t env_sort_memory_budget();
+
+/// RAII spill directory for one job: created before the worker pool forks
+/// (children inherit the path), removed on every exit path — including a
+/// thrown JobError — so no scratch survives the job.
+class SpillScratch {
+ public:
+  explicit SpillScratch(const std::string& job_name)
+      : dir_(create_spill_dir(job_name)) {}
+  ~SpillScratch() { remove_spill_dir(dir_); }
+  SpillScratch(const SpillScratch&) = delete;
+  SpillScratch& operator=(const SpillScratch&) = delete;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+/// One sorted run inside a spill file.
+struct RunMeta {
+  std::uint64_t offset = 0;   ///< first frame's length prefix
+  std::uint64_t bytes = 0;    ///< frames + prefixes
+  std::uint64_t records = 0;
+};
+
+/// Appends sorted runs to one spill file. Created lazily by MapContext on the
+/// first flush of a partition; closed (flushed) when the partition is taken.
+template <typename K, typename V>
+class SpillFileWriter {
+ public:
+  explicit SpillFileWriter(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Append `pairs` (already sorted) as one run.
+  RunMeta append_run(const std::vector<std::pair<K, V>>& pairs) {
+    namespace w = ipc::wire;
+    if (!out_.is_open()) {
+      out_.open(path_, std::ios::binary | std::ios::trunc);
+      GEPETO_CHECK_MSG(out_.good(), "cannot create spill file " << path_);
+    }
+    RunMeta meta;
+    meta.offset = bytes_;
+    meta.records = pairs.size();
+    std::string buf;
+    for (std::size_t i = 0; i < pairs.size(); i += kSpillFrameRecords) {
+      const std::size_t n = std::min(kSpillFrameRecords, pairs.size() - i);
+      std::string payload;
+      w::put_u64(payload, n);
+      for (std::size_t j = i; j < i + n; ++j)
+        w::put_value(payload, pairs[j].first);
+      w::put_u64(payload, n);
+      for (std::size_t j = i; j < i + n; ++j)
+        w::put_value(payload, pairs[j].second);
+      w::put_u64(buf, payload.size());
+      buf += payload;
+    }
+    out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    GEPETO_CHECK_MSG(out_.good(), "spill write failed: " << path_);
+    bytes_ += buf.size();
+    meta.bytes = buf.size();
+    return meta;
+  }
+
+  /// Flush and close; the file is now readable by other processes.
+  void close() {
+    if (out_.is_open()) {
+      out_.flush();
+      GEPETO_CHECK_MSG(out_.good(), "spill flush failed: " << path_);
+      out_.close();
+    }
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// A reducer partition's share of one map task's output: sorted disk runs
+/// (in spill order) plus the in-memory tail run. `file` is empty when the
+/// task never spilled this partition — the budget-0 configuration reduces to
+/// tail-only PartitionRuns, i.e. exactly the old in-memory shuffle.
+template <typename K, typename V>
+struct PartitionRuns {
+  std::string file;
+  std::vector<RunMeta> disk_runs;
+  mr::SortedRun<K, V> tail;
+
+  bool has_disk() const { return !disk_runs.empty(); }
+  bool empty() const { return disk_runs.empty() && tail.empty(); }
+  std::uint64_t records() const {
+    std::uint64_t n = tail.size();
+    for (const auto& m : disk_runs) n += m.records;
+    return n;
+  }
+
+  /// Unlink the spill file early (e.g. once a combiner has rewritten the
+  /// runs). The job-level SpillScratch would catch it anyway; this frees the
+  /// disk as soon as the data is dead.
+  void remove_file() {
+    if (!file.empty()) std::remove(file.c_str());
+    file.clear();
+    disk_runs.clear();
+  }
+};
+
+/// Cursor over one sorted run — in-memory (a SortedRun tail) or file-backed
+/// (streamed one frame at a time). Satisfies the cursor shape
+/// mr::detail::CursorLoserTree merges: key_type/value_type, exhausted(),
+/// key(), value(), advance(). Values are read through const references and
+/// *copied* by consumers, so several cursors (reduce attempts, retries) can
+/// iterate the same underlying run.
+template <typename K, typename V>
+class SpillRunCursor {
+ public:
+  using key_type = K;
+  using value_type = V;
+
+  static SpillRunCursor memory(const mr::SortedRun<K, V>* run) {
+    SpillRunCursor c;
+    c.mem_ = run;
+    return c;
+  }
+
+  static SpillRunCursor file(const std::string& path, RunMeta meta) {
+    SpillRunCursor c;
+    c.path_ = path;
+    c.meta_ = meta;
+    c.remaining_ = meta.records;
+    c.open_and_refill();
+    return c;
+  }
+
+  bool exhausted() const {
+    if (mem_ != nullptr) return pos_ >= mem_->size();
+    return pos_ >= frame_.size() && remaining_ == 0;
+  }
+
+  const K& key() const {
+    return mem_ != nullptr ? mem_->keys[pos_] : frame_.keys[pos_];
+  }
+  const V& value() const {
+    return mem_ != nullptr ? mem_->values[pos_] : frame_.values[pos_];
+  }
+
+  void advance() {
+    ++pos_;
+    if (mem_ == nullptr && pos_ >= frame_.size() && remaining_ > 0) refill();
+  }
+
+  /// Wall time spent reading + decoding frames (external-merge accounting).
+  double io_seconds() const { return io_seconds_; }
+
+ private:
+  SpillRunCursor() = default;
+
+  void open_and_refill() {
+    in_ = std::make_unique<std::ifstream>(path_, std::ios::binary);
+    if (!in_->good())
+      throw mr::TaskError("cannot open spill file " + path_);
+    in_->seekg(static_cast<std::streamoff>(meta_.offset));
+    if (remaining_ > 0) refill();
+  }
+
+  void refill() {
+    Stopwatch sw;
+    namespace w = ipc::wire;
+    std::uint64_t len = 0;
+    in_->read(reinterpret_cast<char*>(&len), 8);
+    if (!in_->good()) throw mr::TaskError("truncated spill file " + path_);
+    buf_.resize(static_cast<std::size_t>(len));
+    in_->read(buf_.data(), static_cast<std::streamsize>(len));
+    if (!in_->good()) throw mr::TaskError("truncated spill file " + path_);
+    try {
+      w::Reader r(std::string_view(buf_.data(), buf_.size()));
+      frame_.keys = w::get_vec<K>(r);
+      frame_.values = w::get_vec<V>(r);
+    } catch (const w::WireError& e) {
+      throw mr::TaskError("corrupt spill frame in " + path_ + ": " + e.what());
+    }
+    if (frame_.keys.size() != frame_.values.size() || frame_.empty() ||
+        frame_.size() > remaining_)
+      throw mr::TaskError("corrupt spill frame in " + path_);
+    remaining_ -= frame_.size();
+    pos_ = 0;
+    io_seconds_ += sw.seconds();
+  }
+
+  // In-memory mode.
+  const mr::SortedRun<K, V>* mem_ = nullptr;
+  // File mode.
+  std::string path_;
+  RunMeta meta_;
+  std::unique_ptr<std::ifstream> in_;
+  std::string buf_;
+  mr::SortedRun<K, V> frame_;
+  std::uint64_t remaining_ = 0;
+  double io_seconds_ = 0.0;
+
+  std::size_t pos_ = 0;
+};
+
+/// Cursors for one PartitionRuns, in merge-stability order: disk runs in
+/// spill order, then the in-memory tail (the most recently emitted records).
+template <typename K, typename V>
+std::vector<SpillRunCursor<K, V>> partition_cursors(
+    const PartitionRuns<K, V>& pr) {
+  std::vector<SpillRunCursor<K, V>> cursors;
+  cursors.reserve(pr.disk_runs.size() + 1);
+  for (const RunMeta& m : pr.disk_runs)
+    cursors.push_back(SpillRunCursor<K, V>::file(pr.file, m));
+  if (!pr.tail.empty())
+    cursors.push_back(SpillRunCursor<K, V>::memory(&pr.tail));
+  return cursors;
+}
+
+/// Number of runs partition_cursors would build, without opening any files.
+template <typename K, typename V>
+std::uint64_t partition_run_count(const PartitionRuns<K, V>& pr) {
+  return pr.disk_runs.size() + (pr.tail.empty() ? 0 : 1);
+}
+
+}  // namespace gepeto::storage

@@ -49,6 +49,11 @@ mr::ClusterConfig SweepConfig::cluster() const {
   return c;
 }
 
+bool columnar_format() {
+  const char* format = std::getenv("GEPETO_DIFF_FORMAT");
+  return format != nullptr && std::strcmp(format, "columnar") == 0;
+}
+
 mr::FailurePolicy SweepConfig::failures() const {
   mr::FailurePolicy f;
   if (chaos == Chaos::kSkip) f.max_skipped_records = 64;

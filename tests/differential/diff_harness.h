@@ -46,6 +46,14 @@
 // every sweep point run its job through the multi-process worker backend
 // (ClusterConfig::backend = kProcess) — the CI leg that proves the wire
 // shuffle and crash recovery are byte-exact against the same oracles.
+//
+// Input format: setting GEPETO_DIFF_FORMAT=columnar makes the format-aware
+// test files (sampling, k-means) load the dataset as binary columnar files
+// (storage/colfile.h) and run the columnar job variants against the same
+// oracles. Sweep points without a columnar equivalent degrade gracefully:
+// map-only down-sampling (its exactness rests on the text group-aware split
+// protocol) and Chaos::kSkip (poison decisions hash record *bytes*, which
+// differ between text lines and binary records) are no-ops under this leg.
 #pragma once
 
 #include <cstdint>
@@ -95,6 +103,11 @@ struct SweepConfig {
 /// that the pinpoint-and-retry cost (two extra attempts per bad record)
 /// stays bounded.
 inline constexpr std::uint64_t kPoisonModulus = 41;
+
+/// True when GEPETO_DIFF_FORMAT=columnar: format-aware tests should write
+/// their input with storage::dataset_to_dfs_columnar and run the columnar
+/// job variants.
+bool columnar_format();
 
 // --- adversarial dataset generators ------------------------------------------
 

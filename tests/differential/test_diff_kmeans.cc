@@ -18,6 +18,7 @@
 #include "geo/geolife.h"
 #include "gepeto/kmeans.h"
 #include "mapreduce/dfs.h"
+#include "storage/colfile.h"
 
 namespace gepeto::difftest {
 namespace {
@@ -102,11 +103,18 @@ KMeansConfig base_config(geo::DistanceKind distance, bool use_combiner) {
 void run_diff(const SweepConfig& sweep, geo::DistanceKind distance,
               bool duplicate_points) {
   mr::Dfs dfs(sweep.cluster());
-  geo::dataset_to_dfs(dfs, "/in", diff_dataset(duplicate_points),
-                      sweep.num_files);
-  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+  if (columnar_format())
+    storage::dataset_to_dfs_columnar(dfs, "/in", diff_dataset(duplicate_points),
+                                     sweep.num_files);
+  else
+    geo::dataset_to_dfs(dfs, "/in", diff_dataset(duplicate_points),
+                        sweep.num_files);
+  const geo::GeolocatedDataset parsed =
+      columnar_format() ? storage::dataset_from_dfs_columnar(dfs, "/in")
+                        : geo::dataset_from_dfs(dfs, "/in");
 
   KMeansConfig config = base_config(distance, sweep.use_combiner);
+  config.columnar_input = columnar_format();
   config.failures = sweep.failures();
   config.fault_plan = sweep.fault_plan();
 

@@ -13,6 +13,7 @@
 #include "geo/geolife.h"
 #include "gepeto/sampling.h"
 #include "mapreduce/dfs.h"
+#include "storage/colfile.h"
 #include "workflow/flow.h"
 
 namespace gepeto::difftest {
@@ -30,6 +31,13 @@ const char* variant_name(Variant v) {
 // One sweep point: load an adversarial dataset, run oracle and job, compare.
 void run_diff(const SweepConfig& sweep, SamplingTechnique technique,
               Variant variant) {
+  // Under the columnar leg only the exact variant has a columnar
+  // realization (map-only exactness rests on the text group-aware split
+  // protocol), and kSkip poison sets are text-specific — see diff_harness.h.
+  if (columnar_format() &&
+      (variant == Variant::kMapOnly || sweep.chaos == Chaos::kSkip))
+    return;
+
   AdversarialOptions options;
   options.num_users = 3;
   options.traces_per_window = 14;
@@ -39,10 +47,16 @@ void run_diff(const SweepConfig& sweep, SamplingTechnique technique,
   const auto dataset = adversarial_dataset(options);
 
   mr::Dfs dfs(sweep.cluster());
-  geo::dataset_to_dfs(dfs, "/in", dataset, sweep.num_files);
-  // The oracle consumes the *re-parsed* DFS dataset: dataset lines round
-  // coordinates to 1e-6 degrees, and both sides must see those bytes.
-  const geo::GeolocatedDataset parsed = geo::dataset_from_dfs(dfs, "/in");
+  if (columnar_format())
+    storage::dataset_to_dfs_columnar(dfs, "/in", dataset, sweep.num_files);
+  else
+    geo::dataset_to_dfs(dfs, "/in", dataset, sweep.num_files);
+  // The oracle consumes the *re-parsed* DFS dataset: text dataset lines
+  // round coordinates to 1e-6 degrees (columnar files are lossless, so
+  // there the re-read is the identity), and both sides must see those bytes.
+  const geo::GeolocatedDataset parsed =
+      columnar_format() ? storage::dataset_from_dfs_columnar(dfs, "/in")
+                        : geo::dataset_from_dfs(dfs, "/in");
   const mr::FaultPlan plan = sweep.fault_plan();
   const geo::GeolocatedDataset oracle_input =
       sweep.chaos == Chaos::kSkip ? drop_poisoned(parsed, plan) : parsed;
@@ -57,6 +71,10 @@ void run_diff(const SweepConfig& sweep, SamplingTechnique technique,
   const auto oracle = canonical_lines(core::downsample(oracle_input, config));
 
   auto run_job = [&](mr::Dfs& d) {
+    if (columnar_format())
+      return core::run_sampling_job_exact_columnar(
+          d, sweep.cluster(), "/in/", "/out", config, sweep.num_reducers,
+          sweep.failures(), plan);
     if (variant == Variant::kExact)
       return core::run_sampling_job_exact(d, sweep.cluster(), "/in/", "/out",
                                           config, sweep.num_reducers,

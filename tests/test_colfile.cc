@@ -1,0 +1,307 @@
+// Tests for the binary columnar trace format (storage/colfile.h): codec
+// round trips (including extreme and non-finite doubles), whole-file and
+// split-tiled reads, footer stats, corruption / truncation detection as
+// structured ColumnarError, and the DFS glue against the text format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "mapreduce/dfs.h"
+#include "storage/colfile.h"
+
+namespace gepeto::storage {
+namespace {
+
+using geo::MobilityTrace;
+
+MobilityTrace tr(std::int32_t uid, double lat, double lon, std::int64_t ts,
+                 double alt = 150.0) {
+  return {uid, lat, lon, alt, ts};
+}
+
+std::string encode(const std::vector<MobilityTrace>& traces,
+                   std::size_t block_records = 4096) {
+  ColumnarWriter w({block_records});
+  for (const auto& t : traces) w.add(t);
+  return w.finish();
+}
+
+std::vector<MobilityTrace> decode_all(std::string_view bytes) {
+  const ColumnarFile f(bytes);
+  std::vector<MobilityTrace> out;
+  for (std::size_t b = 0; b < f.num_blocks(); ++b)
+    for (const auto& t : f.read_block(b)) out.push_back(t);
+  return out;
+}
+
+// --- codecs ------------------------------------------------------------------
+
+TEST(ColumnarCodec, VarintRoundTrip) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  (1ull << 21) - 1,
+                                  1ull << 32,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  std::string buf;
+  for (std::uint64_t v : values) colenc::put_varint(buf, v);
+  std::size_t pos = 0;
+  for (std::uint64_t v : values) EXPECT_EQ(colenc::get_varint(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(ColumnarCodec, VarintPastEndThrows) {
+  std::string buf;
+  colenc::put_varint(buf, 1ull << 40);
+  buf.pop_back();  // drop the terminating byte
+  std::size_t pos = 0;
+  EXPECT_THROW(colenc::get_varint(buf, pos), ColumnarError);
+}
+
+TEST(ColumnarCodec, ZigzagRoundTrip) {
+  const std::int64_t values[] = {0, -1, 1, -2, 63, -64,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (std::int64_t v : values) EXPECT_EQ(colenc::unzigzag(colenc::zigzag(v)), v);
+}
+
+TEST(ColumnarCodec, XorFpRoundTripIncludingNonFinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> values = {
+      0.0,   -0.0, 39.984702, 39.984683,  116.318417,
+      1e300, -1e-300, inf,    -inf,       std::nan(""),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max()};
+  std::string buf;
+  std::uint64_t prev = 0;
+  for (double v : values) colenc::put_xorfp(buf, v, prev);
+  std::size_t pos = 0;
+  prev = 0;
+  for (double v : values) {
+    const double got = colenc::get_xorfp(buf, pos, prev);
+    // Bit-exact, so -0.0 and NaN round-trip too.
+    std::uint64_t a, b;
+    std::memcpy(&a, &v, 8);
+    std::memcpy(&b, &got, 8);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+// --- file round trips --------------------------------------------------------
+
+TEST(ColumnarFileTest, EmptyFile) {
+  const std::string bytes = encode({});
+  const ColumnarFile f(bytes);
+  EXPECT_EQ(f.num_blocks(), 0u);
+  EXPECT_EQ(f.num_records(), 0u);
+}
+
+TEST(ColumnarFileTest, SingleRecord) {
+  const std::vector<MobilityTrace> in = {tr(7, 39.984702, 116.318417, 1224730324)};
+  const auto out = decode_all(encode(in));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], in[0]);
+}
+
+TEST(ColumnarFileTest, MultiBlockRoundTripPreservesOrder) {
+  std::vector<MobilityTrace> in;
+  for (int i = 0; i < 1000; ++i)
+    in.push_back(tr(i / 100, 39.9 + i * 1e-4, 116.3 - i * 1e-4,
+                    1'224'730'000 + i * 5, 100.0 + i));
+  const std::string bytes = encode(in, /*block_records=*/64);
+  const ColumnarFile f(bytes);
+  EXPECT_EQ(f.num_blocks(), (1000 + 63) / 64);
+  EXPECT_EQ(f.num_records(), 1000u);
+  EXPECT_EQ(decode_all(bytes), in);
+}
+
+TEST(ColumnarFileTest, ExtremeAndAdversarialValuesRoundTrip) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<MobilityTrace> in = {
+      tr(std::numeric_limits<std::int32_t>::min(), -90.0, -180.0,
+         std::numeric_limits<std::int64_t>::min(), -777.0),
+      tr(std::numeric_limits<std::int32_t>::max(), 90.0, 180.0,
+         std::numeric_limits<std::int64_t>::max(), 1e308),
+      // The *format* is a faithful container even for values the parsers
+      // reject: storage must never corrupt what it is given.
+      tr(0, inf, -inf, 0, std::nan("")),
+      tr(0, -0.0, 0.0, -1, std::numeric_limits<double>::denorm_min()),
+  };
+  const auto out = decode_all(encode(in, /*block_records=*/2));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].user_id, in[i].user_id);
+    EXPECT_EQ(out[i].timestamp, in[i].timestamp);
+    std::uint64_t a, b;
+    std::memcpy(&a, &in[i].latitude, 8);
+    std::memcpy(&b, &out[i].latitude, 8);
+    EXPECT_EQ(a, b) << "lat record " << i;
+    std::memcpy(&a, &in[i].longitude, 8);
+    std::memcpy(&b, &out[i].longitude, 8);
+    EXPECT_EQ(a, b) << "lon record " << i;
+    std::memcpy(&a, &in[i].altitude_ft, 8);
+    std::memcpy(&b, &out[i].altitude_ft, 8);
+    EXPECT_EQ(a, b) << "alt record " << i;
+  }
+}
+
+TEST(ColumnarFileTest, RandomRoundTripProperty) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    std::vector<MobilityTrace> in;
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 3000));
+    std::int64_t ts = static_cast<std::int64_t>(rng.uniform_u64(1ull << 40));
+    for (std::size_t i = 0; i < n; ++i) {
+      ts += rng.uniform_int(0, 600) - 60;
+      in.push_back(tr(static_cast<std::int32_t>(rng.uniform_u64(1u << 20)),
+                      rng.uniform(-90.0, 90.0), rng.uniform(-180.0, 180.0), ts,
+                      rng.uniform(-777.0, 30000.0)));
+    }
+    const std::size_t block = static_cast<std::size_t>(rng.uniform_int(1, 512));
+    EXPECT_EQ(decode_all(encode(in, block)), in) << "seed " << seed;
+  }
+}
+
+TEST(ColumnarFileTest, FooterStatsCoverEveryBlock) {
+  std::vector<MobilityTrace> in;
+  for (int i = 0; i < 300; ++i)
+    in.push_back(tr(1, 30.0 + i * 0.01, 110.0 + i * 0.02, 1000 + i * 7));
+  const ColumnarFile f(encode(in, /*block_records=*/100));
+  ASSERT_EQ(f.blocks().size(), 3u);
+  std::size_t base = 0;
+  for (const auto& b : f.blocks()) {
+    ASSERT_EQ(b.records, 100u);
+    double min_lat = in[base].latitude, max_lat = in[base].latitude;
+    double min_lon = in[base].longitude, max_lon = in[base].longitude;
+    std::int64_t min_ts = in[base].timestamp, max_ts = in[base].timestamp;
+    for (std::size_t i = base; i < base + 100; ++i) {
+      min_lat = std::min(min_lat, in[i].latitude);
+      max_lat = std::max(max_lat, in[i].latitude);
+      min_lon = std::min(min_lon, in[i].longitude);
+      max_lon = std::max(max_lon, in[i].longitude);
+      min_ts = std::min(min_ts, in[i].timestamp);
+      max_ts = std::max(max_ts, in[i].timestamp);
+    }
+    EXPECT_EQ(b.min_lat, min_lat);
+    EXPECT_EQ(b.max_lat, max_lat);
+    EXPECT_EQ(b.min_lon, min_lon);
+    EXPECT_EQ(b.max_lon, max_lon);
+    EXPECT_EQ(b.min_ts, min_ts);
+    EXPECT_EQ(b.max_ts, max_ts);
+    base += 100;
+  }
+}
+
+// --- corruption / truncation -------------------------------------------------
+
+TEST(ColumnarCorruption, RejectsBadMagic) {
+  std::string bytes = encode({tr(1, 39.9, 116.3, 1000)});
+  bytes[0] ^= 0x01;
+  EXPECT_THROW(ColumnarFile{bytes}, ColumnarError);
+}
+
+TEST(ColumnarCorruption, RejectsTruncationAtEveryLength) {
+  const std::string bytes = encode({tr(1, 39.9, 116.3, 1000),
+                                    tr(1, 39.91, 116.31, 1060)});
+  // Any strict prefix must be rejected at open (trailer/footer damage) —
+  // never misread as a shorter valid file.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(ColumnarFile{std::string_view(bytes.data(), len)},
+                 ColumnarError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(ColumnarCorruption, DetectsPayloadBitFlip) {
+  std::vector<MobilityTrace> in;
+  for (int i = 0; i < 50; ++i) in.push_back(tr(1, 39.9, 116.3, 1000 + i));
+  std::string bytes = encode(in);
+  // Flip one bit in the block payload (after the 8-byte magic).
+  bytes[10] ^= 0x40;
+  const ColumnarFile f(bytes);  // footer is intact, open succeeds
+  EXPECT_THROW(f.read_block(0), ColumnarError);
+}
+
+TEST(ColumnarCorruption, DetectsFooterBitFlip) {
+  std::string bytes = encode({tr(1, 39.9, 116.3, 1000)});
+  // Flip a bit inside the footer region (just before the fixed trailer).
+  constexpr std::size_t kTrailerSize = 8 + 4 + 8;
+  bytes[bytes.size() - kTrailerSize - 3] ^= 0x10;
+  EXPECT_THROW(ColumnarFile{bytes}, ColumnarError);
+}
+
+// --- splits ------------------------------------------------------------------
+
+TEST(ColumnarSplits, TilingReadsEveryRecordExactlyOnce) {
+  std::vector<MobilityTrace> in;
+  for (int i = 0; i < 777; ++i)
+    in.push_back(tr(i % 9, 39.0 + i * 1e-3, 116.0 + i * 1e-3, 5000 + i));
+  const std::string bytes = encode(in, /*block_records=*/50);
+  for (std::uint64_t chunk : {64ull, 255ull, 1000ull, 1ull << 20}) {
+    std::vector<MobilityTrace> got;
+    for (std::uint64_t off = 0; off < bytes.size(); off += chunk) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(chunk, bytes.size() - off);
+      ColumnarSplitReader r(bytes, off, len);
+      while (r.next()) got.push_back(r.trace());
+    }
+    EXPECT_EQ(got, in) << "chunk " << chunk;
+  }
+}
+
+TEST(ColumnarSplits, SplitOutsidePayloadIsEmpty) {
+  const std::string bytes = encode({tr(1, 39.9, 116.3, 1000)});
+  // A split that only covers the trailer owns no blocks.
+  ColumnarSplitReader r(bytes, bytes.size() - 4, 4);
+  EXPECT_FALSE(r.next());
+}
+
+// --- DFS glue ----------------------------------------------------------------
+
+mr::ClusterConfig small_cluster() {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = 4096;
+  c.execution_threads = 2;
+  return c;
+}
+
+TEST(ColumnarDfs, DatasetRoundTripMatchesTextPath) {
+  const auto world = geo::generate_dataset(
+      geo::scaled_config(/*num_users=*/6, /*target_traces=*/4000, /*seed=*/11));
+  mr::Dfs dfs(small_cluster());
+  dataset_to_dfs_columnar(dfs, "/col", world.data, /*num_files=*/3);
+  geo::dataset_to_dfs(dfs, "/text", world.data, /*num_files=*/3);
+
+  EXPECT_EQ(count_dfs_columnar_records(dfs, "/col/"), world.data.num_traces());
+  const auto back = dataset_from_dfs_columnar(dfs, "/col/");
+  EXPECT_EQ(back.all_traces(), world.data.all_traces());
+
+  // Streaming pass sees the identical record stream.
+  std::vector<MobilityTrace> streamed;
+  for_each_dfs_columnar_trace(
+      dfs, "/col/", [&](const MobilityTrace& t) { streamed.push_back(t); });
+  EXPECT_EQ(streamed, world.data.all_traces());
+
+  // Columnar storage should beat the text rendering comfortably on
+  // GPS-shaped data.
+  std::uint64_t text_bytes = 0, col_bytes = 0;
+  for (const auto& p : dfs.list("/text/")) text_bytes += dfs.read(p).size();
+  for (const auto& p : dfs.list("/col/")) col_bytes += dfs.read(p).size();
+  EXPECT_LT(col_bytes, text_bytes / 2);
+}
+
+}  // namespace
+}  // namespace gepeto::storage

@@ -1,0 +1,380 @@
+// Tests for the out-of-core shuffle (storage/spill.h + engine integration):
+// under any sort_memory_budget_bytes the job output must be byte-identical
+// to the fully in-memory run on both the thread and process backends, spill
+// telemetry must reflect the disk runs, scratch files must never outlive the
+// job, and budgets on non-wireable intermediates must be rejected up front.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <unistd.h>
+
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/kmeans.h"
+#include "gepeto/sampling.h"
+#include "mapreduce/engine.h"
+#include "storage/colfile.h"
+#include "storage/spill.h"
+
+namespace gepeto {
+namespace {
+
+namespace fs = std::filesystem;
+
+mr::ClusterConfig thread_cluster(std::size_t chunk = 64) {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = chunk;
+  c.execution_threads = 2;
+  c.seed = 7;
+  return c;
+}
+
+mr::ClusterConfig process_cluster(std::size_t chunk = 64) {
+  mr::ClusterConfig c = thread_cluster(chunk);
+  c.backend = mr::ExecutionBackend::kProcess;
+  c.process_workers = 2;
+  c.worker_heartbeat_interval_s = 0.01;
+  c.worker_heartbeat_timeout_s = 5.0;
+  c.worker_respawn_backoff_base_s = 0.01;
+  c.worker_respawn_backoff_cap_s = 0.1;
+  return c;
+}
+
+void put_corpus(mr::Dfs& dfs) {
+  std::string big;
+  for (int i = 0; i < 40; ++i) {
+    big += "alpha beta gamma delta epsilon zeta\n";
+    big += "beta beta gamma word" + std::to_string(i % 7) + "\n";
+  }
+  dfs.put("/in/a", big);
+  dfs.put("/in/b", "omega alpha omega\nzeta zeta zeta word3\n");
+}
+
+std::map<std::string, std::string> outputs(const mr::Dfs& dfs,
+                                           const std::string& prefix) {
+  std::map<std::string, std::string> m;
+  for (const auto& p : dfs.list(prefix)) m[p] = std::string(dfs.read(p));
+  return m;
+}
+
+struct WcMapper {
+  using OutKey = std::string;
+  using OutValue = std::int64_t;
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && line[i] == ' ') ++i;
+      std::size_t j = i;
+      while (j < line.size() && line[j] != ' ') ++j;
+      if (j > i) ctx.emit(std::string(line.substr(i, j - i)), 1);
+      i = j;
+    }
+  }
+};
+
+struct WcReducer {
+  void reduce(const std::string& key, std::span<const std::int64_t> values,
+              mr::ReduceContext& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.write(key + "\t" + std::to_string(sum));
+  }
+};
+
+struct WcCombiner {
+  void combine(const std::string& key, std::span<const std::int64_t> values,
+               mr::MapContext<std::string, std::int64_t>& ctx) {
+    std::int64_t sum = 0;
+    for (auto v : values) sum += v;
+    ctx.emit(key, sum);
+  }
+};
+
+mr::JobConfig wc_job(std::uint64_t budget, bool combiner = false) {
+  mr::JobConfig job;
+  job.name = "wc-oocore";
+  job.input = "/in";
+  job.output = "/out";
+  job.num_reducers = 3;
+  job.use_combiner = combiner;
+  job.sort_memory_budget_bytes = budget;
+  return job;
+}
+
+mr::JobResult run_wc(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+                     const mr::JobConfig& job) {
+  if (job.use_combiner)
+    return mr::run_mapreduce_job(
+        dfs, cluster, job, [] { return WcMapper{}; }, [] { return WcReducer{}; },
+        [] { return WcCombiner{}; });
+  return mr::run_mapreduce_job(dfs, cluster, job, [] { return WcMapper{}; },
+                               [] { return WcReducer{}; });
+}
+
+/// RAII scratch dir + env override so every spill file of the test lands in
+/// a directory we can inspect for leftovers.
+class ScopedScratchDir {
+ public:
+  ScopedScratchDir() {
+    dir_ = fs::temp_directory_path() /
+           ("oocore-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+    ::setenv("GEPETO_SCRATCH_DIR", dir_.c_str(), 1);
+  }
+  ~ScopedScratchDir() {
+    ::unsetenv("GEPETO_SCRATCH_DIR");
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  const fs::path& dir() const { return dir_; }
+
+  std::vector<std::string> leftovers() const {
+    std::vector<std::string> out;
+    for (const auto& e : fs::directory_iterator(dir_))
+      out.push_back(e.path().filename().string());
+    return out;
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+// --- byte identity across budgets -------------------------------------------
+
+TEST(OocoreSpill, ThreadBackendTinyBudgetMatchesInMemory) {
+  ScopedScratchDir scratch;
+
+  mr::Dfs ref_dfs(thread_cluster());
+  put_corpus(ref_dfs);
+  const auto ref = run_wc(ref_dfs, thread_cluster(), wc_job(0));
+  EXPECT_EQ(ref.disk_spill_runs, 0u);
+  EXPECT_EQ(ref.disk_spill_bytes, 0u);
+
+  for (std::uint64_t budget : {1ull, 64ull, 4096ull}) {
+    mr::Dfs dfs(thread_cluster());
+    put_corpus(dfs);
+    const auto r = run_wc(dfs, thread_cluster(), wc_job(budget));
+    EXPECT_EQ(outputs(dfs, "/out/"), outputs(ref_dfs, "/out/"))
+        << "budget " << budget;
+    // Emit-time shuffle accounting is independent of where the runs live.
+    EXPECT_EQ(r.map_output_records, ref.map_output_records);
+    EXPECT_EQ(r.shuffle_bytes, ref.shuffle_bytes);
+    // Tighter budgets flush more often, so the run count only grows.
+    EXPECT_GE(r.spill_runs, ref.spill_runs);
+    EXPECT_EQ(r.reduce_input_groups, ref.reduce_input_groups);
+    if (budget <= 64) {
+      EXPECT_GT(r.disk_spill_runs, 0u) << "budget " << budget;
+      EXPECT_GT(r.disk_spill_bytes, 0u) << "budget " << budget;
+    }
+  }
+  EXPECT_TRUE(scratch.leftovers().empty())
+      << "scratch leftovers: " << scratch.leftovers().front();
+}
+
+TEST(OocoreSpill, CombinerRunsOverSpilledRunsIdentically) {
+  ScopedScratchDir scratch;
+
+  mr::Dfs ref_dfs(thread_cluster());
+  put_corpus(ref_dfs);
+  const auto ref = run_wc(ref_dfs, thread_cluster(),
+                          wc_job(0, /*combiner=*/true));
+
+  mr::Dfs dfs(thread_cluster());
+  put_corpus(dfs);
+  const auto r = run_wc(dfs, thread_cluster(), wc_job(32, /*combiner=*/true));
+
+  EXPECT_EQ(outputs(dfs, "/out/"), outputs(ref_dfs, "/out/"));
+  EXPECT_EQ(r.combine_output_records, ref.combine_output_records);
+  EXPECT_EQ(r.reduce_input_groups, ref.reduce_input_groups);
+  EXPECT_GT(r.disk_spill_runs, 0u);
+  EXPECT_TRUE(scratch.leftovers().empty());
+}
+
+TEST(OocoreSpill, ProcessBackendTinyBudgetMatchesInMemory) {
+  ScopedScratchDir scratch;
+
+  mr::Dfs ref_dfs(thread_cluster());
+  put_corpus(ref_dfs);
+  run_wc(ref_dfs, thread_cluster(), wc_job(0));
+
+  mr::Dfs dfs(process_cluster());
+  put_corpus(dfs);
+  const auto r = run_wc(dfs, process_cluster(), wc_job(48));
+
+  EXPECT_EQ(outputs(dfs, "/out/"), outputs(ref_dfs, "/out/"));
+  EXPECT_GT(r.disk_spill_runs, 0u);
+  EXPECT_TRUE(scratch.leftovers().empty())
+      << "scratch leftovers: " << scratch.leftovers().front();
+}
+
+TEST(OocoreSpill, RetriedMapTasksUnderBudgetStillMatch) {
+  ScopedScratchDir scratch;
+
+  mr::Dfs ref_dfs(thread_cluster());
+  put_corpus(ref_dfs);
+  run_wc(ref_dfs, thread_cluster(), wc_job(0));
+
+  // Crash the first attempt of two map tasks and one reduce task: the retry
+  // re-spills under a fresh attempt stem and must converge to the same bytes.
+  mr::JobConfig job = wc_job(32);
+  job.fault_plan.crashes.push_back({/*phase=*/1, /*task=*/0, /*attempt=*/0});
+  job.fault_plan.crashes.push_back({/*phase=*/1, /*task=*/2, /*attempt=*/0});
+  job.fault_plan.crashes.push_back({/*phase=*/2, /*task=*/1, /*attempt=*/0});
+
+  mr::Dfs dfs(thread_cluster());
+  put_corpus(dfs);
+  const auto r = run_wc(dfs, thread_cluster(), job);
+
+  EXPECT_EQ(outputs(dfs, "/out/"), outputs(ref_dfs, "/out/"));
+  EXPECT_GE(r.failed_task_attempts, 3);
+  EXPECT_GT(r.disk_spill_runs, 0u);
+  EXPECT_TRUE(scratch.leftovers().empty());
+}
+
+TEST(OocoreSpill, EnvBudgetAppliesWhenJobDoesNotSetOne) {
+  ScopedScratchDir scratch;
+  ::setenv("GEPETO_SORT_MEMORY_BUDGET", "32", 1);
+
+  mr::Dfs dfs(thread_cluster());
+  put_corpus(dfs);
+  const auto r = run_wc(dfs, thread_cluster(), wc_job(0));
+  ::unsetenv("GEPETO_SORT_MEMORY_BUDGET");
+
+  EXPECT_GT(r.disk_spill_runs, 0u);
+  EXPECT_TRUE(scratch.leftovers().empty());
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+TEST(OocoreSpill, TelemetryReportsRunsBytesAndMergeTime) {
+  mr::Dfs dfs(thread_cluster());
+  put_corpus(dfs);
+  const auto r = run_wc(dfs, thread_cluster(), wc_job(1));
+  EXPECT_GT(r.disk_spill_runs, 0u);
+  EXPECT_GT(r.disk_spill_bytes, 0u);
+  EXPECT_GE(r.external_merge_seconds, 0.0);
+}
+
+// --- budgets on non-wireable intermediates -----------------------------------
+
+struct OpaqueValue {
+  std::vector<int> v;
+  std::uint64_t serialized_size() const { return 4 * v.size() + 8; }
+};
+
+struct OpaqueMapper {
+  using OutKey = std::int32_t;
+  using OutValue = OpaqueValue;
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    ctx.emit(0, OpaqueValue{{static_cast<int>(line.size())}});
+  }
+};
+
+struct OpaqueReducer {
+  void reduce(const std::int32_t&, std::span<const OpaqueValue> values,
+              mr::ReduceContext& ctx) {
+    std::size_t n = 0;
+    for (const auto& v : values) n += v.v.size();
+    ctx.write(std::to_string(n));
+  }
+};
+
+TEST(OocoreSpill, BudgetOnNonWireableIntermediatesIsInvalidConfig) {
+  mr::Dfs dfs(thread_cluster());
+  put_corpus(dfs);
+  mr::JobConfig job;
+  job.name = "opaque-budget";
+  job.input = "/in";
+  job.output = "/out";
+  job.sort_memory_budget_bytes = 1024;
+  try {
+    mr::run_mapreduce_job(dfs, thread_cluster(), job,
+                          [] { return OpaqueMapper{}; },
+                          [] { return OpaqueReducer{}; });
+    FAIL() << "expected JobError";
+  } catch (const mr::JobError& e) {
+    EXPECT_EQ(e.kind(), mr::JobError::Kind::kInvalidConfig);
+  }
+  // Without a budget the same job runs on the thread backend.
+  job.name = "opaque-ok";
+  job.output = "/out2";
+  job.sort_memory_budget_bytes = 0;
+  EXPECT_NO_THROW(mr::run_mapreduce_job(dfs, thread_cluster(), job,
+                                        [] { return OpaqueMapper{}; },
+                                        [] { return OpaqueReducer{}; }));
+}
+
+// --- driver-level identity ---------------------------------------------------
+
+TEST(OocoreSpill, ExactSamplingIsByteIdenticalAtAnyBudget) {
+  ScopedScratchDir scratch;
+  const auto world = geo::generate_dataset(
+      geo::scaled_config(/*num_users=*/5, /*target_traces=*/3000, /*seed=*/3));
+  const core::SamplingConfig sconfig{60, core::SamplingTechnique::kUpperLimit};
+
+  mr::Dfs ref_dfs(thread_cluster(4096));
+  geo::dataset_to_dfs(ref_dfs, "/geolife", world.data, 4);
+  core::run_sampling_job_exact(ref_dfs, thread_cluster(4096), "/geolife/",
+                               "/sampled", sconfig);
+
+  mr::Dfs dfs(thread_cluster(4096));
+  geo::dataset_to_dfs(dfs, "/geolife", world.data, 4);
+  core::run_sampling_job_exact(dfs, thread_cluster(4096), "/geolife/",
+                               "/sampled", sconfig, /*num_reducers=*/4,
+                               /*failures=*/{}, /*fault_plan=*/{},
+                               /*sort_memory_budget_bytes=*/512);
+
+  EXPECT_EQ(outputs(dfs, "/sampled/"), outputs(ref_dfs, "/sampled/"));
+  EXPECT_TRUE(scratch.leftovers().empty());
+}
+
+TEST(OocoreSpill, ColumnarKMeansCentroidsMatchAtAnyBudget) {
+  ScopedScratchDir scratch;
+  const auto world = geo::generate_dataset(
+      geo::scaled_config(/*num_users=*/4, /*target_traces=*/2000, /*seed=*/5));
+
+  core::KMeansConfig config;
+  config.k = 4;
+  config.max_iterations = 3;
+  config.seed = 17;
+  config.columnar_input = true;
+
+  mr::Dfs ref_dfs(thread_cluster(4096));
+  storage::dataset_to_dfs_columnar(ref_dfs, "/col", world.data, 3);
+  const auto ref = core::kmeans_mapreduce(ref_dfs, thread_cluster(4096),
+                                          "/col/", "/clusters", config);
+
+  config.sort_memory_budget_bytes = 256;
+  mr::Dfs dfs(thread_cluster(4096));
+  storage::dataset_to_dfs_columnar(dfs, "/col", world.data, 3);
+  const auto r = core::kmeans_mapreduce(dfs, thread_cluster(4096), "/col/",
+                                        "/clusters", config);
+
+  ASSERT_EQ(r.centroids.size(), ref.centroids.size());
+  for (std::size_t i = 0; i < r.centroids.size(); ++i) {
+    EXPECT_EQ(r.centroids[i].latitude, ref.centroids[i].latitude) << i;
+    EXPECT_EQ(r.centroids[i].longitude, ref.centroids[i].longitude) << i;
+  }
+  EXPECT_EQ(r.cluster_sizes, ref.cluster_sizes);
+  EXPECT_EQ(r.sse, ref.sse);
+  EXPECT_GT(r.totals.disk_spill_runs, 0u);
+  EXPECT_TRUE(scratch.leftovers().empty());
+}
+
+}  // namespace
+}  // namespace gepeto

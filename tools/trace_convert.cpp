@@ -1,0 +1,190 @@
+// trace_convert — convert mobility-trace files between the text dataset-line
+// format and the binary columnar format (storage/colfile.h).
+//
+//   trace_convert --to columnar --in lines.txt --out traces.gpcol [--block-records N] [--verify]
+//   trace_convert --to text     --in traces.gpcol --out lines.txt [--verify]
+//
+// Text input is parsed strictly: a malformed line (wrong field count, NaN or
+// infinite coordinate, out-of-range lat/lon) aborts the conversion with the
+// offending line and field named, rather than being dropped silently.
+// --verify re-reads the written output and checks it against the input
+// record-for-record before exiting 0.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "geo/geolife.h"
+#include "mapreduce/job.h"
+#include "storage/colfile.h"
+
+namespace {
+
+using namespace gepeto;
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: trace_convert --to columnar|text --in FILE --out FILE"
+               " [--block-records N] [--verify]\n";
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "trace_convert: cannot open " << path << "\n";
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) {
+    std::cerr << "trace_convert: cannot create " << path << "\n";
+    std::exit(1);
+  }
+  out << contents;
+  if (!out.good()) {
+    std::cerr << "trace_convert: short write to " << path << "\n";
+    std::exit(1);
+  }
+}
+
+/// Parse every dataset line of `text`, strictly. Line numbers are 1-based in
+/// diagnostics.
+std::vector<geo::MobilityTrace> parse_lines(const std::string& text,
+                                            const std::string& path) {
+  std::vector<geo::MobilityTrace> traces;
+  std::size_t start = 0, line_no = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    ++line_no;
+    std::string_view line(text.data() + start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!line.empty()) {
+      try {
+        traces.push_back(geo::parse_dataset_line_or_throw(line));
+      } catch (const mr::TaskError& e) {
+        std::cerr << "trace_convert: " << path << ":" << line_no << ": "
+                  << e.what() << "\n";
+        std::exit(1);
+      }
+    }
+    start = end + 1;
+  }
+  return traces;
+}
+
+/// Decode every trace of a columnar file, one block at a time.
+std::vector<geo::MobilityTrace> decode_columnar(const std::string& bytes,
+                                                const std::string& path) {
+  std::vector<geo::MobilityTrace> traces;
+  try {
+    const storage::ColumnarFile file(bytes);
+    traces.reserve(file.num_records());
+    for (std::size_t b = 0; b < file.num_blocks(); ++b)
+      for (const auto& t : file.read_block(b)) traces.push_back(t);
+  } catch (const storage::ColumnarError& e) {
+    std::cerr << "trace_convert: " << path << ": " << e.what() << "\n";
+    std::exit(1);
+  }
+  return traces;
+}
+
+bool same_trace(const geo::MobilityTrace& a, const geo::MobilityTrace& b) {
+  return a.user_id == b.user_id && a.latitude == b.latitude &&
+         a.longitude == b.longitude && a.timestamp == b.timestamp &&
+         a.altitude_ft == b.altitude_ft;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string to, in_path, out_path;
+  std::size_t block_records = 4096;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (a == "--to") to = value();
+    else if (a == "--in") in_path = value();
+    else if (a == "--out") out_path = value();
+    else if (a == "--block-records") block_records = std::stoull(value());
+    else if (a == "--verify") verify = true;
+    else usage();
+  }
+  if ((to != "columnar" && to != "text") || in_path.empty() ||
+      out_path.empty() || block_records == 0)
+    usage();
+
+  const std::string input = read_file(in_path);
+
+  if (to == "columnar") {
+    const auto traces = parse_lines(input, in_path);
+    storage::ColumnarWriter writer({block_records});
+    for (const auto& t : traces) writer.add(t);
+    write_file(out_path, writer.finish());
+    if (verify) {
+      const auto back = decode_columnar(read_file(out_path), out_path);
+      if (back.size() != traces.size()) {
+        std::cerr << "trace_convert: verify failed: wrote " << traces.size()
+                  << " records, read back " << back.size() << "\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (!same_trace(traces[i], back[i])) {
+          std::cerr << "trace_convert: verify failed: record " << i
+                    << " did not round-trip\n";
+          return 1;
+        }
+      }
+    }
+    std::cerr << "trace_convert: " << traces.size() << " traces -> "
+              << out_path << (verify ? " (verified)" : "") << "\n";
+    return 0;
+  }
+
+  // columnar -> text
+  const auto traces = decode_columnar(input, in_path);
+  std::string text;
+  text.reserve(traces.size() * 90);
+  for (const auto& t : traces) {
+    text += geo::dataset_line(t);
+    text.push_back('\n');
+  }
+  write_file(out_path, text);
+  if (verify) {
+    // Text carries the canonical fixed-precision formatting, so the check is
+    // line-for-line: each written line must be the canonical rendering of
+    // the corresponding input trace.
+    const std::string back = read_file(out_path);
+    std::size_t start = 0, i = 0;
+    bool ok = true;
+    while (start < back.size() && i < traces.size()) {
+      std::size_t end = back.find('\n', start);
+      if (end == std::string::npos) end = back.size();
+      if (std::string_view(back.data() + start, end - start) !=
+          geo::dataset_line(traces[i])) {
+        ok = false;
+        break;
+      }
+      start = end + 1;
+      ++i;
+    }
+    if (!ok || i != traces.size() || start < back.size()) {
+      std::cerr << "trace_convert: verify failed at record " << i << "\n";
+      return 1;
+    }
+  }
+  std::cerr << "trace_convert: " << traces.size() << " traces -> " << out_path
+            << (verify ? " (verified)" : "") << "\n";
+  return 0;
+}
