@@ -1,0 +1,536 @@
+// Query-serving load bench: concurrent Zipf-skewed k-NN / range / locate
+// traffic against the packed STR index, at several index sizes and thread
+// counts, with live epoch swaps under load.
+//
+// Three experiments:
+//   1. Size sweep (single thread): STR bulk-load throughput and query QPS
+//      as the index grows to GeoLife scale (1 M points at paper scale).
+//   2. Thread sweep on the largest index: QPS from 1..8 threads. A sampled
+//      brute-force oracle hard-checks every verified answer byte-for-byte
+//      (hex-float serialization, so bit-identical or fail).
+//   3. Live rebuild: 8 reader threads under load while a swapper publishes
+//      3 new snapshots. Every answer carries its epoch and is verified
+//      against the snapshot of that epoch; zero failed or misrouted
+//      queries allowed.
+//
+// Hard checks (exit 1 on violation): any oracle mismatch, a swap run with
+// fewer than 3 swaps or any verification failure. The 1->N thread QPS
+// scaling check (> 1x) only applies when the host actually has multiple
+// cores.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "serving/packed_rtree.h"
+#include "serving/query_engine.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+using serving::IndexSnapshot;
+using serving::PackedRTree;
+using serving::QueryEngine;
+using serving::ServingPoint;
+
+// --- workload ---------------------------------------------------------------
+
+constexpr int kHotspots = 64;
+constexpr double kZipfS = 1.1;
+constexpr std::uint32_t kKnnK = 8;
+// Queries jitter on a quantized grid around their hotspot so a fraction of
+// the Zipf-skewed stream repeats exactly — that is what exercises the cache.
+constexpr int kJitterCells = 24;
+
+struct Hotspots {
+  std::vector<double> lat, lon, cdf;
+};
+
+Hotspots make_hotspots(std::uint64_t seed) {
+  Rng rng(seed);
+  Hotspots h;
+  double total = 0;
+  for (int i = 0; i < kHotspots; ++i) {
+    h.lat.push_back(rng.uniform(39.2, 40.6));
+    h.lon.push_back(rng.uniform(115.8, 117.2));
+    total += 1.0 / std::pow(static_cast<double>(i + 1), kZipfS);
+    h.cdf.push_back(total);
+  }
+  for (double& c : h.cdf) c /= total;
+  return h;
+}
+
+int pick_hotspot(const Hotspots& h, Rng& rng) {
+  const double u = rng.uniform();
+  return static_cast<int>(
+      std::lower_bound(h.cdf.begin(), h.cdf.end(), u) - h.cdf.begin());
+}
+
+/// Points cluster around the hotspots (80%) with a uniform background, so
+/// the skewed queries hit populated regions.
+std::vector<ServingPoint> make_points(std::size_t n, const Hotspots& h,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ServingPoint> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lat, lon;
+    if (rng.uniform() < 0.8) {
+      const int s = static_cast<int>(rng.uniform_u64(kHotspots));
+      lat = h.lat[s] + rng.uniform(-0.03, 0.03);
+      lon = h.lon[s] + rng.uniform(-0.03, 0.03);
+    } else {
+      lat = rng.uniform(39.0, 40.8);
+      lon = rng.uniform(115.5, 117.5);
+    }
+    pts.push_back({lat, lon, static_cast<std::uint64_t>(i), 0.0, 1});
+  }
+  return pts;
+}
+
+struct Query {
+  int kind = 0;  // 0 knn, 1 range, 2 locate
+  double lat = 0, lon = 0;
+  index::Rect box;
+};
+
+Query gen_query(const Hotspots& h, Rng& rng) {
+  Query q;
+  const int s = pick_hotspot(h, rng);
+  // Quantized jitter: cell centers repeat, so hot queries recur exactly.
+  const auto cx = static_cast<double>(rng.uniform_u64(kJitterCells));
+  const auto cy = static_cast<double>(rng.uniform_u64(kJitterCells));
+  q.lat = h.lat[s] + (cx / kJitterCells - 0.5) * 0.04;
+  q.lon = h.lon[s] + (cy / kJitterCells - 0.5) * 0.04;
+  const double mix = rng.uniform();
+  if (mix < 0.5) {
+    q.kind = 0;  // 50% knn
+  } else if (mix < 0.8) {
+    q.kind = 1;  // 30% range
+    q.box = index::Rect::of(q.lat, q.lon, q.lat + 0.01, q.lon + 0.01);
+  } else {
+    q.kind = 2;  // 20% locate
+  }
+  return q;
+}
+
+// --- brute-force oracle -----------------------------------------------------
+
+bool neighbor_less(const PackedRTree::Neighbor& a,
+                   const PackedRTree::Neighbor& b) {
+  if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+  if (a.point.id != b.point.id) return a.point.id < b.point.id;
+  if (a.point.lat != b.point.lat) return a.point.lat < b.point.lat;
+  return a.point.lon < b.point.lon;
+}
+
+/// Hex-float serialization: two answers compare equal iff they are
+/// bit-identical, which is the bench's byte-identity oracle check.
+std::string serialize_neighbors(
+    const std::vector<PackedRTree::Neighbor>& ns) {
+  std::string out;
+  char buf[80];
+  for (const auto& n : ns) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%a;", n.point.id, n.dist2);
+    out += buf;
+  }
+  return out;
+}
+
+std::string serialize_points(const std::vector<ServingPoint>& ps) {
+  std::string out;
+  char buf[96];
+  for (const auto& p : ps) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ":%a:%a;", p.id, p.lat, p.lon);
+    out += buf;
+  }
+  return out;
+}
+
+std::string oracle_knn(const IndexSnapshot& snap, double lat, double lon,
+                       std::uint32_t k) {
+  std::vector<PackedRTree::Neighbor> all;
+  all.reserve(snap.tree.size());
+  for (const auto& p : snap.tree.points()) {
+    const double dlat = p.lat - lat, dlon = p.lon - lon;
+    all.push_back({dlat * dlat + dlon * dlon, p});
+  }
+  std::sort(all.begin(), all.end(), neighbor_less);
+  if (all.size() > k) all.resize(k);
+  return serialize_neighbors(all);
+}
+
+std::string oracle_range(const IndexSnapshot& snap, const index::Rect& box) {
+  std::vector<ServingPoint> hit;
+  for (const auto& p : snap.tree.points())
+    if (box.contains(p.lat, p.lon)) hit.push_back(p);
+  std::sort(hit.begin(), hit.end(),
+            [](const ServingPoint& a, const ServingPoint& b) {
+              if (a.id != b.id) return a.id < b.id;
+              if (a.lat != b.lat) return a.lat < b.lat;
+              return a.lon < b.lon;
+            });
+  return serialize_points(hit);
+}
+
+// --- load run ---------------------------------------------------------------
+
+struct LoadStats {
+  std::uint64_t queries = 0;
+  std::uint64_t verified = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t cache_hits = 0;
+  double wall_seconds = 0.0;
+  double p50_us = 0.0, p99_us = 0.0;
+  double qps() const {
+    return wall_seconds > 0 ? static_cast<double>(queries) / wall_seconds : 0;
+  }
+};
+
+/// Drive `queries_per_thread` queries from each of `threads` workers.
+/// `snapshots[e - 1]` is the oracle for epoch e; roughly every
+/// `verify_stride`-th query is checked against it. When `swapper` is set it
+/// runs concurrently with the readers (the live-rebuild experiment).
+LoadStats run_load(
+    QueryEngine& engine,
+    const std::vector<std::shared_ptr<const IndexSnapshot>>& snapshots,
+    const Hotspots& hotspots, int threads, std::uint64_t queries_per_thread,
+    std::uint64_t verify_stride, std::uint64_t seed,
+    const std::function<void()>& swapper = {}) {
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> verified{0};
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(threads));
+
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(seed + static_cast<std::uint64_t>(t) * 7919);
+      auto& local = latencies[static_cast<std::size_t>(t)];
+      local.reserve(queries_per_thread);
+      for (std::uint64_t i = 0; i < queries_per_thread; ++i) {
+        const Query q = gen_query(hotspots, rng);
+        const bool verify = verify_stride > 0 && i % verify_stride == 0;
+        Stopwatch sw;
+        if (q.kind == 0) {
+          const auto r = engine.knn(q.lat, q.lon, kKnnK);
+          local.push_back(sw.seconds());
+          if (r.cache_hit) cache_hits.fetch_add(1);
+          if (verify) {
+            verified.fetch_add(1);
+            if (r.epoch == 0 || r.epoch > snapshots.size() ||
+                serialize_neighbors(r.neighbors) !=
+                    oracle_knn(*snapshots[r.epoch - 1], q.lat, q.lon, kKnnK))
+              mismatches.fetch_add(1);
+          }
+        } else if (q.kind == 1) {
+          const auto r = engine.range(q.box);
+          local.push_back(sw.seconds());
+          if (r.cache_hit) cache_hits.fetch_add(1);
+          if (verify) {
+            verified.fetch_add(1);
+            if (r.epoch == 0 || r.epoch > snapshots.size() ||
+                serialize_points(r.points) !=
+                    oracle_range(*snapshots[r.epoch - 1], q.box))
+              mismatches.fetch_add(1);
+          }
+        } else {
+          const auto r = engine.locate(q.lat, q.lon);
+          local.push_back(sw.seconds());
+          if (r.cache_hit) cache_hits.fetch_add(1);
+          if (verify) {
+            verified.fetch_add(1);
+            // locate == knn with k=1 plus haversine decoration; check the
+            // nearest id against the oracle's first neighbor.
+            const std::string want =
+                oracle_knn(*snapshots[r.epoch - 1], q.lat, q.lon, 1);
+            char buf[80];
+            std::snprintf(buf, sizeof(buf), "%" PRIu64 ":", r.point.id);
+            if (r.epoch == 0 || r.epoch > snapshots.size() || !r.found ||
+                want.rfind(buf, 0) != 0)
+              mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  if (swapper) swapper();
+  for (auto& w : workers) w.join();
+
+  LoadStats stats;
+  stats.wall_seconds = wall.seconds();
+  stats.queries =
+      static_cast<std::uint64_t>(threads) * queries_per_thread;
+  stats.verified = verified.load();
+  stats.mismatches = mismatches.load();
+  stats.cache_hits = cache_hits.load();
+  std::vector<double> all;
+  for (auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    stats.p50_us = all[all.size() / 2] * 1e6;
+    stats.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)] * 1e6;
+  }
+  return stats;
+}
+
+/// verify_stride targeting ~`target` verified queries per worker stream.
+std::uint64_t stride_for(std::uint64_t queries_per_thread,
+                         std::uint64_t target) {
+  return std::max<std::uint64_t>(1, queries_per_thread / target);
+}
+
+// --- the experiment ---------------------------------------------------------
+
+bool reproduce_query_serving() {
+  print_banner(
+      "Geo-query serving layer — concurrent k-NN/range/locate + epoch swap",
+      "immutable STR-packed index served lock-free to N threads, "
+      "byte-identical to brute force, swapped live without failed queries");
+
+  const bool paper = paper_scale();
+  const std::vector<std::size_t> sizes =
+      paper ? std::vector<std::size_t>{10'000, 100'000, 1'000'000}
+            : std::vector<std::size_t>{2'000, 10'000};
+  const std::uint64_t queries_per_thread = paper ? 20'000 : 4'000;
+  const int max_threads = 8;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const Hotspots hotspots = make_hotspots(2013);
+  telemetry::BenchReporter report("query_serving", scale_name());
+  report.set_param("knn_k", static_cast<std::int64_t>(kKnnK));
+  report.set_param("hotspots", static_cast<std::int64_t>(kHotspots));
+  report.set_param("zipf_s", kZipfS);
+  report.set_param("hardware_threads", static_cast<std::int64_t>(hw));
+
+  bool ok = true;
+
+  // -- 1. size sweep, single thread -----------------------------------------
+  Table sizes_table("index size sweep (1 thread, Zipf mix 50/30/20)");
+  sizes_table.header({"points", "build", "pts/s", "height", "QPS", "p50",
+                      "p99", "hit rate", "verified", "oracle"});
+  std::shared_ptr<const IndexSnapshot> largest;
+  for (const std::size_t n : sizes) {
+    auto snap = std::make_shared<IndexSnapshot>();
+    Stopwatch build_sw;
+    snap->tree = PackedRTree::build(make_points(n, hotspots, 4242 + n));
+    const double build_s = build_sw.seconds();
+    snap->tree.check_invariants();
+    snap->source = "bench:" + std::to_string(n);
+
+    telemetry::MetricsRegistry metrics;
+    serving::ServingConfig config;
+    config.metrics = &metrics;
+    QueryEngine engine(config);
+    engine.publish(snap);
+    const std::vector<std::shared_ptr<const IndexSnapshot>> snaps{snap};
+    const auto stats =
+        run_load(engine, snaps, hotspots, 1, queries_per_thread,
+                 stride_for(queries_per_thread, paper ? 150 : 400), 99 + n);
+    ok = ok && stats.mismatches == 0;
+    const double hit_rate =
+        static_cast<double>(stats.cache_hits) /
+        static_cast<double>(std::max<std::uint64_t>(1, stats.queries));
+    sizes_table.row(
+        {format_count(n), format_seconds(build_s),
+         format_count(static_cast<std::uint64_t>(
+             static_cast<double>(n) / std::max(build_s, 1e-9))),
+         std::to_string(snap->tree.height()),
+         format_count(static_cast<std::uint64_t>(stats.qps())),
+         format_double(stats.p50_us, 1) + " us",
+         format_double(stats.p99_us, 1) + " us",
+         format_double(100 * hit_rate, 1) + "%",
+         format_count(stats.verified),
+         stats.mismatches == 0 ? "ok" : "MISMATCH"});
+    report.add_row("size_" + std::to_string(n))
+        .set_param("points", static_cast<std::int64_t>(n))
+        .set_param("threads", static_cast<std::int64_t>(1))
+        .set_param("build_seconds", build_s)
+        .set_param("qps", stats.qps())
+        .set_param("p50_us", stats.p50_us)
+        .set_param("p99_us", stats.p99_us)
+        .set_param("cache_hit_rate", hit_rate)
+        .set_wall_seconds(stats.wall_seconds)
+        .add_counter("queries", static_cast<std::int64_t>(stats.queries))
+        .add_counter("verified", static_cast<std::int64_t>(stats.verified))
+        .add_counter("oracle_mismatches",
+                     static_cast<std::int64_t>(stats.mismatches));
+    largest = snap;
+  }
+  sizes_table.print(std::cout);
+
+  // -- 2. thread sweep on the largest index ----------------------------------
+  Table threads_table("thread sweep, " + format_count(largest->tree.size()) +
+                      " points");
+  threads_table.header(
+      {"threads", "QPS", "speedup", "p50", "p99", "hit rate", "oracle"});
+  double qps1 = 0;
+  double qps_max = 0;
+  for (int threads = 1; threads <= max_threads; threads *= 2) {
+    QueryEngine engine;
+    engine.publish(largest);
+    const std::vector<std::shared_ptr<const IndexSnapshot>> snaps{largest};
+    const auto stats =
+        run_load(engine, snaps, hotspots, threads, queries_per_thread,
+                 stride_for(queries_per_thread, paper ? 40 : 100),
+                 7'000 + static_cast<std::uint64_t>(threads));
+    ok = ok && stats.mismatches == 0;
+    if (threads == 1) qps1 = stats.qps();
+    qps_max = stats.qps();
+    const double hit_rate =
+        static_cast<double>(stats.cache_hits) /
+        static_cast<double>(std::max<std::uint64_t>(1, stats.queries));
+    threads_table.row(
+        {std::to_string(threads),
+         format_count(static_cast<std::uint64_t>(stats.qps())),
+         format_double(stats.qps() / std::max(qps1, 1e-9), 2) + "x",
+         format_double(stats.p50_us, 1) + " us",
+         format_double(stats.p99_us, 1) + " us",
+         format_double(100 * hit_rate, 1) + "%",
+         stats.mismatches == 0 ? "ok" : "MISMATCH"});
+    report.add_row("threads_" + std::to_string(threads))
+        .set_param("points",
+                   static_cast<std::int64_t>(largest->tree.size()))
+        .set_param("threads", static_cast<std::int64_t>(threads))
+        .set_param("qps", stats.qps())
+        .set_param("p50_us", stats.p50_us)
+        .set_param("p99_us", stats.p99_us)
+        .set_param("cache_hit_rate", hit_rate)
+        .set_wall_seconds(stats.wall_seconds)
+        .add_counter("queries", static_cast<std::int64_t>(stats.queries))
+        .add_counter("verified", static_cast<std::int64_t>(stats.verified))
+        .add_counter("oracle_mismatches",
+                     static_cast<std::int64_t>(stats.mismatches));
+  }
+  threads_table.print(std::cout);
+  if (hw > 1) {
+    if (qps_max <= qps1) {
+      std::cerr << "HARD CHECK FAILED: QPS did not scale 1 -> " << max_threads
+                << " threads (" << qps1 << " -> " << qps_max << ")\n";
+      ok = false;
+    }
+  } else {
+    std::cout << "(single-core host: 1 -> " << max_threads
+              << " thread QPS scaling reported, not enforced)\n";
+  }
+
+  // -- 3. live epoch swaps under load ----------------------------------------
+  const std::size_t swap_size = sizes.back();
+  std::vector<std::shared_ptr<const IndexSnapshot>> generations;
+  for (int e = 0; e < 4; ++e) {
+    auto s = std::make_shared<IndexSnapshot>();
+    s->tree = PackedRTree::build(
+        make_points(swap_size, hotspots, 31'000 + static_cast<std::size_t>(e)));
+    s->source = "gen" + std::to_string(e);
+    generations.push_back(std::move(s));
+  }
+  telemetry::MetricsRegistry swap_metrics;
+  serving::ServingConfig swap_config;
+  swap_config.metrics = &swap_metrics;
+  QueryEngine engine(swap_config);
+  engine.publish(generations[0]);
+
+  const auto swapper = [&] {
+    for (std::size_t e = 1; e < generations.size(); ++e) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      engine.publish(generations[e]);
+    }
+  };
+  const auto stats = run_load(
+      engine, generations, hotspots, max_threads, queries_per_thread,
+      stride_for(queries_per_thread, paper ? 30 : 60), 555, swapper);
+  const std::uint64_t swaps =
+      static_cast<std::uint64_t>(engine.epoch()) - 1;
+
+  Table swap_table("live rebuild: " + std::to_string(max_threads) +
+                   " readers, " + std::to_string(swaps) + " swaps mid-load");
+  swap_table.header(
+      {"queries", "QPS", "p99", "swaps", "verified", "failed"});
+  swap_table.row({format_count(stats.queries),
+                  format_count(static_cast<std::uint64_t>(stats.qps())),
+                  format_double(stats.p99_us, 1) + " us",
+                  std::to_string(swaps), format_count(stats.verified),
+                  std::to_string(stats.mismatches)});
+  swap_table.print(std::cout);
+  report.add_row("epoch_swaps")
+      .set_param("threads", static_cast<std::int64_t>(max_threads))
+      .set_param("qps", stats.qps())
+      .set_param("p99_us", stats.p99_us)
+      .set_wall_seconds(stats.wall_seconds)
+      .add_counter("queries", static_cast<std::int64_t>(stats.queries))
+      .add_counter("verified", static_cast<std::int64_t>(stats.verified))
+      .add_counter("oracle_mismatches",
+                   static_cast<std::int64_t>(stats.mismatches))
+      .add_counter("epoch_swaps", static_cast<std::int64_t>(swaps));
+  if (swaps < 3) {
+    std::cerr << "HARD CHECK FAILED: only " << swaps
+              << " epoch swaps happened under load (need >= 3)\n";
+    ok = false;
+  }
+  if (stats.mismatches != 0) {
+    std::cerr << "HARD CHECK FAILED: " << stats.mismatches
+              << " queries failed verification during live swaps\n";
+    ok = false;
+  }
+  // The engine's own telemetry must agree it answered everything.
+  const auto* q_total = swap_metrics.find_counter("serving_queries_total");
+  ok = ok && q_total != nullptr &&
+       q_total->value() >= static_cast<std::int64_t>(stats.queries);
+
+  write_report(report);
+  std::cout << (ok ? "ALL ORACLE CHECKS PASSED\n"
+                   : "ORACLE CHECKS FAILED\n");
+  return ok;
+}
+
+// --- micro sweeps -----------------------------------------------------------
+
+void BM_PackedKnn(benchmark::State& state) {
+  const Hotspots h = make_hotspots(2013);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const PackedRTree tree = PackedRTree::build(make_points(n, h, 1));
+  Rng rng(9);
+  for (auto _ : state) {
+    const Query q = gen_query(h, rng);
+    benchmark::DoNotOptimize(tree.knn(q.lat, q.lon, kKnnK));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PackedKnn)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
+
+void BM_StrBulkLoad(benchmark::State& state) {
+  const Hotspots h = make_hotspots(2013);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = make_points(n, h, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PackedRTree::build(pts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_StrBulkLoad)->Arg(10'000)->Arg(100'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  const bool ok = reproduce_query_serving();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return ok ? 0 : 1;
+}

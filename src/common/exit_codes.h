@@ -1,0 +1,21 @@
+// Shared process exit codes for the command-line tools. Scripts (and the
+// exit-code tests) rely on parse failures and verification mismatches being
+// distinguishable, so keep these stable.
+#pragma once
+
+namespace gepeto::tools {
+
+inline constexpr int kOk = 0;
+/// Unclassified runtime failure (I/O error, internal check, bad data that
+/// is neither a parse nor a verification problem).
+inline constexpr int kError = 1;
+/// Bad command line: unknown command/flag, missing argument.
+inline constexpr int kUsage = 2;
+/// Input could not be parsed/decoded (malformed dataset line, corrupt
+/// columnar/seqfile block, unparsable coordinate argument).
+inline constexpr int kParseError = 3;
+/// Data parsed fine but failed verification (round-trip mismatch,
+/// --verify/--expect check failed).
+inline constexpr int kVerifyMismatch = 4;
+
+}  // namespace gepeto::tools

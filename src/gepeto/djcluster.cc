@@ -382,6 +382,41 @@ void unpack_trace_id(std::uint64_t id, std::int32_t& user_id,
       static_cast<std::int64_t>(id & ((std::uint64_t{1} << kTimestampBits) - 1));
 }
 
+std::vector<ClusterSummary> summarize_clusters(
+    const DjClusterResult& result, const geo::GeolocatedDataset& preprocessed) {
+  std::vector<ClusterSummary> out;
+  out.reserve(result.clusters.size());
+  for (std::size_t i = 0; i < result.clusters.size(); ++i) {
+    const DjCluster& c = result.clusters[i];
+    ClusterSummary s;
+    s.cluster_id = static_cast<std::uint64_t>(i);
+    s.centroid_lat = c.centroid_lat;
+    s.centroid_lon = c.centroid_lon;
+    s.size = static_cast<std::uint32_t>(c.members.size());
+    for (const std::uint64_t member : c.members) {
+      std::int32_t user_id;
+      std::int64_t timestamp;
+      unpack_trace_id(member, user_id, timestamp);
+      GEPETO_CHECK_MSG(preprocessed.has_user(user_id),
+                       "cluster member references an unknown user");
+      const geo::Trail& trail = preprocessed.trail(user_id);
+      // Timestamps are strictly increasing per user after preprocessing.
+      const auto it = std::lower_bound(
+          trail.begin(), trail.end(), timestamp,
+          [](const geo::MobilityTrace& t, std::int64_t ts) {
+            return t.timestamp < ts;
+          });
+      GEPETO_CHECK_MSG(it != trail.end() && it->timestamp == timestamp,
+                       "cluster member references an unknown trace");
+      s.radius_m = std::max(
+          s.radius_m, geo::haversine_meters(s.centroid_lat, s.centroid_lon,
+                                            it->latitude, it->longitude));
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
 geo::Trail filter_moving(const geo::Trail& trail, double speed_threshold_ms) {
   SpeedFilterFolder folder(speed_threshold_ms);
   geo::Trail out;

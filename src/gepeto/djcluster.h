@@ -82,6 +82,24 @@ struct DjClusterResult {
   std::uint64_t clustered = 0;
 };
 
+/// Read-side summary of one DJ-Cluster: everything the serving layer needs
+/// to answer "which cluster/POI is this point in" without the member list.
+struct ClusterSummary {
+  std::uint64_t cluster_id = 0;  ///< index in DjClusterResult::clusters
+  double centroid_lat = 0.0;
+  double centroid_lon = 0.0;
+  std::uint32_t size = 0;        ///< member traces
+  double radius_m = 0.0;         ///< max haversine centroid->member distance
+};
+
+/// Resolve every cluster's members against the preprocessed dataset they
+/// were clustered from and reduce each to a ClusterSummary (centroid, size,
+/// containment radius). Members reference traces by packed (user,
+/// timestamp) id, so `preprocessed` must be the dataset the clustering ran
+/// on; a dangling member id throws CheckFailure.
+std::vector<ClusterSummary> summarize_clusters(
+    const DjClusterResult& result, const geo::GeolocatedDataset& preprocessed);
+
 // --- sequential reference ----------------------------------------------------
 
 /// Phase 1a: keep stationary traces of one trail.

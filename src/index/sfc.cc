@@ -1,6 +1,7 @@
 #include "index/sfc.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -106,7 +107,9 @@ ScalarMapper::ScalarMapper(CurveKind kind, const Rect& bounds, int order)
 }
 
 std::uint32_t ScalarMapper::grid(double v, double lo, double hi) const {
-  if (hi <= lo) return 0;  // degenerate axis: everything in cell 0
+  if (hi <= lo) return 0;   // degenerate axis: everything in cell 0
+  if (std::isnan(v)) return 0;  // clamp() passes NaN through; the float ->
+                                // int cast below would then be UB
   const double f = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
   const auto cell =
       static_cast<std::uint32_t>(f * static_cast<double>(cells_));

@@ -38,7 +38,9 @@ class ScalarMapper {
  public:
   ScalarMapper(CurveKind kind, const Rect& bounds, int order = 16);
 
-  /// Scalar position of a point (clamped into the bounds).
+  /// Scalar position of a point (clamped into the bounds). Non-finite
+  /// coordinates are deterministic, not UB: +/-inf clamp to the edges and a
+  /// NaN coordinate lands in cell 0 of its axis.
   std::uint64_t scalar(double lat, double lon) const;
 
   CurveKind kind() const { return kind_; }

@@ -1,0 +1,82 @@
+#include "serving/builders.h"
+
+#include <utility>
+#include <vector>
+
+#include "mapreduce/dfs.h"
+#include "storage/colfile.h"
+
+namespace gepeto::serving {
+
+namespace {
+
+std::shared_ptr<const IndexSnapshot> make_snapshot(
+    std::vector<ServingPoint> points, int node_capacity, std::string source) {
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->tree = PackedRTree::build(std::move(points), node_capacity);
+  snap->source = std::move(source);
+  return snap;
+}
+
+}  // namespace
+
+std::shared_ptr<const IndexSnapshot> snapshot_from_dataset(
+    const geo::GeolocatedDataset& dataset, int node_capacity) {
+  std::vector<ServingPoint> points;
+  points.reserve(dataset.num_traces());
+  for (const std::int32_t user : dataset.users()) {
+    for (const geo::MobilityTrace& t : dataset.trail(user)) {
+      points.push_back({t.latitude, t.longitude,
+                        core::pack_trace_id(t.user_id, t.timestamp), 0.0, 1});
+    }
+  }
+  return make_snapshot(std::move(points), node_capacity, "points:dataset");
+}
+
+std::shared_ptr<const IndexSnapshot> snapshot_from_clusters(
+    const std::vector<core::ClusterSummary>& clusters, int node_capacity) {
+  std::vector<ServingPoint> points;
+  points.reserve(clusters.size());
+  for (const core::ClusterSummary& c : clusters) {
+    points.push_back(
+        {c.centroid_lat, c.centroid_lon, c.cluster_id, c.radius_m, c.size});
+  }
+  return make_snapshot(std::move(points), node_capacity, "djcluster:summaries");
+}
+
+std::shared_ptr<const IndexSnapshot> snapshot_from_columnar(
+    const mr::Dfs& dfs, const std::string& prefix,
+    std::optional<index::Rect> region, int node_capacity,
+    ColumnarScanStats* stats) {
+  ColumnarScanStats local;
+  std::vector<ServingPoint> points;
+  for (const std::string& path : dfs.list(prefix)) {
+    const storage::ColumnarFile file(dfs.read(path));
+    for (std::size_t b = 0; b < file.num_blocks(); ++b) {
+      local.blocks_total++;
+      if (region.has_value()) {
+        const storage::ColumnarBlockInfo& info = file.blocks()[b];
+        const index::Rect block_box = index::Rect::of(
+            info.min_lat, info.min_lon, info.max_lat, info.max_lon);
+        if (!region->intersects(block_box)) {
+          local.blocks_pruned++;
+          continue;  // footer stats say nothing here can match
+        }
+      }
+      for (const geo::MobilityTrace& t : file.read_block(b)) {
+        if (region.has_value() &&
+            !region->contains(t.latitude, t.longitude)) {
+          continue;
+        }
+        points.push_back({t.latitude, t.longitude,
+                          core::pack_trace_id(t.user_id, t.timestamp), 0.0, 1});
+      }
+    }
+  }
+  local.records = points.size();
+  if (stats != nullptr) *stats = local;
+  return make_snapshot(std::move(points), node_capacity,
+                       "columnar:" + prefix);
+}
+
+}  // namespace gepeto::serving

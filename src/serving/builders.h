@@ -1,0 +1,54 @@
+// Snapshot builders: turn the repo's data products — in-memory datasets,
+// DJ-Cluster output, columnar DFS files — into IndexSnapshots the
+// QueryEngine can publish.
+//
+// The columnar builder is where the serving layer meets the storage layer:
+// it prunes whole blocks with the footer's min/max lat/lon stats before
+// decoding anything, so building a regional snapshot over a large columnar
+// dataset touches only the blocks that can intersect the region.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "gepeto/djcluster.h"
+#include "geo/trace.h"
+#include "index/bbox.h"
+#include "serving/query_engine.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::serving {
+
+/// Index every trace of `dataset` as a point (id = pack_trace_id(user, ts),
+/// no containment radius, weight 1).
+std::shared_ptr<const IndexSnapshot> snapshot_from_dataset(
+    const geo::GeolocatedDataset& dataset, int node_capacity = 16);
+
+/// Index DJ-Cluster summaries as POIs: one point per cluster centroid with
+/// the cluster's containment radius and size, so locate() answers
+/// point-in-cluster and knn() answers nearest-POI.
+std::shared_ptr<const IndexSnapshot> snapshot_from_clusters(
+    const std::vector<core::ClusterSummary>& clusters, int node_capacity = 16);
+
+/// What the columnar builder skipped and kept.
+struct ColumnarScanStats {
+  std::uint64_t blocks_total = 0;
+  std::uint64_t blocks_pruned = 0;  ///< skipped via footer min/max stats
+  std::uint64_t records = 0;        ///< records indexed (post region filter)
+};
+
+/// Index the traces stored under a columnar DFS prefix
+/// (storage::dataset_to_dfs_columnar layout). With `region` set, footer
+/// stats prune non-intersecting blocks without decoding them and surviving
+/// records are filtered exactly; `stats` (optional) reports the pruning.
+std::shared_ptr<const IndexSnapshot> snapshot_from_columnar(
+    const mr::Dfs& dfs, const std::string& prefix,
+    std::optional<index::Rect> region = std::nullopt, int node_capacity = 16,
+    ColumnarScanStats* stats = nullptr);
+
+}  // namespace gepeto::serving

@@ -1,0 +1,319 @@
+#include "serving/packed_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/check.h"
+
+namespace gepeto::serving {
+
+namespace {
+
+/// Full deterministic order for selection ties: (dist2, id, lat, lon).
+bool better(double d2a, const ServingPoint& a, double d2b,
+            const ServingPoint& b) {
+  if (d2a != d2b) return d2a < d2b;
+  if (a.id != b.id) return a.id < b.id;
+  if (a.lat != b.lat) return a.lat < b.lat;
+  return a.lon < b.lon;
+}
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+PackedRTree PackedRTree::build(std::vector<ServingPoint> points,
+                               int node_capacity) {
+  GEPETO_CHECK(node_capacity >= 2);
+  for (const auto& p : points) {
+    GEPETO_CHECK_MSG(std::isfinite(p.lat) && std::isfinite(p.lon),
+                     "non-finite coordinate in serving index");
+    GEPETO_CHECK_MSG(std::isfinite(p.radius_m) && p.radius_m >= 0.0,
+                     "bad containment radius in serving index");
+  }
+
+  PackedRTree t;
+  t.capacity_ = node_capacity;
+  if (points.empty()) return t;
+
+  // STR at the point level: sort by longitude, cut into ~sqrt(leaves)
+  // vertical slices, sort each slice by latitude, pack runs of `capacity`.
+  const std::size_t n = points.size();
+  const auto m = static_cast<std::size_t>(node_capacity);
+  const std::size_t num_leaves = ceil_div(n, m);
+  const auto num_slices = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const std::size_t slice_points = ceil_div(n, num_slices);
+
+  const auto by_lon = [](const ServingPoint& a, const ServingPoint& b) {
+    if (a.lon != b.lon) return a.lon < b.lon;
+    if (a.lat != b.lat) return a.lat < b.lat;
+    return a.id < b.id;
+  };
+  const auto by_lat = [](const ServingPoint& a, const ServingPoint& b) {
+    if (a.lat != b.lat) return a.lat < b.lat;
+    if (a.lon != b.lon) return a.lon < b.lon;
+    return a.id < b.id;
+  };
+  std::sort(points.begin(), points.end(), by_lon);
+  for (std::size_t s = 0; s < n; s += slice_points) {
+    const std::size_t end = std::min(n, s + slice_points);
+    std::sort(points.begin() + static_cast<std::ptrdiff_t>(s),
+              points.begin() + static_cast<std::ptrdiff_t>(end), by_lat);
+  }
+  t.points_ = std::move(points);
+
+  // Leaf level: one node per run of `capacity` points.
+  std::vector<Node> level;
+  level.reserve(num_leaves);
+  for (std::size_t i = 0; i < n; i += m) {
+    Node leaf;
+    leaf.leaf = true;
+    leaf.first = static_cast<std::uint32_t>(i);
+    leaf.count = static_cast<std::uint32_t>(std::min(m, n - i));
+    for (std::uint32_t j = 0; j < leaf.count; ++j) {
+      const auto& p = t.points_[i + j];
+      leaf.box.expand(index::Rect::point(p.lat, p.lon));
+    }
+    level.push_back(leaf);
+  }
+
+  // Re-tile each level by node centers (STR applied recursively), append it
+  // to the flat array, then pack runs of `capacity` children into parents.
+  // Children stay contiguous because the level is sorted *before* appending.
+  const auto str_sort_level = [m](std::vector<Node>& nodes) {
+    const std::size_t count = nodes.size();
+    const std::size_t parents = ceil_div(count, m);
+    const auto slices = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(parents))));
+    const std::size_t per_slice = ceil_div(count, slices);
+    const auto by_clon = [](const Node& a, const Node& b) {
+      if (a.box.center_lon() != b.box.center_lon())
+        return a.box.center_lon() < b.box.center_lon();
+      if (a.box.center_lat() != b.box.center_lat())
+        return a.box.center_lat() < b.box.center_lat();
+      return a.first < b.first;
+    };
+    const auto by_clat = [](const Node& a, const Node& b) {
+      if (a.box.center_lat() != b.box.center_lat())
+        return a.box.center_lat() < b.box.center_lat();
+      if (a.box.center_lon() != b.box.center_lon())
+        return a.box.center_lon() < b.box.center_lon();
+      return a.first < b.first;
+    };
+    std::sort(nodes.begin(), nodes.end(), by_clon);
+    for (std::size_t s = 0; s < count; s += per_slice) {
+      const std::size_t end = std::min(count, s + per_slice);
+      std::sort(nodes.begin() + static_cast<std::ptrdiff_t>(s),
+                nodes.begin() + static_cast<std::ptrdiff_t>(end), by_clat);
+    }
+  };
+
+  for (;;) {
+    if (level.size() > 1) str_sort_level(level);
+    const auto base = static_cast<std::uint32_t>(t.nodes_.size());
+    t.nodes_.insert(t.nodes_.end(), level.begin(), level.end());
+    ++t.height_;
+    if (level.size() == 1) {
+      t.root_ = base;
+      break;
+    }
+    std::vector<Node> parents;
+    parents.reserve(ceil_div(level.size(), m));
+    for (std::size_t j = 0; j < level.size(); j += m) {
+      Node p;
+      p.leaf = false;
+      p.first = base + static_cast<std::uint32_t>(j);
+      p.count = static_cast<std::uint32_t>(std::min(m, level.size() - j));
+      for (std::uint32_t c = 0; c < p.count; ++c)
+        p.box.expand(level[j + c].box);
+      parents.push_back(p);
+    }
+    level = std::move(parents);
+  }
+  return t;
+}
+
+index::Rect PackedRTree::bounds() const {
+  return empty() ? index::Rect{} : nodes_[root_].box;
+}
+
+std::size_t PackedRTree::memory_bytes() const {
+  return nodes_.size() * sizeof(Node) + points_.size() * sizeof(ServingPoint);
+}
+
+void PackedRTree::collect_range(std::uint32_t node, const index::Rect& box,
+                                std::vector<ServingPoint>& out) const {
+  const Node& n = nodes_[node];
+  if (!n.box.intersects(box)) return;
+  if (n.leaf) {
+    for (std::uint32_t i = 0; i < n.count; ++i) {
+      const auto& p = points_[n.first + i];
+      if (box.contains(p.lat, p.lon)) out.push_back(p);
+    }
+    return;
+  }
+  for (std::uint32_t c = 0; c < n.count; ++c)
+    collect_range(n.first + c, box, out);
+}
+
+std::vector<ServingPoint> PackedRTree::range(const index::Rect& box) const {
+  std::vector<ServingPoint> out;
+  if (!empty() && box.valid()) collect_range(root_, box, out);
+  std::sort(out.begin(), out.end(),
+            [](const ServingPoint& a, const ServingPoint& b) {
+              if (a.id != b.id) return a.id < b.id;
+              if (a.lat != b.lat) return a.lat < b.lat;
+              return a.lon < b.lon;
+            });
+  return out;
+}
+
+std::vector<PackedRTree::Neighbor> PackedRTree::knn(double lat, double lon,
+                                                    std::size_t k) const {
+  std::vector<Neighbor> result;
+  if (empty() || k == 0) return result;
+
+  // Best-first traversal: a min-heap of subtrees keyed by box distance, and
+  // a bounded max-heap of the k best points seen so far. A subtree is only
+  // expanded while it could still beat (or tie) the current k-th best.
+  struct Cand {
+    double dist2;
+    std::uint32_t node;
+  };
+  const auto worse_cand = [](const Cand& a, const Cand& b) {
+    if (a.dist2 != b.dist2) return a.dist2 > b.dist2;
+    return a.node > b.node;  // deterministic expansion order
+  };
+  std::priority_queue<Cand, std::vector<Cand>, decltype(worse_cand)> frontier(
+      worse_cand);
+  frontier.push({nodes_[root_].box.min_dist2(lat, lon), root_});
+
+  // Max-heap by (dist2, id, lat, lon): top = worst of the current k best.
+  const auto heap_less = [](const Neighbor& a, const Neighbor& b) {
+    return better(a.dist2, a.point, b.dist2, b.point);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(heap_less)>
+      best(heap_less);
+
+  while (!frontier.empty()) {
+    const Cand cand = frontier.top();
+    frontier.pop();
+    // Strictly worse than a full result set: nothing below can help. Equal
+    // distances must still be expanded (a smaller id wins the tie).
+    if (best.size() == k && cand.dist2 > best.top().dist2) break;
+    const Node& n = nodes_[cand.node];
+    if (n.leaf) {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const auto& p = points_[n.first + i];
+        const double dlat = p.lat - lat, dlon = p.lon - lon;
+        const double d2 = dlat * dlat + dlon * dlon;
+        if (best.size() < k) {
+          best.push({d2, p});
+        } else if (better(d2, p, best.top().dist2, best.top().point)) {
+          best.pop();
+          best.push({d2, p});
+        }
+      }
+    } else {
+      for (std::uint32_t c = 0; c < n.count; ++c) {
+        const std::uint32_t child = n.first + c;
+        const double d2 = nodes_[child].box.min_dist2(lat, lon);
+        if (best.size() < k || d2 <= best.top().dist2)
+          frontier.push({d2, child});
+      }
+    }
+  }
+
+  result.reserve(best.size());
+  while (!best.empty()) {
+    result.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(result.begin(), result.end());  // nearest first
+  return result;
+}
+
+const ServingPoint* PackedRTree::nearest(double lat, double lon) const {
+  if (empty()) return nullptr;
+  struct Cand {
+    double dist2;
+    std::uint32_t node;
+  };
+  const auto worse_cand = [](const Cand& a, const Cand& b) {
+    if (a.dist2 != b.dist2) return a.dist2 > b.dist2;
+    return a.node > b.node;
+  };
+  std::priority_queue<Cand, std::vector<Cand>, decltype(worse_cand)> frontier(
+      worse_cand);
+  frontier.push({nodes_[root_].box.min_dist2(lat, lon), root_});
+  const ServingPoint* best = nullptr;
+  double best_d2 = 0.0;
+  while (!frontier.empty()) {
+    const Cand cand = frontier.top();
+    frontier.pop();
+    if (best != nullptr && cand.dist2 > best_d2) break;
+    const Node& n = nodes_[cand.node];
+    if (n.leaf) {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const auto& p = points_[n.first + i];
+        const double dlat = p.lat - lat, dlon = p.lon - lon;
+        const double d2 = dlat * dlat + dlon * dlon;
+        if (best == nullptr || better(d2, p, best_d2, *best)) {
+          best = &p;
+          best_d2 = d2;
+        }
+      }
+    } else {
+      for (std::uint32_t c = 0; c < n.count; ++c) {
+        const std::uint32_t child = n.first + c;
+        const double d2 = nodes_[child].box.min_dist2(lat, lon);
+        if (best == nullptr || d2 <= best_d2) frontier.push({d2, child});
+      }
+    }
+  }
+  return best;
+}
+
+void PackedRTree::check_invariants() const {
+  if (empty()) {
+    GEPETO_CHECK(nodes_.empty() && height_ == 0);
+    return;
+  }
+  GEPETO_CHECK(root_ == nodes_.size() - 1);
+  std::vector<bool> covered(points_.size(), false);
+  std::vector<bool> visited(nodes_.size(), false);
+  // Walk from the root; every node must be reachable exactly once and every
+  // point covered exactly once.
+  std::vector<std::uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const std::uint32_t id = stack.back();
+    stack.pop_back();
+    GEPETO_CHECK(id < nodes_.size() && !visited[id]);
+    visited[id] = true;
+    const Node& n = nodes_[id];
+    GEPETO_CHECK(n.count >= 1 &&
+                 n.count <= static_cast<std::uint32_t>(capacity_));
+    GEPETO_CHECK(n.box.valid());
+    if (n.leaf) {
+      for (std::uint32_t i = 0; i < n.count; ++i) {
+        const std::uint32_t pi = n.first + i;
+        GEPETO_CHECK(pi < points_.size() && !covered[pi]);
+        covered[pi] = true;
+        GEPETO_CHECK(n.box.contains(points_[pi].lat, points_[pi].lon));
+      }
+    } else {
+      for (std::uint32_t c = 0; c < n.count; ++c) {
+        const std::uint32_t child = n.first + c;
+        GEPETO_CHECK(child < nodes_.size());
+        GEPETO_CHECK(n.box.contains(nodes_[child].box));
+        stack.push_back(child);
+      }
+    }
+  }
+  for (bool v : visited) GEPETO_CHECK(v);
+  for (bool c : covered) GEPETO_CHECK(c);
+}
+
+}  // namespace gepeto::serving

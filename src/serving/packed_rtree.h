@@ -1,0 +1,112 @@
+// Immutable, cache-friendly packed R-Tree for the geo-query serving layer
+// (ROADMAP item 3).
+//
+// The incremental `index::RTree` is a *build-time* structure: Guttman
+// insertion, per-node child vectors, merge() for the MapReduce construction.
+// Serving heavy read traffic wants the opposite trade-off — no pointers, no
+// per-node allocations, nodes laid out contiguously so a query touches a
+// handful of cache lines — and never mutates, so any number of threads can
+// query one tree without synchronization.
+//
+// Construction is Sort-Tile-Recursive (STR) bulk loading, applied at every
+// level: points are sorted into ~sqrt(L) longitude slices and by latitude
+// within a slice, packed into full leaves, and each upper level re-tiles the
+// level below by node centers. The result is a single `std::vector<Node>`
+// (leaves first, root last) over a single `std::vector<ServingPoint>` in
+// leaf order; a node's children are a contiguous [first, first+count) range,
+// so traversal is index arithmetic.
+//
+// Every query has a deterministic result order (ties broken by id, then
+// coordinates), which is what lets the serving bench compare results
+// byte-for-byte against a brute-force oracle.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/bbox.h"
+
+namespace gepeto::serving {
+
+/// One indexed object: a raw trace point (radius 0, weight 1) or a
+/// cluster/POI summary (centroid, containment radius, member count).
+struct ServingPoint {
+  double lat = 0.0;
+  double lon = 0.0;
+  std::uint64_t id = 0;      ///< packed trace id or cluster id
+  double radius_m = 0.0;     ///< containment radius (0 for raw points)
+  std::uint32_t weight = 1;  ///< cluster size (1 for raw points)
+
+  friend bool operator==(const ServingPoint&, const ServingPoint&) = default;
+};
+
+class PackedRTree {
+ public:
+  /// A kNN hit: squared degree-space distance plus the point itself.
+  struct Neighbor {
+    double dist2 = 0.0;
+    ServingPoint point;
+
+    friend bool operator==(const Neighbor&, const Neighbor&) = default;
+  };
+
+  PackedRTree() = default;  ///< empty tree; every query returns nothing
+
+  /// STR bulk load. Throws CheckFailure on non-finite coordinates or a
+  /// negative/non-finite radius — the serving layer refuses to index
+  /// garbage rather than letting NaN poison every comparison downstream.
+  static PackedRTree build(std::vector<ServingPoint> points,
+                           int node_capacity = 16);
+
+  /// All points inside `box` (inclusive), ordered by (id, lat, lon).
+  std::vector<ServingPoint> range(const index::Rect& box) const;
+
+  /// The k nearest points to (lat, lon) by degree-space squared Euclidean
+  /// distance, best-first traversal with a bounded priority queue. Ordered
+  /// ascending by (dist2, id, lat, lon); fewer than k when size() < k.
+  std::vector<Neighbor> knn(double lat, double lon, std::size_t k) const;
+
+  /// The single nearest point (ties by id), or nullptr when empty. The
+  /// returned pointer lives as long as the tree.
+  const ServingPoint* nearest(double lat, double lon) const;
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  int height() const { return height_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  int node_capacity() const { return capacity_; }
+
+  /// Bounding box of everything stored (invalid Rect when empty).
+  index::Rect bounds() const;
+
+  /// Every stored point, in leaf (STR) order.
+  std::span<const ServingPoint> points() const { return points_; }
+
+  /// Bytes of the node + point arrays (the serving memory footprint).
+  std::size_t memory_bytes() const;
+
+  /// Structural invariants, asserted by tests: leaf ranges tile the point
+  /// array, child counts within [1, capacity], parent boxes cover children,
+  /// root covers everything. Throws CheckFailure on violation.
+  void check_invariants() const;
+
+ private:
+  struct Node {
+    index::Rect box;
+    std::uint32_t first = 0;  ///< first point (leaf) or first child node
+    std::uint32_t count = 0;
+    bool leaf = false;
+  };
+
+  void collect_range(std::uint32_t node, const index::Rect& box,
+                     std::vector<ServingPoint>& out) const;
+
+  std::vector<ServingPoint> points_;  ///< leaf order
+  std::vector<Node> nodes_;           ///< leaves first, root last
+  std::uint32_t root_ = 0;            ///< index into nodes_ (valid if !empty)
+  int height_ = 0;
+  int capacity_ = 16;
+};
+
+}  // namespace gepeto::serving

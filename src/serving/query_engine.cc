@@ -1,0 +1,256 @@
+#include "serving/query_engine.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "geo/distance.h"
+
+namespace gepeto::serving {
+
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+std::uint64_t next_engine_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Thread-local snapshot cache: one slot per thread. Holds the snapshot a
+/// thread last used, keyed by (engine id, epoch); refreshed under the
+/// engine's mutex only when the epoch moved. The slot keeps the previous
+/// epoch's snapshot alive until this thread's next query after a swap —
+/// that is the "in-flight queries finish on the old epoch" guarantee.
+struct TlsSlot {
+  std::uint64_t engine = 0;
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const IndexSnapshot> snapshot;
+};
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+std::size_t QueryEngine::CacheKeyHash::operator()(const CacheKey& k) const {
+  // FNV-1a over the key fields; good enough to spread shards and buckets.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  h ^= k.kind;
+  h *= 1099511628211ULL;
+  mix(k.a);
+  mix(k.b);
+  mix(k.c);
+  mix(k.d);
+  return static_cast<std::size_t>(h);
+}
+
+QueryEngine::QueryEngine(ServingConfig config) : id_(next_engine_id()) {
+  GEPETO_CHECK(config.cache_shards >= 1);
+  if (config.cache_capacity > 0) {
+    const auto shards = static_cast<std::size_t>(config.cache_shards);
+    per_shard_capacity_ =
+        std::max<std::size_t>(1, config.cache_capacity / shards);
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<Shard>());
+  }
+  if (config.metrics != nullptr) {
+    auto& m = *config.metrics;
+    queries_total_ =
+        &m.counter("serving_queries_total", "queries answered by the engine");
+    cache_hits_ = &m.counter("serving_cache_hits_total",
+                             "queries answered from the result cache");
+    cache_misses_ = &m.counter("serving_cache_misses_total",
+                               "queries that had to traverse the index");
+    epoch_swaps_ = &m.counter("serving_epoch_swaps_total",
+                              "snapshots published (index rebuilds)");
+    epoch_gauge_ = &m.gauge("serving_epoch", "current snapshot generation");
+    latency_ = &m.histogram("serving_query_seconds",
+                            telemetry::default_latency_buckets(),
+                            "per-query wall latency");
+  }
+}
+
+std::uint64_t QueryEngine::publish(
+    std::shared_ptr<const IndexSnapshot> snapshot) {
+  GEPETO_CHECK_MSG(snapshot != nullptr, "cannot publish a null snapshot");
+  std::uint64_t e;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snapshot);
+    e = epoch_.load(std::memory_order_relaxed) + 1;
+    epoch_.store(e, std::memory_order_release);
+  }
+  if (epoch_swaps_ != nullptr) epoch_swaps_->inc();
+  if (epoch_gauge_ != nullptr) epoch_gauge_->set(static_cast<double>(e));
+  return e;
+}
+
+std::shared_ptr<const IndexSnapshot> QueryEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+QueryEngine::Acquired QueryEngine::acquire() const {
+  const std::uint64_t e = epoch_.load(std::memory_order_acquire);
+  if (tls_slot.engine == id_ && tls_slot.epoch == e)
+    return {tls_slot.snapshot, e};
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-read under the lock: epoch and snapshot must match as a pair.
+  tls_slot.engine = id_;
+  tls_slot.epoch = epoch_.load(std::memory_order_relaxed);
+  tls_slot.snapshot = current_;
+  return {tls_slot.snapshot, tls_slot.epoch};
+}
+
+QueryEngine::Shard& QueryEngine::shard_for(const CacheKey& key) const {
+  return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const QueryEngine::CacheValue> QueryEngine::cache_get(
+    const CacheKey& key, std::uint64_t epoch) const {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return nullptr;
+  if (it->second.value->epoch != epoch) {
+    // Stale epoch: drop it now rather than letting dead answers age out.
+    s.lru.erase(it->second.pos);
+    s.map.erase(it);
+    return nullptr;
+  }
+  s.lru.splice(s.lru.begin(), s.lru, it->second.pos);
+  return it->second.value;
+}
+
+void QueryEngine::cache_put(const CacheKey& key,
+                            std::shared_ptr<const CacheValue> value) const {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
+    it->second.value = std::move(value);
+    s.lru.splice(s.lru.begin(), s.lru, it->second.pos);
+    return;
+  }
+  s.lru.push_front(key);
+  s.map.emplace(key, Shard::Slot{std::move(value), s.lru.begin()});
+  if (s.map.size() > per_shard_capacity_) {
+    s.map.erase(s.lru.back());
+    s.lru.pop_back();
+  }
+}
+
+void QueryEngine::count_query(double seconds, bool hit) const {
+  if (queries_total_ != nullptr) queries_total_->inc();
+  if (cache_enabled()) {
+    if (hit) {
+      if (cache_hits_ != nullptr) cache_hits_->inc();
+    } else {
+      if (cache_misses_ != nullptr) cache_misses_->inc();
+    }
+  }
+  if (latency_ != nullptr) latency_->observe(seconds);
+}
+
+KnnResult QueryEngine::knn(double lat, double lon, std::uint32_t k) const {
+  Stopwatch sw;
+  const Acquired a = acquire();
+  KnnResult r;
+  r.epoch = a.epoch;
+  if (a.snapshot == nullptr) {
+    count_query(sw.seconds(), false);
+    return r;
+  }
+  const CacheKey key{0, bits(lat), bits(lon), k, 0};
+  if (cache_enabled()) {
+    if (const auto hit = cache_get(key, a.epoch)) {
+      r.cache_hit = true;
+      r.neighbors = hit->neighbors;
+      count_query(sw.seconds(), true);
+      return r;
+    }
+  }
+  r.neighbors = a.snapshot->tree.knn(lat, lon, k);
+  if (cache_enabled()) {
+    auto v = std::make_shared<CacheValue>();
+    v->epoch = a.epoch;
+    v->neighbors = r.neighbors;
+    cache_put(key, std::move(v));
+  }
+  count_query(sw.seconds(), false);
+  return r;
+}
+
+RangeResult QueryEngine::range(const index::Rect& box) const {
+  Stopwatch sw;
+  const Acquired a = acquire();
+  RangeResult r;
+  r.epoch = a.epoch;
+  if (a.snapshot == nullptr) {
+    count_query(sw.seconds(), false);
+    return r;
+  }
+  const CacheKey key{1, bits(box.min_lat), bits(box.min_lon),
+                     bits(box.max_lat), bits(box.max_lon)};
+  if (cache_enabled()) {
+    if (const auto hit = cache_get(key, a.epoch)) {
+      r.cache_hit = true;
+      r.points = hit->points;
+      count_query(sw.seconds(), true);
+      return r;
+    }
+  }
+  r.points = a.snapshot->tree.range(box);
+  if (cache_enabled()) {
+    auto v = std::make_shared<CacheValue>();
+    v->epoch = a.epoch;
+    v->points = r.points;
+    cache_put(key, std::move(v));
+  }
+  count_query(sw.seconds(), false);
+  return r;
+}
+
+LocateResult QueryEngine::locate(double lat, double lon) const {
+  Stopwatch sw;
+  const Acquired a = acquire();
+  LocateResult r;
+  r.epoch = a.epoch;
+  if (a.snapshot == nullptr) {
+    count_query(sw.seconds(), false);
+    return r;
+  }
+  const CacheKey key{2, bits(lat), bits(lon), 0, 0};
+  if (cache_enabled()) {
+    if (const auto hit = cache_get(key, a.epoch)) {
+      r = hit->locate;
+      r.epoch = a.epoch;
+      r.cache_hit = true;
+      count_query(sw.seconds(), true);
+      return r;
+    }
+  }
+  if (const ServingPoint* p = a.snapshot->tree.nearest(lat, lon)) {
+    r.found = true;
+    r.point = *p;
+    r.distance_m = geo::haversine_meters(lat, lon, p->lat, p->lon);
+    r.contained = p->radius_m > 0.0 && r.distance_m <= p->radius_m;
+  }
+  if (cache_enabled()) {
+    auto v = std::make_shared<CacheValue>();
+    v->epoch = a.epoch;
+    v->locate = r;
+    cache_put(key, std::move(v));
+  }
+  count_query(sw.seconds(), false);
+  return r;
+}
+
+}  // namespace gepeto::serving

@@ -1,0 +1,176 @@
+// QueryEngine — the concurrent read path of the geo-query serving layer.
+//
+// Wraps an immutable IndexSnapshot (a packed STR R-Tree plus provenance)
+// behind three query kinds — k-NN, bounding-box range, and
+// point-in-cluster / nearest-POI lookup — callable from any number of
+// threads. The design goals, in order:
+//
+//   * Lock-free steady-state reads. A query acquires the current snapshot
+//     through a thread-local cache keyed by a generation (epoch) counter:
+//     one acquire-load of an atomic, no reference-count traffic, no mutex.
+//     Only the first query a thread issues after an epoch swap takes the
+//     publish mutex to refresh its cached std::shared_ptr.
+//
+//   * Epoch-based swap. publish() installs a new snapshot and bumps the
+//     epoch; in-flight queries keep using the snapshot they acquired (their
+//     thread-local shared_ptr keeps it alive), so a rebuild never blocks or
+//     breaks readers. Every result carries the epoch it was answered from,
+//     which is what lets a load generator verify each answer against the
+//     matching oracle even while snapshots are being swapped under it.
+//
+//   * Result caching for hot regions. A sharded LRU cache keyed by the exact
+//     query signature (kind + coordinate bits + k) serves repeated queries
+//     — the common case under Zipf-skewed traffic — without touching the
+//     tree. Entries are tagged with their epoch; a hit from a previous epoch
+//     is treated as a miss and replaced, so cached answers are always
+//     byte-identical to a fresh traversal of the current snapshot.
+//
+//   * Telemetry. With a MetricsRegistry attached, the engine exports
+//     serving_queries_total, serving_cache_{hits,misses}_total,
+//     serving_epoch_swaps_total, a serving_epoch gauge, and a fixed-bucket
+//     serving_query_seconds histogram (p99 via Histogram::quantile). The
+//     histogram is the one mutex on the query path; run without metrics for
+//     a fully lock-free read path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bbox.h"
+#include "serving/packed_rtree.h"
+#include "telemetry/metrics.h"
+
+namespace gepeto::serving {
+
+/// What publish() installs: the packed tree plus provenance. Immutable once
+/// published (the engine only ever hands out shared_ptr<const>).
+struct IndexSnapshot {
+  PackedRTree tree;
+  std::string source;  ///< e.g. "points:/in" or "djcluster:/work"
+};
+
+struct ServingConfig {
+  /// Cached query results across all shards; 0 disables the cache.
+  std::size_t cache_capacity = 4096;
+  int cache_shards = 8;
+  /// Optional: serving_* counters/gauge/histogram are registered here.
+  telemetry::MetricsRegistry* metrics = nullptr;
+};
+
+struct KnnResult {
+  std::uint64_t epoch = 0;  ///< snapshot generation that answered the query
+  bool cache_hit = false;
+  std::vector<PackedRTree::Neighbor> neighbors;
+};
+
+struct RangeResult {
+  std::uint64_t epoch = 0;
+  bool cache_hit = false;
+  std::vector<ServingPoint> points;
+};
+
+struct LocateResult {
+  std::uint64_t epoch = 0;
+  bool cache_hit = false;
+  bool found = false;      ///< the snapshot had at least one point
+  bool contained = false;  ///< haversine(query, point) <= point.radius_m
+  ServingPoint point;      ///< the nearest indexed point
+  double distance_m = 0.0; ///< haversine distance to it
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(ServingConfig config = {});
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Atomically install `snapshot` as the new current epoch. Readers that
+  /// already acquired the previous snapshot finish on it. Returns the new
+  /// epoch (1 for the first publish).
+  std::uint64_t publish(std::shared_ptr<const IndexSnapshot> snapshot);
+
+  /// Current epoch: 0 until the first publish.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// The current snapshot (nullptr before the first publish).
+  std::shared_ptr<const IndexSnapshot> snapshot() const;
+
+  /// k nearest points to (lat, lon); empty before the first publish.
+  KnnResult knn(double lat, double lon, std::uint32_t k) const;
+
+  /// Points inside `box`, ordered by (id, lat, lon).
+  RangeResult range(const index::Rect& box) const;
+
+  /// Nearest point / containing cluster: the nearest indexed point by
+  /// degree-space distance, its haversine distance in meters, and whether
+  /// the query point falls within its containment radius.
+  LocateResult locate(double lat, double lon) const;
+
+ private:
+  struct CacheKey {
+    std::uint8_t kind = 0;  // 0 = knn, 1 = range, 2 = locate
+    std::uint64_t a = 0, b = 0, c = 0, d = 0;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const;
+  };
+  /// One cached answer; which fields are meaningful depends on the kind.
+  struct CacheValue {
+    std::uint64_t epoch = 0;
+    std::vector<PackedRTree::Neighbor> neighbors;
+    std::vector<ServingPoint> points;
+    LocateResult locate;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::list<CacheKey> lru;  ///< front = most recently used
+    struct Slot {
+      std::shared_ptr<const CacheValue> value;
+      std::list<CacheKey>::iterator pos;
+    };
+    std::unordered_map<CacheKey, Slot, CacheKeyHash> map;
+  };
+
+  /// Snapshot + the epoch it belongs to, consistent as a pair.
+  struct Acquired {
+    std::shared_ptr<const IndexSnapshot> snapshot;
+    std::uint64_t epoch = 0;
+  };
+  Acquired acquire() const;
+
+  bool cache_enabled() const { return per_shard_capacity_ > 0; }
+  Shard& shard_for(const CacheKey& key) const;
+  /// nullptr on miss or on an entry from a different epoch (evicted).
+  std::shared_ptr<const CacheValue> cache_get(const CacheKey& key,
+                                              std::uint64_t epoch) const;
+  void cache_put(const CacheKey& key,
+                 std::shared_ptr<const CacheValue> value) const;
+  void count_query(double seconds, bool hit) const;
+
+  const std::uint64_t id_;  ///< distinguishes engines in the thread cache
+  mutable std::mutex mu_;   ///< guards current_; held briefly by publish +
+                            ///< first post-swap acquire per thread
+  std::shared_ptr<const IndexSnapshot> current_;
+  std::atomic<std::uint64_t> epoch_{0};
+
+  std::size_t per_shard_capacity_ = 0;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+
+  telemetry::Counter* queries_total_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
+  telemetry::Counter* cache_misses_ = nullptr;
+  telemetry::Counter* epoch_swaps_ = nullptr;
+  telemetry::Gauge* epoch_gauge_ = nullptr;
+  telemetry::Histogram* latency_ = nullptr;
+};
+
+}  // namespace gepeto::serving

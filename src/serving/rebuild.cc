@@ -1,0 +1,54 @@
+#include "serving/rebuild.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+#include "geo/geolife.h"
+#include "mapreduce/dfs.h"
+#include "serving/builders.h"
+
+namespace gepeto::serving {
+
+RebuildResult rebuild_and_publish(mr::Dfs& dfs,
+                                  const mr::ClusterConfig& cluster,
+                                  const std::string& input,
+                                  const std::string& work_prefix,
+                                  const RebuildConfig& config,
+                                  QueryEngine& engine) {
+  RebuildResult out;
+  flow::Flow f("serving-rebuild");
+
+  if (config.kind == SnapshotKind::kPoints) {
+    f.add_native("publish-points", [&](flow::FlowEngine& e) {
+       const auto dataset = geo::dataset_from_dfs(e.dfs(), input);
+       auto snap = snapshot_from_dataset(dataset, config.node_capacity);
+       out.entries = snap->tree.size();
+       out.epoch = engine.publish(std::move(snap));
+     }).reads(input);
+  } else {
+    core::DjClusterConfig dj = config.djcluster;
+    dj.keep_intermediates = config.keep_intermediates;
+    core::add_djcluster_nodes(f, input, work_prefix, dj);
+    f.add_native("publish-clusters", [&, work_prefix](flow::FlowEngine& e) {
+       const core::DjClusterResult result =
+           core::parse_djcluster_output(e.dfs(), work_prefix);
+       const auto preprocessed =
+           geo::dataset_from_dfs(e.dfs(), work_prefix + "/preprocessed/");
+       const auto summaries = core::summarize_clusters(result, preprocessed);
+       auto snap = snapshot_from_clusters(summaries, config.node_capacity);
+       out.entries = snap->tree.size();
+       out.epoch = engine.publish(std::move(snap));
+     })
+        .reads(work_prefix + "/clusters")
+        .reads(work_prefix + "/preprocessed");
+  }
+
+  flow::FlowOptions options;
+  options.keep_intermediates = config.keep_intermediates;
+  out.flow = f.run(dfs, cluster, options);
+  GEPETO_CHECK_MSG(out.epoch > 0, "rebuild flow finished without publishing");
+  return out;
+}
+
+}  // namespace gepeto::serving

@@ -1,0 +1,54 @@
+// Live index rebuild: run the build pipeline as a JobFlow and publish the
+// resulting snapshot into a QueryEngine — the write path of the serving
+// layer. Readers keep answering from the previous epoch for the whole
+// rebuild; the swap is the one publish() call at the end of the flow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gepeto/djcluster.h"
+#include "serving/query_engine.h"
+#include "workflow/flow.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::serving {
+
+enum class SnapshotKind {
+  kPoints,    ///< index every trace of the input dataset
+  kClusters,  ///< run DJ-Cluster and index the cluster summaries as POIs
+};
+
+struct RebuildConfig {
+  SnapshotKind kind = SnapshotKind::kPoints;
+  /// Clustering parameters (kClusters only).
+  core::DjClusterConfig djcluster;
+  int node_capacity = 16;
+  /// Pin the flow's intermediate datasets instead of garbage-collecting.
+  bool keep_intermediates = false;
+};
+
+struct RebuildResult {
+  std::uint64_t epoch = 0;    ///< the epoch the new snapshot was published as
+  std::uint64_t entries = 0;  ///< points in the published index
+  flow::FlowResult flow;
+};
+
+/// Build a snapshot from the dataset under `input` (geo::dataset_to_dfs
+/// layout) via a JobFlow and publish it into `engine`. kPoints is a single
+/// native node; kClusters appends the full DJ-Cluster pipeline
+/// (add_djcluster_nodes) and a publish node that summarizes
+/// `work_prefix`/clusters against `work_prefix`/preprocessed. The publish
+/// happens inside the flow, so flow-level fault tolerance covers it: a
+/// failed rebuild leaves the engine on its previous epoch.
+RebuildResult rebuild_and_publish(mr::Dfs& dfs,
+                                  const mr::ClusterConfig& cluster,
+                                  const std::string& input,
+                                  const std::string& work_prefix,
+                                  const RebuildConfig& config,
+                                  QueryEngine& engine);
+
+}  // namespace gepeto::serving

@@ -63,6 +63,13 @@ std::vector<double> default_time_buckets() {
   return {0.001, 0.01, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600};
 }
 
+std::vector<double> default_latency_buckets() {
+  // 1-2-5 ladder from 1 us to 1 s: serving queries live in the microsecond
+  // range, far below the coarsest default_time_buckets() bucket.
+  return {1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4,
+          5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 5e-2, 0.25, 1.0};
+}
+
 std::vector<double> default_byte_buckets() {
   std::vector<double> b;
   for (double v = 1024.0; v <= 16.0 * 1024 * 1024 * 1024; v *= 4.0) {

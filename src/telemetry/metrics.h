@@ -75,6 +75,8 @@ class Histogram {
 
 /// Bucket bounds for simulated/wall durations in seconds.
 std::vector<double> default_time_buckets();
+/// Bucket bounds for per-query serving latencies (1 us .. 1 s).
+std::vector<double> default_latency_buckets();
 /// Bucket bounds for data volumes in bytes (1 KiB .. 16 GiB).
 std::vector<double> default_byte_buckets();
 

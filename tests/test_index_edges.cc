@@ -1,0 +1,181 @@
+// Edge cases of the spatial primitives the indexes are built on:
+// degenerate and invalid rectangles, antimeridian-adjacent boxes (the Rect
+// model is planar — boxes never wrap, so both sides of the 180th meridian
+// behave as ordinary far-apart boxes), NaN handling in the scalar mapper,
+// and monotonicity/identity sweeps of the space-filling curves.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "index/bbox.h"
+#include "index/sfc.h"
+
+namespace gepeto::index {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(RectEdge, DefaultIsInvalidAndAbsorbsFirstExpand) {
+  Rect r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r.area(), 0.0);
+  r.expand(Rect::point(39.9, 116.4));
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r, Rect::point(39.9, 116.4));
+}
+
+TEST(RectEdge, DegeneratePointAndLineBoxes) {
+  const Rect p = Rect::point(10.0, 20.0);
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.area(), 0.0);
+  EXPECT_TRUE(p.contains(10.0, 20.0));
+  EXPECT_TRUE(p.intersects(p));
+  EXPECT_EQ(p.min_dist2(10.0, 20.0), 0.0);
+
+  // A zero-height line box still intersects and contains correctly.
+  const Rect line = Rect::of(10.0, 20.0, 10.0, 25.0);
+  EXPECT_TRUE(line.valid());
+  EXPECT_EQ(line.area(), 0.0);
+  EXPECT_TRUE(line.contains(10.0, 22.0));
+  EXPECT_FALSE(line.contains(10.1, 22.0));
+  EXPECT_TRUE(line.intersects(p));
+  EXPECT_DOUBLE_EQ(line.min_dist2(11.0, 22.0), 1.0);
+}
+
+TEST(RectEdge, InvertedBoxIsInvalidButInert) {
+  const Rect inv = Rect::of(5.0, 5.0, -5.0, -5.0);
+  EXPECT_FALSE(inv.valid());
+  EXPECT_EQ(inv.area(), 0.0);
+  // enlargement() on an invalid box degenerates to the other box's area.
+  const Rect unit = Rect::of(0.0, 0.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(inv.enlargement(unit), unit.expanded(inv).area());
+}
+
+TEST(RectEdge, AntimeridianAdjacentBoxesDoNotWrap) {
+  // The planar Rect model: a box ending at lon 180 and one starting at
+  // -180 are far apart, not neighbors. Callers that need wrap-around must
+  // split their query; these assertions pin that contract.
+  const Rect east = Rect::of(-10.0, 170.0, 10.0, 180.0);
+  const Rect west = Rect::of(-10.0, -180.0, 10.0, -170.0);
+  EXPECT_FALSE(east.intersects(west));
+  EXPECT_TRUE(east.contains(0.0, 180.0));
+  EXPECT_TRUE(west.contains(0.0, -180.0));
+  // Distance from a point just west of the antimeridian to the west box is
+  // the long way around in degree space.
+  EXPECT_DOUBLE_EQ(east.min_dist2(0.0, 180.0), 0.0);
+  EXPECT_NEAR(west.min_dist2(0.0, 179.0), 349.0 * 349.0, 1e-6);
+  // Both merge into one (over-wide) box, as planar expand promises.
+  const Rect merged = east.expanded(west);
+  EXPECT_DOUBLE_EQ(merged.min_lon, -180.0);
+  EXPECT_DOUBLE_EQ(merged.max_lon, 180.0);
+}
+
+TEST(RectEdge, NanCoordinatesNeverSatisfyContains) {
+  const Rect r = Rect::of(0.0, 0.0, 10.0, 10.0);
+  EXPECT_FALSE(r.contains(kNan, 5.0));
+  EXPECT_FALSE(r.contains(5.0, kNan));
+  // A NaN-cornered box is invalid and intersects nothing.
+  const Rect bad = Rect::of(kNan, 0.0, 10.0, 10.0);
+  EXPECT_FALSE(bad.valid());
+  EXPECT_FALSE(bad.intersects(r) && r.intersects(bad));
+}
+
+TEST(ScalarMapperEdge, NanAndInfiniteCoordinatesAreDeterministic) {
+  const ScalarMapper m(CurveKind::kZOrder, Rect::of(0, 0, 10, 10), 8);
+  // NaN lands in cell 0 of its axis; infinities clamp to the edges.
+  EXPECT_EQ(m.scalar(kNan, kNan), m.scalar(0.0, 0.0));
+  EXPECT_EQ(m.scalar(kNan, 5.0), m.scalar(0.0, 5.0));
+  EXPECT_EQ(m.scalar(kInf, 5.0), m.scalar(10.0, 5.0));
+  EXPECT_EQ(m.scalar(-kInf, 5.0), m.scalar(0.0, 5.0));
+  EXPECT_EQ(m.scalar(5.0, kInf), m.scalar(5.0, 10.0));
+}
+
+TEST(ScalarMapperEdge, DegenerateBoundsCollapseToOneCell) {
+  const ScalarMapper m(CurveKind::kHilbert, Rect::point(39.9, 116.4), 8);
+  EXPECT_EQ(m.scalar(39.9, 116.4), 0u);
+  EXPECT_EQ(m.scalar(0.0, 0.0), 0u);
+  EXPECT_EQ(m.scalar(90.0, 180.0), 0u);
+}
+
+TEST(ZOrderEdge, PerCoordinateMonotonicityGridSweep) {
+  // Fixing one coordinate, the Z-order key is strictly monotone in the
+  // other (interleaving preserves per-axis order). Sweep a 64x64 grid.
+  const int order = 6;
+  for (std::uint32_t y = 0; y < 64; ++y) {
+    std::uint64_t prev = zorder_encode(0, y, order);
+    for (std::uint32_t x = 1; x < 64; ++x) {
+      const std::uint64_t cur = zorder_encode(x, y, order);
+      ASSERT_GT(cur, prev) << "x=" << x << " y=" << y;
+      prev = cur;
+    }
+  }
+  for (std::uint32_t x = 0; x < 64; ++x) {
+    std::uint64_t prev = zorder_encode(x, 0, order);
+    for (std::uint32_t y = 1; y < 64; ++y) {
+      const std::uint64_t cur = zorder_encode(x, y, order);
+      ASSERT_GT(cur, prev) << "x=" << x << " y=" << y;
+      prev = cur;
+    }
+  }
+}
+
+TEST(ZOrderEdge, EncodeDecodeIdentityGridSweep) {
+  const int order = 6;
+  for (std::uint32_t x = 0; x < 64; ++x) {
+    for (std::uint32_t y = 0; y < 64; ++y) {
+      std::uint32_t dx, dy;
+      zorder_decode(zorder_encode(x, y, order), dx, dy, order);
+      ASSERT_EQ(dx, x);
+      ASSERT_EQ(dy, y);
+    }
+  }
+  // Full 32-bit corners round-trip too.
+  for (const std::uint32_t v : {0u, 1u, 0x7FFFFFFFu, 0xFFFFFFFFu}) {
+    std::uint32_t dx, dy;
+    zorder_decode(zorder_encode(v, ~v, 32), dx, dy, 32);
+    EXPECT_EQ(dx, v);
+    EXPECT_EQ(dy, ~v);
+  }
+}
+
+TEST(HilbertEdge, EncodeDecodeIdentityAndBijectionGridSweep) {
+  // The Hilbert curve of order k is a bijection between cells and
+  // [0, 4^k): every distance must decode back, and all must be distinct.
+  const int order = 5;  // 32x32 grid
+  std::vector<bool> seen(1u << (2 * order), false);
+  for (std::uint32_t x = 0; x < 32; ++x) {
+    for (std::uint32_t y = 0; y < 32; ++y) {
+      const std::uint64_t d = hilbert_encode(x, y, order);
+      ASSERT_LT(d, seen.size());
+      ASSERT_FALSE(seen[d]) << "collision at x=" << x << " y=" << y;
+      seen[d] = true;
+      std::uint32_t dx, dy;
+      hilbert_decode(d, dx, dy, order);
+      ASSERT_EQ(dx, x);
+      ASSERT_EQ(dy, y);
+    }
+  }
+}
+
+TEST(HilbertEdge, ConsecutiveDistancesAreAdjacentCells) {
+  // The defining locality property: walking the curve moves one cell per
+  // step (Manhattan distance exactly 1).
+  const int order = 5;
+  std::uint32_t px, py;
+  hilbert_decode(0, px, py, order);
+  for (std::uint64_t d = 1; d < (1u << (2 * order)); ++d) {
+    std::uint32_t x, y;
+    hilbert_decode(d, x, y, order);
+    const std::uint32_t manhattan =
+        (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(manhattan, 1u) << "d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+}  // namespace
+}  // namespace gepeto::index

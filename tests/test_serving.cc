@@ -1,0 +1,439 @@
+// Tests for the geo-query serving layer: STR-packed R-Tree vs brute force,
+// deterministic tie-breaking, the QueryEngine's cache + epoch-swap
+// semantics under concurrency, the snapshot builders (including columnar
+// block pruning), and the rebuild flow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "mapreduce/dfs.h"
+#include "serving/builders.h"
+#include "serving/packed_rtree.h"
+#include "serving/query_engine.h"
+#include "serving/rebuild.h"
+#include "storage/colfile.h"
+
+namespace gepeto::serving {
+namespace {
+
+mr::ClusterConfig small_cluster() {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = 1 << 26;
+  c.execution_threads = 2;
+  return c;
+}
+
+std::vector<ServingPoint> random_points(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ServingPoint> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({39.0 + rng.uniform() * 2.0, 115.5 + rng.uniform() * 2.0,
+                   static_cast<std::uint64_t>(i), 0.0, 1});
+  }
+  return pts;
+}
+
+/// The same ordering the tree promises: (dist2, id, lat, lon).
+bool neighbor_less(const PackedRTree::Neighbor& a,
+                   const PackedRTree::Neighbor& b) {
+  if (a.dist2 != b.dist2) return a.dist2 < b.dist2;
+  if (a.point.id != b.point.id) return a.point.id < b.point.id;
+  if (a.point.lat != b.point.lat) return a.point.lat < b.point.lat;
+  return a.point.lon < b.point.lon;
+}
+
+std::vector<PackedRTree::Neighbor> brute_knn(
+    std::span<const ServingPoint> pts, double lat, double lon,
+    std::uint32_t k) {
+  std::vector<PackedRTree::Neighbor> all;
+  all.reserve(pts.size());
+  for (const auto& p : pts) {
+    const double dlat = p.lat - lat, dlon = p.lon - lon;
+    all.push_back({dlat * dlat + dlon * dlon, p});
+  }
+  std::sort(all.begin(), all.end(), neighbor_less);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<ServingPoint> brute_range(std::span<const ServingPoint> pts,
+                                      const index::Rect& box) {
+  std::vector<ServingPoint> out;
+  for (const auto& p : pts)
+    if (box.contains(p.lat, p.lon)) out.push_back(p);
+  std::sort(out.begin(), out.end(),
+            [](const ServingPoint& a, const ServingPoint& b) {
+              if (a.id != b.id) return a.id < b.id;
+              if (a.lat != b.lat) return a.lat < b.lat;
+              return a.lon < b.lon;
+            });
+  return out;
+}
+
+void expect_same_neighbors(const std::vector<PackedRTree::Neighbor>& got,
+                           const std::vector<PackedRTree::Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].point.id, want[i].point.id) << "rank " << i;
+    EXPECT_DOUBLE_EQ(got[i].dist2, want[i].dist2) << "rank " << i;
+  }
+}
+
+TEST(PackedRTree, EmptyTree) {
+  const PackedRTree t = PackedRTree::build({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.knn(39.9, 116.4, 5).empty());
+  EXPECT_TRUE(t.range(index::Rect::of(-90, -180, 90, 180)).empty());
+  EXPECT_EQ(t.nearest(39.9, 116.4), nullptr);
+  t.check_invariants();
+}
+
+TEST(PackedRTree, RejectsNonFiniteCoordinates) {
+  const double nan = std::nan("");
+  EXPECT_THROW(PackedRTree::build({{nan, 116.4, 1, 0.0, 1}}), CheckFailure);
+  EXPECT_THROW(PackedRTree::build(
+                   {{39.9, std::numeric_limits<double>::infinity(), 1, 0.0, 1}}),
+               CheckFailure);
+  EXPECT_THROW(PackedRTree::build({{39.9, 116.4, 1, nan, 1}}), CheckFailure);
+}
+
+TEST(PackedRTree, MatchesBruteForceAcrossSizesAndCapacities) {
+  Rng rng(7);
+  for (const std::size_t n : {1u, 15u, 16u, 17u, 333u, 2000u}) {
+    for (const int cap : {4, 16}) {
+      const auto pts = random_points(n, 1000 + n);
+      const PackedRTree t = PackedRTree::build(pts, cap);
+      t.check_invariants();
+      EXPECT_EQ(t.size(), n);
+      for (int q = 0; q < 25; ++q) {
+        const double lat = 38.5 + rng.uniform() * 3.0;
+        const double lon = 115.0 + rng.uniform() * 3.0;
+        expect_same_neighbors(t.knn(lat, lon, 8), brute_knn(pts, lat, lon, 8));
+        const auto box = index::Rect::of(lat, lon, lat + rng.uniform(),
+                                         lon + rng.uniform());
+        const auto got = t.range(box);
+        const auto want = brute_range(pts, box);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+          EXPECT_EQ(got[i].id, want[i].id);
+        const ServingPoint* nearest = t.nearest(lat, lon);
+        ASSERT_NE(nearest, nullptr);
+        EXPECT_EQ(nearest->id, brute_knn(pts, lat, lon, 1)[0].point.id);
+      }
+    }
+  }
+}
+
+TEST(PackedRTree, KnnTiesBreakDeterministically) {
+  // Four points equidistant from the origin of the query: ids decide.
+  std::vector<ServingPoint> pts = {{40.0, 116.0, 7, 0, 1},
+                                   {40.0, 117.0, 3, 0, 1},
+                                   {41.0, 116.0, 9, 0, 1},
+                                   {41.0, 117.0, 1, 0, 1}};
+  const PackedRTree t = PackedRTree::build(pts, 2);
+  const auto got = t.knn(40.5, 116.5, 3);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].point.id, 1u);
+  EXPECT_EQ(got[1].point.id, 3u);
+  EXPECT_EQ(got[2].point.id, 7u);
+}
+
+TEST(PackedRTree, KnnWithKLargerThanSize) {
+  const auto pts = random_points(5, 3);
+  const PackedRTree t = PackedRTree::build(pts);
+  EXPECT_EQ(t.knn(39.9, 116.4, 50).size(), 5u);
+}
+
+TEST(QueryEngine, EmptyEngineAnswersNothing) {
+  QueryEngine engine;
+  EXPECT_EQ(engine.epoch(), 0u);
+  const auto knn = engine.knn(39.9, 116.4, 5);
+  EXPECT_EQ(knn.epoch, 0u);
+  EXPECT_TRUE(knn.neighbors.empty());
+  EXPECT_FALSE(engine.locate(39.9, 116.4).found);
+}
+
+TEST(QueryEngine, CacheHitsAreByteIdenticalAndCounted) {
+  telemetry::MetricsRegistry metrics;
+  ServingConfig config;
+  config.metrics = &metrics;
+  QueryEngine engine(config);
+  auto snap = std::make_shared<IndexSnapshot>();
+  snap->tree = PackedRTree::build(random_points(500, 42));
+  EXPECT_EQ(engine.publish(snap), 1u);
+
+  const auto first = engine.knn(39.5, 116.2, 8);
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = engine.knn(39.5, 116.2, 8);
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_EQ(second.neighbors.size(), first.neighbors.size());
+  for (std::size_t i = 0; i < first.neighbors.size(); ++i) {
+    EXPECT_EQ(second.neighbors[i].point.id, first.neighbors[i].point.id);
+    EXPECT_EQ(second.neighbors[i].dist2, first.neighbors[i].dist2);
+  }
+  // A different k is a different key.
+  EXPECT_FALSE(engine.knn(39.5, 116.2, 9).cache_hit);
+
+  EXPECT_EQ(metrics.find_counter("serving_queries_total")->value(), 3);
+  EXPECT_EQ(metrics.find_counter("serving_cache_hits_total")->value(), 1);
+  EXPECT_EQ(metrics.find_counter("serving_cache_misses_total")->value(), 2);
+  EXPECT_GE(metrics.find_histogram("serving_query_seconds")->count(), 3u);
+}
+
+TEST(QueryEngine, EpochSwapInvalidatesCache) {
+  QueryEngine engine;
+  auto a = std::make_shared<IndexSnapshot>();
+  a->tree = PackedRTree::build(random_points(100, 1));
+  auto b = std::make_shared<IndexSnapshot>();
+  b->tree = PackedRTree::build(random_points(100, 2));
+
+  engine.publish(a);
+  const auto before = engine.knn(39.5, 116.2, 4);
+  EXPECT_TRUE(engine.knn(39.5, 116.2, 4).cache_hit);
+
+  EXPECT_EQ(engine.publish(b), 2u);
+  const auto after = engine.knn(39.5, 116.2, 4);
+  EXPECT_FALSE(after.cache_hit);  // stale-epoch entry must not serve
+  EXPECT_EQ(after.epoch, 2u);
+  // And the fresh answer matches a brute force over snapshot b.
+  expect_same_neighbors(after.neighbors,
+                        brute_knn(b->tree.points(), 39.5, 116.2, 4));
+  EXPECT_NE(before.epoch, after.epoch);
+}
+
+TEST(QueryEngine, RangeAndLocateSemantics) {
+  QueryEngine engine;
+  auto snap = std::make_shared<IndexSnapshot>();
+  // One "cluster POI" with a 500 m radius at the city center.
+  snap->tree = PackedRTree::build({{39.9042, 116.4074, 77, 500.0, 10}});
+  engine.publish(snap);
+
+  const auto in = engine.locate(39.905, 116.408);  // ~120 m away
+  EXPECT_TRUE(in.found);
+  EXPECT_TRUE(in.contained);
+  EXPECT_EQ(in.point.id, 77u);
+  EXPECT_GT(in.distance_m, 0.0);
+  EXPECT_LT(in.distance_m, 500.0);
+
+  const auto out = engine.locate(40.0, 116.5);  // ~13 km away
+  EXPECT_TRUE(out.found);
+  EXPECT_FALSE(out.contained);
+
+  const auto hit = engine.range(index::Rect::of(39.9, 116.4, 39.91, 116.41));
+  ASSERT_EQ(hit.points.size(), 1u);
+  EXPECT_EQ(hit.points[0].id, 77u);
+  EXPECT_TRUE(
+      engine.range(index::Rect::of(0.0, 0.0, 1.0, 1.0)).points.empty());
+}
+
+TEST(QueryEngine, ConcurrentReadersSurviveEpochSwaps) {
+  QueryEngine engine;
+  std::vector<std::shared_ptr<const IndexSnapshot>> snaps;
+  for (int e = 0; e < 4; ++e) {
+    auto s = std::make_shared<IndexSnapshot>();
+    s->tree = PackedRTree::build(random_points(400, 100 + e));
+    snaps.push_back(std::move(s));
+  }
+  engine.publish(snaps[0]);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::atomic<std::uint64_t> answered{0};
+  const int num_threads = 4;
+  std::vector<std::thread> readers;
+  for (int t = 0; t < num_threads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(900 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const double lat = 39.0 + rng.uniform() * 2.0;
+        const double lon = 115.5 + rng.uniform() * 2.0;
+        const auto r = engine.knn(lat, lon, 6);
+        if (r.epoch == 0 || r.epoch > snaps.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Verify against the snapshot matching the answering epoch.
+        const auto want =
+            brute_knn(snaps[r.epoch - 1]->tree.points(), lat, lon, 6);
+        if (r.neighbors.size() != want.size()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          if (r.neighbors[i].point.id != want[i].point.id ||
+              r.neighbors[i].dist2 != want[i].dist2) {
+            failures.fetch_add(1);
+            break;
+          }
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+  for (std::size_t e = 1; e < snaps.size(); ++e) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    engine.publish(snaps[e]);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GT(answered.load(), 0u);
+  EXPECT_EQ(engine.epoch(), snaps.size());
+}
+
+TEST(Builders, DatasetSnapshotIndexesEveryTrace) {
+  geo::GeneratorConfig gc;
+  gc.num_users = 4;
+  gc.duration_days = 2;
+  gc.trajectories_per_user_min = 2;
+  gc.trajectories_per_user_max = 3;
+  const auto ds = geo::generate_dataset(gc).data;
+  const auto snap = snapshot_from_dataset(ds);
+  EXPECT_EQ(snap->tree.size(), ds.num_traces());
+  snap->tree.check_invariants();
+
+  // Every indexed id unpacks to a real (user, timestamp) pair.
+  const auto r = snap->tree.knn(gc.city_latitude, gc.city_longitude, 3);
+  ASSERT_FALSE(r.empty());
+  std::int32_t user;
+  std::int64_t ts;
+  core::unpack_trace_id(r[0].point.id, user, ts);
+  EXPECT_TRUE(ds.has_user(user));
+}
+
+TEST(Builders, ClusterSummariesBecomePois) {
+  // Two tight sites, far apart; every member within radius of its centroid.
+  geo::GeolocatedDataset ds;
+  for (std::int32_t u = 0; u < 6; ++u) {
+    geo::Trail trail;
+    for (int i = 0; i < 12; ++i) {
+      const double base_lat = u < 3 ? 39.90 : 39.95;
+      trail.push_back({u, base_lat + 1e-5 * i, 116.40 + 1e-5 * i, 0.0,
+                       1000 + i * 60});
+    }
+    ds.add_trail(u, std::move(trail));
+  }
+  core::DjClusterConfig config;
+  config.radius_m = 100;
+  config.min_pts = 5;
+  const auto pre = core::preprocess(ds, config);
+  const auto result = core::dj_cluster(pre, config);
+  ASSERT_GE(result.clusters.size(), 2u);
+
+  const auto summaries = core::summarize_clusters(result, pre);
+  ASSERT_EQ(summaries.size(), result.clusters.size());
+  for (const auto& s : summaries) {
+    EXPECT_GT(s.size, 0u);
+    EXPECT_GT(s.radius_m, 0.0);
+    EXPECT_LT(s.radius_m, 200.0);  // tight sites -> small radii
+  }
+
+  const auto snap = snapshot_from_clusters(summaries);
+  EXPECT_EQ(snap->tree.size(), summaries.size());
+  const auto loc = snap->tree.nearest(39.90, 116.40);
+  ASSERT_NE(loc, nullptr);
+  EXPECT_NEAR(loc->lat, 39.90, 0.01);
+}
+
+TEST(Builders, ColumnarRegionBuildPrunesBlocks) {
+  // Two spatially-disjoint user populations written in separate blocks:
+  // a region covering only the first must prune the second's blocks.
+  geo::GeolocatedDataset ds;
+  for (std::int32_t u = 0; u < 2; ++u) {
+    geo::Trail trail;
+    const double lat = u == 0 ? 39.9 : 45.0;
+    for (int i = 0; i < 300; ++i)
+      trail.push_back({u, lat + 1e-6 * i, 116.4, 0.0, 1000 + i});
+    ds.add_trail(u, std::move(trail));
+  }
+  mr::Dfs dfs(small_cluster());
+  storage::ColumnarWriterOptions opts;
+  opts.block_records = 128;  // several blocks per user file
+  storage::dataset_to_dfs_columnar(dfs, "/col", ds, 2, opts);
+
+  ColumnarScanStats stats;
+  const auto region = index::Rect::of(39.0, 116.0, 40.0, 117.0);
+  const auto snap = snapshot_from_columnar(dfs, "/col", region, 16, &stats);
+  EXPECT_EQ(snap->tree.size(), 300u);  // only user 0
+  EXPECT_EQ(stats.records, 300u);
+  EXPECT_GT(stats.blocks_pruned, 0u);
+  EXPECT_LT(stats.blocks_pruned, stats.blocks_total);
+
+  // No region: everything survives, nothing pruned.
+  ColumnarScanStats all;
+  const auto full = snapshot_from_columnar(dfs, "/col", std::nullopt, 16, &all);
+  EXPECT_EQ(full->tree.size(), 600u);
+  EXPECT_EQ(all.blocks_pruned, 0u);
+}
+
+TEST(Rebuild, PointsFlowPublishes) {
+  geo::GeneratorConfig gc;
+  gc.num_users = 3;
+  gc.duration_days = 2;
+  gc.trajectories_per_user_min = 2;
+  gc.trajectories_per_user_max = 3;
+  const auto ds = geo::generate_dataset(gc).data;
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 2);
+
+  QueryEngine engine;
+  RebuildConfig config;
+  config.kind = SnapshotKind::kPoints;
+  const auto r =
+      rebuild_and_publish(dfs, small_cluster(), "/in/", "/work", config, engine);
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_EQ(r.entries, ds.num_traces());
+  EXPECT_EQ(engine.epoch(), 1u);
+  EXPECT_FALSE(engine.knn(gc.city_latitude, gc.city_longitude, 5)
+                   .neighbors.empty());
+}
+
+TEST(Rebuild, ClustersFlowPublishesAndSwaps) {
+  geo::GeolocatedDataset ds;
+  for (std::int32_t u = 0; u < 6; ++u) {
+    geo::Trail trail;
+    for (int i = 0; i < 12; ++i)
+      trail.push_back({u, 39.90 + 1e-5 * i, 116.40 + 1e-5 * i, 0.0,
+                       1000 + i * 60});
+    ds.add_trail(u, std::move(trail));
+  }
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", ds, 1);
+
+  QueryEngine engine;
+  RebuildConfig points;
+  points.kind = SnapshotKind::kPoints;
+  rebuild_and_publish(dfs, small_cluster(), "/in/", "/w1", points, engine);
+
+  RebuildConfig clusters;
+  clusters.kind = SnapshotKind::kClusters;
+  clusters.djcluster.radius_m = 100;
+  clusters.djcluster.min_pts = 5;
+  const auto r = rebuild_and_publish(dfs, small_cluster(), "/in/", "/w2",
+                                     clusters, engine);
+  EXPECT_EQ(r.epoch, 2u);
+  EXPECT_GE(r.entries, 1u);
+  EXPECT_EQ(engine.epoch(), 2u);
+
+  const auto loc = engine.locate(39.90, 116.40);
+  EXPECT_TRUE(loc.found);
+  EXPECT_TRUE(loc.contained);
+  EXPECT_EQ(loc.epoch, 2u);
+}
+
+}  // namespace
+}  // namespace gepeto::serving

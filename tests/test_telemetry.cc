@@ -18,6 +18,8 @@
 #include "geo/geolife.h"
 #include "gepeto/kmeans.h"
 #include "mapreduce/engine.h"
+#include "serving/packed_rtree.h"
+#include "serving/query_engine.h"
 #include "telemetry/bench_report.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
@@ -328,6 +330,52 @@ TEST(MetricsRegistry, ExportsJsonAndPrometheus) {
   EXPECT_NE(prom.find("latency_seconds_bucket{le=\"+Inf\"} 2"),
             std::string::npos);
   EXPECT_NE(prom.find("latency_seconds_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ServingMetricsAreRegisteredAndExported) {
+  // The serving layer's QueryEngine registers its counters/gauge/histogram
+  // on construction and bumps them per query and per epoch swap; the whole
+  // family must surface in both export formats.
+  MetricsRegistry m;
+  serving::ServingConfig config;
+  config.metrics = &m;
+  serving::QueryEngine engine(config);
+
+  auto snap = std::make_shared<serving::IndexSnapshot>();
+  snap->tree = serving::PackedRTree::build(
+      {{39.9, 116.4, 1, 0.0, 1}, {39.95, 116.45, 2, 0.0, 1}});
+  engine.publish(snap);
+  engine.knn(39.9, 116.4, 2);
+  engine.knn(39.9, 116.4, 2);  // cache hit
+  engine.range(index::Rect::of(39.8, 116.3, 40.0, 116.5));
+  engine.locate(39.9, 116.4);
+
+  ASSERT_NE(m.find_counter("serving_queries_total"), nullptr);
+  EXPECT_EQ(m.find_counter("serving_queries_total")->value(), 4);
+  ASSERT_NE(m.find_counter("serving_cache_hits_total"), nullptr);
+  EXPECT_EQ(m.find_counter("serving_cache_hits_total")->value(), 1);
+  ASSERT_NE(m.find_counter("serving_cache_misses_total"), nullptr);
+  EXPECT_EQ(m.find_counter("serving_cache_misses_total")->value(), 3);
+  ASSERT_NE(m.find_counter("serving_epoch_swaps_total"), nullptr);
+  EXPECT_EQ(m.find_counter("serving_epoch_swaps_total")->value(), 1);
+  ASSERT_NE(m.find_gauge("serving_epoch"), nullptr);
+  EXPECT_EQ(m.find_gauge("serving_epoch")->value(), 1.0);
+  const Histogram* latency = m.find_histogram("serving_query_seconds");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), 4u);
+  EXPECT_GT(latency->quantile(0.99), 0.0);  // p99 derivable from buckets
+
+  const std::string prom = m.to_prometheus();
+  for (const char* name :
+       {"serving_queries_total", "serving_cache_hits_total",
+        "serving_cache_misses_total", "serving_epoch_swaps_total",
+        "serving_epoch", "serving_query_seconds_bucket",
+        "serving_query_seconds_count"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << name;
+  }
+  const std::string json = m.to_json();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"serving_queries_total\":4"), std::string::npos);
 }
 
 TEST(MetricsRegistry, ExportsAreDeterministic) {

@@ -1,0 +1,159 @@
+// The command-line tools promise distinct exit codes (common/exit_codes.h):
+// 0 ok, 1 runtime error, 2 usage, 3 parse failure, 4 verification mismatch.
+// These tests run the installed binaries (GEPETO_TOOL_DIR, injected by the
+// build) and assert each path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/exit_codes.h"
+#include "geo/geolife.h"
+
+namespace gepeto {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tool(const std::string& name) {
+  return std::string(GEPETO_TOOL_DIR) + "/" + name;
+}
+
+int run(const std::string& cmd) {
+  const int status = std::system((cmd + " > /dev/null 2>&1").c_str());
+  EXPECT_NE(status, -1);
+  return WEXITSTATUS(status);
+}
+
+class ToolExitCodes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("exit_codes_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  void write(const std::string& name, const std::string& contents) const {
+    std::ofstream out(path(name), std::ios::binary);
+    out << contents;
+    ASSERT_TRUE(out.good());
+  }
+
+  /// A small valid dataset-lines file, via the canonical renderer.
+  std::string valid_lines(int n = 8) const {
+    std::string text;
+    for (int i = 0; i < n; ++i) {
+      text += geo::dataset_line(
+          {i % 2, 39.9 + 0.001 * i, 116.4 + 0.001 * i, 150.0, 1222819200 + 60 * i});
+      text.push_back('\n');
+    }
+    return text;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ToolExitCodes, TraceConvertOkAndVerifyOk) {
+  write("in.txt", valid_lines());
+  EXPECT_EQ(run(tool("trace_convert") + " --to columnar --in " +
+                path("in.txt") + " --out " + path("out.gpcol") + " --verify"),
+            tools::kOk);
+  EXPECT_EQ(run(tool("trace_convert") + " --to text --in " +
+                path("out.gpcol") + " --out " + path("back.txt") + " --verify"),
+            tools::kOk);
+}
+
+TEST_F(ToolExitCodes, TraceConvertUsage) {
+  EXPECT_EQ(run(tool("trace_convert")), tools::kUsage);
+  EXPECT_EQ(run(tool("trace_convert") + " --to nonsense --in a --out b"),
+            tools::kUsage);
+  EXPECT_EQ(run(tool("trace_convert") + " --bogus-flag x"), tools::kUsage);
+}
+
+TEST_F(ToolExitCodes, TraceConvertParseErrorOnMalformedLine) {
+  write("bad.txt", valid_lines(2) + "0,not-a-latitude,116.4,0,150\n");
+  EXPECT_EQ(run(tool("trace_convert") + " --to columnar --in " +
+                path("bad.txt") + " --out " + path("out.gpcol")),
+            tools::kParseError);
+}
+
+TEST_F(ToolExitCodes, TraceConvertParseErrorOnCorruptColumnarInput) {
+  write("junk.gpcol", "this is not a columnar file at all");
+  EXPECT_EQ(run(tool("trace_convert") + " --to text --in " +
+                path("junk.gpcol") + " --out " + path("out.txt")),
+            tools::kParseError);
+}
+
+TEST_F(ToolExitCodes, TraceConvertVerifyMismatchIsDistinct) {
+  write("in.txt", valid_lines());
+  // Corrupting a byte of the text output makes line-for-line verification
+  // fail: exit 4, distinguishable from the parse failure above.
+  EXPECT_EQ(run(tool("trace_convert") + " --to columnar --in " +
+                path("in.txt") + " --out " + path("a.gpcol")),
+            tools::kOk);
+  EXPECT_EQ(run(tool("trace_convert") + " --to text --in " + path("a.gpcol") +
+                " --out " + path("a.txt") + " --verify --flip-byte 3"),
+            tools::kVerifyMismatch);
+  // Same for the columnar direction (the flipped byte either breaks a CRC or
+  // a decoded value; both are verification failures of our own output).
+  EXPECT_EQ(run(tool("trace_convert") + " --to columnar --in " +
+                path("in.txt") + " --out " + path("b.gpcol") +
+                " --verify --flip-byte 16"),
+            tools::kVerifyMismatch);
+}
+
+TEST_F(ToolExitCodes, CliUsage) {
+  EXPECT_EQ(run(tool("gepeto")), tools::kUsage);
+  EXPECT_EQ(run(tool("gepeto") + " frobnicate"), tools::kUsage);
+  EXPECT_EQ(run(tool("gepeto") + " query"), tools::kUsage);  // missing --data
+}
+
+TEST_F(ToolExitCodes, CliQueryParseErrorVsVerifyMismatch) {
+  const std::string data = path("geolife");
+  ASSERT_EQ(run(tool("gepeto") + " generate --out " + data +
+                " --users 2 --traces 300 --seed 7"),
+            tools::kOk);
+  const auto ds = geo::read_geolife_directory(data);
+  ASSERT_GT(ds.num_traces(), 0u);
+  const std::string n = std::to_string(ds.num_traces());
+
+  // Malformed coordinate argument: parse error (3).
+  EXPECT_EQ(run(tool("gepeto") + " query --data " + data +
+                " --knn not-a-number,116.4,5"),
+            tools::kParseError);
+  EXPECT_EQ(run(tool("gepeto") + " query --data " + data + " --locate 39.9"),
+            tools::kParseError);  // wrong arity
+
+  // --expect against the wrong count: verification mismatch (4).
+  EXPECT_EQ(run(tool("gepeto") + " query --data " + data + " --expect 1"),
+            tools::kVerifyMismatch);
+
+  // And the happy path answers queries and verifies the true count.
+  EXPECT_EQ(run(tool("gepeto") + " query --data " + data +
+                " --knn 39.9,116.4,5 --range 39.8,116.3,40.0,116.5"
+                " --locate 39.9,116.4 --expect " + n),
+            tools::kOk);
+
+  // Boolean --pois followed by another flag must not swallow it: the POI
+  // index has far fewer entries than the trace index, so --expect <traces>
+  // mismatching proves --pois took effect, and a wrong-arity --locate after
+  // --pois still parses (and fails) as its own flag.
+  EXPECT_EQ(run(tool("gepeto") + " query --data " + data +
+                " --pois --expect " + n),
+            tools::kVerifyMismatch);
+  EXPECT_EQ(run(tool("gepeto") + " query --data " + data +
+                " --pois --locate 39.9"),
+            tools::kParseError);
+}
+
+}  // namespace
+}  // namespace gepeto

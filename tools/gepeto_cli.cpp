@@ -11,22 +11,35 @@
 //   gepeto social   --data DIR            (co-location link discovery)
 //   gepeto sanitize --data DIR --out DIR2 (--mask METERS | --round METERS | --cloak K)
 //   gepeto heatmap  --data DIR --cell METERS --out FILE.csv
+//   gepeto query    --data DIR [--pois] [--knn LAT,LON,K] [--range A,B,C,D] [--locate LAT,LON] [--expect N]
+//
+// Exit codes (common/exit_codes.h): 0 success, 1 runtime error, 2 usage,
+// 3 unparsable input (malformed coordinate arguments, bad data), 4
+// verification mismatch (--expect).
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
+#include "common/exit_codes.h"
 #include "common/table.h"
 #include "geo/generator.h"
 #include "geo/geolife.h"
 #include "geo/stats.h"
+#include "gepeto/djcluster.h"
 #include "gepeto/export.h"
 #include "gepeto/mmc.h"
 #include "gepeto/poi.h"
 #include "gepeto/sampling.h"
 #include "gepeto/sanitize.h"
 #include "gepeto/social.h"
+#include "mapreduce/job.h"
+#include "serving/builders.h"
+#include "serving/query_engine.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -38,12 +51,20 @@ using namespace gepeto;
 class Args {
  public:
   Args(int argc, char** argv) {
-    for (int i = 2; i + 1 < argc; i += 2) {
+    for (int i = 2; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::cerr << "expected --flag, got '" << argv[i] << "'\n";
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      // A flag followed by another --flag (or by nothing) is boolean, e.g.
+      // `query --pois --locate LAT,LON`. Values never start with "--"
+      // (negative numbers are "-5", coordinates "-10.5,20").
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+        ++i;
+      } else {
+        values_[argv[i] + 2] = "1";
+      }
     }
   }
 
@@ -341,6 +362,113 @@ int cmd_heatmap(const Args& args) {
   return 0;
 }
 
+/// Strictly parse a comma-separated list of doubles ("LAT,LON", "A,B,C,D",
+/// with an optional trailing integer for k). Unlike std::stod, trailing
+/// garbage and non-finite values are parse errors (exit 3), not silently
+/// accepted prefixes.
+std::vector<double> parse_csv_numbers(const std::string& flag,
+                                      const std::string& value,
+                                      std::size_t expected) {
+  std::vector<double> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    std::size_t end = value.find(',', start);
+    if (end == std::string::npos) end = value.size();
+    const std::string field = value.substr(start, end - start);
+    std::size_t used = 0;
+    double v = 0;
+    try {
+      v = std::stod(field, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (field.empty() || used != field.size() || !std::isfinite(v))
+      throw mr::TaskError("--" + flag + ": cannot parse '" + field +
+                          "' in '" + value + "'");
+    out.push_back(v);
+    if (end == value.size()) break;
+    start = end + 1;
+  }
+  if (out.size() != expected)
+    throw mr::TaskError("--" + flag + ": expected " + std::to_string(expected) +
+                        " comma-separated numbers, got " +
+                        std::to_string(out.size()));
+  return out;
+}
+
+int cmd_query(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+
+  std::shared_ptr<const serving::IndexSnapshot> snap;
+  if (args.has("pois")) {
+    // Index DJ-Cluster POIs (sequential reference; the MapReduce rebuild
+    // path is exercised by serving::rebuild_and_publish and its bench).
+    const auto config = attack_config(args);
+    const auto pre = core::preprocess(data, config);
+    const auto clusters = core::dj_cluster(pre, config);
+    snap = serving::snapshot_from_clusters(
+        core::summarize_clusters(clusters, pre));
+  } else {
+    snap = serving::snapshot_from_dataset(data);
+  }
+
+  serving::QueryEngine engine;
+  engine.publish(snap);
+  std::cout << "indexed " << format_count(snap->tree.size()) << " entries ("
+            << snap->tree.num_nodes() << " nodes, height "
+            << snap->tree.height() << ", epoch " << engine.epoch() << ")\n";
+
+  if (args.has("knn")) {
+    const auto v = parse_csv_numbers("knn", args.get("knn"), 3);
+    if (v[2] < 1 || v[2] != static_cast<double>(static_cast<long>(v[2])))
+      throw mr::TaskError("--knn: k must be a positive integer");
+    const auto r =
+        engine.knn(v[0], v[1], static_cast<std::uint32_t>(v[2]));
+    Table t("k-NN @ " + format_double(v[0], 5) + "," + format_double(v[1], 5));
+    t.header({"rank", "id", "lat", "lon", "dist"});
+    for (std::size_t i = 0; i < r.neighbors.size(); ++i) {
+      const auto& n = r.neighbors[i];
+      t.row({std::to_string(i), std::to_string(n.point.id),
+             format_double(n.point.lat, 5), format_double(n.point.lon, 5),
+             format_double(std::sqrt(n.dist2), 6)});
+    }
+    t.print(std::cout);
+  }
+
+  if (args.has("range")) {
+    const auto v = parse_csv_numbers("range", args.get("range"), 4);
+    const auto r = engine.range(index::Rect::of(v[0], v[1], v[2], v[3]));
+    std::cout << "range [" << v[0] << "," << v[1] << " .. " << v[2] << ","
+              << v[3] << "]: " << format_count(r.points.size())
+              << " entries\n";
+  }
+
+  if (args.has("locate")) {
+    const auto v = parse_csv_numbers("locate", args.get("locate"), 2);
+    const auto r = engine.locate(v[0], v[1]);
+    if (!r.found) {
+      std::cout << "locate: index is empty\n";
+    } else {
+      std::cout << "locate: nearest id " << r.point.id << " at "
+                << format_double(r.point.lat, 5) << ","
+                << format_double(r.point.lon, 5) << " ("
+                << format_double(r.distance_m, 1) << " m away"
+                << (r.contained ? ", inside its radius" : "") << ")\n";
+    }
+  }
+
+  if (args.has("expect")) {
+    const auto want = static_cast<std::size_t>(args.num("expect", -1));
+    if (snap->tree.size() != want) {
+      std::cerr << "verification failed: indexed " << snap->tree.size()
+                << " entries, expected " << want << "\n";
+      return tools::kVerifyMismatch;
+    }
+    std::cout << "verified: " << want << " entries\n";
+  }
+  return tools::kOk;
+}
+
 void usage() {
   std::cerr <<
       "usage: gepeto <command> [--flag value ...]\n"
@@ -353,6 +481,8 @@ void usage() {
       "  social   --data DIR [--radius M] [--meetings N]\n"
       "  sanitize --data DIR --out DIR (--mask M | --round M | --cloak K)\n"
       "  heatmap  --data DIR --out FILE.csv [--cell M]\n"
+      "  query    --data DIR [--pois] [--knn LAT,LON,K] [--range A,B,C,D]\n"
+      "           [--locate LAT,LON] [--expect N] [--radius M] [--minpts N]\n"
       "telemetry (sample | attack | sanitize):\n"
       "  --trace-out FILE    write a Chrome trace (open in Perfetto)\n"
       "  --metrics-out FILE  write metrics (JSON; Prometheus text if *.prom)\n";
@@ -363,7 +493,7 @@ void usage() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage();
-    return 2;
+    return tools::kUsage;
   }
   const Args args(argc, argv);
   const std::string cmd = argv[1];
@@ -376,10 +506,14 @@ int main(int argc, char** argv) {
     if (cmd == "social") return cmd_social(args);
     if (cmd == "sanitize") return cmd_sanitize(args);
     if (cmd == "heatmap") return cmd_heatmap(args);
+    if (cmd == "query") return cmd_query(args);
+  } catch (const mr::TaskError& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return tools::kParseError;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return tools::kError;
   }
   usage();
-  return 2;
+  return tools::kUsage;
 }

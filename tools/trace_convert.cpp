@@ -9,6 +9,11 @@
 // offending line and field named, rather than being dropped silently.
 // --verify re-reads the written output and checks it against the input
 // record-for-record before exiting 0.
+//
+// Exit codes (common/exit_codes.h): 0 success, 1 I/O or internal error,
+// 2 usage, 3 input could not be parsed/decoded, 4 --verify mismatch.
+// --flip-byte N corrupts byte N of the output after writing it — a testing
+// aid that makes the verify-mismatch path (exit 4) reachable on demand.
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exit_codes.h"
 #include "geo/geolife.h"
 #include "mapreduce/job.h"
 #include "storage/colfile.h"
@@ -26,15 +32,15 @@ using namespace gepeto;
 
 [[noreturn]] void usage() {
   std::cerr << "usage: trace_convert --to columnar|text --in FILE --out FILE"
-               " [--block-records N] [--verify]\n";
-  std::exit(2);
+               " [--block-records N] [--verify] [--flip-byte N]\n";
+  std::exit(tools::kUsage);
 }
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
     std::cerr << "trace_convert: cannot open " << path << "\n";
-    std::exit(1);
+    std::exit(tools::kError);
   }
   std::ostringstream ss;
   ss << in.rdbuf();
@@ -45,12 +51,12 @@ void write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary);
   if (!out.good()) {
     std::cerr << "trace_convert: cannot create " << path << "\n";
-    std::exit(1);
+    std::exit(tools::kError);
   }
   out << contents;
   if (!out.good()) {
     std::cerr << "trace_convert: short write to " << path << "\n";
-    std::exit(1);
+    std::exit(tools::kError);
   }
 }
 
@@ -72,7 +78,7 @@ std::vector<geo::MobilityTrace> parse_lines(const std::string& text,
       } catch (const mr::TaskError& e) {
         std::cerr << "trace_convert: " << path << ":" << line_no << ": "
                   << e.what() << "\n";
-        std::exit(1);
+        std::exit(tools::kParseError);
       }
     }
     start = end + 1;
@@ -91,9 +97,22 @@ std::vector<geo::MobilityTrace> decode_columnar(const std::string& bytes,
       for (const auto& t : file.read_block(b)) traces.push_back(t);
   } catch (const storage::ColumnarError& e) {
     std::cerr << "trace_convert: " << path << ": " << e.what() << "\n";
-    std::exit(1);
+    std::exit(tools::kParseError);
   }
   return traces;
+}
+
+/// --flip-byte: XOR one byte of the just-written output file. Verification
+/// must then report a mismatch (or a decode failure, for columnar output).
+void flip_output_byte(const std::string& path, std::size_t offset) {
+  std::string bytes = read_file(path);
+  if (offset >= bytes.size()) {
+    std::cerr << "trace_convert: --flip-byte " << offset << " past end of "
+              << path << " (" << bytes.size() << " bytes)\n";
+    std::exit(tools::kUsage);
+  }
+  bytes[offset] = static_cast<char>(bytes[offset] ^ 0x20);
+  write_file(path, bytes);
 }
 
 bool same_trace(const geo::MobilityTrace& a, const geo::MobilityTrace& b) {
@@ -108,6 +127,8 @@ int main(int argc, char** argv) {
   std::string to, in_path, out_path;
   std::size_t block_records = 4096;
   bool verify = false;
+  std::size_t flip_byte = 0;
+  bool has_flip_byte = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> std::string {
@@ -119,7 +140,10 @@ int main(int argc, char** argv) {
     else if (a == "--out") out_path = value();
     else if (a == "--block-records") block_records = std::stoull(value());
     else if (a == "--verify") verify = true;
-    else usage();
+    else if (a == "--flip-byte") {
+      flip_byte = std::stoull(value());
+      has_flip_byte = true;
+    } else usage();
   }
   if ((to != "columnar" && to != "text") || in_path.empty() ||
       out_path.empty() || block_records == 0)
@@ -132,24 +156,39 @@ int main(int argc, char** argv) {
     storage::ColumnarWriter writer({block_records});
     for (const auto& t : traces) writer.add(t);
     write_file(out_path, writer.finish());
+    if (has_flip_byte) flip_output_byte(out_path, flip_byte);
     if (verify) {
-      const auto back = decode_columnar(read_file(out_path), out_path);
+      std::vector<geo::MobilityTrace> back;
+      try {
+        const std::string bytes = read_file(out_path);
+        const storage::ColumnarFile file(bytes);
+        back.reserve(file.num_records());
+        for (std::size_t b = 0; b < file.num_blocks(); ++b)
+          for (const auto& t : file.read_block(b)) back.push_back(t);
+      } catch (const storage::ColumnarError& e) {
+        // We just wrote this file: a decode failure here means the written
+        // bytes do not hold the input data — a verification failure, not a
+        // parse failure of some foreign input.
+        std::cerr << "trace_convert: verify failed: " << out_path << ": "
+                  << e.what() << "\n";
+        return tools::kVerifyMismatch;
+      }
       if (back.size() != traces.size()) {
         std::cerr << "trace_convert: verify failed: wrote " << traces.size()
                   << " records, read back " << back.size() << "\n";
-        return 1;
+        return tools::kVerifyMismatch;
       }
       for (std::size_t i = 0; i < traces.size(); ++i) {
         if (!same_trace(traces[i], back[i])) {
           std::cerr << "trace_convert: verify failed: record " << i
                     << " did not round-trip\n";
-          return 1;
+          return tools::kVerifyMismatch;
         }
       }
     }
     std::cerr << "trace_convert: " << traces.size() << " traces -> "
               << out_path << (verify ? " (verified)" : "") << "\n";
-    return 0;
+    return tools::kOk;
   }
 
   // columnar -> text
@@ -161,6 +200,7 @@ int main(int argc, char** argv) {
     text.push_back('\n');
   }
   write_file(out_path, text);
+  if (has_flip_byte) flip_output_byte(out_path, flip_byte);
   if (verify) {
     // Text carries the canonical fixed-precision formatting, so the check is
     // line-for-line: each written line must be the canonical rendering of
@@ -181,10 +221,10 @@ int main(int argc, char** argv) {
     }
     if (!ok || i != traces.size() || start < back.size()) {
       std::cerr << "trace_convert: verify failed at record " << i << "\n";
-      return 1;
+      return tools::kVerifyMismatch;
     }
   }
   std::cerr << "trace_convert: " << traces.size() << " traces -> " << out_path
             << (verify ? " (verified)" : "") << "\n";
-  return 0;
+  return tools::kOk;
 }
