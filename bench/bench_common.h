@@ -128,6 +128,12 @@ inline telemetry::BenchReporter::Row& bill_job(
         .set_param("sort_seconds", jr.sort_seconds)
         .set_param("merge_seconds", jr.merge_seconds);
   }
+  if (jr.map_parse_seconds > 0.0 || jr.map_compute_seconds > 0.0) {
+    // Map-loop attribution: record decode/parse vs batch-kernel compute
+    // (engine.h stripe timing) — proves where a map-phase win came from.
+    row.set_param("map_parse_seconds", jr.map_parse_seconds)
+        .set_param("map_compute_seconds", jr.map_compute_seconds);
+  }
   return row;
 }
 

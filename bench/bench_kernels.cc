@@ -1,0 +1,255 @@
+// Microbenchmarks for the batch distance kernels and the record paths that
+// feed them (DESIGN.md §14) — the two halves of the PR 9 claim, measured in
+// isolation:
+//
+//   * kernel throughput — the k-means assignment kernel (CentroidKernel) at
+//     k=10 under each backend (legacy per-pair geo::distance() calls, batched
+//     scalar, SIMD), in points/second, for both Table III metrics;
+//   * record-path cost — the price of turning stored bytes back into
+//     coordinates: text dataset-line parsing vs 32-byte binary record decode
+//     vs columnar block decode straight into struct-of-arrays columns
+//     (read_block_columns, the parse-free shape the batch map path consumes).
+//
+// BENCH_kernels.json carries points/s, records/s, and the speedup ratios so
+// CI can attribute the end-to-end Table III win (bench_table3_kmeans) to its
+// two ingredients.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "geo/kernels.h"
+#include "gepeto/kmeans.h"
+#include "storage/colfile.h"
+
+namespace {
+
+using namespace gepeto;
+using namespace gepeto::bench;
+
+/// The benchmark corpus: the 66 MB workload's traces in (user, time) order,
+/// capped at smoke scale so a run stays quick.
+const std::vector<geo::MobilityTrace>& corpus() {
+  static const std::vector<geo::MobilityTrace> traces =
+      world90().data.all_traces();
+  return traces;
+}
+
+struct Soa {
+  std::vector<double> lats;
+  std::vector<double> lons;
+};
+
+const Soa& corpus_soa() {
+  static const Soa soa = [] {
+    Soa s;
+    const auto& traces = corpus();
+    s.lats.reserve(traces.size());
+    s.lons.reserve(traces.size());
+    for (const auto& t : traces) {
+      s.lats.push_back(t.latitude);
+      s.lons.push_back(t.longitude);
+    }
+    return s;
+  }();
+  return soa;
+}
+
+geo::CentroidKernel make_kernel(geo::DistanceKind kind) {
+  const auto centroids = core::initial_centroids(world90().data, 10, 11);
+  std::vector<double> clats, clons;
+  for (const auto& c : centroids) {
+    clats.push_back(c.latitude);
+    clons.push_back(c.longitude);
+  }
+  return geo::CentroidKernel(kind, clats.data(), clons.data(),
+                             centroids.size());
+}
+
+/// Kernel throughput: n points x 10 centroids under each backend. The scalar
+/// and SIMD runs must agree bit-for-bit on every assignment (hard-checked
+/// here on the full corpus, not just the unit-test sweeps).
+void kernel_throughput(telemetry::BenchReporter& report) {
+  const auto& soa = corpus_soa();
+  const std::size_t n = soa.lats.size();
+  const int reps = paper_scale() ? 2 : 10;
+
+  Table table("CentroidKernel nearest(), k=10, " + format_count(n) +
+              " points");
+  table.header({"distance", "backend", "points/s", "speedup vs legacy"});
+
+  std::vector<std::uint32_t> idx(n), scalar_idx;
+  for (const auto kind :
+       {geo::DistanceKind::kSquaredEuclidean, geo::DistanceKind::kHaversine}) {
+    const std::string distance = std::string(geo::distance_name(kind));
+    double legacy_rate = 0.0;
+    scalar_idx.clear();
+    for (const auto backend :
+         {geo::KernelBackend::kLegacy, geo::KernelBackend::kScalar,
+          geo::KernelBackend::kSimd}) {
+      geo::set_kernel_backend_for_testing(backend);
+      const auto kernel = make_kernel(kind);
+      Stopwatch sw;
+      for (int r = 0; r < reps; ++r)
+        kernel.nearest(soa.lats.data(), soa.lons.data(), n, idx.data());
+      const double seconds = sw.seconds();
+      const double rate =
+          static_cast<double>(n) * reps / std::max(1e-12, seconds);
+      if (backend == geo::KernelBackend::kLegacy) legacy_rate = rate;
+      if (backend == geo::KernelBackend::kScalar) scalar_idx = idx;
+      if (backend == geo::KernelBackend::kSimd)
+        GEPETO_CHECK_MSG(
+            std::memcmp(scalar_idx.data(), idx.data(),
+                        n * sizeof(std::uint32_t)) == 0,
+            "scalar/SIMD assignment divergence on " << distance);
+      const double speedup = rate / std::max(1e-12, legacy_rate);
+      const std::string backend_name =
+          std::string(geo::kernel_backend_name(backend));
+      report.add_row("nearest " + distance + " " + backend_name)
+          .set_wall_seconds(seconds)
+          .set_param("distance", distance)
+          .set_param("backend", backend_name)
+          .set_param("points_per_second", rate)
+          .set_param("speedup_vs_legacy", speedup);
+      table.row({distance, backend_name, format_count(
+                     static_cast<std::uint64_t>(rate)),
+                 format_double(speedup, 2) + "x"});
+    }
+  }
+  geo::set_kernel_backend_for_testing(geo::KernelBackend::kSimd);
+  table.print(std::cout);
+  std::cout << "simd level: "
+            << geo::simd_level_name(geo::simd_level()) << "\n";
+}
+
+/// Record-path cost: decode the same traces from each storage format and
+/// count records/second. The columnar column decode is the parse-free path;
+/// text parsing is what the pre-PR map loop paid per record.
+void record_path_cost(telemetry::BenchReporter& report) {
+  const auto& traces = corpus();
+  const std::size_t n = traces.size();
+
+  // Materialize the three on-disk shapes once.
+  std::vector<std::string> lines;
+  lines.reserve(n);
+  std::string binary;
+  binary.reserve(n * geo::kBinaryTraceSize);
+  storage::ColumnarWriter writer;
+  for (const auto& t : traces) {
+    lines.push_back(geo::dataset_line(t));
+    geo::append_binary_trace(binary, t);
+    writer.add(t);
+  }
+  const std::string colfile = writer.finish();
+
+  Table table("Record decode cost, " + format_count(n) + " records");
+  table.header({"format", "records/s", "speedup vs text"});
+  double text_rate = 0.0;
+  double checksum = 0.0;
+
+  {
+    geo::MobilityTrace t;
+    Stopwatch sw;
+    for (const auto& line : lines)
+      if (geo::parse_dataset_line(line, t)) checksum += t.latitude;
+    const double seconds = sw.seconds();
+    text_rate = static_cast<double>(n) / std::max(1e-12, seconds);
+    report.add_row("decode text")
+        .set_wall_seconds(seconds)
+        .set_param("format", "text")
+        .set_param("records_per_second", text_rate);
+    table.row({"text dataset lines",
+               format_count(static_cast<std::uint64_t>(text_rate)), "1.00x"});
+  }
+  {
+    geo::MobilityTrace t;
+    Stopwatch sw;
+    for (std::size_t off = 0; off < binary.size();
+         off += geo::kBinaryTraceSize) {
+      if (geo::trace_from_binary(
+              std::string_view(binary).substr(off, geo::kBinaryTraceSize), t))
+        checksum += t.latitude;
+    }
+    const double seconds = sw.seconds();
+    const double rate = static_cast<double>(n) / std::max(1e-12, seconds);
+    report.add_row("decode binary")
+        .set_wall_seconds(seconds)
+        .set_param("format", "binary")
+        .set_param("records_per_second", rate)
+        .set_param("speedup_vs_text", rate / text_rate);
+    table.row({"32-byte binary records",
+               format_count(static_cast<std::uint64_t>(rate)),
+               format_double(rate / text_rate, 2) + "x"});
+  }
+  {
+    const storage::ColumnarFile file(colfile);
+    storage::TraceColumns cols;
+    Stopwatch sw;
+    for (std::size_t b = 0; b < file.num_blocks(); ++b) {
+      file.read_block_columns(b, cols);
+      for (const double lat : cols.lats) checksum += lat;
+    }
+    const double seconds = sw.seconds();
+    const double rate = static_cast<double>(n) / std::max(1e-12, seconds);
+    report.add_row("decode columnar")
+        .set_wall_seconds(seconds)
+        .set_param("format", "columnar")
+        .set_param("records_per_second", rate)
+        .set_param("speedup_vs_text", rate / text_rate);
+    table.row({"columnar block -> SoA",
+               format_count(static_cast<std::uint64_t>(rate)),
+               format_double(rate / text_rate, 2) + "x"});
+  }
+  benchmark::DoNotOptimize(checksum);
+  table.print(std::cout);
+}
+
+void reproduce() {
+  print_banner("Kernel + record-path microbenchmarks",
+               "attribution for the Table III map-phase speedup: batched "
+               "SIMD assignment kernels x parse-free columnar input");
+  telemetry::BenchReporter report("kernels", scale_name());
+  report.set_param("simd_level",
+                   std::string(geo::simd_level_name(geo::simd_level())));
+  kernel_throughput(report);
+  record_path_cost(report);
+  write_report(report);
+}
+
+// Per-op micro sweep: one nearest() batch of 4096 points per iteration.
+void BM_KernelNearest(benchmark::State& state) {
+  const auto backend = static_cast<geo::KernelBackend>(state.range(0));
+  const auto kind = static_cast<geo::DistanceKind>(state.range(1));
+  geo::set_kernel_backend_for_testing(backend);
+  const auto kernel = make_kernel(kind);
+  const auto& soa = corpus_soa();
+  const std::size_t n = std::min<std::size_t>(4096, soa.lats.size());
+  std::vector<std::uint32_t> idx(n);
+  for (auto _ : state)
+    kernel.nearest(soa.lats.data(), soa.lons.data(), n, idx.data());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+  geo::set_kernel_backend_for_testing(geo::KernelBackend::kSimd);
+}
+BENCHMARK(BM_KernelNearest)
+    ->ArgsProduct({{static_cast<int>(geo::KernelBackend::kLegacy),
+                    static_cast<int>(geo::KernelBackend::kScalar),
+                    static_cast<int>(geo::KernelBackend::kSimd)},
+                   {static_cast<int>(geo::DistanceKind::kSquaredEuclidean),
+                    static_cast<int>(geo::DistanceKind::kHaversine)}});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  reproduce();
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

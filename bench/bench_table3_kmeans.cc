@@ -8,15 +8,20 @@
 // the 128 MB dataset costs more than the 66 MB one.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
 #include "bench_common.h"
+#include "common/check.h"
 #include "geo/distance.h"
 #include "geo/geolife.h"
+#include "geo/kernels.h"
 #include "gepeto/kmeans.h"
 #include "mapreduce/dfs.h"
+#include "storage/colfile.h"
 #include "telemetry/trace.h"
 
 namespace {
@@ -57,6 +62,94 @@ void print_table2() {
   t.row({"convergencedelta", "convergence test applied after each iteration"});
   t.row({"maxIter", "maximum number of iterations"});
   t.print(std::cout);
+}
+
+/// One k-means run of the speedup comparison: a fixed-iteration Table III
+/// workload under an explicit kernel backend and input format.
+core::KMeansResult speedup_leg(geo::KernelBackend backend, bool columnar,
+                               geo::DistanceKind kind, int iterations) {
+  geo::set_kernel_backend_for_testing(backend);
+  const auto& world = world90();
+  const std::size_t chunk = paper_scale() ? 32 * mr::kMiB : 512 * mr::kKiB;
+  auto cluster = parapluie(7, chunk);
+  mr::Dfs dfs(cluster);
+  if (columnar)
+    storage::dataset_to_dfs_columnar(dfs, "/in", world.data, 2);
+  else
+    geo::dataset_to_dfs(dfs, "/in", world.data, 2);
+
+  core::KMeansConfig config;
+  config.k = 10;
+  config.distance = kind;
+  config.seed = 11;
+  config.max_iterations = iterations;
+  config.convergence_delta_m = 0.0;
+  config.columnar_input = columnar;
+  auto result = core::kmeans_mapreduce(dfs, cluster, "/in/", "/clusters",
+                                       config);
+  geo::set_kernel_backend_for_testing(geo::KernelBackend::kSimd);
+  return result;
+}
+
+/// The PR 9 claim: SIMD batch kernels + the parse-free columnar map path vs
+/// the pre-kernel configuration (per-pair legacy distances over text input),
+/// end to end on the Table III workload. Also hard-checks the bit-identity
+/// contract at job level: the scalar and SIMD backends must produce
+/// byte-identical k-means results over the same columnar input.
+void kernel_speedup_rows(telemetry::BenchReporter& report) {
+  const int iterations = paper_scale() ? 3 : 2;
+
+  Table table("Kernel speedup (66 MB workload, end to end)");
+  table.header({"distance", "legacy+text", "simd+columnar", "speedup",
+                "parse s (text)", "parse s (col)", "compute s (col)"});
+  for (const auto kind :
+       {geo::DistanceKind::kHaversine, geo::DistanceKind::kSquaredEuclidean}) {
+    const auto before = speedup_leg(geo::KernelBackend::kLegacy,
+                                    /*columnar=*/false, kind, iterations);
+    const auto after = speedup_leg(geo::KernelBackend::kSimd,
+                                   /*columnar=*/true, kind, iterations);
+    const double speedup = before.totals.real_seconds /
+                           std::max(1e-9, after.totals.real_seconds);
+    const std::string distance = std::string(geo::distance_name(kind));
+    bill_job(report.add_row("kernel-speedup " + distance), after.totals)
+        .set_param("distance", distance)
+        .set_param("legacy_text_seconds", before.totals.real_seconds)
+        .set_param("simd_columnar_seconds", after.totals.real_seconds)
+        .set_param("legacy_map_parse_seconds",
+                   before.totals.map_parse_seconds)
+        .set_param("legacy_map_compute_seconds",
+                   before.totals.map_compute_seconds)
+        .set_param("speedup", speedup);
+    table.row({distance, format_seconds(before.totals.real_seconds),
+               format_seconds(after.totals.real_seconds),
+               std::to_string(speedup).substr(0, 4) + "x",
+               format_seconds(before.totals.map_parse_seconds),
+               format_seconds(after.totals.map_parse_seconds),
+               format_seconds(after.totals.map_compute_seconds)});
+  }
+  table.print(std::cout);
+
+  // Bit-identity at job level: scalar vs SIMD over identical columnar input.
+  const auto scalar = speedup_leg(geo::KernelBackend::kScalar,
+                                  /*columnar=*/true,
+                                  geo::DistanceKind::kHaversine, iterations);
+  const auto simd = speedup_leg(geo::KernelBackend::kSimd, /*columnar=*/true,
+                                geo::DistanceKind::kHaversine, iterations);
+  GEPETO_CHECK(scalar.centroids.size() == simd.centroids.size());
+  for (std::size_t i = 0; i < scalar.centroids.size(); ++i) {
+    GEPETO_CHECK_MSG(
+        std::bit_cast<std::uint64_t>(scalar.centroids[i].latitude) ==
+                std::bit_cast<std::uint64_t>(simd.centroids[i].latitude) &&
+            std::bit_cast<std::uint64_t>(scalar.centroids[i].longitude) ==
+                std::bit_cast<std::uint64_t>(simd.centroids[i].longitude),
+        "scalar/SIMD centroid divergence at index " << i);
+  }
+  GEPETO_CHECK(scalar.cluster_sizes == simd.cluster_sizes);
+  GEPETO_CHECK(std::bit_cast<std::uint64_t>(scalar.sse) ==
+               std::bit_cast<std::uint64_t>(simd.sse));
+  std::cout << "bit-identity: scalar and SIMD k-means outputs byte-identical "
+               "over columnar input (centroids, sizes, SSE).\n"
+            << "target: simd+columnar >= 1.5x over legacy+text end to end.\n";
 }
 
 void reproduce_table3() {
@@ -143,6 +236,8 @@ void reproduce_table3() {
                               result.iterations),
                std::to_string(row.paper_iterations)});
   }
+  kernel_speedup_rows(report);
+
   table.print(std::cout);
   write_report(report);
   std::cout << "shape checks: sq. Euclidean faster than Haversine at equal "

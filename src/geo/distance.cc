@@ -1,15 +1,10 @@
 #include "geo/distance.h"
 
 #include <cmath>
-#include <numbers>
 
 #include "common/check.h"
 
 namespace gepeto::geo {
-
-namespace {
-constexpr double kDegToRad = std::numbers::pi / 180.0;
-}
 
 double haversine_meters(double lat1, double lon1, double lat2, double lon2) {
   const double phi1 = lat1 * kDegToRad;

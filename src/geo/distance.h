@@ -7,11 +7,17 @@
 // also provided, as GEPETO lets the analyst choose the metric.
 #pragma once
 
+#include <numbers>
 #include <string_view>
 
 namespace gepeto::geo {
 
 inline constexpr double kEarthRadiusMeters = 6371000.8;
+
+/// Degrees-to-radians factor. Shared by distance.cc and the batch kernels
+/// (kernels.cc): both must fold coordinates through the *same* constant for
+/// the batched paths to stay bit-identical to the scalar formulas.
+inline constexpr double kDegToRad = std::numbers::pi / 180.0;
 
 /// Great-circle distance in meters (Sinnott's haversine formulation).
 double haversine_meters(double lat1, double lon1, double lat2, double lon2);

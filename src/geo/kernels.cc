@@ -1,0 +1,605 @@
+// Batched distance kernels (see kernels.h for the backend and bit-identity
+// contract, DESIGN.md §14 for the design).
+//
+// Layout choice: SIMD kernels put POINTS in vector lanes and scan centroids
+// in index order, broadcasting one centroid per step. Each lane therefore
+// executes exactly the scalar per-point algorithm — the argmin blend uses a
+// strict < compare, so the first (lowest-index) centroid achieving the
+// minimum key wins in every lane, and no cross-lane reduction (the classic
+// source of tie-break reordering) exists at all. Remainder points (n % lane
+// count) run through the same scalar per-point helpers the kScalar backend
+// uses, so tails are bit-identical by construction.
+//
+// This file must be compiled with -ffp-contract=off (set in
+// src/geo/CMakeLists.txt): a fused multiply-add in the scalar kernels would
+// produce differently-rounded keys than the explicit _mm256_mul_pd /
+// _mm256_add_pd sequences, breaking the scalar<->SIMD bit-identity contract.
+// The AVX2 target attribute deliberately does NOT enable "fma" for the same
+// reason.
+#include "geo/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define GEPETO_KERNELS_X86 1
+#else
+#define GEPETO_KERNELS_X86 0
+#endif
+
+namespace gepeto::geo {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// --- backend / level selection -----------------------------------------------
+
+KernelBackend backend_from_env() {
+  const char* env = std::getenv("GEPETO_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelBackend::kSimd;
+  const std::string_view name(env);
+  if (name == "legacy") return KernelBackend::kLegacy;
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "simd") return KernelBackend::kSimd;
+  GEPETO_CHECK_MSG(false,
+                   "GEPETO_KERNEL must be legacy|scalar|simd, got: " << name);
+}
+
+KernelBackend& backend_slot() {
+  static KernelBackend backend = backend_from_env();
+  return backend;
+}
+
+SimdLevel detect_simd_level() {
+#if GEPETO_KERNELS_X86
+  // SSE2 is part of the x86-64 baseline; AVX2 needs a CPUID check.
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  return SimdLevel::kSse2;
+#else
+  return SimdLevel::kScalarFallback;
+#endif
+}
+
+SimdLevel& level_slot() {
+  static SimdLevel level = detect_simd_level();
+  return level;
+}
+
+// --- scalar per-point helpers ------------------------------------------------
+// Used by the kScalar backend for every point and by the SIMD kernels for
+// remainder points, so tails are bit-identical by construction. Comparison
+// keys are reduced monotone forms: squared distance for (squared) Euclidean,
+// the haversine "a" term for great-circle (atan2(sqrt(a), sqrt(1-a)) is
+// strictly increasing in a on [0, 1], so the argmin is unchanged and the
+// expensive atan2 + 2 sqrt runs once per point, not once per pair).
+
+struct BestKey {
+  std::uint32_t index;
+  double key;
+};
+
+BestKey best_sq_scalar(double lat, double lon, const double* clat,
+                       const double* clon, std::size_t k) {
+  std::uint32_t best = 0;
+  double best_key = kInf;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double dlat = clat[i] - lat;
+    const double dlon = clon[i] - lon;
+    const double d = dlat * dlat + dlon * dlon;
+    if (d < best_key) {
+      best_key = d;
+      best = static_cast<std::uint32_t>(i);
+    }
+  }
+  return {best, best_key};
+}
+
+BestKey best_manhattan_scalar(double lat, double lon, const double* clat,
+                              const double* clon, std::size_t k) {
+  std::uint32_t best = 0;
+  double best_key = kInf;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double d = std::fabs(clat[i] - lat) + std::fabs(clon[i] - lon);
+    if (d < best_key) {
+      best_key = d;
+      best = static_cast<std::uint32_t>(i);
+    }
+  }
+  return {best, best_key};
+}
+
+BestKey best_haversine_scalar(double lat, double lon, double cos1,
+                              const double* clat, const double* clon,
+                              const double* ccos, std::size_t k) {
+  std::uint32_t best = 0;
+  double best_key = kInf;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double sdphi = std::sin(((clat[i] - lat) * kDegToRad) / 2.0);
+    const double sdlam = std::sin(((clon[i] - lon) * kDegToRad) / 2.0);
+    const double a = sdphi * sdphi + cos1 * ccos[i] * sdlam * sdlam;
+    if (a < best_key) {
+      best_key = a;
+      best = static_cast<std::uint32_t>(i);
+    }
+  }
+  return {best, best_key};
+}
+
+/// Winner key -> distance in the metric's own units, bit-identical to
+/// geo::distance() for the winning pair. The kInf sentinel means no centroid
+/// was selected (k == 0 or every key NaN); report
+/// std::numeric_limits<double>::max(), the legacy loop's untouched
+/// initializer. A selected key can never be kInf itself: strict < against a
+/// kInf initializer rejects infinite keys.
+double key_to_distance(DistanceKind kind, double key) {
+  if (key == kInf) return std::numeric_limits<double>::max();
+  switch (kind) {
+    case DistanceKind::kSquaredEuclidean:
+    case DistanceKind::kManhattan:
+      return key;
+    case DistanceKind::kEuclidean:
+      return std::sqrt(key);
+    case DistanceKind::kHaversine:
+      return 2.0 * kEarthRadiusMeters *
+             std::atan2(std::sqrt(key), std::sqrt(1.0 - key));
+  }
+  GEPETO_CHECK_MSG(false, "unknown DistanceKind");
+}
+
+// --- scalar batch kernels ----------------------------------------------------
+
+void nearest_sq_scalar(const double* lats, const double* lons, std::size_t n,
+                       const double* clat, const double* clon, std::size_t k,
+                       std::uint32_t* out_index, double* out_key) {
+  for (std::size_t p = 0; p < n; ++p) {
+    const BestKey b = best_sq_scalar(lats[p], lons[p], clat, clon, k);
+    out_index[p] = b.index;
+    if (out_key != nullptr) out_key[p] = b.key;
+  }
+}
+
+void nearest_manhattan_scalar(const double* lats, const double* lons,
+                              std::size_t n, const double* clat,
+                              const double* clon, std::size_t k,
+                              std::uint32_t* out_index, double* out_key) {
+  for (std::size_t p = 0; p < n; ++p) {
+    const BestKey b = best_manhattan_scalar(lats[p], lons[p], clat, clon, k);
+    out_index[p] = b.index;
+    if (out_key != nullptr) out_key[p] = b.key;
+  }
+}
+
+void nearest_haversine_scalar(const double* lats, const double* lons,
+                              std::size_t n, const double* clat,
+                              const double* clon, const double* ccos,
+                              std::size_t k, std::uint32_t* out_index,
+                              double* out_key) {
+  for (std::size_t p = 0; p < n; ++p) {
+    const double cos1 = std::cos(lats[p] * kDegToRad);
+    const BestKey b =
+        best_haversine_scalar(lats[p], lons[p], cos1, clat, clon, ccos, k);
+    out_index[p] = b.index;
+    if (out_key != nullptr) out_key[p] = b.key;
+  }
+}
+
+double equirect_one(double lat1, double lon1, double cos1, double lat2,
+                    double lon2) {
+  const double x = (lon2 - lon1) * kDegToRad * cos1;
+  const double y = (lat2 - lat1) * kDegToRad;
+  return std::sqrt(x * x + y * y) * kEarthRadiusMeters;
+}
+
+#if GEPETO_KERNELS_X86
+
+// --- SSE2 kernels (x86-64 baseline, no target attribute needed) --------------
+
+/// SSE2 has no BLENDVPD; and/andnot/or on the compare mask is exact.
+__m128d blendv_sse2(__m128d a, __m128d b, __m128d mask) {
+  return _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a));
+}
+
+void store_lanes_sse2(__m128d best, __m128d best_idx, std::uint32_t* out_index,
+                      double* out_key) {
+  alignas(16) double idx[2];
+  _mm_store_pd(idx, best_idx);
+  out_index[0] = static_cast<std::uint32_t>(idx[0]);
+  out_index[1] = static_cast<std::uint32_t>(idx[1]);
+  if (out_key != nullptr) _mm_storeu_pd(out_key, best);
+}
+
+void nearest_sq_sse2(const double* lats, const double* lons, std::size_t n,
+                     const double* clat, const double* clon, std::size_t k,
+                     std::uint32_t* out_index, double* out_key) {
+  std::size_t p = 0;
+  for (; p + 2 <= n; p += 2) {
+    const __m128d plat = _mm_loadu_pd(lats + p);
+    const __m128d plon = _mm_loadu_pd(lons + p);
+    __m128d best = _mm_set1_pd(kInf);
+    __m128d best_idx = _mm_setzero_pd();
+    for (std::size_t i = 0; i < k; ++i) {
+      const __m128d dlat = _mm_sub_pd(_mm_set1_pd(clat[i]), plat);
+      const __m128d dlon = _mm_sub_pd(_mm_set1_pd(clon[i]), plon);
+      const __m128d d =
+          _mm_add_pd(_mm_mul_pd(dlat, dlat), _mm_mul_pd(dlon, dlon));
+      const __m128d lt = _mm_cmplt_pd(d, best);
+      best = blendv_sse2(best, d, lt);
+      best_idx =
+          blendv_sse2(best_idx, _mm_set1_pd(static_cast<double>(i)), lt);
+    }
+    store_lanes_sse2(best, best_idx, out_index + p,
+                     out_key != nullptr ? out_key + p : nullptr);
+  }
+  nearest_sq_scalar(lats + p, lons + p, n - p, clat, clon, k, out_index + p,
+                    out_key != nullptr ? out_key + p : nullptr);
+}
+
+void nearest_manhattan_sse2(const double* lats, const double* lons,
+                            std::size_t n, const double* clat,
+                            const double* clon, std::size_t k,
+                            std::uint32_t* out_index, double* out_key) {
+  const __m128d sign = _mm_set1_pd(-0.0);
+  std::size_t p = 0;
+  for (; p + 2 <= n; p += 2) {
+    const __m128d plat = _mm_loadu_pd(lats + p);
+    const __m128d plon = _mm_loadu_pd(lons + p);
+    __m128d best = _mm_set1_pd(kInf);
+    __m128d best_idx = _mm_setzero_pd();
+    for (std::size_t i = 0; i < k; ++i) {
+      const __m128d dlat =
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_set1_pd(clat[i]), plat));
+      const __m128d dlon =
+          _mm_andnot_pd(sign, _mm_sub_pd(_mm_set1_pd(clon[i]), plon));
+      const __m128d d = _mm_add_pd(dlat, dlon);
+      const __m128d lt = _mm_cmplt_pd(d, best);
+      best = blendv_sse2(best, d, lt);
+      best_idx =
+          blendv_sse2(best_idx, _mm_set1_pd(static_cast<double>(i)), lt);
+    }
+    store_lanes_sse2(best, best_idx, out_index + p,
+                     out_key != nullptr ? out_key + p : nullptr);
+  }
+  nearest_manhattan_scalar(lats + p, lons + p, n - p, clat, clon, k,
+                           out_index + p,
+                           out_key != nullptr ? out_key + p : nullptr);
+}
+
+void equirect_batch_sse2(double lat1, double lon1, const double* lats2,
+                         const double* lons2, std::size_t n, double* out) {
+  const double cos1 = std::cos(lat1 * kDegToRad);
+  const __m128d cos1v = _mm_set1_pd(cos1);
+  const __m128d lat1v = _mm_set1_pd(lat1);
+  const __m128d lon1v = _mm_set1_pd(lon1);
+  const __m128d degv = _mm_set1_pd(kDegToRad);
+  const __m128d radiusv = _mm_set1_pd(kEarthRadiusMeters);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d x = _mm_mul_pd(
+        _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(lons2 + i), lon1v), degv), cos1v);
+    const __m128d y =
+        _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(lats2 + i), lat1v), degv);
+    const __m128d d =
+        _mm_sqrt_pd(_mm_add_pd(_mm_mul_pd(x, x), _mm_mul_pd(y, y)));
+    _mm_storeu_pd(out + i, _mm_mul_pd(d, radiusv));
+  }
+  for (; i < n; ++i)
+    out[i] = equirect_one(lat1, lon1, cos1, lats2[i], lons2[i]);
+}
+
+// --- AVX2 kernels (runtime-dispatched; target attribute, deliberately no
+// "fma" — see the file comment) ----------------------------------------------
+//
+// Every AVX2 kernel ends with an explicit _mm256_zeroupper() before running
+// its scalar remainder tail / returning. GCC only auto-inserts vzeroupper
+// ahead of calls it can see (the libm calls inside the haversine lane loop);
+// the leaf kernels would otherwise return with dirty upper YMM state, and
+// dirty uppers make every subsequent SSE instruction in the process pay the
+// AVX-SSE transition penalty — measured ~26x on scalar libm sin/cos, i.e.
+// one batch of squared-Euclidean SIMD would poison every haversine call
+// made afterwards anywhere in the program.
+
+__attribute__((target("avx2"))) void store_lanes_avx2(
+    __m256d best, __m256d best_idx, std::uint32_t* out_index,
+    double* out_key) {
+  alignas(32) double idx[4];
+  _mm256_store_pd(idx, best_idx);
+  for (int j = 0; j < 4; ++j)
+    out_index[j] = static_cast<std::uint32_t>(idx[j]);
+  if (out_key != nullptr) _mm256_storeu_pd(out_key, best);
+}
+
+__attribute__((target("avx2"))) void nearest_sq_avx2(
+    const double* lats, const double* lons, std::size_t n, const double* clat,
+    const double* clon, std::size_t k, std::uint32_t* out_index,
+    double* out_key) {
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d plat = _mm256_loadu_pd(lats + p);
+    const __m256d plon = _mm256_loadu_pd(lons + p);
+    __m256d best = _mm256_set1_pd(kInf);
+    __m256d best_idx = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < k; ++i) {
+      const __m256d dlat = _mm256_sub_pd(_mm256_set1_pd(clat[i]), plat);
+      const __m256d dlon = _mm256_sub_pd(_mm256_set1_pd(clon[i]), plon);
+      const __m256d d = _mm256_add_pd(_mm256_mul_pd(dlat, dlat),
+                                      _mm256_mul_pd(dlon, dlon));
+      const __m256d lt = _mm256_cmp_pd(d, best, _CMP_LT_OQ);
+      best = _mm256_blendv_pd(best, d, lt);
+      best_idx = _mm256_blendv_pd(best_idx,
+                                  _mm256_set1_pd(static_cast<double>(i)), lt);
+    }
+    store_lanes_avx2(best, best_idx, out_index + p,
+                     out_key != nullptr ? out_key + p : nullptr);
+  }
+  _mm256_zeroupper();
+  nearest_sq_scalar(lats + p, lons + p, n - p, clat, clon, k, out_index + p,
+                    out_key != nullptr ? out_key + p : nullptr);
+}
+
+__attribute__((target("avx2"))) void nearest_manhattan_avx2(
+    const double* lats, const double* lons, std::size_t n, const double* clat,
+    const double* clon, std::size_t k, std::uint32_t* out_index,
+    double* out_key) {
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  std::size_t p = 0;
+  for (; p + 4 <= n; p += 4) {
+    const __m256d plat = _mm256_loadu_pd(lats + p);
+    const __m256d plon = _mm256_loadu_pd(lons + p);
+    __m256d best = _mm256_set1_pd(kInf);
+    __m256d best_idx = _mm256_setzero_pd();
+    for (std::size_t i = 0; i < k; ++i) {
+      const __m256d dlat = _mm256_andnot_pd(
+          sign, _mm256_sub_pd(_mm256_set1_pd(clat[i]), plat));
+      const __m256d dlon = _mm256_andnot_pd(
+          sign, _mm256_sub_pd(_mm256_set1_pd(clon[i]), plon));
+      const __m256d d = _mm256_add_pd(dlat, dlon);
+      const __m256d lt = _mm256_cmp_pd(d, best, _CMP_LT_OQ);
+      best = _mm256_blendv_pd(best, d, lt);
+      best_idx = _mm256_blendv_pd(best_idx,
+                                  _mm256_set1_pd(static_cast<double>(i)), lt);
+    }
+    store_lanes_avx2(best, best_idx, out_index + p,
+                     out_key != nullptr ? out_key + p : nullptr);
+  }
+  _mm256_zeroupper();
+  nearest_manhattan_scalar(lats + p, lons + p, n - p, clat, clon, k,
+                           out_index + p,
+                           out_key != nullptr ? out_key + p : nullptr);
+}
+
+__attribute__((target("avx2"))) void equirect_batch_avx2(
+    double lat1, double lon1, const double* lats2, const double* lons2,
+    std::size_t n, double* out) {
+  const double cos1 = std::cos(lat1 * kDegToRad);
+  const __m256d cos1v = _mm256_set1_pd(cos1);
+  const __m256d lat1v = _mm256_set1_pd(lat1);
+  const __m256d lon1v = _mm256_set1_pd(lon1);
+  const __m256d degv = _mm256_set1_pd(kDegToRad);
+  const __m256d radiusv = _mm256_set1_pd(kEarthRadiusMeters);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_mul_pd(
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(lons2 + i), lon1v), degv),
+        cos1v);
+    const __m256d y =
+        _mm256_mul_pd(_mm256_sub_pd(_mm256_loadu_pd(lats2 + i), lat1v), degv);
+    const __m256d d =
+        _mm256_sqrt_pd(_mm256_add_pd(_mm256_mul_pd(x, x), _mm256_mul_pd(y, y)));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(d, radiusv));
+  }
+  _mm256_zeroupper();
+  for (; i < n; ++i)
+    out[i] = equirect_one(lat1, lon1, cos1, lats2[i], lons2[i]);
+}
+
+#endif  // GEPETO_KERNELS_X86
+
+// --- dispatch ----------------------------------------------------------------
+
+void nearest_sq(bool simd, const double* lats, const double* lons,
+                std::size_t n, const double* clat, const double* clon,
+                std::size_t k, std::uint32_t* out_index, double* out_key) {
+#if GEPETO_KERNELS_X86
+  if (simd) {
+    const SimdLevel level = simd_level();
+    if (level == SimdLevel::kAvx2) {
+      nearest_sq_avx2(lats, lons, n, clat, clon, k, out_index, out_key);
+      return;
+    }
+    if (level == SimdLevel::kSse2) {
+      nearest_sq_sse2(lats, lons, n, clat, clon, k, out_index, out_key);
+      return;
+    }
+  }
+#else
+  (void)simd;
+#endif
+  nearest_sq_scalar(lats, lons, n, clat, clon, k, out_index, out_key);
+}
+
+void nearest_manhattan(bool simd, const double* lats, const double* lons,
+                       std::size_t n, const double* clat, const double* clon,
+                       std::size_t k, std::uint32_t* out_index,
+                       double* out_key) {
+#if GEPETO_KERNELS_X86
+  if (simd) {
+    const SimdLevel level = simd_level();
+    if (level == SimdLevel::kAvx2) {
+      nearest_manhattan_avx2(lats, lons, n, clat, clon, k, out_index, out_key);
+      return;
+    }
+    if (level == SimdLevel::kSse2) {
+      nearest_manhattan_sse2(lats, lons, n, clat, clon, k, out_index, out_key);
+      return;
+    }
+  }
+#else
+  (void)simd;
+#endif
+  nearest_manhattan_scalar(lats, lons, n, clat, clon, k, out_index, out_key);
+}
+
+// The haversine argmin deliberately has NO vector variant: the per-pair cost
+// is the two libm sin calls, which have no vector form here, and wrapping
+// scalar sin calls in vector compare/blend assembly measured *slower* than
+// the plain scalar batch kernel (the compiler must vzeroupper around every
+// lane's libm call). kSimd therefore dispatches haversine to the scalar
+// batch kernel — the win over legacy (~4x) comes from the reduced "a"-term
+// key (no atan2/sqrt per pair), the hoisted dispatch, and the precomputed
+// per-centroid cos(lat), all of which the scalar batch kernel already has.
+void nearest_haversine(bool simd, const double* lats, const double* lons,
+                       std::size_t n, const double* clat, const double* clon,
+                       const double* ccos, std::size_t k,
+                       std::uint32_t* out_index, double* out_key) {
+  (void)simd;
+  nearest_haversine_scalar(lats, lons, n, clat, clon, ccos, k, out_index,
+                           out_key);
+}
+
+}  // namespace
+
+KernelBackend kernel_backend() { return backend_slot(); }
+
+void set_kernel_backend_for_testing(KernelBackend backend) {
+  backend_slot() = backend;
+}
+
+std::string_view kernel_backend_name(KernelBackend backend) {
+  switch (backend) {
+    case KernelBackend::kLegacy: return "legacy";
+    case KernelBackend::kScalar: return "scalar";
+    case KernelBackend::kSimd: return "simd";
+  }
+  return "?";
+}
+
+SimdLevel simd_level() { return level_slot(); }
+
+void set_simd_level_for_testing(SimdLevel level) {
+  GEPETO_CHECK_MSG(level <= detect_simd_level(),
+                   "cannot force a SIMD level above what this CPU supports");
+  level_slot() = level;
+}
+
+std::string_view simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalarFallback: return "scalar-fallback";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+CentroidKernel::CentroidKernel(DistanceKind kind, const double* centroid_lats,
+                               const double* centroid_lons, std::size_t k)
+    : kind_(kind),
+      clat_(centroid_lats, centroid_lats + k),
+      clon_(centroid_lons, centroid_lons + k) {
+  if (kind_ == DistanceKind::kHaversine) {
+    ccos_.resize(k);
+    for (std::size_t i = 0; i < k; ++i)
+      ccos_[i] = std::cos(clat_[i] * kDegToRad);
+  }
+}
+
+void CentroidKernel::nearest(const double* lats, const double* lons,
+                             std::size_t n, std::uint32_t* out_index,
+                             double* out_distance) const {
+  const std::size_t k = clat_.size();
+  const KernelBackend backend = kernel_backend();
+  if (backend == KernelBackend::kLegacy) {
+    // The pre-kernel code path, verbatim: per-pair geo::distance() with the
+    // full formula, keep-first strict < argmin. Kept measurable for benches.
+    for (std::size_t p = 0; p < n; ++p) {
+      std::uint32_t best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (std::size_t i = 0; i < k; ++i) {
+        const double d = distance(kind_, lats[p], lons[p], clat_[i], clon_[i]);
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<std::uint32_t>(i);
+        }
+      }
+      out_index[p] = best;
+      if (out_distance != nullptr) out_distance[p] = best_d;
+    }
+    return;
+  }
+
+  // Reduced-key argmin; keys land in out_distance (when requested) and are
+  // transformed to metric units afterwards, once per point.
+  const bool simd = backend == KernelBackend::kSimd;
+  switch (kind_) {
+    case DistanceKind::kSquaredEuclidean:
+    case DistanceKind::kEuclidean:
+      nearest_sq(simd, lats, lons, n, clat_.data(), clon_.data(), k, out_index,
+                 out_distance);
+      break;
+    case DistanceKind::kManhattan:
+      nearest_manhattan(simd, lats, lons, n, clat_.data(), clon_.data(), k,
+                        out_index, out_distance);
+      break;
+    case DistanceKind::kHaversine:
+      nearest_haversine(simd, lats, lons, n, clat_.data(), clon_.data(),
+                        ccos_.data(), k, out_index, out_distance);
+      break;
+  }
+  if (out_distance != nullptr) {
+    for (std::size_t p = 0; p < n; ++p)
+      out_distance[p] = key_to_distance(kind_, out_distance[p]);
+  }
+}
+
+void haversine_meters_batch(double lat1, double lon1, const double* lats2,
+                            const double* lons2, std::size_t n, double* out) {
+  if (kernel_backend() == KernelBackend::kLegacy) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = haversine_meters(lat1, lon1, lats2[i], lons2[i]);
+    return;
+  }
+  // cos(phi1) hoisted; everything else is the haversine_meters() op sequence
+  // verbatim, so each out[i] is bit-identical to the scalar call.
+  const double cos1 = std::cos(lat1 * kDegToRad);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double sdphi = std::sin(((lats2[i] - lat1) * kDegToRad) / 2.0);
+    const double sdlambda = std::sin(((lons2[i] - lon1) * kDegToRad) / 2.0);
+    const double a = sdphi * sdphi +
+                     cos1 * std::cos(lats2[i] * kDegToRad) * sdlambda * sdlambda;
+    out[i] = 2.0 * kEarthRadiusMeters *
+             std::atan2(std::sqrt(a), std::sqrt(1.0 - a));
+  }
+}
+
+void equirectangular_meters_batch(double lat1, double lon1,
+                                  const double* lats2, const double* lons2,
+                                  std::size_t n, double* out) {
+  const KernelBackend backend = kernel_backend();
+  if (backend == KernelBackend::kLegacy) {
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = equirectangular_meters(lat1, lon1, lats2[i], lons2[i]);
+    return;
+  }
+#if GEPETO_KERNELS_X86
+  if (backend == KernelBackend::kSimd) {
+    const SimdLevel level = simd_level();
+    if (level == SimdLevel::kAvx2) {
+      equirect_batch_avx2(lat1, lon1, lats2, lons2, n, out);
+      return;
+    }
+    if (level == SimdLevel::kSse2) {
+      equirect_batch_sse2(lat1, lon1, lats2, lons2, n, out);
+      return;
+    }
+  }
+#endif
+  const double cos1 = std::cos(lat1 * kDegToRad);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = equirect_one(lat1, lon1, cos1, lats2[i], lons2[i]);
+}
+
+}  // namespace gepeto::geo

@@ -1,0 +1,131 @@
+// Batched, vectorized distance kernels for the map hot path (DESIGN.md §14).
+//
+// The k-means assignment loop and the radius-style neighborhood tests spend
+// their time computing point-vs-centroid (or point-vs-origin) distances one
+// pair at a time through the geo::distance(kind, ...) enum dispatch. The
+// kernels here hoist the DistanceKind switch out of the per-point loop and
+// evaluate whole batches of points at once:
+//
+//   * CentroidKernel — n points against all k centroids with a per-point
+//     argmin ("which centroid is nearest"), the k-means assignment kernel.
+//   * haversine_meters_batch / equirectangular_meters_batch — one fixed
+//     origin against n points, the radius-test/fold kernel used by MMC
+//     attachment, mix-zone tests, R-Tree radius search, and DJ-Cluster
+//     cluster summaries.
+//
+// Three backends, selectable via GEPETO_KERNEL=legacy|scalar|simd:
+//
+//   * kLegacy — the pre-kernel code path: per-pair geo::distance() calls
+//     with the full metric formula (haversine pays atan2 + 2 sqrt per pair).
+//     Kept so benches can measure the win honestly.
+//   * kScalar — the batched scalar reference: the DistanceKind switch runs
+//     once per batch, comparisons use reduced monotone keys (squared
+//     distance for Euclidean, the haversine "a" term for great-circle), and
+//     per-centroid cos(lat) terms are precomputed.
+//   * kSimd — the same arithmetic with the mul/add/compare assembly
+//     vectorized (AVX2 when the CPU has it, SSE2 otherwise — both are
+//     runtime-dispatched; non-x86 builds fall back to kScalar arithmetic).
+//     Metrics dominated by libm transcendentals (haversine) keep the scalar
+//     batch kernel under kSimd too: wrapping scalar sin calls in vector
+//     blends measured slower than the plain batch loop, and the batch loop
+//     already beats legacy ~4x on the reduced key alone.
+//
+// Bit-identity contract: kScalar and kSimd produce byte-identical outputs
+// for every input, including NaN/Inf coordinates — each SIMD lane executes
+// exactly the scalar per-point algorithm (points ride in lanes; the argmin
+// blend uses strict <, so the lowest centroid index wins ties exactly like
+// the scalar keep-first loop), transcendental terms use the same libm calls
+// in both backends, and vector mul/add/sqrt are IEEE-exact copies of their
+// scalar counterparts (no FMA contraction: kernels.cc is compiled with
+// -ffp-contract=off and the AVX2 target does not enable FMA). Winning
+// distances are reported in the metric's own units, bit-identical to
+// geo::distance() for the winning pair.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "geo/distance.h"
+
+namespace gepeto::geo {
+
+/// Kernel implementation selector (see file comment).
+enum class KernelBackend { kLegacy, kScalar, kSimd };
+
+/// Process-wide backend: resolved once from GEPETO_KERNEL=legacy|scalar|simd
+/// (default simd) and cached. Throws CheckFailure on unknown names.
+KernelBackend kernel_backend();
+
+/// Override the cached backend (tests and backend-comparison benches). Set
+/// before submitting jobs; forked process-backend workers inherit the value.
+void set_kernel_backend_for_testing(KernelBackend backend);
+
+std::string_view kernel_backend_name(KernelBackend backend);
+
+/// Instruction-set level the kSimd backend dispatches to. Resolved once from
+/// CPUID on x86-64 (kAvx2 when available, else kSse2); non-x86 builds always
+/// report kScalarFallback. Tests can force a lower level to exercise every
+/// dispatch target on one machine; requesting a level that is not compiled
+/// in degrades to scalar arithmetic (still bit-identical).
+enum class SimdLevel { kScalarFallback, kSse2, kAvx2 };
+
+SimdLevel simd_level();
+void set_simd_level_for_testing(SimdLevel level);
+std::string_view simd_level_name(SimdLevel level);
+
+/// Nearest-centroid batch kernel: evaluates n points against all k centroids
+/// and reports the argmin per point.
+///
+/// Tie-break contract (asserted by tests/test_kernels.cc): when two
+/// centroids compare exactly equal for a point, the LOWEST centroid index
+/// wins — the scalar loop keeps the first strict improvement, and the SIMD
+/// lanes reproduce that exactly because each lane scans centroids in index
+/// order with a strict < blend. NaN comparison keys are never selected
+/// (strict < is false); a point whose every key is NaN reports index 0 and
+/// distance std::numeric_limits<double>::max(), matching the legacy loop's
+/// untouched initializer.
+class CentroidKernel {
+ public:
+  /// Snapshots k centroid coordinates (struct-of-arrays) and precomputes the
+  /// per-centroid cos(lat) terms used by the haversine kernel.
+  CentroidKernel(DistanceKind kind, const double* centroid_lats,
+                 const double* centroid_lons, std::size_t k);
+
+  /// For each of the n points, writes the nearest centroid index into
+  /// out_index[i] and, when out_distance is non-null, the winning distance
+  /// into out_distance[i] — in the metric's own units (meters for haversine,
+  /// degree-space otherwise), bit-identical to geo::distance(kind, ...) for
+  /// the winning pair.
+  void nearest(const double* lats, const double* lons, std::size_t n,
+               std::uint32_t* out_index, double* out_distance = nullptr) const;
+
+  std::size_t k() const { return clat_.size(); }
+  DistanceKind kind() const { return kind_; }
+
+ private:
+  DistanceKind kind_;
+  std::vector<double> clat_;
+  std::vector<double> clon_;
+  std::vector<double> ccos_;  ///< cos(lat * kDegToRad) per centroid (haversine)
+};
+
+/// Batched haversine: distances from one origin to n points, bit-identical
+/// per pair to haversine_meters(lat1, lon1, lats2[i], lons2[i]). Scalar on
+/// every backend — the per-pair cost is the sin/cos/atan2 calls, which have
+/// no vector form here; the batch form still hoists cos(lat1) out of the
+/// loop. Callers batch distances into a buffer and keep their original
+/// comparison fold over it, preserving per-site tie semantics.
+void haversine_meters_batch(double lat1, double lon1, const double* lats2,
+                            const double* lons2, std::size_t n, double* out);
+
+/// Batched equirectangular approximation: bit-identical per pair to
+/// equirectangular_meters(lat1, lon1, lats2[i], lons2[i]). Fully vectorized
+/// under kSimd (cos(lat1) hoisted; mul/add/sqrt are IEEE-exact in vector
+/// form), scalar under kScalar/kLegacy.
+void equirectangular_meters_batch(double lat1, double lon1,
+                                  const double* lats2, const double* lons2,
+                                  std::size_t n, double* out);
+
+}  // namespace gepeto::geo

@@ -10,6 +10,7 @@
 #include "common/check.h"
 #include "geo/distance.h"
 #include "geo/geolife.h"
+#include "geo/kernels.h"
 #include "index/rtree.h"
 #include "mapreduce/engine.h"
 
@@ -393,6 +394,11 @@ std::vector<ClusterSummary> summarize_clusters(
     s.centroid_lat = c.centroid_lat;
     s.centroid_lon = c.centroid_lon;
     s.size = static_cast<std::uint32_t>(c.members.size());
+    // Resolve all member coordinates first, then take the radius as one
+    // batched haversine pass (kernels.h) + the original max fold.
+    std::vector<double> mlats, mlons;
+    mlats.reserve(c.members.size());
+    mlons.reserve(c.members.size());
     for (const std::uint64_t member : c.members) {
       std::int32_t user_id;
       std::int64_t timestamp;
@@ -408,10 +414,13 @@ std::vector<ClusterSummary> summarize_clusters(
           });
       GEPETO_CHECK_MSG(it != trail.end() && it->timestamp == timestamp,
                        "cluster member references an unknown trace");
-      s.radius_m = std::max(
-          s.radius_m, geo::haversine_meters(s.centroid_lat, s.centroid_lon,
-                                            it->latitude, it->longitude));
+      mlats.push_back(it->latitude);
+      mlons.push_back(it->longitude);
     }
+    std::vector<double> dist(mlats.size());
+    geo::haversine_meters_batch(s.centroid_lat, s.centroid_lon, mlats.data(),
+                                mlons.data(), mlats.size(), dist.data());
+    for (const double d : dist) s.radius_m = std::max(s.radius_m, d);
     out.push_back(s);
   }
   return out;

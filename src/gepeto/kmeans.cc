@@ -4,11 +4,13 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 
 #include "common/check.h"
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "geo/geolife.h"
+#include "geo/kernels.h"
 #include "mapreduce/engine.h"
 #include "storage/columnar_jobs.h"
 #include "workflow/flow.h"
@@ -42,16 +44,43 @@ std::vector<Centroid> load_centroids_cache(mr::TaskContext& ctx,
   return std::move(*parsed);
 }
 
+/// Snapshot a centroid vector into the batched assignment kernel's
+/// struct-of-arrays form.
+geo::CentroidKernel make_assignment_kernel(
+    const std::vector<Centroid>& centroids, geo::DistanceKind kind) {
+  std::vector<double> lats;
+  std::vector<double> lons;
+  lats.reserve(centroids.size());
+  lons.reserve(centroids.size());
+  for (const auto& c : centroids) {
+    lats.push_back(c.latitude);
+    lons.push_back(c.longitude);
+  }
+  return geo::CentroidKernel(kind, lats.data(), lons.data(), centroids.size());
+}
+
 struct KMeansMapper {
   using OutKey = std::int32_t;
   using OutValue = PointSum;
 
+  /// Points buffered between kernel flushes. Small enough to stay in L1/L2
+  /// alongside the centroids; flushes preserve record order, so emission
+  /// order — and with it every spill/shuffle byte — is identical to the
+  /// unbuffered per-record loop.
+  static constexpr std::size_t kPointBatch = 256;
+
   std::string clusters_file;
   geo::DistanceKind kind{};
-  std::vector<Centroid> centroids;
+  std::optional<geo::CentroidKernel> kernel;
+  std::vector<double> lats;
+  std::vector<double> lons;
+  std::vector<std::uint32_t> idx;
 
   void setup(mr::TaskContext& ctx) {
-    centroids = load_centroids_cache(ctx, clusters_file);
+    kernel.emplace(
+        make_assignment_kernel(load_centroids_cache(ctx, clusters_file), kind));
+    lats.reserve(kPointBatch);
+    lons.reserve(kPointBatch);
   }
 
   void map(std::int64_t, std::string_view line,
@@ -61,25 +90,49 @@ struct KMeansMapper {
       ctx.increment("kmeans.malformed_lines");
       return;
     }
-    const auto c = nearest_centroid(centroids, kind, t.latitude, t.longitude);
-    ctx.emit(static_cast<std::int32_t>(c), {t.latitude, t.longitude, 1});
+    lats.push_back(t.latitude);
+    lons.push_back(t.longitude);
+    if (lats.size() >= kPointBatch) flush(ctx);
+  }
+
+  void cleanup(mr::MapContext<OutKey, OutValue>& ctx) { flush(ctx); }
+
+ private:
+  void flush(mr::MapContext<OutKey, OutValue>& ctx) {
+    if (lats.empty()) return;
+    idx.resize(lats.size());
+    Stopwatch sw;
+    kernel->nearest(lats.data(), lons.data(), lats.size(), idx.data());
+    ctx.add_compute_seconds(sw.seconds());
+    for (std::size_t i = 0; i < lats.size(); ++i)
+      ctx.emit(static_cast<std::int32_t>(idx[i]), {lats[i], lons[i], 1});
+    lats.clear();
+    lons.clear();
   }
 };
 
 /// Binary-record twin of KMeansMapper (columnar splits hand the mapper
-/// 32-byte binary traces).
+/// 32-byte binary traces), plus the parse-free block path: when the engine's
+/// batch fast path is engaged, whole decoded blocks arrive as
+/// struct-of-arrays column spans and never round-trip through record bytes.
 struct BinaryKMeansMapper {
   using OutKey = std::int32_t;
   using OutValue = PointSum;
 
   std::string clusters_file;
   geo::DistanceKind kind{};
-  std::vector<Centroid> centroids;
+  std::optional<geo::CentroidKernel> kernel;
+  std::vector<double> lats;
+  std::vector<double> lons;
+  std::vector<std::uint32_t> idx;
 
   void setup(mr::TaskContext& ctx) {
-    centroids = load_centroids_cache(ctx, clusters_file);
+    kernel.emplace(
+        make_assignment_kernel(load_centroids_cache(ctx, clusters_file), kind));
   }
 
+  /// Record-at-a-time path: kept for the chaos modes (skip mode, fault
+  /// plans) that need per-record granularity.
   void map(std::int64_t, std::string_view record,
            mr::MapContext<OutKey, OutValue>& ctx) {
     geo::MobilityTrace t;
@@ -87,8 +140,42 @@ struct BinaryKMeansMapper {
       ctx.increment("kmeans.malformed_records");
       return;
     }
-    const auto c = nearest_centroid(centroids, kind, t.latitude, t.longitude);
-    ctx.emit(static_cast<std::int32_t>(c), {t.latitude, t.longitude, 1});
+    assign_and_emit(&t.latitude, &t.longitude, 1, ctx);
+  }
+
+  /// Block-batched path. The coordinate filter mirrors trace_from_binary()
+  /// exactly (the 32-byte length check always holds for decoded blocks), and
+  /// valid points keep their record order, so the shuffle stream is
+  /// byte-identical to the record path.
+  void map_batch(std::int64_t, const storage::TraceColumns& cols,
+                 mr::MapContext<OutKey, OutValue>& ctx) {
+    lats.clear();
+    lons.clear();
+    std::int64_t bad = 0;
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      const double lat = cols.lats[i];
+      const double lon = cols.lons[i];
+      if (!(lat >= -90.0 && lat <= 90.0) || !(lon >= -180.0 && lon <= 180.0)) {
+        ++bad;
+        continue;
+      }
+      lats.push_back(lat);
+      lons.push_back(lon);
+    }
+    if (bad > 0) ctx.increment("kmeans.malformed_records", bad);
+    assign_and_emit(lats.data(), lons.data(), lats.size(), ctx);
+  }
+
+ private:
+  void assign_and_emit(const double* plat, const double* plon, std::size_t n,
+                       mr::MapContext<OutKey, OutValue>& ctx) {
+    if (n == 0) return;
+    idx.resize(n);
+    Stopwatch sw;
+    kernel->nearest(plat, plon, n, idx.data());
+    ctx.add_compute_seconds(sw.seconds());
+    for (std::size_t i = 0; i < n; ++i)
+      ctx.emit(static_cast<std::int32_t>(idx[i]), {plat[i], plon[i], 1});
   }
 };
 
@@ -284,6 +371,10 @@ std::vector<Centroid> kmeanspp_centroids(const geo::GeolocatedDataset& dataset,
 std::size_t nearest_centroid(const std::vector<Centroid>& centroids,
                              geo::DistanceKind kind, double lat, double lon) {
   GEPETO_DCHECK(!centroids.empty());
+  // Tie-break contract: the strict < keeps the FIRST (lowest-index) centroid
+  // among exact-equal distances. geo::CentroidKernel::nearest reproduces this
+  // on every backend (tests/test_kernels.cc asserts both); changing either
+  // silently reshuffles cluster assignments on symmetric inputs.
   std::size_t best = 0;
   double best_d = std::numeric_limits<double>::max();
   for (std::size_t i = 0; i < centroids.size(); ++i) {
@@ -378,6 +469,17 @@ KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
           : initial_centroids(dataset, config.k, config.seed);
 
   const auto traces = dataset.all_traces();
+  // Struct-of-arrays snapshot of the points, built once: every iteration's
+  // assignment pass runs the batched kernel over it instead of per-point
+  // geo::distance() dispatch. Accumulation stays in trace order, so the
+  // floating-point sums match the unbatched loop exactly.
+  std::vector<double> plats(traces.size());
+  std::vector<double> plons(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    plats[i] = traces[i].latitude;
+    plons[i] = traces[i].longitude;
+  }
+  std::vector<std::uint32_t> assign(traces.size());
   std::vector<double> lat_sum(static_cast<std::size_t>(config.k));
   std::vector<double> lon_sum(static_cast<std::size_t>(config.k));
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(config.k));
@@ -386,11 +488,13 @@ KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
     std::fill(lat_sum.begin(), lat_sum.end(), 0.0);
     std::fill(lon_sum.begin(), lon_sum.end(), 0.0);
     std::fill(counts.begin(), counts.end(), 0);
-    for (const auto& t : traces) {
-      const auto c = nearest_centroid(result.centroids, config.distance,
-                                      t.latitude, t.longitude);
-      lat_sum[c] += t.latitude;
-      lon_sum[c] += t.longitude;
+    const auto kernel =
+        make_assignment_kernel(result.centroids, config.distance);
+    kernel.nearest(plats.data(), plons.data(), traces.size(), assign.data());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const auto c = assign[i];
+      lat_sum[c] += plats[i];
+      lon_sum[c] += plons[i];
       ++counts[c];
     }
     double max_move = 0.0;
@@ -408,13 +512,15 @@ KMeansResult kmeans_sequential(const geo::GeolocatedDataset& dataset,
     }
   }
 
-  // Final assignment for sizes and SSE.
+  // Final assignment for sizes and SSE (batched, accumulated in trace order
+  // like the loop above).
   result.cluster_sizes.assign(static_cast<std::size_t>(config.k), 0);
-  for (const auto& t : traces) {
-    const auto c = nearest_centroid(result.centroids, config.distance,
-                                    t.latitude, t.longitude);
+  const auto kernel = make_assignment_kernel(result.centroids, config.distance);
+  kernel.nearest(plats.data(), plons.data(), traces.size(), assign.data());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const auto c = assign[i];
     ++result.cluster_sizes[c];
-    result.sse += geo::squared_euclidean_deg(t.latitude, t.longitude,
+    result.sse += geo::squared_euclidean_deg(plats[i], plons[i],
                                              result.centroids[c].latitude,
                                              result.centroids[c].longitude);
   }
@@ -571,13 +677,19 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
                  ? storage::run_columnar_mapreduce_job(
                        dfs, e.cluster(), job,
                        [clusters_file, kind] {
-                         return BinaryKMeansMapper{clusters_file, kind, {}};
+                         BinaryKMeansMapper m;
+                         m.clusters_file = clusters_file;
+                         m.kind = kind;
+                         return m;
                        },
                        make_reducer, make_combiner)
                  : mr::run_mapreduce_job(
                        dfs, e.cluster(), job,
                        [clusters_file, kind] {
-                         return KMeansMapper{clusters_file, kind, {}};
+                         KMeansMapper m;
+                         m.clusters_file = clusters_file;
+                         m.kind = kind;
+                         return m;
                        },
                        make_reducer, make_combiner);
 
@@ -644,24 +756,43 @@ KMeansResult kmeans_mapreduce(mr::Dfs& dfs, const mr::ClusterConfig& cluster,
       .reads(clusters_path)
       .scratch(clusters_path + "/out-");
 
-  // SSE from a final read of the input against the final centroids.
+  // SSE from a final read of the input against the final centroids. Points
+  // are buffered and assigned through the batch kernel; the SSE sum still
+  // accumulates in stream order, matching the per-point loop bit for bit.
   f.add_native("kmeans-sse", [st, &config, input](flow::FlowEngine& e) {
+        const auto kernel =
+            make_assignment_kernel(st->result.centroids, config.distance);
+        std::vector<double> blats;
+        std::vector<double> blons;
+        std::vector<std::uint32_t> bidx;
+        const auto flush = [&] {
+          if (blats.empty()) return;
+          bidx.resize(blats.size());
+          kernel.nearest(blats.data(), blons.data(), blats.size(),
+                         bidx.data());
+          for (std::size_t i = 0; i < blats.size(); ++i) {
+            const auto& c = st->result.centroids[bidx[i]];
+            st->result.sse += geo::squared_euclidean_deg(
+                blats[i], blons[i], c.latitude, c.longitude);
+          }
+          blats.clear();
+          blons.clear();
+        };
         const auto accumulate = [&](const geo::MobilityTrace& t) {
-          const auto c = nearest_centroid(st->result.centroids,
-                                          config.distance, t.latitude,
-                                          t.longitude);
-          st->result.sse += geo::squared_euclidean_deg(
-              t.latitude, t.longitude, st->result.centroids[c].latitude,
-              st->result.centroids[c].longitude);
+          blats.push_back(t.latitude);
+          blons.push_back(t.longitude);
+          if (blats.size() >= 4096) flush();
         };
         if (config.columnar_input) {
           // One decoded block resident at a time, like the init pass.
           storage::for_each_dfs_columnar_trace(e.dfs(), input, accumulate);
+          flush();
           return;
         }
         const auto dataset = geo::dataset_from_dfs(e.dfs(), input);
         for (const auto& [uid, trail] : dataset)
           for (const auto& t : trail) accumulate(t);
+        flush();
       })
       .reads(input)
       .after("kmeans-iterate");

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "geo/distance.h"
+#include "geo/kernels.h"
 
 namespace gepeto::core {
 
@@ -40,15 +41,25 @@ std::vector<int> visit_sequence(const geo::Trail& trail,
                                 const std::vector<PoiCandidate>& states,
                                 double attach_radius_m) {
   std::vector<int> visits;
+  // Batched distances (kernels.h): states snapshotted as struct-of-arrays
+  // once, one haversine_meters_batch call per trail point. The fold below is
+  // unchanged — in particular its <= keeps the LAST (highest-index) state
+  // among equals, which the argmin kernel's strict < would flip.
+  const std::size_t n = states.size();
+  std::vector<double> slats(n), slons(n), dist(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    slats[s] = states[s].latitude;
+    slons[s] = states[s].longitude;
+  }
   int prev = -1;
   for (const auto& t : trail) {
+    geo::haversine_meters_batch(t.latitude, t.longitude, slats.data(),
+                                slons.data(), n, dist.data());
     int best = -1;
     double best_d = attach_radius_m;
-    for (std::size_t s = 0; s < states.size(); ++s) {
-      const double d = geo::haversine_meters(
-          t.latitude, t.longitude, states[s].latitude, states[s].longitude);
-      if (d <= best_d) {
-        best_d = d;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (dist[s] <= best_d) {
+        best_d = dist[s];
         best = static_cast<int>(s);
       }
     }
@@ -163,14 +174,20 @@ double mmc_distance(const MobilityMarkovChain& a,
   // nearest state, symmetrized. Distances in meters.
   auto one_way = [](const MobilityMarkovChain& x,
                     const MobilityMarkovChain& y) {
+    // Batched per x-state (kernels.h); the std::min fold over the buffer is
+    // the original reduction, value-identical per pair.
+    const std::size_t ny = y.states.size();
+    std::vector<double> ylats(ny), ylons(ny), dist(ny);
+    for (std::size_t j = 0; j < ny; ++j) {
+      ylats[j] = y.states[j].latitude;
+      ylons[j] = y.states[j].longitude;
+    }
     double cost = 0.0;
     for (std::size_t i = 0; i < x.states.size(); ++i) {
+      geo::haversine_meters_batch(x.states[i].latitude, x.states[i].longitude,
+                                  ylats.data(), ylons.data(), ny, dist.data());
       double best = std::numeric_limits<double>::max();
-      for (const auto& s : y.states) {
-        best = std::min(best, geo::haversine_meters(
-                                  x.states[i].latitude, x.states[i].longitude,
-                                  s.latitude, s.longitude));
-      }
+      for (std::size_t j = 0; j < ny; ++j) best = std::min(best, dist[j]);
       cost += x.stationary[i] * best;
     }
     return cost;

@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "geo/distance.h"
 #include "geo/geolife.h"
+#include "geo/kernels.h"
 #include "mapreduce/engine.h"
 
 namespace gepeto::core {
@@ -288,11 +289,21 @@ MixZoneResult apply_mix_zones(const geo::GeolocatedDataset& dataset,
   for (const auto& [uid, trail] : dataset)
     next_pseudonym = std::max(next_pseudonym, uid + 1);
 
+  // Zone centers snapshotted as struct-of-arrays once; each membership test
+  // is one batched haversine call (kernels.h) followed by the original
+  // per-zone radius compare (each zone has its own radius, so this is a
+  // filter over the distance buffer, not an argmin).
+  std::vector<double> zlats(zones.size()), zlons(zones.size());
+  std::vector<double> zdist(zones.size());
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    zlats[z] = zones[z].latitude;
+    zlons[z] = zones[z].longitude;
+  }
   auto in_zone = [&](const geo::MobilityTrace& t) {
-    for (const auto& z : zones) {
-      if (geo::haversine_meters(t.latitude, t.longitude, z.latitude,
-                                z.longitude) <= z.radius_m)
-        return true;
+    geo::haversine_meters_batch(t.latitude, t.longitude, zlats.data(),
+                                zlons.data(), zones.size(), zdist.data());
+    for (std::size_t z = 0; z < zones.size(); ++z) {
+      if (zdist[z] <= zones[z].radius_m) return true;
     }
     return false;
   };

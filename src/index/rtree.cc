@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "geo/distance.h"
+#include "geo/kernels.h"
 
 namespace gepeto::index {
 
@@ -398,10 +399,21 @@ std::vector<RTreeEntry> RTree::radius_search_meters(double lat, double lon,
   const double dlon = radius_m / (111320.0 * coslat);
   const Rect box =
       Rect::of(lat - dlat, lon - dlon, lat + dlat, lon + dlon);
+  // Exact-distance refinement of the box candidates runs as one batched
+  // haversine call (kernels.h) plus the original radius filter, preserving
+  // candidate order.
+  const auto candidates = search(box);
+  std::vector<double> clats(candidates.size()), clons(candidates.size());
+  std::vector<double> dist(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    clats[i] = candidates[i].lat;
+    clons[i] = candidates[i].lon;
+  }
+  geo::haversine_meters_batch(lat, lon, clats.data(), clons.data(),
+                              candidates.size(), dist.data());
   std::vector<RTreeEntry> out;
-  for (const auto& e : search(box)) {
-    if (geo::haversine_meters(lat, lon, e.lat, e.lon) <= radius_m)
-      out.push_back(e);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (dist[i] <= radius_m) out.push_back(candidates[i]);
   }
   return out;
 }

@@ -104,11 +104,19 @@ class TaskContext {
 
   const Counters& counters() const { return counters_; }
 
+  /// Compute-time attribution: mappers that hand work to batch kernels
+  /// (geo/kernels.h) accumulate the kernel wall time here; the engine
+  /// reports it as mr_map_compute_seconds and attributes the rest of the
+  /// map loop (record decode, parsing, emit) to mr_map_parse_seconds.
+  void add_compute_seconds(double seconds) { compute_seconds_ += seconds; }
+  double compute_seconds() const { return compute_seconds_; }
+
  private:
   const Dfs& dfs_;
   const JobConfig& job_;
   int task_index_;
   Counters counters_;
+  double compute_seconds_ = 0.0;
 };
 
 /// Context handed to map-only mappers: output lines go straight to the
@@ -408,6 +416,23 @@ concept GroupAwareMapper =
     requires(const Mapper& m, std::string_view a, std::string_view b) {
       { m.same_group(a, b) } -> std::convertible_to<bool>;
     };
+
+/// Batch map protocol: a record reader that can hand out whole decoded
+/// batches (next_batch() / batch() / batch_first_key()) paired with a mapper
+/// that consumes them (map_batch). Batch b covers the record keys
+/// [batch_first_key(), batch_first_key() + batch().size()) — the same keys
+/// the record-at-a-time mode assigns — so an AttemptFailure thrown from
+/// map_batch is attributed to the batch's first record. The engine engages
+/// this fast path only when nothing needs record granularity: no skip set,
+/// no injected crash, an empty fault plan (poison records and
+/// kill-at-record process faults address individual records). Both paths
+/// must produce byte-identical map output.
+template <typename Mapper, typename Records, typename Ctx>
+concept BatchRecords = requires(Mapper& m, Records& r, Ctx& ctx) {
+  { r.next_batch() } -> std::convertible_to<bool>;
+  { r.batch_first_key() } -> std::convertible_to<std::int64_t>;
+  m.map_batch(r.batch_first_key(), r.batch(), ctx);
+};
 
 struct BinaryRecords {
   SeqFileReader reader;
@@ -1093,6 +1118,11 @@ JobResult run_mapreduce_job_impl(Dfs& dfs, const ClusterConfig& config,
     std::uint64_t input_bytes = 0;
     double cpu_seconds = 0.0;
     double sort_seconds = 0.0;  // wall time sorting (and re-sorting) spills
+    // Map-loop wall time split: kernel time the mapper attributed via
+    // TaskContext::add_compute_seconds vs everything else in the record
+    // loop (decode, parse, emit). parse + compute ≈ the loop's wall time.
+    double map_parse_seconds = 0.0;
+    double map_compute_seconds = 0.0;
     Counters counters;
   };
   std::vector<detail::TaskTry<MapOut>> mtries(splits.size());
@@ -1122,20 +1152,46 @@ JobResult run_mapreduce_job_impl(Dfs& dfs, const ClusterConfig& config,
     Records reader(dfs.read(splits[t].path), ci.offset, ci.size);
     std::uint64_t records = 0;
     std::int64_t seen = 0;
-    while (reader.next()) {
-      progress(seen++);
-      const std::int64_t key = reader.key();
-      if (detail::in_skip_set(skip, key)) continue;
-      if (job.fault_plan.poisons_record(reader.value()))
-        throw detail::AttemptFailure{key, "fault-plan poison record"};
-      try {
-        mapper.map(key, reader.value(), ctx);
-      } catch (const TaskError& e) {
-        throw detail::AttemptFailure{key, e.what()};
+    Stopwatch loop_sw;
+    bool batched = false;
+    if constexpr (detail::BatchRecords<decltype(mapper), Records,
+                                       MapContext<K, V>>) {
+      // Parse-free fast path (see detail::BatchRecords): whole decoded
+      // batches go straight to the mapper. Anything that addresses
+      // individual records — skip mode, injected crashes, any fault plan —
+      // keeps the per-record loop below; both produce identical output.
+      if (skip.empty() && !inject && job.fault_plan.empty()) {
+        batched = true;
+        while (reader.next_batch()) {
+          progress(seen);
+          const std::int64_t first = reader.batch_first_key();
+          try {
+            mapper.map_batch(first, reader.batch(), ctx);
+          } catch (const TaskError& e) {
+            throw detail::AttemptFailure{first, e.what()};
+          }
+          const std::uint64_t n = reader.batch().size();
+          seen += static_cast<std::int64_t>(n);
+          records += n;
+        }
       }
-      ++records;
-      if (inject)
-        throw detail::AttemptFailure{-1, "injected attempt crash"};
+    }
+    if (!batched) {
+      while (reader.next()) {
+        progress(seen++);
+        const std::int64_t key = reader.key();
+        if (detail::in_skip_set(skip, key)) continue;
+        if (job.fault_plan.poisons_record(reader.value()))
+          throw detail::AttemptFailure{key, "fault-plan poison record"};
+        try {
+          mapper.map(key, reader.value(), ctx);
+        } catch (const TaskError& e) {
+          throw detail::AttemptFailure{key, e.what()};
+        }
+        ++records;
+        if (inject)
+          throw detail::AttemptFailure{-1, "injected attempt crash"};
+      }
     }
     if (inject)
       throw detail::AttemptFailure{-1, "injected attempt crash"};
@@ -1144,12 +1200,15 @@ JobResult run_mapreduce_job_impl(Dfs& dfs, const ClusterConfig& config,
     } catch (const TaskError& e) {
       throw detail::AttemptFailure{-1, e.what()};
     }
+    const double loop_seconds = loop_sw.seconds();
 
     MapOut out;
     out.input_records = records;
     out.input_bytes = ci.size + reader.overread_bytes();
     out.raw_records = ctx.emitted_records();
     out.raw_bytes = ctx.emitted_bytes();
+    out.map_compute_seconds = ctx.compute_seconds();
+    out.map_parse_seconds = std::max(0.0, loop_seconds - ctx.compute_seconds());
 
     // Pairs are already partitioned (emit-time); sort each partition's
     // in-memory tail, optionally combine, and lay it out as disk runs + a
@@ -1446,6 +1505,8 @@ JobResult run_mapreduce_job_impl(Dfs& dfs, const ClusterConfig& config,
     result.disk_spill_runs += out.disk_spill_runs;
     result.disk_spill_bytes += out.disk_spill_bytes;
     result.sort_seconds += out.sort_seconds;
+    result.map_parse_seconds += out.map_parse_seconds;
+    result.map_compute_seconds += out.map_compute_seconds;
     result.skipped_records += mtries[t].skipped_records;
     for (const auto& [k, v] : out.counters) result.counters[k] += v;
   }

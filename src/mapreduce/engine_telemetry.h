@@ -134,6 +134,18 @@ inline void record_job_metrics(telemetry::MetricsRegistry* m,
                  "the external merge")
         .observe(r.external_merge_seconds);
   }
+  if (r.map_parse_seconds > 0.0) {
+    m->histogram("mr_map_parse_seconds", telemetry::default_time_buckets(),
+                 "map-loop wall seconds spent decoding/parsing records "
+                 "(everything the mapper did not attribute to kernels)")
+        .observe(r.map_parse_seconds);
+  }
+  if (r.map_compute_seconds > 0.0) {
+    m->histogram("mr_map_compute_seconds", telemetry::default_time_buckets(),
+                 "map-loop wall seconds mappers attributed to batch distance "
+                 "kernels")
+        .observe(r.map_compute_seconds);
+  }
   if (map_slices != nullptr) {
     auto& h = m->histogram("mr_map_task_sim_seconds",
                            telemetry::default_time_buckets(),

@@ -119,6 +119,8 @@ void JobResult::absorb(const JobResult& next) {
   sort_seconds += next.sort_seconds;
   merge_seconds += next.merge_seconds;
   external_merge_seconds += next.external_merge_seconds;
+  map_parse_seconds += next.map_parse_seconds;
+  map_compute_seconds += next.map_compute_seconds;
   sim_startup_seconds += next.sim_startup_seconds;
   sim_map_seconds += next.sim_map_seconds;
   sim_reduce_seconds += next.sim_reduce_seconds;

@@ -264,6 +264,13 @@ struct JobResult {
   /// Wall seconds reduce attempts spent reading + decoding spilled run
   /// frames during the streaming external merge (out-of-core path only).
   double external_merge_seconds = 0.0;
+  /// Map-loop wall time split, summed over successful map attempts: kernel
+  /// time the mapper attributed via TaskContext::add_compute_seconds
+  /// (map_compute_seconds) vs everything else in the record loop — record
+  /// decode, text parsing, emit (map_parse_seconds). Proves where the map
+  /// phase spent its time (BENCH_table3_kmeans.json).
+  double map_parse_seconds = 0.0;
+  double map_compute_seconds = 0.0;
 
   // Simulated cluster clock (deterministic).
   double sim_startup_seconds = 0.0;

@@ -282,6 +282,8 @@ std::string encode_map_out(const MapOut& o) {
   w::put_u64(p, o.input_bytes);
   w::put_f64(p, o.cpu_seconds);
   w::put_f64(p, o.sort_seconds);
+  w::put_f64(p, o.map_parse_seconds);
+  w::put_f64(p, o.map_compute_seconds);
   w::put_counters(p, o.counters);
   w::put_vec(p, o.run_bytes);
   w::put_u64(p, o.parts.size());
@@ -304,6 +306,8 @@ MapOut decode_map_out(std::string_view payload) {
   o.input_bytes = r.get_u64();
   o.cpu_seconds = r.get_f64();
   o.sort_seconds = r.get_f64();
+  o.map_parse_seconds = r.get_f64();
+  o.map_compute_seconds = r.get_f64();
   o.counters = w::get_counters(r);
   o.run_bytes = w::get_vec<std::uint64_t>(r);
   const std::uint64_t n = r.get_u64();

@@ -270,6 +270,43 @@ std::vector<geo::MobilityTrace> ColumnarFile::read_block(std::size_t i) const {
   return traces;
 }
 
+void ColumnarFile::read_block_columns(std::size_t i, TraceColumns& out) const {
+  GEPETO_CHECK(i < blocks_.size());
+  const ColumnarBlockInfo& b = blocks_[i];
+  const std::string_view payload =
+      bytes_.substr(static_cast<std::size_t>(b.offset),
+                    static_cast<std::size_t>(b.payload_bytes));
+  if (ipc::crc32(payload.data(), payload.size()) != b.crc)
+    corrupt("block CRC mismatch at offset " + std::to_string(b.offset));
+
+  std::size_t pos = 0;
+  const std::uint64_t n = colenc::get_varint(payload, pos);
+  if (n != b.records) corrupt("block record count disagrees with footer");
+  const std::size_t count = static_cast<std::size_t>(n);
+  out.user_ids.resize(count);
+  out.timestamps.resize(count);
+  out.lats.resize(count);
+  out.lons.resize(count);
+  out.alts_ft.resize(count);
+  std::int64_t prev_user = 0;
+  for (auto& u : out.user_ids) {
+    prev_user += colenc::unzigzag(colenc::get_varint(payload, pos));
+    u = static_cast<std::int32_t>(prev_user);
+  }
+  std::int64_t prev_ts = 0;
+  for (auto& ts : out.timestamps) {
+    prev_ts += colenc::unzigzag(colenc::get_varint(payload, pos));
+    ts = prev_ts;
+  }
+  std::uint64_t prev = 0;
+  for (auto& v : out.lats) v = colenc::get_xorfp(payload, pos, prev);
+  prev = 0;
+  for (auto& v : out.lons) v = colenc::get_xorfp(payload, pos, prev);
+  prev = 0;
+  for (auto& v : out.alts_ft) v = colenc::get_xorfp(payload, pos, prev);
+  if (pos != payload.size()) corrupt("block has trailing bytes");
+}
+
 ColumnarSplitReader::ColumnarSplitReader(std::string_view file,
                                          std::uint64_t offset,
                                          std::uint64_t len)
@@ -302,6 +339,15 @@ bool ColumnarSplitReader::next() {
       return true;
     }
   }
+  return false;
+}
+
+bool ColumnarSplitReader::next_block_columns(TraceColumns& out) {
+  while (next_block_ < end_block_) {
+    file_.read_block_columns(next_block_++, out);
+    if (out.size() > 0) return true;
+  }
+  out.clear();
   return false;
 }
 

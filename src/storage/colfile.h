@@ -94,6 +94,27 @@ class ColumnarWriter {
   std::uint64_t total_ = 0;
 };
 
+/// Struct-of-arrays form of one decoded block: entry i across the vectors is
+/// record i, in block order. This is the parse-free shape the batch map path
+/// consumes (columnar_jobs.h) — the coordinate columns feed the SIMD distance
+/// kernels directly, with no per-record byte round-trip.
+struct TraceColumns {
+  std::vector<std::int32_t> user_ids;
+  std::vector<std::int64_t> timestamps;
+  std::vector<double> lats;
+  std::vector<double> lons;
+  std::vector<double> alts_ft;
+
+  std::size_t size() const { return lats.size(); }
+  void clear() {
+    user_ids.clear();
+    timestamps.clear();
+    lats.clear();
+    lons.clear();
+    alts_ft.clear();
+  }
+};
+
 /// Parsed view of one columnar file: validates magic, trailer, and footer
 /// CRC at construction (throws ColumnarError), then decodes blocks on
 /// demand. Does not own the bytes.
@@ -108,6 +129,12 @@ class ColumnarFile {
   /// Decode block `i` (CRC-checked; throws ColumnarError on corruption).
   std::vector<geo::MobilityTrace> read_block(std::size_t i) const;
 
+  /// Decode block `i` straight into struct-of-arrays columns — the same
+  /// codec walk as read_block (CRC check, trailing-bytes check, identical
+  /// error surface), minus the per-record MobilityTrace assembly. Reuses
+  /// `out`'s capacity across calls.
+  void read_block_columns(std::size_t i, TraceColumns& out) const;
+
  private:
   std::string_view bytes_;
   std::vector<ColumnarBlockInfo> blocks_;
@@ -116,7 +143,9 @@ class ColumnarFile {
 
 /// Iterate the traces of the blocks a [offset, offset+len) split owns: the
 /// blocks whose payload starts inside the split. Holds at most one decoded
-/// block in memory.
+/// block in memory. A reader is driven in exactly one mode: record-at-a-time
+/// (next()/trace()) or block-at-a-time (next_block_columns()) — the modes
+/// share the block cursor and must not be mixed.
 class ColumnarSplitReader {
  public:
   ColumnarSplitReader(std::string_view file, std::uint64_t offset,
@@ -124,6 +153,10 @@ class ColumnarSplitReader {
 
   bool next();  ///< advance to the next trace; false when the split is done
   const geo::MobilityTrace& trace() const { return block_[pos_]; }
+
+  /// Decode the split's next non-empty block into `out` (struct-of-arrays);
+  /// false when the split is exhausted (out is cleared).
+  bool next_block_columns(TraceColumns& out);
 
  private:
   ColumnarFile file_;

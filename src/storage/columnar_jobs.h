@@ -47,6 +47,29 @@ struct ColumnarRecords {
   std::string_view value() const { return record; }
   std::uint64_t overread_bytes() const { return 0; }
 
+  // --- batch protocol (engine fast path; see mr::detail::BatchRecords) ------
+  // One decoded block per batch, as struct-of-arrays column spans: no
+  // append_binary_trace / trace_from_binary round-trip on the hot path. Keys
+  // stay record indices within the split — batch i covers
+  // [batch_first_key(), batch_first_key() + batch().size()), the same keys
+  // the record-at-a-time mode would have assigned.
+
+  bool next_batch() {
+    try {
+      if (!reader.next_block_columns(columns)) return false;
+    } catch (const mr::TaskError& e) {
+      throw mr::detail::AttemptFailure{-1, e.what()};
+    }
+    first_key = index + 1;
+    index += static_cast<std::int64_t>(columns.size());
+    return true;
+  }
+  const TraceColumns& batch() const { return columns; }
+  std::int64_t batch_first_key() const { return first_key; }
+
+  TraceColumns columns;
+  std::int64_t first_key = 0;
+
  private:
   static ColumnarSplitReader make_reader(std::string_view file,
                                          std::uint64_t off,

@@ -1,0 +1,310 @@
+// Tests for the batched distance kernels (geo/kernels.h): the bit-identity
+// contract between the scalar and SIMD backends (including NaN/Inf inputs,
+// antimeridian coordinates, and every remainder-lane count), legacy
+// agreement, the lowest-index tie-break, the batch helpers' per-pair
+// equality with the single-pair formulas, and byte-identical k-means output
+// across backends.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "geo/distance.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "geo/kernels.h"
+#include "gepeto/kmeans.h"
+
+namespace gepeto::geo {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const DistanceKind kAllKinds[] = {
+    DistanceKind::kSquaredEuclidean, DistanceKind::kEuclidean,
+    DistanceKind::kManhattan, DistanceKind::kHaversine};
+
+/// RAII: force a kernel backend (and optionally a SIMD level) for one scope.
+struct BackendScope {
+  explicit BackendScope(KernelBackend b) { set_kernel_backend_for_testing(b); }
+  BackendScope(KernelBackend b, SimdLevel l) : BackendScope(b) {
+    set_simd_level_for_testing(l);
+  }
+  ~BackendScope() {
+    set_kernel_backend_for_testing(KernelBackend::kSimd);
+    set_simd_level_for_testing(simd_level_detected);
+  }
+  SimdLevel simd_level_detected = simd_level();
+
+ private:
+  BackendScope(const BackendScope&) = delete;
+};
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+struct Assignment {
+  std::vector<std::uint32_t> index;
+  std::vector<double> distance;
+};
+
+Assignment run_nearest(KernelBackend backend, DistanceKind kind,
+                       const std::vector<double>& clat,
+                       const std::vector<double>& clon,
+                       const std::vector<double>& plat,
+                       const std::vector<double>& plon) {
+  set_kernel_backend_for_testing(backend);
+  CentroidKernel kernel(kind, clat.data(), clon.data(), clat.size());
+  Assignment a;
+  a.index.resize(plat.size());
+  a.distance.resize(plat.size());
+  kernel.nearest(plat.data(), plon.data(), plat.size(), a.index.data(),
+                 a.distance.data());
+  return a;
+}
+
+void expect_bit_identical(const Assignment& a, const Assignment& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.index.size(), b.index.size()) << label;
+  for (std::size_t i = 0; i < a.index.size(); ++i) {
+    EXPECT_EQ(a.index[i], b.index[i]) << label << " index mismatch at " << i;
+    EXPECT_EQ(bits(a.distance[i]), bits(b.distance[i]))
+        << label << " distance bits mismatch at " << i << ": "
+        << a.distance[i] << " vs " << b.distance[i];
+  }
+}
+
+/// Random coordinate streams, optionally salted with non-finite values and
+/// antimeridian/pole extremes.
+void fill_coords(Rng& rng, std::size_t n, bool adversarial,
+                 std::vector<double>& lats, std::vector<double>& lons) {
+  lats.resize(n);
+  lons.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lats[i] = -90.0 + rng.uniform() * 180.0;
+    lons[i] = -180.0 + rng.uniform() * 360.0;
+    if (!adversarial) continue;
+    switch (rng.uniform_u64(12)) {
+      case 0: lats[i] = kNan; break;
+      case 1: lons[i] = -kNan; break;
+      case 2: lats[i] = kInf; break;
+      case 3: lons[i] = -kInf; break;
+      case 4: lons[i] = 180.0; break;   // antimeridian
+      case 5: lons[i] = -180.0; break;
+      case 6: lats[i] = 90.0; break;    // poles
+      case 7: lats[i] = -90.0; break;
+      case 8: lats[i] = 0.0; break;
+      default: break;                   // keep the random draw
+    }
+  }
+}
+
+TEST(CentroidKernel, ScalarAndSimdBitIdenticalAcrossShapes) {
+  BackendScope scope(KernelBackend::kScalar);
+  Rng rng(20260807);
+  // k sweeps past every lane width and the 256 boundary; n sweeps every
+  // remainder class mod 4 (AVX2 lanes) and mod 2 (SSE2 lanes).
+  const std::size_t ks[] = {1, 2, 3, 4, 5, 8, 16, 257};
+  const std::size_t ns[] = {1, 2, 3, 4, 5, 6, 7, 8, 63, 256, 1001};
+  for (const bool adversarial : {false, true}) {
+    for (const auto kind : kAllKinds) {
+      for (const std::size_t k : ks) {
+        for (const std::size_t n : ns) {
+          std::vector<double> clat, clon, plat, plon;
+          fill_coords(rng, k, adversarial, clat, clon);
+          fill_coords(rng, n, adversarial, plat, plon);
+          const auto scalar =
+              run_nearest(KernelBackend::kScalar, kind, clat, clon, plat, plon);
+          const auto simd =
+              run_nearest(KernelBackend::kSimd, kind, clat, clon, plat, plon);
+          expect_bit_identical(
+              scalar, simd,
+              std::string(distance_name(kind)) + " k=" + std::to_string(k) +
+                  " n=" + std::to_string(n) +
+                  (adversarial ? " adversarial" : ""));
+          if (testing::Test::HasFailure()) return;  // don't spam the sweep
+        }
+      }
+    }
+  }
+}
+
+TEST(CentroidKernel, Sse2LevelMatchesScalarWhenForceable) {
+  BackendScope scope(KernelBackend::kScalar);
+  if (scope.simd_level_detected < SimdLevel::kSse2)
+    GTEST_SKIP() << "no SSE2 dispatch target compiled in";
+  set_simd_level_for_testing(SimdLevel::kSse2);
+  Rng rng(7);
+  for (const auto kind : kAllKinds) {
+    std::vector<double> clat, clon, plat, plon;
+    fill_coords(rng, 9, true, clat, clon);
+    fill_coords(rng, 1001, true, plat, plon);
+    const auto scalar =
+        run_nearest(KernelBackend::kScalar, kind, clat, clon, plat, plon);
+    const auto simd =
+        run_nearest(KernelBackend::kSimd, kind, clat, clon, plat, plon);
+    expect_bit_identical(scalar, simd,
+                         std::string("sse2 ") +
+                             std::string(distance_name(kind)));
+  }
+}
+
+TEST(CentroidKernel, LegacyAgreesOnFiniteCoordinates) {
+  // On well-formed inputs the reduced-key backends must pick the same
+  // centroid as the verbatim legacy loop, and the reported winning distance
+  // must be bit-identical to geo::distance() for that pair.
+  BackendScope scope(KernelBackend::kScalar);
+  Rng rng(99);
+  for (const auto kind : kAllKinds) {
+    std::vector<double> clat, clon, plat, plon;
+    fill_coords(rng, 17, false, clat, clon);
+    fill_coords(rng, 503, false, plat, plon);
+    const auto legacy =
+        run_nearest(KernelBackend::kLegacy, kind, clat, clon, plat, plon);
+    const auto scalar =
+        run_nearest(KernelBackend::kScalar, kind, clat, clon, plat, plon);
+    expect_bit_identical(legacy, scalar,
+                         std::string("legacy ") +
+                             std::string(distance_name(kind)));
+    for (std::size_t i = 0; i < plat.size(); ++i) {
+      const std::size_t c = scalar.index[i];
+      EXPECT_EQ(bits(scalar.distance[i]),
+                bits(distance(kind, plat[i], plon[i], clat[c], clon[c])));
+    }
+  }
+}
+
+TEST(CentroidKernel, TiesGoToLowestIndexOnEveryBackend) {
+  // Centroids 1 and 3 coincide; centroid 1 must win. Centroids 0 and 2 are
+  // equidistant decoys further out.
+  const std::vector<double> clat = {0.0, 0.5, 0.0, 0.5};
+  const std::vector<double> clon = {-2.0, 0.0, 2.0, 0.0};
+  const std::vector<double> plat(9, 0.5);
+  const std::vector<double> plon(9, 0.0);
+  for (const auto backend :
+       {KernelBackend::kLegacy, KernelBackend::kScalar, KernelBackend::kSimd}) {
+    BackendScope scope(backend);
+    for (const auto kind : kAllKinds) {
+      const auto got = run_nearest(backend, kind, clat, clon, plat, plon);
+      for (const auto idx : got.index)
+        EXPECT_EQ(idx, 1u) << kernel_backend_name(backend) << " "
+                           << distance_name(kind);
+    }
+  }
+}
+
+TEST(CentroidKernel, AllNanKeysReportIndexZeroAndMaxDistance) {
+  const std::vector<double> clat = {kNan, kNan, kNan};
+  const std::vector<double> clon = {0.0, 1.0, 2.0};
+  const std::vector<double> plat = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const std::vector<double> plon = {0.0, 0.0, 0.0, 0.0, 0.0};
+  for (const auto backend :
+       {KernelBackend::kLegacy, KernelBackend::kScalar, KernelBackend::kSimd}) {
+    BackendScope scope(backend);
+    const auto got = run_nearest(backend, DistanceKind::kSquaredEuclidean,
+                                 clat, clon, plat, plon);
+    for (std::size_t i = 0; i < plat.size(); ++i) {
+      EXPECT_EQ(got.index[i], 0u);
+      EXPECT_EQ(got.distance[i], std::numeric_limits<double>::max());
+    }
+  }
+}
+
+TEST(BatchHelpers, HaversineBatchBitIdenticalToSinglePair) {
+  Rng rng(11);
+  std::vector<double> lats, lons;
+  fill_coords(rng, 777, true, lats, lons);
+  std::vector<double> out(lats.size());
+  for (const auto backend :
+       {KernelBackend::kLegacy, KernelBackend::kScalar, KernelBackend::kSimd}) {
+    BackendScope scope(backend);
+    haversine_meters_batch(48.85, 2.35, lats.data(), lons.data(), lats.size(),
+                           out.data());
+    for (std::size_t i = 0; i < lats.size(); ++i)
+      EXPECT_EQ(bits(out[i]), bits(haversine_meters(48.85, 2.35, lats[i],
+                                                    lons[i])))
+          << kernel_backend_name(backend) << " pair " << i;
+  }
+}
+
+TEST(BatchHelpers, EquirectangularBatchBitIdenticalToSinglePair) {
+  Rng rng(13);
+  std::vector<double> lats, lons;
+  fill_coords(rng, 1001, true, lats, lons);  // odd n: remainder lanes
+  std::vector<double> out(lats.size());
+  for (const auto backend :
+       {KernelBackend::kLegacy, KernelBackend::kScalar, KernelBackend::kSimd}) {
+    BackendScope scope(backend);
+    equirectangular_meters_batch(39.9, 116.4, lats.data(), lons.data(),
+                                 lats.size(), out.data());
+    for (std::size_t i = 0; i < lats.size(); ++i)
+      EXPECT_EQ(bits(out[i]), bits(equirectangular_meters(39.9, 116.4, lats[i],
+                                                          lons[i])))
+          << kernel_backend_name(backend) << " pair " << i;
+  }
+}
+
+/// Three separated blobs, single user.
+geo::GeolocatedDataset blob_dataset(int per_blob = 120) {
+  Rng rng(5);
+  const double centers[3][2] = {
+      {39.90, 116.40}, {39.95, 116.50}, {40.00, 116.30}};
+  geo::GeolocatedDataset ds;
+  std::int64_t ts = 1'222'819'200;
+  geo::Trail trail;
+  for (int b = 0; b < 3; ++b)
+    for (int i = 0; i < per_blob; ++i)
+      trail.push_back({0, centers[b][0] + rng.gaussian(0, 0.001),
+                       centers[b][1] + rng.gaussian(0, 0.001), 150.0, ts++});
+  ds.add_trail(0, std::move(trail));
+  return ds;
+}
+
+TEST(KernelBackends, KMeansOutputByteIdenticalScalarVsSimd) {
+  const auto ds = blob_dataset();
+  core::KMeansConfig config;
+  config.k = 3;
+  config.max_iterations = 25;
+  const auto run = [&](KernelBackend backend) {
+    BackendScope scope(backend);
+    return core::kmeans_sequential(ds, config);
+  };
+  for (const auto kind :
+       {DistanceKind::kSquaredEuclidean, DistanceKind::kHaversine}) {
+    config.distance = kind;
+    const auto scalar = run(KernelBackend::kScalar);
+    const auto simd = run(KernelBackend::kSimd);
+    const auto legacy = run(KernelBackend::kLegacy);
+    ASSERT_EQ(scalar.centroids.size(), simd.centroids.size());
+    EXPECT_EQ(scalar.iterations, simd.iterations);
+    EXPECT_EQ(scalar.converged, simd.converged);
+    EXPECT_EQ(bits(scalar.sse), bits(simd.sse));
+    EXPECT_EQ(scalar.cluster_sizes, simd.cluster_sizes);
+    for (std::size_t i = 0; i < scalar.centroids.size(); ++i) {
+      EXPECT_EQ(bits(scalar.centroids[i].latitude),
+                bits(simd.centroids[i].latitude));
+      EXPECT_EQ(bits(scalar.centroids[i].longitude),
+                bits(simd.centroids[i].longitude));
+    }
+    // Legacy agreement is not a bit-level contract (it compares full
+    // distances, not reduced keys) but must hold on real data.
+    EXPECT_EQ(legacy.iterations, scalar.iterations);
+    EXPECT_EQ(legacy.cluster_sizes, scalar.cluster_sizes);
+  }
+}
+
+TEST(KernelBackends, NamesRoundTrip) {
+  EXPECT_EQ(kernel_backend_name(KernelBackend::kLegacy), "legacy");
+  EXPECT_EQ(kernel_backend_name(KernelBackend::kScalar), "scalar");
+  EXPECT_EQ(kernel_backend_name(KernelBackend::kSimd), "simd");
+  EXPECT_EQ(simd_level_name(simd_level()),
+            simd_level_name(simd_level()));  // stable
+}
+
+}  // namespace
+}  // namespace gepeto::geo
