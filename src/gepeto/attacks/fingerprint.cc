@@ -1,0 +1,388 @@
+#include "gepeto/attacks/fingerprint.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <span>
+
+#include "common/check.h"
+#include "geo/distance.h"
+#include "geo/geolife.h"
+#include "gepeto/poi.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/lines.h"
+#include "workflow/flow.h"
+
+namespace gepeto::core {
+
+namespace {
+
+bool parse_double(const char*& p, const char* e, double& out) {
+  const auto r = std::from_chars(p, e, out);
+  if (r.ec != std::errc()) return false;
+  p = r.ptr;
+  return true;
+}
+
+bool skip_comma(const char*& p, const char* e) {
+  if (p == e || *p != ',') return false;
+  ++p;
+  return true;
+}
+
+void append_double(std::string& s, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  s += buf;
+}
+
+/// One-way weighted chamfer: each site of `a` to its nearest site of `b`.
+double one_way_chamfer(const PoiFingerprint& a, const PoiFingerprint& b) {
+  double sum = 0.0, weight = 0.0;
+  for (const auto& sa : a.sites) {
+    double best = kUnlinkableDistance;
+    for (const auto& sb : b.sites)
+      best = std::min(best, geo::haversine_meters(sa.latitude, sa.longitude,
+                                                  sb.latitude, sb.longitude));
+    sum += sa.weight * best;
+    weight += sa.weight;
+  }
+  return weight > 0.0 ? sum / weight : kUnlinkableDistance;
+}
+
+// --- MapReduce pieces --------------------------------------------------------
+
+/// Intermediate value of the fingerprint job: one trace, keyed by the
+/// released user id. Trivially copyable (process-backend wire).
+struct TraceWire {
+  double lat = 0.0;
+  double lon = 0.0;
+  std::int64_t ts = 0;
+
+  std::uint64_t serialized_size() const { return 24; }
+};
+
+/// Map: dataset line -> (released id, trace).
+struct FingerprintMapper {
+  using OutKey = std::int32_t;
+  using OutValue = TraceWire;
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("fingerprint.malformed_lines");
+      return;
+    }
+    ctx.emit(t.user_id, TraceWire{t.latitude, t.longitude, t.timestamp});
+  }
+};
+
+/// Reduce: one released identity's traces -> its fingerprint line. Values
+/// are sorted here (time, then coordinates), so the output is independent of
+/// shuffle arrival order, chunking, and backend.
+struct FingerprintReducer {
+  FingerprintConfig config;
+
+  void reduce(const std::int32_t& uid, std::span<const TraceWire> values,
+              mr::ReduceContext& ctx) {
+    std::vector<TraceWire> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TraceWire& a, const TraceWire& b) {
+                return std::tie(a.ts, a.lat, a.lon) <
+                       std::tie(b.ts, b.lat, b.lon);
+              });
+    geo::Trail trail;
+    trail.reserve(sorted.size());
+    for (const auto& v : sorted)
+      trail.push_back(geo::MobilityTrace{uid, v.lat, v.lon, 0.0, v.ts});
+    const PoiFingerprint fp = fingerprint_of(uid, trail, config);
+    if (fp.empty()) ctx.increment("fingerprint.empty");
+    ctx.write(format_fingerprint_line(fp));
+  }
+};
+
+/// Map-only linking job: probe fingerprint lines against the cached gallery
+/// (the distributed-cache realization of the two-release self-join).
+struct LinkMapper {
+  std::string gallery_file;
+  std::vector<PoiFingerprint> gallery{};
+
+  void setup(mr::TaskContext& ctx) {
+    mr::for_each_line(ctx.cache_file(gallery_file), [&](std::string_view l) {
+      PoiFingerprint fp;
+      GEPETO_CHECK_MSG(parse_fingerprint_line(l, fp),
+                       "malformed gallery fingerprint line");
+      gallery.push_back(std::move(fp));
+    });
+    std::sort(gallery.begin(), gallery.end(),
+              [](const PoiFingerprint& a, const PoiFingerprint& b) {
+                return a.user_id < b.user_id;
+              });
+  }
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    PoiFingerprint probe;
+    if (!parse_fingerprint_line(line, probe)) {
+      ctx.increment("link.malformed_lines");
+      return;
+    }
+    const LinkedPair link = link_one(probe, gallery);
+    std::string out;
+    out += std::to_string(link.probe_id);
+    out += ',';
+    out += std::to_string(link.gallery_id);
+    out += ',';
+    append_double(out, link.distance);
+    ctx.write(out);
+  }
+};
+
+std::int32_t resolve_owner(std::int32_t id,
+                           const std::map<std::int32_t, std::int32_t>& owner) {
+  const auto it = owner.find(id);
+  return it == owner.end() ? id : it->second;
+}
+
+LinkReport score_links(std::vector<LinkedPair> links,
+                       const std::map<std::int32_t, std::int32_t>& probe_owner,
+                       const std::map<std::int32_t, std::int32_t>& gallery_owner) {
+  std::sort(links.begin(), links.end(),
+            [](const LinkedPair& a, const LinkedPair& b) {
+              return a.probe_id < b.probe_id;
+            });
+  LinkReport report;
+  report.links = std::move(links);
+  report.probes = report.links.size();
+  for (const auto& link : report.links)
+    if (resolve_owner(link.probe_id, probe_owner) ==
+        resolve_owner(link.gallery_id, gallery_owner))
+      ++report.correct;
+  report.reidentification_rate =
+      report.probes > 0 ? static_cast<double>(report.correct) /
+                              static_cast<double>(report.probes)
+                        : 0.0;
+  return report;
+}
+
+}  // namespace
+
+PoiFingerprint fingerprint_of(std::int32_t user_id, const geo::Trail& trail,
+                              const FingerprintConfig& config) {
+  PoiFingerprint fp;
+  fp.user_id = user_id;
+  const ExtractedPois extracted = extract_pois(trail, config.cluster);
+  std::size_t total = 0;
+  for (const auto& poi : extracted.pois) total += poi.num_traces;
+  if (total == 0) return fp;
+  const int n = std::min<int>(config.top_pois,
+                              static_cast<int>(extracted.pois.size()));
+  for (int i = 0; i < n; ++i) {
+    const auto& poi = extracted.pois[static_cast<std::size_t>(i)];
+    fp.sites.push_back(FingerprintSite{
+        poi.latitude, poi.longitude,
+        static_cast<double>(poi.num_traces) / static_cast<double>(total)});
+  }
+  // extract_pois orders by num_traces desc; break its ties spatially so the
+  // fingerprint is a deterministic function of the trail alone.
+  std::sort(fp.sites.begin(), fp.sites.end(),
+            [](const FingerprintSite& a, const FingerprintSite& b) {
+              return std::tie(b.weight, a.latitude, a.longitude) <
+                     std::tie(a.weight, b.latitude, b.longitude);
+            });
+  return fp;
+}
+
+std::vector<PoiFingerprint> fingerprint_dataset(
+    const geo::GeolocatedDataset& dataset, const FingerprintConfig& config) {
+  std::vector<PoiFingerprint> out;
+  out.reserve(dataset.num_users());
+  for (const auto& [uid, trail] : dataset)
+    out.push_back(fingerprint_of(uid, trail, config));
+  return out;
+}
+
+double fingerprint_distance(const PoiFingerprint& a, const PoiFingerprint& b) {
+  if (a.empty() || b.empty()) return kUnlinkableDistance;
+  return 0.5 * (one_way_chamfer(a, b) + one_way_chamfer(b, a));
+}
+
+std::string format_fingerprint_line(const PoiFingerprint& fp) {
+  std::string line = std::to_string(fp.user_id);
+  line += ',';
+  line += std::to_string(fp.sites.size());
+  for (const auto& site : fp.sites) {
+    line += ',';
+    append_double(line, site.weight);
+    line += ',';
+    append_double(line, site.latitude);
+    line += ',';
+    append_double(line, site.longitude);
+  }
+  return line;
+}
+
+bool parse_fingerprint_line(std::string_view line, PoiFingerprint& out) {
+  const char* p = line.data();
+  const char* e = line.data() + line.size();
+  PoiFingerprint fp;
+  auto r = std::from_chars(p, e, fp.user_id);
+  if (r.ec != std::errc()) return false;
+  p = r.ptr;
+  std::size_t n = 0;
+  if (!skip_comma(p, e)) return false;
+  r = std::from_chars(p, e, n);
+  if (r.ec != std::errc() || n > 1024) return false;
+  p = r.ptr;
+  fp.sites.resize(n);
+  for (auto& site : fp.sites) {
+    if (!skip_comma(p, e) || !parse_double(p, e, site.weight)) return false;
+    if (!skip_comma(p, e) || !parse_double(p, e, site.latitude)) return false;
+    if (!skip_comma(p, e) || !parse_double(p, e, site.longitude)) return false;
+  }
+  if (p != e) return false;
+  out = std::move(fp);
+  return true;
+}
+
+LinkedPair link_one(const PoiFingerprint& probe,
+                    const std::vector<PoiFingerprint>& gallery) {
+  GEPETO_CHECK_MSG(!gallery.empty(), "cannot link against an empty gallery");
+  LinkedPair best;
+  best.probe_id = probe.user_id;
+  best.gallery_id = gallery.front().user_id;
+  best.distance = fingerprint_distance(probe, gallery.front());
+  for (std::size_t i = 1; i < gallery.size(); ++i) {
+    const double d = fingerprint_distance(probe, gallery[i]);
+    // Strict <: on ties the earlier (lowest-id) gallery entry keeps the win,
+    // matching the deanonymization_attack / kernel argmin contract.
+    if (d < best.distance) {
+      best.distance = d;
+      best.gallery_id = gallery[i].user_id;
+    }
+  }
+  return best;
+}
+
+LinkReport link_fingerprints(
+    const std::vector<PoiFingerprint>& probes,
+    const std::vector<PoiFingerprint>& gallery,
+    const std::map<std::int32_t, std::int32_t>& probe_owner,
+    const std::map<std::int32_t, std::int32_t>& gallery_owner) {
+  std::vector<PoiFingerprint> sorted_gallery = gallery;
+  std::sort(sorted_gallery.begin(), sorted_gallery.end(),
+            [](const PoiFingerprint& a, const PoiFingerprint& b) {
+              return a.user_id < b.user_id;
+            });
+  std::vector<LinkedPair> links;
+  links.reserve(probes.size());
+  for (const auto& probe : probes)
+    links.push_back(link_one(probe, sorted_gallery));
+  return score_links(std::move(links), probe_owner, gallery_owner);
+}
+
+LinkReport run_link_attack(
+    const geo::GeolocatedDataset& probe_release,
+    const geo::GeolocatedDataset& gallery_release,
+    const FingerprintConfig& config,
+    const std::map<std::int32_t, std::int32_t>& probe_owner,
+    const std::map<std::int32_t, std::int32_t>& gallery_owner) {
+  return link_fingerprints(fingerprint_dataset(probe_release, config),
+                           fingerprint_dataset(gallery_release, config),
+                           probe_owner, gallery_owner);
+}
+
+LinkAttackMrResult run_link_attack_flow(
+    mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+    const std::string& probe_input, const std::string& gallery_input,
+    const std::string& work_prefix, const FingerprintConfig& config,
+    const std::map<std::int32_t, std::int32_t>& probe_owner,
+    const std::map<std::int32_t, std::int32_t>& gallery_owner) {
+  const std::string probe_fp = work_prefix + "/probe-fp";
+  const std::string gallery_fp = work_prefix + "/gallery-fp";
+  const std::string gallery_cache = work_prefix + "/gallery-cache";
+  const std::string links_out = work_prefix + "/links";
+
+  flow::Flow f("link-attack");
+
+  const auto fingerprint_node = [&](const std::string& name,
+                                    const std::string& input,
+                                    const std::string& output) {
+    f.add_mapreduce(name,
+                    [name, input, output, config](flow::FlowEngine& e) {
+                      mr::JobConfig job;
+                      job.name = name;
+                      job.input = input;
+                      job.output = output;
+                      job.num_reducers =
+                          std::max(1, e.cluster().total_reduce_slots() / 2);
+                      return mr::run_mapreduce_job(
+                          e.dfs(), e.cluster(), job,
+                          [] { return FingerprintMapper{}; },
+                          [config] { return FingerprintReducer{config}; });
+                    })
+        .reads(input)
+        .writes(output);
+  };
+  fingerprint_node("fp-probe", probe_input, probe_fp);
+  fingerprint_node("fp-gallery", gallery_input, gallery_fp);
+
+  f.add_native("gallery-cache",
+               [gallery_fp, gallery_cache](flow::FlowEngine& e) {
+                 e.dfs().put(gallery_cache,
+                             mr::concat_dfs_files(e.dfs(), gallery_fp + "/"));
+               })
+      .reads(gallery_fp)
+      .writes(gallery_cache);
+
+  f.add_map_only("link",
+                 [probe_fp, gallery_cache, links_out](flow::FlowEngine& e) {
+                   mr::JobConfig job;
+                   job.name = "link";
+                   job.input = probe_fp;
+                   job.output = links_out;
+                   job.cache_files = {gallery_cache};
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), job, [gallery_cache] {
+                         return LinkMapper{gallery_cache};
+                       });
+                 })
+      .reads(probe_fp)
+      .reads(gallery_cache)
+      .keep(links_out);
+
+  LinkAttackMrResult result;
+  f.add_native("link-score",
+               [links_out, probe_owner, gallery_owner,
+                &result](flow::FlowEngine& e) {
+                 std::vector<LinkedPair> links;
+                 mr::for_each_dfs_line(
+                     e.dfs(), links_out + "/", [&](std::string_view l) {
+                       LinkedPair link;
+                       const char* p = l.data();
+                       const char* le = l.data() + l.size();
+                       auto r1 = std::from_chars(p, le, link.probe_id);
+                       GEPETO_CHECK(r1.ec == std::errc());
+                       p = r1.ptr;
+                       GEPETO_CHECK(skip_comma(p, le));
+                       auto r2 = std::from_chars(p, le, link.gallery_id);
+                       GEPETO_CHECK(r2.ec == std::errc());
+                       p = r2.ptr;
+                       GEPETO_CHECK(skip_comma(p, le) &&
+                                    parse_double(p, le, link.distance) &&
+                                    p == le);
+                       links.push_back(link);
+                     });
+                 result.report = score_links(std::move(links), probe_owner,
+                                             gallery_owner);
+               })
+      .reads(links_out);
+
+  const auto fr = f.run(dfs, cluster);
+  result.probe_fp_job = fr.node("fp-probe")->job;
+  result.gallery_fp_job = fr.node("fp-gallery")->job;
+  result.link_job = fr.node("link")->job;
+  return result;
+}
+
+}  // namespace gepeto::core

@@ -1,0 +1,159 @@
+// POI-fingerprint re-identification attack (the tentpole linking attack).
+//
+// The adversary holds two differently-sanitized releases of the same
+// population — say, last year's release cloaked at k=5 and this year's with
+// three mix zones. For each released identifier they extract a *POI
+// fingerprint*: the user's top clusters of stay points (poi.h / djcluster.h),
+// weighted by visit share. Homes and workplaces survive most sanitizers, so
+// the fingerprint is a quasi-identifier: linking each probe fingerprint to
+// its nearest gallery fingerprint re-identifies users across releases
+// (Mishra et al. re-identified 100K real-user trajectories this way). The
+// re-identification rate — scored against generator ground truth — is the
+// empirical privacy loss a sanitizer config leaves on the table, and the
+// y-axis of bench_privacy_frontier.
+//
+// Both a sequential path (the oracle the differential tests compare against)
+// and a JobFlow pipeline (two parallel fingerprint-extraction MapReduce
+// branches, a gallery distributed-cache join, a map-only linking job — the
+// "two-release self-join") are provided; they produce identical links.
+//
+// Tie-break contract: when two gallery fingerprints are equidistant from a
+// probe, the *lowest gallery user id* wins — the same lowest-index argmin
+// contract as deanonymization_attack (mmc.h) and the SIMD kernels, so attack
+// success rates are bit-reproducible across GEPETO_KERNEL backends.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/trace.h"
+#include "gepeto/djcluster.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+struct FingerprintConfig {
+  /// Clustering used to extract stay points from a released trail.
+  DjClusterConfig cluster;
+  /// Keep the top-N POIs (by visit count) as the fingerprint.
+  int top_pois = 4;
+};
+
+/// One weighted site of a fingerprint.
+struct FingerprintSite {
+  double latitude = 0.0;
+  double longitude = 0.0;
+  double weight = 0.0;  ///< share of the user's POI visits at this site
+};
+
+/// The quasi-identifier of one released identity: its top POI sites,
+/// weight-descending (ties by latitude, longitude — deterministic).
+struct PoiFingerprint {
+  std::int32_t user_id = 0;
+  std::vector<FingerprintSite> sites;  ///< empty when no POI was extractable
+
+  bool empty() const { return sites.empty(); }
+};
+
+/// Extract the fingerprint of one released trail.
+PoiFingerprint fingerprint_of(std::int32_t user_id, const geo::Trail& trail,
+                              const FingerprintConfig& config);
+
+/// Fingerprint every released identity, user-id ascending. Identities whose
+/// trail yields no POI keep an empty fingerprint (they stay in the gallery:
+/// an adversary cannot link them, which the rate must reflect).
+std::vector<PoiFingerprint> fingerprint_dataset(
+    const geo::GeolocatedDataset& dataset, const FingerprintConfig& config);
+
+/// Sentinel distance of an unlinkable pair (either fingerprint empty).
+/// A large *finite* value — exactly representable and text-round-trippable,
+/// so the sequential and MapReduce link outputs stay byte-identical.
+inline constexpr double kUnlinkableDistance = 1e18;
+
+/// Distance between two fingerprints: symmetric weighted chamfer distance in
+/// meters (each site matched to the other side's nearest site, weighted by
+/// visit share, averaged over both directions). kUnlinkableDistance when
+/// either side is empty — an empty fingerprint carries no linkable
+/// information.
+double fingerprint_distance(const PoiFingerprint& a, const PoiFingerprint& b);
+
+/// Text codec for fingerprint lines ("uid,n,w,lat,lon,...") — the MapReduce
+/// pipeline's intermediate format. parse returns false on malformed input.
+std::string format_fingerprint_line(const PoiFingerprint& fp);
+bool parse_fingerprint_line(std::string_view line, PoiFingerprint& out);
+
+/// One probe linked to its nearest gallery identity.
+struct LinkedPair {
+  std::int32_t probe_id = 0;
+  std::int32_t gallery_id = 0;  ///< lowest gallery user id on ties
+  double distance = 0.0;
+};
+
+/// Link one probe against a gallery sorted by user_id ascending. Strict-<
+/// argmin: the lowest gallery user id wins ties (see file header).
+LinkedPair link_one(const PoiFingerprint& probe,
+                    const std::vector<PoiFingerprint>& gallery);
+
+struct LinkReport {
+  std::vector<LinkedPair> links;  ///< probe-id ascending
+  std::uint64_t probes = 0;
+  std::uint64_t correct = 0;
+  double reidentification_rate = 0.0;  ///< correct / probes
+};
+
+/// Link every probe and score against ground truth. The owner maps translate
+/// a *released* id back to the true user (mix zones release pseudonyms); an
+/// id absent from its map is its own owner (cloaking keeps ids). A link is
+/// correct when both sides resolve to the same true user.
+LinkReport link_fingerprints(
+    const std::vector<PoiFingerprint>& probes,
+    const std::vector<PoiFingerprint>& gallery,
+    const std::map<std::int32_t, std::int32_t>& probe_owner = {},
+    const std::map<std::int32_t, std::int32_t>& gallery_owner = {});
+
+/// The full sequential attack: fingerprint both releases, link, score.
+LinkReport run_link_attack(
+    const geo::GeolocatedDataset& probe_release,
+    const geo::GeolocatedDataset& gallery_release,
+    const FingerprintConfig& config,
+    const std::map<std::int32_t, std::int32_t>& probe_owner = {},
+    const std::map<std::int32_t, std::int32_t>& gallery_owner = {});
+
+/// The MapReduce realization, as a JobFlow DAG:
+///
+///   fp-probe (MapReduce)     fp-gallery (MapReduce)     — parallel branches:
+///        |                        |                       map = line -> (uid,
+///        |                   gallery-cache (native)       trace); reduce =
+///        |                        |                       trail -> fingerprint
+///        +----------+-------------+                       line
+///                   |
+///              link (map-only): each probe fingerprint line is linked
+///              against the cached gallery (the distributed-cache join);
+///              writes "probe,gallery,distance" lines
+///                   |
+///              link-score (native): parses the links and scores them
+///              against the owner maps.
+///
+/// Byte-identical to run_link_attack() on any chunking and both backends.
+struct LinkAttackMrResult {
+  mr::JobResult probe_fp_job;
+  mr::JobResult gallery_fp_job;
+  mr::JobResult link_job;
+  LinkReport report;
+};
+
+LinkAttackMrResult run_link_attack_flow(
+    mr::Dfs& dfs, const mr::ClusterConfig& cluster,
+    const std::string& probe_input, const std::string& gallery_input,
+    const std::string& work_prefix, const FingerprintConfig& config,
+    const std::map<std::int32_t, std::int32_t>& probe_owner = {},
+    const std::map<std::int32_t, std::int32_t>& gallery_owner = {});
+
+}  // namespace gepeto::core

@@ -1,0 +1,418 @@
+#include "gepeto/attacks/od_matrix.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <span>
+#include <tuple>
+
+#include "common/check.h"
+#include "geo/geolife.h"
+#include "mapreduce/engine.h"
+#include "mapreduce/lines.h"
+#include "workflow/flow.h"
+
+namespace gepeto::core {
+
+namespace {
+
+using PairKey = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                           std::int64_t>;
+
+PairKey pair_key(const OdTrip& t) {
+  return {t.origin_cy, t.origin_cx, t.dest_cy, t.dest_cx};
+}
+
+/// Streaming trip folder shared verbatim by the sequential path and the MR
+/// mapper, so both extract the identical trip multiset.
+struct TripFolder {
+  const OdConfig& config;
+
+  bool active = false;
+  std::int32_t uid = 0;
+  std::int64_t prev_ts = 0;
+  std::size_t seg_traces = 0;
+  std::int64_t first_cy = 0, first_cx = 0;
+  std::int64_t last_cy = 0, last_cx = 0;
+
+  template <typename Emit>
+  void close_segment(Emit&& emit) {
+    if (seg_traces >= 2 && (first_cy != last_cy || first_cx != last_cx))
+      emit(OdTrip{uid, first_cy, first_cx, last_cy, last_cx});
+    seg_traces = 0;
+  }
+
+  template <typename Emit>
+  void feed(const geo::MobilityTrace& t, Emit&& emit) {
+    const GridCell cell =
+        grid_cell_of(t.latitude, t.longitude, config.cell_m);
+    if (!active || t.user_id != uid ||
+        t.timestamp - prev_ts > config.trip_gap_s) {
+      if (active) close_segment(emit);
+      active = true;
+      uid = t.user_id;
+      first_cy = cell.cy;
+      first_cx = cell.cx;
+    }
+    last_cy = cell.cy;
+    last_cx = cell.cx;
+    prev_ts = t.timestamp;
+    ++seg_traces;
+  }
+
+  template <typename Emit>
+  void finish(Emit&& emit) {
+    if (active) close_segment(emit);
+    active = false;
+  }
+};
+
+std::string trip_line(const OdTrip& t) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%d,%lld,%lld,%lld,%lld", t.user_id,
+                static_cast<long long>(t.origin_cy),
+                static_cast<long long>(t.origin_cx),
+                static_cast<long long>(t.dest_cy),
+                static_cast<long long>(t.dest_cx));
+  return buf;
+}
+
+bool parse_i64_list(std::string_view line, std::int64_t* out, int n) {
+  const char* p = line.data();
+  const char* e = line.data() + line.size();
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) {
+      if (p == e || *p != ',') return false;
+      ++p;
+    }
+    const auto r = std::from_chars(p, e, out[i]);
+    if (r.ec != std::errc()) return false;
+    p = r.ptr;
+  }
+  return p == e;
+}
+
+// --- MapReduce pieces --------------------------------------------------------
+
+bool same_user_lines(std::string_view prev, std::string_view line) {
+  geo::MobilityTrace a, b;
+  if (!geo::parse_dataset_line(prev, a)) return false;
+  if (!geo::parse_dataset_line(line, b)) return false;
+  return a.user_id == b.user_id;
+}
+
+/// Job 1: group-aware trip extraction (a user's whole trail in one task, so
+/// a trip never straddles a split).
+struct TripsMapper {
+  OdConfig config;
+  TripFolder folder{config};
+
+  bool same_group(std::string_view prev, std::string_view line) const {
+    return same_user_lines(prev, line);
+  }
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("od.malformed_lines");
+      return;
+    }
+    folder.feed(t, [&](const OdTrip& trip) {
+      ctx.increment("od.trips");
+      ctx.write(trip_line(trip));
+    });
+  }
+
+  void cleanup(mr::MapOnlyContext& ctx) {
+    folder.finish([&](const OdTrip& trip) {
+      ctx.increment("od.trips");
+      ctx.write(trip_line(trip));
+    });
+  }
+};
+
+/// Shuffle key of job 2: the cell pair.
+struct OdPairKey {
+  std::int64_t ocy = 0, ocx = 0, dcy = 0, dcx = 0;
+
+  friend auto operator<=>(const OdPairKey&, const OdPairKey&) = default;
+  std::uint64_t partition_hash() const {
+    std::uint64_t h = static_cast<std::uint64_t>(ocy) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(ocx) * 0xA24BAED4963EE407ULL;
+    h ^= static_cast<std::uint64_t>(dcy) * 0x9FB21C651E98DF25ULL;
+    h ^= static_cast<std::uint64_t>(dcx) * 0xD1B54A32D192ED03ULL;
+    return h;
+  }
+  std::uint64_t serialized_size() const { return 32; }
+};
+
+struct OdUserValue {
+  std::int32_t user = 0;
+  std::uint64_t serialized_size() const { return 4; }
+};
+
+struct OdPairsMapper {
+  using OutKey = OdPairKey;
+  using OutValue = OdUserValue;
+
+  void map(std::int64_t, std::string_view line,
+           mr::MapContext<OutKey, OutValue>& ctx) {
+    std::int64_t v[5];
+    if (!parse_i64_list(line, v, 5)) {
+      ctx.increment("od.malformed_trip_lines");
+      return;
+    }
+    ctx.emit(OdPairKey{v[1], v[2], v[3], v[4]},
+             OdUserValue{static_cast<std::int32_t>(v[0])});
+  }
+};
+
+/// Job 2 reduce: count trips + distinct users per pair; sub-k pairs are
+/// suppressed into counters instead of the release.
+struct OdPairsReducer {
+  int k = 5;
+
+  void reduce(const OdPairKey& key, std::span<const OdUserValue> values,
+              mr::ReduceContext& ctx) {
+    std::set<std::int32_t> users;
+    for (const auto& v : values) users.insert(v.user);
+    if (static_cast<int>(users.size()) >= k) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%lld,%lld,%lld,%lld,%zu,%zu",
+                    static_cast<long long>(key.ocy),
+                    static_cast<long long>(key.ocx),
+                    static_cast<long long>(key.dcy),
+                    static_cast<long long>(key.dcx), values.size(),
+                    users.size());
+      ctx.write(buf);
+    } else {
+      ctx.increment("od.suppressed_pairs");
+      ctx.increment("od.suppressed_trips",
+                    static_cast<std::int64_t>(values.size()));
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<OdTrip> extract_trips(const geo::GeolocatedDataset& dataset,
+                                  const OdConfig& config) {
+  GEPETO_CHECK(config.cell_m > 0.0 && config.trip_gap_s > 0);
+  std::vector<OdTrip> trips;
+  TripFolder folder{config};
+  const auto emit = [&](const OdTrip& t) { trips.push_back(t); };
+  for (const auto& [uid, trail] : dataset)
+    for (const auto& t : trail) folder.feed(t, emit);
+  folder.finish(emit);
+  return trips;
+}
+
+OdMatrix build_od_matrix(const std::vector<OdTrip>& trips,
+                         const OdConfig& config) {
+  GEPETO_CHECK(config.k >= 1);
+  std::map<PairKey, std::pair<std::uint64_t, std::set<std::int32_t>>> agg;
+  for (const auto& t : trips) {
+    auto& [count, users] = agg[pair_key(t)];
+    ++count;
+    users.insert(t.user_id);
+  }
+  OdMatrix matrix;
+  matrix.total_trips = trips.size();
+  for (const auto& [key, cell] : agg) {
+    const auto& [count, users] = cell;
+    if (static_cast<int>(users.size()) >= config.k) {
+      matrix.entries.push_back(OdEntry{std::get<0>(key), std::get<1>(key),
+                                       std::get<2>(key), std::get<3>(key),
+                                       count, users.size()});
+    } else {
+      ++matrix.suppressed_pairs;
+      matrix.suppressed_trips += count;
+    }
+  }
+  return matrix;
+}
+
+OdUtility od_utility(const std::vector<OdTrip>& trips, const OdMatrix& matrix) {
+  OdUtility u;
+  if (trips.empty()) return u;
+
+  std::set<PairKey> released;
+  for (const auto& e : matrix.entries)
+    released.insert({e.origin_cy, e.origin_cx, e.dest_cy, e.dest_cx});
+
+  std::set<PairKey> all_pairs;
+  std::map<std::int32_t, std::pair<std::uint64_t, std::uint64_t>>
+      per_user;  // user -> (trips, released trips)
+  std::uint64_t released_trips = 0;
+  for (const auto& t : trips) {
+    all_pairs.insert(pair_key(t));
+    auto& [total, kept] = per_user[t.user_id];
+    ++total;
+    if (released.count(pair_key(t)) > 0) {
+      ++kept;
+      ++released_trips;
+    }
+  }
+
+  u.trip_retention =
+      static_cast<double>(released_trips) / static_cast<double>(trips.size());
+  u.pair_retention = all_pairs.empty()
+                         ? 0.0
+                         : static_cast<double>(released.size()) /
+                               static_cast<double>(all_pairs.size());
+  std::uint64_t covered = 0;
+  double retention_sum = 0.0;
+  for (const auto& [uid, counts] : per_user) {
+    const auto& [total, kept] = counts;
+    if (kept > 0) ++covered;
+    retention_sum += static_cast<double>(kept) / static_cast<double>(total);
+  }
+  u.participant_coverage =
+      static_cast<double>(covered) / static_cast<double>(per_user.size());
+  u.avg_participant_retention =
+      retention_sum / static_cast<double>(per_user.size());
+  return u;
+}
+
+PrivacyReport verify_od_matrix(const geo::GeolocatedDataset& original,
+                               const OdMatrix& matrix, const OdConfig& config) {
+  PrivacyReport report;
+  const std::vector<OdTrip> trips = extract_trips(original, config);
+  const OdMatrix expected = build_od_matrix(trips, config);
+
+  const auto tag = [](const OdEntry& e) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "pair (%lld,%lld)->(%lld,%lld)",
+                  static_cast<long long>(e.origin_cy),
+                  static_cast<long long>(e.origin_cx),
+                  static_cast<long long>(e.dest_cy),
+                  static_cast<long long>(e.dest_cx));
+    return std::string(buf);
+  };
+  const auto key_of = [](const OdEntry& e) {
+    return PairKey{e.origin_cy, e.origin_cx, e.dest_cy, e.dest_cx};
+  };
+
+  auto ei = expected.entries.begin();
+  auto gi = matrix.entries.begin();
+  while (ei != expected.entries.end() || gi != matrix.entries.end()) {
+    ++report.checks;
+    if (gi == matrix.entries.end() ||
+        (ei != expected.entries.end() && key_of(*ei) < key_of(*gi))) {
+      report.add_violation("od.missing",
+                           tag(*ei) + " has >= k users but was not released");
+      ++ei;
+      continue;
+    }
+    if (ei == expected.entries.end() || key_of(*gi) < key_of(*ei)) {
+      report.add_violation("od.suppression",
+                           tag(*gi) + " released despite < k distinct users");
+      ++gi;
+      continue;
+    }
+    if (gi->users != ei->users ||
+        static_cast<int>(gi->users) < config.k)
+      report.add_violation("od.k_anonymity",
+                           tag(*gi) + " claims " + std::to_string(gi->users) +
+                               " users, original has " +
+                               std::to_string(ei->users));
+    else if (gi->trips != ei->trips)
+      report.add_violation("od.trip_count",
+                           tag(*gi) + " claims " + std::to_string(gi->trips) +
+                               " trips, original has " +
+                               std::to_string(ei->trips));
+    ++ei;
+    ++gi;
+  }
+
+  ++report.checks;
+  std::uint64_t released_trips = 0;
+  for (const auto& e : matrix.entries) released_trips += e.trips;
+  if (released_trips + matrix.suppressed_trips != trips.size() ||
+      matrix.total_trips != trips.size())
+    report.add_violation(
+        "od.conservation",
+        std::to_string(released_trips) + " released + " +
+            std::to_string(matrix.suppressed_trips) + " suppressed trips != " +
+            std::to_string(trips.size()) + " original trips");
+  return report;
+}
+
+OdMatrixMrResult run_od_matrix_flow(mr::Dfs& dfs,
+                                    const mr::ClusterConfig& cluster,
+                                    const std::string& input,
+                                    const std::string& work_prefix,
+                                    const OdConfig& config) {
+  GEPETO_CHECK(config.cell_m > 0.0 && config.trip_gap_s > 0 && config.k >= 1);
+  const std::string trips_out = work_prefix + "/trips";
+  const std::string pairs_out = work_prefix + "/pairs";
+
+  flow::Flow f("od-matrix");
+
+  f.add_map_only("od-trips",
+                 [input, trips_out, config](flow::FlowEngine& e) {
+                   mr::JobConfig job;
+                   job.name = "od-trips";
+                   job.input = input;
+                   job.output = trips_out;
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), job,
+                       [config] { return TripsMapper{config}; });
+                 })
+      .reads(input)
+      .writes(trips_out);
+
+  f.add_mapreduce("od-pairs",
+                  [trips_out, pairs_out, config](flow::FlowEngine& e) {
+                    mr::JobConfig job;
+                    job.name = "od-pairs";
+                    job.input = trips_out;
+                    job.output = pairs_out;
+                    job.num_reducers =
+                        std::max(1, e.cluster().total_reduce_slots() / 2);
+                    return mr::run_mapreduce_job(
+                        e.dfs(), e.cluster(), job,
+                        [] { return OdPairsMapper{}; },
+                        [config] { return OdPairsReducer{config.k}; });
+                  })
+      .reads(trips_out)
+      .keep(pairs_out);
+
+  OdMatrixMrResult result;
+  f.add_native("od-collect",
+               [pairs_out, &result](flow::FlowEngine& e) {
+                 mr::for_each_dfs_line(
+                     e.dfs(), pairs_out + "/", [&](std::string_view l) {
+                       std::int64_t v[6];
+                       GEPETO_CHECK_MSG(parse_i64_list(l, v, 6),
+                                        "malformed od pair line");
+                       result.matrix.entries.push_back(OdEntry{
+                           v[0], v[1], v[2], v[3],
+                           static_cast<std::uint64_t>(v[4]),
+                           static_cast<std::uint64_t>(v[5])});
+                     });
+                 std::sort(result.matrix.entries.begin(),
+                           result.matrix.entries.end());
+               })
+      .reads(pairs_out);
+
+  const auto fr = f.run(dfs, cluster);
+  result.trips_job = fr.node("od-trips")->job;
+  result.pairs_job = fr.node("od-pairs")->job;
+  const auto counter = [](const mr::JobResult& jr,
+                          const char* name) -> std::uint64_t {
+    const auto it = jr.counters.find(name);
+    return it == jr.counters.end() ? 0
+                                   : static_cast<std::uint64_t>(it->second);
+  };
+  result.matrix.total_trips = counter(result.trips_job, "od.trips");
+  result.matrix.suppressed_pairs =
+      counter(result.pairs_job, "od.suppressed_pairs");
+  result.matrix.suppressed_trips =
+      counter(result.pairs_job, "od.suppressed_trips");
+  return result;
+}
+
+}  // namespace gepeto::core

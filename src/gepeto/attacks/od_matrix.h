@@ -1,0 +1,114 @@
+// k-anonymous origin–destination matrix (Armenante-style aggregate release).
+//
+// The second tentpole pipeline publishes an *aggregate* of the dataset
+// instead of per-user traces: trips are extracted from every trail (split at
+// temporal gaps), mapped to origin/destination grid cells, and the resulting
+// OD matrix is released with k-anonymity suppression — a cell pair appears
+// only if at least k *distinct users* traveled it. Utility is reported from
+// both sides of the aggregation, following the participant-vs-population
+// framing: population utility (how much of the total flow survives) can look
+// excellent while participant utility (how much of each individual's
+// mobility is represented) collapses, and the gap between the two is itself
+// a finding of the frontier bench.
+//
+// Sequential oracle + a two-job JobFlow DAG (group-aware trip extraction,
+// then a distinct-user reduce over cell pairs); byte-identical outputs. The
+// released matrix carries a declared contract — every released pair backed
+// by >= k distinct users, every sub-k pair suppressed, flow conservation —
+// checked by verify_od_matrix() against the original dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/trace.h"
+#include "gepeto/attacks/privacy_verifier.h"
+#include "gepeto/sanitize.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace gepeto::mr {
+class Dfs;
+}
+
+namespace gepeto::core {
+
+struct OdConfig {
+  double cell_m = 500.0;        ///< OD zone granularity (level-0 grid cells)
+  std::int64_t trip_gap_s = 1800;  ///< split trips at gaps > this
+  int k = 5;                    ///< suppress pairs with < k distinct users
+};
+
+/// One extracted trip: a maximal gap-free run of >= 2 traces whose endpoints
+/// fall in different cells (stationary runs are not trips).
+struct OdTrip {
+  std::int32_t user_id = 0;
+  std::int64_t origin_cy = 0, origin_cx = 0;
+  std::int64_t dest_cy = 0, dest_cx = 0;
+
+  friend auto operator<=>(const OdTrip&, const OdTrip&) = default;
+};
+
+/// One released OD pair.
+struct OdEntry {
+  std::int64_t origin_cy = 0, origin_cx = 0;
+  std::int64_t dest_cy = 0, dest_cx = 0;
+  std::uint64_t trips = 0;
+  std::uint64_t users = 0;  ///< distinct users, >= k by contract
+
+  friend auto operator<=>(const OdEntry&, const OdEntry&) = default;
+};
+
+struct OdMatrix {
+  std::vector<OdEntry> entries;  ///< cell-pair ascending (deterministic)
+  std::uint64_t total_trips = 0;
+  std::uint64_t suppressed_trips = 0;
+  std::uint64_t suppressed_pairs = 0;
+};
+
+std::vector<OdTrip> extract_trips(const geo::GeolocatedDataset& dataset,
+                                  const OdConfig& config);
+
+OdMatrix build_od_matrix(const std::vector<OdTrip>& trips,
+                         const OdConfig& config);
+
+/// Participant-vs-population utility of a released matrix.
+struct OdUtility {
+  double trip_retention = 0.0;    ///< population: released / total trips
+  double pair_retention = 0.0;    ///< released / total distinct pairs
+  double participant_coverage = 0.0;  ///< travelers with >= 1 released trip
+  /// Mean over travelers of (their released trips / their trips) — the
+  /// participant-side utility that suppression hits hardest.
+  double avg_participant_retention = 0.0;
+};
+
+OdUtility od_utility(const std::vector<OdTrip>& trips, const OdMatrix& matrix);
+
+/// Verify a released matrix against the original dataset: every entry's
+/// user count is genuine and >= k, no sub-k pair released, no >= k pair
+/// missing, trip counts exact, and released + suppressed == total trips.
+PrivacyReport verify_od_matrix(const geo::GeolocatedDataset& original,
+                               const OdMatrix& matrix, const OdConfig& config);
+
+/// The JobFlow realization:
+///   od-trips (group-aware map-only): each user's whole trail in one task;
+///     writes one line per trip;
+///   od-pairs (MapReduce): trips keyed by cell pair; reducers count trips +
+///     distinct users and suppress sub-k pairs (counters carry the losses);
+///   od-collect (native): parses the released pairs into an OdMatrix.
+/// Byte-identical to build_od_matrix(extract_trips(...)) on any chunking and
+/// both worker backends.
+struct OdMatrixMrResult {
+  mr::JobResult trips_job;
+  mr::JobResult pairs_job;
+  OdMatrix matrix;
+};
+
+OdMatrixMrResult run_od_matrix_flow(mr::Dfs& dfs,
+                                    const mr::ClusterConfig& cluster,
+                                    const std::string& input,
+                                    const std::string& work_prefix,
+                                    const OdConfig& config);
+
+}  // namespace gepeto::core

@@ -1,0 +1,383 @@
+#include "gepeto/attacks/privacy_verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace gepeto::core {
+
+namespace {
+
+std::string trace_tag(std::int32_t uid, std::int64_t ts) {
+  std::ostringstream os;
+  os << "user " << uid << " @ " << ts;
+  return os.str();
+}
+
+/// Released coordinate of a trace under the cloaking contract, or nullopt
+/// (suppression) — the contract's own sequential oracle.
+struct CloakOracle {
+  const CloakingContract& contract;
+  /// Distinct-user census per level, keyed by (cy, cx).
+  std::vector<std::map<std::pair<std::int64_t, std::int64_t>,
+                       std::set<std::int32_t>>>
+      levels;
+
+  explicit CloakOracle(const geo::GeolocatedDataset& original,
+                       const CloakingContract& c)
+      : contract(c),
+        levels(static_cast<std::size_t>(c.max_doublings) + 1) {
+    for (const auto& [uid, trail] : original)
+      for (const auto& t : trail)
+        for (int l = 0; l <= c.max_doublings; ++l) {
+          const GridCell cell =
+              grid_cell_of(t.latitude, t.longitude, c.base_cell_m, l);
+          levels[static_cast<std::size_t>(l)][{cell.cy, cell.cx}].insert(uid);
+        }
+  }
+
+  /// True (and fills the center) when the trace is released under the
+  /// contract: smallest level whose cell holds >= k distinct users.
+  bool released_center(const geo::MobilityTrace& t, double& lat,
+                       double& lon) const {
+    for (int l = 0; l <= contract.max_doublings; ++l) {
+      const GridCell cell =
+          grid_cell_of(t.latitude, t.longitude, contract.base_cell_m, l);
+      const auto& users =
+          levels[static_cast<std::size_t>(l)].at({cell.cy, cell.cx});
+      if (static_cast<int>(users.size()) >= contract.k) {
+        grid_cell_center(cell, contract.base_cell_m, lat, lon);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+using Coord = std::pair<double, double>;
+
+/// Release-codec quantum: dataset lines carry %.6f coordinates (geolife.cc),
+/// so a released center matches the mandated one only on the 1e-6 degree
+/// grid (~0.11 m — far below any cell size). Both sides of the comparison
+/// are canonicalized to that grid; an in-memory release (full-precision
+/// doubles) and a DFS release (text round-tripped) then verify identically.
+double codec_round(double deg) { return std::round(deg * 1e6) / 1e6; }
+
+/// The shared mix-zone checker: `owner_of` maps a released id to its
+/// original user (populated either from MixZoneResult::pseudonym_owner or by
+/// exact trace matching).
+PrivacyReport verify_mix_zones_impl(
+    const geo::GeolocatedDataset& original,
+    const geo::GeolocatedDataset& released,
+    const std::vector<MixZone>& zones,
+    const std::map<std::int32_t, std::int32_t>& owner_of,
+    PrivacyReport report) {
+  const ZoneIndex index(zones);
+
+  std::set<std::int32_t> original_ids;
+  for (const auto& [uid, trail] : original) original_ids.insert(uid);
+
+  // Contract 1: nothing released inside a zone (boundary inclusive).
+  for (const auto& [pid, trail] : released)
+    for (const auto& t : trail) {
+      ++report.checks;
+      if (index.contains(t))
+        report.add_violation("mixzone.zone_leak",
+                             trace_tag(pid, t.timestamp) +
+                                 " released inside a mix zone");
+    }
+
+  // Contract 2: pseudonyms collide with no other live id. A released id is
+  // either its owner's original id (the pre-first-crossing segment) or a
+  // fresh pseudonym that must not equal *any* original user id.
+  for (const auto& [pid, trail] : released) {
+    ++report.checks;
+    const auto it = owner_of.find(pid);
+    if (it == owner_of.end()) {
+      report.add_violation("mixzone.fabricated",
+                           "released id " + std::to_string(pid) +
+                               " has no original owner");
+      continue;
+    }
+    if (pid != it->second && original_ids.count(pid) > 0)
+      report.add_violation(
+          "mixzone.collision",
+          "pseudonym " + std::to_string(pid) + " of user " +
+              std::to_string(it->second) +
+              " equals the live id of another user");
+  }
+
+  // Contract 3: per owner, the released traces equal the original
+  // out-of-zone traces exactly, and the released-id sequence changes exactly
+  // at crossing boundaries, each time to an id never used before (by anyone:
+  // cross-user reuse is how a linking attacker merges strangers).
+  std::map<std::int32_t,
+           std::vector<std::pair<std::int32_t, geo::MobilityTrace>>>
+      released_by_owner;  // owner -> (released id, trace), time-ordered
+  for (const auto& [pid, trail] : released) {
+    const auto it = owner_of.find(pid);
+    if (it == owner_of.end()) continue;  // already reported
+    auto& seq = released_by_owner[it->second];
+    for (const auto& t : trail) seq.emplace_back(pid, t);
+  }
+  for (auto& [owner, seq] : released_by_owner)
+    std::stable_sort(seq.begin(), seq.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second.timestamp < b.second.timestamp;
+                     });
+
+  std::set<std::int32_t> ids_seen;  // across all users: global uniqueness
+  std::uint64_t expected_suppressed = 0;
+  for (const auto& [uid, trail] : original) {
+    const auto it = released_by_owner.find(uid);
+    static const std::vector<std::pair<std::int32_t, geo::MobilityTrace>>
+        kEmpty;
+    const auto& seq = it == released_by_owner.end() ? kEmpty : it->second;
+
+    std::size_t pos = 0;           // cursor into the released sequence
+    bool inside = false;           // walking the original trail
+    bool fresh_segment = true;     // next released trace starts a segment
+    std::int32_t segment_id = uid; // expected id of the current segment
+    for (const auto& t : trail) {
+      if (index.contains(t)) {
+        ++expected_suppressed;
+        ++report.checks;
+        inside = true;
+        continue;
+      }
+      if (inside) {
+        fresh_segment = true;
+        inside = false;
+      }
+      ++report.checks;
+      if (pos >= seq.size()) {
+        report.add_violation("mixzone.missing",
+                             trace_tag(uid, t.timestamp) +
+                                 " (out of zone) absent from the release");
+        continue;
+      }
+      const auto& [pid, rt] = seq[pos++];
+      if (rt.timestamp != t.timestamp || rt.latitude != t.latitude ||
+          rt.longitude != t.longitude) {
+        report.add_violation("mixzone.altered",
+                             trace_tag(uid, t.timestamp) +
+                                 " released with altered fields");
+        continue;
+      }
+      if (fresh_segment) {
+        // First trace of a segment: segment 0 keeps the original id; later
+        // segments must switch to an id the whole release never used.
+        const bool first_segment = ids_seen.count(uid) == 0 && pid == uid;
+        if (!first_segment && !ids_seen.insert(pid).second)
+          report.add_violation("mixzone.pseudonym_reuse",
+                               "id " + std::to_string(pid) +
+                                   " reused across zone crossings");
+        if (first_segment) ids_seen.insert(uid);
+        segment_id = pid;
+        fresh_segment = false;
+      } else if (pid != segment_id) {
+        report.add_violation("mixzone.segment_split",
+                             trace_tag(uid, t.timestamp) +
+                                 " changed pseudonym without a crossing");
+        segment_id = pid;
+      }
+    }
+    if (pos < seq.size()) {
+      ++report.checks;
+      report.add_violation(
+          "mixzone.fabricated",
+          "owner " + std::to_string(uid) + " has " +
+              std::to_string(seq.size() - pos) + " extra released traces");
+    }
+  }
+
+  // Conservation: suppressed + released == original.
+  ++report.checks;
+  const std::uint64_t total_released = released.num_traces();
+  if (total_released + expected_suppressed != original.num_traces())
+    report.add_violation(
+        "mixzone.conservation",
+        std::to_string(total_released) + " released + " +
+            std::to_string(expected_suppressed) + " in-zone != " +
+            std::to_string(original.num_traces()) + " original traces");
+  return report;
+}
+
+}  // namespace
+
+void PrivacyReport::add_violation(std::string contract, std::string detail) {
+  ++violation_count;
+  if (violations.size() < kMaxRecordedViolations)
+    violations.push_back({std::move(contract), std::move(detail)});
+}
+
+void PrivacyReport::merge(const PrivacyReport& other) {
+  checks += other.checks;
+  violation_count += other.violation_count;
+  for (const auto& v : other.violations) {
+    if (violations.size() >= kMaxRecordedViolations) break;
+    violations.push_back(v);
+  }
+}
+
+std::string PrivacyReport::summary() const {
+  std::ostringstream os;
+  os << checks << " checks, " << violation_count << " violations";
+  if (!violations.empty())
+    os << " (first: " << violations.front().contract << " — "
+       << violations.front().detail << ")";
+  return os.str();
+}
+
+PrivacyReport verify_cloaking(const geo::GeolocatedDataset& original,
+                              const geo::GeolocatedDataset& released,
+                              const CloakingContract& contract) {
+  GEPETO_CHECK(contract.k >= 1 && contract.base_cell_m > 0.0 &&
+               contract.max_doublings >= 0);
+  PrivacyReport report;
+  const CloakOracle oracle(original, contract);
+
+  // Expected release per (user, timestamp): the contract-mandated centers
+  // (multisets — adversarial datasets may repeat timestamps).
+  std::map<std::pair<std::int32_t, std::int64_t>, std::multiset<Coord>>
+      expected;
+  for (const auto& [uid, trail] : original)
+    for (const auto& t : trail) {
+      double lat = 0, lon = 0;
+      if (oracle.released_center(t, lat, lon))
+        expected[{uid, t.timestamp}].insert(
+            {codec_round(lat), codec_round(lon)});
+    }
+
+  std::map<std::pair<std::int32_t, std::int64_t>, std::multiset<Coord>> got;
+  for (const auto& [uid, trail] : released) {
+    if (!original.has_user(uid)) {
+      ++report.checks;
+      report.add_violation("cloak.fabricated",
+                           "released user " + std::to_string(uid) +
+                               " does not exist in the original");
+      continue;
+    }
+    for (const auto& t : trail)
+      got[{uid, t.timestamp}].insert(
+          {codec_round(t.latitude), codec_round(t.longitude)});
+  }
+
+  // Per (user, timestamp): the released multiset must be bit-identical to
+  // the contract's. This one comparison carries the whole contract — the
+  // >= k distinct-user census, minimal cell level, pure-function-of-the-cell
+  // centers, and suppression — because `expected` was derived from nothing
+  // but the original dataset and the declared parameters.
+  auto ei = expected.begin();
+  auto gi = got.begin();
+  while (ei != expected.end() || gi != got.end()) {
+    ++report.checks;
+    if (gi == got.end() || (ei != expected.end() && ei->first < gi->first)) {
+      report.add_violation("cloak.missing",
+                           trace_tag(ei->first.first, ei->first.second) +
+                               " mandated by the contract but not released");
+      ++ei;
+      continue;
+    }
+    if (ei == expected.end() || gi->first < ei->first) {
+      report.add_violation("cloak.suppression",
+                           trace_tag(gi->first.first, gi->first.second) +
+                               " released but mandated suppressed");
+      ++gi;
+      continue;
+    }
+    if (ei->second != gi->second)
+      report.add_violation(
+          "cloak.k_anonymity",
+          trace_tag(ei->first.first, ei->first.second) +
+              " released at a coordinate that is not the >=k-user cell "
+              "center the contract mandates");
+    ++ei;
+    ++gi;
+  }
+  return report;
+}
+
+PrivacyReport verify_mix_zones(const geo::GeolocatedDataset& original,
+                               const MixZoneResult& result,
+                               const std::vector<MixZone>& zones) {
+  PrivacyReport report;
+  std::map<std::int32_t, std::int32_t> owner_of;
+  for (const auto& [pid, owner] : result.pseudonym_owner) {
+    ++report.checks;
+    const auto [it, inserted] = owner_of.emplace(pid, owner);
+    if (!inserted && it->second != owner)
+      report.add_violation("mixzone.pseudonym_reuse",
+                           "id " + std::to_string(pid) +
+                               " claimed by users " +
+                               std::to_string(it->second) + " and " +
+                               std::to_string(owner));
+  }
+  report = verify_mix_zones_impl(original, result.data, zones, owner_of,
+                                 std::move(report));
+  ++report.checks;
+  if (result.suppressed_traces + result.data.num_traces() !=
+      original.num_traces())
+    report.add_violation("mixzone.conservation",
+                         "reported suppressed_traces inconsistent with the "
+                         "release size");
+  return report;
+}
+
+PrivacyReport verify_mix_zones_release(const geo::GeolocatedDataset& original,
+                                       const geo::GeolocatedDataset& released,
+                                       const std::vector<MixZone>& zones) {
+  PrivacyReport report;
+
+  // Re-derive each released id's owner by exact observation matching: mix
+  // zones never alter (timestamp, coordinates), so a released trace's owner
+  // is whichever original user logged that exact observation.
+  std::map<std::tuple<std::int64_t, double, double>, std::set<std::int32_t>>
+      observed_by;
+  for (const auto& [uid, trail] : original)
+    for (const auto& t : trail)
+      observed_by[{t.timestamp, t.latitude, t.longitude}].insert(uid);
+
+  std::map<std::int32_t, std::int32_t> owner_of;
+  for (const auto& [pid, trail] : released) {
+    std::set<std::int32_t> candidates;
+    bool first = true;
+    for (const auto& t : trail) {
+      const auto it =
+          observed_by.find({t.timestamp, t.latitude, t.longitude});
+      std::set<std::int32_t> here =
+          it == observed_by.end() ? std::set<std::int32_t>{} : it->second;
+      if (first) {
+        candidates = std::move(here);
+        first = false;
+      } else {
+        std::set<std::int32_t> both;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              here.begin(), here.end(),
+                              std::inserter(both, both.begin()));
+        candidates = std::move(both);
+      }
+    }
+    ++report.checks;
+    if (candidates.size() == 1) {
+      owner_of.emplace(pid, *candidates.begin());
+    } else if (candidates.empty()) {
+      report.add_violation("mixzone.fabricated",
+                           "released id " + std::to_string(pid) +
+                               " matches no original user's observations");
+    } else {
+      report.add_violation("mixzone.unverifiable",
+                           "released id " + std::to_string(pid) +
+                               " matches several original users");
+    }
+  }
+  return verify_mix_zones_impl(original, released, zones, owner_of,
+                               std::move(report));
+}
+
+}  // namespace gepeto::core

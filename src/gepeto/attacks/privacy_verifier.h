@@ -1,0 +1,87 @@
+// Privacy-contract verifier: checks a sanitized release against the
+// *declared* privacy semantics of the mechanism that produced it, given the
+// original dataset as ground truth. This is the adversarial-oracle half of
+// the attack suite: the attacks (fingerprint.h, od_matrix.h) measure how much
+// an adversary still learns, while the verifier proves the mechanism kept
+// its stated promises at all. Both extend the differential-harness
+// philosophy (tests/differential) from execution semantics — "the MapReduce
+// job equals the sequential oracle" — to privacy semantics — "the release
+// satisfies the contract the sanitizer declared".
+//
+// Contracts checked:
+//   * spatial cloaking — every released coordinate is the center of a real
+//     grid cell, exactly on the 1e-6 degree release-codec grid (in-memory
+//     releases are bit-identical); that cell contains >= k distinct users of
+//     the original dataset; the cell level is the smallest that reaches k
+//     for that trace; every trace the contract says must be suppressed is
+//     absent, everything else present; no fabricated traces or users.
+//   * mix zones — no released trace inside any zone (boundary inclusive);
+//     every out-of-zone original trace is released exactly once; pseudonyms
+//     are consistent (each maps to one owner, covers one contiguous
+//     crossing segment, is never reused across crossings) and collision-free
+//     against every original user id and every other pseudonym.
+//
+// Verification works from the release itself wherever possible; the
+// mix-zone check comes in two flavors — against a MixZoneResult (uses the
+// evaluation-only pseudonym_owner map) and against a bare released dataset
+// (owners re-derived by exact trace matching, the adversarial setting the
+// `gepeto verify` CLI uses).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/trace.h"
+#include "gepeto/sanitize.h"
+
+namespace gepeto::core {
+
+struct ContractViolation {
+  std::string contract;  ///< e.g. "cloak.k_anonymity"
+  std::string detail;
+};
+
+struct PrivacyReport {
+  std::uint64_t checks = 0;           ///< individual contract checks run
+  std::uint64_t violation_count = 0;  ///< total violations (beyond the cap)
+  /// First kMaxRecordedViolations violations, for diagnostics.
+  std::vector<ContractViolation> violations;
+
+  static constexpr std::size_t kMaxRecordedViolations = 32;
+
+  bool ok() const { return violation_count == 0; }
+  void add_violation(std::string contract, std::string detail);
+  void merge(const PrivacyReport& other);
+  /// One-line human summary ("12034 checks, 0 violations" or the first
+  /// violation's contract + detail).
+  std::string summary() const;
+};
+
+/// The promise a spatial-cloaking release was produced under.
+struct CloakingContract {
+  int k = 2;
+  double base_cell_m = 250.0;
+  int max_doublings = 6;
+};
+
+/// Verify `released` against `original` under the cloaking contract.
+PrivacyReport verify_cloaking(const geo::GeolocatedDataset& original,
+                              const geo::GeolocatedDataset& released,
+                              const CloakingContract& contract);
+
+/// Verify a mix-zone release using the evaluation-only pseudonym_owner map.
+PrivacyReport verify_mix_zones(const geo::GeolocatedDataset& original,
+                               const MixZoneResult& result,
+                               const std::vector<MixZone>& zones);
+
+/// Verify a bare mix-zone release (no owner map): owners are re-derived by
+/// exact (timestamp, coordinate) matching against the original — mix zones
+/// never alter coordinates, only suppress and rename. Traces whose owner is
+/// ambiguous (several users share identical observations) are reported as
+/// unverifiable violations rather than guessed.
+PrivacyReport verify_mix_zones_release(const geo::GeolocatedDataset& original,
+                                       const geo::GeolocatedDataset& released,
+                                       const std::vector<MixZone>& zones);
+
+}  // namespace gepeto::core

@@ -51,6 +51,35 @@ mr::JobResult Gepeto::round(const std::string& input,
   return run_rounding_job(*dfs_, cluster_, input, output, cell_m);
 }
 
+CloakingMrResult Gepeto::cloak(const std::string& input,
+                               const std::string& work_prefix, int k,
+                               double base_cell_m, int max_doublings) {
+  return run_cloaking_jobs(*dfs_, cluster_, input, work_prefix, k, base_cell_m,
+                           max_doublings);
+}
+
+MixZoneMrResult Gepeto::mix_zones(const std::string& input,
+                                  const std::string& work_prefix,
+                                  const std::vector<MixZone>& zones,
+                                  std::uint64_t seed) {
+  return run_mix_zone_jobs(*dfs_, cluster_, input, work_prefix, zones, seed);
+}
+
+LinkAttackMrResult Gepeto::link_attack(
+    const std::string& probe_input, const std::string& gallery_input,
+    const std::string& work_prefix, const FingerprintConfig& config,
+    const std::map<std::int32_t, std::int32_t>& probe_owner,
+    const std::map<std::int32_t, std::int32_t>& gallery_owner) {
+  return run_link_attack_flow(*dfs_, cluster_, probe_input, gallery_input,
+                              work_prefix, config, probe_owner, gallery_owner);
+}
+
+OdMatrixMrResult Gepeto::od_matrix(const std::string& input,
+                                   const std::string& work_prefix,
+                                   const OdConfig& config) {
+  return run_od_matrix_flow(*dfs_, cluster_, input, work_prefix, config);
+}
+
 flow::FlowResult Gepeto::run_flow(flow::Flow& f,
                                   const flow::FlowOptions& options) {
   return f.run(*dfs_, cluster_, options);

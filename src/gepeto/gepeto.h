@@ -8,6 +8,9 @@
 #include <string>
 
 #include "geo/trace.h"
+#include "gepeto/attacks/fingerprint.h"
+#include "gepeto/attacks/od_matrix.h"
+#include "gepeto/attacks/privacy_verifier.h"
 #include "gepeto/djcluster.h"
 #include "gepeto/kmeans.h"
 #include "gepeto/rtree_mr.h"
@@ -60,6 +63,30 @@ class Gepeto {
 
   mr::JobResult round(const std::string& input, const std::string& output,
                       double cell_m);
+
+  CloakingMrResult cloak(const std::string& input,
+                         const std::string& work_prefix, int k,
+                         double base_cell_m, int max_doublings = 6);
+
+  MixZoneMrResult mix_zones(const std::string& input,
+                            const std::string& work_prefix,
+                            const std::vector<MixZone>& zones,
+                            std::uint64_t seed = kPseudonymSeed);
+
+  // --- the privacy attack suite (attacks/) --------------------------------
+
+  /// POI-fingerprint linking between two sanitized releases of the same
+  /// population (attacks/fingerprint.h).
+  LinkAttackMrResult link_attack(
+      const std::string& probe_input, const std::string& gallery_input,
+      const std::string& work_prefix, const FingerprintConfig& config,
+      const std::map<std::int32_t, std::int32_t>& probe_owner = {},
+      const std::map<std::int32_t, std::int32_t>& gallery_owner = {});
+
+  /// k-anonymous origin-destination matrix (attacks/od_matrix.h).
+  OdMatrixMrResult od_matrix(const std::string& input,
+                             const std::string& work_prefix,
+                             const OdConfig& config);
 
   /// Execute a JobFlow DAG on this cluster (see workflow/flow.h). Compose
   /// nodes via flow::Flow + the add_*_nodes helpers of the modules.

@@ -207,6 +207,8 @@ DeanonymizationResult deanonymization_attack(
     double best_d = std::numeric_limits<double>::max();
     for (std::size_t g = 0; g < gallery.size(); ++g) {
       const double d = mmc_distance(probes[p], gallery[g]);
+      // Strict <: equidistant gallery MMCs resolve to the lowest index, the
+      // documented tie-break contract (see mmc.h).
       if (d < best_d) {
         best_d = d;
         best = static_cast<int>(g);

@@ -67,6 +67,12 @@ struct DeanonymizationResult {
 
 /// Link each anonymized probe MMC to the closest gallery MMC. `truth[i]`
 /// is the gallery index that probe i actually belongs to.
+///
+/// Tie-break contract: when several gallery MMCs are exactly equidistant
+/// from a probe, the *lowest gallery index* wins (strict-< argmin). This is
+/// the same contract as the SIMD argmin kernels (geo/kernels.h) and the
+/// fingerprint linking attack (attacks/fingerprint.h), so attack success
+/// rates are bit-reproducible across GEPETO_KERNEL backends and chunkings.
 DeanonymizationResult deanonymization_attack(
     const std::vector<MobilityMarkovChain>& gallery,
     const std::vector<MobilityMarkovChain>& probes,

@@ -1,5 +1,6 @@
 #include "gepeto/sanitize.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cmath>
 #include <limits>
@@ -16,6 +17,7 @@
 #include "geo/geolife.h"
 #include "geo/kernels.h"
 #include "mapreduce/engine.h"
+#include "mapreduce/lines.h"
 
 namespace gepeto::core {
 
@@ -27,6 +29,14 @@ double deg_lat(double m) { return m / kMetersPerDegLat; }
 double deg_lon(double m, double at_lat) {
   return m / (kMetersPerDegLat *
               std::cos(at_lat * std::numbers::pi / 180.0));
+}
+
+/// Longitude-step latitude for a cell row: the row's center latitude,
+/// clamped away from the poles where cos() degenerates. Pure function of
+/// the row, never of an individual trace.
+double row_center_lat(std::int64_t cy, double dlat) {
+  const double center = (static_cast<double>(cy) + 0.5) * dlat;
+  return std::clamp(center, -89.9, 89.9);
 }
 
 /// Per-trace deterministic Gaussian noise shared by the sequential and MR
@@ -41,21 +51,14 @@ geo::MobilityTrace masked_trace(const geo::MobilityTrace& t, double sigma_m,
   return out;
 }
 
-/// Grid-cell identifier at a given cell size.
-std::pair<std::int64_t, std::int64_t> cell_of(double lat, double lon,
-                                              double cell_m) {
-  const double dlat = deg_lat(cell_m);
-  const double dlon = deg_lon(cell_m, lat);
-  return {static_cast<std::int64_t>(std::floor(lat / dlat)),
-          static_cast<std::int64_t>(std::floor(lon / dlon))};
-}
-
+/// Snap a trace to the center of its cell. Every trace in a cell gets the
+/// bit-identical released coordinate (the k-anonymity of cloaking rests on
+/// this: a center derived from the trace's own latitude would fingerprint
+/// the original point).
 geo::MobilityTrace rounded_trace(const geo::MobilityTrace& t, double cell_m) {
-  const double dlat = deg_lat(cell_m);
-  const double dlon = deg_lon(cell_m, t.latitude);
+  const GridCell cell = grid_cell_of(t.latitude, t.longitude, cell_m);
   geo::MobilityTrace out = t;
-  out.latitude = (std::floor(t.latitude / dlat) + 0.5) * dlat;
-  out.longitude = (std::floor(t.longitude / dlon) + 0.5) * dlon;
+  grid_cell_center(cell, cell_m, out.latitude, out.longitude);
   return out;
 }
 
@@ -89,14 +92,14 @@ struct RoundingMapper {
 /// Census key: one grid cell at one doubling level.
 struct CellKey {
   std::int32_t level = 0;
-  std::int64_t cx = 0;
   std::int64_t cy = 0;
+  std::int64_t cx = 0;
 
   friend auto operator<=>(const CellKey&, const CellKey&) = default;
   std::uint64_t partition_hash() const {
     std::uint64_t h = static_cast<std::uint64_t>(level) * 0x9E3779B97F4A7C15ULL;
-    h ^= static_cast<std::uint64_t>(cx) * 0xA24BAED4963EE407ULL;
-    h ^= static_cast<std::uint64_t>(cy) * 0x9FB21C651E98DF25ULL;
+    h ^= static_cast<std::uint64_t>(cy) * 0xA24BAED4963EE407ULL;
+    h ^= static_cast<std::uint64_t>(cx) * 0x9FB21C651E98DF25ULL;
     return h;
   }
   std::uint64_t serialized_size() const { return 20; }
@@ -121,10 +124,9 @@ struct CensusMapper {
       ctx.increment("cloak.malformed_lines");
       return;
     }
-    double cell = base_cell_m;
-    for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
-      const auto [cx, cy] = cell_of(t.latitude, t.longitude, cell);
-      ctx.emit(CellKey{l, cx, cy}, UserIdValue{t.user_id});
+    for (int l = 0; l <= max_doublings; ++l) {
+      const GridCell c = grid_cell_of(t.latitude, t.longitude, base_cell_m, l);
+      ctx.emit(CellKey{l, c.cy, c.cx}, UserIdValue{t.user_id});
     }
   }
 };
@@ -146,8 +148,8 @@ struct CensusReducer {
     for (const auto& v : values) users.insert(v.user);
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%d,%lld,%lld,%zu", key.level,
-                  static_cast<long long>(key.cx),
-                  static_cast<long long>(key.cy), users.size());
+                  static_cast<long long>(key.cy),
+                  static_cast<long long>(key.cx), users.size());
     ctx.write(buf);
   }
 };
@@ -158,34 +160,26 @@ struct ApplyCloakingMapper {
   double base_cell_m;
   int max_doublings;
 
-  /// (level, cx, cy) -> distinct user count, loaded from the census.
+  /// (level, cy, cx) -> distinct user count, loaded from the census.
   std::map<std::tuple<int, std::int64_t, std::int64_t>, std::size_t> census;
 
   void setup(mr::TaskContext& ctx) {
-    const std::string_view data = ctx.cache_file(census_file);
-    std::size_t start = 0;
-    while (start < data.size()) {
-      std::size_t end = data.find('\n', start);
-      if (end == std::string_view::npos) end = data.size();
-      const std::string_view line = data.substr(start, end - start);
-      if (!line.empty()) {
-        int level = 0;
-        std::int64_t cx = 0, cy = 0;
-        std::size_t count = 0;
-        const char* p = line.data();
-        const char* e = line.data() + line.size();
-        auto r1 = std::from_chars(p, e, level);
-        GEPETO_CHECK(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',');
-        auto r2 = std::from_chars(r1.ptr + 1, e, cx);
-        GEPETO_CHECK(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',');
-        auto r3 = std::from_chars(r2.ptr + 1, e, cy);
-        GEPETO_CHECK(r3.ec == std::errc() && r3.ptr != e && *r3.ptr == ',');
-        auto r4 = std::from_chars(r3.ptr + 1, e, count);
-        GEPETO_CHECK(r4.ec == std::errc() && r4.ptr == e);
-        census.emplace(std::make_tuple(level, cx, cy), count);
-      }
-      start = end + 1;
-    }
+    mr::for_each_line(ctx.cache_file(census_file), [&](std::string_view line) {
+      int level = 0;
+      std::int64_t cy = 0, cx = 0;
+      std::size_t count = 0;
+      const char* p = line.data();
+      const char* e = line.data() + line.size();
+      auto r1 = std::from_chars(p, e, level);
+      GEPETO_CHECK(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',');
+      auto r2 = std::from_chars(r1.ptr + 1, e, cy);
+      GEPETO_CHECK(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',');
+      auto r3 = std::from_chars(r2.ptr + 1, e, cx);
+      GEPETO_CHECK(r3.ec == std::errc() && r3.ptr != e && *r3.ptr == ',');
+      auto r4 = std::from_chars(r3.ptr + 1, e, count);
+      GEPETO_CHECK(r4.ec == std::errc() && r4.ptr == e);
+      census.emplace(std::make_tuple(level, cy, cx), count);
+    });
   }
 
   void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
@@ -194,13 +188,13 @@ struct ApplyCloakingMapper {
       ctx.increment("cloak.malformed_lines");
       return;
     }
-    double cell = base_cell_m;
-    for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
-      const auto [cx, cy] = cell_of(t.latitude, t.longitude, cell);
-      const auto it = census.find(std::make_tuple(l, cx, cy));
+    for (int l = 0; l <= max_doublings; ++l) {
+      const GridCell c = grid_cell_of(t.latitude, t.longitude, base_cell_m, l);
+      const auto it = census.find(std::make_tuple(l, c.cy, c.cx));
       GEPETO_CHECK_MSG(it != census.end(), "census miss: stale cache?");
       if (static_cast<int>(it->second) >= k) {
-        ctx.write(geo::dataset_line(rounded_trace(t, cell)));
+        ctx.write(
+            geo::dataset_line(rounded_trace(t, std::ldexp(base_cell_m, l))));
         return;
       }
     }
@@ -208,7 +202,151 @@ struct ApplyCloakingMapper {
   }
 };
 
+// --- mix-zone MapReduce mappers ----------------------------------------------
+
+/// Group-aware split protocol: all lines of one user stay in one map task
+/// (dataset files are (user, time) ordered), so per-user crossing state
+/// never straddles a split. Malformed lines never extend a group.
+bool same_user_lines(std::string_view prev, std::string_view line) {
+  geo::MobilityTrace a, b;
+  if (!geo::parse_dataset_line(prev, a)) return false;
+  if (!geo::parse_dataset_line(line, b)) return false;
+  return a.user_id == b.user_id;
+}
+
+/// Job 1: per-user zone-crossing census ("uid,crossings" lines, including
+/// zero-crossing users — every live id matters to the allocator).
+struct MixCensusMapper {
+  std::vector<MixZone> zones;
+  ZoneIndex index{zones};
+
+  bool have_user = false;
+  std::int32_t uid = 0;
+  bool inside = false;
+  int crossings = 0;
+
+  bool same_group(std::string_view prev, std::string_view line) const {
+    return same_user_lines(prev, line);
+  }
+
+  void flush(mr::MapOnlyContext& ctx) {
+    if (!have_user) return;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d,%d", uid, crossings);
+    ctx.write(buf);
+    have_user = false;
+  }
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("mixzone.malformed_lines");
+      return;
+    }
+    if (!have_user || t.user_id != uid) {
+      flush(ctx);
+      have_user = true;
+      uid = t.user_id;
+      inside = false;
+      crossings = 0;
+    }
+    if (index.contains(t)) {
+      inside = true;
+    } else if (inside) {
+      ++crossings;
+      inside = false;
+    }
+  }
+
+  void cleanup(mr::MapOnlyContext& ctx) { flush(ctx); }
+};
+
+/// Job 2: suppress in-zone traces, rewrite pseudonyms from the cached
+/// allocation table.
+struct MixApplyMapper {
+  std::string alloc_file;
+  std::vector<MixZone> zones;
+  ZoneIndex index{zones};
+
+  /// (uid, crossing index) -> pseudonym, from the native allocation node.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> alloc{};
+
+  bool have_user = false;
+  std::int32_t uid = 0;
+  std::int32_t current_id = 0;
+  std::int32_t crossing = 0;
+  bool inside = false;
+
+  void setup(mr::TaskContext& ctx) {
+    mr::for_each_line(ctx.cache_file(alloc_file), [&](std::string_view line) {
+      std::int32_t user = 0, index_ = 0, pseudonym = 0;
+      const char* p = line.data();
+      const char* e = line.data() + line.size();
+      auto r1 = std::from_chars(p, e, user);
+      GEPETO_CHECK(r1.ec == std::errc() && r1.ptr != e && *r1.ptr == ',');
+      auto r2 = std::from_chars(r1.ptr + 1, e, index_);
+      GEPETO_CHECK(r2.ec == std::errc() && r2.ptr != e && *r2.ptr == ',');
+      auto r3 = std::from_chars(r2.ptr + 1, e, pseudonym);
+      GEPETO_CHECK(r3.ec == std::errc() && r3.ptr == e);
+      alloc.emplace(std::make_pair(user, index_), pseudonym);
+    });
+  }
+
+  bool same_group(std::string_view prev, std::string_view line) const {
+    return same_user_lines(prev, line);
+  }
+
+  void map(std::int64_t, std::string_view line, mr::MapOnlyContext& ctx) {
+    geo::MobilityTrace t;
+    if (!geo::parse_dataset_line(line, t)) {
+      ctx.increment("mixzone.malformed_lines");
+      return;
+    }
+    if (!have_user || t.user_id != uid) {
+      have_user = true;
+      uid = t.user_id;
+      current_id = uid;
+      crossing = 0;
+      inside = false;
+    }
+    if (index.contains(t)) {
+      inside = true;
+      ctx.increment("mixzone.suppressed");
+      return;
+    }
+    if (inside) {
+      const auto it = alloc.find(std::make_pair(uid, crossing));
+      GEPETO_CHECK_MSG(it != alloc.end(), "pseudonym miss: stale cache?");
+      current_id = it->second;
+      ++crossing;
+      ctx.increment("mixzone.changes");
+      inside = false;
+    }
+    geo::MobilityTrace out = t;
+    out.user_id = current_id;
+    ctx.write(geo::dataset_line(out));
+  }
+};
+
 }  // namespace
+
+GridCell grid_cell_of(double lat, double lon, double base_cell_m, int level) {
+  const double cell_m = std::ldexp(base_cell_m, level);
+  const double dlat = deg_lat(cell_m);
+  const auto cy = static_cast<std::int64_t>(std::floor(lat / dlat));
+  const double dlon = deg_lon(cell_m, row_center_lat(cy, dlat));
+  const auto cx = static_cast<std::int64_t>(std::floor(lon / dlon));
+  return GridCell{level, cy, cx};
+}
+
+void grid_cell_center(const GridCell& cell, double base_cell_m,
+                      double& latitude, double& longitude) {
+  const double cell_m = std::ldexp(base_cell_m, cell.level);
+  const double dlat = deg_lat(cell_m);
+  latitude = (static_cast<double>(cell.cy) + 0.5) * dlat;
+  const double dlon = deg_lon(cell_m, row_center_lat(cell.cy, dlat));
+  longitude = (static_cast<double>(cell.cx) + 0.5) * dlon;
+}
 
 geo::GeolocatedDataset gaussian_mask(const geo::GeolocatedDataset& dataset,
                                      double sigma_m, std::uint64_t seed) {
@@ -239,17 +377,16 @@ geo::GeolocatedDataset spatial_rounding(const geo::GeolocatedDataset& dataset,
 CloakingResult spatial_cloaking(const geo::GeolocatedDataset& dataset, int k,
                                 double base_cell_m, int max_doublings) {
   GEPETO_CHECK(k >= 1 && base_cell_m > 0.0 && max_doublings >= 0);
-  // Distinct-user counts per cell at each level.
+  // Distinct-user sets per cell at each level (sets, not trace counts: one
+  // chatty user must not satisfy k-anonymity by themselves).
   std::vector<std::map<std::pair<std::int64_t, std::int64_t>,
                        std::set<std::int32_t>>>
       levels(static_cast<std::size_t>(max_doublings) + 1);
   for (const auto& [uid, trail] : dataset) {
     for (const auto& t : trail) {
-      double cell = base_cell_m;
-      for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
-        levels[static_cast<std::size_t>(l)][cell_of(t.latitude, t.longitude,
-                                                    cell)]
-            .insert(uid);
+      for (int l = 0; l <= max_doublings; ++l) {
+        const GridCell c = grid_cell_of(t.latitude, t.longitude, base_cell_m, l);
+        levels[static_cast<std::size_t>(l)][{c.cy, c.cx}].insert(uid);
       }
     }
   }
@@ -260,14 +397,15 @@ CloakingResult spatial_cloaking(const geo::GeolocatedDataset& dataset, int k,
   for (const auto& [uid, trail] : dataset) {
     geo::Trail cloaked;
     for (const auto& t : trail) {
-      double cell = base_cell_m;
       bool placed = false;
-      for (int l = 0; l <= max_doublings; ++l, cell *= 2) {
-        const auto& users = levels[static_cast<std::size_t>(l)].at(
-            cell_of(t.latitude, t.longitude, cell));
+      for (int l = 0; l <= max_doublings; ++l) {
+        const GridCell c = grid_cell_of(t.latitude, t.longitude, base_cell_m, l);
+        const auto& users =
+            levels[static_cast<std::size_t>(l)].at({c.cy, c.cx});
         if (static_cast<int>(users.size()) >= k) {
-          cloaked.push_back(rounded_trace(t, cell));
-          cell_sum += cell;
+          const double cell_m = std::ldexp(base_cell_m, l);
+          cloaked.push_back(rounded_trace(t, cell_m));
+          cell_sum += cell_m;
           ++kept;
           placed = true;
           break;
@@ -275,53 +413,117 @@ CloakingResult spatial_cloaking(const geo::GeolocatedDataset& dataset, int k,
       }
       if (!placed) ++result.suppressed;
     }
-    result.data.add_trail(uid, std::move(cloaked));
+    // A fully-suppressed user is absent from the release: an empty trail
+    // would reveal the user existed (and the MR path never writes one).
+    if (!cloaked.empty()) result.data.add_trail(uid, std::move(cloaked));
   }
   result.avg_cell_m = kept > 0 ? cell_sum / static_cast<double>(kept) : 0.0;
   return result;
 }
 
-MixZoneResult apply_mix_zones(const geo::GeolocatedDataset& dataset,
-                              const std::vector<MixZone>& zones) {
-  MixZoneResult result;
-  // Fresh pseudonyms start above every existing id.
-  std::int32_t next_pseudonym = 0;
-  for (const auto& [uid, trail] : dataset)
-    next_pseudonym = std::max(next_pseudonym, uid + 1);
-
-  // Zone centers snapshotted as struct-of-arrays once; each membership test
-  // is one batched haversine call (kernels.h) followed by the original
-  // per-zone radius compare (each zone has its own radius, so this is a
-  // filter over the distance buffer, not an argmin).
-  std::vector<double> zlats(zones.size()), zlons(zones.size());
-  std::vector<double> zdist(zones.size());
-  for (std::size_t z = 0; z < zones.size(); ++z) {
-    zlats[z] = zones[z].latitude;
-    zlons[z] = zones[z].longitude;
+ZoneIndex::ZoneIndex(std::vector<MixZone> zones)
+    : zones_(std::move(zones)),
+      zlats_(zones_.size()),
+      zlons_(zones_.size()),
+      zdist_(zones_.size()) {
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    zlats_[z] = zones_[z].latitude;
+    zlons_[z] = zones_[z].longitude;
   }
-  auto in_zone = [&](const geo::MobilityTrace& t) {
-    geo::haversine_meters_batch(t.latitude, t.longitude, zlats.data(),
-                                zlons.data(), zones.size(), zdist.data());
-    for (std::size_t z = 0; z < zones.size(); ++z) {
-      if (zdist[z] <= zones[z].radius_m) return true;
+}
+
+bool ZoneIndex::contains(const geo::MobilityTrace& t) const {
+  if (zones_.empty()) return false;
+  geo::haversine_meters_batch(t.latitude, t.longitude, zlats_.data(),
+                              zlons_.data(), zones_.size(), zdist_.data());
+  for (std::size_t z = 0; z < zones_.size(); ++z) {
+    if (zdist_[z] <= zones_[z].radius_m) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<std::int32_t, int>> count_zone_crossings(
+    const geo::GeolocatedDataset& dataset, const std::vector<MixZone>& zones) {
+  const ZoneIndex index(zones);
+  std::vector<std::pair<std::int32_t, int>> out;
+  out.reserve(dataset.num_users());
+  for (const auto& [uid, trail] : dataset) {
+    int crossings = 0;
+    bool inside = false;
+    for (const auto& t : trail) {
+      if (index.contains(t)) {
+        inside = true;
+      } else if (inside) {
+        ++crossings;
+        inside = false;
+      }
     }
-    return false;
-  };
+    out.emplace_back(uid, crossings);
+  }
+  return out;
+}
+
+std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t>
+allocate_pseudonyms(
+    const std::vector<std::pair<std::int32_t, int>>& crossings_per_user,
+    std::uint64_t seed) {
+  // Every original id is live for the whole release (a user keeps their id
+  // until their first crossing, and zone-free users keep it throughout), so
+  // the probe set starts as all of them.
+  std::set<std::int32_t> used;
+  for (const auto& [uid, n] : crossings_per_user) used.insert(uid);
+
+  // Deterministic order: sorted by (uid, crossing), independent of how the
+  // census was gathered.
+  std::vector<std::pair<std::int32_t, int>> sorted = crossings_per_user;
+  std::sort(sorted.begin(), sorted.end());
+
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> alloc;
+  for (const auto& [uid, n] : sorted) {
+    for (std::int32_t c = 0; c < n; ++c) {
+      // Per-(user, crossing) hash stream; successive draws are the probe
+      // sequence on collision. 31-bit mask keeps ids non-negative without
+      // any risk of signed overflow (the old `max(uid) + 1` counter is UB
+      // when a dataset contains INT32_MAX, and its sequential values leak
+      // the allocation order).
+      SplitMix64 sm(seed ^
+                    (static_cast<std::uint64_t>(static_cast<std::uint32_t>(uid))
+                     << 32) ^
+                    static_cast<std::uint64_t>(static_cast<std::uint32_t>(c)));
+      std::int32_t pseudonym;
+      do {
+        pseudonym = static_cast<std::int32_t>(sm.next() & 0x7FFFFFFFULL);
+      } while (!used.insert(pseudonym).second);
+      alloc.emplace(std::make_pair(uid, c), pseudonym);
+    }
+  }
+  return alloc;
+}
+
+MixZoneResult apply_mix_zones(const geo::GeolocatedDataset& dataset,
+                              const std::vector<MixZone>& zones,
+                              std::uint64_t seed) {
+  MixZoneResult result;
+  const ZoneIndex index(zones);
+  const auto alloc = allocate_pseudonyms(count_zone_crossings(dataset, zones),
+                                         seed);
 
   for (const auto& [uid, trail] : dataset) {
     std::int32_t current_id = uid;
+    std::int32_t crossing = 0;
     bool inside = false;
     geo::Trail out;
     result.pseudonym_owner.emplace_back(uid, uid);
     for (const auto& t : trail) {
-      if (in_zone(t)) {
+      if (index.contains(t)) {
         inside = true;
         ++result.suppressed_traces;
         continue;
       }
       if (inside) {
         // Exiting a zone: continue under a fresh pseudonym.
-        current_id = next_pseudonym++;
+        current_id = alloc.at(std::make_pair(uid, crossing));
+        ++crossing;
         ++result.pseudonym_changes;
         result.pseudonym_owner.emplace_back(current_id, uid);
         inside = false;
@@ -343,8 +545,10 @@ std::vector<MixZone> pick_mix_zones(const geo::GeolocatedDataset& dataset,
   std::map<std::pair<std::int64_t, std::int64_t>, std::set<std::int32_t>>
       cells;
   for (const auto& [uid, trail] : dataset)
-    for (const auto& t : trail)
-      cells[cell_of(t.latitude, t.longitude, 2 * radius_m)].insert(uid);
+    for (const auto& t : trail) {
+      const GridCell c = grid_cell_of(t.latitude, t.longitude, 2 * radius_m);
+      cells[{c.cy, c.cx}].insert(uid);
+    }
 
   std::vector<std::pair<std::size_t, std::pair<std::int64_t, std::int64_t>>>
       ranked;
@@ -355,13 +559,11 @@ std::vector<MixZone> pick_mix_zones(const geo::GeolocatedDataset& dataset,
   });
 
   std::vector<MixZone> zones;
-  const double dlat = deg_lat(2 * radius_m);
   for (int i = 0; i < count && i < static_cast<int>(ranked.size()); ++i) {
     const auto& cell = ranked[static_cast<std::size_t>(i)].second;
     MixZone z;
-    z.latitude = (static_cast<double>(cell.first) + 0.5) * dlat;
-    const double dlon = deg_lon(2 * radius_m, z.latitude);
-    z.longitude = (static_cast<double>(cell.second) + 0.5) * dlon;
+    grid_cell_center(GridCell{0, cell.first, cell.second}, 2 * radius_m,
+                     z.latitude, z.longitude);
     z.radius_m = radius_m;
     zones.push_back(z);
   }
@@ -432,10 +634,8 @@ CloakingMrResult run_cloaking_jobs(mr::Dfs& dfs,
   // Consolidate the census parts into one distributed-cache file.
   f.add_native("cloaking-cache",
                [census_out, census_file](flow::FlowEngine& e) {
-                 std::string census_lines;
-                 for (const auto& part : e.dfs().list(census_out + "/"))
-                   census_lines += e.dfs().read(part);
-                 e.dfs().put(census_file, std::move(census_lines));
+                 e.dfs().put(census_file,
+                             mr::concat_dfs_files(e.dfs(), census_out + "/"));
                })
       .reads(census_out)
       .writes(census_file);
@@ -471,6 +671,97 @@ CloakingMrResult run_cloaking_jobs(mr::Dfs& dfs,
   result.suppressed = it == result.apply_job.counters.end()
                           ? 0
                           : static_cast<std::uint64_t>(it->second);
+  return result;
+}
+
+MixZoneMrResult run_mix_zone_jobs(mr::Dfs& dfs,
+                                  const mr::ClusterConfig& cluster,
+                                  const std::string& input,
+                                  const std::string& work_prefix,
+                                  const std::vector<MixZone>& zones,
+                                  std::uint64_t seed) {
+  const std::string census_out = work_prefix + "/crossings";
+  const std::string alloc_file = work_prefix + "/pseudonym-cache";
+  const std::string mixed = work_prefix + "/mixed";
+
+  flow::Flow f("mix-zones");
+
+  // Job 1: per-user crossing census (group-aware map-only: one task sees a
+  // user's whole run, so crossing state never straddles a split).
+  f.add_map_only("mixzone-census",
+                 [input, census_out, zones](flow::FlowEngine& e) {
+                   mr::JobConfig census;
+                   census.name = "mixzone-census";
+                   census.input = input;
+                   census.output = census_out;
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), census,
+                       [zones] { return MixCensusMapper{zones}; });
+                 })
+      .reads(input)
+      .writes(census_out);
+
+  // Native node: the same seeded allocation as the sequential path, written
+  // as a "uid,crossing,pseudonym" table into the distributed cache.
+  f.add_native("mixzone-alloc",
+               [census_out, alloc_file, seed](flow::FlowEngine& e) {
+                 std::vector<std::pair<std::int32_t, int>> crossings;
+                 mr::for_each_dfs_line(
+                     e.dfs(), census_out + "/", [&](std::string_view line) {
+                       std::int32_t uid = 0;
+                       int n = 0;
+                       const char* p = line.data();
+                       const char* le = line.data() + line.size();
+                       auto r1 = std::from_chars(p, le, uid);
+                       GEPETO_CHECK(r1.ec == std::errc() && r1.ptr != le &&
+                                    *r1.ptr == ',');
+                       auto r2 = std::from_chars(r1.ptr + 1, le, n);
+                       GEPETO_CHECK(r2.ec == std::errc() && r2.ptr == le);
+                       crossings.emplace_back(uid, n);
+                     });
+                 std::string table;
+                 for (const auto& [key, pseudonym] :
+                      allocate_pseudonyms(crossings, seed)) {
+                   char buf[48];
+                   std::snprintf(buf, sizeof(buf), "%d,%d,%d\n", key.first,
+                                 key.second, pseudonym);
+                   table += buf;
+                 }
+                 e.dfs().put(alloc_file, std::move(table));
+               })
+      .reads(census_out)
+      .writes(alloc_file);
+
+  // Job 2: apply suppression + reassignment (group-aware map-only).
+  f.add_map_only("mixzone-apply",
+                 [input, alloc_file, mixed, zones](flow::FlowEngine& e) {
+                   mr::JobConfig apply;
+                   apply.name = "mixzone-apply";
+                   apply.input = input;
+                   apply.output = mixed;
+                   apply.cache_files = {alloc_file};
+                   return mr::run_map_only_job(
+                       e.dfs(), e.cluster(), apply, [alloc_file, zones] {
+                         return MixApplyMapper{alloc_file, zones};
+                       });
+                 })
+      .reads(input)
+      .reads(alloc_file)
+      .keep(mixed);
+
+  const auto fr = f.run(dfs, cluster);
+
+  MixZoneMrResult result;
+  result.census_job = fr.node("mixzone-census")->job;
+  result.apply_job = fr.node("mixzone-apply")->job;
+  const auto counter = [&](const char* name) -> std::uint64_t {
+    const auto it = result.apply_job.counters.find(name);
+    return it == result.apply_job.counters.end()
+               ? 0
+               : static_cast<std::uint64_t>(it->second);
+  };
+  result.suppressed_traces = counter("mixzone.suppressed");
+  result.pseudonym_changes = counter("mixzone.changes");
   return result;
 }
 

@@ -13,13 +13,34 @@
 //   * mix zones         — suppress traces inside the zones and change the
 //                         pseudonym of every user crossing one.
 //
-// The first two are also provided as map-only MapReduce jobs (per-line
-// deterministic noise), following the paper's plan to "design MapReduced
-// versions of geo-sanitization mechanisms".
+// All four are also provided as MapReduce jobs (mask/rounding as map-only
+// jobs with per-line deterministic noise; cloaking and mix zones as JobFlow
+// pipelines), following the paper's plan to "design MapReduced versions of
+// geo-sanitization mechanisms".
+//
+// The privacy contracts these mechanisms declare (cloaked cell ≥ k distinct
+// users, in-zone traces suppressed, pseudonyms collision-free) are checked
+// directly by attacks/privacy_verifier.h; the contracts below are written to
+// be *verifiable from the release*, which pins down two details that a
+// mechanically-correct implementation can still get wrong:
+//
+//   * Cloaking/rounding cells are a **pure function of the cell**, not of
+//     the trace: the longitude step is computed at the latitude of the cell
+//     row's center, so every trace in a cell is released at the bit-identical
+//     cell center. (Deriving the step from each trace's own latitude — the
+//     obvious implementation — makes the released "aggregated" coordinate a
+//     near-unique fingerprint of the original point, silently voiding the
+//     k-anonymity the census proved.)
+//   * Mix-zone pseudonyms are allocated by a seeded hash, not a counter:
+//     no pseudonym collides with any live user id or other pseudonym, and
+//     the numeric value leaks neither the original id (counter start) nor
+//     the allocation order (counter sequence).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geo/trace.h"
@@ -32,6 +53,30 @@ class Dfs;
 
 namespace gepeto::core {
 
+// --- the sanitization grid ---------------------------------------------------
+
+/// One square grid cell: `level` doublings above the base cell size, with a
+/// row index (cy, from latitude) and a column index (cx, from longitude).
+struct GridCell {
+  int level = 0;
+  std::int64_t cy = 0;
+  std::int64_t cx = 0;
+
+  friend auto operator<=>(const GridCell&, const GridCell&) = default;
+};
+
+/// The cell containing (lat, lon) at `base_cell_m * 2^level` meters. The
+/// column width is evaluated at the latitude of the cell row's *center*, so
+/// the mapping point -> cell -> center is a pure function of the cell.
+GridCell grid_cell_of(double lat, double lon, double base_cell_m,
+                      int level = 0);
+
+/// Center coordinate of a cell — the released value for every trace in it.
+void grid_cell_center(const GridCell& cell, double base_cell_m,
+                      double& latitude, double& longitude);
+
+// --- mechanisms --------------------------------------------------------------
+
 /// Gaussian geographical mask (deterministic: the noise of a trace depends
 /// only on seed, user id and timestamp, so the MR and sequential paths
 /// produce identical output).
@@ -39,7 +84,8 @@ geo::GeolocatedDataset gaussian_mask(const geo::GeolocatedDataset& dataset,
                                      double sigma_m, std::uint64_t seed);
 
 /// Snap every coordinate to the center of a square grid cell of side
-/// `cell_m` meters (spatial aggregation).
+/// `cell_m` meters (spatial aggregation). Traces sharing a cell are released
+/// at the bit-identical center.
 geo::GeolocatedDataset spatial_rounding(const geo::GeolocatedDataset& dataset,
                                         double cell_m);
 
@@ -50,9 +96,10 @@ struct CloakingResult {
 };
 
 /// Spatial cloaking: per trace, grow the cell (doubling from `base_cell_m`,
-/// at most `max_doublings` times) until at least `k` distinct users have
+/// at most `max_doublings` times) until at least `k` *distinct users* have
 /// traces in it; the trace is reported at the cell center. Traces that never
-/// reach k users are suppressed.
+/// reach k users are suppressed; a user whose every trace is suppressed is
+/// absent from the release (an empty trail would leak their existence).
 CloakingResult spatial_cloaking(const geo::GeolocatedDataset& dataset, int k,
                                 double base_cell_m, int max_doublings = 6);
 
@@ -60,6 +107,22 @@ struct MixZone {
   double latitude = 0.0;
   double longitude = 0.0;
   double radius_m = 0.0;
+};
+
+/// Batched point-in-any-zone test: one haversine kernel call per trace over
+/// the zone centers (kernels.h), then a per-zone radius compare. A trace at
+/// exactly the boundary distance (== radius_m) is *inside*. Not thread-safe
+/// (reuses a distance scratch buffer); make one per thread.
+class ZoneIndex {
+ public:
+  explicit ZoneIndex(std::vector<MixZone> zones);
+  bool contains(const geo::MobilityTrace& trace) const;
+  const std::vector<MixZone>& zones() const { return zones_; }
+
+ private:
+  std::vector<MixZone> zones_;
+  std::vector<double> zlats_, zlons_;
+  mutable std::vector<double> zdist_;
 };
 
 struct MixZoneResult {
@@ -70,15 +133,41 @@ struct MixZoneResult {
   std::vector<std::pair<std::int32_t, std::int32_t>> pseudonym_owner;
 };
 
-/// Apply mix zones: traces inside any zone are suppressed; each time a user
-/// exits a zone they continue under a fresh pseudonym.
+/// Default seed of the pseudonym hash ("mixzones" in ASCII).
+inline constexpr std::uint64_t kPseudonymSeed = 0x6D69787A6F6E6573ULL;
+
+/// Number of zone crossings per user, uid-ascending — one entry for *every*
+/// user of the dataset (zero-crossing users matter: their ids are live and
+/// must not be reissued as pseudonyms). A crossing is an inside->outside
+/// transition followed by at least one released trace.
+std::vector<std::pair<std::int32_t, int>> count_zone_crossings(
+    const geo::GeolocatedDataset& dataset, const std::vector<MixZone>& zones);
+
+/// Seeded, collision-free pseudonym allocation: (user, crossing index) ->
+/// fresh pseudonym. Pseudonyms are drawn from a per-(user, crossing) seeded
+/// hash stream (31-bit non-negative ids) and probed against the set of every
+/// original user id and every already-allocated pseudonym, so no pseudonym
+/// equals any live id of another user. The result depends only on the
+/// crossing multiset and the seed — not on iteration order, chunking, or
+/// backend — and the numeric values carry no allocation-order signal.
+std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t>
+allocate_pseudonyms(
+    const std::vector<std::pair<std::int32_t, int>>& crossings_per_user,
+    std::uint64_t seed);
+
+/// Apply mix zones: traces inside any zone (boundary inclusive) are
+/// suppressed; each time a user exits a zone they continue under a fresh
+/// pseudonym from allocate_pseudonyms(seed).
 MixZoneResult apply_mix_zones(const geo::GeolocatedDataset& dataset,
-                              const std::vector<MixZone>& zones);
+                              const std::vector<MixZone>& zones,
+                              std::uint64_t seed = kPseudonymSeed);
 
 /// Pick the `count` busiest grid cells (by distinct users) as mix zones —
 /// a simple automatic placement.
 std::vector<MixZone> pick_mix_zones(const geo::GeolocatedDataset& dataset,
                                     int count, double radius_m);
+
+// --- MapReduce realizations --------------------------------------------------
 
 /// Map-only MapReduce jobs over dataset lines.
 mr::JobResult run_gaussian_mask_job(mr::Dfs& dfs,
@@ -110,5 +199,31 @@ CloakingMrResult run_cloaking_jobs(mr::Dfs& dfs,
                                    const std::string& input,
                                    const std::string& work_prefix, int k,
                                    double base_cell_m, int max_doublings = 6);
+
+/// Mix zones as a JobFlow pipeline mirroring the cloaking shape:
+///   job 1 (crossings, group-aware map-only): each user's whole run is seen
+///   by one task, which counts inside->outside crossings and writes
+///   "uid,crossings" — including zero-crossing users (their ids are live);
+///   native node: consolidates the crossing census, runs the same
+///   allocate_pseudonyms() as the sequential path, and writes the
+///   "uid,crossing,pseudonym" table into the distributed cache;
+///   job 2 (apply, group-aware map-only): suppresses in-zone traces and
+///   rewrites pseudonyms from the cached table.
+/// Output lines are byte-identical to apply_mix_zones() with the same zones
+/// and seed, for any chunking and on both worker backends (tested by the
+/// differential_privacy sweep).
+struct MixZoneMrResult {
+  mr::JobResult census_job;
+  mr::JobResult apply_job;
+  std::uint64_t suppressed_traces = 0;
+  std::uint64_t pseudonym_changes = 0;
+};
+
+MixZoneMrResult run_mix_zone_jobs(mr::Dfs& dfs,
+                                  const mr::ClusterConfig& cluster,
+                                  const std::string& input,
+                                  const std::string& work_prefix,
+                                  const std::vector<MixZone>& zones,
+                                  std::uint64_t seed = kPseudonymSeed);
 
 }  // namespace gepeto::core

@@ -1,0 +1,48 @@
+// Text-line iteration helpers shared by drivers and tasks.
+//
+// Several pipelines move small side tables through the DFS as newline-
+// separated text — the distributed-cache pattern (a native flow node
+// consolidates job parts into one cache file; every task of the next job
+// parses it in setup()), and the reduce-side join idiom the attack suite's
+// two-release linking uses. These helpers centralize the line walk so each
+// mapper's setup() is just the per-line parse.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "mapreduce/dfs.h"
+
+namespace gepeto::mr {
+
+/// Invoke `fn(std::string_view line)` for every non-empty line of `data`.
+/// A trailing newline is optional; empty lines are skipped, not errors.
+template <typename Fn>
+void for_each_line(std::string_view data, Fn&& fn) {
+  std::size_t start = 0;
+  while (start < data.size()) {
+    std::size_t end = data.find('\n', start);
+    if (end == std::string_view::npos) end = data.size();
+    if (end > start) fn(data.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
+/// Invoke `fn(std::string_view line)` for every non-empty line of every DFS
+/// file under `prefix` (in list() order — deterministic part order). The
+/// driver-side half of the distributed-cache / join pattern.
+template <typename Fn>
+void for_each_dfs_line(const Dfs& dfs, const std::string& prefix, Fn&& fn) {
+  for (const auto& path : dfs.list(prefix)) for_each_line(dfs.read(path), fn);
+}
+
+/// Concatenate every DFS file under `prefix` into one string — the native
+/// consolidation step that turns a job's part files into a single
+/// distributed-cache file.
+inline std::string concat_dfs_files(const Dfs& dfs, const std::string& prefix) {
+  std::string out;
+  for (const auto& path : dfs.list(prefix)) out.append(dfs.read(path));
+  return out;
+}
+
+}  // namespace gepeto::mr

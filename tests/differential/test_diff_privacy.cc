@@ -1,0 +1,191 @@
+// Differential tests for the privacy pipelines (ISSUE 10): the sequential
+// sanitizers and attacks are the oracles for their MapReduce/JobFlow
+// realizations, swept over chunk size and file count (and, via the
+// differential_privacy ctest leg, the multi-process worker backend).
+//
+// Two properties are asserted at every sweep point:
+//   * equivalence — the job output is byte-identical (canonical lines /
+//     exact structs) to the sequential oracle; in particular the seeded
+//     mix-zone pseudonym allocation must not depend on chunking, task
+//     scheduling, or worker backend;
+//   * contract — the release passes the privacy-contract verifier, so every
+//     sweep point also exercises the adversarial oracle itself.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "diff_harness.h"
+#include "geo/geolife.h"
+#include "gepeto/attacks/fingerprint.h"
+#include "gepeto/attacks/od_matrix.h"
+#include "gepeto/attacks/privacy_verifier.h"
+#include "gepeto/sanitize.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::difftest {
+namespace {
+
+using core::CloakingContract;
+using core::FingerprintConfig;
+using core::MixZone;
+using core::OdConfig;
+
+geo::GeolocatedDataset diff_dataset() {
+  AdversarialOptions options;
+  options.num_users = 4;
+  options.traces_per_window = 10;
+  options.num_windows = 6;
+  options.window_s = 600;
+  options.duplicate_points = true;  // identical observations stress censuses
+  return adversarial_dataset(options);
+}
+
+const std::vector<std::size_t> kChunks = {512, 2048, std::size_t{1} << 15};
+
+TEST(DiffPrivacy, CloakingMatchesOracleAndContractOnAnyChunking) {
+  const int k = 2;
+  const double base_cell_m = 200.0;
+  const int doublings = 3;
+  for (const std::size_t chunk : kChunks) {
+    for (const int files : {1, 3}) {
+      SweepConfig sweep;
+      sweep.chunk_size = chunk;
+      sweep.num_files = files;
+      mr::Dfs dfs(sweep.cluster());
+      geo::dataset_to_dfs(dfs, "/in", diff_dataset(), sweep.num_files);
+      const auto parsed = geo::dataset_from_dfs(dfs, "/in/");
+
+      const auto oracle = core::spatial_cloaking(parsed, k, base_cell_m,
+                                                 doublings);
+      const auto job = core::run_cloaking_jobs(dfs, sweep.cluster(), "/in/",
+                                               "/cloak", k, base_cell_m,
+                                               doublings);
+      EXPECT_TRUE(expect_condition(
+          "privacy/cloaking", sweep, job.suppressed == oracle.suppressed,
+          "suppressed: oracle=" + std::to_string(oracle.suppressed) +
+              " job=" + std::to_string(job.suppressed)));
+      EXPECT_TRUE(expect_same_lines("privacy/cloaking", sweep,
+                                    canonical_lines(oracle.data),
+                                    canonical_lines(dfs, "/cloak/cloaked")));
+
+      const auto report = core::verify_cloaking(
+          parsed, geo::dataset_from_dfs(dfs, "/cloak/cloaked/"),
+          CloakingContract{k, base_cell_m, doublings});
+      EXPECT_TRUE(expect_condition("privacy/cloaking-contract", sweep,
+                                   report.ok(), report.summary()));
+    }
+  }
+}
+
+TEST(DiffPrivacy, MixZonePseudonymsAreByteIdenticalOnAnyChunking) {
+  const auto data = diff_dataset();
+  for (const std::uint64_t seed : {core::kPseudonymSeed, std::uint64_t{42}}) {
+    for (const std::size_t chunk : kChunks) {
+      SweepConfig sweep;
+      sweep.chunk_size = chunk;
+      mr::Dfs dfs(sweep.cluster());
+      geo::dataset_to_dfs(dfs, "/in", data, sweep.num_files);
+      const auto parsed = geo::dataset_from_dfs(dfs, "/in/");
+      const auto zones = core::pick_mix_zones(parsed, 2, 300.0);
+      ASSERT_EQ(zones.size(), 2u);
+
+      const auto oracle = core::apply_mix_zones(parsed, zones, seed);
+      // The sweep is only meaningful when pseudonyms are actually allocated.
+      ASSERT_GT(oracle.pseudonym_changes, 0u);
+      const auto job = core::run_mix_zone_jobs(dfs, sweep.cluster(), "/in/",
+                                               "/mz", zones, seed);
+      EXPECT_TRUE(expect_condition(
+          "privacy/mixzones", sweep,
+          job.suppressed_traces == oracle.suppressed_traces &&
+              job.pseudonym_changes == oracle.pseudonym_changes,
+          "counters: oracle=" + std::to_string(oracle.suppressed_traces) +
+              "/" + std::to_string(oracle.pseudonym_changes) + " job=" +
+              std::to_string(job.suppressed_traces) + "/" +
+              std::to_string(job.pseudonym_changes)));
+      // Byte-identity of the release — same pseudonym for every trace no
+      // matter how the input was chunked or which backend ran the tasks.
+      EXPECT_TRUE(expect_same_lines("privacy/mixzones", sweep,
+                                    canonical_lines(oracle.data),
+                                    canonical_lines(dfs, "/mz/mixed")));
+
+      const auto report = core::verify_mix_zones(parsed, oracle, zones);
+      EXPECT_TRUE(expect_condition("privacy/mixzones-contract", sweep,
+                                   report.ok(), report.summary()));
+    }
+  }
+}
+
+TEST(DiffPrivacy, LinkAttackFlowMatchesSequentialAttack) {
+  const auto data = diff_dataset();
+  for (const std::size_t chunk : {std::size_t{2048}, std::size_t{1} << 15}) {
+    SweepConfig sweep;
+    sweep.chunk_size = chunk;
+    mr::Dfs dfs(sweep.cluster());
+    geo::dataset_to_dfs(dfs, "/probe", data, sweep.num_files);
+    geo::dataset_to_dfs(dfs, "/gallery", data, sweep.num_files);
+    const auto probe = geo::dataset_from_dfs(dfs, "/probe/");
+    const auto gallery = geo::dataset_from_dfs(dfs, "/gallery/");
+
+    FingerprintConfig config;
+    config.cluster.radius_m = 400.0;
+    config.cluster.min_pts = 4;
+    const auto oracle = core::run_link_attack(probe, gallery, config);
+    const auto job = core::run_link_attack_flow(dfs, sweep.cluster(),
+                                                "/probe/", "/gallery/",
+                                                "/attack", config);
+    bool links_equal = job.report.links.size() == oracle.links.size() &&
+                       job.report.correct == oracle.correct;
+    for (std::size_t i = 0; links_equal && i < oracle.links.size(); ++i)
+      links_equal = job.report.links[i].probe_id == oracle.links[i].probe_id &&
+                    job.report.links[i].gallery_id ==
+                        oracle.links[i].gallery_id &&
+                    job.report.links[i].distance == oracle.links[i].distance;
+    std::ostringstream os;
+    os << "links: oracle=" << oracle.links.size() << " (" << oracle.correct
+       << " correct) job=" << job.report.links.size() << " ("
+       << job.report.correct << " correct)";
+    EXPECT_TRUE(
+        expect_condition("privacy/link-attack", sweep, links_equal, os.str()));
+  }
+}
+
+TEST(DiffPrivacy, OdMatrixFlowMatchesSequentialMatrix) {
+  const auto data = diff_dataset();
+  OdConfig config;
+  config.cell_m = 500.0;
+  config.trip_gap_s = 1200;
+  config.k = 2;
+  for (const std::size_t chunk : {std::size_t{1024}, std::size_t{1} << 15}) {
+    SweepConfig sweep;
+    sweep.chunk_size = chunk;
+    mr::Dfs dfs(sweep.cluster());
+    geo::dataset_to_dfs(dfs, "/in", data, sweep.num_files);
+    const auto parsed = geo::dataset_from_dfs(dfs, "/in/");
+
+    const auto oracle =
+        core::build_od_matrix(core::extract_trips(parsed, config), config);
+    const auto job =
+        core::run_od_matrix_flow(dfs, sweep.cluster(), "/in/", "/od", config);
+    std::ostringstream os;
+    os << "entries: oracle=" << oracle.entries.size()
+       << " job=" << job.matrix.entries.size() << " totals " << oracle.total_trips
+       << "/" << oracle.suppressed_trips << " vs " << job.matrix.total_trips
+       << "/" << job.matrix.suppressed_trips;
+    EXPECT_TRUE(expect_condition(
+        "privacy/od-matrix", sweep,
+        job.matrix.entries == oracle.entries &&
+            job.matrix.total_trips == oracle.total_trips &&
+            job.matrix.suppressed_trips == oracle.suppressed_trips &&
+            job.matrix.suppressed_pairs == oracle.suppressed_pairs,
+        os.str()));
+
+    const auto report = core::verify_od_matrix(parsed, job.matrix, config);
+    EXPECT_TRUE(expect_condition("privacy/od-contract", sweep, report.ok(),
+                                 report.summary()));
+  }
+}
+
+}  // namespace
+}  // namespace gepeto::difftest

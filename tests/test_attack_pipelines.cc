@@ -1,0 +1,301 @@
+// Tests for the privacy attack suite (ISSUE 10 tentpole): POI-fingerprint
+// re-identification (attacks/fingerprint.h) and the k-anonymous OD matrix
+// (attacks/od_matrix.h) — sequential oracles, their MapReduce/JobFlow
+// realizations, and the contracts the releases carry.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "geo/generator.h"
+#include "geo/geolife.h"
+#include "gepeto/attacks/fingerprint.h"
+#include "gepeto/attacks/od_matrix.h"
+#include "gepeto/sanitize.h"
+#include "mapreduce/dfs.h"
+
+namespace gepeto::core {
+namespace {
+
+mr::ClusterConfig small_cluster() {
+  mr::ClusterConfig c;
+  c.num_worker_nodes = 4;
+  c.nodes_per_rack = 2;
+  c.chunk_size = 1 << 15;
+  c.execution_threads = 2;
+  return c;
+}
+
+geo::SyntheticDataset make_world(int users, std::uint64_t seed) {
+  geo::GeneratorConfig cfg;
+  cfg.num_users = users;
+  cfg.duration_days = 25;
+  cfg.trajectories_per_user_min = 90;
+  cfg.trajectories_per_user_max = 130;
+  cfg.seed = seed;
+  return geo::generate_dataset(cfg);
+}
+
+FingerprintConfig attack_config() {
+  FingerprintConfig config;
+  config.cluster.radius_m = 60;
+  config.cluster.min_pts = 10;
+  config.top_pois = 4;
+  return config;
+}
+
+/// Split every trail in half: (first halves, second halves) — the classic
+/// two-release setting with known ground truth.
+std::pair<geo::GeolocatedDataset, geo::GeolocatedDataset> split_halves(
+    const geo::GeolocatedDataset& data) {
+  geo::GeolocatedDataset first, second;
+  for (const auto& [uid, trail] : data) {
+    const auto half = static_cast<std::ptrdiff_t>(trail.size() / 2);
+    first.add_trail(uid, geo::Trail(trail.begin(), trail.begin() + half));
+    second.add_trail(uid, geo::Trail(trail.begin() + half, trail.end()));
+  }
+  return {std::move(first), std::move(second)};
+}
+
+// --- fingerprints ------------------------------------------------------------
+
+TEST(Fingerprint, LineCodecRoundTripsBitExactly) {
+  PoiFingerprint fp;
+  fp.user_id = 42;
+  fp.sites = {{40.123456789012345, 116.98765432109876, 0.625},
+              {-33.871234567890123, 151.20654321098765, 0.375}};
+  PoiFingerprint back;
+  ASSERT_TRUE(parse_fingerprint_line(format_fingerprint_line(fp), back));
+  EXPECT_EQ(back.user_id, 42);
+  ASSERT_EQ(back.sites.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.sites[i].latitude, fp.sites[i].latitude);    // %.17g
+    EXPECT_EQ(back.sites[i].longitude, fp.sites[i].longitude);  // bit-exact
+    EXPECT_EQ(back.sites[i].weight, fp.sites[i].weight);
+  }
+
+  PoiFingerprint empty;
+  empty.user_id = 7;
+  ASSERT_TRUE(parse_fingerprint_line(format_fingerprint_line(empty), back));
+  EXPECT_EQ(back.user_id, 7);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Fingerprint, ParseRejectsMalformedLines) {
+  PoiFingerprint out;
+  EXPECT_FALSE(parse_fingerprint_line("", out));
+  EXPECT_FALSE(parse_fingerprint_line("not,a,number", out));
+  EXPECT_FALSE(parse_fingerprint_line("1,2,0.5,40.0,116.0", out));  // n=2, 1 site
+  EXPECT_FALSE(parse_fingerprint_line("1,999999", out));  // absurd site count
+}
+
+TEST(Fingerprint, DistanceIsSymmetricZeroOnSelfUnlinkableOnEmpty) {
+  const auto world = make_world(2, 310);
+  const auto config = attack_config();
+  const auto a = fingerprint_of(0, world.data.trail(0), config);
+  const auto b = fingerprint_of(1, world.data.trail(1), config);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(fingerprint_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(fingerprint_distance(a, b), fingerprint_distance(b, a));
+  EXPECT_GT(fingerprint_distance(a, b), 0.0);
+  EXPECT_EQ(fingerprint_distance(PoiFingerprint{}, b), kUnlinkableDistance);
+  EXPECT_EQ(fingerprint_distance(a, PoiFingerprint{}), kUnlinkableDistance);
+}
+
+TEST(FingerprintLink, TieBreaksToLowestGalleryId) {
+  PoiFingerprint probe;
+  probe.user_id = 100;
+  probe.sites = {{40.0, 116.0, 1.0}};
+  std::vector<PoiFingerprint> gallery(3, probe);
+  gallery[0].user_id = 5;
+  gallery[1].user_id = 7;
+  gallery[2].user_id = 9;  // identical sites: all exactly equidistant
+  const auto link = link_one(probe, gallery);
+  EXPECT_EQ(link.gallery_id, 5);
+  EXPECT_EQ(link.distance, 0.0);
+
+  // An empty probe is unlinkable against everyone — the argmin still
+  // resolves deterministically to the lowest gallery id.
+  PoiFingerprint unlinkable;
+  unlinkable.user_id = 101;
+  const auto l = link_one(unlinkable, gallery);
+  EXPECT_EQ(l.gallery_id, 5);
+  EXPECT_EQ(l.distance, kUnlinkableDistance);
+}
+
+TEST(FingerprintLink, RecoversIdentityAcrossSplitHalves) {
+  const auto world = make_world(6, 311);
+  const auto [gallery, probes] = split_halves(world.data);
+  const auto report = run_link_attack(probes, gallery, attack_config());
+  EXPECT_EQ(report.probes, 6u);
+  EXPECT_GE(report.reidentification_rate, 5.0 / 6.0);
+}
+
+TEST(FingerprintLink, CloakingDegradesReidentification) {
+  const auto world = make_world(6, 312);
+  const auto config = attack_config();
+  const auto clean = run_link_attack(world.data, world.data, config);
+  EXPECT_DOUBLE_EQ(clean.reidentification_rate, 1.0);
+
+  // Heavy cloaking (k=3, 1.6 km base cells) collapses POIs onto shared cell
+  // centers; the attack cannot do better than on the clean release.
+  const auto cloaked = spatial_cloaking(world.data, 3, 1600.0, 2);
+  const auto attacked = run_link_attack(cloaked.data, world.data, config);
+  EXPECT_LE(attacked.reidentification_rate, clean.reidentification_rate);
+}
+
+TEST(FingerprintLink, FlowMatchesSequential) {
+  const auto world = make_world(5, 313);
+  const auto [gallery, probes] = split_halves(world.data);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/probe", probes, 3);
+  geo::dataset_to_dfs(dfs, "/gallery", gallery, 3);
+  // Compare against the sequential attack on the round-tripped datasets so
+  // both paths see byte-identical inputs.
+  const auto seq = run_link_attack(geo::dataset_from_dfs(dfs, "/probe/"),
+                                   geo::dataset_from_dfs(dfs, "/gallery/"),
+                                   attack_config());
+  const auto dist = run_link_attack_flow(dfs, small_cluster(), "/probe/",
+                                         "/gallery/", "/attack",
+                                         attack_config());
+  EXPECT_EQ(dist.report.probes, seq.probes);
+  EXPECT_EQ(dist.report.correct, seq.correct);
+  EXPECT_DOUBLE_EQ(dist.report.reidentification_rate,
+                   seq.reidentification_rate);
+  ASSERT_EQ(dist.report.links.size(), seq.links.size());
+  for (std::size_t i = 0; i < seq.links.size(); ++i) {
+    EXPECT_EQ(dist.report.links[i].probe_id, seq.links[i].probe_id);
+    EXPECT_EQ(dist.report.links[i].gallery_id, seq.links[i].gallery_id);
+    EXPECT_EQ(dist.report.links[i].distance, seq.links[i].distance);
+  }
+}
+
+// --- OD matrix ---------------------------------------------------------------
+
+TEST(OdMatrix, ExtractsTripsAndSplitsAtGaps) {
+  OdConfig cfg;
+  cfg.cell_m = 500.0;
+  cfg.trip_gap_s = 1800;
+  geo::GeolocatedDataset d;
+  d.add({1, 40.0, 116.0, 0, 0});
+  d.add({1, 40.01, 116.01, 0, 600});    // ~1.5 km away: a trip
+  d.add({1, 40.01, 116.01, 0, 4600});   // gap 4000 s > 1800: new run
+  d.add({1, 40.0, 116.0, 0, 5200});     // the return trip
+  d.add({2, 40.0, 116.0, 0, 0});        // stationary run: not a trip
+  d.add({2, 40.0, 116.0, 0, 300});
+  d.add({3, 40.05, 116.05, 0, 0});      // single trace: not a trip
+  const auto trips = extract_trips(d, cfg);
+  const GridCell a = grid_cell_of(40.0, 116.0, cfg.cell_m);
+  const GridCell b = grid_cell_of(40.01, 116.01, cfg.cell_m);
+  ASSERT_EQ(trips.size(), 2u);
+  EXPECT_EQ(trips[0], (OdTrip{1, a.cy, a.cx, b.cy, b.cx}));
+  EXPECT_EQ(trips[1], (OdTrip{1, b.cy, b.cx, a.cy, a.cx}));
+}
+
+TEST(OdMatrix, SuppressesSubKPairsByDistinctUsers) {
+  OdConfig cfg;
+  cfg.k = 2;
+  std::vector<OdTrip> trips = {
+      {1, 0, 0, 1, 1}, {2, 0, 0, 1, 1}, {3, 0, 0, 1, 1},  // 3 users on A->B
+      {4, 1, 1, 0, 0},                                    // 1 user on B->A
+      {1, 0, 0, 1, 1},  // a repeat trip must not inflate the user count
+  };
+  const auto m = build_od_matrix(trips, cfg);
+  ASSERT_EQ(m.entries.size(), 1u);
+  EXPECT_EQ(m.entries[0].users, 3u);
+  EXPECT_EQ(m.entries[0].trips, 4u);
+  EXPECT_EQ(m.total_trips, 5u);
+  EXPECT_EQ(m.suppressed_trips, 1u);
+  EXPECT_EQ(m.suppressed_pairs, 1u);
+
+  const auto u = od_utility(trips, m);
+  EXPECT_DOUBLE_EQ(u.trip_retention, 4.0 / 5.0);       // population side
+  EXPECT_DOUBLE_EQ(u.pair_retention, 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(u.participant_coverage, 3.0 / 4.0);  // user 4 erased
+  EXPECT_DOUBLE_EQ(u.avg_participant_retention, 3.0 / 4.0);
+}
+
+TEST(OdMatrix, ExactlyKUsersAreReleased) {
+  OdConfig cfg;
+  cfg.k = 2;
+  const std::vector<OdTrip> trips = {{1, 0, 0, 1, 1}, {2, 0, 0, 1, 1}};
+  const auto m = build_od_matrix(trips, cfg);
+  ASSERT_EQ(m.entries.size(), 1u);  // count == k: released, not suppressed
+  EXPECT_EQ(m.entries[0].users, 2u);
+  EXPECT_EQ(m.suppressed_pairs, 0u);
+}
+
+TEST(OdMatrix, VerifierPassesOnBuiltMatrixAndCatchesCorruption) {
+  // Handcrafted commute: users 1-3 share the A->B corridor (released at
+  // k=2), user 4's A->C trip is sub-k (suppressed).
+  OdConfig cfg;
+  cfg.cell_m = 500.0;
+  cfg.k = 2;
+  geo::GeolocatedDataset data;
+  for (std::int32_t u = 1; u <= 3; ++u) {
+    data.add({u, 40.0, 116.0, 0, 0});      // A
+    data.add({u, 40.05, 116.05, 0, 600});  // B
+  }
+  data.add({4, 40.0, 116.0, 0, 0});    // A
+  data.add({4, 40.1, 116.0, 0, 600});  // C
+  const auto trips = extract_trips(data, cfg);
+  ASSERT_EQ(trips.size(), 4u);
+  const auto matrix = build_od_matrix(trips, cfg);
+  ASSERT_EQ(matrix.entries.size(), 1u);
+  EXPECT_EQ(matrix.suppressed_pairs, 1u);
+  const auto report = verify_od_matrix(data, matrix, cfg);
+  EXPECT_TRUE(report.ok()) << report.summary();
+
+  // Inflate one entry's user count: the k-anonymity claim is now a lie.
+  auto inflated = matrix;
+  ASSERT_FALSE(inflated.entries.empty());
+  inflated.entries[0].users += 1;
+  EXPECT_FALSE(verify_od_matrix(data, inflated, cfg).ok());
+
+  // Drop a mandated entry.
+  auto dropped = matrix;
+  dropped.entries.erase(dropped.entries.begin());
+  EXPECT_FALSE(verify_od_matrix(data, dropped, cfg).ok());
+
+  // Release a pair the contract says must be suppressed (and pretend its
+  // trips were never suppressed, so conservation alone cannot catch it).
+  auto leaked = matrix;
+  leaked.entries.push_back({123456, 123456, 654321, 654321, 1, 1});
+  std::sort(leaked.entries.begin(), leaked.entries.end());
+  EXPECT_FALSE(verify_od_matrix(data, leaked, cfg).ok());
+}
+
+TEST(OdMatrix, FlowMatchesSequential) {
+  const auto world = make_world(5, 315);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 3);
+  OdConfig cfg;
+  cfg.cell_m = 500.0;
+  cfg.k = 2;
+  const auto original = geo::dataset_from_dfs(dfs, "/in/");
+  const auto seq = build_od_matrix(extract_trips(original, cfg), cfg);
+  const auto dist =
+      run_od_matrix_flow(dfs, small_cluster(), "/in/", "/od", cfg);
+  EXPECT_EQ(dist.matrix.total_trips, seq.total_trips);
+  EXPECT_EQ(dist.matrix.suppressed_trips, seq.suppressed_trips);
+  EXPECT_EQ(dist.matrix.suppressed_pairs, seq.suppressed_pairs);
+  ASSERT_EQ(dist.matrix.entries.size(), seq.entries.size());
+  for (std::size_t i = 0; i < seq.entries.size(); ++i)
+    EXPECT_EQ(dist.matrix.entries[i], seq.entries[i]);
+  // And the MR release satisfies its own contract.
+  EXPECT_TRUE(verify_od_matrix(original, dist.matrix, cfg).ok());
+}
+
+TEST(OdMatrix, FlowValidatesArguments) {
+  mr::Dfs dfs(small_cluster());
+  OdConfig bad;
+  bad.k = 0;
+  EXPECT_THROW(run_od_matrix_flow(dfs, small_cluster(), "/in/", "/od", bad),
+               gepeto::CheckFailure);
+}
+
+}  // namespace
+}  // namespace gepeto::core

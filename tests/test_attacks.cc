@@ -229,5 +229,30 @@ TEST(Mmc, DeanonymizationValidatesInput) {
                gepeto::CheckFailure);
 }
 
+TEST(Mmc, DeanonymizationTieBreakLowestGalleryIndex) {
+  // The documented tie-break contract (mmc.h): equidistant gallery MMCs
+  // resolve to the lowest gallery index, so attack accuracy is reproducible
+  // across kernel backends and gallery chunkings.
+  MobilityMarkovChain mmc;
+  mmc.states.resize(2);
+  mmc.states[0].latitude = 40.0;
+  mmc.states[0].longitude = 116.0;
+  mmc.states[1].latitude = 40.01;
+  mmc.states[1].longitude = 116.01;
+  mmc.states[0].num_traces = mmc.states[1].num_traces = 10;
+  mmc.transitions = {{0.0, 1.0}, {1.0, 0.0}};
+  mmc.stationary = {0.5, 0.5};
+
+  // Three identical gallery entries: every one is exactly equidistant from
+  // the probe, so the attack must pick index 0 — not 1 or 2, and not
+  // whichever a hash-ordered scan happens to visit last.
+  const std::vector<MobilityMarkovChain> gallery = {mmc, mmc, mmc};
+  const std::vector<MobilityMarkovChain> probes = {mmc};
+  const auto result = deanonymization_attack(gallery, probes, {2});
+  ASSERT_EQ(result.predicted.size(), 1u);
+  EXPECT_EQ(result.predicted[0], 0);
+  EXPECT_EQ(result.correct, 0u);  // truth said 2; the contract says 0 wins
+}
+
 }  // namespace
 }  // namespace gepeto::core

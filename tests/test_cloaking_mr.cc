@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "geo/generator.h"
 #include "geo/geolife.h"
+#include "gepeto/attacks/privacy_verifier.h"
 #include "gepeto/sanitize.h"
 #include "mapreduce/dfs.h"
 
@@ -95,6 +96,92 @@ TEST(CloakingMr, ImpossibleKSuppressesEverything) {
                                    /*k=*/99, 200.0, 2);
   EXPECT_EQ(r.suppressed, world.data.num_traces());
   EXPECT_EQ(geo::count_dfs_records(dfs, "/cloak/cloaked/"), 0u);
+}
+
+// --- k-anonymity counting regressions on the MR path (ISSUE 10 sat. 1) -------
+
+TEST(CloakingMr, CountsDistinctUsersNotTraces) {
+  // The distributed census must count distinct user ids, not traces: a
+  // chatty user alone in a cell stays suppressed no matter how many traces
+  // they log (and the combiner's local dedup must not break that).
+  geo::GeolocatedDataset data;
+  for (int i = 0; i < 50; ++i) data.add({1, 40.0, 116.0, 0, 1000 + i * 60});
+  data.add({2, 41.0, 117.0, 0, 500});
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", data, 2);
+  const auto r = run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak",
+                                   /*k=*/2, 100.0, /*max_doublings=*/0);
+  EXPECT_EQ(r.suppressed, data.num_traces());
+  EXPECT_EQ(geo::count_dfs_records(dfs, "/cloak/cloaked/"), 0u);
+}
+
+TEST(CloakingMr, ExactlyKUsersReleasedAtBaseCell) {
+  // count == k boundary: exactly k distinct users in a cell release at the
+  // base level — no extra doubling, no suppression.
+  geo::GeolocatedDataset data;
+  for (std::int32_t u = 1; u <= 3; ++u) data.add({u, 40.0, 116.0, 0, 100 * u});
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", data, 1);
+  const auto r = run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak",
+                                   /*k=*/3, 250.0, 4);
+  EXPECT_EQ(r.suppressed, 0u);
+  const auto got = geo::dataset_from_dfs(dfs, "/cloak/cloaked/");
+  double clat = 0, clon = 0;
+  grid_cell_center(grid_cell_of(40.0, 116.0, 250.0), 250.0, clat, clon);
+  ASSERT_EQ(got.num_users(), 3u);
+  const auto& first = got.trail(1).front();
+  for (const auto& [uid, trail] : got)
+    for (const auto& t : trail) {
+      // Released at the *base* cell's center (to codec precision), and
+      // bit-identically for every user — the pure-function-of-the-cell fix.
+      EXPECT_NEAR(t.latitude, clat, 1e-6);
+      EXPECT_NEAR(t.longitude, clon, 1e-6);
+      EXPECT_EQ(t.latitude, first.latitude);
+      EXPECT_EQ(t.longitude, first.longitude);
+    }
+}
+
+TEST(CloakingMr, ReleaseSatisfiesCloakingContract) {
+  // The adversarial oracle itself: the MR release passes the declared
+  // privacy contract on generated data.
+  const auto world = make_world(705);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 3);
+  const auto original = geo::dataset_from_dfs(dfs, "/in/");
+  run_cloaking_jobs(dfs, small_cluster(), "/in/", "/cloak", 3, 200.0, 4);
+  const auto released = geo::dataset_from_dfs(dfs, "/cloak/cloaked/");
+  const auto report =
+      verify_cloaking(original, released, CloakingContract{3, 200.0, 4});
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // One merge-walk check per distinct (user, timestamp) released/expected.
+  EXPECT_GT(report.checks, original.num_users());
+}
+
+TEST(MixZoneMr, MatchesSequentialAndPassesContract) {
+  const auto world = make_world(706);
+  mr::Dfs dfs(small_cluster());
+  geo::dataset_to_dfs(dfs, "/in", world.data, 3);
+  const auto original = geo::dataset_from_dfs(dfs, "/in/");
+  const auto zones = pick_mix_zones(original, 2, 300.0);
+  ASSERT_EQ(zones.size(), 2u);
+
+  const auto seq = apply_mix_zones(original, zones, kPseudonymSeed);
+  const auto r = run_mix_zone_jobs(dfs, small_cluster(), "/in/", "/mz", zones,
+                                   kPseudonymSeed);
+  EXPECT_EQ(r.suppressed_traces, seq.suppressed_traces);
+  EXPECT_EQ(r.pseudonym_changes, seq.pseudonym_changes);
+
+  const auto got = geo::dataset_from_dfs(dfs, "/mz/mixed/");
+  ASSERT_EQ(got.num_traces(), seq.data.num_traces());
+  for (auto uid : seq.data.users()) {
+    ASSERT_TRUE(got.has_user(uid)) << "pseudonym " << uid;
+    EXPECT_EQ(got.trail(uid).size(), seq.data.trail(uid).size());
+  }
+  // Both realizations pass the mix-zone contract, including the released-
+  // dataset variant that re-derives pseudonym owners adversarially.
+  EXPECT_TRUE(verify_mix_zones(original, seq, zones).ok());
+  const auto report = verify_mix_zones_release(original, got, zones);
+  EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 TEST(CloakingMr, RejectsBadArguments) {

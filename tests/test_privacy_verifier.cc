@@ -1,0 +1,255 @@
+// Property-style tests for the privacy-contract verifier (ISSUE 10
+// satellite 4): the verifier must pass on everything the sanitizers produce
+// — including adversarial populations (duplicate twins, single-trace users,
+// all-points-one-cell crowds, exact zone-boundary straddlers) — and fail on
+// deliberately corrupted releases, naming the violated contract.
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/check.h"
+#include "gepeto/attacks/privacy_verifier.h"
+#include "gepeto/sanitize.h"
+
+namespace gepeto::core {
+namespace {
+
+bool has_contract(const PrivacyReport& r, std::string_view contract) {
+  for (const auto& v : r.violations)
+    if (v.contract == contract) return true;
+  return false;
+}
+
+// Adversarial population: identical twins, a single-trace user, an
+// all-points-one-cell crowd, and a far-away loner (suppression bait).
+geo::GeolocatedDataset adversarial_world() {
+  geo::GeolocatedDataset d;
+  for (int i = 0; i < 6; ++i) {
+    d.add({1, 40.001, 116.001, 0, 1000 + i * 600});
+    d.add({2, 40.001, 116.001, 0, 1000 + i * 600});  // byte-identical twin
+  }
+  d.add({3, 40.0012, 116.0012, 0, 4000});  // single-trace user
+  for (std::int32_t u = 4; u <= 6; ++u)    // every point in one cell
+    for (int i = 0; i < 4; ++i)
+      d.add({u, 40.0505, 116.0505, 0, 2000 + u * 5000 + i * 300});
+  for (int i = 0; i < 3; ++i) d.add({7, 41.5, 117.5, 0, 1500 + i * 900});
+  return d;
+}
+
+// One zone; user 10 crosses it twice, user 11 straddles the boundary
+// (~289 m is inside a 300 m zone, ~311 m is outside), user 12 never enters.
+std::vector<MixZone> boundary_zones() { return {{40.0, 116.0, 300.0}}; }
+
+geo::GeolocatedDataset mix_world(bool with_twins) {
+  geo::GeolocatedDataset d;
+  d.add({10, 40.01, 116.01, 0, 100});
+  d.add({10, 40.0, 116.0, 0, 200});  // zone center: suppressed
+  d.add({10, 40.02, 116.02, 0, 300});
+  d.add({10, 40.0001, 116.0001, 0, 400});  // ~16 m from center: suppressed
+  d.add({10, 40.03, 116.03, 0, 500});
+  d.add({11, 40.0026, 116.0, 0, 150});  // ~289 m: inside, suppressed
+  d.add({11, 40.0028, 116.0, 0, 250});  // ~311 m: outside, kept
+  d.add({11, 40.0026, 116.0, 0, 350});
+  d.add({11, 40.0028, 116.0, 0, 450});
+  d.add({12, 40.05, 116.05, 0, 120});
+  d.add({12, 40.06, 116.06, 0, 220});
+  if (with_twins) {
+    d.add({13, 40.07, 116.07, 0, 130});
+    d.add({14, 40.07, 116.07, 0, 130});  // indistinguishable observation
+  }
+  return d;
+}
+
+// --- cloaking: sanitizer output always satisfies its contract ---------------
+
+TEST(PrivacyVerifier, CloakingPassesOnAdversarialWorld) {
+  const auto original = adversarial_world();
+  for (const int k : {1, 2, 3}) {
+    const auto r = spatial_cloaking(original, k, 200.0, 3);
+    const auto report =
+        verify_cloaking(original, r.data, CloakingContract{k, 200.0, 3});
+    EXPECT_TRUE(report.ok()) << "k=" << k << ": " << report.summary();
+    EXPECT_GT(report.checks, 0u);
+  }
+}
+
+TEST(PrivacyVerifier, CloakingDetectsNudgedCenter) {
+  const auto original = adversarial_world();
+  const auto r = spatial_cloaking(original, 2, 200.0, 3);
+  geo::GeolocatedDataset corrupted;
+  bool nudged = false;
+  for (const auto& [uid, trail] : r.data) {
+    geo::Trail t = trail;
+    if (!nudged && !t.empty()) {
+      t.front().latitude += 1e-5;  // off the mandated cell center by ~1 m
+      nudged = true;
+    }
+    corrupted.add_trail(uid, std::move(t));
+  }
+  ASSERT_TRUE(nudged);
+  const auto report =
+      verify_cloaking(original, corrupted, CloakingContract{2, 200.0, 3});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "cloak.k_anonymity")) << report.summary();
+}
+
+TEST(PrivacyVerifier, CloakingDetectsResurrectedSuppressedTrace) {
+  const auto original = adversarial_world();
+  const auto r = spatial_cloaking(original, 2, 200.0, 3);
+  ASSERT_FALSE(r.data.has_user(7));  // the loner is fully suppressed
+  auto corrupted = r.data;
+  corrupted.add(original.trail(7).front());  // leak a suppressed trace
+  const auto report =
+      verify_cloaking(original, corrupted, CloakingContract{2, 200.0, 3});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "cloak.suppression")) << report.summary();
+}
+
+TEST(PrivacyVerifier, CloakingDetectsDeletedTrace) {
+  const auto original = adversarial_world();
+  const auto r = spatial_cloaking(original, 2, 200.0, 3);
+  geo::GeolocatedDataset corrupted;
+  for (const auto& [uid, trail] : r.data) {
+    geo::Trail t = trail;
+    if (uid == 1) t.pop_back();
+    corrupted.add_trail(uid, std::move(t));
+  }
+  const auto report =
+      verify_cloaking(original, corrupted, CloakingContract{2, 200.0, 3});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "cloak.missing")) << report.summary();
+}
+
+TEST(PrivacyVerifier, CloakingDetectsFabricatedUser) {
+  const auto original = adversarial_world();
+  const auto r = spatial_cloaking(original, 2, 200.0, 3);
+  auto corrupted = r.data;
+  corrupted.add({999, 40.001, 116.001, 0, 1234});
+  const auto report =
+      verify_cloaking(original, corrupted, CloakingContract{2, 200.0, 3});
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "cloak.fabricated")) << report.summary();
+}
+
+TEST(PrivacyVerifier, CloakingRejectsBadContract) {
+  EXPECT_THROW(verify_cloaking({}, {}, CloakingContract{0, 200.0, 3}),
+               gepeto::CheckFailure);
+}
+
+// --- mix zones: boundary semantics and both verification flavors ------------
+
+TEST(PrivacyVerifier, MixZonesPassOnBoundaryStraddlers) {
+  const auto original = mix_world(/*with_twins=*/true);
+  const auto zones = boundary_zones();
+  const auto result = apply_mix_zones(original, zones, 7);
+  // 2 in-zone traces of user 10 + the straddler's 2 just-inside points.
+  EXPECT_EQ(result.suppressed_traces, 4u);
+  // Each user re-emerges from the zone twice.
+  EXPECT_EQ(result.pseudonym_changes, 4u);
+  const auto report = verify_mix_zones(original, result, zones);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(PrivacyVerifier, MixZoneReleasePassesWithoutOwnerMap) {
+  // The adversarial flavor — owners re-derived from observations alone —
+  // agrees with the owner-map flavor on a twin-free release.
+  const auto original = mix_world(/*with_twins=*/false);
+  const auto zones = boundary_zones();
+  const auto result = apply_mix_zones(original, zones, 7);
+  const auto report = verify_mix_zones_release(original, result.data, zones);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(PrivacyVerifier, MixZoneReleaseFlagsIndistinguishableTwins) {
+  // Twins who logged the exact same observation cannot be attributed from
+  // the release alone: the verifier must say "unverifiable", never guess.
+  const auto original = mix_world(/*with_twins=*/true);
+  const auto zones = boundary_zones();
+  const auto result = apply_mix_zones(original, zones, 7);
+  const auto report = verify_mix_zones_release(original, result.data, zones);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "mixzone.unverifiable"))
+      << report.summary();
+}
+
+TEST(PrivacyVerifier, MixZonesDetectInZoneInjection) {
+  const auto original = mix_world(/*with_twins=*/false);
+  const auto zones = boundary_zones();
+  const auto result = apply_mix_zones(original, zones, 7);
+  auto corrupted = result.data;
+  corrupted.add({12, 40.0, 116.0, 0, 999});  // inside the zone
+  const auto report = verify_mix_zones_release(original, corrupted, zones);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "mixzone.zone_leak")) << report.summary();
+}
+
+TEST(PrivacyVerifier, MixZonesDetectPseudonymMerge) {
+  // Rename one post-crossing pseudonym back to its owner's id — exactly the
+  // linkage a mix zone exists to prevent.
+  const auto original = mix_world(/*with_twins=*/false);
+  const auto zones = boundary_zones();
+  const auto result = apply_mix_zones(original, zones, 7);
+  std::int32_t pid = -1, owner = -1;
+  for (const auto& [p, o] : result.pseudonym_owner)
+    if (p != o) {
+      pid = p;
+      owner = o;
+      break;
+    }
+  ASSERT_NE(pid, -1);
+  geo::GeolocatedDataset corrupted;
+  for (const auto& [uid, trail] : result.data) {
+    if (uid != pid) {
+      corrupted.add_trail(uid, trail);
+      continue;
+    }
+    for (geo::MobilityTrace t : trail) {
+      t.user_id = owner;
+      corrupted.add(t);
+    }
+  }
+  const auto report = verify_mix_zones_release(original, corrupted, zones);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "mixzone.pseudonym_reuse"))
+      << report.summary();
+}
+
+TEST(PrivacyVerifier, MixZonesDetectDeletedTrace) {
+  const auto original = mix_world(/*with_twins=*/false);
+  const auto zones = boundary_zones();
+  const auto result = apply_mix_zones(original, zones, 7);
+  geo::GeolocatedDataset corrupted;
+  bool dropped = false;
+  for (const auto& [uid, trail] : result.data) {
+    geo::Trail t = trail;
+    if (!dropped && !t.empty()) {
+      t.pop_back();
+      dropped = true;
+    }
+    corrupted.add_trail(uid, std::move(t));
+  }
+  ASSERT_TRUE(dropped);
+  const auto report = verify_mix_zones_release(original, corrupted, zones);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_contract(report, "mixzone.missing") ||
+              has_contract(report, "mixzone.conservation"))
+      << report.summary();
+}
+
+TEST(PrivacyVerifier, ReportMergeAndSummaryCapViolations) {
+  PrivacyReport a;
+  for (int i = 0; i < 40; ++i)
+    a.add_violation("test.contract", "violation " + std::to_string(i));
+  EXPECT_EQ(a.violation_count, 40u);
+  EXPECT_EQ(a.violations.size(), PrivacyReport::kMaxRecordedViolations);
+  PrivacyReport b;
+  b.checks = 5;
+  b.add_violation("test.other", "x");
+  a.merge(b);
+  EXPECT_EQ(a.violation_count, 41u);
+  EXPECT_EQ(a.violations.size(), PrivacyReport::kMaxRecordedViolations);
+  EXPECT_NE(a.summary().find("41 violations"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gepeto::core

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/check.h"
@@ -140,6 +141,69 @@ TEST(SpatialCloaking, ValidatesArguments) {
   EXPECT_THROW(spatial_cloaking({}, 2, -5.0), gepeto::CheckFailure);
 }
 
+// --- the k-anonymity counting regressions (ISSUE 10 satellite 1) -------------
+
+TEST(SpatialCloaking, CountsDistinctUsersNotTraces) {
+  // One chatty user logs 50 traces in a single cell; nobody else is near.
+  // Counting traces would declare the cell 50-anonymous and release the
+  // user's exact haunt — the census must count distinct user ids.
+  geo::GeolocatedDataset data;
+  for (int i = 0; i < 50; ++i) data.add({1, 40.0, 116.0, 0, 1000 + i * 60});
+  data.add({2, 41.0, 117.0, 0, 500});  // far away, alone in its cell
+  const auto r = spatial_cloaking(data, 2, 100.0, /*max_doublings=*/0);
+  EXPECT_EQ(r.data.num_traces(), 0u);
+  EXPECT_EQ(r.suppressed, data.num_traces());
+}
+
+TEST(SpatialCloaking, ExactlyKUsersSatisfiesKAtBaseCell) {
+  // count == k must release at the *base* cell (>= k, not > k): no spurious
+  // extra doubling, no suppression, on the boundary.
+  geo::GeolocatedDataset data;
+  for (std::int32_t u = 1; u <= 3; ++u) data.add({u, 40.0, 116.0, 0, 100 * u});
+  const auto r = spatial_cloaking(data, 3, 250.0, 4);
+  EXPECT_EQ(r.suppressed, 0u);
+  EXPECT_DOUBLE_EQ(r.avg_cell_m, 250.0);
+  const auto r4 = spatial_cloaking(data, 4, 250.0, 4);  // k just above
+  EXPECT_EQ(r4.suppressed, data.num_traces());          // terminates, no stall
+}
+
+TEST(SpatialCloaking, ReleasedCentersArePureFunctionOfCell) {
+  // The fingerprint regression: two users in the same base cell must be
+  // released at the bit-identical cell center. (Deriving the longitude step
+  // from each trace's own latitude makes the "aggregated" release a
+  // near-unique fingerprint of the original point.)
+  const GridCell cell = grid_cell_of(40.0001, 116.0001, 100.0);
+  double clat = 0, clon = 0;
+  grid_cell_center(cell, 100.0, clat, clon);
+  geo::GeolocatedDataset data;
+  data.add({1, 40.0001, 116.0001, 0, 100});
+  data.add({2, clat, clon, 0, 200});  // elsewhere in the same cell
+  ASSERT_EQ(grid_cell_of(clat, clon, 100.0), cell);
+  const auto r = spatial_cloaking(data, 2, 100.0, 0);
+  ASSERT_EQ(r.suppressed, 0u);
+  const auto& a = r.data.trail(1)[0];
+  const auto& b = r.data.trail(2)[0];
+  EXPECT_EQ(a.latitude, b.latitude);    // bit-identical, not just near
+  EXPECT_EQ(a.longitude, b.longitude);
+  // And the released value is the declared center of that cell.
+  EXPECT_EQ(a.latitude, clat);
+  EXPECT_EQ(a.longitude, clon);
+}
+
+TEST(SpatialCloaking, FullySuppressedUserAbsentFromRelease) {
+  // A user whose every trace is suppressed must not appear in the release at
+  // all — an empty trail would still leak that the user exists.
+  geo::GeolocatedDataset data;
+  data.add({1, 40.0, 116.0, 0, 100});
+  data.add({2, 40.0, 116.0, 0, 200});
+  data.add({3, 45.0, 100.0, 0, 300});  // alone, far away: fully suppressed
+  const auto r = spatial_cloaking(data, 2, 100.0, 0);
+  EXPECT_TRUE(r.data.has_user(1));
+  EXPECT_TRUE(r.data.has_user(2));
+  EXPECT_FALSE(r.data.has_user(3));
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 TEST(MixZones, SuppressesInsideAndChangesPseudonyms) {
   const auto world = make_world(4, 310);
   const auto zones = pick_mix_zones(world.data, 3, 300.0);
@@ -182,6 +246,72 @@ TEST(PickMixZones, ReturnsBusiestAreasDeterministically) {
   ASSERT_EQ(a.size(), 2u);
   EXPECT_DOUBLE_EQ(a[0].latitude, b[0].latitude);
   EXPECT_DOUBLE_EQ(a[1].longitude, b[1].longitude);
+}
+
+// --- seeded pseudonym allocation (ISSUE 10 satellite 2) ----------------------
+
+TEST(PseudonymAllocation, CollisionFreeAgainstLiveIdsAndEachOther) {
+  // Dense low ids (the counter allocator's favorite collision targets) plus
+  // INT32_MAX (signed overflow in a `max_uid + 1` scheme — UB).
+  std::vector<std::pair<std::int32_t, int>> crossings;
+  std::set<std::int32_t> originals;
+  for (std::int32_t u = 0; u < 64; ++u) {
+    crossings.emplace_back(u, u % 4);
+    originals.insert(u);
+  }
+  crossings.emplace_back(std::numeric_limits<std::int32_t>::max(), 3);
+  originals.insert(std::numeric_limits<std::int32_t>::max());
+
+  const auto alloc = allocate_pseudonyms(crossings, kPseudonymSeed);
+  std::set<std::int32_t> pseudonyms;
+  for (const auto& [key, p] : alloc) {
+    EXPECT_GE(p, 0);                       // 31-bit: no overflow artifacts
+    EXPECT_EQ(originals.count(p), 0u);     // never a live user id
+    EXPECT_TRUE(pseudonyms.insert(p).second) << "pseudonym reused: " << p;
+  }
+  EXPECT_EQ(alloc.size(), pseudonyms.size());
+}
+
+TEST(PseudonymAllocation, SeededAndOrderIndependent) {
+  const std::vector<std::pair<std::int32_t, int>> a = {{1, 2}, {7, 1}, {3, 0}};
+  const std::vector<std::pair<std::int32_t, int>> b = {{3, 0}, {1, 2}, {7, 1}};
+  EXPECT_EQ(allocate_pseudonyms(a, 42), allocate_pseudonyms(b, 42));
+  EXPECT_NE(allocate_pseudonyms(a, 42), allocate_pseudonyms(a, 43));
+}
+
+TEST(MixZones, SeededApplyIsDeterministicAndOverflowSafe) {
+  // A user with id INT32_MAX crosses a zone: the old `max(uid) + 1` counter
+  // overflows (UB / negative pseudonyms); the seeded allocator must hand out
+  // a fresh non-negative id that collides with nobody.
+  const std::int32_t big = std::numeric_limits<std::int32_t>::max();
+  geo::GeolocatedDataset data;
+  data.add({big, 40.01, 116.01, 0, 100});  // outside
+  data.add({big, 40.00, 116.00, 0, 200});  // zone center: suppressed
+  data.add({big, 40.01, 116.01, 0, 300});  // outside again: new pseudonym
+  data.add({7, 40.02, 116.02, 0, 150});    // bystander, never crosses
+  const std::vector<MixZone> zones = {{40.0, 116.0, 250.0}};
+
+  const auto r1 = apply_mix_zones(data, zones, 99);
+  const auto r2 = apply_mix_zones(data, zones, 99);
+  EXPECT_EQ(r1.pseudonym_owner, r2.pseudonym_owner);  // seeded: reproducible
+  EXPECT_EQ(r1.suppressed_traces, 1u);
+  EXPECT_EQ(r1.pseudonym_changes, 1u);
+  for (const auto& [uid, trail] : r1.data) {
+    EXPECT_GE(uid, 0);
+    if (uid != big && uid != 7) {
+      EXPECT_FALSE(data.has_user(uid));
+    }
+  }
+}
+
+TEST(ZoneIndex, BoundaryDistanceIsInside) {
+  const std::vector<MixZone> zones = {{40.0, 116.0, 300.0}};
+  const ZoneIndex index(zones);
+  // Dead center, just inside, just outside (the contract: d <= radius is
+  // suppressed, so a release may only contain strictly-outside traces).
+  EXPECT_TRUE(index.contains({1, 40.0, 116.0, 0, 0}));
+  EXPECT_TRUE(index.contains({1, 40.0026, 116.0, 0, 0}));   // ~289 m north
+  EXPECT_FALSE(index.contains({1, 40.0028, 116.0, 0, 0}));  // ~311 m north
 }
 
 // --- metrics & the privacy/utility trade-off ---------------------------------

@@ -155,5 +155,63 @@ TEST_F(ToolExitCodes, CliQueryParseErrorVsVerifyMismatch) {
             tools::kParseError);
 }
 
+TEST_F(ToolExitCodes, CliPrivacyVerbs) {
+  const std::string data = path("orig");
+  ASSERT_EQ(run(tool("gepeto") + " generate --out " + data +
+                " --users 3 --traces 2000 --seed 11"),
+            tools::kOk);
+
+  // sanitize with no mechanism picked: usage.
+  EXPECT_EQ(run(tool("gepeto") + " sanitize --data " + data + " --out " +
+                path("none")),
+            tools::kUsage);
+
+  // Cloak, then verify the release under the matching contract: ok. The raw
+  // dataset is not a cloaking release — verification mismatch (4), distinct
+  // from the missing-contract usage error (2).
+  const std::string cloaked = path("cloaked");
+  ASSERT_EQ(run(tool("gepeto") + " sanitize --data " + data + " --out " +
+                cloaked + " --cloak 2 --cell 250 --doublings 3"),
+            tools::kOk);
+  EXPECT_EQ(run(tool("gepeto") + " verify --original " + data +
+                " --sanitized " + cloaked + " --cloak 2 --cell 250 --doublings 3"),
+            tools::kOk);
+  EXPECT_EQ(run(tool("gepeto") + " verify --original " + data +
+                " --sanitized " + data + " --cloak 2 --cell 250"),
+            tools::kVerifyMismatch);
+  EXPECT_EQ(run(tool("gepeto") + " verify --original " + data +
+                " --sanitized " + cloaked),
+            tools::kUsage);
+
+  // Mix zones round-trip through the adversarial (no-owner-map) verifier:
+  // `verify` re-derives the same automatically-placed zones from the
+  // original.
+  const std::string mixed = path("mixed");
+  ASSERT_EQ(run(tool("gepeto") + " sanitize --data " + data + " --out " +
+                mixed + " --mixzones 2 --zone-radius 300"),
+            tools::kOk);
+  EXPECT_EQ(run(tool("gepeto") + " verify --original " + data +
+                " --sanitized " + mixed + " --mixzones 2 --zone-radius 300"),
+            tools::kOk);
+
+  // The linking attack gates on --max-reident: a budget of 1 always holds
+  // (rate <= 1), a negative budget never does, and a malformed budget is a
+  // parse error — three distinct exits from the same verb.
+  EXPECT_EQ(run(tool("gepeto") + " attack --data " + cloaked + " --linked " +
+                mixed + " --max-reident 1"),
+            tools::kOk);
+  EXPECT_EQ(run(tool("gepeto") + " attack --data " + cloaked + " --linked " +
+                mixed + " --max-reident -0.5"),
+            tools::kVerifyMismatch);
+  EXPECT_EQ(run(tool("gepeto") + " attack --data " + cloaked + " --linked " +
+                mixed + " --max-reident nonsense"),
+            tools::kParseError);
+
+  // odmatrix self-verifies its released matrix against the OD contract.
+  EXPECT_EQ(run(tool("gepeto") + " odmatrix --data " + data +
+                " --k 2 --verify"),
+            tools::kOk);
+}
+
 }  // namespace
 }  // namespace gepeto

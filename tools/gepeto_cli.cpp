@@ -8,15 +8,20 @@
 //   gepeto sample   --data DIR --out DIR2 [--window SECONDS] [--technique upper|middle]
 //   gepeto pois     --data DIR --user ID [--geojson FILE]
 //   gepeto attack   --data DIR            (POI + home/work + de-anonymization)
+//                   [--linked DIR2]       (+ POI-fingerprint linking vs DIR2)
 //   gepeto social   --data DIR            (co-location link discovery)
-//   gepeto sanitize --data DIR --out DIR2 (--mask METERS | --round METERS | --cloak K)
+//   gepeto sanitize --data DIR --out DIR2 (--mask METERS | --round METERS |
+//                                          --cloak K | --mixzones N)
+//   gepeto verify   --original DIR --sanitized DIR2 (--cloak K | --mixzones N)
+//   gepeto odmatrix --data DIR [--cell M] [--gap S] [--k K]
 //   gepeto heatmap  --data DIR --cell METERS --out FILE.csv
 //   gepeto query    --data DIR [--pois] [--knn LAT,LON,K] [--range A,B,C,D] [--locate LAT,LON] [--expect N]
 //
 // Exit codes (common/exit_codes.h): 0 success, 1 runtime error, 2 usage,
 // 3 unparsable input (malformed coordinate arguments, bad data), 4
-// verification mismatch (--expect).
+// verification mismatch (--expect, --max-reident, `verify` violations).
 #include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -30,6 +35,9 @@
 #include "geo/generator.h"
 #include "geo/geolife.h"
 #include "geo/stats.h"
+#include "gepeto/attacks/fingerprint.h"
+#include "gepeto/attacks/od_matrix.h"
+#include "gepeto/attacks/privacy_verifier.h"
 #include "gepeto/djcluster.h"
 #include "gepeto/export.h"
 #include "gepeto/mmc.h"
@@ -147,6 +155,10 @@ void write_file(const std::string& path, const std::string& contents) {
   out << contents;
   std::cout << "wrote " << path << " (" << contents.size() << " bytes)\n";
 }
+
+std::vector<double> parse_csv_numbers(const std::string& flag,
+                                      const std::string& value,
+                                      std::size_t expected);
 
 int cmd_generate(const Args& args) {
   const auto out = args.require("out");
@@ -289,11 +301,47 @@ int cmd_attack(const Args& args) {
               << " half-trails re-identified (" << 100 * r.accuracy << "%)\n";
   }
   deanon_span = telemetry::WallScope();
+
+  // POI-fingerprint linking against a second release (--linked DIR2): the
+  // trails under --data are the probes, DIR2 is the gallery. With
+  // --max-reident F the command doubles as a release gate — exceeding the
+  // budgeted re-identification rate exits with kVerifyMismatch, so a CI
+  // pipeline can refuse to publish a release an adversary still links.
+  int rc = tools::kOk;
+  if (args.has("linked")) {
+    auto link_span = tel.span("link-attack");
+    geo::GeolocatedDataset gallery_release;
+    {
+      auto s = tel.span("read-linked");
+      gallery_release = geo::read_geolife_directory(args.require("linked"));
+    }
+    core::FingerprintConfig fp_config;
+    fp_config.cluster = config;
+    fp_config.top_pois = static_cast<int>(args.num("top", 4));
+    const auto r = core::run_link_attack(data, gallery_release, fp_config);
+    tel.count("cli_linked_users", static_cast<std::int64_t>(r.correct));
+    std::cout << "fingerprint linking: " << r.correct << "/" << r.probes
+              << " probes re-identified (rate "
+              << format_double(r.reidentification_rate, 3) << ")\n";
+    if (args.has("max-reident")) {
+      const double budget =
+          parse_csv_numbers("max-reident", args.get("max-reident"), 1)[0];
+      if (r.reidentification_rate > budget) {
+        std::cerr << "verification failed: re-identification rate "
+                  << format_double(r.reidentification_rate, 3)
+                  << " exceeds budget " << format_double(budget, 3) << "\n";
+        rc = tools::kVerifyMismatch;
+      } else {
+        std::cout << "verified: rate within budget "
+                  << format_double(budget, 3) << "\n";
+      }
+    }
+  }
   tel.count("cli_users", static_cast<std::int64_t>(data.num_users()));
   tel.count("cli_pois_extracted", total_pois);
   cmd_span = telemetry::WallScope();
   tel.flush();
-  return 0;
+  return rc;
 }
 
 int cmd_social(const Args& args) {
@@ -332,11 +380,24 @@ int cmd_sanitize(const Args& args) {
     what = "spatial rounding";
   } else if (args.has("cloak")) {
     out = core::spatial_cloaking(data, static_cast<int>(args.num("cloak", 2)),
-                                 static_cast<double>(args.num("cell", 200)))
+                                 static_cast<double>(args.num("cell", 200)),
+                                 static_cast<int>(args.num("doublings", 6)))
               .data;
     what = "spatial cloaking";
+  } else if (args.has("mixzones")) {
+    const auto zones = core::pick_mix_zones(
+        data, static_cast<int>(args.num("mixzones", 2)),
+        static_cast<double>(args.num("zone-radius", 300)));
+    const auto seed = args.has("seed")
+                          ? static_cast<std::uint64_t>(args.num("seed", 1))
+                          : core::kPseudonymSeed;
+    auto r = core::apply_mix_zones(data, zones, seed);
+    out = std::move(r.data);
+    what = "mix zones (" + std::to_string(zones.size()) + " zones, " +
+           std::to_string(r.pseudonym_changes) + " pseudonym changes)";
   } else {
-    std::cerr << "pick one of --mask METERS | --round METERS | --cloak K\n";
+    std::cerr << "pick one of --mask METERS | --round METERS | --cloak K | "
+                 "--mixzones N\n";
     return 2;
   }
   mech_span = telemetry::WallScope();
@@ -469,6 +530,92 @@ int cmd_query(const Args& args) {
   return tools::kOk;
 }
 
+/// Check a sanitized release against the privacy contract its sanitizer
+/// declared. Violations print to stderr and exit with kVerifyMismatch, so
+/// the command slots into release pipelines next to `query --expect`.
+int cmd_verify(const Args& args) {
+  const auto original = geo::read_geolife_directory(args.require("original"));
+  const auto released = geo::read_geolife_directory(args.require("sanitized"));
+  core::PrivacyReport report;
+  if (args.has("cloak")) {
+    core::CloakingContract contract;
+    contract.k = static_cast<int>(args.num("cloak", 2));
+    contract.base_cell_m = static_cast<double>(args.num("cell", 200));
+    contract.max_doublings = static_cast<int>(args.num("doublings", 6));
+    report = core::verify_cloaking(original, released, contract);
+  } else if (args.has("mixzones")) {
+    // The zones are re-derived from the original with the same automatic
+    // placement `sanitize --mixzones` used; owners are re-derived from the
+    // release itself (the adversarial, no-owner-map flavor).
+    const auto zones = core::pick_mix_zones(
+        original, static_cast<int>(args.num("mixzones", 2)),
+        static_cast<double>(args.num("zone-radius", 300)));
+    report = core::verify_mix_zones_release(original, released, zones);
+  } else {
+    std::cerr << "pick the contract: --cloak K [--cell M] [--doublings D] | "
+                 "--mixzones N [--zone-radius M]\n";
+    return 2;
+  }
+  std::cout << report.summary() << "\n";
+  if (!report.ok()) {
+    for (const auto& v : report.violations)
+      std::cerr << v.contract << ": " << v.detail << "\n";
+    if (report.violation_count > report.violations.size())
+      std::cerr << "... and "
+                << report.violation_count - report.violations.size()
+                << " more violations\n";
+    return tools::kVerifyMismatch;
+  }
+  return tools::kOk;
+}
+
+int cmd_odmatrix(const Args& args) {
+  const auto data = geo::read_geolife_directory(args.require("data"));
+  core::OdConfig config;
+  config.cell_m = static_cast<double>(args.num("cell", 500));
+  config.trip_gap_s = args.num("gap", 1800);
+  config.k = static_cast<int>(args.num("k", 5));
+  const auto trips = core::extract_trips(data, config);
+  const auto matrix = core::build_od_matrix(trips, config);
+  const auto utility = core::od_utility(trips, matrix);
+
+  constexpr std::size_t kMaxRows = 20;
+  Table t("k-anonymous OD matrix (k=" + std::to_string(config.k) + ", cell " +
+          format_double(config.cell_m, 0) + " m)");
+  t.header({"origin", "dest", "trips", "users"});
+  for (std::size_t i = 0; i < matrix.entries.size() && i < kMaxRows; ++i) {
+    const auto& e = matrix.entries[i];
+    t.row({std::to_string(e.origin_cy) + "," + std::to_string(e.origin_cx),
+           std::to_string(e.dest_cy) + "," + std::to_string(e.dest_cx),
+           std::to_string(e.trips), std::to_string(e.users)});
+  }
+  t.print(std::cout);
+  if (matrix.entries.size() > kMaxRows)
+    std::cout << "(+" << matrix.entries.size() - kMaxRows << " more pairs)\n";
+  std::cout << format_count(matrix.total_trips) << " trips, "
+            << matrix.entries.size() << " released pairs, "
+            << matrix.suppressed_pairs << " suppressed pairs ("
+            << matrix.suppressed_trips << " trips)\n";
+  std::cout << "utility: trip retention "
+            << format_double(utility.trip_retention, 3) << ", pair retention "
+            << format_double(utility.pair_retention, 3)
+            << ", participant coverage "
+            << format_double(utility.participant_coverage, 3)
+            << ", avg participant retention "
+            << format_double(utility.avg_participant_retention, 3) << "\n";
+
+  if (args.has("verify")) {
+    const auto report = core::verify_od_matrix(data, matrix, config);
+    std::cout << report.summary() << "\n";
+    if (!report.ok()) {
+      for (const auto& v : report.violations)
+        std::cerr << v.contract << ": " << v.detail << "\n";
+      return tools::kVerifyMismatch;
+    }
+  }
+  return tools::kOk;
+}
+
 void usage() {
   std::cerr <<
       "usage: gepeto <command> [--flag value ...]\n"
@@ -478,8 +625,15 @@ void usage() {
       "  sample   --data DIR --out DIR [--window S] [--technique upper|middle]\n"
       "  pois     --data DIR --user ID [--geojson FILE] [--radius M] [--minpts N]\n"
       "  attack   --data DIR [--radius M] [--minpts N]\n"
+      "           [--linked DIR2 [--top N] [--max-reident F]]\n"
       "  social   --data DIR [--radius M] [--meetings N]\n"
-      "  sanitize --data DIR --out DIR (--mask M | --round M | --cloak K)\n"
+      "  sanitize --data DIR --out DIR (--mask M | --round M |\n"
+      "           --cloak K [--cell M] [--doublings D] |\n"
+      "           --mixzones N [--zone-radius M] [--seed S])\n"
+      "  verify   --original DIR --sanitized DIR2\n"
+      "           (--cloak K [--cell M] [--doublings D] |\n"
+      "            --mixzones N [--zone-radius M])\n"
+      "  odmatrix --data DIR [--cell M] [--gap S] [--k K] [--verify]\n"
       "  heatmap  --data DIR --out FILE.csv [--cell M]\n"
       "  query    --data DIR [--pois] [--knn LAT,LON,K] [--range A,B,C,D]\n"
       "           [--locate LAT,LON] [--expect N] [--radius M] [--minpts N]\n"
@@ -505,6 +659,8 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "social") return cmd_social(args);
     if (cmd == "sanitize") return cmd_sanitize(args);
+    if (cmd == "verify") return cmd_verify(args);
+    if (cmd == "odmatrix") return cmd_odmatrix(args);
     if (cmd == "heatmap") return cmd_heatmap(args);
     if (cmd == "query") return cmd_query(args);
   } catch (const mr::TaskError& e) {
